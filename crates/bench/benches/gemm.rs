@@ -1,0 +1,51 @@
+//! Criterion: the blocked GEMM substrate against the naive triple loop —
+//! the sanity check that the baseline the paper calls "highly optimized"
+//! is actually optimized here too.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gemm_kernel::{gemm_tn, gemm_tn_naive, GemmParams, GemmWorkspace};
+
+fn rand_vec(len: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        })
+        .collect()
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm/tn");
+    for &(m, n, d) in &[(256usize, 256usize, 64usize), (512, 512, 256)] {
+        let a = rand_vec(d * m, 1);
+        let b = rand_vec(d * n, 2);
+        group.throughput(Throughput::Elements((2 * m * n * d) as u64));
+        group.bench_function(BenchmarkId::new("blocked", format!("{m}x{n}x{d}")), |bch| {
+            let mut cbuf = vec![0.0; m * n];
+            let mut ws = GemmWorkspace::new();
+            let params = GemmParams::ivy_bridge();
+            bch.iter(|| {
+                gemm_tn(-2.0, &a, &b, 0.0, &mut cbuf, d, m, n, &params, &mut ws);
+                std::hint::black_box(&cbuf);
+            });
+        });
+        if m <= 256 {
+            group.bench_function(BenchmarkId::new("naive", format!("{m}x{n}x{d}")), |bch| {
+                let mut cbuf = vec![0.0; m * n];
+                bch.iter(|| {
+                    gemm_tn_naive(-2.0, &a, &b, 0.0, &mut cbuf, d, m, n);
+                    std::hint::black_box(&cbuf);
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_gemm
+}
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Criterion: binary heap vs padded 4-heap (the §2.4 ablation — the
+//! paper measures the 4-heap 30–50% faster for k = 2048), plus the cost
+//! of id-unique insertion and the SIMD max-child search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use knn_select::{BinaryMaxHeap, FourHeap, Neighbor};
+
+fn candidates(n: usize) -> Vec<Neighbor> {
+    let mut state = 0xDEADBEEFu64;
+    (0..n)
+        .map(|i| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            Neighbor::new((state >> 11) as f64 / (1u64 << 53) as f64, i as u32)
+        })
+        .collect()
+}
+
+fn bench_heap_kinds(c: &mut Criterion) {
+    let cands = candidates(1 << 14);
+    let mut group = c.benchmark_group("heaps/select");
+    group.throughput(Throughput::Elements(cands.len() as u64));
+    for k in [16usize, 128, 512, 2048] {
+        group.bench_function(BenchmarkId::new("binary", k), |b| {
+            b.iter(|| {
+                let mut h = BinaryMaxHeap::new(k);
+                for &c in &cands {
+                    h.push(c);
+                }
+                std::hint::black_box(h.threshold());
+            });
+        });
+        group.bench_function(BenchmarkId::new("4-heap", k), |b| {
+            b.iter(|| {
+                let mut h = FourHeap::new(k);
+                for &c in &cands {
+                    h.push(c);
+                }
+                std::hint::black_box(h.threshold());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_push_unique_overhead(c: &mut Criterion) {
+    let cands = candidates(1 << 13);
+    let k = 128;
+    let mut group = c.benchmark_group("heaps/push-unique");
+    group.throughput(Throughput::Elements(cands.len() as u64));
+    group.bench_function("plain", |b| {
+        b.iter(|| {
+            let mut h = BinaryMaxHeap::new(k);
+            for &c in &cands {
+                h.push(c);
+            }
+            std::hint::black_box(h.len());
+        });
+    });
+    group.bench_function("unique", |b| {
+        b.iter(|| {
+            let mut h = BinaryMaxHeap::new(k);
+            for &c in &cands {
+                h.push_unique(c);
+            }
+            std::hint::black_box(h.len());
+        });
+    });
+    group.finish();
+}
+
+fn bench_max_child(c: &mut Criterion) {
+    let mut h = FourHeap::new(4096);
+    for c in candidates(4096) {
+        h.push(c);
+    }
+    let mut group = c.benchmark_group("heaps/max-child");
+    group.bench_function("simd-dispatch", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for j in 0..512 {
+                acc ^= h.max_child_simd(j);
+            }
+            std::hint::black_box(acc);
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_heap_kinds, bench_push_unique_overhead, bench_max_child
+}
+criterion_main!(benches);

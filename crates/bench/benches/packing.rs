@@ -1,0 +1,68 @@
+//! Criterion: gather-packing straight from `X` (GSKNN, §2.3) versus the
+//! GEMM approach's collect-then-pack — the memory-traffic saving the
+//! model's Eq. (5) charges the baseline for, measured in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dataset::uniform;
+use gemm_kernel::{pack_a_panel, AlignedBuf, MR};
+use gsknn_core::packing::pack_q_panel;
+
+fn bench_gather_vs_collect(c: &mut Criterion) {
+    let d = 128;
+    let x = uniform(8192, d, 3);
+    // shuffled ids: the general-stride case the kernel is named for
+    let mut idx: Vec<usize> = (0..2048).map(|i| (i * 2654435761) % 8192).collect();
+    idx.sort_unstable();
+    idx.dedup();
+    let mcb = idx.len() / MR * MR;
+    let idx = &idx[..mcb];
+
+    let mut group = c.benchmark_group("packing/query-panel");
+    group.throughput(Throughput::Elements((mcb * d) as u64));
+    group.bench_function(BenchmarkId::new("gather-pack", mcb), |b| {
+        let mut out = AlignedBuf::zeroed(mcb * d);
+        b.iter(|| {
+            pack_q_panel(&x, idx, 0, mcb, 0, d, out.as_mut_slice());
+            std::hint::black_box(out.as_slice().as_ptr());
+        });
+    });
+    group.bench_function(BenchmarkId::new("collect-then-pack", mcb), |b| {
+        let mut out = AlignedBuf::zeroed(mcb * d);
+        b.iter(|| {
+            // the GEMM approach's explicit collection phase...
+            let dense = x.gather(idx);
+            // ...followed by the pack GEMM does anyway
+            pack_a_panel(&dense, d, 0, mcb, 0, d, out.as_mut_slice());
+            std::hint::black_box(out.as_slice().as_ptr());
+        });
+    });
+    group.finish();
+}
+
+fn bench_contiguous_vs_strided_ids(c: &mut Criterion) {
+    // gather cost sensitivity to index locality
+    let d = 64;
+    let x = uniform(1 << 16, d, 5);
+    let mcb = 1024;
+    let contiguous: Vec<usize> = (0..mcb).collect();
+    let strided: Vec<usize> = (0..mcb).map(|i| i * 61).collect();
+    let mut group = c.benchmark_group("packing/index-locality");
+    group.throughput(Throughput::Elements((mcb * d) as u64));
+    for (name, idx) in [("contiguous", &contiguous), ("strided-61", &strided)] {
+        group.bench_function(name, |b| {
+            let mut out = AlignedBuf::zeroed(mcb * d);
+            b.iter(|| {
+                pack_q_panel(&x, idx, 0, mcb, 0, d, out.as_mut_slice());
+                std::hint::black_box(out.as_slice().as_ptr());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_gather_vs_collect, bench_contiguous_vs_strided_ids
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion: the Table 3 selection algorithms side by side on the
+//! average-case (random) input.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use knn_select::{
+    FourHeapSelect, HeapSelect, MergeSelect, Neighbor, QuickSelect, SelectK, SortSelect,
+};
+
+fn candidates(n: usize) -> Vec<Neighbor> {
+    let mut state = 0xABCDEFu64;
+    (0..n)
+        .map(|i| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            Neighbor::new((state >> 11) as f64 / (1u64 << 53) as f64, i as u32)
+        })
+        .collect()
+}
+
+fn bench_selectors(c: &mut Criterion) {
+    let cands = candidates(1 << 14);
+    let selectors: Vec<Box<dyn SelectK>> = vec![
+        Box::new(HeapSelect),
+        Box::new(FourHeapSelect),
+        Box::new(QuickSelect),
+        Box::new(MergeSelect),
+        Box::new(SortSelect),
+    ];
+    let mut group = c.benchmark_group("selection/avg-case");
+    group.throughput(Throughput::Elements(cands.len() as u64));
+    for k in [16usize, 512] {
+        for s in &selectors {
+            group.bench_function(BenchmarkId::new(s.name(), k), |b| {
+                b.iter(|| std::hint::black_box(s.select(&cands, k)));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_list_update(c: &mut Criterion) {
+    // the paper's point about quickselect: O(n + k) per *update* of an
+    // existing list is bad when n is small — measure update cost at
+    // small n
+    let k = 128;
+    let list: Vec<Neighbor> = {
+        let mut v = candidates(k);
+        v.sort_unstable_by(Neighbor::cmp_dist_idx);
+        v
+    };
+    let fresh = candidates(256);
+    let selectors: Vec<Box<dyn SelectK>> = vec![
+        Box::new(HeapSelect),
+        Box::new(QuickSelect),
+        Box::new(MergeSelect),
+    ];
+    let mut group = c.benchmark_group("selection/list-update-small-n");
+    for s in &selectors {
+        group.bench_function(s.name(), |b| {
+            b.iter(|| std::hint::black_box(s.update(&list, &fresh, k)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_selectors, bench_list_update
+}
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Calibrate the §2.6 performance-model constants on the running
+//! machine:
+//!
+//! * `τf` — peak flops/s, from the AVX2 rank-dc micro-kernel on an
+//!   L1-resident problem (the fastest code path we have);
+//! * `τb` — seconds per contiguously-streamed f64, from a large sum
+//!   reduction over a DRAM-resident array;
+//! * `τl` — seconds per dependent random access, from a pointer chase
+//!   over a DRAM-resident permutation;
+//! * `ε` — left at the paper's 0.5 (expected heap-adjustment fraction).
+//!
+//! Prints a `MachineParams` literal to paste into harnesses that want
+//! locally-calibrated model curves (the fig4/fig5 binaries default to the
+//! paper's Ivy Bridge constants so their output is comparable to the
+//! published figures).
+
+use bench::HarnessArgs;
+use dataset::{uniform, DistanceKind};
+use gsknn_core::microkernel::{tile_pass, PassMode, MR, NR};
+use gsknn_core::packing::{pack_q_panel, pack_r_panel};
+use std::time::Instant;
+
+fn measure_tau_f() -> f64 {
+    // one hot tile, dcb = 256: 2*dcb*MR*NR flops per call, everything L1
+    let d = 256;
+    let x = uniform(MR + NR, d, 5);
+    let q: Vec<usize> = (0..MR).collect();
+    let r: Vec<usize> = (MR..MR + NR).collect();
+    let mut ap = vec![0.0; MR * d];
+    let mut bp = vec![0.0; NR * d];
+    pack_q_panel(&x, &q, 0, MR, 0, d, &mut ap);
+    pack_r_panel(&x, &r, 0, NR, 0, d, &mut bp);
+    let q2 = vec![0.0; MR];
+    let r2 = vec![0.0; NR];
+    let mut out = [0.0; MR * NR];
+    let calls = 200_000;
+    let t0 = Instant::now();
+    for _ in 0..calls {
+        tile_pass(
+            DistanceKind::SqL2,
+            d,
+            &ap,
+            &bp,
+            &q2,
+            &r2,
+            PassMode::Last {
+                prior: None,
+                out: &mut out,
+            },
+        );
+        std::hint::black_box(&out);
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    (2.0 * d as f64 * (MR * NR) as f64 * calls as f64) / secs
+}
+
+fn measure_tau_b() -> f64 {
+    // stream 256 MB (beyond any cache) and time the read bandwidth
+    let n = 32_000_000usize;
+    let data = vec![1.0f64; n];
+    let t0 = Instant::now();
+    let mut acc = 0.0;
+    for chunk in data.chunks(4096) {
+        acc += chunk.iter().sum::<f64>();
+    }
+    std::hint::black_box(acc);
+    t0.elapsed().as_secs_f64() / n as f64
+}
+
+fn measure_tau_l() -> f64 {
+    // dependent pointer chase over a random permutation (~128 MB)
+    let n = 16_000_000usize;
+    let mut next: Vec<u32> = (0..n as u32).collect();
+    // deterministic Fisher-Yates
+    let mut state = 0x9E3779B97F4A7C15u64;
+    for i in (1..n).rev() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let j = (state >> 33) as usize % (i + 1);
+        next.swap(i, j);
+    }
+    let hops = 4_000_000usize;
+    let mut at = 0u32;
+    let t0 = Instant::now();
+    for _ in 0..hops {
+        at = next[at as usize];
+    }
+    std::hint::black_box(at);
+    t0.elapsed().as_secs_f64() / hops as f64
+}
+
+fn main() {
+    let _ = HarnessArgs::parse();
+    println!("calibrating model constants on this machine...");
+    let tau_f = measure_tau_f();
+    println!(
+        "tau_f = {:.2} GFLOPS (micro-kernel hot-loop peak)",
+        tau_f / 1e9
+    );
+    let tau_b = measure_tau_b();
+    println!(
+        "tau_b = {:.3} ns/f64 ({:.2} GB/s contiguous)",
+        tau_b * 1e9,
+        8.0 / tau_b / 1e9
+    );
+    let tau_l = measure_tau_l();
+    println!("tau_l = {:.2} ns/access (dependent random)", tau_l * 1e9);
+    println!();
+    println!("MachineParams {{");
+    println!("    tau_f: {tau_f:.3e},");
+    println!("    tau_b: {tau_b:.3e},");
+    println!("    tau_l: {tau_l:.3e},");
+    println!("    epsilon: 0.5,");
+    println!("    cores: {},", num_cpus::get());
+    println!("}}");
+}

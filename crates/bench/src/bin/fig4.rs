@@ -1,0 +1,98 @@
+//! Figure 4 — predicted vs measured floating-point efficiency (GFLOPS)
+//! as a function of the dimension `d`, for GSKNN Var#1, Var#6 and the
+//! GEMM+heap reference, at k ∈ {16, 512, 2048}.
+//!
+//! Paper parameters: m = n = 8192, d up to 1024, p ∈ {1, 10}. Here the
+//! measured curves are single-core (`p = 1`); the model is evaluated for
+//! both the calibrated machine and the paper's Ivy Bridge constants so
+//! the predicted shapes can be compared directly. Scaled default:
+//! m = n = 2048, d ≤ 512 (`--full` for paper scale).
+
+use bench::{best_of, gflops, print_table, HarnessArgs};
+use dataset::{uniform, DistanceKind};
+use gsknn_core::model::Approach;
+use gsknn_core::{GemmParams, Gsknn, GsknnConfig, MachineParams, Model, ProblemSize, Variant};
+use knn_ref::GemmKnn;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let mn = if args.full { 8192 } else { 2048 };
+    let dims: Vec<usize> = if args.full {
+        vec![16, 32, 64, 128, 256, 384, 512, 768, 1024]
+    } else {
+        vec![16, 32, 64, 128, 256, 512]
+    };
+    let ks: &[usize] = &[16, 512, 2048];
+    let model = Model::new(MachineParams::ivy_bridge_1core());
+
+    println!("Figure 4 reproduction: GFLOPS vs d, m = n = {mn}, p = 1");
+    println!(
+        "model constants: paper Ivy Bridge (tau_f=8*3.54GHz, tau_b=2.2ns, tau_l=13.91ns, eps=0.5)"
+    );
+
+    for &k in ks {
+        if k > mn {
+            continue;
+        }
+        let mut rows = Vec::new();
+        for &d in &dims {
+            let x = uniform(2 * mn, d, 7);
+            let q: Vec<usize> = (0..mn).collect();
+            let r: Vec<usize> = (mn..2 * mn).collect();
+            let p = ProblemSize { m: mn, n: mn, d, k };
+
+            let measure_variant = |variant: Variant| {
+                let mut exec = Gsknn::new(GsknnConfig {
+                    variant,
+                    ..Default::default()
+                });
+                best_of(args.reps, || {
+                    let t = exec.run(&x, &q, &r, k, DistanceKind::SqL2);
+                    std::hint::black_box(t.len());
+                })
+            };
+            let t_v1 = measure_variant(Variant::Var1);
+            let t_v6 = measure_variant(Variant::Var6);
+            let mut exec_ref = GemmKnn::new(GemmParams::ivy_bridge(), false);
+            let t_ref = best_of(args.reps, || {
+                let (t, _) = exec_ref.run(&x, &q, &r, k);
+                std::hint::black_box(t.len());
+            });
+
+            rows.push(vec![
+                d.to_string(),
+                format!("{:.2}", model.gflops(&p, Approach::Var1)),
+                format!("{:.2}", gflops(mn, mn, d, t_v1)),
+                format!("{:.2}", model.gflops(&p, Approach::Var6)),
+                format!("{:.2}", gflops(mn, mn, d, t_v6)),
+                format!("{:.2}", model.gflops(&p, Approach::Gemm)),
+                format!("{:.2}", gflops(mn, mn, d, t_ref)),
+            ]);
+            bench::json_row(
+                &args,
+                &serde_json::json!({
+                    "experiment": "fig4", "m": mn, "n": mn, "d": d, "k": k,
+                    "model_var1": model.gflops(&p, Approach::Var1),
+                    "meas_var1": gflops(mn, mn, d, t_v1),
+                    "model_var6": model.gflops(&p, Approach::Var6),
+                    "meas_var6": gflops(mn, mn, d, t_v6),
+                    "model_gemm": model.gflops(&p, Approach::Gemm),
+                    "meas_gemm": gflops(mn, mn, d, t_ref),
+                }),
+            );
+        }
+        print_table(
+            &format!("k = {k} (GFLOPS)"),
+            &[
+                "d",
+                "Var#1 model",
+                "Var#1 meas",
+                "Var#6 model",
+                "Var#6 meas",
+                "ref model",
+                "ref meas",
+            ],
+            &rows,
+        );
+    }
+}

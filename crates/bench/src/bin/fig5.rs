@@ -1,0 +1,79 @@
+//! Figure 5 — efficiency (GFLOPS) as a function of `k`, with the
+//! predicted and measured Var#1 → Var#6 switch-over thresholds.
+//!
+//! Paper parameters: p = 10, m = n = 8192, d ∈ {16, 64}, k swept to
+//! 2048. Here measured single-core; the model threshold (light-blue
+//! dotted line of the figure) is compared against the measured crossing
+//! (purple dotted line). As an ablation, all five legal variants are
+//! measured, not just the paper's two finalists.
+
+use bench::{best_of, gflops, print_table, HarnessArgs};
+use dataset::{uniform, DistanceKind};
+use gsknn_core::{Gsknn, GsknnConfig, MachineParams, Model, Variant};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let mn = if args.full { 8192 } else { 2048 };
+    let dims: &[usize] = &[16, 64];
+    let ks: Vec<usize> = [16, 32, 64, 128, 256, 512, 1024, 2048]
+        .into_iter()
+        .filter(|&k| k <= mn)
+        .collect();
+    let model = Model::new(MachineParams::ivy_bridge_1core());
+
+    println!("Figure 5 reproduction: GFLOPS vs k, m = n = {mn}, p = 1");
+
+    for &d in dims {
+        let x = uniform(2 * mn, d, 23);
+        let q: Vec<usize> = (0..mn).collect();
+        let r: Vec<usize> = (mn..2 * mn).collect();
+
+        let mut rows = Vec::new();
+        let mut measured_threshold: Option<usize> = None;
+        for &k in &ks {
+            let measure = |variant: Variant| {
+                let mut exec = Gsknn::new(GsknnConfig {
+                    variant,
+                    ..Default::default()
+                });
+                best_of(args.reps, || {
+                    let t = exec.run(&x, &q, &r, k, DistanceKind::SqL2);
+                    std::hint::black_box(t.len());
+                })
+            };
+            let times: Vec<(Variant, std::time::Duration)> =
+                Variant::ALL.iter().map(|&v| (v, measure(v))).collect();
+            let t_v1 = times[0].1;
+            let t_v6 = times[times.len() - 1].1;
+            if measured_threshold.is_none() && t_v6 < t_v1 {
+                measured_threshold = Some(k);
+            }
+            let mut row = vec![k.to_string()];
+            for (v, t) in &times {
+                let _ = v;
+                row.push(format!("{:.2}", gflops(mn, mn, d, *t)));
+            }
+            rows.push(row);
+            bench::json_row(
+                &args,
+                &serde_json::json!({
+                    "experiment": "fig5", "m": mn, "n": mn, "d": d, "k": k,
+                    "gflops": times.iter()
+                        .map(|(v, t)| (v.name().to_string(), gflops(mn, mn, d, *t)))
+                        .collect::<std::collections::BTreeMap<_, _>>(),
+                }),
+            );
+        }
+        let headers: Vec<&str> = std::iter::once("k")
+            .chain(Variant::ALL.iter().map(|v| v.name()))
+            .collect();
+        print_table(&format!("d = {d} (GFLOPS, all variants)"), &headers, &rows);
+
+        let predicted = model.threshold_k(mn, mn, d, *ks.last().unwrap());
+        println!(
+            "d = {d}: predicted Var#1->Var#6 threshold k = {}, measured crossing k = {}",
+            predicted.map_or("none".to_string(), |k| k.to_string()),
+            measured_threshold.map_or("none".to_string(), |k| k.to_string()),
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Recall-vs-work curves for the approximate all-NN solvers
+//! (reproduction extension): how fast the randomized-KD-tree iteration
+//! and the LSH tables converge to exact neighbors, and what each
+//! iteration costs — the practical trade-off the paper's §1 framing
+//! ("iterate ... until convergence") implies but does not plot.
+
+use bench::{print_table, HarnessArgs};
+use dataset::{gaussian_embedded, DistanceKind};
+use gsknn_core::GsknnConfig;
+use knn_ref::oracle;
+use lsh::{LshConfig, LshParams, LshSolver};
+use rkdt::{AllNnSolver, GsknnLeaf, RkdtConfig};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let n = if args.full { 20_000 } else { 4_000 };
+    let (d, k) = (32usize, 8usize);
+    let x = gaussian_embedded(n, d, 10, 7);
+    let ids: Vec<usize> = (0..n).collect();
+    println!("recall curves: N = {n}, d = {d} (intrinsic 10), k = {k}");
+    println!("computing exact reference (brute force)...");
+    let exact = oracle::exact(&x, &ids, &ids, k, DistanceKind::SqL2);
+
+    // rkdt: recall after each tree
+    let solver = AllNnSolver::new(RkdtConfig {
+        leaf_size: 512,
+        iterations: 10,
+        seed: 1,
+        parallel_leaves: true,
+    });
+    let (_, stats) = solver.solve(
+        &x,
+        k,
+        || GsknnLeaf::new(GsknnConfig::default(), DistanceKind::SqL2),
+        Some(&exact),
+    );
+    let rows: Vec<Vec<String>> = stats
+        .iter()
+        .map(|s| {
+            vec![
+                s.iter.to_string(),
+                format!("{:.1}%", 100.0 * s.recall.unwrap()),
+                format!("{:.1}%", 100.0 * s.changed_fraction),
+                format!("{:.3}", s.kernel_seconds),
+            ]
+        })
+        .collect();
+    print_table(
+        "randomized KD-tree (512-point leaves)",
+        &["iter", "recall", "rows improved", "kernel s"],
+        &rows,
+    );
+
+    // LSH: recall after each table, for two bucket widths
+    for width in [1.0f64, 2.0] {
+        let (_, tstats) = LshSolver::new(LshConfig {
+            tables: 8,
+            params: LshParams {
+                hashes_per_table: 4,
+                bucket_width: width,
+            },
+            seed: 3,
+            parallel_buckets: true,
+            max_bucket: 2048,
+            probes: 0,
+        })
+        .solve(
+            &x,
+            k,
+            || GsknnLeaf::new(GsknnConfig::default(), DistanceKind::SqL2),
+            Some(&exact),
+        );
+        let rows: Vec<Vec<String>> = tstats
+            .iter()
+            .map(|s| {
+                vec![
+                    s.table.to_string(),
+                    format!("{:.1}%", 100.0 * s.recall.unwrap()),
+                    s.buckets.to_string(),
+                    format!("{:.1}%", 100.0 * s.covered as f64 / n as f64),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("LSH (K = 4 hashes/table, w = {width})"),
+            &["table", "recall", "buckets", "coverage"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! ISA ablation (reproduction extension): the same fused kernel run with
+//! the scalar, AVX2+FMA and AVX-512F micro-kernels, across norms and
+//! dimensions. This quantifies the paper's closing claim that porting
+//! GSKNN to a new x86 generation "only requires ... rewriting the micro
+//! kernel" — the outer loops, packing and selection are identical across
+//! the three rows of each table.
+
+use bench::{best_of, gflops, print_table, HarnessArgs};
+use dataset::{uniform, DistanceKind};
+use gsknn_core::microkernel::{set_simd_level, SimdLevel};
+use gsknn_core::{Gsknn, GsknnConfig};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let mn = if args.full { 4096 } else { 1024 };
+    let k = 16;
+    let dims: &[usize] = &[16, 64, 256];
+    let levels = [
+        ("scalar", SimdLevel::Scalar),
+        ("avx2", SimdLevel::Avx2),
+        ("avx512", SimdLevel::Avx512),
+    ];
+
+    println!("SIMD micro-kernel ablation: m = n = {mn}, k = {k} (GFLOPS)");
+    #[cfg(target_arch = "x86_64")]
+    {
+        println!(
+            "cpu support: avx2+fma = {}, avx512f = {}",
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma"),
+            std::arch::is_x86_feature_detected!("avx512f"),
+        );
+    }
+
+    for kind in [DistanceKind::SqL2, DistanceKind::L1, DistanceKind::LInf] {
+        let mut rows = Vec::new();
+        for &d in dims {
+            let x = uniform(2 * mn, d, 3);
+            let q: Vec<usize> = (0..mn).collect();
+            let r: Vec<usize> = (mn..2 * mn).collect();
+            let mut row = vec![d.to_string()];
+            let mut base = None;
+            for (_, level) in levels {
+                set_simd_level(level);
+                let mut exec = Gsknn::new(GsknnConfig::default());
+                let t = best_of(args.reps, || {
+                    let tb = exec.run(&x, &q, &r, k, kind);
+                    std::hint::black_box(tb.len());
+                });
+                set_simd_level(SimdLevel::Auto);
+                let g = gflops(mn, mn, d, t);
+                if base.is_none() {
+                    base = Some(g);
+                }
+                row.push(format!("{g:.2}"));
+            }
+            if let Some(b) = base {
+                let best: f64 = row[1..]
+                    .iter()
+                    .map(|s| s.parse::<f64>().unwrap())
+                    .fold(0.0, f64::max);
+                row.push(format!("{:.1}x", best / b));
+            }
+            rows.push(row);
+        }
+        print_table(
+            &format!("{} (GFLOPS per level)", kind.name()),
+            &["d", "scalar", "avx2", "avx512", "best/scalar"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Table 1 — the integrated experiment: randomized-KD-tree approximate
+//! all-nearest-neighbors, GEMM-based leaf kernel ("ref") vs GSKNN,
+//! end-to-end seconds.
+//!
+//! Paper parameters: 8 MPI nodes, N = 1,600,000 points from a
+//! 10-dimensional Gaussian embedded in d ∈ {16, 64, 256, 1024},
+//! m = 8192 points per leaf, k ∈ {16, 512, 2048}; >90% of time inside
+//! the kernel. This reproduction is single-node: the default is scaled
+//! to N = 100,000 with 2048-point leaves; `--full` runs N = 1,600,000 /
+//! m = 8192 (needs ~13 GB at d = 1024 and hours of CPU).
+
+use bench::{print_table, HarnessArgs};
+use dataset::{gaussian_embedded, DistanceKind};
+use gsknn_core::{GemmParams, GsknnConfig};
+use knn_ref::GemmKnn;
+use rkdt::{AllNnSolver, GemmLeaf, GsknnLeaf, RkdtConfig};
+use std::time::Instant;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let (n_points, leaf) = if args.full {
+        (1_600_000, 8192)
+    } else {
+        (100_000, 2048)
+    };
+    let dims: &[usize] = if args.full {
+        &[16, 64, 256, 1024]
+    } else {
+        &[16, 64]
+    };
+    let ks: &[usize] = if args.full {
+        &[16, 512, 2048]
+    } else {
+        &[16, 512]
+    };
+    let iterations = 3;
+
+    println!("Table 1 reproduction: rkdt all-NN, N = {n_points}, leaf m = {leaf}, {iterations} iterations");
+    println!("dataset: 10-d Gaussian mixture embedded in d dimensions (paper §3)");
+
+    for &k in ks {
+        if k >= leaf {
+            continue; // k must be below the leaf size for in-leaf search
+        }
+        let mut rows = Vec::new();
+        for &d in dims {
+            let x = gaussian_embedded(n_points, d, 8, 2026);
+            let cfg = RkdtConfig {
+                leaf_size: leaf,
+                iterations,
+                seed: 99,
+                parallel_leaves: true,
+            };
+            let solver = AllNnSolver::new(cfg);
+
+            let t0 = Instant::now();
+            let (_, ref_stats) = solver.solve(
+                &x,
+                k,
+                || GemmLeaf::new(GemmKnn::new(GemmParams::ivy_bridge(), false)),
+                None,
+            );
+            let t_ref = t0.elapsed().as_secs_f64();
+
+            let t1 = Instant::now();
+            let (_, gs_stats) = solver.solve(
+                &x,
+                k,
+                || GsknnLeaf::new(GsknnConfig::default(), DistanceKind::SqL2),
+                None,
+            );
+            let t_gsknn = t1.elapsed().as_secs_f64();
+
+            let ref_kernel: f64 = ref_stats.iter().map(|s| s.kernel_seconds).sum();
+            let gs_kernel: f64 = gs_stats.iter().map(|s| s.kernel_seconds).sum();
+
+            rows.push(vec![
+                d.to_string(),
+                format!("{t_ref:.1}"),
+                format!("{t_gsknn:.1}"),
+                format!("{:.0}%", 100.0 * ref_kernel / t_ref),
+                format!("{:.0}%", 100.0 * gs_kernel / t_gsknn),
+                format!("{:.2}x", t_ref / t_gsknn),
+            ]);
+            bench::json_row(
+                &args,
+                &serde_json::json!({
+                    "experiment": "table1", "N": n_points, "leaf": leaf, "d": d, "k": k,
+                    "ref_seconds": t_ref, "gsknn_seconds": t_gsknn,
+                    "ref_kernel_fraction": ref_kernel / t_ref,
+                    "gsknn_kernel_fraction": gs_kernel / t_gsknn,
+                }),
+            );
+        }
+        print_table(
+            &format!("k = {k} (seconds, end-to-end)"),
+            &[
+                "d",
+                "ref",
+                "GSKNN",
+                "ref kernel%",
+                "GSKNN kernel%",
+                "speedup",
+            ],
+            &rows,
+        );
+    }
+}

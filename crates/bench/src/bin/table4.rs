@@ -1,0 +1,55 @@
+//! Table 4 — the theoretical runtime-breakdown table, instantiated.
+//!
+//! The paper's Table 4 lists the slow-memory terms of the model
+//! symbolically; this harness evaluates every row for concrete problem
+//! sizes (the Figure 4 configurations) and all three approaches, showing
+//! *where* the model says each implementation's memory time goes — e.g.
+//! that the GEMM approach's `collect Q,R` + `C` traffic dwarfs everything
+//! at low d, and that the `Cc` spill appears exactly when d > dc.
+
+use bench::{print_table, HarnessArgs};
+use gsknn_core::model::Approach;
+use gsknn_core::{MachineParams, Model, ProblemSize};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let mn = if args.full { 8192 } else { 2048 };
+    let model = Model::new(MachineParams::ivy_bridge_1core());
+
+    println!("Table 4 reproduction: modeled slow-memory terms (ms), m = n = {mn}");
+    println!("machine constants: paper Ivy Bridge");
+
+    for (d, k) in [(16usize, 16usize), (64, 16), (64, 2048), (1024, 16)] {
+        let p = ProblemSize { m: mn, n: mn, d, k };
+        let mut rows = Vec::new();
+        for (name, a) in [
+            ("Var#1", Approach::Var1),
+            ("Var#6", Approach::Var6),
+            ("GEMM", Approach::Gemm),
+        ] {
+            for (term, secs) in model.tm_terms(&p, a) {
+                rows.push(vec![
+                    name.to_string(),
+                    term.to_string(),
+                    format!("{:.2}", secs * 1e3),
+                ]);
+            }
+            let tm: f64 = model.tm_terms(&p, a).iter().map(|(_, v)| v).sum();
+            rows.push(vec![
+                name.to_string(),
+                "— total Tm".to_string(),
+                format!("{:.2}", tm * 1e3),
+            ]);
+            rows.push(vec![
+                name.to_string(),
+                "— Tf + To (compute)".to_string(),
+                format!("{:.2}", model.t_compute(&p) * 1e3),
+            ]);
+        }
+        print_table(
+            &format!("d = {d}, k = {k}"),
+            &["approach", "term", "ms"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Table 5 — runtime breakdown analysis (ms).
+//!
+//! For each `(d, k)` cell the paper reports the reference decomposition's
+//! phase times `Tcoll + Tgemm + Tsq2d + Theap` next to GSKNN's total,
+//! with GSKNN's heap time estimated as the total-time difference against
+//! a `k = 1` run (a timer inside the 2nd loop would perturb the kernel).
+//!
+//! Paper parameters: m = n = 8192, d ∈ {16, 64, 256, 1024},
+//! k ∈ {16, 128, 512, 2048}. Scaled default: m = n = 2048 and
+//! d ≤ 256 (pass `--full` for paper scale).
+
+use bench::{best_of, ms, print_table, HarnessArgs};
+use dataset::{uniform, DistanceKind};
+use gsknn_core::{GemmParams, Gsknn, GsknnConfig};
+use knn_ref::GemmKnn;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let mn = if args.full { 8192 } else { 2048 };
+    let dims: &[usize] = if args.full {
+        &[16, 64, 256, 1024]
+    } else {
+        &[16, 64, 256]
+    };
+    let ks: &[usize] = &[16, 128, 512, 2048];
+
+    println!("Table 5 reproduction: runtime breakdown (ms), m = n = {mn}");
+    println!("reference = blocked GEMM + binary-heap selection (Algorithm 2.1)");
+    println!("GSKNN     = fused kernel, Var#1 for k<=512 / Var#6 for k=2048");
+
+    for &d in dims {
+        let x = uniform(2 * mn, d, 42);
+        let q: Vec<usize> = (0..mn).collect();
+        let r: Vec<usize> = (mn..2 * mn).collect();
+
+        // GSKNN k = 1 total: the baseline for the paper's Theap estimate
+        let gsknn_time = |k: usize| {
+            let mut exec = Gsknn::new(GsknnConfig::default());
+            best_of(args.reps, || {
+                let t = exec.run(&x, &q, &r, k, DistanceKind::SqL2);
+                std::hint::black_box(t.len());
+            })
+        };
+        let t_k1 = gsknn_time(1);
+
+        let mut rows = Vec::new();
+        for &k in ks {
+            if k > r.len() {
+                continue;
+            }
+            // reference phases
+            let mut phases = knn_ref::PhaseTimes::default();
+            let mut exec_ref = GemmKnn::new(GemmParams::ivy_bridge(), false);
+            let t_ref = best_of(args.reps, || {
+                let (table, times) = exec_ref.run(&x, &q, &r, k);
+                std::hint::black_box(table.len());
+                phases = times;
+            });
+            // GSKNN total + estimated heap time
+            let t_gsknn = gsknn_time(k);
+            let heap_est = t_gsknn.saturating_sub(t_k1);
+
+            rows.push(vec![
+                k.to_string(),
+                format!("{:.0}", ms(phases.t_coll)),
+                format!("{:.0}", ms(phases.t_gemm)),
+                format!("{:.0}", ms(phases.t_sq2d)),
+                format!("{:.0}", ms(phases.t_heap)),
+                format!("{:.0}", ms(t_ref)),
+                format!("{:.0}", ms(t_gsknn)),
+                format!("{:.0}", ms(heap_est)),
+                format!("{:.2}x", t_ref.as_secs_f64() / t_gsknn.as_secs_f64()),
+            ]);
+            bench::json_row(
+                &args,
+                &serde_json::json!({
+                    "experiment": "table5", "m": mn, "n": mn, "d": d, "k": k,
+                    "ref_coll_ms": ms(phases.t_coll), "ref_gemm_ms": ms(phases.t_gemm),
+                    "ref_sq2d_ms": ms(phases.t_sq2d), "ref_heap_ms": ms(phases.t_heap),
+                    "ref_total_ms": ms(t_ref), "gsknn_total_ms": ms(t_gsknn),
+                    "gsknn_heap_est_ms": ms(heap_est),
+                }),
+            );
+        }
+        print_table(
+            &format!("m = n = {mn}, d = {d}"),
+            &[
+                "k",
+                "ref:Tcoll",
+                "ref:Tgemm",
+                "ref:Tsq2d",
+                "ref:Theap",
+                "ref:total",
+                "GSKNN:total",
+                "GSKNN:Theap~",
+                "speedup",
+            ],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Shared harness utilities for the table/figure binaries: repeatable
+//! timing, GFLOPS accounting (the paper's `(2d+3)mn / T` definition),
+//! command-line scaling flags, and aligned table printing.
+
+use std::time::{Duration, Instant};
+
+/// Command-line options shared by every harness binary.
+///
+/// * `--full` — run at the paper's problem sizes (minutes to hours);
+///   default is a scaled configuration that finishes in ~a minute.
+/// * `--json` — also emit machine-readable rows to stdout (one JSON
+///   object per line, prefixed `#json `), for plotting.
+/// * `--reps N` — timing repetitions (default 3, best-of).
+#[derive(Clone, Debug)]
+pub struct HarnessArgs {
+    /// Paper-scale sizes instead of the scaled defaults.
+    pub full: bool,
+    /// Emit `#json` rows.
+    pub json: bool,
+    /// Timing repetitions (best-of).
+    pub reps: usize,
+}
+
+impl HarnessArgs {
+    /// Parse from `std::env::args`; unknown flags abort with usage.
+    pub fn parse() -> Self {
+        let mut out = HarnessArgs {
+            full: false,
+            json: false,
+            reps: 3,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--full" => out.full = true,
+                "--json" => out.json = true,
+                "--reps" => {
+                    out.reps = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage());
+                }
+                "--help" | "-h" => usage(),
+                other => {
+                    eprintln!("unknown flag: {other}");
+                    usage();
+                }
+            }
+        }
+        out
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: <bin> [--full] [--json] [--reps N]");
+    std::process::exit(2);
+}
+
+/// Best-of-`reps` wall time of `f` (after one untimed warm-up call).
+pub fn best_of<F: FnMut()>(reps: usize, mut f: F) -> Duration {
+    f(); // warm-up: page in buffers, JIT the branch predictors
+    let mut best = Duration::MAX;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed());
+    }
+    best
+}
+
+/// The paper's efficiency metric: `(2d+3)·m·n` useful flops over the
+/// measured time, in GFLOPS.
+pub fn gflops(m: usize, n: usize, d: usize, t: Duration) -> f64 {
+    (2 * d + 3) as f64 * m as f64 * n as f64 / t.as_secs_f64() / 1e9
+}
+
+/// Millisecond count with one decimal, for table cells.
+pub fn ms(t: Duration) -> f64 {
+    t.as_secs_f64() * 1e3
+}
+
+/// Print an aligned text table: `headers` then `rows` of equal arity.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: Vec<&str>| {
+        let mut s = String::new();
+        for (w, c) in widths.iter().zip(cells) {
+            s.push_str(&format!("{c:>w$}  ", w = w));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.to_vec());
+    line(widths.iter().map(|_| "-").collect()); // visual separator row
+    for row in rows {
+        line(row.iter().map(|s| s.as_str()).collect());
+    }
+}
+
+/// Emit a machine-readable JSON row (prefixed so text parsers skip it).
+pub fn json_row(args: &HarnessArgs, value: &serde_json::Value) {
+    if args.json {
+        println!("#json {value}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gflops_definition() {
+        // 2d+3 = 5 flops per pair, 10x10 pairs, 1 second → 500 flops/s
+        let g = gflops(10, 10, 1, Duration::from_secs(1));
+        assert!((g - 500.0 / 1e9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn best_of_returns_a_small_time() {
+        let t = best_of(2, || {
+            std::hint::black_box(1 + 1);
+        });
+        assert!(t < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn print_table_handles_alignment() {
+        print_table(
+            "demo",
+            &["a", "bbbb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! `--key value` flag parsing with typed accessors and defaults.
+
+use std::collections::HashMap;
+
+/// CLI failure: a message and the exit code to use.
+#[derive(Debug, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parsed `--key value` pairs (keys without the `--` prefix).
+#[derive(Debug, Default)]
+pub struct ArgMap {
+    vals: HashMap<String, String>,
+}
+
+impl ArgMap {
+    /// Parse a flat list of tokens. Every flag must be `--key` followed
+    /// by one value; repeated keys keep the last value.
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Self, CliError> {
+        let mut vals = HashMap::new();
+        let mut it = tokens.into_iter();
+        while let Some(t) = it.next() {
+            let key = t
+                .strip_prefix("--")
+                .ok_or_else(|| CliError(format!("expected --flag, got '{t}'")))?;
+            let val = it
+                .next()
+                .ok_or_else(|| CliError(format!("--{key} needs a value")))?;
+            vals.insert(key.to_string(), val);
+        }
+        Ok(ArgMap { vals })
+    }
+
+    /// String value or default.
+    pub fn str_or(&self, key: &str, default: &str) -> String {
+        self.vals
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// Required string value.
+    pub fn str_req(&self, key: &str) -> Result<String, CliError> {
+        self.vals
+            .get(key)
+            .cloned()
+            .ok_or_else(|| CliError(format!("missing required --{key}")))
+    }
+
+    /// Typed value or default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.vals.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError(format!("--{key}: cannot parse '{v}'"))),
+        }
+    }
+}
+
+/// Parse a distance-kind label (`sq-l2`, `l1`, `linf`, `cosine`, `l<p>`).
+pub fn parse_kind(s: &str) -> Result<dataset::DistanceKind, CliError> {
+    use dataset::DistanceKind::*;
+    match s {
+        "sq-l2" | "l2" => Ok(SqL2),
+        "l1" => Ok(L1),
+        "linf" => Ok(LInf),
+        "cosine" => Ok(Cosine),
+        other => {
+            if let Some(p) = other.strip_prefix('l') {
+                let p: f64 = p
+                    .parse()
+                    .map_err(|_| CliError(format!("unknown metric '{other}'")))?;
+                if p > 0.0 {
+                    return Ok(Lp(p));
+                }
+            }
+            Err(CliError(format!("unknown metric '{other}'")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_pairs_with_defaults() {
+        let a = ArgMap::parse(toks("--n 100 --kind l1")).unwrap();
+        assert_eq!(a.get_or("n", 0usize).unwrap(), 100);
+        assert_eq!(a.get_or("d", 16usize).unwrap(), 16);
+        assert_eq!(a.str_or("kind", "sq-l2"), "l1");
+    }
+
+    #[test]
+    fn rejects_bare_values_and_missing_values() {
+        assert!(ArgMap::parse(toks("n 100")).is_err());
+        assert!(ArgMap::parse(toks("--n")).is_err());
+    }
+
+    #[test]
+    fn typed_parse_errors_are_reported() {
+        let a = ArgMap::parse(toks("--n banana")).unwrap();
+        let e = a.get_or("n", 0usize).unwrap_err();
+        assert!(e.0.contains("banana"));
+    }
+
+    #[test]
+    fn required_flags() {
+        let a = ArgMap::parse(toks("--out x.csv")).unwrap();
+        assert_eq!(a.str_req("out").unwrap(), "x.csv");
+        assert!(a.str_req("in").is_err());
+    }
+
+    #[test]
+    fn metric_labels() {
+        assert_eq!(parse_kind("l2").unwrap(), dataset::DistanceKind::SqL2);
+        assert_eq!(parse_kind("cosine").unwrap(), dataset::DistanceKind::Cosine);
+        assert_eq!(parse_kind("l3.5").unwrap(), dataset::DistanceKind::Lp(3.5));
+        assert!(parse_kind("l-1").is_err());
+        assert!(parse_kind("hamming").is_err());
+    }
+}

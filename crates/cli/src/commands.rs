@@ -1,0 +1,451 @@
+//! One function per `gsknn-cli` subcommand. Each returns the text it
+//! would print (so tests can assert on output without capturing stdout).
+
+use crate::args::{parse_kind, ArgMap, CliError};
+use cluster::{kmeans, KMeansConfig};
+use dataset::{gaussian_embedded, io, uniform, PointSet};
+use gsknn_core::model::Approach;
+use gsknn_core::{Gsknn, GsknnConfig, MachineParams, Model, ProblemSize};
+use knn_graph::{build_with_forest, connected_components, Symmetrize};
+use rkdt::{AllNnSolver, Forest, GsknnLeaf, RkdtConfig};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// `gen`: synthesize a dataset and write it as CSV.
+pub fn cmd_gen(args: &ArgMap) -> Result<String, CliError> {
+    let n: usize = args.get_or("n", 1000)?;
+    let d: usize = args.get_or("d", 16)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let dist = args.str_or("dist", "uniform");
+    let out = PathBuf::from(args.str_req("out")?);
+    let x = match dist.as_str() {
+        "uniform" => uniform(n, d, seed),
+        "gaussian" => {
+            let clusters: usize = args.get_or("clusters", 8)?;
+            gaussian_embedded(n, d, clusters, seed)
+        }
+        other => return Err(CliError(format!("unknown --dist '{other}'"))),
+    };
+    io::save_csv(&x, &out).map_err(|e| CliError(e.to_string()))?;
+    Ok(format!("wrote {n} x {d} ({dist}) to {}", out.display()))
+}
+
+fn load(args: &ArgMap) -> Result<PointSet, CliError> {
+    let path = PathBuf::from(args.str_req("in")?);
+    io::load_csv(&path).map_err(|e| CliError(format!("{}: {e}", path.display())))
+}
+
+/// `knn`: exact k nearest neighbors of the first `--m` points (or all).
+pub fn cmd_knn(args: &ArgMap) -> Result<String, CliError> {
+    let x = load(args)?;
+    let k: usize = args.get_or("k", 8)?;
+    let m: usize = args.get_or("m", x.len().min(10))?;
+    let kind = parse_kind(&args.str_or("kind", "sq-l2"))?;
+    let q: Vec<usize> = (0..m.min(x.len())).collect();
+    let r: Vec<usize> = (0..x.len()).collect();
+    let t0 = std::time::Instant::now();
+    let table = Gsknn::new(GsknnConfig::default()).run(&x, &q, &r, k, kind);
+    let dt = t0.elapsed();
+    let mut out = format!(
+        "exact {}-NN ({}) of {} queries against {} points in {dt:.2?}\n",
+        k,
+        kind.name(),
+        q.len(),
+        x.len()
+    );
+    for (i, &qi) in q.iter().enumerate().take(10) {
+        write!(out, "{qi}:").unwrap();
+        for nb in table.row(i).iter().filter(|nb| nb.idx != u32::MAX) {
+            write!(out, " {}({:.4})", nb.idx, nb.dist).unwrap();
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// `allnn`: approximate all-nearest-neighbors with the rkdt solver.
+pub fn cmd_allnn(args: &ArgMap) -> Result<String, CliError> {
+    let x = load(args)?;
+    let k: usize = args.get_or("k", 8)?;
+    let kind = parse_kind(&args.str_or("kind", "sq-l2"))?;
+    let cfg = RkdtConfig {
+        leaf_size: args.get_or("leaf", 1024)?,
+        iterations: args.get_or("iters", 6)?,
+        seed: args.get_or("seed", 1)?,
+        parallel_leaves: true,
+    };
+    let t0 = std::time::Instant::now();
+    let (table, stats) =
+        AllNnSolver::new(cfg).solve(&x, k, || GsknnLeaf::new(GsknnConfig::default(), kind), None);
+    let dt = t0.elapsed();
+    let mut out = format!("all-{k}-NN of {} points in {dt:.2?}\n", x.len());
+    for s in &stats {
+        writeln!(
+            out,
+            "iter {:>2}: {:>5.1}% rows improved, kernel {:.3}s",
+            s.iter,
+            100.0 * s.changed_fraction,
+            s.kernel_seconds
+        )
+        .unwrap();
+    }
+    if let Some(path) = args.vals_out() {
+        save_table(&table, &path)?;
+        writeln!(out, "neighbor table written to {}", path.display()).unwrap();
+    }
+    Ok(out)
+}
+
+impl ArgMap {
+    fn vals_out(&self) -> Option<PathBuf> {
+        let s = self.str_or("out", "");
+        if s.is_empty() {
+            None
+        } else {
+            Some(PathBuf::from(s))
+        }
+    }
+}
+
+fn save_table(table: &knn_select::NeighborTable, path: &std::path::Path) -> Result<(), CliError> {
+    let mut s = String::new();
+    for i in 0..table.len() {
+        for (p, nb) in table.row(i).iter().enumerate() {
+            if p > 0 {
+                s.push(',');
+            }
+            write!(s, "{}:{:.6e}", nb.idx as i64, nb.dist).unwrap();
+        }
+        s.push('\n');
+    }
+    std::fs::write(path, s).map_err(|e| CliError(e.to_string()))
+}
+
+/// `query`: out-of-sample forest search (`--in` references, `--queries`).
+pub fn cmd_query(args: &ArgMap) -> Result<String, CliError> {
+    let x = load(args)?;
+    let qpath = PathBuf::from(args.str_req("queries")?);
+    let queries = io::load_csv(&qpath).map_err(|e| CliError(e.to_string()))?;
+    let k: usize = args.get_or("k", 8)?;
+    let kind = parse_kind(&args.str_or("kind", "sq-l2"))?;
+    let trees: usize = args.get_or("trees", 8)?;
+    let leaf: usize = args.get_or("leaf", 512)?;
+    let forest = Forest::build(&x, trees, leaf, args.get_or("seed", 1)?);
+    let t0 = std::time::Instant::now();
+    let table = forest.query(&x, &queries, k, kind, GsknnConfig::default());
+    let dt = t0.elapsed();
+    let mut out = format!(
+        "{} queries x {k}-NN via {trees} trees in {dt:.2?}\n",
+        queries.len()
+    );
+    for i in 0..queries.len().min(10) {
+        write!(out, "q{i}:").unwrap();
+        for nb in table.row(i).iter().filter(|nb| nb.idx != u32::MAX) {
+            write!(out, " {}({:.4})", nb.idx, nb.dist).unwrap();
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// `kmeans`: Lloyd's clustering.
+pub fn cmd_kmeans(args: &ArgMap) -> Result<String, CliError> {
+    let x = load(args)?;
+    let cfg = KMeansConfig {
+        clusters: args.get_or("clusters", 8)?,
+        max_iters: args.get_or("iters", 50)?,
+        tol: args.get_or("tol", 1e-6)?,
+        seed: args.get_or("seed", 0xC1)?,
+    };
+    let t0 = std::time::Instant::now();
+    let res = kmeans(&x, &cfg);
+    let dt = t0.elapsed();
+    let mut sizes = vec![0usize; cfg.clusters];
+    for &a in &res.assignment {
+        sizes[a as usize] += 1;
+    }
+    Ok(format!(
+        "k-means: {} clusters over {} points, {} iterations in {dt:.2?}\ninertia {:.4}\ncluster sizes {:?}\n",
+        cfg.clusters,
+        x.len(),
+        res.iterations,
+        res.inertia,
+        sizes
+    ))
+}
+
+/// `graph`: approximate kNN graph + component statistics.
+pub fn cmd_graph(args: &ArgMap) -> Result<String, CliError> {
+    let x = load(args)?;
+    let k: usize = args.get_or("k", 8)?;
+    let kind = parse_kind(&args.str_or("kind", "sq-l2"))?;
+    let sym = match args.str_or("sym", "union").as_str() {
+        "none" => Symmetrize::None,
+        "union" => Symmetrize::Union,
+        "mutual" => Symmetrize::Mutual,
+        other => return Err(CliError(format!("unknown --sym '{other}'"))),
+    };
+    let cfg = RkdtConfig {
+        leaf_size: args.get_or("leaf", 512)?,
+        iterations: args.get_or("iters", 6)?,
+        seed: args.get_or("seed", 1)?,
+        parallel_leaves: true,
+    };
+    let t0 = std::time::Instant::now();
+    let g = build_with_forest(&x, k, kind, sym, cfg);
+    let comps = connected_components(&g);
+    let dt = t0.elapsed();
+    let (dmin, dmean, dmax) = g.degree_stats();
+    let mut sizes = comps.sizes();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    sizes.truncate(10);
+    Ok(format!(
+        "kNN graph: {} vertices, {} edges in {dt:.2?}\ndegree min/mean/max = {dmin}/{dmean:.2}/{dmax}\n{} components; largest: {:?}\n",
+        g.num_vertices(),
+        g.num_edges(),
+        comps.count(),
+        sizes
+    ))
+}
+
+/// `model`: §2.6 performance-model predictions for a problem size.
+pub fn cmd_model(args: &ArgMap) -> Result<String, CliError> {
+    let m: usize = args.get_or("m", 8192)?;
+    let n: usize = args.get_or("n", 8192)?;
+    let d: usize = args.get_or("d", 64)?;
+    let k: usize = args.get_or("k", 16)?;
+    let model = Model::new(MachineParams::ivy_bridge_1core());
+    let p = ProblemSize { m, n, d, k };
+    let mut out =
+        format!("performance model (paper Ivy Bridge constants), m={m} n={n} d={d} k={k}\n");
+    for (name, a) in [
+        ("GSKNN Var#1", Approach::Var1),
+        ("GSKNN Var#6", Approach::Var6),
+        ("GEMM+heap  ", Approach::Gemm),
+    ] {
+        writeln!(
+            out,
+            "{name}: {:>8.2} ms predicted, {:>7.2} GFLOPS",
+            model.predict(&p, a) * 1e3,
+            model.gflops(&p, a)
+        )
+        .unwrap();
+    }
+    if let Some(thr) = model.threshold_k(m, n, d, 8192) {
+        writeln!(out, "predicted Var#1→Var#6 switch at k = {thr}").unwrap();
+    }
+    Ok(out)
+}
+
+/// `stream`: demonstrate the streaming all-NN maintainer — seed from
+/// `--in`, then insert the points of `--batch` and report how the table
+/// grew (the paper's "frequent updates of X" scenario).
+pub fn cmd_stream(args: &ArgMap) -> Result<String, CliError> {
+    use rkdt::{GsknnLeaf, StreamingAllNn, StreamingConfig};
+    let x = load(args)?;
+    let batch_path = PathBuf::from(args.str_req("batch")?);
+    let batch = io::load_csv(&batch_path).map_err(|e| CliError(e.to_string()))?;
+    if batch.dim() != x.dim() {
+        return Err(CliError(format!(
+            "dimension mismatch: --in is {}-d, --batch is {}-d",
+            x.dim(),
+            batch.dim()
+        )));
+    }
+    let k: usize = args.get_or("k", 8)?;
+    let kind = parse_kind(&args.str_or("kind", "sq-l2"))?;
+    let cfg = StreamingConfig {
+        leaf_size: args.get_or("leaf", 1024)?,
+        initial_iterations: args.get_or("iters", 4)?,
+        seed: args.get_or("seed", 1)?,
+    };
+    let n0 = x.len();
+    let t0 = std::time::Instant::now();
+    let mut s = StreamingAllNn::new(x, k, cfg, GsknnLeaf::new(GsknnConfig::default(), kind));
+    let seed_time = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    let range = s.insert(batch.as_slice());
+    let insert_time = t1.elapsed();
+    let fresh = range
+        .clone()
+        .filter(|&i| s.table().row(i)[0].dist.is_finite())
+        .count();
+    Ok(format!(
+        "streamed all-{k}-NN: seeded {n0} points in {seed_time:.2?}, \
+inserted {} more in {insert_time:.2?}\ntable now covers {} points; \
+{fresh}/{} new points have neighbors immediately\n",
+        range.len(),
+        s.points().len(),
+        range.len(),
+    ))
+}
+
+/// `tune`: show detected caches and the §2.4 analytically derived
+/// blocking parameters next to the paper's.
+pub fn cmd_tune(_args: &ArgMap) -> Result<String, CliError> {
+    use gsknn_core::GemmParams;
+    let mut out = String::new();
+    match gemm_kernel::CacheSizes::detect() {
+        Some(c) => {
+            writeln!(
+                out,
+                "detected caches: L1d {} KB, L2 {} KB, L3 {} KB",
+                c.l1d / 1024,
+                c.l2 / 1024,
+                c.l3 / 1024
+            )
+            .unwrap();
+            let p = GemmParams::for_caches(&c);
+            writeln!(
+                out,
+                "derived  : dc = {:>5}, mc = {:>5}, nc = {:>6}",
+                p.dc, p.mc, p.nc
+            )
+            .unwrap();
+        }
+        None => writeln!(out, "cache detection failed; using paper parameters").unwrap(),
+    }
+    let ivy = GemmParams::ivy_bridge();
+    writeln!(
+        out,
+        "paper    : dc = {:>5}, mc = {:>5}, nc = {:>6} (Ivy Bridge)",
+        ivy.dc, ivy.mc, ivy.nc
+    )
+    .unwrap();
+    Ok(out)
+}
+
+/// Top-level usage text.
+pub fn usage() -> String {
+    "gsknn-cli <command> [--flag value ...]\n\
+     commands:\n\
+     \x20 gen     --out F [--n 1000 --d 16 --dist uniform|gaussian --clusters 8 --seed 42]\n\
+     \x20 knn     --in F [--k 8 --m 10 --kind sq-l2|l1|linf|cosine|l<p>]\n\
+     \x20 allnn   --in F [--k 8 --leaf 1024 --iters 6 --kind ... --out TABLE]\n\
+     \x20 query   --in F --queries F [--k 8 --trees 8 --leaf 512 --kind ...]\n\
+     \x20 kmeans  --in F [--clusters 8 --iters 50 --tol 1e-6 --seed 193]\n\
+     \x20 graph   --in F [--k 8 --sym none|union|mutual --leaf 512 --iters 6]\n\
+     \x20 model   [--m 8192 --n 8192 --d 64 --k 16]\n\
+     \x20 stream  --in F --batch F [--k 8 --leaf 1024 --iters 4]\n\
+     \x20 tune    (show detected caches + derived blocking parameters)\n"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir() -> PathBuf {
+        let p = std::env::temp_dir().join(format!("gsknn-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    fn argmap(s: &str) -> ArgMap {
+        ArgMap::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn gen_then_knn_round_trip() {
+        let dir = tmpdir();
+        let f = dir.join("pts.csv");
+        let msg = cmd_gen(&argmap(&format!("--n 200 --d 8 --out {}", f.display()))).unwrap();
+        assert!(msg.contains("200 x 8"));
+        let out = cmd_knn(&argmap(&format!("--in {} --k 3 --m 5", f.display()))).unwrap();
+        // each of the first queries is its own nearest neighbor
+        assert!(out.contains("0: 0(0.0000)"), "{out}");
+        std::fs::remove_file(f).ok();
+    }
+
+    #[test]
+    fn gen_rejects_unknown_dist() {
+        let e = cmd_gen(&argmap("--out /tmp/x.csv --dist banana")).unwrap_err();
+        assert!(e.0.contains("banana"));
+    }
+
+    #[test]
+    fn model_reports_all_three() {
+        let out = cmd_model(&argmap("--d 16 --k 16")).unwrap();
+        assert!(out.contains("Var#1") && out.contains("GEMM"));
+        assert!(out.contains("switch at k"));
+    }
+
+    #[test]
+    fn graph_and_kmeans_run_end_to_end() {
+        let dir = tmpdir();
+        let f = dir.join("blob.csv");
+        cmd_gen(&argmap(&format!(
+            "--n 300 --d 16 --dist gaussian --clusters 3 --out {}",
+            f.display()
+        )))
+        .unwrap();
+        let g = cmd_graph(&argmap(&format!(
+            "--in {} --k 4 --iters 3 --leaf 64",
+            f.display()
+        )))
+        .unwrap();
+        assert!(g.contains("components"), "{g}");
+        let km = cmd_kmeans(&argmap(&format!("--in {} --clusters 3", f.display()))).unwrap();
+        assert!(km.contains("inertia"), "{km}");
+        std::fs::remove_file(f).ok();
+    }
+
+    #[test]
+    fn stream_inserts_batch() {
+        let dir = tmpdir();
+        let base = dir.join("base.csv");
+        let batch = dir.join("batch.csv");
+        cmd_gen(&argmap(&format!("--n 150 --d 5 --out {}", base.display()))).unwrap();
+        cmd_gen(&argmap(&format!("--n 30 --d 5 --seed 7 --out {}", batch.display()))).unwrap();
+        let out = cmd_stream(&argmap(&format!(
+            "--in {} --batch {} --k 3 --leaf 64",
+            base.display(),
+            batch.display()
+        )))
+        .unwrap();
+        assert!(out.contains("table now covers 180 points"), "{out}");
+        assert!(out.contains("30/30 new points"), "{out}");
+        std::fs::remove_file(base).ok();
+        std::fs::remove_file(batch).ok();
+    }
+
+    #[test]
+    fn stream_rejects_dim_mismatch() {
+        let dir = tmpdir();
+        let base = dir.join("b5.csv");
+        let batch = dir.join("b6.csv");
+        cmd_gen(&argmap(&format!("--n 20 --d 5 --out {}", base.display()))).unwrap();
+        cmd_gen(&argmap(&format!("--n 5 --d 6 --out {}", batch.display()))).unwrap();
+        let err = cmd_stream(&argmap(&format!(
+            "--in {} --batch {}",
+            base.display(),
+            batch.display()
+        )))
+        .unwrap_err();
+        assert!(err.0.contains("dimension mismatch"));
+        std::fs::remove_file(base).ok();
+        std::fs::remove_file(batch).ok();
+    }
+
+    #[test]
+    fn query_out_of_sample() {
+        let dir = tmpdir();
+        let refs = dir.join("refs.csv");
+        let qs = dir.join("qs.csv");
+        cmd_gen(&argmap(&format!("--n 300 --d 6 --out {}", refs.display()))).unwrap();
+        cmd_gen(&argmap(&format!(
+            "--n 5 --d 6 --seed 9 --out {}",
+            qs.display()
+        )))
+        .unwrap();
+        let out = cmd_query(&argmap(&format!(
+            "--in {} --queries {} --k 3 --trees 4 --leaf 64",
+            refs.display(),
+            qs.display()
+        )))
+        .unwrap();
+        assert!(out.contains("q0:"), "{out}");
+        std::fs::remove_file(refs).ok();
+        std::fs::remove_file(qs).ok();
+    }
+}

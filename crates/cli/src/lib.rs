@@ -1,0 +1,11 @@
+//! Argument parsing and command implementations for `gsknn-cli`.
+//!
+//! A deliberately dependency-free flag parser (`--key value` pairs after
+//! a subcommand) plus one function per subcommand, kept in a library so
+//! the parsing and command logic are unit-testable without spawning the
+//! binary.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{ArgMap, CliError};

@@ -1,0 +1,39 @@
+//! `gsknn-cli` — the command-line face of the GSKNN reproduction.
+
+use cli::commands;
+use cli::ArgMap;
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let cmd = match argv.next() {
+        Some(c) => c,
+        None => {
+            eprint!("{}", commands::usage());
+            std::process::exit(2);
+        }
+    };
+    let rest: Vec<String> = argv.collect();
+    let result = ArgMap::parse(rest).and_then(|args| match cmd.as_str() {
+        "gen" => commands::cmd_gen(&args),
+        "knn" => commands::cmd_knn(&args),
+        "allnn" => commands::cmd_allnn(&args),
+        "query" => commands::cmd_query(&args),
+        "kmeans" => commands::cmd_kmeans(&args),
+        "graph" => commands::cmd_graph(&args),
+        "model" => commands::cmd_model(&args),
+        "stream" => commands::cmd_stream(&args),
+        "tune" => commands::cmd_tune(&args),
+        "help" | "--help" | "-h" => Ok(commands::usage()),
+        other => Err(cli::CliError(format!(
+            "unknown command '{other}'\n{}",
+            commands::usage()
+        ))),
+    });
+    match result {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Lloyd's k-means with k-means++ initialization; the assignment step
+//! runs through the GSKNN cross-table kernel.
+
+use dataset::{dist_sq_l2, DistanceKind, PointSet};
+use gsknn_core::{Gsknn, GsknnConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// k-means configuration.
+#[derive(Clone, Debug)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Stop when the relative inertia improvement falls below this.
+    pub tol: f64,
+    /// RNG seed (initialization).
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig {
+            clusters: 8,
+            max_iters: 50,
+            tol: 1e-6,
+            seed: 0xC1,
+        }
+    }
+}
+
+/// k-means output.
+#[derive(Clone, Debug)]
+pub struct KMeansResult {
+    /// Final centroids (`clusters` points).
+    pub centroids: PointSet,
+    /// Cluster id per input point.
+    pub assignment: Vec<u32>,
+    /// Sum of squared distances to assigned centroids.
+    pub inertia: f64,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+    /// Inertia after each iteration (non-increasing).
+    pub history: Vec<f64>,
+}
+
+/// Run Lloyd's algorithm on `x`.
+///
+/// ```
+/// use cluster::{kmeans, KMeansConfig};
+/// let x = dataset::gaussian_embedded(300, 16, 3, 42);
+/// let res = kmeans(&x, &KMeansConfig { clusters: 3, ..Default::default() });
+/// assert_eq!(res.assignment.len(), 300);
+/// assert!(res.history.windows(2).all(|w| w[1] <= w[0] + 1e-9)); // inertia monotone
+/// ```
+///
+/// # Panics
+/// If `clusters` is 0 or exceeds the number of points.
+pub fn kmeans(x: &PointSet, cfg: &KMeansConfig) -> KMeansResult {
+    let n = x.len();
+    let d = x.dim();
+    let kc = cfg.clusters;
+    assert!(kc >= 1, "need at least one cluster");
+    assert!(kc <= n, "more clusters than points");
+
+    let mut centroids = kmeanspp_init(x, kc, cfg.seed);
+    let all: Vec<usize> = (0..n).collect();
+    let cent_ids: Vec<usize> = (0..kc).collect();
+    let mut exec = Gsknn::new(GsknnConfig::default());
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5EED);
+
+    let mut assignment = vec![0u32; n];
+    let mut inertia = f64::INFINITY;
+    let mut history = Vec::new();
+    let mut iterations = 0;
+
+    for _ in 0..cfg.max_iters {
+        iterations += 1;
+        // assignment: 1-NN of every point against the centroid table
+        let cents = PointSet::from_vec(d, kc, centroids.clone());
+        let table = exec.run_cross(x, &all, &cents, &cent_ids, 1, DistanceKind::SqL2);
+        let mut new_inertia = 0.0;
+        for i in 0..n {
+            let nb = table.row(i)[0];
+            assignment[i] = nb.idx;
+            new_inertia += nb.dist;
+        }
+        history.push(new_inertia);
+
+        // update: centroid = mean of its members; empty clusters reseed
+        // to the point farthest from its centroid
+        let mut sums = vec![0.0f64; kc * d];
+        let mut counts = vec![0usize; kc];
+        for i in 0..n {
+            let c = assignment[i] as usize;
+            counts[c] += 1;
+            for (s, v) in sums[c * d..(c + 1) * d].iter_mut().zip(x.point(i)) {
+                *s += v;
+            }
+        }
+        for c in 0..kc {
+            if counts[c] == 0 {
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        table.row(a)[0]
+                            .dist
+                            .partial_cmp(&table.row(b)[0].dist)
+                            .unwrap()
+                    })
+                    .unwrap_or_else(|| rng.gen_range(0..n));
+                centroids[c * d..(c + 1) * d].copy_from_slice(x.point(far));
+            } else {
+                for (slot, s) in centroids[c * d..(c + 1) * d].iter_mut().zip(&sums[c * d..]) {
+                    *slot = s / counts[c] as f64;
+                }
+            }
+        }
+
+        let improved = inertia.is_infinite() || inertia - new_inertia > cfg.tol * inertia;
+        inertia = new_inertia;
+        if !improved {
+            break;
+        }
+    }
+
+    KMeansResult {
+        centroids: PointSet::from_vec(d, kc, centroids),
+        assignment,
+        inertia,
+        iterations,
+        history,
+    }
+}
+
+/// k-means++ seeding: first centroid uniform, each next with probability
+/// proportional to the squared distance to the nearest chosen centroid.
+fn kmeanspp_init(x: &PointSet, kc: usize, seed: u64) -> Vec<f64> {
+    let n = x.len();
+    let d = x.dim();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut centroids = Vec::with_capacity(kc * d);
+    let first = rng.gen_range(0..n);
+    centroids.extend_from_slice(x.point(first));
+
+    let mut best_d2: Vec<f64> = (0..n)
+        .map(|i| dist_sq_l2(x.point(i), x.point(first)))
+        .collect();
+    for _ in 1..kc {
+        let total: f64 = best_d2.iter().sum();
+        let next = if total <= 0.0 {
+            rng.gen_range(0..n) // all points identical to some centroid
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut pick = n - 1;
+            for (i, &w) in best_d2.iter().enumerate() {
+                if target < w {
+                    pick = i;
+                    break;
+                }
+                target -= w;
+            }
+            pick
+        };
+        centroids.extend_from_slice(x.point(next));
+        for i in 0..n {
+            best_d2[i] = best_d2[i].min(dist_sq_l2(x.point(i), x.point(next)));
+        }
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::uniform;
+
+    /// Three well-separated blobs in 2-d.
+    fn blobs() -> (PointSet, Vec<u32>) {
+        let centers = [[0.0, 0.0], [10.0, 10.0], [-10.0, 10.0]];
+        let mut data = Vec::new();
+        let mut truth = Vec::new();
+        let mut state = 7u64;
+        let mut jitter = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 0.8
+        };
+        for (c, center) in centers.iter().enumerate() {
+            for _ in 0..40 {
+                data.push(center[0] + jitter());
+                data.push(center[1] + jitter());
+                truth.push(c as u32);
+            }
+        }
+        (PointSet::from_vec(2, 120, data), truth)
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let (x, truth) = blobs();
+        let res = kmeans(
+            &x,
+            &KMeansConfig {
+                clusters: 3,
+                ..Default::default()
+            },
+        );
+        // same-blob points share a cluster, cross-blob points differ
+        for i in 0..120 {
+            for j in 0..120 {
+                let same_truth = truth[i] == truth[j];
+                let same_pred = res.assignment[i] == res.assignment[j];
+                assert_eq!(same_truth, same_pred, "points {i},{j}");
+            }
+        }
+        assert!(res.inertia < 120.0 * 0.5, "inertia {}", res.inertia);
+    }
+
+    #[test]
+    fn inertia_is_monotone_nonincreasing() {
+        let x = uniform(300, 6, 11);
+        let res = kmeans(
+            &x,
+            &KMeansConfig {
+                clusters: 10,
+                max_iters: 20,
+                tol: 0.0,
+                seed: 3,
+            },
+        );
+        for w in res.history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "inertia increased: {:?}", res.history);
+        }
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let x = uniform(12, 3, 5);
+        let res = kmeans(
+            &x,
+            &KMeansConfig {
+                clusters: 12,
+                max_iters: 30,
+                tol: 0.0,
+                seed: 1,
+            },
+        );
+        assert!(res.inertia < 1e-9, "inertia {}", res.inertia);
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let x = uniform(50, 4, 9);
+        let res = kmeans(
+            &x,
+            &KMeansConfig {
+                clusters: 1,
+                max_iters: 5,
+                tol: 0.0,
+                seed: 2,
+            },
+        );
+        for p in 0..4 {
+            let mean: f64 = (0..50).map(|i| x.point(i)[p]).sum::<f64>() / 50.0;
+            assert!((res.centroids.point(0)[p] - mean).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more clusters than points")]
+    fn too_many_clusters_panics() {
+        let x = uniform(3, 2, 1);
+        kmeans(
+            &x,
+            &KMeansConfig {
+                clusters: 5,
+                ..Default::default()
+            },
+        );
+    }
+}

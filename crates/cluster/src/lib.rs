@@ -1,0 +1,12 @@
+//! Clustering on the kNN kernel.
+//!
+//! The paper's conclusion lists "integration with other higher-level
+//! algorithms for clustering and learning" as ongoing work; this crate is
+//! that integration for Lloyd's k-means: the assignment step — find each
+//! point's nearest centroid — is exactly a cross-table kNN kernel call
+//! with `k = 1` (queries = the points, references = the centroids), so
+//! the fused kernel's throughput carries straight through to clustering.
+
+mod kmeans;
+
+pub use kmeans::{kmeans, KMeansConfig, KMeansResult};

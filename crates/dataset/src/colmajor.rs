@@ -1,0 +1,215 @@
+//! The global coordinate table `X ∈ R^{d×N}` of Table 2, stored
+//! column-major so each point's `d` coordinates are contiguous, together
+//! with the precomputed squared 2-norms `X2(i) = ‖x_i‖²`.
+
+/// Column-major `d × N` point set with cached squared norms.
+///
+/// This is the "general stride" input of GSKNN: kernels receive a
+/// `PointSet` plus index slices `q`/`r` naming which columns participate,
+/// and gather-pack straight from here (§2.3 "Packing") instead of first
+/// materializing dense `Q`/`R` matrices.
+///
+/// ```
+/// use dataset::PointSet;
+/// // two points in 3-d: (1,0,0) and (0,2,0)
+/// let x = PointSet::from_vec(3, 2, vec![1.0, 0.0, 0.0, 0.0, 2.0, 0.0]);
+/// assert_eq!(x.point(1), &[0.0, 2.0, 0.0]);
+/// assert_eq!(x.sqnorm(1), 4.0); // cached X2 table
+/// ```
+#[derive(Clone, Debug)]
+pub struct PointSet {
+    d: usize,
+    n: usize,
+    /// Point `j` occupies `data[j*d .. (j+1)*d]`.
+    data: Vec<f64>,
+    /// `sqnorms[j] = ‖x_j‖²` — the `X2` table.
+    sqnorms: Vec<f64>,
+}
+
+impl PointSet {
+    /// Wrap a column-major buffer (`data.len() == d * n`); computes `X2`.
+    ///
+    /// # Panics
+    /// If the buffer length does not match, or any coordinate is non-finite
+    /// (NaN/±∞ coordinates would poison every distance comparison, so they
+    /// are rejected once here instead of being checked in the hot loops).
+    pub fn from_vec(d: usize, n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), d * n, "buffer is not d*n long");
+        assert!(
+            data.iter().all(|x| x.is_finite()),
+            "non-finite coordinate in point set"
+        );
+        let sqnorms = (0..n)
+            .map(|j| data[j * d..(j + 1) * d].iter().map(|x| x * x).sum())
+            .collect();
+        PointSet {
+            d,
+            n,
+            data,
+            sqnorms,
+        }
+    }
+
+    /// Dimension `d`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// Number of points `N`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the set holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Coordinates of point `j` (`X(:, j)`).
+    #[inline(always)]
+    pub fn point(&self, j: usize) -> &[f64] {
+        &self.data[j * self.d..(j + 1) * self.d]
+    }
+
+    /// A `dc`-long slice of point `j` starting at coordinate `pc`
+    /// (`X(pc:pc+dc-1, j)`) — what the 5th loop packs.
+    #[inline(always)]
+    pub fn point_slab(&self, j: usize, pc: usize, dc: usize) -> &[f64] {
+        debug_assert!(pc + dc <= self.d);
+        &self.data[j * self.d + pc..j * self.d + pc + dc]
+    }
+
+    /// `X2(j) = ‖x_j‖²`.
+    #[inline(always)]
+    pub fn sqnorm(&self, j: usize) -> f64 {
+        self.sqnorms[j]
+    }
+
+    /// The raw column-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The full `X2` table.
+    #[inline]
+    pub fn sqnorms(&self) -> &[f64] {
+        &self.sqnorms
+    }
+
+    /// Gather a dense column-major `d × idx.len()` matrix `X(:, idx)` —
+    /// the explicit collection step of the GEMM approach (Algorithm 2.1),
+    /// which GSKNN avoids.
+    pub fn gather(&self, idx: &[usize]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.d * idx.len());
+        for &j in idx {
+            out.extend_from_slice(self.point(j));
+        }
+        out
+    }
+
+    /// Append points (column-major, `coords.len()` a multiple of `d`),
+    /// returning the id range they received. Existing ids are stable —
+    /// the streaming all-NN maintainer relies on this (§1: "frequent
+    /// updates of X").
+    ///
+    /// # Panics
+    /// On a ragged buffer or non-finite coordinates.
+    pub fn append(&mut self, coords: &[f64]) -> std::ops::Range<usize> {
+        assert!(self.d > 0, "cannot append to a 0-dimensional set");
+        assert_eq!(
+            coords.len() % self.d,
+            0,
+            "buffer is not a whole number of points"
+        );
+        assert!(
+            coords.iter().all(|x| x.is_finite()),
+            "non-finite coordinate in appended points"
+        );
+        let added = coords.len() / self.d;
+        let start = self.n;
+        self.data.extend_from_slice(coords);
+        self.sqnorms.extend(
+            coords
+                .chunks_exact(self.d)
+                .map(|p| p.iter().map(|x| x * x).sum::<f64>()),
+        );
+        self.n += added;
+        start..self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sqnorms_match_manual() {
+        let ps = PointSet::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 0.0, -2.0]);
+        assert_eq!(ps.sqnorm(0), 5.0);
+        assert_eq!(ps.sqnorm(1), 25.0);
+        assert_eq!(ps.sqnorm(2), 4.0);
+    }
+
+    #[test]
+    fn point_views_are_columns() {
+        let ps = PointSet::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(ps.point(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(ps.point(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(ps.point_slab(1, 1, 2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn gather_collects_in_index_order() {
+        let ps = PointSet::from_vec(2, 3, vec![0.0, 1.0, 10.0, 11.0, 20.0, 21.0]);
+        assert_eq!(ps.gather(&[2, 0]), vec![20.0, 21.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_nan() {
+        PointSet::from_vec(1, 2, vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer is not d*n long")]
+    fn rejects_bad_shape() {
+        PointSet::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn empty_set_is_fine() {
+        let ps = PointSet::from_vec(4, 0, Vec::new());
+        assert!(ps.is_empty());
+        assert_eq!(ps.dim(), 4);
+    }
+
+    #[test]
+    fn append_extends_ids_and_norms() {
+        let mut ps = PointSet::from_vec(2, 1, vec![1.0, 2.0]);
+        let range = ps.append(&[3.0, 4.0, 0.0, 1.0]);
+        assert_eq!(range, 1..3);
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps.point(0), &[1.0, 2.0]); // existing ids stable
+        assert_eq!(ps.point(1), &[3.0, 4.0]);
+        assert_eq!(ps.sqnorm(1), 25.0);
+        assert_eq!(ps.sqnorm(2), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of points")]
+    fn append_rejects_ragged() {
+        let mut ps = PointSet::from_vec(2, 1, vec![1.0, 2.0]);
+        ps.append(&[3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn append_rejects_nan() {
+        let mut ps = PointSet::from_vec(1, 1, vec![1.0]);
+        ps.append(&[f64::NAN]);
+    }
+}

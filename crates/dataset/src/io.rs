@@ -1,0 +1,116 @@
+//! Plain-text point-set I/O: one point per line, coordinates separated
+//! by commas. Human-greppable and adequate for the CLI's scale; the
+//! in-memory representation stays column-major.
+
+use crate::PointSet;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+
+/// Write `x` as CSV (one row per point).
+pub fn save_csv(x: &PointSet, path: &Path) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    let mut line = String::new();
+    for j in 0..x.len() {
+        line.clear();
+        for (p, v) in x.point(j).iter().enumerate() {
+            if p > 0 {
+                line.push(',');
+            }
+            // enough digits to round-trip f64 exactly
+            write!(line, "{v:.17e}").expect("string write");
+        }
+        line.push('\n');
+        f.write_all(line.as_bytes())?;
+    }
+    Ok(())
+}
+
+/// Read a CSV point set (all rows must have the same arity; blank lines
+/// skipped). Errors on parse failure or ragged rows.
+pub fn load_csv(path: &Path) -> std::io::Result<PointSet> {
+    let f = BufReader::new(std::fs::File::open(path)?);
+    let mut data: Vec<f64> = Vec::new();
+    let mut d: Option<usize> = None;
+    let mut n = 0usize;
+    for (lineno, line) in f.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        let row: Result<Vec<f64>, _> = t.split(',').map(|v| v.trim().parse::<f64>()).collect();
+        let row = row.map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("line {}: {e}", lineno + 1),
+            )
+        })?;
+        match d {
+            None => d = Some(row.len()),
+            Some(d0) if d0 != row.len() => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "line {}: expected {} columns, got {}",
+                        lineno + 1,
+                        d0,
+                        row.len()
+                    ),
+                ));
+            }
+            _ => {}
+        }
+        data.extend(row);
+        n += 1;
+    }
+    let d = d.unwrap_or(0);
+    Ok(PointSet::from_vec(d, n, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("gsknn-io-test-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn round_trip_exact() {
+        let x = uniform(37, 5, 77);
+        let p = tmp("roundtrip.csv");
+        save_csv(&x, &p).unwrap();
+        let y = load_csv(&p).unwrap();
+        assert_eq!(x.as_slice(), y.as_slice());
+        assert_eq!(y.dim(), 5);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let p = tmp("ragged.csv");
+        std::fs::write(&p, "1,2,3\n4,5\n").unwrap();
+        let err = load_csv(&p).unwrap_err();
+        assert!(err.to_string().contains("expected 3 columns"));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        let p = tmp("garbage.csv");
+        std::fs::write(&p, "1,banana\n").unwrap();
+        assert!(load_csv(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn empty_file_is_empty_set() {
+        let p = tmp("empty.csv");
+        std::fs::write(&p, "\n\n").unwrap();
+        let x = load_csv(&p).unwrap();
+        assert!(x.is_empty());
+        std::fs::remove_file(&p).ok();
+    }
+}

@@ -1,0 +1,13 @@
+//! Datasets for the GSKNN reproduction: the column-major coordinate table
+//! `X` of Table 2 ([`PointSet`]), the synthetic generators used in the
+//! paper's experiments (§3 "Dataset"), and scalar distance functions that
+//! serve as the single source of truth for every kernel in the workspace.
+
+mod colmajor;
+pub mod io;
+mod metrics;
+mod synthetic;
+
+pub use colmajor::PointSet;
+pub use metrics::{dist_cosine, dist_l1, dist_linf, dist_lp, dist_sq_l2, DistanceKind};
+pub use synthetic::{gaussian_embedded, swiss_roll, uniform, uniform_with};

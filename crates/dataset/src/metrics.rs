@@ -1,0 +1,181 @@
+//! Scalar distance functions — the single source of truth every optimized
+//! kernel in the workspace is tested against, covering the ℓp family the
+//! paper's micro-kernel supports (§2.4 "General ℓp norm").
+
+/// Which distance the kernel computes. `SqL2` is the squared Euclidean
+/// distance of the GEMM expansion (Eq. 1); the others are the direct-form
+/// norms only the fused kernel can compute.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DistanceKind {
+    /// Squared ℓ2: `Σ (a_i − b_i)²` (what GEMM-based kNN computes).
+    SqL2,
+    /// ℓ1 / Manhattan: `Σ |a_i − b_i|`.
+    L1,
+    /// ℓ∞ / Chebyshev: `max |a_i − b_i|`.
+    LInf,
+    /// General ℓp (p > 0): `Σ |a_i − b_i|^p` — returned **without** the
+    /// final `1/p` root, matching the squared-ℓ2 convention (monotone in
+    /// the true distance, so neighbor ordering is unchanged).
+    Lp(f64),
+    /// Cosine distance `1 − aᵀb / (‖a‖·‖b‖)` ∈ [0, 2] — the other metric
+    /// the GEMM decomposition supports (it shares the inner-product /
+    /// norms structure of Eq. 1). A zero-norm operand yields distance 1
+    /// (the "uncorrelated" convention), never NaN.
+    Cosine,
+}
+
+impl DistanceKind {
+    /// Evaluate this distance between two equal-length coordinate slices.
+    #[inline]
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        match *self {
+            DistanceKind::SqL2 => dist_sq_l2(a, b),
+            DistanceKind::L1 => dist_l1(a, b),
+            DistanceKind::LInf => dist_linf(a, b),
+            DistanceKind::Lp(p) => dist_lp(a, b, p),
+            DistanceKind::Cosine => dist_cosine(a, b),
+        }
+    }
+
+    /// Short label for reports.
+    pub fn name(&self) -> String {
+        match *self {
+            DistanceKind::SqL2 => "sq-l2".to_string(),
+            DistanceKind::L1 => "l1".to_string(),
+            DistanceKind::LInf => "linf".to_string(),
+            DistanceKind::Lp(p) => format!("l{p}"),
+            DistanceKind::Cosine => "cosine".to_string(),
+        }
+    }
+}
+
+/// Squared Euclidean distance `‖a − b‖²`, direct form.
+#[inline]
+pub fn dist_sq_l2(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let t = x - y;
+            t * t
+        })
+        .sum()
+}
+
+/// Manhattan distance `Σ|a_i − b_i|`.
+#[inline]
+pub fn dist_l1(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Chebyshev distance `max|a_i − b_i|`.
+#[inline]
+pub fn dist_linf(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Cosine distance `1 − cos(a, b)`; 1 when either operand has zero norm.
+#[inline]
+pub fn dist_cosine(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut dot = 0.0;
+    let mut na = 0.0;
+    let mut nb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    let denom = (na * nb).sqrt();
+    if denom > 0.0 {
+        1.0 - dot / denom
+    } else {
+        1.0
+    }
+}
+
+/// `Σ|a_i − b_i|^p` (no final root; see [`DistanceKind::Lp`]).
+#[inline]
+pub fn dist_lp(a: &[f64], b: &[f64], p: f64) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    assert!(p > 0.0, "lp norm requires p > 0");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs().powf(p)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: [f64; 3] = [1.0, 2.0, 3.0];
+    const B: [f64; 3] = [4.0, 0.0, 3.0];
+
+    #[test]
+    fn sq_l2() {
+        assert_eq!(dist_sq_l2(&A, &B), 9.0 + 4.0);
+    }
+
+    #[test]
+    fn l1() {
+        assert_eq!(dist_l1(&A, &B), 5.0);
+    }
+
+    #[test]
+    fn linf() {
+        assert_eq!(dist_linf(&A, &B), 3.0);
+    }
+
+    #[test]
+    fn lp_2_matches_sq_l2() {
+        assert!((dist_lp(&A, &B, 2.0) - dist_sq_l2(&A, &B)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lp_1_matches_l1() {
+        assert!((dist_lp(&A, &B, 1.0) - dist_l1(&A, &B)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_distance_to_self() {
+        for kind in [
+            DistanceKind::SqL2,
+            DistanceKind::L1,
+            DistanceKind::LInf,
+            DistanceKind::Lp(3.0),
+        ] {
+            assert_eq!(kind.eval(&A, &A), 0.0, "{}", kind.name());
+        }
+        assert!(DistanceKind::Cosine.eval(&A, &A).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_basics() {
+        // orthogonal -> 1, parallel -> 0, antiparallel -> 2
+        assert!((dist_cosine(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!(dist_cosine(&[2.0, 0.0], &[5.0, 0.0]).abs() < 1e-12);
+        assert!((dist_cosine(&[1.0, 0.0], &[-3.0, 0.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_zero_norm_is_one_not_nan() {
+        let z = [0.0, 0.0];
+        assert_eq!(dist_cosine(&z, &[1.0, 2.0]), 1.0);
+        assert_eq!(dist_cosine(&z, &z), 1.0);
+    }
+
+    #[test]
+    fn dispatch_table_names() {
+        assert_eq!(DistanceKind::Cosine.name(), "cosine");
+        assert_eq!(DistanceKind::Lp(1.5).name(), "l1.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "p > 0")]
+    fn lp_rejects_nonpositive_p() {
+        dist_lp(&A, &B, 0.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! 64-byte-aligned, reusable `f64` buffers for packed panels.
+//!
+//! Packing (§2.3 of the paper) exists precisely so the micro-kernel can
+//! stream aligned, contiguous panels; a `Vec<f64>` only guarantees 8-byte
+//! alignment, so we allocate with an explicit 64-byte (cache-line /
+//! AVX-512-friendly) layout.
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+
+/// Cache-line alignment for packed panels.
+pub const ALIGN: usize = 64;
+
+/// An owned, 64-byte-aligned `f64` buffer that can be resized (grow-only)
+/// without reallocating when capacity suffices — the per-thread packing
+/// workspace is reused across kernel invocations so the hot path never
+/// allocates.
+pub struct AlignedBuf {
+    ptr: *mut f64,
+    len: usize,
+    cap: usize,
+}
+
+// SAFETY: AlignedBuf owns its allocation exclusively (no aliasing), so
+// transferring it across threads is sound, as is sharing &AlignedBuf.
+unsafe impl Send for AlignedBuf {}
+unsafe impl Sync for AlignedBuf {}
+
+impl AlignedBuf {
+    /// Empty buffer (no allocation until first `resize`).
+    pub fn new() -> Self {
+        AlignedBuf {
+            ptr: std::ptr::null_mut(),
+            len: 0,
+            cap: 0,
+        }
+    }
+
+    /// Buffer of `len` zeroed elements.
+    pub fn zeroed(len: usize) -> Self {
+        let mut b = Self::new();
+        b.resize(len);
+        b
+    }
+
+    /// Set the logical length, reallocating (zeroed) only when `len`
+    /// exceeds the current capacity. Contents after a growing resize are
+    /// unspecified-but-initialized (zero for fresh memory); packing always
+    /// overwrites the region it uses.
+    pub fn resize(&mut self, len: usize) {
+        if len > self.cap {
+            let new_cap = len.next_power_of_two().max(1024);
+            let layout = Layout::from_size_align(new_cap * 8, ALIGN).expect("layout");
+            // SAFETY: layout has non-zero size (new_cap >= 1024).
+            let ptr = unsafe { alloc_zeroed(layout) } as *mut f64;
+            if ptr.is_null() {
+                handle_alloc_error(layout);
+            }
+            self.free();
+            self.ptr = ptr;
+            self.cap = new_cap;
+        }
+        self.len = len;
+    }
+
+    /// Current logical length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the logical length is zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Immutable view.
+    #[inline(always)]
+    pub fn as_slice(&self) -> &[f64] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: ptr valid for cap >= len elements, properly aligned,
+        // initialized (alloc_zeroed + only f64 writes).
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// Mutable view.
+    #[inline(always)]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        if self.len == 0 {
+            return &mut [];
+        }
+        // SAFETY: as above, plus exclusive access through &mut self.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
+    }
+
+    fn free(&mut self) {
+        if !self.ptr.is_null() {
+            let layout = Layout::from_size_align(self.cap * 8, ALIGN).expect("layout");
+            // SAFETY: ptr was allocated with exactly this layout.
+            unsafe { dealloc(self.ptr as *mut u8, layout) };
+            self.ptr = std::ptr::null_mut();
+            self.cap = 0;
+        }
+    }
+}
+
+impl Default for AlignedBuf {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for AlignedBuf {
+    fn drop(&mut self) {
+        self.free();
+    }
+}
+
+impl std::fmt::Debug for AlignedBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlignedBuf")
+            .field("len", &self.len)
+            .field("cap", &self.cap)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_is_64_bytes() {
+        let b = AlignedBuf::zeroed(17);
+        assert_eq!(b.as_slice().as_ptr() as usize % ALIGN, 0);
+        assert_eq!(b.len(), 17);
+        assert!(b.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn grow_preserves_alignment_and_shrink_keeps_alloc() {
+        let mut b = AlignedBuf::new();
+        assert!(b.is_empty());
+        b.resize(4000);
+        let p1 = b.as_slice().as_ptr();
+        b.resize(100); // shrink: no realloc
+        assert_eq!(b.as_slice().as_ptr(), p1);
+        b.resize(3000); // within cap: no realloc
+        assert_eq!(b.as_slice().as_ptr(), p1);
+        b.resize(10_000); // grow: realloc, still aligned
+        assert_eq!(b.as_slice().as_ptr() as usize % ALIGN, 0);
+        assert_eq!(b.len(), 10_000);
+    }
+
+    #[test]
+    fn writes_round_trip() {
+        let mut b = AlignedBuf::zeroed(8);
+        b.as_mut_slice()[3] = 42.0;
+        assert_eq!(b.as_slice()[3], 42.0);
+    }
+}

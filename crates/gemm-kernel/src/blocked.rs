@@ -1,0 +1,375 @@
+//! The five-loop blocked GEMM (Goto algorithm): loops 6→2 in C around the
+//! micro-kernel, with packed panels sized by [`GemmParams`].
+
+use crate::aligned::AlignedBuf;
+use crate::microkernel::{microkernel_dispatch, MR, NR};
+use crate::packing::{pack_a_panel, pack_b_panel};
+use crate::params::GemmParams;
+
+/// Reusable packing buffers so repeated GEMM calls never allocate.
+#[derive(Default, Debug)]
+pub struct GemmWorkspace {
+    a_pack: AlignedBuf,
+    b_pack: AlignedBuf,
+}
+
+impl GemmWorkspace {
+    /// Fresh (empty) workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// `C (m×n, row-major) = alpha · Aᵀ·B + beta · C` with `A` (`d×m`) and `B`
+/// (`d×n`) column-major.
+///
+/// This is Algorithm 2.1's GEMM building block. `beta` is applied in one
+/// pass up front (the explicit `C` traffic the performance model charges
+/// the GEMM approach for), then every `pc` iteration accumulates its
+/// rank-`dc` update into `C`.
+///
+/// ```
+/// use gemm_kernel::{gemm_tn, GemmParams, GemmWorkspace};
+/// // A = B = 2x2 identity (column-major), so C = -2·I
+/// let a = vec![1.0, 0.0, 0.0, 1.0];
+/// let mut c = vec![0.0; 4];
+/// let mut ws = GemmWorkspace::new();
+/// gemm_tn(-2.0, &a, &a, 0.0, &mut c, 2, 2, 2, &GemmParams::tiny(), &mut ws);
+/// assert_eq!(c, vec![-2.0, 0.0, 0.0, -2.0]);
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_tn(
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+    d: usize,
+    m: usize,
+    n: usize,
+    params: &GemmParams,
+    ws: &mut GemmWorkspace,
+) {
+    assert_eq!(a.len(), d * m, "A must be d×m column-major");
+    assert_eq!(b.len(), d * n, "B must be d×n column-major");
+    assert_eq!(c.len(), m * n, "C must be m×n row-major");
+    params.validate().expect("invalid blocking parameters");
+
+    // beta pass
+    if beta == 0.0 {
+        c.fill(0.0);
+    } else if beta != 1.0 {
+        for v in c.iter_mut() {
+            *v *= beta;
+        }
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+    if d == 0 {
+        return; // C = beta*C only
+    }
+
+    let kernel = microkernel_dispatch();
+    let ldc = n;
+
+    // 6th loop: partition n
+    for jc in (0..n).step_by(params.nc) {
+        let ncb = (n - jc).min(params.nc);
+        // 5th loop: partition d
+        for pc in (0..d).step_by(params.dc) {
+            let dcb = (d - pc).min(params.dc);
+            let nblocks = ncb.div_ceil(NR);
+            ws.b_pack.resize(nblocks * NR * dcb);
+            pack_b_panel(b, d, jc, ncb, pc, dcb, ws.b_pack.as_mut_slice());
+            // 4th loop: partition m
+            for ic in (0..m).step_by(params.mc) {
+                let mcb = (m - ic).min(params.mc);
+                let mblocks = mcb.div_ceil(MR);
+                ws.a_pack.resize(mblocks * MR * dcb);
+                pack_a_panel(a, d, ic, mcb, pc, dcb, ws.a_pack.as_mut_slice());
+                // macro-kernel: 3rd and 2nd loops
+                macrokernel(
+                    kernel,
+                    dcb,
+                    alpha,
+                    ws.a_pack.as_slice(),
+                    ws.b_pack.as_slice(),
+                    c,
+                    ldc,
+                    ic,
+                    mcb,
+                    jc,
+                    ncb,
+                );
+            }
+        }
+    }
+}
+
+/// 3rd/2nd loops: sweep micro-tiles of the packed panels. Full tiles write
+/// straight into `C`; fringe tiles go through a scratch tile so the
+/// micro-kernel itself never needs bounds checks.
+#[allow(clippy::too_many_arguments)]
+fn macrokernel(
+    kernel: crate::MicroKernelFn,
+    dcb: usize,
+    alpha: f64,
+    a_pack: &[f64],
+    b_pack: &[f64],
+    c: &mut [f64],
+    ldc: usize,
+    ic: usize,
+    mcb: usize,
+    jc: usize,
+    ncb: usize,
+) {
+    let mut scratch = [0.0f64; MR * NR];
+    for jr in (0..ncb).step_by(NR) {
+        let nre = (ncb - jr).min(NR);
+        let bp = &b_pack[(jr / NR) * NR * dcb..];
+        for ir in (0..mcb).step_by(MR) {
+            let mre = (mcb - ir).min(MR);
+            let ap = &a_pack[(ir / MR) * MR * dcb..];
+            let full = mre == MR && nre == NR;
+            if full {
+                let cptr = &mut c[(ic + ir) * ldc + jc + jr] as *mut f64;
+                // SAFETY: the tile (MR rows × NR cols at row stride ldc)
+                // lies inside c because ic+ir+MR <= m and jc+jr+NR <= n;
+                // packed panels hold dcb*MR / dcb*NR elements; bp rows are
+                // 32B-aligned (AlignedBuf + NR-multiple offsets).
+                unsafe { kernel(dcb, alpha, ap.as_ptr(), bp.as_ptr(), cptr, ldc) };
+            } else {
+                scratch.fill(0.0);
+                // SAFETY: scratch is a full MR×NR tile; panels as above
+                // (fringe entries are zero-padded by packing).
+                unsafe {
+                    kernel(
+                        dcb,
+                        alpha,
+                        ap.as_ptr(),
+                        bp.as_ptr(),
+                        scratch.as_mut_ptr(),
+                        NR,
+                    )
+                };
+                for i in 0..mre {
+                    for j in 0..nre {
+                        c[(ic + ir + i) * ldc + jc + jr + j] += scratch[i * NR + j];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Parallel `gemm_tn`: the 4th (`ic`) loop runs on the rayon pool — the
+/// same loop the paper's data-parallel GSKNN scheme targets, with each
+/// worker packing its private A panel against the shared packed B panel.
+/// `C` row blocks are disjoint per worker, so no synchronization is
+/// needed. Bit-identical to the serial version (same tile order per
+/// element).
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_tn_parallel(
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+    d: usize,
+    m: usize,
+    n: usize,
+    params: &GemmParams,
+) {
+    use rayon::prelude::*;
+
+    assert_eq!(a.len(), d * m, "A must be d×m column-major");
+    assert_eq!(b.len(), d * n, "B must be d×n column-major");
+    assert_eq!(c.len(), m * n, "C must be m×n row-major");
+    params.validate().expect("invalid blocking parameters");
+
+    if beta == 0.0 {
+        c.fill(0.0);
+    } else if beta != 1.0 {
+        c.par_iter_mut().for_each(|v| *v *= beta);
+    }
+    if m == 0 || n == 0 || d == 0 {
+        return;
+    }
+
+    let kernel = microkernel_dispatch();
+    let ldc = n;
+    let mut b_pack = AlignedBuf::new();
+
+    for jc in (0..n).step_by(params.nc) {
+        let ncb = (n - jc).min(params.nc);
+        for pc in (0..d).step_by(params.dc) {
+            let dcb = (d - pc).min(params.dc);
+            let nblocks = ncb.div_ceil(NR);
+            b_pack.resize(nblocks * NR * dcb);
+            pack_b_panel(b, d, jc, ncb, pc, dcb, b_pack.as_mut_slice());
+            let bp_shared = b_pack.as_slice();
+
+            c.par_chunks_mut(params.mc * ldc)
+                .enumerate()
+                .for_each(|(ci, c_rows)| {
+                    let ic = ci * params.mc;
+                    let mcb = (m - ic).min(params.mc);
+                    let mblocks = mcb.div_ceil(MR);
+                    let mut a_pack = AlignedBuf::zeroed(mblocks * MR * dcb);
+                    pack_a_panel(a, d, ic, mcb, pc, dcb, a_pack.as_mut_slice());
+                    // rows are chunk-local: macro-kernel runs at ic = 0
+                    macrokernel(
+                        kernel,
+                        dcb,
+                        alpha,
+                        a_pack.as_slice(),
+                        bp_shared,
+                        c_rows,
+                        ldc,
+                        0,
+                        mcb,
+                        jc,
+                        ncb,
+                    );
+                });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm_tn_naive;
+    use proptest::prelude::*;
+
+    fn rand_vec(len: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            })
+            .collect()
+    }
+
+    fn check(d: usize, m: usize, n: usize, alpha: f64, beta: f64, params: &GemmParams) {
+        let a = rand_vec(d * m, 1);
+        let b = rand_vec(d * n, 2);
+        let c0 = rand_vec(m * n, 3);
+        let mut got = c0.clone();
+        let mut want = c0.clone();
+        let mut ws = GemmWorkspace::new();
+        gemm_tn(alpha, &a, &b, beta, &mut got, d, m, n, params, &mut ws);
+        gemm_tn_naive(alpha, &a, &b, beta, &mut want, d, m, n);
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert!(
+                (g - w).abs() < 1e-10 * (1.0 + w.abs()),
+                "({d},{m},{n}) elt {i}: {g} vs {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_multiples_of_blocks() {
+        let p = GemmParams::tiny();
+        check(8, MR * 2, NR * 3, 1.0, 0.0, &p);
+    }
+
+    #[test]
+    fn fringe_in_every_dimension() {
+        let p = GemmParams::tiny();
+        check(13, MR * 2 + 3, NR * 3 + 1, -2.0, 0.0, &p);
+    }
+
+    #[test]
+    fn beta_one_accumulates() {
+        check(5, 9, 7, 1.0, 1.0, &GemmParams::tiny());
+    }
+
+    #[test]
+    fn beta_fraction_scales() {
+        check(5, 9, 7, 2.0, 0.25, &GemmParams::tiny());
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        let p = GemmParams::tiny();
+        check(0, 4, 4, 1.0, 0.5, &p); // d = 0: pure beta scaling
+        check(4, 0, 4, 1.0, 0.0, &p); // empty C
+        check(4, 4, 0, 1.0, 0.0, &p);
+        check(1, 1, 1, -2.0, 0.0, &p);
+    }
+
+    #[test]
+    fn paper_params_on_medium_problem() {
+        check(300, 200, 150, -2.0, 0.0, &GemmParams::ivy_bridge());
+    }
+
+    #[test]
+    fn workspace_reuse_across_shapes() {
+        let p = GemmParams::tiny();
+        let mut ws = GemmWorkspace::new();
+        for (d, m, n) in [(9, 17, 5), (3, 2, 31), (20, 40, 11)] {
+            let a = rand_vec(d * m, d as u64);
+            let b = rand_vec(d * n, n as u64);
+            let mut got = vec![0.0; m * n];
+            let mut want = vec![0.0; m * n];
+            gemm_tn(1.0, &a, &b, 0.0, &mut got, d, m, n, &p, &mut ws);
+            gemm_tn_naive(1.0, &a, &b, 0.0, &mut want, d, m, n);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        for (d, m, n) in [(13usize, 50usize, 37usize), (7, 8, 4), (40, 120, 90)] {
+            let a = rand_vec(d * m, 5);
+            let b = rand_vec(d * n, 6);
+            let c0 = rand_vec(m * n, 7);
+            let params = GemmParams::tiny();
+            let mut serial = c0.clone();
+            let mut par = c0;
+            let mut ws = GemmWorkspace::new();
+            gemm_tn(-2.0, &a, &b, 0.5, &mut serial, d, m, n, &params, &mut ws);
+            gemm_tn_parallel(-2.0, &a, &b, 0.5, &mut par, d, m, n, &params);
+            assert_eq!(serial, par, "({d},{m},{n})");
+        }
+    }
+
+    #[test]
+    fn parallel_degenerate_shapes() {
+        let params = GemmParams::tiny();
+        let mut c = vec![1.0, 2.0];
+        gemm_tn_parallel(1.0, &[], &[], 0.5, &mut c, 0, 1, 2, &params);
+        assert_eq!(c, vec![0.5, 1.0]); // pure beta pass when d = 0
+        let mut empty: Vec<f64> = vec![];
+        gemm_tn_parallel(1.0, &[], &[], 0.0, &mut empty, 3, 0, 0, &params);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn matches_naive(
+            d in 1usize..40,
+            m in 1usize..50,
+            n in 1usize..50,
+            alpha in -2.0f64..2.0,
+            beta in prop::sample::select(vec![0.0f64, 1.0, 0.5]),
+        ) {
+            let a = rand_vec(d * m, (d + m) as u64);
+            let b = rand_vec(d * n, (d + n) as u64);
+            let c0 = rand_vec(m * n, 7);
+            let mut got = c0.clone();
+            let mut want = c0;
+            let mut ws = GemmWorkspace::new();
+            gemm_tn(alpha, &a, &b, beta, &mut got, d, m, n, &GemmParams::tiny(), &mut ws);
+            gemm_tn_naive(alpha, &a, &b, beta, &mut want, d, m, n);
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert!((g - w).abs() < 1e-10 * (1.0 + w.abs()));
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! A from-scratch Goto-algorithm GEMM for `f64`, specialized to the
+//! transpose-first product the kNN kernel needs:
+//!
+//! ```text
+//! C (m×n, row-major) = alpha · Aᵀ (m×d) · B (d×n) + beta · C
+//! ```
+//!
+//! with `A` and `B` stored column-major `d×m` / `d×n` (each point
+//! contiguous), exactly the `C = −2·QᵀR` call of Algorithm 2.1 in the
+//! GSKNN paper. Row-major `C` corresponds to the paper's `Cᵀ = RᵀQ` trick
+//! that makes the per-query neighbor scan contiguous.
+//!
+//! Structure follows Goto & van de Geijn (2008) / the BLIS framework:
+//! five loops around a register-blocked micro-kernel, with `A` and `B`
+//! gather-packed into cache-resident "Z-shape" panels. The same packing
+//! and micro-kernel design is reused (and extended with the fused
+//! epilogue) by the `gsknn-core` crate; this crate is the unfused baseline
+//! substrate.
+
+mod aligned;
+mod blocked;
+mod microkernel;
+mod packing;
+mod params;
+
+pub use aligned::AlignedBuf;
+pub use blocked::{gemm_tn, gemm_tn_parallel, GemmWorkspace};
+pub use microkernel::{microkernel_dispatch, MicroKernelFn, MR, NR};
+pub use packing::{pack_a_panel, pack_b_panel};
+pub use params::{CacheSizes, GemmParams};
+
+/// Reference triple-loop implementation of the same operation; the oracle
+/// for every test in this crate. O(mnd), no blocking, no vectorization.
+pub fn gemm_tn_naive(
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+    d: usize,
+    m: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), d * m, "A must be d×m column-major");
+    assert_eq!(b.len(), d * n, "B must be d×n column-major");
+    assert_eq!(c.len(), m * n, "C must be m×n row-major");
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for p in 0..d {
+                acc += a[i * d + p] * b[j * d + p];
+            }
+            c[i * n + j] = alpha * acc + beta * c[i * n + j];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_identity_times_identity() {
+        // A = B = I (2×2), so C = alpha * I
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = a.clone();
+        let mut c = vec![0.0; 4];
+        gemm_tn_naive(3.0, &a, &b, 0.0, &mut c, 2, 2, 2);
+        assert_eq!(c, vec![3.0, 0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn naive_beta_accumulates() {
+        let a = vec![2.0]; // d=1, m=1
+        let b = vec![5.0]; // d=1, n=1
+        let mut c = vec![100.0];
+        gemm_tn_naive(1.0, &a, &b, 0.5, &mut c, 1, 1, 1);
+        assert_eq!(c, vec![60.0]);
+    }
+}

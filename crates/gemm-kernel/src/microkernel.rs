@@ -1,0 +1,319 @@
+//! The register-blocked micro-kernel (1st loop): an `MR × NR` rank-`dcb`
+//! update streamed from packed panels, the only architecture-dependent
+//! code in the GEMM (the BLIS design the paper follows, §2.4).
+//!
+//! `MR = 8`, `NR = 4` doubles mirrors the paper's Ivy Bridge kernel: the
+//! 8×4 tile needs eight 256-bit accumulators plus one broadcast and one
+//! load register, leaving headroom in the 16 `ymm` registers for the
+//! double-buffering the hardware's out-of-order engine performs for us.
+//! On FMA-capable parts the shuffle dance of the paper's Figure 3 (AVX
+//! without FMA) is replaced by broadcast-FMA, which is how BLIS writes the
+//! same kernel on Haswell+.
+
+/// Micro-tile rows (m-dimension).
+pub const MR: usize = 8;
+/// Micro-tile columns (n-dimension).
+pub const NR: usize = 4;
+
+/// Signature of a rank-`dcb` micro-kernel:
+/// `C[i][j] += alpha * Σ_p ap[p*MR+i] * bp[p*NR+j]` for the full tile,
+/// where `c` points at `C(0,0)` and rows are `ldc` elements apart.
+///
+/// # Safety
+/// `ap`/`bp` must be valid for `dcb*MR` / `dcb*NR` reads; `c` must be valid
+/// for writes at `i*ldc + j` for all `i < MR`, `j < NR`; the AVX2 variant
+/// additionally requires AVX2+FMA support (guaranteed by
+/// [`microkernel_dispatch`]).
+pub type MicroKernelFn =
+    unsafe fn(dcb: usize, alpha: f64, ap: *const f64, bp: *const f64, c: *mut f64, ldc: usize);
+
+/// Portable scalar micro-kernel; also the "edge-case kernel" the paper
+/// pairs with the optimized one.
+///
+/// # Safety
+/// See [`MicroKernelFn`].
+pub unsafe fn kernel_8x4_scalar(
+    dcb: usize,
+    alpha: f64,
+    ap: *const f64,
+    bp: *const f64,
+    c: *mut f64,
+    ldc: usize,
+) {
+    let mut acc = [[0.0f64; NR]; MR];
+    for p in 0..dcb {
+        let a = std::slice::from_raw_parts(ap.add(p * MR), MR);
+        let b = std::slice::from_raw_parts(bp.add(p * NR), NR);
+        for i in 0..MR {
+            for j in 0..NR {
+                acc[i][j] += a[i] * b[j];
+            }
+        }
+    }
+    for (i, row) in acc.iter().enumerate() {
+        for (j, v) in row.iter().enumerate() {
+            *c.add(i * ldc + j) += alpha * v;
+        }
+    }
+}
+
+/// AVX2+FMA micro-kernel: eight `f64x4` accumulators, one broadcast per
+/// row per `p`.
+///
+/// # Safety
+/// See [`MicroKernelFn`]; caller must ensure AVX2 and FMA are available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn kernel_8x4_avx2(
+    dcb: usize,
+    alpha: f64,
+    ap: *const f64,
+    bp: *const f64,
+    c: *mut f64,
+    ldc: usize,
+) {
+    use std::arch::x86_64::*;
+    let mut acc = [_mm256_setzero_pd(); MR];
+    for p in 0..dcb {
+        let b = _mm256_load_pd(bp.add(p * NR)); // packed, 32B-aligned rows
+        let a_row = ap.add(p * MR);
+        // Fixed-count loop: unrolled by the compiler into 8 broadcast+FMA.
+        for i in 0..MR {
+            let a = _mm256_broadcast_sd(&*a_row.add(i));
+            acc[i] = _mm256_fmadd_pd(a, b, acc[i]);
+        }
+    }
+    let va = _mm256_set1_pd(alpha);
+    for (i, &a) in acc.iter().enumerate() {
+        let dst = c.add(i * ldc);
+        let cur = _mm256_loadu_pd(dst);
+        _mm256_storeu_pd(dst, _mm256_fmadd_pd(va, a, cur));
+    }
+}
+
+/// AVX-512F micro-kernel: four 512-bit accumulators, each covering two
+/// adjacent tile rows (rows `2j`/`2j+1`), so one FMA feeds eight C
+/// entries — half the instruction count of the AVX2 kernel at the same
+/// 8×4 tile shape (and hence the same packing layout).
+///
+/// # Safety
+/// See [`MicroKernelFn`]; caller must ensure AVX-512F is available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,fma")]
+pub unsafe fn kernel_8x4_avx512(
+    dcb: usize,
+    alpha: f64,
+    ap: *const f64,
+    bp: *const f64,
+    c: *mut f64,
+    ldc: usize,
+) {
+    use std::arch::x86_64::*;
+    let spread = _mm512_set_epi64(1, 1, 1, 1, 0, 0, 0, 0);
+    let mut acc = [_mm512_setzero_pd(); MR / 2];
+    for p in 0..dcb {
+        let b = _mm512_broadcast_f64x4(_mm256_loadu_pd(bp.add(p * NR)));
+        let a_row = ap.add(p * MR);
+        for (j, accj) in acc.iter_mut().enumerate() {
+            // lanes 0..4 = a(2j), lanes 4..8 = a(2j+1)
+            let pair = _mm512_castpd128_pd512(_mm_loadu_pd(a_row.add(2 * j)));
+            let a = _mm512_permutexvar_pd(spread, pair);
+            *accj = _mm512_fmadd_pd(a, b, *accj);
+        }
+    }
+    let va = _mm512_set1_pd(alpha);
+    for (j, &a) in acc.iter().enumerate() {
+        // C rows are ldc apart: split the zmm back into two ymm stores
+        let lo = _mm512_castpd512_pd256(a);
+        let hi = _mm512_extractf64x4_pd(a, 1);
+        let d0 = c.add(2 * j * ldc);
+        let d1 = c.add((2 * j + 1) * ldc);
+        let va4 = _mm512_castpd512_pd256(va);
+        _mm256_storeu_pd(d0, _mm256_fmadd_pd(va4, lo, _mm256_loadu_pd(d0)));
+        _mm256_storeu_pd(d1, _mm256_fmadd_pd(va4, hi, _mm256_loadu_pd(d1)));
+    }
+}
+
+/// Pick the best micro-kernel for the running CPU (decided once).
+pub fn microkernel_dispatch() -> MicroKernelFn {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static CHOICE: OnceLock<MicroKernelFn> = OnceLock::new();
+        *CHOICE.get_or_init(|| {
+            // AVX2 preferred over AVX-512 (matching gsknn-core's fused
+            // kernel): on the target Xeons the 512-bit path measures a
+            // few percent slower — see the `simd_ablation` harness.
+            // `GSKNN_GEMM_AVX512=1` opts in for wide-vector parts.
+            let want_512 = std::env::var_os("GSKNN_GEMM_AVX512").is_some();
+            if want_512
+                && std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                kernel_8x4_avx512
+            } else if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                kernel_8x4_avx2
+            } else {
+                kernel_8x4_scalar
+            }
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        kernel_8x4_scalar
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build packed panels for an MR×NR×depth toy problem with
+    /// deterministic pseudo-random contents.
+    fn panels(depth: usize) -> (Vec<f64>, Vec<f64>) {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        let ap: Vec<f64> = (0..depth * MR).map(|_| next()).collect();
+        let bp: Vec<f64> = (0..depth * NR).map(|_| next()).collect();
+        (ap, bp)
+    }
+
+    fn reference(dcb: usize, alpha: f64, ap: &[f64], bp: &[f64], c: &mut [f64], ldc: usize) {
+        for i in 0..MR {
+            for j in 0..NR {
+                let mut acc = 0.0;
+                for p in 0..dcb {
+                    acc += ap[p * MR + i] * bp[p * NR + j];
+                }
+                c[i * ldc + j] += alpha * acc;
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_matches_reference() {
+        for depth in [0usize, 1, 3, 17, 64] {
+            let (ap, bp) = panels(depth.max(1));
+            let ldc = NR + 3;
+            let mut got = vec![1.0; MR * ldc];
+            let mut want = got.clone();
+            unsafe {
+                kernel_8x4_scalar(depth, -2.0, ap.as_ptr(), bp.as_ptr(), got.as_mut_ptr(), ldc)
+            };
+            reference(depth, -2.0, &ap, &bp, &mut want, ldc);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-12, "depth {depth}: {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    #[cfg_attr(not(target_arch = "x86_64"), ignore)]
+    fn avx2_matches_scalar() {
+        if !std::arch::is_x86_feature_detected!("avx2")
+            || !std::arch::is_x86_feature_detected!("fma")
+        {
+            return;
+        }
+        for depth in [1usize, 2, 7, 31, 256] {
+            // AVX2 kernel loads bp with aligned loads: allocate aligned.
+            let (ap, bp_v) = panels(depth);
+            let mut bp = crate::AlignedBuf::zeroed(bp_v.len());
+            bp.as_mut_slice().copy_from_slice(&bp_v);
+            let ldc = NR;
+            let mut got = vec![0.5; MR * ldc];
+            let mut want = got.clone();
+            unsafe {
+                kernel_8x4_avx2(
+                    depth,
+                    1.5,
+                    ap.as_ptr(),
+                    bp.as_slice().as_ptr(),
+                    got.as_mut_ptr(),
+                    ldc,
+                );
+                kernel_8x4_scalar(
+                    depth,
+                    1.5,
+                    ap.as_ptr(),
+                    bp.as_slice().as_ptr(),
+                    want.as_mut_ptr(),
+                    ldc,
+                );
+            }
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-10, "depth {depth}: {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    #[cfg_attr(not(target_arch = "x86_64"), ignore)]
+    fn avx512_matches_scalar() {
+        if !std::arch::is_x86_feature_detected!("avx512f")
+            || !std::arch::is_x86_feature_detected!("fma")
+        {
+            return;
+        }
+        for depth in [1usize, 2, 7, 31, 256] {
+            let (ap, bp_v) = panels(depth);
+            let mut bp = crate::AlignedBuf::zeroed(bp_v.len());
+            bp.as_mut_slice().copy_from_slice(&bp_v);
+            let ldc = NR + 2; // strided C to exercise the two-row stores
+            let mut got = vec![0.25; MR * ldc];
+            let mut want = got.clone();
+            unsafe {
+                kernel_8x4_avx512(
+                    depth,
+                    -2.0,
+                    ap.as_ptr(),
+                    bp.as_slice().as_ptr(),
+                    got.as_mut_ptr(),
+                    ldc,
+                );
+                kernel_8x4_scalar(
+                    depth,
+                    -2.0,
+                    ap.as_ptr(),
+                    bp.as_slice().as_ptr(),
+                    want.as_mut_ptr(),
+                    ldc,
+                );
+            }
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-10, "depth {depth}: {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_returns_a_working_kernel() {
+        let k = microkernel_dispatch();
+        let (ap, bp_v) = panels(4);
+        let mut bp = crate::AlignedBuf::zeroed(bp_v.len());
+        bp.as_mut_slice().copy_from_slice(&bp_v);
+        let mut got = vec![0.0; MR * NR];
+        let mut want = vec![0.0; MR * NR];
+        unsafe {
+            k(
+                4,
+                1.0,
+                ap.as_ptr(),
+                bp.as_slice().as_ptr(),
+                got.as_mut_ptr(),
+                NR,
+            )
+        };
+        reference(4, 1.0, &ap, bp.as_slice(), &mut want, NR);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Panel packing (§2.3 "Packing"): copy a `dcb`-deep slab of A or B into a
+//! contiguous, zero-padded "Z-shape" buffer whose layout matches exactly
+//! the order the micro-kernel streams it in. Full micro-tiles then need no
+//! edge checks — fringe columns are padded with zeros, which contribute
+//! nothing to the inner products.
+
+use crate::microkernel::{MR, NR};
+
+/// Pack the A-side (query-side) panel.
+///
+/// `src` is column-major with leading dimension `ld` (point `i` at
+/// `src[i*ld ..]`). The packed output covers points `col0 .. col0+mcb` and
+/// coordinates `p0 .. p0+dcb`, laid out as consecutive `MR`-wide
+/// micro-panels: element `(i, p)` of micro-panel `ib` lands at
+/// `ib*MR*dcb + p*MR + i`.
+///
+/// `out` must have length `ceil(mcb/MR)*MR*dcb`.
+pub fn pack_a_panel(
+    src: &[f64],
+    ld: usize,
+    col0: usize,
+    mcb: usize,
+    p0: usize,
+    dcb: usize,
+    out: &mut [f64],
+) {
+    pack_panel::<MR>(src, ld, col0, mcb, p0, dcb, out)
+}
+
+/// Pack the B-side (reference-side) panel: identical scheme with `NR`-wide
+/// micro-panels; element `(j, p)` of micro-panel `jb` lands at
+/// `jb*NR*dcb + p*NR + j`.
+pub fn pack_b_panel(
+    src: &[f64],
+    ld: usize,
+    col0: usize,
+    ncb: usize,
+    p0: usize,
+    dcb: usize,
+    out: &mut [f64],
+) {
+    pack_panel::<NR>(src, ld, col0, ncb, p0, dcb, out)
+}
+
+fn pack_panel<const W: usize>(
+    src: &[f64],
+    ld: usize,
+    col0: usize,
+    cols: usize,
+    p0: usize,
+    dcb: usize,
+    out: &mut [f64],
+) {
+    let blocks = cols.div_ceil(W);
+    assert_eq!(out.len(), blocks * W * dcb, "packed buffer size mismatch");
+    debug_assert!(p0 + dcb <= ld);
+    for ib in 0..blocks {
+        let base = ib * W * dcb;
+        let width = (cols - ib * W).min(W);
+        for p in 0..dcb {
+            let row = &mut out[base + p * W..base + p * W + W];
+            for (i, slot) in row.iter_mut().enumerate().take(width) {
+                *slot = src[(col0 + ib * W + i) * ld + p0 + p];
+            }
+            for slot in row.iter_mut().skip(width) {
+                *slot = 0.0; // fringe padding
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 3 coordinates × 5 points, column-major: point j = [10j, 10j+1, 10j+2]
+    fn sample() -> Vec<f64> {
+        (0..5)
+            .flat_map(|j| (0..3).map(move |p| (10 * j + p) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn a_panel_layout_full_tile() {
+        // mcb = MR exactly => one block, no padding (need 8 points)
+        let src: Vec<f64> = (0..MR as u64 * 2).map(|x| x as f64).collect(); // d=2, m=MR
+        let mut out = vec![f64::NAN; MR * 2];
+        pack_a_panel(&src, 2, 0, MR, 0, 2, &mut out);
+        // element (i, p) at p*MR + i must equal src[i*2 + p]
+        for p in 0..2 {
+            for i in 0..MR {
+                assert_eq!(out[p * MR + i], src[i * 2 + p]);
+            }
+        }
+    }
+
+    #[test]
+    fn b_panel_pads_fringe_with_zeros() {
+        let src = sample(); // d=3, 5 points
+        let ncb = 5usize; // 5 points, NR=4 => 2 blocks, second block half empty
+        let dcb = 2;
+        let blocks = ncb.div_ceil(NR);
+        let mut out = vec![f64::NAN; blocks * NR * dcb];
+        pack_b_panel(&src, 3, 0, ncb, 1, dcb, &mut out);
+        // block 0, p=0 row: points 0..4, coordinate p0+0 = 1
+        assert_eq!(&out[0..4], &[1.0, 11.0, 21.0, 31.0]);
+        // block 1, p=1 row: point 4 then zeros
+        let base = NR * dcb;
+        assert_eq!(&out[base + NR..base + 2 * NR], &[42.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn offsets_select_the_right_slab() {
+        let src = sample();
+        let mut out = vec![f64::NAN; NR];
+        pack_b_panel(&src, 3, 2, 3, 2, 1, &mut out);
+        // points 2..5, coordinate 2 => [22, 32, 42], padded
+        assert_eq!(out, vec![22.0, 32.0, 42.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn wrong_out_len_panics() {
+        let src = sample();
+        let mut out = vec![0.0; 3];
+        pack_a_panel(&src, 3, 0, 2, 0, 1, &mut out);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Every source element within the packed window appears at
+            /// exactly the position the micro-kernel will read it from,
+            /// and every pad slot is zero.
+            #[test]
+            fn layout_is_total_and_padded(
+                ld in 1usize..12,
+                npts in 1usize..20,
+                col0 in 0usize..4,
+                p0 in 0usize..4,
+            ) {
+                let cols = npts; // pack all points starting at col0
+                prop_assume!(col0 + cols <= npts + col0); // trivially true
+                let total = npts + col0;
+                let src: Vec<f64> = (0..total * ld).map(|x| x as f64 + 1.0).collect();
+                let dcb = ld - p0.min(ld - 1);
+                let blocks = cols.div_ceil(NR);
+                let mut out = vec![f64::NAN; blocks * NR * dcb];
+                pack_b_panel(&src, ld, col0, cols, p0.min(ld - 1), dcb, &mut out);
+                for jb in 0..blocks {
+                    let width = (cols - jb * NR).min(NR);
+                    for p in 0..dcb {
+                        for j in 0..NR {
+                            let got = out[jb * NR * dcb + p * NR + j];
+                            if j < width {
+                                let want =
+                                    src[(col0 + jb * NR + j) * ld + p0.min(ld - 1) + p];
+                                prop_assert_eq!(got, want);
+                            } else {
+                                prop_assert_eq!(got, 0.0);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Reusable per-kernel workspace: every packed panel and distance buffer
+//! the six-loop nest needs, allocated once (64-byte aligned) and grown on
+//! demand so repeated kernel invocations — the approximate solvers call
+//! the kernel thousands of times — never allocate on the hot path.
+
+use gemm_kernel::AlignedBuf;
+
+/// Observability counters collected by the serial driver (zeroed at the
+/// start of each [`crate::Gsknn::run`]/`update`). They quantify how often
+/// the §2.4 vectorized root filter achieves the heap's O(n) best case —
+/// the mechanism GSKNN's small-`k` advantage rests on.
+#[derive(Default, Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Finalized micro-tiles produced.
+    pub tiles: u64,
+    /// Tile rows discarded whole by the broadcast-compare root filter
+    /// (no heap interaction at all — the O(n) case).
+    pub rows_filtered: u64,
+    /// Tile rows that reached the scalar candidate scan.
+    pub rows_scanned: u64,
+    /// Candidates that passed the stale-threshold check and were offered
+    /// to a heap.
+    pub candidates_offered: u64,
+    /// Candidates actually kept by a heap (caused an insert/replace).
+    pub candidates_kept: u64,
+}
+
+impl KernelStats {
+    /// Fold another counter set into this one.
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.tiles += other.tiles;
+        self.rows_filtered += other.rows_filtered;
+        self.rows_scanned += other.rows_scanned;
+        self.candidates_offered += other.candidates_offered;
+        self.candidates_kept += other.candidates_kept;
+    }
+
+    /// Fraction of tile rows the filter discarded without touching a
+    /// heap (1.0 = perfect best case).
+    pub fn filter_rate(&self) -> f64 {
+        let total = self.rows_filtered + self.rows_scanned;
+        if total == 0 {
+            0.0
+        } else {
+            self.rows_filtered as f64 / total as f64
+        }
+    }
+}
+
+/// Scratch buffers for one kernel execution context (one thread).
+#[derive(Default, Debug)]
+pub struct GsknnWorkspace {
+    /// Packed query panel `Qc` (`⌈mcb/MR⌉·MR × dcb`, Z-shape).
+    pub q_pack: AlignedBuf,
+    /// Packed reference panel `Rc` (`⌈ncb/NR⌉·NR × dcb`, Z-shape).
+    pub r_pack: AlignedBuf,
+    /// Gathered query squared norms `Qc2` (`mcb`, MR-padded).
+    pub q2_pack: AlignedBuf,
+    /// Gathered reference squared norms `R2c` (`ncb`, NR-padded).
+    pub r2_pack: AlignedBuf,
+    /// Rank-dc accumulation buffer `Cc` (only used when `d > dc`, or by
+    /// the buffered variants Var#2/3/5/6 as their distance store).
+    pub cc: AlignedBuf,
+    /// Distance strip for buffered selection (Var#2/Var#3).
+    pub dist: AlignedBuf,
+    /// Counters for the most recent serial run.
+    pub stats: KernelStats,
+}
+
+impl GsknnWorkspace {
+    /// Fresh workspace; buffers allocate lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_grow_independently() {
+        let mut ws = GsknnWorkspace::new();
+        ws.q_pack.resize(128);
+        ws.cc.resize(1024);
+        assert_eq!(ws.q_pack.len(), 128);
+        assert_eq!(ws.cc.len(), 1024);
+        assert_eq!(ws.r_pack.len(), 0);
+    }
+}

@@ -1,0 +1,435 @@
+//! Public entry points: configure once, call many times — the contract the
+//! approximate all-nearest-neighbor solvers (randomized KD-trees, LSH)
+//! need, where the kNN kernel is invoked per leaf/bucket with fresh index
+//! lists and the per-query neighbor lists persist across calls.
+
+use crate::buffers::GsknnWorkspace;
+use crate::model::{MachineParams, Model, ProblemSize};
+use crate::params::Variant;
+use crate::variants::{run_serial, DriverArgs, SelHeap};
+use dataset::{DistanceKind, PointSet};
+use gemm_kernel::GemmParams;
+use knn_select::NeighborTable;
+
+/// Kernel configuration.
+#[derive(Clone, Debug)]
+pub struct GsknnConfig {
+    /// Cache-blocking parameters (defaults to the paper's Ivy Bridge set).
+    pub params: GemmParams,
+    /// Selection placement; [`Variant::Auto`] switches between Var#1 and
+    /// Var#6 (see [`GsknnConfig::model_switch`]).
+    pub variant: Variant,
+    /// With `Some(machine)`, `Auto` uses the §2.6 performance model to
+    /// pick the faster of Var#1/Var#6 for each `(m, n, d, k)`; with
+    /// `None` it uses the paper's measured rule of thumb (§3): Var#1 for
+    /// `k ≤ 512`, Var#6 above.
+    pub model_switch: Option<MachineParams>,
+}
+
+impl Default for GsknnConfig {
+    fn default() -> Self {
+        GsknnConfig {
+            params: GemmParams::ivy_bridge(),
+            variant: Variant::Auto,
+            model_switch: None,
+        }
+    }
+}
+
+impl GsknnConfig {
+    /// Configuration with blocking parameters derived analytically from
+    /// the running machine's cache hierarchy (§2.4's selection formulas
+    /// applied to detected sizes; falls back to the paper's Ivy Bridge
+    /// values when detection fails).
+    pub fn native() -> Self {
+        GsknnConfig {
+            params: GemmParams::native(),
+            ..Default::default()
+        }
+    }
+}
+
+/// A reusable kernel execution context (owns the packing workspace).
+///
+/// See the crate-level example. Not `Sync`: create one per thread (the
+/// parallel schemes in [`crate::parallel`] and [`crate::scheduler`] do).
+#[derive(Default, Debug)]
+pub struct Gsknn {
+    cfg: GsknnConfig,
+    ws: GsknnWorkspace,
+}
+
+impl Gsknn {
+    /// New context with the given configuration.
+    pub fn new(cfg: GsknnConfig) -> Self {
+        Gsknn {
+            cfg,
+            ws: GsknnWorkspace::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &GsknnConfig {
+        &self.cfg
+    }
+
+    /// Resolve `Auto` for a concrete problem size.
+    pub fn effective_variant(&self, m: usize, n: usize, d: usize, k: usize) -> Variant {
+        match self.cfg.variant {
+            Variant::Auto => match &self.cfg.model_switch {
+                Some(machine) => {
+                    let model = Model::new(*machine);
+                    model.choose_variant(&ProblemSize { m, n, d, k })
+                }
+                // §3: "For all experiments with k ≤ 512, we use Var#1.
+                // Otherwise, we use Var#6."
+                None => {
+                    if k <= 512 {
+                        Variant::Var1
+                    } else {
+                        Variant::Var6
+                    }
+                }
+            },
+            v => v,
+        }
+    }
+
+    /// Solve one kNN kernel: the `k` nearest references (by `kind`) for
+    /// every query. Row `i` of the result corresponds to `q_idx[i]`.
+    pub fn run(
+        &mut self,
+        x: &PointSet,
+        q_idx: &[usize],
+        r_idx: &[usize],
+        k: usize,
+        kind: DistanceKind,
+    ) -> NeighborTable {
+        let mut table = NeighborTable::new(q_idx.len(), k);
+        self.update(x, q_idx, r_idx, kind, &mut table);
+        table
+    }
+
+    /// Update existing neighbor lists with the candidates from `r_idx` —
+    /// the iterated form the approximate solvers use (`table.k()` is `k`;
+    /// row `i` corresponds to `q_idx[i]` and must carry that query's
+    /// current list).
+    pub fn update(
+        &mut self,
+        x: &PointSet,
+        q_idx: &[usize],
+        r_idx: &[usize],
+        kind: DistanceKind,
+        table: &mut NeighborTable,
+    ) {
+        self.update_cross(x, q_idx, x, r_idx, kind, table)
+    }
+
+    /// Cross-table form: queries from `xq`, references from `xr` (equal
+    /// dimension) — out-of-sample / train-test search. Indices in the
+    /// result refer to positions in `xr`.
+    pub fn run_cross(
+        &mut self,
+        xq: &PointSet,
+        q_idx: &[usize],
+        xr: &PointSet,
+        r_idx: &[usize],
+        k: usize,
+        kind: DistanceKind,
+    ) -> NeighborTable {
+        let mut table = NeighborTable::new(q_idx.len(), k);
+        self.update_cross(xq, q_idx, xr, r_idx, kind, &mut table);
+        table
+    }
+
+    /// Cross-table update; see [`Gsknn::run_cross`] / [`Gsknn::update`].
+    pub fn update_cross(
+        &mut self,
+        xq: &PointSet,
+        q_idx: &[usize],
+        xr: &PointSet,
+        r_idx: &[usize],
+        kind: DistanceKind,
+        table: &mut NeighborTable,
+    ) {
+        let k = table.k();
+        assert_eq!(table.len(), q_idx.len(), "one table row per query");
+        assert_eq!(xq.dim(), xr.dim(), "query/reference dimension mismatch");
+        validate_indices(xq, q_idx, &[]);
+        validate_indices(xr, &[], r_idx);
+        let variant = self.effective_variant(q_idx.len(), r_idx.len(), xq.dim(), k);
+        // §2.4: Var#1 pairs with the binary heap (small k), Var#6 with the
+        // padded 4-heap (large k).
+        let four = variant == Variant::Var6;
+        let mut heaps: Vec<SelHeap> = (0..q_idx.len())
+            .map(|i| SelHeap::from_row(k, table.row(i), four))
+            .collect();
+        let args = DriverArgs {
+            xq,
+            xr,
+            q_idx,
+            r_idx,
+            kind,
+            params: self.cfg.params,
+            variant,
+        };
+        self.ws.stats = crate::buffers::KernelStats::default();
+        run_serial(&args, &mut heaps, &mut self.ws);
+        for (i, heap) in heaps.into_iter().enumerate() {
+            table.set_row(i, &heap.into_sorted_vec());
+        }
+    }
+
+    /// Observability counters from the most recent `run`/`update` call
+    /// (see [`crate::buffers::KernelStats`]): how often the vectorized
+    /// root filter achieved the heap's O(n) best case, how many
+    /// candidates were offered vs kept.
+    pub fn last_stats(&self) -> crate::buffers::KernelStats {
+        self.ws.stats
+    }
+
+    /// Data-parallel run (§2.5's 4th-loop scheme on the rayon pool,
+    /// `p` query chunks in flight): identical results to [`Gsknn::run`].
+    pub fn run_parallel(
+        &mut self,
+        x: &PointSet,
+        q_idx: &[usize],
+        r_idx: &[usize],
+        k: usize,
+        kind: DistanceKind,
+        p: usize,
+    ) -> NeighborTable {
+        let mut table = NeighborTable::new(q_idx.len(), k);
+        self.update_parallel(x, q_idx, r_idx, kind, &mut table, p);
+        table
+    }
+
+    /// Data-parallel update; see [`Gsknn::run_parallel`] / [`Gsknn::update`].
+    /// (No [`Gsknn::last_stats`] counters — the parallel path does not
+    /// aggregate per-worker statistics.)
+    pub fn update_parallel(
+        &mut self,
+        x: &PointSet,
+        q_idx: &[usize],
+        r_idx: &[usize],
+        kind: DistanceKind,
+        table: &mut NeighborTable,
+        p: usize,
+    ) {
+        let k = table.k();
+        assert_eq!(table.len(), q_idx.len(), "one table row per query");
+        validate_indices(x, q_idx, r_idx);
+        let variant = self.effective_variant(q_idx.len(), r_idx.len(), x.dim(), k);
+        let four = variant == Variant::Var6;
+        let mut heaps: Vec<SelHeap> = (0..q_idx.len())
+            .map(|i| SelHeap::from_row(k, table.row(i), four))
+            .collect();
+        let args = DriverArgs::same(x, q_idx, r_idx, kind, self.cfg.params, variant);
+        crate::parallel::run_data_parallel(&args, &mut heaps, p.max(1));
+        for (i, heap) in heaps.into_iter().enumerate() {
+            table.set_row(i, &heap.into_sorted_vec());
+        }
+    }
+}
+
+pub(crate) fn validate_indices(x: &PointSet, q_idx: &[usize], r_idx: &[usize]) {
+    let n = x.len();
+    assert!(
+        q_idx.iter().all(|&i| i < n),
+        "query index out of bounds (N = {n})"
+    );
+    assert!(
+        r_idx.iter().all(|&j| j < n),
+        "reference index out of bounds (N = {n})"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::uniform;
+    use knn_select::Neighbor;
+
+    #[test]
+    fn run_finds_self_as_nearest() {
+        let x = uniform(200, 12, 5);
+        let q: Vec<usize> = (0..50).collect();
+        let r: Vec<usize> = (0..200).collect();
+        let mut exec = Gsknn::new(GsknnConfig::default());
+        let t = exec.run(&x, &q, &r, 3, DistanceKind::SqL2);
+        for (i, &qi) in q.iter().enumerate() {
+            assert_eq!(t.row(i)[0].idx, qi as u32, "query {qi}");
+            // the Eq. (1) expansion leaves ~1 ulp of rounding on the
+            // self-distance (clamped at 0 from below only)
+            assert!(t.row(i)[0].dist < 1e-12);
+        }
+    }
+
+    #[test]
+    fn auto_rule_of_thumb_matches_paper() {
+        let exec = Gsknn::new(GsknnConfig::default());
+        assert_eq!(exec.effective_variant(8192, 8192, 64, 16), Variant::Var1);
+        assert_eq!(exec.effective_variant(8192, 8192, 64, 512), Variant::Var1);
+        assert_eq!(exec.effective_variant(8192, 8192, 64, 2048), Variant::Var6);
+    }
+
+    #[test]
+    fn explicit_variant_is_respected() {
+        let cfg = GsknnConfig {
+            variant: Variant::Var3,
+            ..Default::default()
+        };
+        let exec = Gsknn::new(cfg);
+        assert_eq!(exec.effective_variant(10, 10, 4, 2048), Variant::Var3);
+    }
+
+    #[test]
+    fn update_improves_rows_monotonically() {
+        let x = uniform(100, 8, 19);
+        let q: Vec<usize> = (0..10).collect();
+        let r1: Vec<usize> = (50..100).collect();
+        let r2: Vec<usize> = (0..50).collect();
+        let mut exec = Gsknn::new(GsknnConfig::default());
+        let mut t = exec.run(&x, &q, &r1, 4, DistanceKind::SqL2);
+        let before: Vec<f64> = (0..10).map(|i| t.row(i)[3].dist).collect();
+        exec.update(&x, &q, &r2, DistanceKind::SqL2, &mut t);
+        // r2 contains the queries themselves, so the row minimum must be
+        // the (≈0) self-distance and the k-th distance can only shrink.
+        for i in 0..10 {
+            assert!(t.row(i)[0].dist < 1e-12);
+            assert!(t.row(i)[3].dist <= before[i]);
+        }
+    }
+
+    #[test]
+    fn update_equals_one_shot_on_union() {
+        let x = uniform(120, 6, 29);
+        let q: Vec<usize> = (0..12).collect();
+        let all: Vec<usize> = (0..120).collect();
+        let mut exec = Gsknn::new(GsknnConfig::default());
+        let mut incremental = exec.run(&x, &q, &all[..60], 5, DistanceKind::SqL2);
+        exec.update(&x, &q, &all[60..], DistanceKind::SqL2, &mut incremental);
+        let oneshot = exec.run(&x, &q, &all, 5, DistanceKind::SqL2);
+        for i in 0..12 {
+            let a: Vec<u32> = incremental.row(i).iter().map(|n| n.idx).collect();
+            let b: Vec<u32> = oneshot.row(i).iter().map(|n| n.idx).collect();
+            assert_eq!(a, b, "row {i}");
+        }
+    }
+
+    #[test]
+    fn k_zero_yields_empty_rows() {
+        let x = uniform(10, 3, 1);
+        let q = vec![0usize, 1];
+        let r: Vec<usize> = (0..10).collect();
+        let mut exec = Gsknn::new(GsknnConfig::default());
+        let t = exec.run(&x, &q, &r, 0, DistanceKind::SqL2);
+        assert_eq!(t.k(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "query index out of bounds")]
+    fn out_of_bounds_query_panics() {
+        let x = uniform(10, 3, 1);
+        let mut exec = Gsknn::new(GsknnConfig::default());
+        exec.run(&x, &[10], &[0], 1, DistanceKind::SqL2);
+    }
+
+    #[test]
+    fn run_parallel_matches_run() {
+        let x = uniform(400, 9, 47);
+        let q: Vec<usize> = (0..120).collect();
+        let r: Vec<usize> = (0..400).collect();
+        let mut exec = Gsknn::new(GsknnConfig::default());
+        let serial = exec.run(&x, &q, &r, 7, DistanceKind::SqL2);
+        let par = exec.run_parallel(&x, &q, &r, 7, DistanceKind::SqL2, 4);
+        for i in 0..120 {
+            assert_eq!(serial.row(i), par.row(i), "row {i}");
+        }
+    }
+
+    #[test]
+    fn stats_show_best_case_filtering_at_small_k() {
+        // k = 1 on a large reference set: once the heap holds a close
+        // neighbor, almost every later tile row dies at the root filter.
+        let x = uniform(4000, 8, 71);
+        let q: Vec<usize> = (0..64).collect();
+        let r: Vec<usize> = (0..4000).collect();
+        let mut exec = Gsknn::new(GsknnConfig::default());
+        let _ = exec.run(&x, &q, &r, 1, DistanceKind::SqL2);
+        let s = exec.last_stats();
+        assert!(s.tiles > 0);
+        assert!(
+            s.filter_rate() > 0.9,
+            "expected the O(n) best case, filter rate {}",
+            s.filter_rate()
+        );
+        assert!(s.candidates_kept <= s.candidates_offered);
+    }
+
+    #[test]
+    fn stats_show_no_filtering_when_everything_is_kept() {
+        // k >= n: every candidate must be kept; nothing can be filtered.
+        let x = uniform(64, 4, 5);
+        let q: Vec<usize> = (0..8).collect();
+        let r: Vec<usize> = (0..64).collect();
+        let mut exec = Gsknn::new(GsknnConfig::default());
+        let _ = exec.run(&x, &q, &r, 64, DistanceKind::SqL2);
+        let s = exec.last_stats();
+        assert_eq!(s.rows_filtered, 0);
+        assert_eq!(s.candidates_kept, 8 * 64);
+    }
+
+    #[test]
+    fn stats_reset_between_runs() {
+        let x = uniform(100, 4, 9);
+        let q: Vec<usize> = (0..10).collect();
+        let r: Vec<usize> = (0..100).collect();
+        let mut exec = Gsknn::new(GsknnConfig::default());
+        let _ = exec.run(&x, &q, &r, 2, DistanceKind::SqL2);
+        let first = exec.last_stats();
+        let _ = exec.run(&x, &q, &r, 2, DistanceKind::SqL2);
+        assert_eq!(exec.last_stats(), first, "same problem, same counters");
+    }
+
+    #[test]
+    fn cross_table_queries_match_merged_table() {
+        // queries from one table, references from another: must equal
+        // running on a merged table with shifted reference ids
+        let xq = uniform(30, 7, 3);
+        let xr = uniform(50, 7, 4);
+        let q: Vec<usize> = (0..30).collect();
+        let r: Vec<usize> = (0..50).collect();
+        let mut exec = Gsknn::new(GsknnConfig::default());
+        let got = exec.run_cross(&xq, &q, &xr, &r, 4, DistanceKind::SqL2);
+
+        // merged: first 30 columns are xq, next 50 are xr
+        let mut merged = xq.as_slice().to_vec();
+        merged.extend_from_slice(xr.as_slice());
+        let xm = dataset::PointSet::from_vec(7, 80, merged);
+        let rm: Vec<usize> = (30..80).collect();
+        let want = exec.run(&xm, &q, &rm, 4, DistanceKind::SqL2);
+        for i in 0..30 {
+            for (a, b) in got.row(i).iter().zip(want.row(i)) {
+                assert_eq!(a.idx + 30, b.idx, "row {i}");
+                assert!((a.dist - b.dist).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn cross_table_rejects_mismatched_dims() {
+        let xq = uniform(5, 3, 1);
+        let xr = uniform(5, 4, 2);
+        Gsknn::new(GsknnConfig::default()).run_cross(&xq, &[0], &xr, &[0], 1, DistanceKind::SqL2);
+    }
+
+    #[test]
+    fn sentinel_rows_survive_when_no_references() {
+        let x = uniform(10, 3, 1);
+        let mut exec = Gsknn::new(GsknnConfig::default());
+        let t = exec.run(&x, &[0, 1], &[], 2, DistanceKind::SqL2);
+        assert_eq!(t.row(0)[0], Neighbor::sentinel());
+    }
+}

@@ -1,0 +1,192 @@
+//! AVX2+FMA specializations of the fused micro-kernel. Eight `f64x4`
+//! accumulators cover the 8×4 tile; squared-ℓ2 uses broadcast-FMA (the
+//! FMA-era equivalent of the paper's Figure 3 shuffle scheme), ℓ1 uses
+//! subtract/abs/add and ℓ∞ subtract/abs/max, exactly the instruction
+//! substitution described in §2.4 ("General ℓp norm").
+
+#![cfg(target_arch = "x86_64")]
+
+use super::{PassMode, MR, NR};
+use dataset::DistanceKind;
+use std::arch::x86_64::*;
+
+/// AVX2+FMA available on this CPU (checked once).
+pub fn available() -> bool {
+    use std::sync::OnceLock;
+    static AVAIL: OnceLock<bool> = OnceLock::new();
+    *AVAIL.get_or_init(|| {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    })
+}
+
+/// Vectorized tile pass; see [`super::tile_pass`] for the contract.
+///
+/// # Safety
+/// Caller must guarantee AVX2+FMA support and the slice-length
+/// preconditions of `tile_pass` (`ap ≥ dcb*MR`, `bp ≥ dcb*NR`,
+/// `q2 ≥ MR`, `r2 ≥ NR`, strided tiles in bounds).
+pub unsafe fn tile_pass_avx2(
+    kind: DistanceKind,
+    dcb: usize,
+    ap: &[f64],
+    bp: &[f64],
+    q2: &[f64],
+    r2: &[f64],
+    mode: PassMode<'_>,
+) {
+    match kind {
+        DistanceKind::SqL2 => sq_l2(dcb, ap, bp, q2, r2, mode),
+        DistanceKind::L1 => l1(dcb, ap, bp, mode),
+        DistanceKind::LInf => linf(dcb, ap, bp, mode),
+        DistanceKind::Cosine => cosine(dcb, ap, bp, q2, r2, mode),
+        DistanceKind::Lp(_) => unreachable!("general p has no AVX2 path"),
+    }
+}
+
+/// `mask & x` with the sign bit cleared — |x| for f64 lanes.
+#[inline(always)]
+unsafe fn abs_pd(x: __m256d) -> __m256d {
+    _mm256_andnot_pd(_mm256_set1_pd(-0.0), x)
+}
+
+macro_rules! rank_update {
+    ($dcb:ident, $ap:ident, $bp:ident, $acc:ident, |$a:ident, $b:ident, $acc_i:ident| $body:expr) => {
+        for p in 0..$dcb {
+            let $b = _mm256_loadu_pd($bp.as_ptr().add(p * NR));
+            let a_row = $ap.as_ptr().add(p * MR);
+            for i in 0..MR {
+                let $a = _mm256_broadcast_sd(&*a_row.add(i));
+                let $acc_i = $acc[i];
+                $acc[i] = $body;
+            }
+        }
+    };
+}
+
+macro_rules! finish {
+    ($acc:ident, $mode:ident, $combine:ident, |$acc_i:ident, $i:ident| $final_expr:expr) => {
+        match $mode {
+            PassMode::Partial { cc, ldcc, first } => {
+                for $i in 0..MR {
+                    let slot = cc.as_mut_ptr().add($i * ldcc);
+                    let v = if first {
+                        $acc[$i]
+                    } else {
+                        $combine(_mm256_loadu_pd(slot), $acc[$i])
+                    };
+                    _mm256_storeu_pd(slot, v);
+                }
+            }
+            PassMode::Last { prior, out } => {
+                if let Some((cc, ldcc)) = prior {
+                    for $i in 0..MR {
+                        let prev = _mm256_loadu_pd(cc.as_ptr().add($i * ldcc));
+                        $acc[$i] = $combine(prev, $acc[$i]);
+                    }
+                }
+                for $i in 0..MR {
+                    let $acc_i = $acc[$i];
+                    let v = $final_expr;
+                    _mm256_storeu_pd(out.as_mut_ptr().add($i * NR), v);
+                }
+            }
+        }
+    };
+}
+
+#[inline(always)]
+unsafe fn vadd(a: __m256d, b: __m256d) -> __m256d {
+    _mm256_add_pd(a, b)
+}
+
+#[inline(always)]
+unsafe fn vmax(a: __m256d, b: __m256d) -> __m256d {
+    _mm256_max_pd(a, b)
+}
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn sq_l2(dcb: usize, ap: &[f64], bp: &[f64], q2: &[f64], r2: &[f64], mode: PassMode<'_>) {
+    let mut acc = [_mm256_setzero_pd(); MR];
+    rank_update!(dcb, ap, bp, acc, |a, b, acc_i| _mm256_fmadd_pd(a, b, acc_i));
+    let r2v = _mm256_loadu_pd(r2.as_ptr());
+    let two = _mm256_set1_pd(2.0);
+    let zero = _mm256_setzero_pd();
+    finish!(acc, mode, vadd, |acc_i, i| {
+        // dist = max(0, q2 + r2 − 2·acc): one FNMA + one max per row
+        let sum = _mm256_add_pd(_mm256_set1_pd(q2[i]), r2v);
+        _mm256_max_pd(_mm256_fnmadd_pd(two, acc_i, sum), zero)
+    });
+}
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn cosine(dcb: usize, ap: &[f64], bp: &[f64], q2: &[f64], r2: &[f64], mode: PassMode<'_>) {
+    // rank update identical to squared-ℓ2 (accumulate the inner
+    // product); only the epilogue differs: 1 − acc/√(q2·r2), with a
+    // zero-denominator blend to 1.0 (never NaN).
+    let mut acc = [_mm256_setzero_pd(); MR];
+    rank_update!(dcb, ap, bp, acc, |a, b, acc_i| _mm256_fmadd_pd(a, b, acc_i));
+    let r2v = _mm256_loadu_pd(r2.as_ptr());
+    let one = _mm256_set1_pd(1.0);
+    let zero = _mm256_setzero_pd();
+    finish!(acc, mode, vadd, |acc_i, i| {
+        let denom = _mm256_sqrt_pd(_mm256_mul_pd(_mm256_set1_pd(q2[i]), r2v));
+        let cosd = _mm256_sub_pd(one, _mm256_div_pd(acc_i, denom));
+        let ok = _mm256_cmp_pd(denom, zero, _CMP_GT_OQ);
+        _mm256_blendv_pd(one, cosd, ok)
+    });
+}
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn l1(dcb: usize, ap: &[f64], bp: &[f64], mode: PassMode<'_>) {
+    let mut acc = [_mm256_setzero_pd(); MR];
+    rank_update!(dcb, ap, bp, acc, |a, b, acc_i| _mm256_add_pd(
+        acc_i,
+        abs_pd(_mm256_sub_pd(a, b))
+    ));
+    finish!(acc, mode, vadd, |acc_i, _i| acc_i);
+}
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn linf(dcb: usize, ap: &[f64], bp: &[f64], mode: PassMode<'_>) {
+    let mut acc = [_mm256_setzero_pd(); MR];
+    rank_update!(dcb, ap, bp, acc, |a, b, acc_i| _mm256_max_pd(
+        acc_i,
+        abs_pd(_mm256_sub_pd(a, b))
+    ));
+    finish!(acc, mode, vmax, |acc_i, _i| acc_i);
+}
+
+/// Vectorized pruning filter (§2.4 "Heap selection"): does any of the `NR`
+/// distances in this tile row undercut the heap root? Broadcast the root
+/// and compare — one `VCMP` + `movemask`, the paper's scheme. Returns a
+/// lane bitmask (0 ⇒ the whole row can be discarded without touching the
+/// heap).
+///
+/// # Safety
+/// Requires AVX2 (checked via [`available`] by callers) and `row ≥ NR`.
+#[target_feature(enable = "avx2")]
+pub unsafe fn row_filter_mask(row: &[f64], threshold: f64) -> u32 {
+    let v = _mm256_loadu_pd(row.as_ptr());
+    let t = _mm256_set1_pd(threshold);
+    // `<=` not `<`: equal-distance candidates may still win the index
+    // tie-break inside the heap.
+    _mm256_movemask_pd(_mm256_cmp_pd(v, t, _CMP_LE_OQ)) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_mask_flags_lanes_leq_threshold() {
+        if !available() {
+            return;
+        }
+        let row = [1.0, 5.0, 3.0, 3.0];
+        // SAFETY: AVX2 available, row has NR elements.
+        let m = unsafe { row_filter_mask(&row, 3.0) };
+        assert_eq!(m, 0b1101);
+        let none = unsafe { row_filter_mask(&row, 0.5) };
+        assert_eq!(none, 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! AVX-512F specializations of the fused micro-kernel.
+//!
+//! The paper closes by noting GSKNN's portability story: moving to a new
+//! x86 generation "only requires changing the block size and rewriting
+//! the micro kernel". This is that rewrite for AVX-512: the 8×4 tile is
+//! processed as **four 512-bit accumulators, each holding two adjacent
+//! tile rows** (rows `2j` and `2j+1` are contiguous in the tile, so one
+//! `zmm` register covers both). Per `p` step that is 4 FMAs instead of
+//! AVX2's 8 — half the instruction count at the same tile shape, which
+//! keeps the packing layout and every outer loop unchanged.
+//!
+//! Register layout per step `p`:
+//!
+//! ```text
+//! bb   = [ b0 b1 b2 b3 | b0 b1 b2 b3 ]          (broadcast_f64x4)
+//! aj   = [ a(2j) ×4    | a(2j+1) ×4  ]          (permutexvar of a pair)
+//! accj = fma(aj, bb, accj)                       j = 0..4
+//! ```
+
+#![cfg(target_arch = "x86_64")]
+
+use super::{PassMode, MR, NR};
+use dataset::DistanceKind;
+use std::arch::x86_64::*;
+
+/// AVX-512F available on this CPU (checked once).
+pub fn available() -> bool {
+    use std::sync::OnceLock;
+    static AVAIL: OnceLock<bool> = OnceLock::new();
+    *AVAIL.get_or_init(|| std::arch::is_x86_feature_detected!("avx512f"))
+}
+
+/// Vectorized tile pass; contract identical to [`super::tile_pass`].
+///
+/// # Safety
+/// Caller must guarantee AVX-512F support and the slice-length
+/// preconditions of `tile_pass`.
+pub unsafe fn tile_pass_avx512(
+    kind: DistanceKind,
+    dcb: usize,
+    ap: &[f64],
+    bp: &[f64],
+    q2: &[f64],
+    r2: &[f64],
+    mode: PassMode<'_>,
+) {
+    match kind {
+        DistanceKind::SqL2 => sq_l2(dcb, ap, bp, q2, r2, mode),
+        DistanceKind::L1 => l1(dcb, ap, bp, mode),
+        DistanceKind::LInf => linf(dcb, ap, bp, mode),
+        DistanceKind::Cosine => cosine(dcb, ap, bp, q2, r2, mode),
+        DistanceKind::Lp(_) => unreachable!("general p has no AVX-512 path"),
+    }
+}
+
+/// |x| on 8 lanes: clear the sign bit.
+#[inline(always)]
+unsafe fn abs_pd8(x: __m512d) -> __m512d {
+    _mm512_abs_pd(x)
+}
+
+/// The lane-pair spread `[a, a, a, a, b, b, b, b]` from lanes 0/1 of `v`.
+#[inline(always)]
+unsafe fn spread_pair(v: __m512d) -> __m512d {
+    let idx = _mm512_set_epi64(1, 1, 1, 1, 0, 0, 0, 0);
+    _mm512_permutexvar_pd(idx, v)
+}
+
+/// Load two tile rows (`i = 2j`, `2j+1`) from a strided buffer into one
+/// zmm: two 256-bit loads glued with an insert.
+#[inline(always)]
+unsafe fn load_row_pair(base: *const f64, ldcc: usize, j: usize) -> __m512d {
+    let lo = _mm256_loadu_pd(base.add(2 * j * ldcc));
+    let hi = _mm256_loadu_pd(base.add((2 * j + 1) * ldcc));
+    _mm512_insertf64x4(_mm512_castpd256_pd512(lo), hi, 1)
+}
+
+/// Store one zmm as two strided tile rows.
+#[inline(always)]
+unsafe fn store_row_pair(base: *mut f64, ldcc: usize, j: usize, v: __m512d) {
+    _mm256_storeu_pd(base.add(2 * j * ldcc), _mm512_castpd512_pd256(v));
+    _mm256_storeu_pd(base.add((2 * j + 1) * ldcc), _mm512_extractf64x4_pd(v, 1));
+}
+
+macro_rules! rank_update_512 {
+    ($dcb:ident, $ap:ident, $bp:ident, $acc:ident, |$a:ident, $b:ident, $acc_j:ident| $body:expr) => {
+        for p in 0..$dcb {
+            let b4 = _mm256_loadu_pd($bp.as_ptr().add(p * NR));
+            let $b = _mm512_broadcast_f64x4(b4);
+            let a_row = $ap.as_ptr().add(p * MR);
+            for j in 0..MR / 2 {
+                // lanes 0..2 hold a(2j), a(2j+1); spread to halves
+                let pair = _mm512_castpd128_pd512(_mm_loadu_pd(a_row.add(2 * j)));
+                let $a = spread_pair(pair);
+                let $acc_j = $acc[j];
+                $acc[j] = $body;
+            }
+        }
+    };
+}
+
+macro_rules! finish_512 {
+    ($acc:ident, $mode:ident, $combine:ident, |$acc_j:ident, $j:ident| $final_expr:expr) => {
+        match $mode {
+            PassMode::Partial { cc, ldcc, first } => {
+                let base = cc.as_mut_ptr();
+                for $j in 0..MR / 2 {
+                    let v = if first {
+                        $acc[$j]
+                    } else {
+                        $combine(load_row_pair(base, ldcc, $j), $acc[$j])
+                    };
+                    store_row_pair(base, ldcc, $j, v);
+                }
+            }
+            PassMode::Last { prior, out } => {
+                if let Some((cc, ldcc)) = prior {
+                    let base = cc.as_ptr();
+                    for $j in 0..MR / 2 {
+                        $acc[$j] = $combine(load_row_pair(base, ldcc, $j), $acc[$j]);
+                    }
+                }
+                for $j in 0..MR / 2 {
+                    let $acc_j = $acc[$j];
+                    let v = $final_expr;
+                    // two tile rows are contiguous: one 512-bit store
+                    _mm512_storeu_pd(out.as_mut_ptr().add(2 * $j * NR), v);
+                }
+            }
+        }
+    };
+}
+
+#[inline(always)]
+unsafe fn vadd8(a: __m512d, b: __m512d) -> __m512d {
+    _mm512_add_pd(a, b)
+}
+
+#[inline(always)]
+unsafe fn vmax8(a: __m512d, b: __m512d) -> __m512d {
+    _mm512_max_pd(a, b)
+}
+
+#[target_feature(enable = "avx512f,fma")]
+unsafe fn sq_l2(dcb: usize, ap: &[f64], bp: &[f64], q2: &[f64], r2: &[f64], mode: PassMode<'_>) {
+    let mut acc = [_mm512_setzero_pd(); MR / 2];
+    rank_update_512!(dcb, ap, bp, acc, |a, b, acc_j| _mm512_fmadd_pd(a, b, acc_j));
+    let r2v = _mm512_broadcast_f64x4(_mm256_loadu_pd(r2.as_ptr()));
+    let two = _mm512_set1_pd(2.0);
+    let zero = _mm512_setzero_pd();
+    finish_512!(acc, mode, vadd8, |acc_j, j| {
+        // q2 pair spread across the two row-halves, + r2, − 2·acc, clamp
+        let q2p = _mm512_castpd128_pd512(_mm_loadu_pd(q2.as_ptr().add(2 * j)));
+        let sum = _mm512_add_pd(spread_pair(q2p), r2v);
+        _mm512_max_pd(_mm512_fnmadd_pd(two, acc_j, sum), zero)
+    });
+}
+
+#[target_feature(enable = "avx512f,fma")]
+unsafe fn cosine(dcb: usize, ap: &[f64], bp: &[f64], q2: &[f64], r2: &[f64], mode: PassMode<'_>) {
+    let mut acc = [_mm512_setzero_pd(); MR / 2];
+    rank_update_512!(dcb, ap, bp, acc, |a, b, acc_j| _mm512_fmadd_pd(a, b, acc_j));
+    let r2v = _mm512_broadcast_f64x4(_mm256_loadu_pd(r2.as_ptr()));
+    let one = _mm512_set1_pd(1.0);
+    let zero = _mm512_setzero_pd();
+    finish_512!(acc, mode, vadd8, |acc_j, j| {
+        let q2p = _mm512_castpd128_pd512(_mm_loadu_pd(q2.as_ptr().add(2 * j)));
+        let denom = _mm512_sqrt_pd(_mm512_mul_pd(spread_pair(q2p), r2v));
+        let cosd = _mm512_sub_pd(one, _mm512_div_pd(acc_j, denom));
+        let ok = _mm512_cmp_pd_mask(denom, zero, _CMP_GT_OQ);
+        _mm512_mask_blend_pd(ok, one, cosd)
+    });
+}
+
+#[target_feature(enable = "avx512f,fma")]
+unsafe fn l1(dcb: usize, ap: &[f64], bp: &[f64], mode: PassMode<'_>) {
+    let mut acc = [_mm512_setzero_pd(); MR / 2];
+    rank_update_512!(dcb, ap, bp, acc, |a, b, acc_j| _mm512_add_pd(
+        acc_j,
+        abs_pd8(_mm512_sub_pd(a, b))
+    ));
+    finish_512!(acc, mode, vadd8, |acc_j, _j| acc_j);
+}
+
+#[target_feature(enable = "avx512f,fma")]
+unsafe fn linf(dcb: usize, ap: &[f64], bp: &[f64], mode: PassMode<'_>) {
+    let mut acc = [_mm512_setzero_pd(); MR / 2];
+    rank_update_512!(dcb, ap, bp, acc, |a, b, acc_j| _mm512_max_pd(
+        acc_j,
+        abs_pd8(_mm512_sub_pd(a, b))
+    ));
+    finish_512!(acc, mode, vmax8, |acc_j, _j| acc_j);
+}

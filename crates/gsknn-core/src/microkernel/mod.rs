@@ -1,0 +1,517 @@
+//! The fused micro-kernel (§2.4): a rank-`dcb` update producing an
+//! `MR×NR` tile of distances, with the square-distance epilogue folded in
+//! (Algorithm 2.3). Two pass modes support `d > dc`:
+//!
+//! * [`PassMode::Partial`] — not the last `d`-block: fold this block's
+//!   partial accumulation into the `Cc` buffer tile (the paper's rank-dc
+//!   accumulation, the `Tm^Cc` traffic of Table 4);
+//! * [`PassMode::Last`] — the last `d`-block: combine with any prior
+//!   partials, apply the norm's finalization (`‖q‖² + ‖r‖² − 2·qᵀr` for
+//!   squared ℓ2, clamped at 0 against rounding), and emit final distances
+//!   into a stack tile that the caller consumes immediately (Var#1) or
+//!   copies into its distance buffer (buffered variants).
+//!
+//! The ℓp-norm generalization (§2.4 "General ℓp norm") replaces the FMA
+//! with subtract/abs/add (ℓ1), subtract/abs/max (ℓ∞), or a scalar `powf`
+//! loop (general p, the paper's VPOW note). AVX2+FMA specializations are
+//! provided for squared-ℓ2, ℓ1 and ℓ∞; general p falls back to scalar.
+
+mod avx2;
+mod avx512;
+
+use dataset::DistanceKind;
+pub use gemm_kernel::{MR, NR};
+
+#[cfg(target_arch = "x86_64")]
+pub use avx2::{available as avx2_available, row_filter_mask};
+#[cfg(target_arch = "x86_64")]
+pub use avx512::available as avx512_available;
+
+/// Which SIMD implementation of the micro-kernel to run. [`SimdLevel::Auto`]
+/// (the default) picks the widest supported path; the explicit levels
+/// exist for the ISA-ablation benches and for debugging. A requested
+/// level that the CPU does not support silently degrades to the next
+/// narrower one — results are identical across levels by construction
+/// (verified by tests), only speed differs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimdLevel {
+    /// Portable scalar loops (also the `Lp(p)` and fringe path).
+    Scalar,
+    /// 256-bit AVX2+FMA kernels.
+    Avx2,
+    /// 512-bit AVX-512F kernels (two tile rows per register).
+    Avx512,
+    /// Widest supported (the default).
+    Auto,
+}
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+static FORCED_LEVEL: AtomicU8 = AtomicU8::new(3); // Auto
+
+/// Force a SIMD level process-wide (benchmarks/ablations). `Auto` resets.
+pub fn set_simd_level(level: SimdLevel) {
+    let v = match level {
+        SimdLevel::Scalar => 0,
+        SimdLevel::Avx2 => 1,
+        SimdLevel::Avx512 => 2,
+        SimdLevel::Auto => 3,
+    };
+    FORCED_LEVEL.store(v, Ordering::Relaxed);
+}
+
+/// The currently forced SIMD level.
+pub fn simd_level() -> SimdLevel {
+    match FORCED_LEVEL.load(Ordering::Relaxed) {
+        0 => SimdLevel::Scalar,
+        1 => SimdLevel::Avx2,
+        2 => SimdLevel::Avx512,
+        _ => SimdLevel::Auto,
+    }
+}
+
+/// One `MR×NR` distance tile, row-major (`i*NR + j`).
+pub type Tile = [f64; MR * NR];
+
+/// What to do with this `d`-block's accumulation (see module docs).
+pub enum PassMode<'a> {
+    /// Fold into the strided `Cc` tile at `cc[i*ldcc + j]`; `first` resets
+    /// instead of combining.
+    Partial {
+        /// Tile origin inside the `Cc` buffer.
+        cc: &'a mut [f64],
+        /// Row stride of `Cc` in elements.
+        ldcc: usize,
+        /// `true` on the first `d`-block (overwrite, don't combine).
+        first: bool,
+    },
+    /// Produce final distances into `out`; `prior` is the `Cc` tile of the
+    /// earlier passes (`None` when `d ≤ dc`).
+    Last {
+        /// Prior partial tile and its row stride.
+        prior: Option<(&'a [f64], usize)>,
+        /// Destination for the finalized distances.
+        out: &'a mut Tile,
+    },
+}
+
+/// Run one micro-kernel pass.
+///
+/// `ap`/`bp` are packed panels (`dcb*MR` / `dcb*NR`, Z-shape, `bp` rows
+/// 32-byte aligned); `q2`/`r2` are the gathered squared norms for this
+/// tile (used only by [`DistanceKind::SqL2`]).
+pub fn tile_pass(
+    kind: DistanceKind,
+    dcb: usize,
+    ap: &[f64],
+    bp: &[f64],
+    q2: &[f64],
+    r2: &[f64],
+    mode: PassMode<'_>,
+) {
+    debug_assert!(ap.len() >= dcb * MR);
+    debug_assert!(bp.len() >= dcb * NR);
+    debug_assert!(q2.len() >= MR && r2.len() >= NR);
+
+    #[cfg(target_arch = "x86_64")]
+    {
+        let vectorizable = !matches!(kind, DistanceKind::Lp(_));
+        let forced = simd_level();
+        // `Auto` prefers AVX2: the `simd_ablation` harness measures the
+        // AVX-512 kernel a few percent *slower* on the Xeons we target
+        // (permute overhead in the two-rows-per-register layout plus
+        // 512-bit license downclocking). Force `Avx512` to use it anyway.
+        let use_512 = vectorizable && avx512::available() && forced == SimdLevel::Avx512;
+        if use_512 {
+            // SAFETY: AVX-512F checked; slice lengths checked above.
+            unsafe { avx512::tile_pass_avx512(kind, dcb, ap, bp, q2, r2, mode) };
+            return;
+        }
+        let use_256 = vectorizable
+            && avx2::available()
+            && matches!(forced, SimdLevel::Auto | SimdLevel::Avx2);
+        if use_256 {
+            // SAFETY: AVX2+FMA checked; slice lengths checked above.
+            unsafe { avx2::tile_pass_avx2(kind, dcb, ap, bp, q2, r2, mode) };
+            return;
+        }
+    }
+
+    match kind {
+        DistanceKind::SqL2 => tile_pass_scalar(&SqL2Ops, dcb, ap, bp, q2, r2, mode),
+        DistanceKind::L1 => tile_pass_scalar(&L1Ops, dcb, ap, bp, q2, r2, mode),
+        DistanceKind::LInf => tile_pass_scalar(&LInfOps, dcb, ap, bp, q2, r2, mode),
+        DistanceKind::Lp(p) => tile_pass_scalar(&LpOps(p), dcb, ap, bp, q2, r2, mode),
+        DistanceKind::Cosine => tile_pass_scalar(&CosineOps, dcb, ap, bp, q2, r2, mode),
+    }
+}
+
+/// Per-norm scalar operations; one zero-sized (or p-carrying) type per
+/// norm keeps the inner loop monomorphized.
+pub(crate) trait NormOps {
+    /// Identity element of `combine`.
+    const INIT: f64 = 0.0;
+    /// Fold one coordinate pair into the accumulator.
+    fn accum(&self, acc: f64, q: f64, r: f64) -> f64;
+    /// Combine partial accumulations from two `d`-blocks.
+    fn combine(&self, a: f64, b: f64) -> f64 {
+        a + b
+    }
+    /// Turn the accumulator into the final distance.
+    fn finalize(&self, acc: f64, q2: f64, r2: f64) -> f64;
+}
+
+pub(crate) struct SqL2Ops;
+impl NormOps for SqL2Ops {
+    #[inline(always)]
+    fn accum(&self, acc: f64, q: f64, r: f64) -> f64 {
+        acc + q * r
+    }
+    #[inline(always)]
+    fn finalize(&self, acc: f64, q2: f64, r2: f64) -> f64 {
+        // Eq. (1): ‖q−r‖² = ‖q‖² + ‖r‖² − 2·qᵀr; clamp the ~1 ulp
+        // negatives the expansion can produce for near-identical points.
+        (q2 + r2 - 2.0 * acc).max(0.0)
+    }
+}
+
+pub(crate) struct L1Ops;
+impl NormOps for L1Ops {
+    #[inline(always)]
+    fn accum(&self, acc: f64, q: f64, r: f64) -> f64 {
+        acc + (q - r).abs()
+    }
+    #[inline(always)]
+    fn finalize(&self, acc: f64, _q2: f64, _r2: f64) -> f64 {
+        acc
+    }
+}
+
+pub(crate) struct LInfOps;
+impl NormOps for LInfOps {
+    #[inline(always)]
+    fn accum(&self, acc: f64, q: f64, r: f64) -> f64 {
+        acc.max((q - r).abs())
+    }
+    #[inline(always)]
+    fn combine(&self, a: f64, b: f64) -> f64 {
+        a.max(b)
+    }
+    #[inline(always)]
+    fn finalize(&self, acc: f64, _q2: f64, _r2: f64) -> f64 {
+        acc
+    }
+}
+
+pub(crate) struct LpOps(pub f64);
+impl NormOps for LpOps {
+    #[inline(always)]
+    fn accum(&self, acc: f64, q: f64, r: f64) -> f64 {
+        acc + (q - r).abs().powf(self.0)
+    }
+    #[inline(always)]
+    fn finalize(&self, acc: f64, _q2: f64, _r2: f64) -> f64 {
+        acc
+    }
+}
+
+pub(crate) struct CosineOps;
+impl NormOps for CosineOps {
+    #[inline(always)]
+    fn accum(&self, acc: f64, q: f64, r: f64) -> f64 {
+        acc + q * r // same rank-update as squared-ℓ2: the inner product
+    }
+    #[inline(always)]
+    fn finalize(&self, acc: f64, q2: f64, r2: f64) -> f64 {
+        let denom = (q2 * r2).sqrt();
+        if denom > 0.0 {
+            1.0 - acc / denom
+        } else {
+            1.0 // zero-norm operand: "uncorrelated", never NaN
+        }
+    }
+}
+
+fn tile_pass_scalar<N: NormOps>(
+    norm: &N,
+    dcb: usize,
+    ap: &[f64],
+    bp: &[f64],
+    q2: &[f64],
+    r2: &[f64],
+    mode: PassMode<'_>,
+) {
+    let mut acc = [N::INIT; MR * NR];
+    for p in 0..dcb {
+        let a = &ap[p * MR..p * MR + MR];
+        let b = &bp[p * NR..p * NR + NR];
+        for i in 0..MR {
+            for j in 0..NR {
+                acc[i * NR + j] = norm.accum(acc[i * NR + j], a[i], b[j]);
+            }
+        }
+    }
+    match mode {
+        PassMode::Partial { cc, ldcc, first } => {
+            for i in 0..MR {
+                for j in 0..NR {
+                    let slot = &mut cc[i * ldcc + j];
+                    *slot = if first {
+                        acc[i * NR + j]
+                    } else {
+                        norm.combine(*slot, acc[i * NR + j])
+                    };
+                }
+            }
+        }
+        PassMode::Last { prior, out } => {
+            if let Some((cc, ldcc)) = prior {
+                for i in 0..MR {
+                    for j in 0..NR {
+                        acc[i * NR + j] = norm.combine(cc[i * ldcc + j], acc[i * NR + j]);
+                    }
+                }
+            }
+            for i in 0..MR {
+                for j in 0..NR {
+                    out[i * NR + j] = norm.finalize(acc[i * NR + j], q2[i], r2[j]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::{dist_l1, dist_linf, dist_lp, dist_sq_l2, uniform};
+
+    /// Pack MR query points and NR reference points (depth d) and compare
+    /// tile distances against the scalar metric functions.
+    fn check_norm(kind: DistanceKind, d: usize, tol: f64) {
+        let x = uniform(MR + NR, d, 7);
+        let q_idx: Vec<usize> = (0..MR).collect();
+        let r_idx: Vec<usize> = (MR..MR + NR).collect();
+        let mut ap = vec![0.0; MR * d];
+        let mut bp = vec![0.0; NR * d];
+        crate::packing::pack_q_panel(&x, &q_idx, 0, MR, 0, d, &mut ap);
+        crate::packing::pack_r_panel(&x, &r_idx, 0, NR, 0, d, &mut bp);
+        let q2: Vec<f64> = q_idx.iter().map(|&i| x.sqnorm(i)).collect();
+        let r2: Vec<f64> = r_idx.iter().map(|&j| x.sqnorm(j)).collect();
+
+        // single pass
+        let mut out = [0.0; MR * NR];
+        tile_pass(
+            kind,
+            d,
+            &ap,
+            &bp,
+            &q2,
+            &r2,
+            PassMode::Last {
+                prior: None,
+                out: &mut out,
+            },
+        );
+        for i in 0..MR {
+            for j in 0..NR {
+                let want = kind.eval(x.point(q_idx[i]), x.point(r_idx[j]));
+                let got = out[i * NR + j];
+                assert!(
+                    (got - want).abs() <= tol * (1.0 + want.abs()),
+                    "{} single-pass ({i},{j}): {got} vs {want}",
+                    kind.name()
+                );
+            }
+        }
+
+        // split into two passes through a strided Cc tile
+        if d >= 2 {
+            let d1 = d / 2;
+            let d2 = d - d1;
+            let mut ap1 = vec![0.0; MR * d1];
+            let mut bp1 = vec![0.0; NR * d1];
+            let mut ap2 = vec![0.0; MR * d2];
+            let mut bp2 = vec![0.0; NR * d2];
+            crate::packing::pack_q_panel(&x, &q_idx, 0, MR, 0, d1, &mut ap1);
+            crate::packing::pack_r_panel(&x, &r_idx, 0, NR, 0, d1, &mut bp1);
+            crate::packing::pack_q_panel(&x, &q_idx, 0, MR, d1, d2, &mut ap2);
+            crate::packing::pack_r_panel(&x, &r_idx, 0, NR, d1, d2, &mut bp2);
+            let ldcc = NR + 5; // deliberately non-trivial stride
+            let mut cc = vec![f64::NAN; MR * ldcc];
+            tile_pass(
+                kind,
+                d1,
+                &ap1,
+                &bp1,
+                &q2,
+                &r2,
+                PassMode::Partial {
+                    cc: &mut cc,
+                    ldcc,
+                    first: true,
+                },
+            );
+            let mut out2 = [0.0; MR * NR];
+            tile_pass(
+                kind,
+                d2,
+                &ap2,
+                &bp2,
+                &q2,
+                &r2,
+                PassMode::Last {
+                    prior: Some((&cc, ldcc)),
+                    out: &mut out2,
+                },
+            );
+            for (a, b) in out.iter().zip(&out2) {
+                assert!(
+                    (a - b).abs() <= tol * (1.0 + a.abs()),
+                    "{} two-pass mismatch: {a} vs {b}",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sq_l2_matches_metric() {
+        for d in [1, 2, 7, 16, 33] {
+            check_norm(DistanceKind::SqL2, d, 1e-9);
+        }
+    }
+
+    #[test]
+    fn l1_matches_metric() {
+        for d in [1, 5, 24] {
+            check_norm(DistanceKind::L1, d, 1e-12);
+        }
+    }
+
+    #[test]
+    fn linf_matches_metric() {
+        for d in [1, 5, 24] {
+            check_norm(DistanceKind::LInf, d, 1e-12);
+        }
+    }
+
+    #[test]
+    fn lp3_matches_metric() {
+        check_norm(DistanceKind::Lp(3.0), 12, 1e-12);
+    }
+
+    #[test]
+    fn cosine_matches_metric() {
+        for d in [1, 2, 7, 16, 33] {
+            check_norm(DistanceKind::Cosine, d, 1e-9);
+        }
+    }
+
+    #[test]
+    fn all_simd_levels_agree() {
+        // scalar / AVX2 / AVX-512 (whichever are supported) must produce
+        // identical tiles on every vectorizable norm
+        let d = 37;
+        let x = uniform(MR + NR, d, 21);
+        let q_idx: Vec<usize> = (0..MR).collect();
+        let r_idx: Vec<usize> = (MR..MR + NR).collect();
+        let mut ap = vec![0.0; MR * d];
+        let mut bp = vec![0.0; NR * d];
+        crate::packing::pack_q_panel(&x, &q_idx, 0, MR, 0, d, &mut ap);
+        crate::packing::pack_r_panel(&x, &r_idx, 0, NR, 0, d, &mut bp);
+        let q2: Vec<f64> = q_idx.iter().map(|&i| x.sqnorm(i)).collect();
+        let r2: Vec<f64> = r_idx.iter().map(|&j| x.sqnorm(j)).collect();
+
+        // (also covers set/get: the only test that touches the global
+        // level, so it cannot race with other tests in the binary)
+        set_simd_level(SimdLevel::Scalar);
+        assert_eq!(simd_level(), SimdLevel::Scalar);
+        set_simd_level(SimdLevel::Auto);
+        assert_eq!(simd_level(), SimdLevel::Auto);
+
+        for kind in [
+            DistanceKind::SqL2,
+            DistanceKind::L1,
+            DistanceKind::LInf,
+            DistanceKind::Cosine,
+        ] {
+            let run = |level: SimdLevel| {
+                set_simd_level(level);
+                let mut out = [0.0; MR * NR];
+                tile_pass(
+                    kind,
+                    d,
+                    &ap,
+                    &bp,
+                    &q2,
+                    &r2,
+                    PassMode::Last {
+                        prior: None,
+                        out: &mut out,
+                    },
+                );
+                set_simd_level(SimdLevel::Auto);
+                out
+            };
+            let scalar = run(SimdLevel::Scalar);
+            for level in [SimdLevel::Avx2, SimdLevel::Avx512, SimdLevel::Auto] {
+                let got = run(level);
+                for (a, b) in scalar.iter().zip(&got) {
+                    assert!(
+                        (a - b).abs() <= 1e-10 * (1.0 + a.abs()),
+                        "{} {level:?}: {a} vs {b}",
+                        kind.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lp_fractional_matches_metric() {
+        check_norm(DistanceKind::Lp(0.5), 9, 1e-12);
+    }
+
+    #[test]
+    fn sq_l2_self_distance_clamps_to_zero() {
+        // q == r: expansion may round negative; tile must clamp to >= 0.
+        let x = uniform(MR.max(NR), 13, 9);
+        let idx: Vec<usize> = (0..MR.max(NR)).collect();
+        let mut ap = vec![0.0; MR * 13];
+        let mut bp = vec![0.0; NR * 13];
+        crate::packing::pack_q_panel(&x, &idx, 0, MR, 0, 13, &mut ap);
+        crate::packing::pack_r_panel(&x, &idx, 0, NR, 0, 13, &mut bp);
+        let q2: Vec<f64> = (0..MR).map(|i| x.sqnorm(idx[i])).collect();
+        let r2: Vec<f64> = (0..NR).map(|j| x.sqnorm(idx[j])).collect();
+        let mut out = [0.0; MR * NR];
+        tile_pass(
+            DistanceKind::SqL2,
+            13,
+            &ap,
+            &bp,
+            &q2,
+            &r2,
+            PassMode::Last {
+                prior: None,
+                out: &mut out,
+            },
+        );
+        for i in 0..NR {
+            assert!(out[i * NR + i] >= 0.0);
+            assert!(out[i * NR + i] < 1e-9);
+        }
+    }
+
+    #[test]
+    fn metric_functions_agree_with_tile_oracle() {
+        // belt-and-braces: the four scalar metrics behave as expected on a
+        // hand-computed pair
+        let a = [0.0, 3.0];
+        let b = [4.0, 0.0];
+        assert_eq!(dist_sq_l2(&a, &b), 25.0);
+        assert_eq!(dist_l1(&a, &b), 7.0);
+        assert_eq!(dist_linf(&a, &b), 4.0);
+        assert!((dist_lp(&a, &b, 2.0) - 25.0).abs() < 1e-12);
+    }
+}

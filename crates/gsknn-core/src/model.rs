@@ -1,0 +1,478 @@
+//! The §2.6 performance model: predicted runtime `T = Tf + To + Tm` and
+//! floating-point efficiency for GSKNN Var#1, Var#6 and the GEMM-based
+//! Algorithm 2.1, used to (a) explain measured results (Figures 4/5),
+//! (b) pick between Var#1 and Var#6 without exhaustive tuning, and
+//! (c) estimate task runtimes for the task-parallel scheduler (§2.5).
+//!
+//! Terms (paper's notation):
+//!
+//! * `Tf + To = (2d+3)mn/τf + 24ε(mn + mk·log₂k)/τf` — Eq. (3): flops of
+//!   the rank-d update + distance epilogue, plus the instruction cost of
+//!   heap selection (≈12 instructions ≈ 24 flop-equivalents per
+//!   adjustment, `ε` the expected fraction of worst-case adjustments).
+//! * `Tm^Var1 = τb(nd + 2n) + τb(dm + 2m)·⌈n/nc⌉ + τb(⌈d/dc⌉−1)·mn
+//!   + 2·τl·ε·mk·log₂k` — packing traffic for `Rc`/`R2c` (once) and
+//!   `Qc`/`Qc2` (per `jc` block), the `Cc` rank-dc spill when `d > dc`,
+//!   and the random-access heap updates.
+//! * `Tm^Var6 = Tm^Var1 + τb·mn` — Eq. (4): storing `C` once. Var#6's
+//!   4-heap touches one cache line per level, so its heap term uses the
+//!   contiguous rate `τb` where Var#1's binary heap pays the random rate
+//!   `τl` (§2.6 "for a binary heap, τl is roughly 2τb …; for a 4-heap,
+//!   τl will be roughly equal to τb").
+//! * `Tm^GEMM = Tm^Var1 + τb(dm + dn + 2mn)` — Eq. (5): the explicit
+//!   collection of `Q`, `R` and the write+read of the full `C`.
+
+use crate::params::Variant;
+use gemm_kernel::GemmParams;
+
+/// Machine constants of the model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MachineParams {
+    /// Peak floating-point operations per second (`τf`).
+    pub tau_f: f64,
+    /// Seconds per `f64` moved contiguously from slow memory (`τb`).
+    pub tau_b: f64,
+    /// Seconds per random slow-memory access (`τl`).
+    pub tau_l: f64,
+    /// Expected heap-selection cost factor `ε ∈ [0, 1]`.
+    pub epsilon: f64,
+    /// Number of cores `p` (scales `τf`; the paper scales `τb`, `τl` by
+    /// 1/5 for its 10-core runs — bandwidth does not scale linearly).
+    pub cores: usize,
+}
+
+impl MachineParams {
+    /// The paper's single-core Ivy Bridge constants (Figure 4 caption):
+    /// `τf = 8 × 3.54 GHz`, `τb = 2.2 ns`, `τl = 13.91 ns`, `ε = 0.5`.
+    pub fn ivy_bridge_1core() -> Self {
+        MachineParams {
+            tau_f: 8.0 * 3.54e9,
+            tau_b: 2.2e-9,
+            tau_l: 13.91e-9,
+            epsilon: 0.5,
+            cores: 1,
+        }
+    }
+
+    /// The paper's 10-core constants: `τf = 10 × 8 × 3.10 GHz`, `τb` and
+    /// `τl` at 1/5 of the single-core values.
+    pub fn ivy_bridge_10core() -> Self {
+        MachineParams {
+            tau_f: 10.0 * 8.0 * 3.10e9,
+            tau_b: 2.2e-9 / 5.0,
+            tau_l: 13.91e-9 / 5.0,
+            epsilon: 0.5,
+            cores: 10,
+        }
+    }
+}
+
+/// One kernel problem size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProblemSize {
+    /// Number of queries.
+    pub m: usize,
+    /// Number of references.
+    pub n: usize,
+    /// Dimension.
+    pub d: usize,
+    /// Neighbors kept.
+    pub k: usize,
+}
+
+/// Which implementation the model predicts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Approach {
+    /// GSKNN Var#1 (fused tile selection, binary heap).
+    Var1,
+    /// GSKNN Var#6 (post-hoc selection, 4-heap, stores `C`).
+    Var6,
+    /// Algorithm 2.1: GEMM + post-hoc selection.
+    Gemm,
+}
+
+/// The performance model, parameterized by machine constants and the
+/// blocking parameters of the kernel under prediction.
+///
+/// ```
+/// use gsknn_core::{MachineParams, Model, ProblemSize, Variant};
+/// let model = Model::new(MachineParams::ivy_bridge_1core());
+/// let small_k = ProblemSize { m: 8192, n: 8192, d: 64, k: 16 };
+/// assert_eq!(model.choose_variant(&small_k), Variant::Var1);
+/// let large_k = ProblemSize { k: 4096, ..small_k };
+/// assert_eq!(model.choose_variant(&large_k), Variant::Var6);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Model {
+    machine: MachineParams,
+    blocks: GemmParams,
+}
+
+impl Model {
+    /// Model with the paper's blocking parameters.
+    pub fn new(machine: MachineParams) -> Self {
+        Model {
+            machine,
+            blocks: GemmParams::ivy_bridge(),
+        }
+    }
+
+    /// Model with explicit blocking parameters.
+    pub fn with_blocks(machine: MachineParams, blocks: GemmParams) -> Self {
+        Model { machine, blocks }
+    }
+
+    /// The machine constants in use.
+    pub fn machine(&self) -> &MachineParams {
+        &self.machine
+    }
+
+    fn logk(k: usize) -> f64 {
+        (k.max(1) as f64).log2()
+    }
+
+    /// Useful flop count `(2d+3)mn` — the numerator of the paper's GFLOPS
+    /// plots.
+    pub fn flops(&self, p: &ProblemSize) -> f64 {
+        (2 * p.d + 3) as f64 * p.m as f64 * p.n as f64
+    }
+
+    /// Eq. (3): `Tf + To` in seconds (identical for all approaches).
+    pub fn t_compute(&self, p: &ProblemSize) -> f64 {
+        let mn = p.m as f64 * p.n as f64;
+        let heap_ops = p.m as f64 * p.k as f64 * Self::logk(p.k);
+        (self.flops(p) + 24.0 * self.machine.epsilon * (mn + heap_ops)) / self.machine.tau_f
+    }
+
+    /// Slow-memory time for GSKNN Var#1.
+    pub fn tm_var1(&self, p: &ProblemSize) -> f64 {
+        let (m, n, d, k) = (p.m as f64, p.n as f64, p.d as f64, p.k);
+        let mach = &self.machine;
+        let jc_blocks = (p.n as f64 / self.blocks.nc as f64).ceil().max(1.0);
+        let d_blocks = (p.d as f64 / self.blocks.dc as f64).ceil().max(1.0);
+        let pack_r = mach.tau_b * (n * d + 2.0 * n);
+        let pack_q = mach.tau_b * (d * m + 2.0 * m) * jc_blocks;
+        let cc_spill = mach.tau_b * (d_blocks - 1.0) * m * n;
+        let heap = 2.0 * mach.tau_l * mach.epsilon * m * k as f64 * Self::logk(k);
+        pack_r + pack_q + cc_spill + heap
+    }
+
+    /// Slow-memory time for GSKNN Var#6 (Eq. 4) with the 4-heap's
+    /// contiguous-rate heap term.
+    pub fn tm_var6(&self, p: &ProblemSize) -> f64 {
+        let (m, n, k) = (p.m as f64, p.n as f64, p.k);
+        let mach = &self.machine;
+        // Var#1's terms with the heap at τb instead of τl, plus storing C.
+        let heap_delta =
+            2.0 * (mach.tau_b - mach.tau_l) * mach.epsilon * m * k as f64 * Self::logk(k);
+        self.tm_var1(p) + heap_delta + mach.tau_b * m * n
+    }
+
+    /// Slow-memory time for the GEMM approach (Eq. 5).
+    pub fn tm_gemm(&self, p: &ProblemSize) -> f64 {
+        let (m, n, d) = (p.m as f64, p.n as f64, p.d as f64);
+        self.tm_var1(p) + self.machine.tau_b * (d * m + d * n + 2.0 * m * n)
+    }
+
+    /// Total predicted time in seconds.
+    pub fn predict(&self, p: &ProblemSize, which: Approach) -> f64 {
+        let tm = match which {
+            Approach::Var1 => self.tm_var1(p),
+            Approach::Var6 => self.tm_var6(p),
+            Approach::Gemm => self.tm_gemm(p),
+        };
+        self.t_compute(p) + tm
+    }
+
+    /// Predicted efficiency in GFLOPS (the paper's y-axis).
+    pub fn gflops(&self, p: &ProblemSize, which: Approach) -> f64 {
+        self.flops(p) / self.predict(p, which) / 1e9
+    }
+
+    /// Pick the faster of Var#1/Var#6 (§2.6 "Switching between
+    /// variants").
+    pub fn choose_variant(&self, p: &ProblemSize) -> Variant {
+        if self.predict(p, Approach::Var1) <= self.predict(p, Approach::Var6) {
+            Variant::Var1
+        } else {
+            Variant::Var6
+        }
+    }
+
+    /// The predicted Var#1→Var#6 switch-over `k` for fixed `m, n, d`
+    /// (the light-blue dotted threshold of Figure 5), or `None` if Var#1
+    /// wins through `k_max`.
+    pub fn threshold_k(&self, m: usize, n: usize, d: usize, k_max: usize) -> Option<usize> {
+        (1..=k_max).find(|&k| {
+            let p = ProblemSize { m, n, d, k };
+            self.predict(&p, Approach::Var6) < self.predict(&p, Approach::Var1)
+        })
+    }
+
+    /// Runtime estimate for the task-parallel scheduler (§2.5): the
+    /// predicted time of the auto-selected variant.
+    pub fn estimate_runtime(&self, p: &ProblemSize) -> f64 {
+        self.predict(p, Approach::Var1)
+            .min(self.predict(p, Approach::Var6))
+    }
+
+    /// Itemized slow-memory terms — the rows of the paper's Table 4 —
+    /// in seconds, for display/debugging (`bench`'s `table4` harness).
+    /// The sum equals the corresponding `tm_*` total.
+    pub fn tm_terms(&self, p: &ProblemSize, which: Approach) -> Vec<(&'static str, f64)> {
+        let (m, n, d, k) = (p.m as f64, p.n as f64, p.d as f64, p.k);
+        let mach = &self.machine;
+        let jc_blocks = (p.n as f64 / self.blocks.nc as f64).ceil().max(1.0);
+        let d_blocks = (p.d as f64 / self.blocks.dc as f64).ceil().max(1.0);
+        let mut terms = vec![
+            ("pack Rc + R2c", mach.tau_b * (n * d + 2.0 * n)),
+            (
+                "pack Qc + Qc2 (per jc block)",
+                mach.tau_b * (d * m + 2.0 * m) * jc_blocks,
+            ),
+            ("Cc rank-dc spill", mach.tau_b * (d_blocks - 1.0) * m * n),
+        ];
+        let adjustments = mach.epsilon * m * k as f64 * Self::logk(k);
+        match which {
+            Approach::Var1 => {
+                terms.push((
+                    "heap (binary, random access)",
+                    2.0 * mach.tau_l * adjustments,
+                ));
+            }
+            Approach::Var6 => {
+                terms.push((
+                    "heap (4-ary, cache-line access)",
+                    2.0 * mach.tau_b * adjustments,
+                ));
+                terms.push(("store C", mach.tau_b * m * n));
+            }
+            Approach::Gemm => {
+                terms.push((
+                    "heap (binary, random access)",
+                    2.0 * mach.tau_l * adjustments,
+                ));
+                terms.push(("collect Q, R", mach.tau_b * (d * m + d * n)));
+                terms.push(("C write + re-read", mach.tau_b * 2.0 * m * n));
+            }
+        }
+        terms
+    }
+
+    /// §4's alternative metric: predicted **instructions per cycle**.
+    ///
+    /// "GFLOPS doesn't capture the efficiency very well [in low d, large
+    /// k], since the runtime is dominated by heap selections, which don't
+    /// involve any floating point operation. ... IPC that includes the
+    /// instruction count in the neighbor selections can be converted from
+    /// Table 4 by summing up all floating point, non-floating point and
+    /// memory operations together."
+    ///
+    /// Instruction accounting (documented approximations):
+    /// * arithmetic — `(2d+3)mn` flops at 8 flops per 256-bit FMA;
+    /// * selection — 12 instructions per heap adjustment,
+    ///   `ε·m·k·log₂k` adjustments (§2.6's `To` term before the ×2
+    ///   flop-equivalent conversion);
+    /// * memory — one instruction per 4-element vector transfer of the
+    ///   `Tm` traffic, plus one per random heap access.
+    pub fn predicted_ipc(&self, p: &ProblemSize, which: Approach, clock_hz: f64) -> f64 {
+        let (m, _n, _d, k) = (p.m as f64, p.n as f64, p.d as f64, p.k);
+        let mach = &self.machine;
+        let flop_instr = self.flops(p) / 8.0;
+        let adjustments = mach.epsilon * m * k as f64 * Self::logk(k);
+        let sel_instr = 12.0 * adjustments;
+        // contiguous traffic (elements) = non-heap Tm / τb
+        let heap_s = 2.0 * mach.tau_l * mach.epsilon * m * k as f64 * Self::logk(k);
+        let tm = match which {
+            Approach::Var1 => self.tm_var1(p),
+            Approach::Var6 => self.tm_var6(p),
+            Approach::Gemm => self.tm_gemm(p),
+        };
+        let stream_elems = (tm - heap_s).max(0.0) / mach.tau_b;
+        let mem_instr = stream_elems / 4.0 + 2.0 * adjustments;
+        let cycles = self.predict(p, which) * clock_hz * mach.cores as f64;
+        (flop_instr + sel_instr + mem_instr) / cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> Model {
+        Model::new(MachineParams::ivy_bridge_1core())
+    }
+
+    fn p(m: usize, n: usize, d: usize, k: usize) -> ProblemSize {
+        ProblemSize { m, n, d, k }
+    }
+
+    #[test]
+    fn gemm_is_never_faster_than_var1() {
+        let model = model();
+        for d in [4, 16, 64, 256, 1024] {
+            for k in [1, 16, 512, 2048] {
+                let ps = p(8192, 8192, d, k);
+                assert!(
+                    model.predict(&ps, Approach::Gemm) > model.predict(&ps, Approach::Var1),
+                    "d={d} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_gap_shrinks_with_d() {
+        // The paper: GEMM is memory bound in low d; the relative gap
+        // narrows as d grows because the 2τb·mn C-traffic amortizes.
+        let model = model();
+        let lo = p(8192, 8192, 16, 16);
+        let hi = p(8192, 8192, 1024, 16);
+        let ratio_lo = model.predict(&lo, Approach::Gemm) / model.predict(&lo, Approach::Var1);
+        let ratio_hi = model.predict(&hi, Approach::Gemm) / model.predict(&hi, Approach::Var1);
+        assert!(ratio_lo > ratio_hi);
+        assert!(ratio_lo > 1.5, "low-d speedup should be large: {ratio_lo}");
+        assert!(ratio_hi < 1.3, "high-d speedup should be small: {ratio_hi}");
+    }
+
+    #[test]
+    fn var1_wins_small_k_var6_wins_large_k() {
+        let model = model();
+        let small = p(8192, 8192, 64, 16);
+        assert_eq!(model.choose_variant(&small), Variant::Var1);
+        let large = p(8192, 8192, 64, 4096);
+        assert_eq!(model.choose_variant(&large), Variant::Var6);
+    }
+
+    #[test]
+    fn threshold_exists_and_orders_decisions() {
+        let model = model();
+        let thr = model.threshold_k(8192, 8192, 64, 8192).expect("threshold");
+        assert!(thr > 16, "threshold too small: {thr}");
+        // below the threshold Var#1 is chosen, at it Var#6
+        assert_eq!(
+            model.choose_variant(&p(8192, 8192, 64, thr - 1)),
+            Variant::Var1
+        );
+        assert_eq!(model.choose_variant(&p(8192, 8192, 64, thr)), Variant::Var6);
+    }
+
+    #[test]
+    fn gflops_bounded_by_peak() {
+        let model = model();
+        for d in [8, 128, 1024] {
+            let g = model.gflops(&p(8192, 8192, d, 16), Approach::Var1);
+            assert!(g > 0.0 && g < model.machine().tau_f / 1e9, "d={d}: {g}");
+        }
+    }
+
+    #[test]
+    fn efficiency_increases_with_d_within_a_dc_block() {
+        // Figure 4's main shape: GFLOPS grows with d — except for the
+        // periodic drop each time d crosses a dc stride and the Cc spill
+        // grows ("the slow memory cost of Cc increases every dc stride;
+        // thus, the performance will drop periodically", §4). Check
+        // monotonicity inside the first block and overall growth.
+        let model = model();
+        let mut prev = 0.0;
+        for d in [8, 32, 128, 256] {
+            let g = model.gflops(&p(8192, 8192, d, 16), Approach::Var1);
+            assert!(g > prev, "d={d}: {g} <= {prev}");
+            prev = g;
+        }
+        let g_high = model.gflops(&p(8192, 8192, 1024, 16), Approach::Var1);
+        let g_low = model.gflops(&p(8192, 8192, 8, 16), Approach::Var1);
+        assert!(g_high > 1.3 * g_low, "{g_high} vs {g_low}");
+        // and the dip at the dc boundary exists
+        let before = model.gflops(&p(8192, 8192, 256, 16), Approach::Var1);
+        let after = model.gflops(&p(8192, 8192, 257, 16), Approach::Var1);
+        assert!(after < before, "expected the periodic Cc-spill dip");
+    }
+
+    #[test]
+    fn efficiency_degrades_with_k() {
+        let model = model();
+        let mut prev = f64::INFINITY;
+        for k in [16, 128, 512, 2048] {
+            let g = model.gflops(&p(8192, 8192, 64, k), Approach::Var1);
+            assert!(g < prev, "k={k}: {g} >= {prev}");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn ten_core_predicts_higher_gflops() {
+        let one = Model::new(MachineParams::ivy_bridge_1core());
+        let ten = Model::new(MachineParams::ivy_bridge_10core());
+        let ps = p(8192, 8192, 256, 16);
+        assert!(ten.gflops(&ps, Approach::Var1) > 4.0 * one.gflops(&ps, Approach::Var1));
+    }
+
+    #[test]
+    fn cc_spill_kicks_in_past_dc() {
+        let model = model();
+        // crossing dc=256 adds the Cc term: a visible jump in Tm
+        let below = model.tm_var1(&p(4096, 4096, 256, 16));
+        let above = model.tm_var1(&p(4096, 4096, 257, 16));
+        let jump = above - below;
+        let mn_traffic = model.machine().tau_b * 4096.0 * 4096.0;
+        assert!(jump > 0.9 * mn_traffic, "Cc spill jump missing: {jump}");
+    }
+
+    #[test]
+    fn tm_terms_sum_to_totals() {
+        let model = model();
+        for (d, k) in [(16usize, 16usize), (300, 512), (1024, 2048)] {
+            let ps = p(4096, 8192, d, k);
+            for (a, total) in [
+                (Approach::Var1, model.tm_var1(&ps)),
+                (Approach::Var6, model.tm_var6(&ps)),
+                (Approach::Gemm, model.tm_gemm(&ps)),
+            ] {
+                let sum: f64 = model.tm_terms(&ps, a).iter().map(|(_, v)| v).sum();
+                assert!(
+                    (sum - total).abs() <= 1e-12 * total.abs().max(1e-30),
+                    "{a:?} d={d} k={k}: {sum} vs {total}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ipc_is_positive_and_superscalar_bounded() {
+        let model = model();
+        let clock = 3.54e9;
+        for (d, k) in [(16usize, 16usize), (16, 2048), (1024, 16), (1024, 2048)] {
+            for a in [Approach::Var1, Approach::Var6, Approach::Gemm] {
+                let ipc = model.predicted_ipc(&p(8192, 8192, d, k), a, clock);
+                assert!(ipc > 0.0 && ipc < 8.0, "d={d} k={k} {a:?}: {ipc}");
+            }
+        }
+    }
+
+    #[test]
+    fn ipc_degrades_less_than_gflops_in_heap_bound_regime() {
+        // §4: GFLOPS collapses when heap selection dominates, IPC does
+        // not — the selection instructions still count as work.
+        let model = model();
+        let clock = 3.54e9;
+        let light = p(8192, 8192, 16, 16);
+        let heavy = p(8192, 8192, 16, 2048);
+        let gflops_ratio =
+            model.gflops(&heavy, Approach::Var6) / model.gflops(&light, Approach::Var6);
+        let ipc_ratio = model.predicted_ipc(&heavy, Approach::Var6, clock)
+            / model.predicted_ipc(&light, Approach::Var6, clock);
+        assert!(
+            ipc_ratio > gflops_ratio,
+            "IPC should fall less than GFLOPS: {ipc_ratio} vs {gflops_ratio}"
+        );
+    }
+
+    #[test]
+    fn estimate_runtime_scales_with_problem() {
+        let model = model();
+        let t1 = model.estimate_runtime(&p(1024, 1024, 64, 16));
+        let t2 = model.estimate_runtime(&p(2048, 2048, 64, 16));
+        assert!(t2 > 3.0 * t1, "quadratic growth expected: {t1} {t2}");
+    }
+}

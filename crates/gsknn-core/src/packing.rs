@@ -1,0 +1,214 @@
+//! Gather-packing (§2.3 "Packing"): GSKNN's defining difference from the
+//! GEMM approach is that panels are packed **directly from the global
+//! coordinate table `X` through the index lists `q`/`r`** — the explicit
+//! collection `Q(:,i) = X(:,q(i))` of Algorithm 2.1 never happens, saving
+//! the `2dm + 2dn` memory traffic the performance model charges the
+//! baseline for (Eq. 5).
+
+use dataset::PointSet;
+use gemm_kernel::{MR, NR};
+
+/// Gather-pack the query-side panel `Qc`: points `q_idx[ic .. ic+mcb]`,
+/// coordinates `pc .. pc+dcb`, as `MR`-wide micro-panels (element `(i, p)`
+/// of micro-panel `ib` at `ib*MR*dcb + p*MR + i`), fringe zero-padded.
+///
+/// `out.len()` must equal `⌈mcb/MR⌉ * MR * dcb`.
+pub fn pack_q_panel(
+    x: &PointSet,
+    q_idx: &[usize],
+    ic: usize,
+    mcb: usize,
+    pc: usize,
+    dcb: usize,
+    out: &mut [f64],
+) {
+    gather_pack::<MR>(x, q_idx, ic, mcb, pc, dcb, out)
+}
+
+/// Gather-pack the reference-side panel `Rc` (`NR`-wide micro-panels).
+pub fn pack_r_panel(
+    x: &PointSet,
+    r_idx: &[usize],
+    jc: usize,
+    ncb: usize,
+    pc: usize,
+    dcb: usize,
+    out: &mut [f64],
+) {
+    gather_pack::<NR>(x, r_idx, jc, ncb, pc, dcb, out)
+}
+
+fn gather_pack<const W: usize>(
+    x: &PointSet,
+    idx: &[usize],
+    c0: usize,
+    cols: usize,
+    pc: usize,
+    dcb: usize,
+    out: &mut [f64],
+) {
+    let blocks = cols.div_ceil(W);
+    assert_eq!(out.len(), blocks * W * dcb, "packed buffer size mismatch");
+    debug_assert!(c0 + cols <= idx.len());
+    for ib in 0..blocks {
+        let base = ib * W * dcb;
+        let width = (cols - ib * W).min(W);
+        for i in 0..width {
+            let src = x.point_slab(idx[c0 + ib * W + i], pc, dcb);
+            for (p, &v) in src.iter().enumerate() {
+                out[base + p * W + i] = v;
+            }
+        }
+        // fringe zero-padding so the micro-kernel runs full tiles
+        for i in width..W {
+            for p in 0..dcb {
+                out[base + p * W + i] = 0.0;
+            }
+        }
+    }
+}
+
+/// Gather squared norms `X2(idx[c0..c0+cols])` into `out`, padding the
+/// `W`-aligned tail with zeros (pad distances are discarded by the
+/// selection bounds, so their value is irrelevant).
+pub fn pack_sqnorms<const W: usize>(
+    x: &PointSet,
+    idx: &[usize],
+    c0: usize,
+    cols: usize,
+    out: &mut [f64],
+) {
+    let padded = cols.div_ceil(W) * W;
+    assert_eq!(out.len(), padded, "sqnorm buffer size mismatch");
+    for i in 0..cols {
+        out[i] = x.sqnorm(idx[c0 + i]);
+    }
+    for slot in out[cols..].iter_mut() {
+        *slot = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::uniform;
+
+    #[test]
+    fn q_panel_gathers_through_indices() {
+        let x = uniform(10, 3, 1);
+        let q = [7usize, 2, 9, 0, 4, 1, 8, 3, 5]; // 9 queries, MR=8 -> 2 blocks
+        let mcb = 9usize;
+        let dcb = 2;
+        let blocks = mcb.div_ceil(MR);
+        let mut out = vec![f64::NAN; blocks * MR * dcb];
+        pack_q_panel(&x, &q, 0, mcb, 1, dcb, &mut out);
+        // element (i=0, p=0) of block 0: X(1, q[0]=7)
+        assert_eq!(out[0], x.point(7)[1]);
+        // element (i=3, p=1) of block 0: X(2, q[3]=0)
+        assert_eq!(out[MR + 3], x.point(0)[2]);
+        // block 1 holds only q[8]=5, rest zero-padded
+        let b1 = MR * dcb;
+        assert_eq!(out[b1], x.point(5)[1]);
+        assert_eq!(out[b1 + 1], 0.0);
+        assert_eq!(out[b1 + MR + 1], 0.0);
+    }
+
+    #[test]
+    fn r_panel_respects_offset() {
+        let x = uniform(6, 4, 2);
+        let r = [5usize, 4, 3, 2, 1, 0];
+        let mut out = vec![f64::NAN; NR * 4];
+        pack_r_panel(&x, &r, 2, 4, 0, 4, &mut out);
+        // (j=0, p=0): X(0, r[2]=3)
+        assert_eq!(out[0], x.point(3)[0]);
+        // (j=3, p=2): X(2, r[5]=0)
+        assert_eq!(out[2 * NR + 3], x.point(0)[2]);
+    }
+
+    #[test]
+    fn sqnorms_gather_and_pad() {
+        let x = uniform(5, 2, 3);
+        let idx = [4usize, 1, 3];
+        let mut out = vec![f64::NAN; 4]; // W=4 pad
+        pack_sqnorms::<4>(&x, &idx, 0, 3, &mut out);
+        assert_eq!(out[0], x.sqnorm(4));
+        assert_eq!(out[2], x.sqnorm(3));
+        assert_eq!(out[3], 0.0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Gather-packing through an index permutation must equal
+            /// strided packing of the permuted dense matrix — the
+            /// equivalence that lets GSKNN skip the collection phase.
+            #[test]
+            fn gather_equals_collect_then_pack(
+                n in 1usize..25,
+                d in 1usize..10,
+                seed in 0u64..500,
+                idx in prop::collection::vec(0usize..25, 1..30),
+            ) {
+                let idx: Vec<usize> = idx.into_iter().map(|i| i % n).collect();
+                let x = uniform(n, d, seed);
+                let collected = x.gather(&idx); // dense d×|idx| colmajor
+                let mcb = idx.len();
+                let dcb = d;
+                let blocks = mcb.div_ceil(MR);
+                let mut via_gather = vec![f64::NAN; blocks * MR * dcb];
+                let mut via_collect = via_gather.clone();
+                pack_q_panel(&x, &idx, 0, mcb, 0, dcb, &mut via_gather);
+                gemm_kernel::pack_a_panel(&collected, d, 0, mcb, 0, dcb, &mut via_collect);
+                prop_assert_eq!(via_gather, via_collect);
+            }
+
+            /// Sub-window packing agrees with full packing on the
+            /// overlapping region for the reference side too.
+            #[test]
+            fn r_panel_subwindow(
+                n in 4usize..30,
+                d in 2usize..8,
+                seed in 0u64..100,
+            ) {
+                let x = uniform(n, d, seed);
+                let r_idx: Vec<usize> = (0..n).rev().collect();
+                let jc = n / 4;
+                let ncb = n - jc;
+                let pc = d / 2;
+                let dcb = d - pc;
+                let blocks = ncb.div_ceil(NR);
+                let mut out = vec![f64::NAN; blocks * NR * dcb];
+                pack_r_panel(&x, &r_idx, jc, ncb, pc, dcb, &mut out);
+                // spot-check every real element against the source
+                for jb in 0..blocks {
+                    let width = (ncb - jb * NR).min(NR);
+                    for p in 0..dcb {
+                        for j in 0..width {
+                            let got = out[jb * NR * dcb + p * NR + j];
+                            let want = x.point(r_idx[jc + jb * NR + j])[pc + p];
+                            prop_assert_eq!(got, want);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_gemm_kernel_packing_on_identity_indices() {
+        // With q = 0..n, gather-packing X must equal strided packing of
+        // X's raw buffer — the two packing implementations cross-check.
+        let x = uniform(7, 5, 4);
+        let q: Vec<usize> = (0..7).collect();
+        let mcb = 7usize;
+        let dcb = 3;
+        let blocks = mcb.div_ceil(MR);
+        let mut got = vec![f64::NAN; blocks * MR * dcb];
+        let mut want = got.clone();
+        pack_q_panel(&x, &q, 0, mcb, 1, dcb, &mut got);
+        gemm_kernel::pack_a_panel(x.as_slice(), 5, 0, mcb, 1, dcb, &mut want);
+        assert_eq!(got, want);
+    }
+}

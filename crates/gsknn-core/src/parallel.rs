@@ -1,0 +1,264 @@
+//! Data-parallel GSKNN (§2.5): parallelize the **4th loop**. Every query
+//! chunk of `mc` rows goes to one worker, which packs its private `Qc`
+//! (the paper: "each processor will create a private Qc and preserve it
+//! in its private L2") while the packed `Rc` panel is shared read-only
+//! ("Rc is shared and preserved in the L3 cache"). Parallelizing the
+//! reference-side loops (3rd/6th) would race on the per-query heaps —
+//! the paper's footnote 5 — so we never do.
+//!
+//! Load balance: when `m` is not a multiple of `mc × p` the fixed `mc`
+//! leaves stragglers, so `mc` is re-derived per problem
+//! ([`dynamic_mc`]) — the paper's "dynamically deciding mc".
+
+use crate::buffers::KernelStats;
+use crate::microkernel::MR;
+use crate::packing::{pack_r_panel, pack_sqnorms};
+use crate::params::Variant;
+use crate::variants::{
+    cc_geometry, feed_degenerate, ic_block_body, select_block, DriverArgs, RefBlock, SelHeap,
+};
+use gemm_kernel::{AlignedBuf, GemmParams, NR};
+use rayon::prelude::*;
+
+/// Pick an effective `mc` so the 4th loop splits into a whole number of
+/// near-equal chunks per worker: smallest multiple of `MR` such that the
+/// chunk count is a multiple of `p` (when `m` is large enough) and no
+/// chunk exceeds the cache-derived `mc_base`.
+pub fn dynamic_mc(m: usize, p: usize, mc_base: usize) -> usize {
+    assert!(p > 0 && mc_base >= MR);
+    if m == 0 {
+        return mc_base;
+    }
+    let min_chunks = m.div_ceil(mc_base).max(1);
+    let chunks = min_chunks.div_ceil(p) * p;
+    (m.div_ceil(chunks)).div_ceil(MR) * MR
+}
+
+/// Run the kernel with the data-parallel 4th-loop scheme on the current
+/// rayon thread pool, using up to `p` query chunks per sweep.
+///
+/// Exactly equivalent to [`crate::variants::run_serial`] (bit-identical
+/// heaps: workers own disjoint query ranges, so no merge is needed).
+pub fn run_data_parallel(args: &DriverArgs<'_>, heaps: &mut [SelHeap], p: usize) {
+    let m = args.q_idx.len();
+    let n = args.r_idx.len();
+    let d = args.xq.dim();
+    assert_eq!(heaps.len(), m, "one heap per query");
+    assert!(
+        args.variant != Variant::Auto,
+        "driver needs a concrete variant"
+    );
+    args.params.validate().expect("invalid blocking parameters");
+    if m == 0 || n == 0 || d == 0 {
+        feed_degenerate(args, heaps);
+        return;
+    }
+
+    let GemmParams { dc, nc, .. } = args.params;
+    let mc = dynamic_mc(m, p.max(1), args.params.mc);
+    let variant = args.variant;
+    let geo = cc_geometry(args);
+    let mut cc = AlignedBuf::new();
+    if geo.need_cc {
+        cc.resize(geo.pad_m * geo.ldcc);
+    }
+    let mut r_pack = AlignedBuf::new();
+    let mut r2_pack = AlignedBuf::new();
+
+    for jc in (0..n).step_by(nc) {
+        let ncb = (n - jc).min(nc);
+        let col0 = if variant == Variant::Var6 { jc } else { 0 };
+
+        for pc in (0..d).step_by(dc) {
+            let dcb = (d - pc).min(dc);
+            let first = pc == 0;
+            let last = pc + dcb >= d;
+
+            let nblocks = ncb.div_ceil(NR);
+            r_pack.resize(nblocks * NR * dcb);
+            pack_r_panel(args.xr, args.r_idx, jc, ncb, pc, dcb, r_pack.as_mut_slice());
+            if last {
+                r2_pack.resize(nblocks * NR);
+                pack_sqnorms::<NR>(args.xr, args.r_idx, jc, ncb, r2_pack.as_mut_slice());
+            }
+            let rb = RefBlock {
+                r_pack: r_pack.as_slice(),
+                r2_pack: r2_pack.as_slice(),
+                jc,
+                ncb,
+                dcb,
+                first,
+                last,
+                col0,
+                pc,
+            };
+
+            // Parallel 4th loop: zip disjoint query/heap/Cc chunks.
+            let heap_chunks = heaps.par_chunks_mut(mc);
+            let nchunks = m.div_ceil(mc);
+            if geo.need_cc {
+                cc.as_mut_slice()
+                    .par_chunks_mut(mc * geo.ldcc)
+                    .zip(heap_chunks)
+                    .enumerate()
+                    .for_each(|(ci, (cc_rows, heap_chunk))| {
+                        let ic = ci * mc;
+                        let mcb = (m - ic).min(mc);
+                        let mut q_pack = AlignedBuf::new();
+                        let mut q2_pack = AlignedBuf::new();
+                        let mut stats = KernelStats::default();
+                        ic_block_body(
+                            args,
+                            ic,
+                            mcb,
+                            &rb,
+                            geo.ldcc,
+                            &mut q_pack,
+                            &mut q2_pack,
+                            Some(cc_rows),
+                            heap_chunk,
+                            &mut stats,
+                        );
+                    });
+            } else {
+                heap_chunks.enumerate().for_each(|(ci, heap_chunk)| {
+                    let ic = ci * mc;
+                    let mcb = (m - ic).min(mc);
+                    let mut q_pack = AlignedBuf::new();
+                    let mut q2_pack = AlignedBuf::new();
+                    let mut stats = KernelStats::default();
+                    ic_block_body(
+                        args,
+                        ic,
+                        mcb,
+                        &rb,
+                        geo.ldcc,
+                        &mut q_pack,
+                        &mut q2_pack,
+                        None,
+                        heap_chunk,
+                        &mut stats,
+                    );
+                });
+            }
+            debug_assert_eq!(nchunks, m.div_ceil(mc));
+        }
+        // Var#5: parallel per-query selection over this jc block
+        if variant == Variant::Var5 {
+            let cc_ref = cc.as_slice();
+            heaps.par_iter_mut().enumerate().for_each(|(i, heap)| {
+                let mut stats = KernelStats::default();
+                select_block(
+                    cc_ref,
+                    geo.ldcc,
+                    i..i + 1,
+                    col0..col0 + ncb,
+                    jc,
+                    args.r_idx,
+                    std::slice::from_mut(heap),
+                    &mut stats,
+                )
+            });
+        }
+    }
+    if variant == Variant::Var6 {
+        let cc_ref = cc.as_slice();
+        heaps.par_iter_mut().enumerate().for_each(|(i, heap)| {
+            let mut stats = KernelStats::default();
+            select_block(
+                cc_ref,
+                geo.ldcc,
+                i..i + 1,
+                0..n,
+                0,
+                args.r_idx,
+                std::slice::from_mut(heap),
+                &mut stats,
+            )
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffers::GsknnWorkspace;
+    use crate::variants::run_serial;
+    use dataset::{uniform, DistanceKind};
+    use knn_select::Neighbor;
+
+    #[test]
+    fn dynamic_mc_divides_work_evenly() {
+        // m = 1000, p = 4, mc_base = 104 -> 12 chunks (multiple of 4)
+        let mc = dynamic_mc(1000, 4, 104);
+        assert_eq!(mc % MR, 0);
+        let chunks = 1000usize.div_ceil(mc);
+        assert_eq!(chunks % 4, 0);
+        assert!(mc <= 104);
+    }
+
+    #[test]
+    fn dynamic_mc_small_m_single_chunk_per_worker() {
+        let mc = dynamic_mc(16, 8, 104);
+        assert_eq!(mc % MR, 0);
+        assert!(16usize.div_ceil(mc) <= 8);
+    }
+
+    #[test]
+    fn dynamic_mc_degenerate() {
+        assert_eq!(dynamic_mc(0, 4, 104), 104);
+        assert!(dynamic_mc(1, 1, MR) >= MR);
+    }
+
+    fn sorted_rows(heaps: Vec<SelHeap>) -> Vec<Vec<Neighbor>> {
+        heaps.into_iter().map(|h| h.into_sorted_vec()).collect()
+    }
+
+    #[test]
+    fn parallel_equals_serial_every_variant() {
+        let x = uniform(150, 12, 77);
+        let q_idx: Vec<usize> = (0..70).collect();
+        let r_idx: Vec<usize> = (0..150).collect();
+        for variant in Variant::ALL {
+            let args = DriverArgs::same(
+                &x,
+                &q_idx,
+                &r_idx,
+                DistanceKind::SqL2,
+                GemmParams::tiny(),
+                variant,
+            );
+            let mut serial: Vec<SelHeap> = (0..70).map(|_| SelHeap::new(5, false)).collect();
+            let mut ws = GsknnWorkspace::new();
+            run_serial(&args, &mut serial, &mut ws);
+            let mut par: Vec<SelHeap> = (0..70).map(|_| SelHeap::new(5, false)).collect();
+            run_data_parallel(&args, &mut par, 4);
+            for (i, (s, p)) in sorted_rows(serial)
+                .into_iter()
+                .zip(sorted_rows(par))
+                .enumerate()
+            {
+                assert_eq!(s, p, "{} row {i}", variant.name());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_multipass_and_norms() {
+        let x = uniform(80, 30, 99); // d=30 > tiny dc=8: multipass
+        let q_idx: Vec<usize> = (10..60).collect();
+        let r_idx: Vec<usize> = (0..80).collect();
+        for kind in [DistanceKind::SqL2, DistanceKind::LInf] {
+            let args =
+                DriverArgs::same(&x, &q_idx, &r_idx, kind, GemmParams::tiny(), Variant::Var1);
+            let mut serial: Vec<SelHeap> = (0..50).map(|_| SelHeap::new(7, false)).collect();
+            let mut ws = GsknnWorkspace::new();
+            run_serial(&args, &mut serial, &mut ws);
+            let mut par: Vec<SelHeap> = (0..50).map(|_| SelHeap::new(7, false)).collect();
+            run_data_parallel(&args, &mut par, 3);
+            for (s, p) in sorted_rows(serial).into_iter().zip(sorted_rows(par)) {
+                assert_eq!(s, p, "{}", kind.name());
+            }
+        }
+    }
+}

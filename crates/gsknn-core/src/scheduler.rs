@@ -1,0 +1,202 @@
+//! Task-parallel GSKNN (§2.5): many small independent kernels — the
+//! leaves of a randomized KD-tree, the buckets of an LSH table — each too
+//! small to data-parallelize profitably, scheduled across `p` workers.
+//!
+//! The paper's scheme: estimate each kernel's runtime with the §2.6 model,
+//! sort descending, and greedily assign each task to the worker with the
+//! least accumulated time — LPT (longest processing time) list
+//! scheduling, Graham's classic 4/3-approximation on homogeneous workers.
+
+use crate::kernel::{Gsknn, GsknnConfig};
+use crate::model::{MachineParams, Model, ProblemSize};
+use dataset::{DistanceKind, PointSet};
+use knn_select::NeighborTable;
+
+/// One independent kNN kernel invocation.
+#[derive(Clone, Debug)]
+pub struct KnnTask {
+    /// Query ids into the shared coordinate table.
+    pub q_idx: Vec<usize>,
+    /// Reference ids.
+    pub r_idx: Vec<usize>,
+    /// Neighbors to keep.
+    pub k: usize,
+}
+
+/// Greedy LPT assignment: returns `p` buckets of task indices. Costs must
+/// be non-negative; ties broken by original order (stable).
+pub fn lpt_schedule(costs: &[f64], p: usize) -> Vec<Vec<usize>> {
+    assert!(p > 0, "need at least one worker");
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_by(|&a, &b| {
+        costs[b]
+            .partial_cmp(&costs[a])
+            .expect("NaN task cost")
+            .then(a.cmp(&b))
+    });
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); p];
+    let mut loads = vec![0.0f64; p];
+    for t in order {
+        // worker with the smallest accumulated load (first on ties)
+        let w = loads
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap())
+            .map(|(i, _)| i)
+            .expect("p > 0");
+        buckets[w].push(t);
+        loads[w] += costs[t];
+    }
+    buckets
+}
+
+/// The makespan (max worker load) of a schedule under the given costs.
+pub fn makespan(schedule: &[Vec<usize>], costs: &[f64]) -> f64 {
+    schedule
+        .iter()
+        .map(|b| b.iter().map(|&t| costs[t]).sum::<f64>())
+        .fold(0.0, f64::max)
+}
+
+/// Run `tasks` against `x` on `p` workers with model-guided LPT
+/// scheduling. Returns one [`NeighborTable`] per task, in task order.
+///
+/// Each worker owns a private [`Gsknn`] context (workspace reuse within a
+/// worker, zero sharing between workers).
+pub fn run_task_parallel(
+    x: &PointSet,
+    tasks: &[KnnTask],
+    kind: DistanceKind,
+    cfg: &GsknnConfig,
+    machine: MachineParams,
+    p: usize,
+) -> Vec<NeighborTable> {
+    let model = Model::new(machine);
+    let costs: Vec<f64> = tasks
+        .iter()
+        .map(|t| {
+            model.estimate_runtime(&ProblemSize {
+                m: t.q_idx.len(),
+                n: t.r_idx.len(),
+                d: x.dim(),
+                k: t.k,
+            })
+        })
+        .collect();
+    let schedule = lpt_schedule(&costs, p.max(1));
+
+    let mut results: Vec<Option<NeighborTable>> = vec![None; tasks.len()];
+    // Hand each worker its bucket plus a matching slice of result slots.
+    // Results are scattered, so collect per worker and write back after.
+    let worker_outputs: Vec<Vec<(usize, NeighborTable)>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = schedule
+            .iter()
+            .map(|bucket| {
+                let cfg = cfg.clone();
+                scope.spawn(move |_| {
+                    let mut exec = Gsknn::new(cfg);
+                    bucket
+                        .iter()
+                        .map(|&t| {
+                            let task = &tasks[t];
+                            (t, exec.run(x, &task.q_idx, &task.r_idx, task.k, kind))
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("scope");
+
+    for out in worker_outputs {
+        for (t, table) in out {
+            results[t] = Some(table);
+        }
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every task scheduled exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::uniform;
+
+    #[test]
+    fn lpt_distributes_equal_tasks_evenly() {
+        let costs = vec![1.0; 8];
+        let s = lpt_schedule(&costs, 4);
+        assert!(s.iter().all(|b| b.len() == 2));
+        assert!((makespan(&s, &costs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lpt_biggest_tasks_go_first_and_spread() {
+        let costs = vec![5.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let s = lpt_schedule(&costs, 2);
+        // the 5.0 task must sit alone-ish: makespan 5, not 6+
+        assert!(makespan(&s, &costs) <= 5.0 + 1e-12);
+    }
+
+    #[test]
+    fn lpt_within_graham_bound() {
+        // Graham: LPT makespan <= (4/3 - 1/(3p)) * OPT; check against the
+        // trivial lower bound max(total/p, max_cost).
+        let costs: Vec<f64> = (1..=37).map(|i| ((i * 7919) % 100 + 1) as f64).collect();
+        for p in [1usize, 2, 3, 5, 8] {
+            let s = lpt_schedule(&costs, p);
+            let total: f64 = costs.iter().sum();
+            let lower = (total / p as f64).max(costs.iter().cloned().fold(0.0, f64::max));
+            let bound = (4.0 / 3.0 - 1.0 / (3.0 * p as f64)) * lower;
+            assert!(
+                makespan(&s, &costs) <= bound + 1e-9,
+                "p={p}: {} > {}",
+                makespan(&s, &costs),
+                bound
+            );
+        }
+    }
+
+    #[test]
+    fn every_task_scheduled_exactly_once() {
+        let costs = vec![3.0, 1.0, 4.0, 1.0, 5.0];
+        let s = lpt_schedule(&costs, 3);
+        let mut seen: Vec<usize> = s.concat();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn task_parallel_matches_serial_execution() {
+        let x = uniform(120, 8, 55);
+        let tasks: Vec<KnnTask> = (0..6)
+            .map(|t| KnnTask {
+                q_idx: (t * 20..(t + 1) * 20).collect(),
+                r_idx: (0..120).collect(),
+                k: 4,
+            })
+            .collect();
+        let cfg = GsknnConfig::default();
+        let got = run_task_parallel(
+            &x,
+            &tasks,
+            DistanceKind::SqL2,
+            &cfg,
+            MachineParams::ivy_bridge_1core(),
+            3,
+        );
+        let mut exec = Gsknn::new(cfg);
+        for (task, table) in tasks.iter().zip(&got) {
+            let want = exec.run(&x, &task.q_idx, &task.r_idx, task.k, DistanceKind::SqL2);
+            for i in 0..task.q_idx.len() {
+                assert_eq!(table.row(i), want.row(i));
+            }
+        }
+    }
+}

@@ -1,0 +1,805 @@
+//! The six-loop GSKNN nest (Algorithm 2.2) with every legal placement of
+//! the heap selection (§2.3, Var#1–Var#6 minus the non-viable Var#4).
+//!
+//! Loop roles (outer to inner): 6th `jc` partitions the references by
+//! `nc`; 5th `pc` partitions the dimension by `dc`; 4th `ic` partitions
+//! the queries by `mc`; 3rd `jr` / 2nd `ir` sweep `NR`/`MR` micro-tiles;
+//! the 1st loop is the fused micro-kernel ([`crate::microkernel`]).
+//!
+//! Selection placement:
+//!
+//! | Variant | after loop | distances buffered          |
+//! |---------|-----------|------------------------------|
+//! | Var#1   | 1st        | none (tile consumed hot)     |
+//! | Var#2   | 2nd        | `m × nc` block (strip reads) |
+//! | Var#3   | 3rd        | `m × nc` block               |
+//! | Var#5   | 5th        | `m × nc` block               |
+//! | Var#6   | 6th        | full `m × n`                 |
+//!
+//! The 4th-loop body (`ic_block_body`) is factored out so the
+//! data-parallel scheme (§2.5) can run it on disjoint query chunks —
+//! private `Qc` per thread, shared packed `Rc` — without duplicating the
+//! nest.
+
+use crate::buffers::{GsknnWorkspace, KernelStats};
+use crate::microkernel::{tile_pass, PassMode, Tile, MR, NR};
+use crate::packing::{pack_q_panel, pack_r_panel, pack_sqnorms};
+use crate::params::Variant;
+use dataset::{DistanceKind, PointSet};
+use gemm_kernel::{AlignedBuf, GemmParams};
+use knn_select::{BinaryMaxHeap, FourHeap, Neighbor};
+
+/// Per-query selection heap: binary for small `k` (Var#1's choice), 4-ary
+/// for large `k` (Var#6's choice) — §2.4 "Heap selection".
+///
+/// When built from a non-empty existing row ([`SelHeap::from_row`]), the
+/// heap switches to id-unique insertion: the iterated approximate solvers
+/// re-visit stored neighbors across trees/tables, and without the
+/// membership check a duplicate id would evict a genuine k-th neighbor
+/// (breaking the solvers' recall monotonicity). Fresh heaps keep the
+/// unchecked O(1)-filter push of the paper.
+#[derive(Clone, Debug)]
+pub enum SelHeap {
+    /// Binary max-heap (`dedup` = id-unique insertion).
+    Bin(BinaryMaxHeap, bool),
+    /// Padded 4-ary max-heap (`dedup` = id-unique insertion).
+    Four(FourHeap, bool),
+}
+
+impl SelHeap {
+    /// Fresh heap of capacity `k`; `four` picks the 4-ary layout.
+    pub fn new(k: usize, four: bool) -> Self {
+        if four {
+            SelHeap::Four(FourHeap::new(k), false)
+        } else {
+            SelHeap::Bin(BinaryMaxHeap::new(k), false)
+        }
+    }
+
+    /// Build from an existing neighbor row (sentinels dropped); id-unique
+    /// insertion is enabled iff the row holds any real entry.
+    pub fn from_row(k: usize, row: &[Neighbor], four: bool) -> Self {
+        let seeded = row.iter().any(|n| n.dist.is_finite());
+        if four {
+            SelHeap::Four(FourHeap::from_row(k, row), seeded)
+        } else {
+            SelHeap::Bin(BinaryMaxHeap::from_row(k, row), seeded)
+        }
+    }
+
+    /// Offer a candidate.
+    #[inline(always)]
+    pub fn push(&mut self, cand: Neighbor) -> bool {
+        match self {
+            SelHeap::Bin(h, false) => h.push(cand),
+            SelHeap::Bin(h, true) => h.push_unique(cand),
+            SelHeap::Four(h, false) => h.push(cand),
+            SelHeap::Four(h, true) => h.push_unique(cand),
+        }
+    }
+
+    /// Current pruning bound (+∞ until full).
+    #[inline(always)]
+    pub fn threshold(&self) -> f64 {
+        match self {
+            SelHeap::Bin(h, _) => h.threshold(),
+            SelHeap::Four(h, _) => h.threshold(),
+        }
+    }
+
+    /// Drain into ascending sorted order.
+    pub fn into_sorted_vec(self) -> Vec<Neighbor> {
+        match self {
+            SelHeap::Bin(h, _) => h.into_sorted_vec(),
+            SelHeap::Four(h, _) => h.into_sorted_vec(),
+        }
+    }
+}
+
+/// Immutable description of one kernel invocation.
+///
+/// The paper's interface draws queries and references from one global
+/// table `X`; here the two sides may come from *different* tables of the
+/// same dimension (`xq`/`xr`), which adds out-of-sample (train/test)
+/// search for free — pass the same table twice for the paper's setting
+/// ([`DriverArgs::same`]).
+pub struct DriverArgs<'a> {
+    /// Coordinate table the queries are gathered from.
+    pub xq: &'a PointSet,
+    /// Coordinate table the references are gathered from.
+    pub xr: &'a PointSet,
+    /// Query ids into `xq` (the `q` array — general stride).
+    pub q_idx: &'a [usize],
+    /// Reference ids into `xr` (the `r` array).
+    pub r_idx: &'a [usize],
+    /// Distance to compute.
+    pub kind: DistanceKind,
+    /// Blocking parameters.
+    pub params: GemmParams,
+    /// Selection placement (must be concrete, not `Auto`).
+    pub variant: Variant,
+}
+
+impl<'a> DriverArgs<'a> {
+    /// The paper's single-table form: queries and references both from `x`.
+    pub fn same(
+        x: &'a PointSet,
+        q_idx: &'a [usize],
+        r_idx: &'a [usize],
+        kind: DistanceKind,
+        params: GemmParams,
+        variant: Variant,
+    ) -> Self {
+        DriverArgs {
+            xq: x,
+            xr: x,
+            q_idx,
+            r_idx,
+            kind,
+            params,
+            variant,
+        }
+    }
+}
+
+/// Geometry shared by the serial and parallel drivers.
+pub(crate) struct CcGeometry {
+    /// Row stride of the `Cc` buffer (columns padded to `NR`).
+    pub ldcc: usize,
+    /// Total `Cc` rows (queries padded to `MR`).
+    pub pad_m: usize,
+    /// Whether a `Cc` buffer is needed at all.
+    pub need_cc: bool,
+}
+
+pub(crate) fn cc_geometry(args: &DriverArgs<'_>) -> CcGeometry {
+    let m = args.q_idx.len();
+    let n = args.r_idx.len();
+    let d = args.xq.dim();
+    let multipass = d > args.params.dc;
+    let buffered = args.variant != Variant::Var1;
+    let pad_m = m.div_ceil(MR) * MR;
+    let ldcc = if args.variant == Variant::Var6 {
+        n.div_ceil(NR) * NR
+    } else {
+        args.params.nc.min(n.div_ceil(NR) * NR)
+    };
+    CcGeometry {
+        ldcc,
+        pad_m,
+        need_cc: multipass || buffered,
+    }
+}
+
+/// State of the current `(jc, pc)` iteration handed to the 4th-loop body.
+pub(crate) struct RefBlock<'a> {
+    /// Packed `Rc` panel for this `(jc, pc)`.
+    pub r_pack: &'a [f64],
+    /// Packed `R2c` (only valid when `last`).
+    pub r2_pack: &'a [f64],
+    /// Reference-block origin (6th-loop index).
+    pub jc: usize,
+    /// Reference-block extent.
+    pub ncb: usize,
+    /// Dimension-block extent (5th loop).
+    pub dcb: usize,
+    /// First `d`-block?
+    pub first: bool,
+    /// Last `d`-block (distances finalize)?
+    pub last: bool,
+    /// `Cc` column of this block's first reference.
+    pub col0: usize,
+    /// Dimension-block origin (5th-loop index).
+    pub pc: usize,
+}
+
+/// The 4th-loop body for one query chunk: pack `Qc`(+`Qc2`), sweep the
+/// 3rd/2nd loops, run the fused micro-kernel per tile, and perform
+/// Var#1/2/3 selection. All row indexing is local to the chunk: `heaps`
+/// and `cc_rows` start at query `ic_global`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn ic_block_body(
+    args: &DriverArgs<'_>,
+    ic_global: usize,
+    mcb: usize,
+    rb: &RefBlock<'_>,
+    ldcc: usize,
+    q_pack: &mut AlignedBuf,
+    q2_pack: &mut AlignedBuf,
+    mut cc_rows: Option<&mut [f64]>,
+    heaps: &mut [SelHeap],
+    stats: &mut KernelStats,
+) {
+    let variant = args.variant;
+    let multipass = args.xq.dim() > args.params.dc;
+    let buffered = variant != Variant::Var1;
+    let dcb = rb.dcb;
+    let mblocks = mcb.div_ceil(MR);
+
+    q_pack.resize(mblocks * MR * dcb);
+    pack_q_panel(
+        args.xq,
+        args.q_idx,
+        ic_global,
+        mcb,
+        rb.pc,
+        dcb,
+        q_pack.as_mut_slice(),
+    );
+    if rb.last {
+        q2_pack.resize(mblocks * MR);
+        pack_sqnorms::<MR>(args.xq, args.q_idx, ic_global, mcb, q2_pack.as_mut_slice());
+    }
+
+    // 3rd loop: reference micro-panels
+    for jr in (0..rb.ncb).step_by(NR) {
+        let nre = (rb.ncb - jr).min(NR);
+        let bp = &rb.r_pack[(jr / NR) * NR * dcb..];
+        // §2.4 rank-dc pipeline: prefetch the *next* Rc micro-panel so it
+        // streams toward L1 while the whole ir sweep consumes the current
+        // one (the paper's "the next required micro-panel of Rc ... can
+        // be prefetched and overlapped with the current rank-dc update").
+        #[cfg(target_arch = "x86_64")]
+        {
+            let next = (jr / NR + 1) * NR * dcb;
+            if next < rb.r_pack.len() {
+                // SAFETY: prefetch has no architectural memory effects
+                // and the address is in-bounds of r_pack.
+                unsafe {
+                    std::arch::x86_64::_mm_prefetch(
+                        rb.r_pack.as_ptr().add(next) as *const i8,
+                        std::arch::x86_64::_MM_HINT_T0,
+                    )
+                };
+            }
+        }
+        // 2nd loop: query micro-panels
+        for ir in (0..mcb).step_by(MR) {
+            let mre = (mcb - ir).min(MR);
+            let ap = &q_pack.as_slice()[(ir / MR) * MR * dcb..];
+            let tile_origin = ir * ldcc + rb.col0 + jr;
+
+            if !rb.last {
+                let cc = cc_rows.as_deref_mut().expect("partial pass requires Cc");
+                tile_pass(
+                    args.kind,
+                    dcb,
+                    ap,
+                    bp,
+                    &ZERO_ROW,
+                    &ZERO_ROW,
+                    PassMode::Partial {
+                        cc: &mut cc[tile_origin..],
+                        ldcc,
+                        first: rb.first,
+                    },
+                );
+                continue;
+            }
+
+            let q2 = &q2_pack.as_slice()[ir..];
+            let r2 = &rb.r2_pack[jr..];
+            let mut out: Tile = [0.0; MR * NR];
+            {
+                let prior = if multipass && !rb.first {
+                    let cc = cc_rows.as_deref().expect("multipass requires Cc");
+                    Some((&cc[tile_origin..], ldcc))
+                } else {
+                    None
+                };
+                tile_pass(
+                    args.kind,
+                    dcb,
+                    ap,
+                    bp,
+                    q2,
+                    r2,
+                    PassMode::Last {
+                        prior,
+                        out: &mut out,
+                    },
+                );
+            }
+
+            stats.tiles += 1;
+            if buffered {
+                let cc = cc_rows
+                    .as_deref_mut()
+                    .expect("buffered variant requires Cc");
+                for i in 0..MR {
+                    let dst = &mut cc[tile_origin + i * ldcc..tile_origin + i * ldcc + NR];
+                    dst.copy_from_slice(&out[i * NR..i * NR + NR]);
+                }
+            } else {
+                select_tile(&out, ir, mre, rb.jc + jr, nre, args.r_idx, heaps, stats);
+            }
+        }
+        // Var#2: select the mcb × nre strip just completed
+        if variant == Variant::Var2 && rb.last {
+            let cc = cc_rows.as_deref().expect("Var#2 requires Cc");
+            select_block(
+                cc,
+                ldcc,
+                0..mcb,
+                rb.col0 + jr..rb.col0 + jr + nre,
+                rb.jc + jr,
+                args.r_idx,
+                heaps,
+                stats,
+            );
+        }
+    }
+    // Var#3: select the mcb × ncb macro-block
+    if variant == Variant::Var3 && rb.last {
+        let cc = cc_rows.as_deref().expect("Var#3 requires Cc");
+        select_block(
+            cc,
+            ldcc,
+            0..mcb,
+            rb.col0..rb.col0 + rb.ncb,
+            rb.jc,
+            args.r_idx,
+            heaps,
+            stats,
+        );
+    }
+}
+
+static ZERO_ROW: [f64; MR] = [0.0; MR];
+
+/// Run the six-loop nest serially, updating `heaps[i]` (one per query,
+/// `heaps.len() == q_idx.len()`) with every reference candidate.
+pub fn run_serial(args: &DriverArgs<'_>, heaps: &mut [SelHeap], ws: &mut GsknnWorkspace) {
+    let m = args.q_idx.len();
+    let n = args.r_idx.len();
+    let d = args.xq.dim();
+    assert_eq!(heaps.len(), m, "one heap per query");
+    assert_eq!(d, args.xr.dim(), "query/reference dimension mismatch");
+    assert!(
+        args.variant != Variant::Auto,
+        "driver needs a concrete variant"
+    );
+    args.params.validate().expect("invalid blocking parameters");
+    if m == 0 || n == 0 || d == 0 {
+        feed_degenerate(args, heaps);
+        return;
+    }
+
+    let GemmParams { dc, mc, nc } = args.params;
+    let variant = args.variant;
+    let geo = cc_geometry(args);
+    if geo.need_cc {
+        ws.cc.resize(geo.pad_m * geo.ldcc);
+    }
+
+    // 6th loop: partition the references
+    for jc in (0..n).step_by(nc) {
+        let ncb = (n - jc).min(nc);
+        let col0 = if variant == Variant::Var6 { jc } else { 0 };
+
+        // 5th loop: partition the dimension
+        for pc in (0..d).step_by(dc) {
+            let dcb = (d - pc).min(dc);
+            let first = pc == 0;
+            let last = pc + dcb >= d;
+
+            let nblocks = ncb.div_ceil(NR);
+            ws.r_pack.resize(nblocks * NR * dcb);
+            pack_r_panel(
+                args.xr,
+                args.r_idx,
+                jc,
+                ncb,
+                pc,
+                dcb,
+                ws.r_pack.as_mut_slice(),
+            );
+            if last {
+                ws.r2_pack.resize(nblocks * NR);
+                pack_sqnorms::<NR>(args.xr, args.r_idx, jc, ncb, ws.r2_pack.as_mut_slice());
+            }
+            let rb = RefBlock {
+                r_pack: ws.r_pack.as_slice(),
+                r2_pack: ws.r2_pack.as_slice(),
+                jc,
+                ncb,
+                dcb,
+                first,
+                last,
+                col0,
+                pc,
+            };
+
+            // 4th loop: partition the queries
+            let GsknnWorkspace {
+                q_pack,
+                q2_pack,
+                cc,
+                stats,
+                ..
+            } = ws;
+            for ic in (0..m).step_by(mc) {
+                let mcb = (m - ic).min(mc);
+                let cc_rows = if geo.need_cc {
+                    let rows = (geo.pad_m - ic).min(mc.div_ceil(MR) * MR);
+                    Some(&mut cc.as_mut_slice()[ic * geo.ldcc..(ic + rows) * geo.ldcc])
+                } else {
+                    None
+                };
+                ic_block_body(
+                    args,
+                    ic,
+                    mcb,
+                    &rb,
+                    geo.ldcc,
+                    q_pack,
+                    q2_pack,
+                    cc_rows,
+                    &mut heaps[ic..ic + mcb],
+                    stats,
+                );
+            }
+        }
+        // Var#5: all queries against this jc block
+        if variant == Variant::Var5 {
+            let GsknnWorkspace { cc, stats, .. } = ws;
+            select_block(
+                cc.as_slice(),
+                geo.ldcc,
+                0..m,
+                col0..col0 + ncb,
+                jc,
+                args.r_idx,
+                heaps,
+                stats,
+            );
+        }
+    }
+    // Var#6: the classical post-hoc selection over the full matrix
+    if variant == Variant::Var6 {
+        let GsknnWorkspace { cc, stats, .. } = ws;
+        select_block(
+            cc.as_slice(),
+            geo.ldcc,
+            0..m,
+            0..n,
+            0,
+            args.r_idx,
+            heaps,
+            stats,
+        );
+    }
+}
+
+/// `d == 0`: every distance is 0; still feed candidates so the semantics
+/// (k nearest ids by tie-break) hold. `m == 0` / `n == 0`: nothing to do.
+pub(crate) fn feed_degenerate(args: &DriverArgs<'_>, heaps: &mut [SelHeap]) {
+    if args.xq.dim() == 0 && !args.q_idx.is_empty() {
+        for heap in heaps.iter_mut() {
+            for &rj in args.r_idx {
+                heap.push(Neighbor::new(0.0, rj as u32));
+            }
+        }
+    }
+}
+
+/// Var#1 tile selection with the vectorized root filter: one broadcast
+/// compare per row decides whether the heap is touched at all — the O(n)
+/// best case of heap selection.
+#[inline]
+pub(crate) fn select_tile(
+    out: &Tile,
+    row0: usize,
+    mre: usize,
+    refcol0: usize,
+    nre: usize,
+    r_idx: &[usize],
+    heaps: &mut [SelHeap],
+    stats: &mut KernelStats,
+) {
+    #[cfg(target_arch = "x86_64")]
+    let use_simd = crate::microkernel::avx2_available();
+    for i in 0..mre {
+        let heap = &mut heaps[row0 + i];
+        let row = &out[i * NR..i * NR + NR];
+        let thr = heap.threshold();
+        #[cfg(target_arch = "x86_64")]
+        {
+            if use_simd && nre == NR {
+                // SAFETY: AVX2 available; row has NR elements.
+                let mask = unsafe { crate::microkernel::row_filter_mask(row, thr) };
+                if mask == 0 {
+                    stats.rows_filtered += 1;
+                    continue;
+                }
+            }
+        }
+        stats.rows_scanned += 1;
+        for j in 0..nre {
+            let dist = row[j];
+            // `thr` is the bound from before this row: it only admits more
+            // than the live one, and `push` re-checks, so this stays exact.
+            if dist <= thr {
+                stats.candidates_offered += 1;
+                if heap.push(Neighbor::new(dist, r_idx[refcol0 + j] as u32)) {
+                    stats.candidates_kept += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Buffered selection: scan rows of `Cc` and feed candidates to the
+/// per-query heaps (`heaps[i - rows.start]` ↔ `Cc` row `i`, so callers
+/// can hand in exactly the chunk of heaps covering `rows`). `cols` are
+/// `Cc` column coordinates; the global reference of column `c` is
+/// `r_idx[ref0 + (c - cols.start)]`.
+pub(crate) fn select_block(
+    cc: &[f64],
+    ldcc: usize,
+    rows: std::ops::Range<usize>,
+    cols: std::ops::Range<usize>,
+    ref0: usize,
+    r_idx: &[usize],
+    heaps: &mut [SelHeap],
+    stats: &mut KernelStats,
+) {
+    let row0 = rows.start;
+    for i in rows {
+        let heap = &mut heaps[i - row0];
+        let base = i * ldcc;
+        stats.rows_scanned += 1;
+        for (off, c) in cols.clone().enumerate() {
+            let dist = cc[base + c];
+            if dist <= heap.threshold() {
+                stats.candidates_offered += 1;
+                if heap.push(Neighbor::new(dist, r_idx[ref0 + off] as u32)) {
+                    stats.candidates_kept += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::uniform;
+
+    pub(crate) fn brute_force(
+        x: &PointSet,
+        q_idx: &[usize],
+        r_idx: &[usize],
+        k: usize,
+        kind: DistanceKind,
+    ) -> Vec<Vec<Neighbor>> {
+        q_idx
+            .iter()
+            .map(|&qi| {
+                let mut cands: Vec<Neighbor> = r_idx
+                    .iter()
+                    .map(|&rj| Neighbor::new(kind.eval(x.point(qi), x.point(rj)), rj as u32))
+                    .collect();
+                cands.sort_unstable_by(Neighbor::cmp_dist_idx);
+                cands.truncate(k);
+                cands
+            })
+            .collect()
+    }
+
+    fn run_variant(
+        x: &PointSet,
+        q_idx: &[usize],
+        r_idx: &[usize],
+        k: usize,
+        kind: DistanceKind,
+        variant: Variant,
+        params: GemmParams,
+    ) -> Vec<Vec<Neighbor>> {
+        let args = DriverArgs::same(x, q_idx, r_idx, kind, params, variant);
+        let mut heaps: Vec<SelHeap> = (0..q_idx.len()).map(|_| SelHeap::new(k, false)).collect();
+        let mut ws = GsknnWorkspace::new();
+        run_serial(&args, &mut heaps, &mut ws);
+        heaps.into_iter().map(|h| h.into_sorted_vec()).collect()
+    }
+
+    fn assert_rows_match(got: &[Vec<Neighbor>], want: &[Vec<Neighbor>], tol: f64, ctx: &str) {
+        assert_eq!(got.len(), want.len());
+        for (qi, (g, w)) in got.iter().zip(want).enumerate() {
+            assert_eq!(g.len(), w.len(), "{ctx}: row {qi} length");
+            for (a, b) in g.iter().zip(w) {
+                assert!(
+                    (a.dist - b.dist).abs() <= tol * (1.0 + b.dist.abs()),
+                    "{ctx}: row {qi}: dist {} vs {}",
+                    a.dist,
+                    b.dist
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_variants_match_brute_force_small() {
+        let x = uniform(60, 5, 11);
+        let q_idx: Vec<usize> = (0..20).collect();
+        let r_idx: Vec<usize> = (10..60).collect();
+        let want = brute_force(&x, &q_idx, &r_idx, 4, DistanceKind::SqL2);
+        for v in Variant::ALL {
+            let got = run_variant(
+                &x,
+                &q_idx,
+                &r_idx,
+                4,
+                DistanceKind::SqL2,
+                v,
+                GemmParams::tiny(),
+            );
+            assert_rows_match(&got, &want, 1e-9, v.name());
+        }
+    }
+
+    #[test]
+    fn multipass_d_exceeds_dc() {
+        // d = 37 with dc = 8 forces 5 d-blocks including a fringe
+        let x = uniform(40, 37, 3);
+        let q_idx: Vec<usize> = (0..15).collect();
+        let r_idx: Vec<usize> = (0..40).collect();
+        let want = brute_force(&x, &q_idx, &r_idx, 6, DistanceKind::SqL2);
+        for v in Variant::ALL {
+            let got = run_variant(
+                &x,
+                &q_idx,
+                &r_idx,
+                6,
+                DistanceKind::SqL2,
+                v,
+                GemmParams::tiny(),
+            );
+            assert_rows_match(&got, &want, 1e-9, v.name());
+        }
+    }
+
+    #[test]
+    fn non_euclidean_norms_all_variants() {
+        let x = uniform(30, 9, 5);
+        let q_idx: Vec<usize> = (5..25).collect();
+        let r_idx: Vec<usize> = (0..30).collect();
+        for kind in [
+            DistanceKind::L1,
+            DistanceKind::LInf,
+            DistanceKind::Lp(2.5),
+            DistanceKind::Cosine,
+        ] {
+            let want = brute_force(&x, &q_idx, &r_idx, 3, kind);
+            for v in Variant::ALL {
+                let got = run_variant(&x, &q_idx, &r_idx, 3, kind, v, GemmParams::tiny());
+                assert_rows_match(&got, &want, 1e-9, &format!("{} {}", v.name(), kind.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn non_euclidean_norms_multipass() {
+        // d > dc exercises the cross-pass combine (max for L∞!)
+        let x = uniform(25, 21, 37);
+        let q_idx: Vec<usize> = (0..10).collect();
+        let r_idx: Vec<usize> = (0..25).collect();
+        for kind in [DistanceKind::L1, DistanceKind::LInf, DistanceKind::Lp(1.5)] {
+            let want = brute_force(&x, &q_idx, &r_idx, 4, kind);
+            for v in [Variant::Var1, Variant::Var6] {
+                let got = run_variant(&x, &q_idx, &r_idx, 4, kind, v, GemmParams::tiny());
+                assert_rows_match(&got, &want, 1e-9, &format!("{} {}", v.name(), kind.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn general_stride_indices_shuffle() {
+        // non-contiguous, repeated, reversed ids exercise the gather path
+        let x = uniform(50, 8, 13);
+        let q_idx = vec![49, 0, 33, 7, 7, 21];
+        let r_idx: Vec<usize> = (0..50).rev().step_by(2).collect();
+        let want = brute_force(&x, &q_idx, &r_idx, 5, DistanceKind::SqL2);
+        for v in Variant::ALL {
+            let got = run_variant(
+                &x,
+                &q_idx,
+                &r_idx,
+                5,
+                DistanceKind::SqL2,
+                v,
+                GemmParams::tiny(),
+            );
+            assert_rows_match(&got, &want, 1e-9, v.name());
+        }
+    }
+
+    #[test]
+    fn k_exceeds_n_returns_all() {
+        let x = uniform(10, 4, 17);
+        let q_idx: Vec<usize> = (0..3).collect();
+        let r_idx: Vec<usize> = (0..10).collect();
+        let got = run_variant(
+            &x,
+            &q_idx,
+            &r_idx,
+            32,
+            DistanceKind::SqL2,
+            Variant::Var1,
+            GemmParams::tiny(),
+        );
+        assert!(got.iter().all(|row| row.len() == 10));
+    }
+
+    #[test]
+    fn heaps_accumulate_across_calls() {
+        // call the kernel twice with two disjoint reference halves: result
+        // must equal one call on the union — the neighbor-list update
+        // stream of the approximate solvers.
+        let x = uniform(80, 6, 23);
+        let q_idx: Vec<usize> = (0..10).collect();
+        let first_half: Vec<usize> = (0..40).collect();
+        let second_half: Vec<usize> = (40..80).collect();
+        let all: Vec<usize> = (0..80).collect();
+
+        let mut heaps: Vec<SelHeap> = (0..10).map(|_| SelHeap::new(5, false)).collect();
+        let mut ws = GsknnWorkspace::new();
+        for half in [&first_half, &second_half] {
+            let args = DriverArgs::same(
+                &x,
+                &q_idx,
+                half,
+                DistanceKind::SqL2,
+                GemmParams::tiny(),
+                Variant::Var1,
+            );
+            run_serial(&args, &mut heaps, &mut ws);
+        }
+        let got: Vec<Vec<Neighbor>> = heaps.into_iter().map(|h| h.into_sorted_vec()).collect();
+        let want = brute_force(&x, &q_idx, &all, 5, DistanceKind::SqL2);
+        assert_rows_match(&got, &want, 1e-9, "two-call update");
+    }
+
+    #[test]
+    fn ivy_bridge_params_on_moderate_problem() {
+        let x = uniform(700, 20, 31);
+        let q_idx: Vec<usize> = (0..300).collect();
+        let r_idx: Vec<usize> = (200..700).collect();
+        let want = brute_force(&x, &q_idx, &r_idx, 16, DistanceKind::SqL2);
+        for v in [Variant::Var1, Variant::Var6] {
+            let got = run_variant(
+                &x,
+                &q_idx,
+                &r_idx,
+                16,
+                DistanceKind::SqL2,
+                v,
+                GemmParams::ivy_bridge(),
+            );
+            assert_rows_match(&got, &want, 1e-9, v.name());
+        }
+    }
+
+    #[test]
+    fn four_heap_selection_matches_binary() {
+        let x = uniform(90, 7, 41);
+        let q_idx: Vec<usize> = (0..30).collect();
+        let r_idx: Vec<usize> = (0..90).collect();
+        let args = DriverArgs::same(
+            &x,
+            &q_idx,
+            &r_idx,
+            DistanceKind::SqL2,
+            GemmParams::tiny(),
+            Variant::Var6,
+        );
+        let mut bin: Vec<SelHeap> = (0..30).map(|_| SelHeap::new(9, false)).collect();
+        let mut four: Vec<SelHeap> = (0..30).map(|_| SelHeap::new(9, true)).collect();
+        let mut ws = GsknnWorkspace::new();
+        run_serial(&args, &mut bin, &mut ws);
+        run_serial(&args, &mut four, &mut ws);
+        for (b, f) in bin.into_iter().zip(four) {
+            assert_eq!(b.into_sorted_vec(), f.into_sorted_vec());
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Build kNN graphs from neighbor tables or directly from a point set.
+
+use crate::csr::CsrGraph;
+use dataset::{DistanceKind, PointSet};
+use gsknn_core::GsknnConfig;
+use knn_select::NeighborTable;
+use rkdt::{AllNnSolver, GsknnLeaf, RkdtConfig};
+
+/// How to turn the directed kNN relation into an undirected graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Symmetrize {
+    /// Keep the raw directed edges (`u → v` iff `v ∈ kNN(u)`).
+    None,
+    /// Undirected union: edge iff `v ∈ kNN(u)` **or** `u ∈ kNN(v)` —
+    /// the usual choice for manifold-learning graphs.
+    Union,
+    /// Mutual: edge iff `v ∈ kNN(u)` **and** `u ∈ kNN(v)` — sparser,
+    /// robust to hubness.
+    Mutual,
+}
+
+/// Convert an all-NN [`NeighborTable`] (row `i` = neighbors of point `i`)
+/// into a graph. Sentinel entries are skipped; self-edges dropped.
+pub fn from_table(table: &NeighborTable, sym: Symmetrize) -> CsrGraph {
+    let n = table.len();
+    let mut lists: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+    for u in 0..n {
+        for nb in table.row(u).iter().filter(|nb| nb.idx != u32::MAX) {
+            lists[u].push((nb.idx, nb.dist));
+        }
+    }
+    match sym {
+        Symmetrize::None => CsrGraph::from_adjacency(lists),
+        Symmetrize::Union => {
+            let mut out = lists.clone();
+            for (u, list) in lists.iter().enumerate() {
+                for &(v, w) in list {
+                    out[v as usize].push((u as u32, w));
+                }
+            }
+            CsrGraph::from_adjacency(out)
+        }
+        Symmetrize::Mutual => {
+            let directed = CsrGraph::from_adjacency(lists);
+            let mut out: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+            for u in 0..n {
+                for (&v, &w) in directed.neighbors(u).iter().zip(directed.weights(u)) {
+                    if directed.has_edge(v as usize, u as u32) {
+                        out[u].push((v, w));
+                    }
+                }
+            }
+            CsrGraph::from_adjacency(out)
+        }
+    }
+}
+
+/// Exact kNN graph via the GSKNN kernel (one all-against-all kernel
+/// call): O(N²d) — fine up to a few tens of thousands of points.
+///
+/// ```
+/// use knn_graph::{build_exact, Symmetrize};
+/// use dataset::DistanceKind;
+/// let x = dataset::uniform(100, 8, 1);
+/// let g = build_exact(&x, 4, DistanceKind::SqL2, Symmetrize::Union);
+/// assert_eq!(g.num_vertices(), 100);
+/// assert!(g.is_symmetric());
+/// ```
+pub fn build_exact(x: &PointSet, k: usize, kind: DistanceKind, sym: Symmetrize) -> CsrGraph {
+    let ids: Vec<usize> = (0..x.len()).collect();
+    let mut exec = gsknn_core::Gsknn::new(GsknnConfig::default());
+    // k+1 then strip self: the nearest neighbor of each point is itself
+    let table = exec.run(x, &ids, &ids, k + 1, kind);
+    from_table(&strip_self(&table), sym)
+}
+
+/// Approximate kNN graph via the randomized-KD-tree all-NN solver —
+/// the scalable path (the paper's Table 1 pipeline feeding a graph).
+pub fn build_with_forest(
+    x: &PointSet,
+    k: usize,
+    kind: DistanceKind,
+    sym: Symmetrize,
+    cfg: RkdtConfig,
+) -> CsrGraph {
+    let (table, _) = AllNnSolver::new(cfg).solve(
+        x,
+        k + 1,
+        || GsknnLeaf::new(GsknnConfig::default(), kind),
+        None,
+    );
+    from_table(&strip_self(&table), sym)
+}
+
+/// Drop each row's self-match (if present) and shrink rows by one.
+fn strip_self(table: &NeighborTable) -> NeighborTable {
+    let k = table.k().saturating_sub(1);
+    let mut out = NeighborTable::new(table.len(), k);
+    for i in 0..table.len() {
+        let row: Vec<knn_select::Neighbor> = table
+            .row(i)
+            .iter()
+            .filter(|nb| nb.idx != i as u32 && nb.idx != u32::MAX)
+            .take(k)
+            .copied()
+            .collect();
+        out.set_row(i, &row);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::uniform;
+
+    #[test]
+    fn exact_graph_shape() {
+        let x = uniform(60, 5, 3);
+        let g = build_exact(&x, 4, DistanceKind::SqL2, Symmetrize::None);
+        assert_eq!(g.num_vertices(), 60);
+        let (min, _, max) = g.degree_stats();
+        assert_eq!((min, max), (4, 4), "every vertex has exactly k out-edges");
+    }
+
+    #[test]
+    fn union_is_symmetric_mutual_is_subset() {
+        let x = uniform(80, 6, 7);
+        let union = build_exact(&x, 3, DistanceKind::SqL2, Symmetrize::Union);
+        let mutual = build_exact(&x, 3, DistanceKind::SqL2, Symmetrize::Mutual);
+        assert!(union.is_symmetric());
+        assert!(mutual.is_symmetric());
+        assert!(mutual.num_edges() <= union.num_edges());
+        for u in 0..80 {
+            for &v in mutual.neighbors(u) {
+                assert!(union.has_edge(u, v), "mutual ⊄ union at {u}->{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_self_edges() {
+        let x = uniform(40, 4, 9);
+        let g = build_exact(&x, 5, DistanceKind::SqL2, Symmetrize::None);
+        for u in 0..40 {
+            assert!(!g.has_edge(u, u as u32));
+        }
+    }
+
+    #[test]
+    fn forest_graph_approximates_exact() {
+        let x = dataset::gaussian_embedded(300, 12, 3, 5);
+        let exact = build_exact(&x, 4, DistanceKind::SqL2, Symmetrize::None);
+        let approx = build_with_forest(
+            &x,
+            4,
+            DistanceKind::SqL2,
+            Symmetrize::None,
+            RkdtConfig {
+                leaf_size: 64,
+                iterations: 8,
+                seed: 1,
+                parallel_leaves: false,
+            },
+        );
+        // edge recall
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for u in 0..300 {
+            for &v in exact.neighbors(u) {
+                total += 1;
+                if approx.has_edge(u, v) {
+                    hit += 1;
+                }
+            }
+        }
+        let recall = hit as f64 / total as f64;
+        assert!(recall > 0.8, "edge recall {recall}");
+    }
+
+    #[test]
+    fn l1_graph_differs_from_l2() {
+        let x = uniform(100, 8, 11);
+        let g2 = build_exact(&x, 3, DistanceKind::SqL2, Symmetrize::None);
+        let g1 = build_exact(&x, 3, DistanceKind::L1, Symmetrize::None);
+        assert_ne!(g1, g2);
+    }
+}

@@ -1,0 +1,151 @@
+//! Connected components over the (symmetrized) kNN graph — the basic
+//! primitive of hierarchical/density clustering on neighbor graphs.
+
+use crate::csr::CsrGraph;
+
+/// Per-vertex component labels (`0..num_components`), labels assigned in
+/// order of first appearance (vertex 0's component is 0).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ComponentLabels {
+    labels: Vec<u32>,
+    count: usize,
+}
+
+impl ComponentLabels {
+    /// Component of vertex `v`.
+    #[inline]
+    pub fn label(&self, v: usize) -> u32 {
+        self.labels[v]
+    }
+
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// All labels.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Size of each component.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut out = vec![0usize; self.count];
+        for &l in &self.labels {
+            out[l as usize] += 1;
+        }
+        out
+    }
+}
+
+/// Weakly connected components via union-find with path halving and
+/// union by size (edges are treated as undirected regardless of the
+/// graph's symmetry).
+pub fn connected_components(g: &CsrGraph) -> ComponentLabels {
+    let n = g.num_vertices();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    let mut size = vec![1u32; n];
+
+    fn find(parent: &mut [u32], mut v: u32) -> u32 {
+        while parent[v as usize] != v {
+            let gp = parent[parent[v as usize] as usize];
+            parent[v as usize] = gp; // path halving
+            v = gp;
+        }
+        v
+    }
+
+    for u in 0..n {
+        for &v in g.neighbors(u) {
+            let ru = find(&mut parent, u as u32);
+            let rv = find(&mut parent, v);
+            if ru != rv {
+                // union by size
+                let (big, small) = if size[ru as usize] >= size[rv as usize] {
+                    (ru, rv)
+                } else {
+                    (rv, ru)
+                };
+                parent[small as usize] = big;
+                size[big as usize] += size[small as usize];
+            }
+        }
+    }
+
+    let mut labels = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for v in 0..n {
+        let root = find(&mut parent, v as u32) as usize;
+        if labels[root] == u32::MAX {
+            labels[root] = next;
+            next += 1;
+        }
+        labels[v] = labels[root];
+    }
+    ComponentLabels {
+        labels,
+        count: next as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn graph(edges: &[(u32, u32)], n: usize) -> CsrGraph {
+        let mut lists: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            lists[u as usize].push((v, 1.0));
+        }
+        CsrGraph::from_adjacency(lists)
+    }
+
+    #[test]
+    fn two_triangles() {
+        let g = graph(&[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5)], 6);
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 2);
+        assert_eq!(c.label(0), c.label(2));
+        assert_eq!(c.label(3), c.label(5));
+        assert_ne!(c.label(0), c.label(3));
+        assert_eq!(c.sizes(), vec![3, 3]);
+    }
+
+    #[test]
+    fn isolated_vertices_are_singletons() {
+        let g = graph(&[], 4);
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 4);
+        assert_eq!(c.sizes(), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn directed_edges_connect_weakly() {
+        // only u -> v, no reverse: still one component
+        let g = graph(&[(0, 1)], 2);
+        assert_eq!(connected_components(&g).count(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn labels_are_consistent_with_reachability(
+            edges in prop::collection::vec((0u32..20, 0u32..20), 0..60)
+        ) {
+            let g = graph(&edges, 20);
+            let c = connected_components(&g);
+            // every edge's endpoints share a label
+            for u in 0..20usize {
+                for &v in g.neighbors(u) {
+                    prop_assert_eq!(c.label(u), c.label(v as usize));
+                }
+            }
+            // label count equals number of distinct labels, contiguous
+            let mut seen: Vec<u32> = c.as_slice().to_vec();
+            seen.sort_unstable();
+            seen.dedup();
+            prop_assert_eq!(seen.len(), c.count());
+            prop_assert_eq!(seen, (0..c.count() as u32).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Compressed-sparse-row adjacency with edge weights (distances).
+
+/// A directed graph in CSR form: the out-neighbors of vertex `v` are
+/// `cols[rowptr[v] .. rowptr[v+1]]` with weights `weights[..]` at the
+/// same offsets. Neighbor lists are sorted by column id, with no
+/// duplicates and no self-loops (enforced at construction).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrGraph {
+    rowptr: Vec<usize>,
+    cols: Vec<u32>,
+    weights: Vec<f64>,
+}
+
+impl CsrGraph {
+    /// Build from per-vertex edge lists (`(target, weight)`); lists are
+    /// sorted, deduplicated (first weight wins) and self-loops dropped.
+    pub fn from_adjacency(lists: Vec<Vec<(u32, f64)>>) -> Self {
+        let n = lists.len();
+        let mut rowptr = Vec::with_capacity(n + 1);
+        let mut cols = Vec::new();
+        let mut weights = Vec::new();
+        rowptr.push(0);
+        for (v, mut list) in lists.into_iter().enumerate() {
+            list.sort_unstable_by_key(|a| a.0);
+            let mut last: Option<u32> = None;
+            for (c, w) in list {
+                assert!((c as usize) < n, "edge target out of range");
+                if c as usize == v || last == Some(c) {
+                    continue;
+                }
+                cols.push(c);
+                weights.push(w);
+                last = Some(c);
+            }
+            rowptr.push(cols.len());
+        }
+        CsrGraph {
+            rowptr,
+            cols,
+            weights,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.rowptr.len() - 1
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Out-neighbors of `v` (sorted by id).
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.cols[self.rowptr[v]..self.rowptr[v + 1]]
+    }
+
+    /// Edge weights parallel to [`CsrGraph::neighbors`].
+    #[inline]
+    pub fn weights(&self, v: usize) -> &[f64] {
+        &self.weights[self.rowptr[v]..self.rowptr[v + 1]]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.rowptr[v + 1] - self.rowptr[v]
+    }
+
+    /// `true` if the directed edge `u → v` exists (binary search).
+    pub fn has_edge(&self, u: usize, v: u32) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// (min, mean, max) out-degree.
+    pub fn degree_stats(&self) -> (usize, f64, usize) {
+        let n = self.num_vertices();
+        if n == 0 {
+            return (0, 0.0, 0);
+        }
+        let mut min = usize::MAX;
+        let mut max = 0;
+        for v in 0..n {
+            let d = self.degree(v);
+            min = min.min(d);
+            max = max.max(d);
+        }
+        (min, self.num_edges() as f64 / n as f64, max)
+    }
+
+    /// `true` if for every edge `u → v` the reverse edge exists.
+    pub fn is_symmetric(&self) -> bool {
+        (0..self.num_vertices()).all(|u| {
+            self.neighbors(u)
+                .iter()
+                .all(|&v| self.has_edge(v as usize, u as u32))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> CsrGraph {
+        CsrGraph::from_adjacency(vec![vec![(1, 0.5), (2, 1.0)], vec![(0, 0.5)], vec![]])
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = toy();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.weights(0), &[0.5, 1.0]);
+        assert_eq!(g.degree(2), 0);
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(2, 0));
+    }
+
+    #[test]
+    fn drops_self_loops_and_duplicates() {
+        let g = CsrGraph::from_adjacency(vec![vec![(0, 1.0), (1, 2.0), (1, 3.0)], vec![]]);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.weights(0), &[2.0]);
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        assert!(!toy().is_symmetric());
+        let sym = CsrGraph::from_adjacency(vec![vec![(1, 1.0)], vec![(0, 1.0)]]);
+        assert!(sym.is_symmetric());
+    }
+
+    #[test]
+    fn degree_stats_shape() {
+        let (min, mean, max) = toy().degree_stats();
+        assert_eq!((min, max), (0, 2));
+        assert!((mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_targets() {
+        CsrGraph::from_adjacency(vec![vec![(5, 1.0)]]);
+    }
+}

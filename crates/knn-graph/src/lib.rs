@@ -1,0 +1,18 @@
+//! k-nearest-neighbor graphs.
+//!
+//! The paper motivates the all-nearest-neighbor problem with the
+//! "construction of nearest-neighbor graphs for manifold learning,
+//! hierarchical clustering, kernel machines" (§1). This crate closes that
+//! loop: it turns a [`NeighborTable`](knn_select::NeighborTable) — exact
+//! (brute force) or approximate (the rkdt/LSH solvers) — into a compact
+//! CSR graph, with the standard post-processing those applications need:
+//! symmetrization (union or mutual), connected components, and degree
+//! statistics.
+
+mod build;
+mod components;
+mod csr;
+
+pub use build::{build_exact, build_with_forest, from_table, Symmetrize};
+pub use components::{connected_components, ComponentLabels};
+pub use csr::CsrGraph;

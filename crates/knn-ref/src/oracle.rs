@@ -1,0 +1,76 @@
+//! Ground truth: exact kNN by full distance evaluation + sort. O(mn·d +
+//! mn·log n) — never used for performance, always used for correctness.
+
+use dataset::{DistanceKind, PointSet};
+use knn_select::{Neighbor, NeighborTable};
+
+/// Exact k nearest references for every query, by direct per-pair distance
+/// evaluation (no GEMM expansion — this is the numerically "direct" form)
+/// and a full sort under the workspace-wide `(dist, idx)` order.
+pub fn exact(
+    x: &PointSet,
+    q_idx: &[usize],
+    r_idx: &[usize],
+    k: usize,
+    kind: DistanceKind,
+) -> NeighborTable {
+    let mut table = NeighborTable::new(q_idx.len(), k);
+    let mut cands: Vec<Neighbor> = Vec::with_capacity(r_idx.len());
+    for (i, &qi) in q_idx.iter().enumerate() {
+        cands.clear();
+        cands.extend(
+            r_idx
+                .iter()
+                .map(|&rj| Neighbor::new(kind.eval(x.point(qi), x.point(rj)), rj as u32)),
+        );
+        cands.sort_unstable_by(Neighbor::cmp_dist_idx);
+        cands.truncate(k);
+        table.set_row(i, &cands);
+    }
+    table
+}
+
+/// Assert that `got` matches the oracle row by row, with a relative
+/// distance tolerance (the GEMM expansion rounds differently from the
+/// direct form) and id agreement wherever distances are separated by more
+/// than the tolerance. Panics with context on mismatch.
+pub fn assert_matches(got: &NeighborTable, want: &NeighborTable, tol: f64, ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: row count");
+    assert_eq!(got.k(), want.k(), "{ctx}: k");
+    for i in 0..want.len() {
+        let (g, w) = (got.row(i), want.row(i));
+        for (pos, (a, b)) in g.iter().zip(w).enumerate() {
+            let close = (a.dist - b.dist).abs() <= tol * (1.0 + b.dist.abs());
+            assert!(
+                close,
+                "{ctx}: row {i} pos {pos}: dist {} vs {} (idx {} vs {})",
+                a.dist, b.dist, a.idx, b.idx
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::uniform;
+
+    #[test]
+    fn oracle_is_sorted_and_self_first() {
+        let x = uniform(30, 6, 3);
+        let q: Vec<usize> = (0..5).collect();
+        let r: Vec<usize> = (0..30).collect();
+        let t = exact(&x, &q, &r, 4, DistanceKind::SqL2);
+        for i in 0..5 {
+            assert_eq!(t.row(i)[0].idx, i as u32);
+            assert!(t.row(i).windows(2).all(|w| !w[1].beats(&w[0])));
+        }
+    }
+
+    #[test]
+    fn oracle_k_bigger_than_n_pads() {
+        let x = uniform(3, 2, 1);
+        let t = exact(&x, &[0], &[1, 2], 5, DistanceKind::L1);
+        assert_eq!(t.row(0)[2], Neighbor::sentinel());
+    }
+}

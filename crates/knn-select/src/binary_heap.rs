@@ -1,0 +1,299 @@
+//! Array-backed binary max-heap with a bounded capacity `k`.
+//!
+//! This is the selection structure of §2.2 ("Maximum heap select"): the
+//! root holds the current k-th nearest distance, a candidate that does not
+//! beat the root is rejected with a single comparison (the O(n) best case),
+//! and a candidate that does replaces the root and sifts down
+//! (O(log k) worst case per accepted candidate).
+
+use crate::Neighbor;
+
+/// Bounded binary max-heap of [`Neighbor`]s ordered by `(dist, idx)`.
+///
+/// While the heap holds fewer than `k` entries, [`BinaryMaxHeap::push`]
+/// inserts unconditionally; once full it becomes a replace-root filter.
+/// [`BinaryMaxHeap::threshold`] exposes the pruning bound the fused kernel
+/// compares freshly computed distances against.
+///
+/// ```
+/// use knn_select::{BinaryMaxHeap, Neighbor};
+/// let mut heap = BinaryMaxHeap::new(2);
+/// for (i, d) in [9.0, 1.0, 5.0, 3.0].iter().enumerate() {
+///     heap.push(Neighbor::new(*d, i as u32));
+/// }
+/// let kept: Vec<f64> = heap.into_sorted_vec().iter().map(|n| n.dist).collect();
+/// assert_eq!(kept, vec![1.0, 3.0]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BinaryMaxHeap {
+    k: usize,
+    data: Vec<Neighbor>,
+}
+
+impl BinaryMaxHeap {
+    /// Empty heap with capacity `k`.
+    pub fn new(k: usize) -> Self {
+        BinaryMaxHeap {
+            k,
+            data: Vec::with_capacity(k),
+        }
+    }
+
+    /// Build a heap from an existing *sorted or unsorted* row of at most
+    /// `k` neighbors; sentinel (+∞) entries are dropped. Uses Floyd's O(k)
+    /// bottom-up heapify.
+    pub fn from_row(k: usize, row: &[Neighbor]) -> Self {
+        let mut data: Vec<Neighbor> = row.iter().copied().filter(|n| n.dist.is_finite()).collect();
+        assert!(data.len() <= k, "row longer than heap capacity");
+        let mut heap = BinaryMaxHeap {
+            k,
+            data: Vec::new(),
+        };
+        // Floyd heapify: sift down every internal node from the last parent.
+        let n = data.len();
+        heap.data = std::mem::take(&mut data);
+        if n > 1 {
+            for i in (0..n / 2).rev() {
+                heap.sift_down(i);
+            }
+        }
+        heap
+    }
+
+    /// Capacity `k`.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+
+    /// Current number of stored neighbors.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when no neighbors are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// `true` once `k` neighbors are stored.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.data.len() == self.k
+    }
+
+    /// The pruning bound: the current worst kept distance when full,
+    /// +∞ otherwise. A candidate with `dist >= threshold()` can only be
+    /// accepted via the tie-break on index, and `dist > threshold()` never.
+    #[inline(always)]
+    pub fn threshold(&self) -> f64 {
+        if self.k > 0 && self.is_full() {
+            self.data[0].dist
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// The current root (worst kept neighbor), if any.
+    #[inline]
+    pub fn root(&self) -> Option<Neighbor> {
+        self.data.first().copied()
+    }
+
+    /// Offer a candidate. Returns `true` if it was kept.
+    #[inline]
+    pub fn push(&mut self, cand: Neighbor) -> bool {
+        if self.k == 0 {
+            return false;
+        }
+        if self.data.len() < self.k {
+            self.data.push(cand);
+            self.sift_up(self.data.len() - 1);
+            true
+        } else if cand.beats(&self.data[0]) {
+            self.data[0] = cand;
+            self.sift_down(0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// As [`BinaryMaxHeap::push`], but never stores the same reference id
+    /// twice: a candidate whose `idx` is already present is dropped. Used
+    /// when the heap was seeded from an existing neighbor list and the
+    /// incoming candidate stream may re-visit stored neighbors (the
+    /// iterated approximate solvers) — without the membership check a
+    /// duplicate would evict a genuine k-th neighbor. O(k) scan, but only
+    /// on candidates that pass the root filter.
+    #[inline]
+    pub fn push_unique(&mut self, cand: Neighbor) -> bool {
+        if self.k == 0 {
+            return false;
+        }
+        if self.data.len() == self.k && !cand.beats(&self.data[0]) {
+            return false;
+        }
+        if self.data.iter().any(|n| n.idx == cand.idx) {
+            return false;
+        }
+        self.push(cand)
+    }
+
+    /// Drain into an ascending `(dist, idx)`-sorted vector.
+    pub fn into_sorted_vec(mut self) -> Vec<Neighbor> {
+        self.data.sort_unstable_by(Neighbor::cmp_dist_idx);
+        self.data
+    }
+
+    /// Borrowed view of the raw (heap-ordered) storage.
+    pub fn as_slice(&self) -> &[Neighbor] {
+        &self.data
+    }
+
+    #[inline]
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.data[i].beats(&self.data[parent]) {
+                break; // child smaller than parent: heap property holds
+            }
+            self.data.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    #[inline]
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.data.len();
+        loop {
+            let l = 2 * i + 1;
+            if l >= n {
+                break;
+            }
+            let r = l + 1;
+            // pick the larger child under (dist, idx) order
+            let mut big = l;
+            if r < n && self.data[l].beats(&self.data[r]) {
+                big = r;
+            }
+            if self.data[big].beats(&self.data[i]) {
+                break; // both children smaller: done
+            }
+            self.data.swap(i, big);
+            i = big;
+        }
+    }
+
+    /// Verify the max-heap invariant; used by tests and debug assertions.
+    pub fn check_invariant(&self) -> bool {
+        (1..self.data.len()).all(|i| {
+            let parent = (i - 1) / 2;
+            !self.data[parent].beats(&self.data[i])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn n(d: f64, i: u32) -> Neighbor {
+        Neighbor::new(d, i)
+    }
+
+    #[test]
+    fn keeps_k_smallest() {
+        let mut h = BinaryMaxHeap::new(3);
+        for (i, d) in [9.0, 2.0, 7.0, 1.0, 5.0, 3.0].iter().enumerate() {
+            h.push(n(*d, i as u32));
+            assert!(h.check_invariant());
+        }
+        let got: Vec<f64> = h.into_sorted_vec().iter().map(|x| x.dist).collect();
+        assert_eq!(got, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn threshold_is_inf_until_full() {
+        let mut h = BinaryMaxHeap::new(2);
+        assert_eq!(h.threshold(), f64::INFINITY);
+        h.push(n(1.0, 0));
+        assert_eq!(h.threshold(), f64::INFINITY);
+        h.push(n(2.0, 1));
+        assert_eq!(h.threshold(), 2.0);
+        h.push(n(0.5, 2));
+        assert_eq!(h.threshold(), 1.0);
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let mut h = BinaryMaxHeap::new(0);
+        assert!(!h.push(n(1.0, 0)));
+        assert!(h.into_sorted_vec().is_empty());
+    }
+
+    #[test]
+    fn tie_break_prefers_smaller_index() {
+        let mut h = BinaryMaxHeap::new(1);
+        h.push(n(1.0, 9));
+        assert!(h.push(n(1.0, 3)), "equal dist, smaller idx must replace");
+        assert!(!h.push(n(1.0, 5)), "equal dist, larger idx must not");
+        assert_eq!(h.into_sorted_vec()[0].idx, 3);
+    }
+
+    #[test]
+    fn from_row_heapifies() {
+        let row = [n(1.0, 0), n(5.0, 1), n(3.0, 2), n(4.0, 3)];
+        let h = BinaryMaxHeap::from_row(4, &row);
+        assert!(h.check_invariant());
+        assert_eq!(h.threshold(), 5.0);
+    }
+
+    #[test]
+    fn from_row_drops_sentinels() {
+        let row = [n(1.0, 0), Neighbor::sentinel(), n(3.0, 2)];
+        let h = BinaryMaxHeap::from_row(3, &row);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.threshold(), f64::INFINITY); // not full yet
+    }
+
+    proptest! {
+        #[test]
+        fn matches_sort_truncate(dists in prop::collection::vec(0.0f64..100.0, 0..200), k in 0usize..20) {
+            let cands: Vec<Neighbor> =
+                dists.iter().enumerate().map(|(i, &d)| n(d, i as u32)).collect();
+            let mut h = BinaryMaxHeap::new(k);
+            for &c in &cands { h.push(c); }
+            prop_assert!(h.check_invariant());
+            let got = h.into_sorted_vec();
+            let mut want = cands.clone();
+            want.sort_unstable_by(Neighbor::cmp_dist_idx);
+            want.truncate(k);
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn invariant_after_every_push(dists in prop::collection::vec(0.0f64..10.0, 1..100)) {
+            let mut h = BinaryMaxHeap::new(7);
+            for (i, &d) in dists.iter().enumerate() {
+                h.push(n(d, i as u32));
+                prop_assert!(h.check_invariant());
+                prop_assert!(h.len() <= 7);
+            }
+        }
+
+        #[test]
+        fn from_row_equals_pushes(dists in prop::collection::vec(0.0f64..10.0, 0..16)) {
+            let row: Vec<Neighbor> =
+                dists.iter().enumerate().map(|(i, &d)| n(d, i as u32)).collect();
+            let built = BinaryMaxHeap::from_row(16, &row);
+            let mut pushed = BinaryMaxHeap::new(16);
+            for &c in &row { pushed.push(c); }
+            prop_assert!(built.check_invariant());
+            prop_assert_eq!(built.into_sorted_vec(), pushed.into_sorted_vec());
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! Implicit d-ary max-heap with padded, structure-of-arrays storage.
+//!
+//! This is the "d-heap" of §2.2/§2.4 and Figure 1 of the paper: by giving
+//! every node `D` children and padding the root so that each group of `D`
+//! children is contiguous and starts on a `D`-aligned offset, all children
+//! of a node land in one cache line, and the max-child search over a group
+//! can be vectorized. GSKNN uses `D = 4` ([`FourHeap`]) for large-`k`
+//! selection (Var#6) and the binary heap for small `k` (Var#1).
+//!
+//! Storage layout (logical node `j` lives at storage slot `j + D - 1`):
+//!
+//! ```text
+//! storage:  [pad × (D-1)] [root] [children of root: D slots] [grandchildren …]
+//! index:     0 … D-2       D-1    D … 2D-1                    D*(j+1)…
+//! ```
+//!
+//! so the children of logical node `j` occupy storage slots
+//! `D*(j+1) .. D*(j+1)+D`, a `D`-aligned group. Distances and indices are
+//! stored in separate arrays (structure of arrays) so the distance group is
+//! exactly `D` consecutive `f64`s — one AVX register load for `D = 4`.
+
+use crate::Neighbor;
+
+/// Padded d-ary bounded max-heap of neighbors ordered by `(dist, idx)`.
+#[derive(Clone, Debug)]
+pub struct DHeap<const D: usize> {
+    k: usize,
+    len: usize,
+    /// `D-1` pad slots, then `k` node slots, then tail pad to a multiple of
+    /// `D`; pads hold `-inf` so a vector max over a child group never picks
+    /// them.
+    dists: Vec<f64>,
+    idxs: Vec<u32>,
+}
+
+/// The paper's 4-heap: all four children of a node share one cache line.
+pub type FourHeap = DHeap<4>;
+
+impl<const D: usize> DHeap<D> {
+    const PAD: usize = D - 1;
+
+    /// Empty heap with capacity `k`.
+    pub fn new(k: usize) -> Self {
+        assert!(D >= 2, "d-ary heap needs D >= 2");
+        let cap = (Self::PAD + k).div_ceil(D) * D + D; // room for one full tail group
+        DHeap {
+            k,
+            len: 0,
+            dists: vec![f64::NEG_INFINITY; cap],
+            idxs: vec![u32::MAX; cap],
+        }
+    }
+
+    /// Build from an existing row (sentinels dropped), Floyd-style.
+    pub fn from_row(k: usize, row: &[Neighbor]) -> Self {
+        let mut heap = Self::new(k);
+        for n in row.iter().filter(|n| n.dist.is_finite()) {
+            // Insert unconditionally: from_row is cold-path, so a simple
+            // push-based build keeps the code single-sourced.
+            heap.push(*n);
+        }
+        heap
+    }
+
+    /// Capacity `k`.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+
+    /// Number of stored neighbors.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` once `k` neighbors are stored.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.len == self.k
+    }
+
+    /// Pruning bound: worst kept distance when full, +∞ otherwise.
+    #[inline(always)]
+    pub fn threshold(&self) -> f64 {
+        if self.is_full() && self.k > 0 {
+            self.dists[Self::PAD]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Current root (worst kept neighbor).
+    #[inline]
+    pub fn root(&self) -> Option<Neighbor> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(self.get(0))
+        }
+    }
+
+    #[inline(always)]
+    fn get(&self, logical: usize) -> Neighbor {
+        let s = logical + Self::PAD;
+        Neighbor::new(self.dists[s], self.idxs[s])
+    }
+
+    #[inline(always)]
+    fn set(&mut self, logical: usize, n: Neighbor) {
+        let s = logical + Self::PAD;
+        self.dists[s] = n.dist;
+        self.idxs[s] = n.idx;
+    }
+
+    /// Offer a candidate; returns `true` if kept.
+    #[inline]
+    pub fn push(&mut self, cand: Neighbor) -> bool {
+        if self.k == 0 {
+            return false;
+        }
+        if self.len < self.k {
+            self.set(self.len, cand);
+            self.len += 1;
+            self.sift_up(self.len - 1);
+            true
+        } else if cand.beats(&self.get(0)) {
+            self.set(0, cand);
+            self.sift_down(0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// As [`DHeap::push`] but id-unique: candidates whose `idx` is already
+    /// stored are dropped (see `BinaryMaxHeap::push_unique` for why the
+    /// iterated solvers need this).
+    #[inline]
+    pub fn push_unique(&mut self, cand: Neighbor) -> bool {
+        if self.k == 0 {
+            return false;
+        }
+        if self.len == self.k && !cand.beats(&self.get(0)) {
+            return false;
+        }
+        let occupied = &self.idxs[Self::PAD..Self::PAD + self.len];
+        if occupied.contains(&cand.idx) {
+            return false;
+        }
+        self.push(cand)
+    }
+
+    /// Remove and return the max (worst) neighbor.
+    pub fn pop(&mut self) -> Option<Neighbor> {
+        if self.len == 0 {
+            return None;
+        }
+        let top = self.get(0);
+        self.len -= 1;
+        if self.len > 0 {
+            let last = self.get(self.len);
+            self.clear_slot(self.len);
+            self.set(0, last);
+            self.sift_down(0);
+        } else {
+            self.clear_slot(0);
+        }
+        Some(top)
+    }
+
+    #[inline]
+    fn clear_slot(&mut self, logical: usize) {
+        let s = logical + Self::PAD;
+        self.dists[s] = f64::NEG_INFINITY;
+        self.idxs[s] = u32::MAX;
+    }
+
+    /// Drain into an ascending `(dist, idx)`-sorted vector.
+    pub fn into_sorted_vec(self) -> Vec<Neighbor> {
+        let mut out: Vec<Neighbor> = (0..self.len).map(|j| self.get(j)).collect();
+        out.sort_unstable_by(Neighbor::cmp_dist_idx);
+        out
+    }
+
+    #[inline]
+    fn sift_up(&mut self, mut j: usize) {
+        while j > 0 {
+            let parent = (j - 1) / D;
+            let me = self.get(j);
+            let p = self.get(parent);
+            if p.beats(&me) {
+                // parent strictly smaller than child: bubble the child up
+                self.set(j, p);
+                self.set(parent, me);
+                j = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    #[inline]
+    fn sift_down(&mut self, mut j: usize) {
+        loop {
+            let first_child = D * j + 1;
+            if first_child >= self.len {
+                break;
+            }
+            let big = self.max_child(j);
+            let me = self.get(j);
+            let b = self.get(big);
+            if me.beats(&b) {
+                // parent smaller than its largest child: swap down
+                self.set(j, b);
+                self.set(big, me);
+                j = big;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Logical index of the largest child of logical node `j`
+    /// (caller guarantees at least one child exists). The group of `D`
+    /// child distances is contiguous at storage `D*(j+1)`; pads hold `-inf`
+    /// so scanning the full group is safe even past `len`.
+    #[inline(always)]
+    fn max_child(&self, j: usize) -> usize {
+        let group = D * (j + 1); // storage offset of first child
+        let mut best_s = group;
+        // Fixed-trip-count loop over the group: the compiler unrolls and,
+        // for D=4, vectorizes the distance compares.
+        for s in group + 1..group + D {
+            let (bd, bi) = (self.dists[best_s], self.idxs[best_s]);
+            let (cd, ci) = (self.dists[s], self.idxs[s]);
+            if cd > bd || (cd == bd && ci > bi) {
+                best_s = s;
+            }
+        }
+        best_s - Self::PAD
+    }
+
+    /// Verify the max-heap invariant (tests / debug only).
+    pub fn check_invariant(&self) -> bool {
+        for j in 1..self.len {
+            let parent = (j - 1) / D;
+            if self.get(parent).beats(&self.get(j)) {
+                return false;
+            }
+        }
+        // pads must all be -inf
+        let pads_ok = self.dists[..Self::PAD]
+            .iter()
+            .all(|&d| d == f64::NEG_INFINITY)
+            && self.dists[Self::PAD + self.len..]
+                .iter()
+                .all(|&d| d == f64::NEG_INFINITY);
+        pads_ok
+    }
+}
+
+impl FourHeap {
+    /// SIMD max-child search over the 4-wide child group using AVX2, as
+    /// described in §2.4 ("Vectorizing the maximum child search"). Falls
+    /// back to the scalar scan when AVX2 is unavailable. Exposed so the
+    /// benches can compare it against the scalar path; `sift_down` uses
+    /// the scalar path, which the compiler vectorizes identically on the
+    /// fixed 4-trip loop.
+    #[inline]
+    pub fn max_child_simd(&self, j: usize) -> usize {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                // SAFETY: AVX2 presence checked above; group+4 <= dists.len()
+                // by construction (tail pad of one full group).
+                return unsafe { self.max_child_avx2(j) };
+            }
+        }
+        self.max_child(j)
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn max_child_avx2(&self, j: usize) -> usize {
+        use std::arch::x86_64::*;
+        let group = 4 * (j + 1);
+        debug_assert!(group + 4 <= self.dists.len());
+        let v = _mm256_loadu_pd(self.dists.as_ptr().add(group));
+        // horizontal max of 4 lanes
+        let swapped = _mm256_permute2f128_pd(v, v, 0x01);
+        let m1 = _mm256_max_pd(v, swapped);
+        let m2 = _mm256_max_pd(m1, _mm256_permute_pd(m1, 0x5));
+        // all lanes of m2 now hold the max distance
+        let mask = _mm256_movemask_pd(_mm256_cmp_pd(v, m2, _CMP_EQ_OQ)) as u32;
+        // resolve distance ties by the largest index among max-dist lanes
+        let mut best_s = group + mask.trailing_zeros() as usize;
+        let mut rest = mask & (mask - 1);
+        while rest != 0 {
+            let s = group + rest.trailing_zeros() as usize;
+            if self.idxs[s] > self.idxs[best_s] {
+                best_s = s;
+            }
+            rest &= rest - 1;
+        }
+        best_s - Self::PAD
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn n(d: f64, i: u32) -> Neighbor {
+        Neighbor::new(d, i)
+    }
+
+    #[test]
+    fn four_heap_keeps_k_smallest() {
+        let mut h = FourHeap::new(3);
+        for (i, d) in [9.0, 2.0, 7.0, 1.0, 5.0, 3.0, 0.5].iter().enumerate() {
+            h.push(n(*d, i as u32));
+            assert!(h.check_invariant());
+        }
+        let got: Vec<f64> = h.into_sorted_vec().iter().map(|x| x.dist).collect();
+        assert_eq!(got, vec![0.5, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn pop_returns_descending() {
+        let mut h = FourHeap::new(8);
+        for (i, d) in [4.0, 1.0, 3.0, 2.0, 5.0].iter().enumerate() {
+            h.push(n(*d, i as u32));
+        }
+        let mut popped = Vec::new();
+        while let Some(x) = h.pop() {
+            popped.push(x.dist);
+            assert!(h.check_invariant());
+        }
+        assert_eq!(popped, vec![5.0, 4.0, 3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn threshold_matches_binary_heap_semantics() {
+        let mut h = FourHeap::new(2);
+        assert_eq!(h.threshold(), f64::INFINITY);
+        h.push(n(3.0, 0));
+        assert_eq!(h.threshold(), f64::INFINITY);
+        h.push(n(1.0, 1));
+        assert_eq!(h.threshold(), 3.0);
+    }
+
+    #[test]
+    fn ternary_heap_works_too() {
+        let mut h: DHeap<3> = DHeap::new(4);
+        for (i, d) in [6.0, 2.0, 8.0, 4.0, 1.0, 7.0].iter().enumerate() {
+            h.push(n(*d, i as u32));
+            assert!(h.check_invariant());
+        }
+        let got: Vec<f64> = h.into_sorted_vec().iter().map(|x| x.dist).collect();
+        assert_eq!(got, vec![1.0, 2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn simd_max_child_matches_scalar() {
+        let mut h = FourHeap::new(64);
+        let mut state = 0x243F6A8885A308D3u64;
+        for i in 0..64u32 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let d = (state >> 11) as f64 / (1u64 << 53) as f64;
+            h.push(n(d, i));
+        }
+        for j in 0..15 {
+            assert_eq!(h.max_child_simd(j), h.max_child(j), "node {j}");
+        }
+    }
+
+    #[test]
+    fn simd_max_child_breaks_dist_ties_by_index() {
+        // Construct a heap where one child group has equal distances.
+        let mut h = FourHeap::new(8);
+        h.push(n(9.0, 0)); // root
+        for i in 1..=4u32 {
+            h.push(n(5.0, i)); // all four children equal dist
+        }
+        assert_eq!(h.max_child_simd(0), h.max_child(0));
+    }
+
+    proptest! {
+        #[test]
+        fn matches_sort_truncate(dists in prop::collection::vec(0.0f64..100.0, 0..300), k in 0usize..40) {
+            let cands: Vec<Neighbor> =
+                dists.iter().enumerate().map(|(i, &d)| n(d, i as u32)).collect();
+            let mut h = FourHeap::new(k);
+            for &c in &cands { h.push(c); }
+            prop_assert!(h.check_invariant());
+            let got = h.into_sorted_vec();
+            let mut want = cands.clone();
+            want.sort_unstable_by(Neighbor::cmp_dist_idx);
+            want.truncate(k);
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn agrees_with_binary_heap(dists in prop::collection::vec(0.0f64..10.0, 0..200), k in 1usize..32) {
+            let cands: Vec<Neighbor> =
+                dists.iter().enumerate().map(|(i, &d)| n(d, i as u32)).collect();
+            let mut four = FourHeap::new(k);
+            let mut two = crate::BinaryMaxHeap::new(k);
+            for &c in &cands {
+                four.push(c);
+                two.push(c);
+                prop_assert_eq!(four.threshold(), two.threshold());
+            }
+            prop_assert_eq!(four.into_sorted_vec(), two.into_sorted_vec());
+        }
+
+        #[test]
+        fn pop_sequence_is_monotone(dists in prop::collection::vec(0.0f64..10.0, 1..100)) {
+            let mut h = FourHeap::new(dists.len());
+            for (i, &d) in dists.iter().enumerate() { h.push(n(d, i as u32)); }
+            let mut prev = f64::INFINITY;
+            while let Some(x) = h.pop() {
+                prop_assert!(x.dist <= prev);
+                prev = x.dist;
+                prop_assert!(h.check_invariant());
+            }
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Chunked merge-sort selection (§2.2 "Merge sort"): split the n candidates
+//! into ⌈n/k⌉ chunks of length k, sort each chunk (k·log k), and fold each
+//! sorted chunk into the running top-k with a truncated two-way merge that
+//! keeps only the first k elements. Total O(n log k) in both the best and
+//! worst case, with fully contiguous memory access.
+
+use crate::Neighbor;
+
+/// Select the k smallest of `cands` (ascending `(dist, idx)` order).
+pub fn merge_select(cands: &[Neighbor], k: usize) -> Vec<Neighbor> {
+    if k == 0 || cands.is_empty() {
+        return Vec::new();
+    }
+    let mut acc: Vec<Neighbor> = Vec::with_capacity(k);
+    let mut chunk_buf: Vec<Neighbor> = Vec::with_capacity(k);
+    let mut merged: Vec<Neighbor> = Vec::with_capacity(k);
+    for chunk in cands.chunks(k) {
+        chunk_buf.clear();
+        chunk_buf.extend_from_slice(chunk);
+        chunk_buf.sort_unstable_by(Neighbor::cmp_dist_idx);
+        merge_truncated(&acc, &chunk_buf, k, &mut merged);
+        std::mem::swap(&mut acc, &mut merged);
+    }
+    acc
+}
+
+/// Update an existing sorted list with candidates: O(n log k) for the
+/// chunk sorts plus one O(log k)-deep merge cascade — the cost the paper
+/// notes makes merge selection unattractive for small n.
+pub fn merge_update(list: &[Neighbor], cands: &[Neighbor], k: usize) -> Vec<Neighbor> {
+    let fresh = merge_select(cands, k);
+    let clean: Vec<Neighbor> = list
+        .iter()
+        .copied()
+        .filter(|n| n.dist.is_finite())
+        .collect();
+    let mut out = Vec::with_capacity(k);
+    merge_truncated(&clean, &fresh, k, &mut out);
+    out
+}
+
+/// Merge two ascending-sorted slices, writing at most `k` smallest elements
+/// into `out` (cleared first).
+fn merge_truncated(a: &[Neighbor], b: &[Neighbor], k: usize, out: &mut Vec<Neighbor>) {
+    out.clear();
+    let (mut i, mut j) = (0, 0);
+    while out.len() < k {
+        match (a.get(i), b.get(j)) {
+            (Some(x), Some(y)) => {
+                if y.beats(x) {
+                    out.push(*y);
+                    j += 1;
+                } else {
+                    out.push(*x);
+                    i += 1;
+                }
+            }
+            (Some(x), None) => {
+                out.push(*x);
+                i += 1;
+            }
+            (None, Some(y)) => {
+                out.push(*y);
+                j += 1;
+            }
+            (None, None) => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn n(d: f64, i: u32) -> Neighbor {
+        Neighbor::new(d, i)
+    }
+
+    #[test]
+    fn selects_and_sorts() {
+        let cands: Vec<Neighbor> = [7.0, 3.0, 9.0, 1.0, 5.0, 2.0, 8.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| n(d, i as u32))
+            .collect();
+        let got = merge_select(&cands, 3);
+        let d: Vec<f64> = got.iter().map(|x| x.dist).collect();
+        assert_eq!(d, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn chunk_boundary_exact_multiple() {
+        // n divisible by k exercises the no-remainder chunk path
+        let cands: Vec<Neighbor> = (0..12).map(|i| n((12 - i) as f64, i as u32)).collect();
+        let got = merge_select(&cands, 4);
+        let d: Vec<f64> = got.iter().map(|x| x.dist).collect();
+        assert_eq!(d, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn update_folds_old_list_in() {
+        let list = vec![n(0.5, 100), n(6.0, 101)];
+        let cands = vec![n(1.0, 0), n(2.0, 1), n(7.0, 2)];
+        let got = merge_update(&list, &cands, 2);
+        let d: Vec<f64> = got.iter().map(|x| x.dist).collect();
+        assert_eq!(d, vec![0.5, 1.0]);
+    }
+
+    #[test]
+    fn merge_truncated_stops_at_k() {
+        let a = vec![n(1.0, 0), n(3.0, 1)];
+        let b = vec![n(2.0, 2), n(4.0, 3)];
+        let mut out = Vec::new();
+        merge_truncated(&a, &b, 3, &mut out);
+        let d: Vec<f64> = out.iter().map(|x| x.dist).collect();
+        assert_eq!(d, vec![1.0, 2.0, 3.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_sort(dists in prop::collection::vec(0.0f64..100.0, 0..300), k in 0usize..40) {
+            let cands: Vec<Neighbor> =
+                dists.iter().enumerate().map(|(i, &d)| n(d, i as u32)).collect();
+            let got = merge_select(&cands, k);
+            let mut want = cands.clone();
+            want.sort_unstable_by(Neighbor::cmp_dist_idx);
+            want.truncate(k);
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn output_is_sorted(dists in prop::collection::vec(0.0f64..10.0, 1..200), k in 1usize..32) {
+            let cands: Vec<Neighbor> =
+                dists.iter().enumerate().map(|(i, &d)| n(d, i as u32)).collect();
+            let got = merge_select(&cands, k);
+            prop_assert!(got.windows(2).all(|w| !w[1].beats(&w[0])));
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! The `Neighbor` value type and the per-query neighbor table `N`/`D`
+//! (Table 2 of the paper: `N(i,:)` holds kNN ids of query `i`, `D(i,:)`
+//! the squared distances).
+
+/// One neighbor candidate: a squared distance (or any ℓp distance) paired
+/// with the *global* index of the reference point in the coordinate table
+/// `X`.
+///
+/// Ordering is lexicographic on `(dist, idx)`. Distances must be finite and
+/// non-NaN; the kernel entry points validate this once at the boundary so
+/// the hot loops can use raw `<` comparisons.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Neighbor {
+    /// Distance from the query (squared Euclidean for the ℓ2 kernels).
+    pub dist: f64,
+    /// Global index of the reference point in `X`.
+    pub idx: u32,
+}
+
+impl Neighbor {
+    /// Construct a neighbor candidate.
+    #[inline(always)]
+    pub fn new(dist: f64, idx: u32) -> Self {
+        Neighbor { dist, idx }
+    }
+
+    /// The sentinel that fills an un-initialized neighbor slot: +∞ distance
+    /// so that any real candidate beats it.
+    #[inline(always)]
+    pub fn sentinel() -> Self {
+        Neighbor {
+            dist: f64::INFINITY,
+            idx: u32::MAX,
+        }
+    }
+
+    /// `true` if `self` is strictly closer than `other` under the
+    /// `(dist, idx)` lexicographic order used everywhere in this workspace.
+    #[inline(always)]
+    pub fn beats(&self, other: &Neighbor) -> bool {
+        self.dist < other.dist || (self.dist == other.dist && self.idx < other.idx)
+    }
+
+    /// Total-order comparison by `(dist, idx)`; panics on NaN distances
+    /// (which are rejected at the API boundary).
+    #[inline(always)]
+    pub fn cmp_dist_idx(a: &Neighbor, b: &Neighbor) -> std::cmp::Ordering {
+        a.dist
+            .partial_cmp(&b.dist)
+            .expect("NaN distance in neighbor comparison")
+            .then(a.idx.cmp(&b.idx))
+    }
+}
+
+/// The all-queries result table: `m` rows of `k` neighbors, row-major, each
+/// row kept sorted ascending by `(dist, idx)`.
+///
+/// ```
+/// use knn_select::{Neighbor, NeighborTable};
+/// let mut t = NeighborTable::new(2, 2);
+/// t.set_row(0, &[Neighbor::new(0.1, 7), Neighbor::new(0.4, 3)]);
+/// assert_eq!(t.row(0)[0].idx, 7);
+/// assert_eq!(t.row(1)[0], Neighbor::sentinel()); // untouched rows are sentinels
+/// ```
+///
+/// This is the `(N, D)` pair of Table 2 stored as an array of structs. The
+/// approximate solvers ([`rkdt`](https://docs.rs/rkdt), `lsh`) carry one of
+/// these across kernel invocations and pass each row back in as the initial
+/// heap contents, which is how the paper's "update the neighbor lists until
+/// convergence" iteration works.
+#[derive(Clone, Debug)]
+pub struct NeighborTable {
+    m: usize,
+    k: usize,
+    rows: Vec<Neighbor>,
+}
+
+impl NeighborTable {
+    /// An `m × k` table filled with [`Neighbor::sentinel`] entries.
+    pub fn new(m: usize, k: usize) -> Self {
+        NeighborTable {
+            m,
+            k,
+            rows: vec![Neighbor::sentinel(); m * k],
+        }
+    }
+
+    /// Number of query rows (`m`, even when `k == 0`).
+    pub fn len(&self) -> usize {
+        self.m
+    }
+
+    /// `true` when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.m == 0
+    }
+
+    /// Neighbors per row.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Sorted neighbor row for query `i` (sentinel-padded while fewer than
+    /// `k` real neighbors have been found).
+    #[inline]
+    pub fn row(&self, i: usize) -> &[Neighbor] {
+        &self.rows[i * self.k..(i + 1) * self.k]
+    }
+
+    /// Mutable row access (kept sorted by the caller).
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [Neighbor] {
+        &mut self.rows[i * self.k..(i + 1) * self.k]
+    }
+
+    /// Append `extra` sentinel-filled rows (new queries in a streaming
+    /// setting); existing rows keep their indices.
+    pub fn push_rows(&mut self, extra: usize) {
+        self.m += extra;
+        self.rows.resize(self.m * self.k, Neighbor::sentinel());
+    }
+
+    /// Replace row `i` with `sorted` (must be ascending, length ≤ k);
+    /// shorter rows are sentinel-padded.
+    pub fn set_row(&mut self, i: usize, sorted: &[Neighbor]) {
+        assert!(sorted.len() <= self.k, "row longer than k");
+        debug_assert!(sorted.windows(2).all(|w| !w[1].beats(&w[0])));
+        let row = self.row_mut(i);
+        row[..sorted.len()].copy_from_slice(sorted);
+        for slot in row[sorted.len()..].iter_mut() {
+            *slot = Neighbor::sentinel();
+        }
+    }
+
+    /// Average recall of this table against an exact table (fraction of
+    /// true neighbors found, per query, averaged). Both tables must have
+    /// the same shape. Sentinel entries in `exact` are ignored (queries
+    /// with fewer than `k` real neighbors).
+    pub fn recall_against(&self, exact: &NeighborTable) -> f64 {
+        assert_eq!(self.len(), exact.len());
+        assert_eq!(self.k(), exact.k());
+        if self.is_empty() || self.k == 0 {
+            return 1.0;
+        }
+        let mut total = 0.0;
+        for i in 0..self.len() {
+            let truth: Vec<u32> = exact
+                .row(i)
+                .iter()
+                .filter(|n| n.idx != u32::MAX)
+                .map(|n| n.idx)
+                .collect();
+            if truth.is_empty() {
+                total += 1.0;
+                continue;
+            }
+            let mine = self.row(i);
+            let hit = truth
+                .iter()
+                .filter(|id| mine.iter().any(|n| n.idx == **id))
+                .count();
+            total += hit as f64 / truth.len() as f64;
+        }
+        total / self.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beats_is_lexicographic() {
+        let a = Neighbor::new(1.0, 5);
+        let b = Neighbor::new(1.0, 6);
+        let c = Neighbor::new(0.5, 9);
+        assert!(a.beats(&b));
+        assert!(!b.beats(&a));
+        assert!(c.beats(&a));
+        assert!(!a.beats(&a));
+    }
+
+    #[test]
+    fn sentinel_loses_to_everything_finite() {
+        let s = Neighbor::sentinel();
+        let a = Neighbor::new(1e300, 0);
+        assert!(a.beats(&s));
+        assert!(!s.beats(&a));
+    }
+
+    #[test]
+    fn table_rows_round_trip() {
+        let mut t = NeighborTable::new(3, 2);
+        assert_eq!(t.len(), 3);
+        t.set_row(1, &[Neighbor::new(0.5, 7), Neighbor::new(1.0, 3)]);
+        assert_eq!(t.row(1)[0].idx, 7);
+        assert_eq!(t.row(0)[0], Neighbor::sentinel());
+    }
+
+    #[test]
+    fn short_row_is_padded() {
+        let mut t = NeighborTable::new(1, 3);
+        t.set_row(0, &[Neighbor::new(0.5, 7)]);
+        assert_eq!(t.row(0)[1], Neighbor::sentinel());
+        assert_eq!(t.row(0)[2], Neighbor::sentinel());
+    }
+
+    #[test]
+    fn recall_counts_hits() {
+        let mut exact = NeighborTable::new(2, 2);
+        exact.set_row(0, &[Neighbor::new(0.1, 1), Neighbor::new(0.2, 2)]);
+        exact.set_row(1, &[Neighbor::new(0.1, 3), Neighbor::new(0.2, 4)]);
+        let mut approx = NeighborTable::new(2, 2);
+        approx.set_row(0, &[Neighbor::new(0.1, 1), Neighbor::new(0.3, 9)]);
+        approx.set_row(1, &[Neighbor::new(0.1, 3), Neighbor::new(0.2, 4)]);
+        let r = approx.recall_against(&exact);
+        assert!((r - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "row longer than k")]
+    fn set_row_rejects_long_rows() {
+        let mut t = NeighborTable::new(1, 1);
+        t.set_row(0, &[Neighbor::new(0.1, 1), Neighbor::new(0.2, 2)]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Quickselect (Hoare's FIND, [Hoare 1961]) — the Table 3 "Quick Select"
+//! baseline: O(n) average selection of the k smallest, O(n + k) best case
+//! when updating an existing neighbor list (concatenate and re-select).
+//!
+//! [Hoare 1961]: https://doi.org/10.1145/366622.366647
+
+use crate::Neighbor;
+
+/// Partition `buf` in place so that its first `min(k, len)` entries are the
+/// k smallest under `(dist, idx)` (in unspecified order) and return them as
+/// a vector.
+pub fn quickselect_k_smallest(buf: &mut [Neighbor], k: usize) -> Vec<Neighbor> {
+    let k = k.min(buf.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    if k < buf.len() {
+        select_in_place(buf, k);
+    }
+    buf[..k].to_vec()
+}
+
+/// Update a sorted neighbor list with new candidates: concatenate and
+/// re-select, the paper's O(n + k) list-update scheme. Returns the new
+/// sorted list of at most `k` entries.
+pub fn quickselect_update(list: &[Neighbor], cands: &[Neighbor], k: usize) -> Vec<Neighbor> {
+    let mut all = Vec::with_capacity(list.len() + cands.len());
+    all.extend(list.iter().copied().filter(|n| n.dist.is_finite()));
+    all.extend_from_slice(cands);
+    let mut out = quickselect_k_smallest(&mut all, k);
+    out.sort_unstable_by(Neighbor::cmp_dist_idx);
+    out
+}
+
+/// After return, `buf[..k]` holds the k smallest elements (unordered) and
+/// `buf[k..]` the rest. Iterative selection over a shrinking window using a
+/// three-way (Dutch national flag) partition with median-of-3 pivoting; the
+/// equal-to-pivot middle block guarantees progress even on constant input.
+fn select_in_place(buf: &mut [Neighbor], k: usize) {
+    debug_assert!(k > 0 && k < buf.len());
+    let mut lo = 0usize;
+    let mut hi = buf.len(); // exclusive
+    loop {
+        if hi - lo <= 8 {
+            // small window: insertion-sort it and stop
+            buf[lo..hi].sort_unstable_by(Neighbor::cmp_dist_idx);
+            return;
+        }
+        let (lt, gt) = partition3(buf, lo, hi);
+        // buf[lo..lt] < pivot == buf[lt..gt] < buf[gt..hi]
+        if k <= lt {
+            hi = lt;
+            if k == lt {
+                return;
+            }
+        } else if k >= gt {
+            lo = gt;
+            if k == gt {
+                return;
+            }
+        } else {
+            // the boundary falls inside the equal-to-pivot block: done
+            return;
+        }
+    }
+}
+
+/// Three-way partition of `buf[lo..hi]` around a median-of-3 pivot value.
+/// Returns `(lt, gt)` such that `buf[lo..lt]` beats the pivot,
+/// `buf[lt..gt]` equals it (at least one element), and the pivot beats
+/// `buf[gt..hi]`.
+fn partition3(buf: &mut [Neighbor], lo: usize, hi: usize) -> (usize, usize) {
+    let mid = lo + (hi - lo) / 2;
+    let pivot = {
+        let mut v = [buf[lo], buf[mid], buf[hi - 1]];
+        v.sort_unstable_by(Neighbor::cmp_dist_idx);
+        v[1]
+    };
+    let mut lt = lo;
+    let mut i = lo;
+    let mut gt = hi;
+    while i < gt {
+        if buf[i].beats(&pivot) {
+            buf.swap(lt, i);
+            lt += 1;
+            i += 1;
+        } else if pivot.beats(&buf[i]) {
+            gt -= 1;
+            buf.swap(i, gt);
+        } else {
+            i += 1;
+        }
+    }
+    debug_assert!(lt < gt, "equal block must be non-empty");
+    (lt, gt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn n(d: f64, i: u32) -> Neighbor {
+        Neighbor::new(d, i)
+    }
+
+    #[test]
+    fn selects_k_smallest() {
+        let mut buf: Vec<Neighbor> = [9.0, 2.0, 7.0, 1.0, 5.0, 3.0, 8.0, 4.0, 6.0, 0.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| n(d, i as u32))
+            .collect();
+        let mut got = quickselect_k_smallest(&mut buf, 4);
+        got.sort_unstable_by(Neighbor::cmp_dist_idx);
+        let d: Vec<f64> = got.iter().map(|x| x.dist).collect();
+        assert_eq!(d, vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn k_equal_len_is_identity_set() {
+        let mut buf = vec![n(2.0, 0), n(1.0, 1)];
+        let got = quickselect_k_smallest(&mut buf, 2);
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn update_keeps_sorted_k() {
+        let list = vec![n(1.0, 0), n(4.0, 1), n(9.0, 2)];
+        let cands = vec![n(2.0, 10), n(11.0, 11)];
+        let got = quickselect_update(&list, &cands, 3);
+        let d: Vec<f64> = got.iter().map(|x| x.dist).collect();
+        assert_eq!(d, vec![1.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn update_ignores_sentinels_in_list() {
+        let list = vec![n(1.0, 0), Neighbor::sentinel()];
+        let got = quickselect_update(&list, &[n(0.5, 3)], 2);
+        let d: Vec<f64> = got.iter().map(|x| x.dist).collect();
+        assert_eq!(d, vec![0.5, 1.0]);
+    }
+
+    #[test]
+    fn all_equal_distances() {
+        let mut buf: Vec<Neighbor> = (0..50).map(|i| n(1.0, i as u32)).collect();
+        let mut got = quickselect_k_smallest(&mut buf, 5);
+        got.sort_unstable_by(Neighbor::cmp_dist_idx);
+        // tie-break: the 5 smallest indices
+        let ids: Vec<u32> = got.iter().map(|x| x.idx).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_sort(dists in prop::collection::vec(0.0f64..100.0, 1..400), k in 1usize..50) {
+            let cands: Vec<Neighbor> =
+                dists.iter().enumerate().map(|(i, &d)| n(d, i as u32)).collect();
+            let mut buf = cands.clone();
+            let mut got = quickselect_k_smallest(&mut buf, k);
+            got.sort_unstable_by(Neighbor::cmp_dist_idx);
+            let mut want = cands;
+            want.sort_unstable_by(Neighbor::cmp_dist_idx);
+            want.truncate(k);
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn partition3_invariant(dists in prop::collection::vec(0.0f64..10.0, 16..200)) {
+            let mut buf: Vec<Neighbor> =
+                dists.iter().enumerate().map(|(i, &d)| n(d, i as u32)).collect();
+            let hi = buf.len();
+            let (lt, gt) = partition3(&mut buf, 0, hi);
+            prop_assert!(lt < gt && gt <= hi);
+            let pivot = buf[lt];
+            prop_assert!(buf[..lt].iter().all(|x| x.beats(&pivot)));
+            prop_assert!(buf[lt..gt].iter().all(|x| !x.beats(&pivot) && !pivot.beats(x)));
+            prop_assert!(buf[gt..].iter().all(|x| pivot.beats(x)));
+        }
+    }
+}

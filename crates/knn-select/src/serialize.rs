@@ -1,0 +1,201 @@
+//! Compact binary serialization for [`NeighborTable`] — neighbor tables
+//! for millions of points are expensive to recompute (the whole point of
+//! the paper), so pipelines persist them between stages.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic  "GSNT"          4 bytes
+//! version u16            currently 1
+//! m       u64            rows
+//! k       u64            neighbors per row
+//! rows    m·k × (f64 dist, u32 idx)
+//! ```
+//!
+//! Sentinels round-trip exactly (dist = +∞, idx = `u32::MAX`).
+
+use crate::{Neighbor, NeighborTable};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"GSNT";
+const VERSION: u16 = 1;
+
+/// Why a buffer failed to decode.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Wrong magic bytes — not a neighbor table.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u16),
+    /// Buffer ended before the declared `m × k` rows.
+    Truncated,
+    /// A stored distance was NaN (tables never contain NaN).
+    CorruptDistance,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a neighbor table (bad magic)"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            DecodeError::Truncated => write!(f, "buffer truncated"),
+            DecodeError::CorruptDistance => write!(f, "NaN distance in stored table"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl NeighborTable {
+    /// Serialize to the binary format above.
+    pub fn to_bytes(&self) -> Bytes {
+        let m = self.len();
+        let k = self.k();
+        let mut buf = BytesMut::with_capacity(4 + 2 + 16 + m * k * 12);
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(VERSION);
+        buf.put_u64_le(m as u64);
+        buf.put_u64_le(k as u64);
+        for i in 0..m {
+            for nb in self.row(i) {
+                buf.put_f64_le(nb.dist);
+                buf.put_u32_le(nb.idx);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decode a buffer produced by [`NeighborTable::to_bytes`].
+    pub fn from_bytes(mut buf: &[u8]) -> Result<Self, DecodeError> {
+        if buf.remaining() < 4 + 2 + 16 {
+            return Err(DecodeError::Truncated);
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let version = buf.get_u16_le();
+        if version != VERSION {
+            return Err(DecodeError::BadVersion(version));
+        }
+        let m = buf.get_u64_le() as usize;
+        let k = buf.get_u64_le() as usize;
+        let need = m
+            .checked_mul(k)
+            .and_then(|v| v.checked_mul(12))
+            .ok_or(DecodeError::Truncated)?;
+        if buf.remaining() < need {
+            return Err(DecodeError::Truncated);
+        }
+        let mut table = NeighborTable::new(m, k);
+        let mut row = Vec::with_capacity(k);
+        for i in 0..m {
+            row.clear();
+            let mut real = 0usize;
+            for _ in 0..k {
+                let dist = buf.get_f64_le();
+                let idx = buf.get_u32_le();
+                if dist.is_nan() {
+                    return Err(DecodeError::CorruptDistance);
+                }
+                if dist.is_finite() {
+                    real += 1;
+                }
+                row.push(Neighbor { dist, idx });
+            }
+            // rows are stored sorted with sentinels trailing; re-assert
+            // via set_row (which sentinel-pads the tail)
+            table.set_row(i, &row[..real]);
+        }
+        Ok(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> NeighborTable {
+        let mut t = NeighborTable::new(3, 2);
+        t.set_row(0, &[Neighbor::new(0.25, 7), Neighbor::new(1.5, 3)]);
+        t.set_row(1, &[Neighbor::new(0.125, 9)]); // partial row: one sentinel
+        t
+    }
+
+    #[test]
+    fn round_trip_exact() {
+        let t = sample();
+        let bytes = t.to_bytes();
+        let back = NeighborTable::from_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.k(), 2);
+        for i in 0..3 {
+            assert_eq!(back.row(i), t.row(i), "row {i}");
+        }
+    }
+
+    #[test]
+    fn empty_table_round_trips() {
+        let t = NeighborTable::new(0, 5);
+        let back = NeighborTable::from_bytes(&t.to_bytes()).unwrap();
+        assert_eq!(back.len(), 0);
+        assert_eq!(back.k(), 5);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample().to_bytes().to_vec();
+        bytes[0] = b'X';
+        assert_eq!(
+            NeighborTable::from_bytes(&bytes).unwrap_err(),
+            DecodeError::BadMagic
+        );
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut bytes = sample().to_bytes().to_vec();
+        bytes[4] = 9;
+        assert_eq!(
+            NeighborTable::from_bytes(&bytes).unwrap_err(),
+            DecodeError::BadVersion(9)
+        );
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = sample().to_bytes();
+        for cut in [0usize, 3, 10, bytes.len() - 1] {
+            assert_eq!(
+                NeighborTable::from_bytes(&bytes[..cut]).unwrap_err(),
+                DecodeError::Truncated,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn nan_distance_rejected() {
+        let mut bytes = sample().to_bytes().to_vec();
+        // overwrite the first row's first dist (offset 22) with NaN
+        bytes[22..30].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert_eq!(
+            NeighborTable::from_bytes(&bytes).unwrap_err(),
+            DecodeError::CorruptDistance
+        );
+    }
+
+    #[test]
+    fn oversized_header_does_not_overflow() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"GSNT");
+        buf.extend_from_slice(&1u16.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes()); // m
+        buf.extend_from_slice(&u64::MAX.to_le_bytes()); // k
+        assert_eq!(
+            NeighborTable::from_bytes(&buf).unwrap_err(),
+            DecodeError::Truncated
+        );
+    }
+}

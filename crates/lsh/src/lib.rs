@@ -1,0 +1,19 @@
+//! Locality-sensitive hashing for the all-nearest-neighbor problem — the
+//! second approximate outer solver GSKNN was integrated with (refs
+//! \[21, 34\]; hashing-based search per Andoni & Indyk, ref \[2\]).
+//!
+//! E2LSH-style Euclidean hashing: each table hashes a point with `K`
+//! concatenated quantized random projections
+//! `h(x) = ⌊(aᵀx + b) / w⌋`; points sharing all `K` values land in the
+//! same bucket. For all-NN, every bucket is an exact kNN kernel problem
+//! (queries = references = the bucket), solved by the plugged-in
+//! [`LeafKernel`], and results accumulate in the global neighbor table
+//! across `L` independent tables — structurally identical to the
+//! randomized-KD-tree iteration, with buckets instead of leaves.
+
+mod hash;
+mod solver;
+
+pub use hash::{HashTable, LshParams};
+pub use rkdt::LeafKernel;
+pub use solver::{LshConfig, LshSolver, TableStats};

@@ -1,0 +1,280 @@
+//! The LSH all-NN driver: `L` tables, each bucketing all points and
+//! solving every bucket exactly with the plugged-in kernel.
+//!
+//! Unlike the KD-tree's leaves, buckets of one table are disjoint (a
+//! point has one key per table), so per-table updates are race-free and
+//! parallelize over buckets exactly like the tree solver's leaves.
+
+use crate::hash::{HashTable, LshParams};
+use dataset::PointSet;
+use knn_select::NeighborTable;
+use rayon::prelude::*;
+use rkdt::LeafKernel;
+
+/// Solver configuration.
+#[derive(Clone, Debug)]
+pub struct LshConfig {
+    /// Number of independent hash tables (`L`).
+    pub tables: usize,
+    /// Hash family parameters (shared by all tables).
+    pub params: LshParams,
+    /// Base seed (table `t` uses `seed + t`).
+    pub seed: u64,
+    /// Solve buckets in parallel.
+    pub parallel_buckets: bool,
+    /// Split buckets larger than this into chunks (keeps kernel problems
+    /// kernel-sized; 0 = unbounded).
+    pub max_bucket: usize,
+    /// Multi-probe: also search the buckets whose key differs by ±1 in
+    /// one of the first `probes` hash coordinates (0 = classic LSH).
+    /// Boosts recall per table at the cost of larger reference sets.
+    pub probes: usize,
+}
+
+impl Default for LshConfig {
+    fn default() -> Self {
+        LshConfig {
+            tables: 8,
+            params: LshParams::default(),
+            seed: 0xA5A5,
+            parallel_buckets: true,
+            max_bucket: 8192,
+            probes: 0,
+        }
+    }
+}
+
+/// Per-table progress record.
+#[derive(Clone, Copy, Debug)]
+pub struct TableStats {
+    /// Table index.
+    pub table: usize,
+    /// Buckets solved.
+    pub buckets: usize,
+    /// Points covered by ≥2-element buckets.
+    pub covered: usize,
+    /// Recall against the exact table, when one was supplied.
+    pub recall: Option<f64>,
+}
+
+/// The LSH all-nearest-neighbor solver.
+pub struct LshSolver {
+    cfg: LshConfig,
+}
+
+impl LshSolver {
+    /// Solver with the given configuration.
+    pub fn new(cfg: LshConfig) -> Self {
+        LshSolver { cfg }
+    }
+
+    /// Run all tables; `make_kernel` produces one kernel per worker.
+    pub fn solve<K, F>(
+        &self,
+        x: &PointSet,
+        k: usize,
+        make_kernel: F,
+        exact: Option<&NeighborTable>,
+    ) -> (NeighborTable, Vec<TableStats>)
+    where
+        K: LeafKernel,
+        F: Fn() -> K + Sync,
+    {
+        let n = x.len();
+        let mut table = NeighborTable::new(n, k);
+        let mut stats = Vec::with_capacity(self.cfg.tables);
+
+        for t in 0..self.cfg.tables {
+            let ht = HashTable::new(x.dim(), &self.cfg.params, self.cfg.seed + t as u64);
+            let mut buckets = ht.buckets_multiprobe(x, self.cfg.probes);
+            if self.cfg.max_bucket >= 2 {
+                buckets = split_large(buckets, self.cfg.max_bucket);
+            }
+            let covered: usize = buckets.iter().map(|(q, _)| q.len()).sum();
+
+            let solve_bucket =
+                |(ids, refs): &(Vec<usize>, Vec<usize>)| -> (Vec<usize>, NeighborTable) {
+                    let mut local = NeighborTable::new(ids.len(), k);
+                    for (row, &id) in ids.iter().enumerate() {
+                        local.set_row(row, table.row(id));
+                    }
+                    let mut kernel = make_kernel();
+                    kernel.update_bucket(x, ids, refs, &mut local);
+                    (ids.clone(), local)
+                };
+            let results: Vec<(Vec<usize>, NeighborTable)> = if self.cfg.parallel_buckets {
+                buckets.par_iter().map(solve_bucket).collect()
+            } else {
+                buckets.iter().map(solve_bucket).collect()
+            };
+            for (ids, local) in results {
+                for (row, id) in ids.into_iter().enumerate() {
+                    table.set_row(id, local.row(row));
+                }
+            }
+            stats.push(TableStats {
+                table: t,
+                buckets: buckets.len(),
+                covered,
+                recall: exact.map(|e| table.recall_against(e)),
+            });
+        }
+        (table, stats)
+    }
+}
+
+/// Chop the *query side* of oversized buckets into `max`-sized chunks
+/// (references are shared; query disjointness within a table is
+/// preserved).
+fn split_large(
+    buckets: Vec<(Vec<usize>, Vec<usize>)>,
+    max: usize,
+) -> Vec<(Vec<usize>, Vec<usize>)> {
+    buckets
+        .into_iter()
+        .flat_map(|(q, r)| {
+            q.chunks(max)
+                .map(|c| (c.to_vec(), r.clone()))
+                .collect::<Vec<_>>()
+        })
+        .filter(|(_, r)| r.len() >= 2)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::{gaussian_embedded, DistanceKind};
+    use gsknn_core::GsknnConfig;
+    use knn_ref::oracle;
+    use rkdt::{AllNnSolver, GsknnLeaf};
+
+    fn mk() -> impl Fn() -> GsknnLeaf + Sync {
+        || GsknnLeaf::new(GsknnConfig::default(), DistanceKind::SqL2)
+    }
+
+    #[test]
+    fn recall_is_monotone_over_tables() {
+        let x = gaussian_embedded(300, 16, 3, 13);
+        let ids: Vec<usize> = (0..300).collect();
+        let exact = oracle::exact(&x, &ids, &ids, 4, DistanceKind::SqL2);
+        let cfg = LshConfig {
+            tables: 6,
+            params: LshParams {
+                hashes_per_table: 2,
+                bucket_width: 2.0,
+            },
+            seed: 5,
+            parallel_buckets: false,
+            max_bucket: 128,
+            probes: 0,
+        };
+        let (_, stats) = LshSolver::new(cfg).solve(&x, 4, mk(), Some(&exact));
+        let recalls: Vec<f64> = stats.iter().map(|s| s.recall.unwrap()).collect();
+        for w in recalls.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "recall regressed: {recalls:?}");
+        }
+        assert!(*recalls.last().unwrap() > 0.3, "poor recall: {recalls:?}");
+    }
+
+    #[test]
+    fn buckets_split_respects_max() {
+        let members: Vec<usize> = (0..100).collect();
+        let big = vec![(members.clone(), members)];
+        let split = split_large(big, 30);
+        assert!(split.iter().all(|(q, _)| q.len() <= 30));
+        assert!(split.iter().all(|(_, r)| r.len() == 100), "refs shared");
+        let total: usize = split.iter().map(|(q, _)| q.len()).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn multiprobe_improves_recall() {
+        let x = gaussian_embedded(400, 16, 4, 99);
+        let ids: Vec<usize> = (0..400).collect();
+        let exact = oracle::exact(&x, &ids, &ids, 4, DistanceKind::SqL2);
+        let run = |probes: usize| {
+            let cfg = LshConfig {
+                tables: 3,
+                params: LshParams {
+                    hashes_per_table: 4,
+                    bucket_width: 1.0,
+                },
+                seed: 5,
+                parallel_buckets: false,
+                max_bucket: 0,
+                probes,
+            };
+            let (_, stats) = LshSolver::new(cfg).solve(&x, 4, mk(), Some(&exact));
+            stats.last().unwrap().recall.unwrap()
+        };
+        let plain = run(0);
+        let probed = run(4);
+        assert!(
+            probed > plain,
+            "multiprobe should raise recall: {plain} -> {probed}"
+        );
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let x = gaussian_embedded(200, 12, 2, 31);
+        let base = LshConfig {
+            tables: 3,
+            params: LshParams::default(),
+            seed: 17,
+            parallel_buckets: false,
+            max_bucket: 64,
+            probes: 0,
+        };
+        let (a, _) = LshSolver::new(base.clone()).solve(&x, 3, mk(), None);
+        let par = LshConfig {
+            parallel_buckets: true,
+            ..base
+        };
+        let (b, _) = LshSolver::new(par).solve(&x, 3, mk(), None);
+        for i in 0..200 {
+            assert_eq!(a.row(i), b.row(i), "row {i}");
+        }
+    }
+
+    #[test]
+    fn composes_with_tree_solver() {
+        // LSH tables then KD-tree refinement on the same neighbor table:
+        // recall must only improve (the solvers share the update
+        // contract, so they compose).
+        let x = gaussian_embedded(250, 16, 3, 41);
+        let ids: Vec<usize> = (0..250).collect();
+        let exact = oracle::exact(&x, &ids, &ids, 4, DistanceKind::SqL2);
+        let (lsh_table, lsh_stats) = LshSolver::new(LshConfig {
+            tables: 2,
+            params: LshParams {
+                hashes_per_table: 2,
+                bucket_width: 1.0,
+            },
+            seed: 3,
+            parallel_buckets: false,
+            max_bucket: 64,
+            probes: 0,
+        })
+        .solve(&x, 4, mk(), Some(&exact));
+        let lsh_recall = lsh_stats.last().unwrap().recall.unwrap();
+        let tree = AllNnSolver::new(rkdt::RkdtConfig {
+            leaf_size: 64,
+            iterations: 3,
+            seed: 7,
+            parallel_leaves: false,
+        });
+        let (refined, tree_stats) = tree.solve_from(&x, lsh_table, mk(), Some(&exact));
+        let final_recall = tree_stats.last().unwrap().recall.unwrap();
+        assert!(
+            final_recall >= lsh_recall,
+            "refinement dropped recall: {lsh_recall} -> {final_recall}"
+        );
+        assert!(
+            final_recall > 0.6,
+            "combined recall too low: {final_recall}"
+        );
+        assert_eq!(refined.len(), 250);
+    }
+}

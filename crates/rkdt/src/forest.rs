@@ -1,0 +1,191 @@
+//! Forest queries: k nearest neighbors of *out-of-sample* points.
+//!
+//! The all-NN solver handles the paper's setting (queries ⊂ X); a forest
+//! additionally answers the classic train/test form — route each query
+//! point down every tree to a leaf of reference candidates, then solve
+//! one cross-table kNN kernel per (tree, leaf) group of queries. More
+//! trees ⇒ more candidate leaves per query ⇒ higher recall, the standard
+//! randomized-KD-tree trade-off (refs [6, 16] of the paper).
+
+use crate::tree::RpTree;
+use dataset::{DistanceKind, PointSet};
+use gsknn_core::{Gsknn, GsknnConfig};
+use knn_select::NeighborTable;
+use std::collections::HashMap;
+
+/// A forest of random-projection trees over one reference set.
+///
+/// ```
+/// use rkdt::Forest;
+/// use gsknn_core::GsknnConfig;
+/// use dataset::DistanceKind;
+/// let refs = dataset::uniform(500, 8, 1);
+/// let queries = dataset::uniform(10, 8, 2);
+/// let forest = Forest::build(&refs, 4, 64, 7);
+/// let t = forest.query(&refs, &queries, 3, DistanceKind::SqL2, GsknnConfig::default());
+/// assert_eq!(t.len(), 10);
+/// assert!(t.row(0).windows(2).all(|w| !w[1].beats(&w[0]))); // sorted rows
+/// ```
+pub struct Forest {
+    trees: Vec<RpTree>,
+}
+
+impl Forest {
+    /// Build `n_trees` trees over `x` with leaves of ≤ `leaf_size`.
+    pub fn build(x: &PointSet, n_trees: usize, leaf_size: usize, seed: u64) -> Self {
+        assert!(n_trees >= 1, "need at least one tree");
+        Forest {
+            trees: (0..n_trees)
+                .map(|t| RpTree::build(x, leaf_size, seed + t as u64))
+                .collect(),
+        }
+    }
+
+    /// Number of trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// `true` if the forest holds no trees (never, post-build).
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// Approximate k nearest references (ids into `x`) for every point of
+    /// `queries` (a separate table of equal dimension). Row `i` of the
+    /// result corresponds to `queries.point(i)`.
+    pub fn query(
+        &self,
+        x: &PointSet,
+        queries: &PointSet,
+        k: usize,
+        kind: DistanceKind,
+        cfg: GsknnConfig,
+    ) -> NeighborTable {
+        assert_eq!(x.dim(), queries.dim(), "dimension mismatch");
+        let mut table = NeighborTable::new(queries.len(), k);
+        let mut exec = Gsknn::new(cfg);
+
+        for tree in &self.trees {
+            let leaves = tree.leaves();
+            // group queries by the leaf they route to (keyed by the
+            // leaf's position in the left-to-right ordering)
+            let leaf_pos: HashMap<*const usize, usize> = leaves
+                .iter()
+                .enumerate()
+                .map(|(i, l)| (l.as_ptr(), i))
+                .collect();
+            let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+            for qi in 0..queries.len() {
+                let leaf = tree.route(queries.point(qi));
+                groups.entry(leaf_pos[&leaf.as_ptr()]).or_default().push(qi);
+            }
+            // deterministic processing order
+            let mut ordered: Vec<(usize, Vec<usize>)> = groups.into_iter().collect();
+            ordered.sort_unstable_by_key(|(l, _)| *l);
+
+            for (leaf_idx, qs) in ordered {
+                let mut local = NeighborTable::new(qs.len(), k);
+                for (row, &qi) in qs.iter().enumerate() {
+                    local.set_row(row, table.row(qi));
+                }
+                exec.update_cross(queries, &qs, x, leaves[leaf_idx], kind, &mut local);
+                for (row, &qi) in qs.iter().enumerate() {
+                    table.set_row(qi, local.row(row));
+                }
+            }
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::{gaussian_embedded, uniform};
+    use knn_ref::oracle;
+
+    /// Exact cross-table truth by brute force over a merged table.
+    fn cross_truth(
+        x: &PointSet,
+        queries: &PointSet,
+        k: usize,
+        kind: DistanceKind,
+    ) -> NeighborTable {
+        let mut merged = queries.as_slice().to_vec();
+        merged.extend_from_slice(x.as_slice());
+        let xm = PointSet::from_vec(x.dim(), queries.len() + x.len(), merged);
+        let q: Vec<usize> = (0..queries.len()).collect();
+        let r: Vec<usize> = (queries.len()..queries.len() + x.len()).collect();
+        let t = oracle::exact(&xm, &q, &r, k, kind);
+        // shift reference ids back to x's index space
+        let mut out = NeighborTable::new(queries.len(), k);
+        for i in 0..queries.len() {
+            let row: Vec<knn_select::Neighbor> = t
+                .row(i)
+                .iter()
+                .filter(|nb| nb.idx != u32::MAX)
+                .map(|nb| knn_select::Neighbor::new(nb.dist, nb.idx - queries.len() as u32))
+                .collect();
+            out.set_row(i, &row);
+        }
+        out
+    }
+
+    #[test]
+    fn single_tree_big_leaf_is_exact() {
+        let x = uniform(100, 6, 1);
+        let queries = uniform(15, 6, 2);
+        let forest = Forest::build(&x, 1, 100, 7);
+        let got = forest.query(&x, &queries, 4, DistanceKind::SqL2, GsknnConfig::default());
+        let want = cross_truth(&x, &queries, 4, DistanceKind::SqL2);
+        for i in 0..15 {
+            let gi: Vec<u32> = got.row(i).iter().map(|nb| nb.idx).collect();
+            let wi: Vec<u32> = want.row(i).iter().map(|nb| nb.idx).collect();
+            assert_eq!(gi, wi, "row {i}");
+        }
+    }
+
+    #[test]
+    fn recall_improves_with_more_trees() {
+        let x = gaussian_embedded(800, 16, 5, 3);
+        let queries = gaussian_embedded(60, 16, 5, 3); // same distribution
+        let want = cross_truth(&x, &queries, 5, DistanceKind::SqL2);
+        let recall = |n_trees: usize| {
+            let forest = Forest::build(&x, n_trees, 64, 11);
+            let got = forest.query(&x, &queries, 5, DistanceKind::SqL2, GsknnConfig::default());
+            got.recall_against(&want)
+        };
+        let r1 = recall(1);
+        let r8 = recall(8);
+        assert!(r8 > r1, "more trees must help: {r1} vs {r8}");
+        assert!(r8 > 0.6, "8-tree recall too low: {r8}");
+    }
+
+    #[test]
+    fn queries_route_deterministically() {
+        let x = uniform(200, 5, 9);
+        let queries = uniform(20, 5, 10);
+        let forest = Forest::build(&x, 3, 32, 13);
+        let a = forest.query(&x, &queries, 3, DistanceKind::SqL2, GsknnConfig::default());
+        let b = forest.query(&x, &queries, 3, DistanceKind::SqL2, GsknnConfig::default());
+        for i in 0..20 {
+            assert_eq!(a.row(i), b.row(i));
+        }
+    }
+
+    #[test]
+    fn non_euclidean_forest_query() {
+        let x = uniform(150, 8, 21);
+        let queries = uniform(10, 8, 22);
+        let forest = Forest::build(&x, 4, 40, 5);
+        let got = forest.query(&x, &queries, 3, DistanceKind::L1, GsknnConfig::default());
+        // sanity: all ids in range, rows sorted
+        for i in 0..10 {
+            for nb in got.row(i).iter().filter(|nb| nb.idx != u32::MAX) {
+                assert!((nb.idx as usize) < 150);
+            }
+            assert!(got.row(i).windows(2).all(|w| !w[1].beats(&w[0])));
+        }
+    }
+}

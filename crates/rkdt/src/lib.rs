@@ -1,0 +1,21 @@
+//! Randomized KD-tree approximate all-nearest-neighbors — the outer
+//! solver (ref \[34\] of the paper) whose inner loop is the kNN kernel.
+//!
+//! The algorithm of §1 ("The kNN kernel"): partition the `N` points into
+//! leaves of ~`m` points with a randomized space partition, solve an
+//! *exact* kNN problem inside every leaf (queries = references = the
+//! leaf), fold the results into the global neighbor lists, and repeat
+//! with a fresh random tree until the lists converge. Every iteration is
+//! embarrassingly parallel over leaves, and >90% of the runtime is inside
+//! the kernel (Table 1) — which is why swapping the GEMM kernel for GSKNN
+//! translates almost 1:1 into end-to-end speedup.
+
+mod forest;
+mod solver;
+mod streaming;
+mod tree;
+
+pub use forest::Forest;
+pub use solver::{AllNnSolver, GemmLeaf, GsknnLeaf, IterationStats, LeafKernel, RkdtConfig};
+pub use streaming::{StreamingAllNn, StreamingConfig};
+pub use tree::{build_leaf_partition, RpTree};

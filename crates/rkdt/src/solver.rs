@@ -1,0 +1,358 @@
+//! The iterated all-nearest-neighbor solver: per iteration, build a fresh
+//! random tree, solve every leaf exactly with the plugged-in kNN kernel,
+//! fold results into the global neighbor table, and report convergence.
+
+use crate::tree::build_leaf_partition;
+use dataset::{DistanceKind, PointSet};
+use gsknn_core::{Gsknn, GsknnConfig};
+use knn_ref::GemmKnn;
+use knn_select::NeighborTable;
+use rayon::prelude::*;
+
+/// A kNN kernel usable as the leaf solver. `update_leaf` receives the
+/// leaf's global point ids and a *local* table whose row `i` is the
+/// current neighbor list of `ids[i]`; it must fold the leaf's exact
+/// all-pairs candidates into those rows.
+pub trait LeafKernel: Send {
+    /// Fold the exact `q_ids × r_ids` search into `local` (row `i` ↔
+    /// `q_ids[i]`). The LSH solver's multi-probe mode uses reference sets
+    /// larger than the query set.
+    fn update_bucket(
+        &mut self,
+        x: &PointSet,
+        q_ids: &[usize],
+        r_ids: &[usize],
+        local: &mut NeighborTable,
+    );
+
+    /// Fold the exact `ids × ids` search into `local` (the KD-tree leaf
+    /// case: queries = references).
+    fn update_leaf(&mut self, x: &PointSet, ids: &[usize], local: &mut NeighborTable) {
+        self.update_bucket(x, ids, ids, local)
+    }
+
+    /// Display name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// GSKNN as the leaf kernel (the paper's improvement).
+pub struct GsknnLeaf {
+    exec: Gsknn,
+    kind: DistanceKind,
+}
+
+impl GsknnLeaf {
+    /// Wrap a configured GSKNN executor.
+    pub fn new(cfg: GsknnConfig, kind: DistanceKind) -> Self {
+        GsknnLeaf {
+            exec: Gsknn::new(cfg),
+            kind,
+        }
+    }
+}
+
+impl LeafKernel for GsknnLeaf {
+    fn update_bucket(
+        &mut self,
+        x: &PointSet,
+        q_ids: &[usize],
+        r_ids: &[usize],
+        local: &mut NeighborTable,
+    ) {
+        self.exec.update(x, q_ids, r_ids, self.kind, local);
+    }
+
+    fn name(&self) -> &'static str {
+        "GSKNN"
+    }
+}
+
+/// The GEMM-approach reference as the leaf kernel (the Table 1 "ref").
+pub struct GemmLeaf {
+    exec: GemmKnn,
+}
+
+impl GemmLeaf {
+    /// Wrap a configured GEMM-approach executor.
+    pub fn new(exec: GemmKnn) -> Self {
+        GemmLeaf { exec }
+    }
+}
+
+impl Default for GemmLeaf {
+    fn default() -> Self {
+        GemmLeaf::new(GemmKnn::new(gsknn_core::GemmParams::ivy_bridge(), false))
+    }
+}
+
+impl LeafKernel for GemmLeaf {
+    fn update_bucket(
+        &mut self,
+        x: &PointSet,
+        q_ids: &[usize],
+        r_ids: &[usize],
+        local: &mut NeighborTable,
+    ) {
+        self.exec.update(x, q_ids, r_ids, local);
+    }
+
+    fn name(&self) -> &'static str {
+        "GEMM+heap"
+    }
+}
+
+/// Solver configuration.
+#[derive(Clone, Debug)]
+pub struct RkdtConfig {
+    /// Points per leaf (the paper's `m`; Table 1 uses 8192).
+    pub leaf_size: usize,
+    /// Number of random trees / iterations.
+    pub iterations: usize,
+    /// Base RNG seed (iteration `t` uses `seed + t`).
+    pub seed: u64,
+    /// Solve leaves in parallel with rayon (disjoint rows per tree, so
+    /// this is race-free).
+    pub parallel_leaves: bool,
+}
+
+impl Default for RkdtConfig {
+    fn default() -> Self {
+        RkdtConfig {
+            leaf_size: 8192,
+            iterations: 8,
+            seed: 0x5EED,
+            parallel_leaves: true,
+        }
+    }
+}
+
+/// Per-iteration progress record.
+#[derive(Clone, Copy, Debug)]
+pub struct IterationStats {
+    /// Iteration index (0-based).
+    pub iter: usize,
+    /// Fraction of table rows whose k-th distance improved this round.
+    pub changed_fraction: f64,
+    /// Wall-clock seconds spent in leaf kernels this round.
+    pub kernel_seconds: f64,
+    /// Recall against the exact table, when one was supplied.
+    pub recall: Option<f64>,
+}
+
+/// The iterated randomized-KD-tree all-NN solver.
+pub struct AllNnSolver {
+    cfg: RkdtConfig,
+}
+
+impl AllNnSolver {
+    /// Solver with the given configuration.
+    pub fn new(cfg: RkdtConfig) -> Self {
+        AllNnSolver { cfg }
+    }
+
+    /// Run all iterations with `make_kernel` producing one kernel per
+    /// worker. Returns the final table and per-iteration stats; pass
+    /// `exact` to track recall (used by the Table 1 harness and tests).
+    pub fn solve<K, F>(
+        &self,
+        x: &PointSet,
+        k: usize,
+        make_kernel: F,
+        exact: Option<&NeighborTable>,
+    ) -> (NeighborTable, Vec<IterationStats>)
+    where
+        K: LeafKernel,
+        F: Fn() -> K + Sync,
+    {
+        let table = NeighborTable::new(x.len(), k);
+        self.solve_from(x, table, make_kernel, exact)
+    }
+
+    /// As [`AllNnSolver::solve`], but starting from an existing neighbor
+    /// table (e.g. produced by the LSH solver) — the solvers share the
+    /// update contract, so they compose.
+    pub fn solve_from<K, F>(
+        &self,
+        x: &PointSet,
+        mut table: NeighborTable,
+        make_kernel: F,
+        exact: Option<&NeighborTable>,
+    ) -> (NeighborTable, Vec<IterationStats>)
+    where
+        K: LeafKernel,
+        F: Fn() -> K + Sync,
+    {
+        let n = x.len();
+        assert_eq!(table.len(), n, "table must have one row per point");
+        let k = table.k();
+        let mut stats = Vec::with_capacity(self.cfg.iterations);
+
+        for iter in 0..self.cfg.iterations {
+            let leaves = build_leaf_partition(x, self.cfg.leaf_size, self.cfg.seed + iter as u64);
+            let kth_before: Vec<f64> = (0..n)
+                .map(|i| table.row(i).last().map_or(f64::INFINITY, |nb| nb.dist))
+                .collect();
+
+            let t0 = std::time::Instant::now();
+            // Each leaf extracts its local rows, solves, and hands rows
+            // back; leaves partition the ids, so writes never collide.
+            let solve_leaf = |ids: &Vec<usize>| -> (Vec<usize>, NeighborTable) {
+                let mut local = NeighborTable::new(ids.len(), k);
+                for (row, &id) in ids.iter().enumerate() {
+                    local.set_row(row, table.row(id));
+                }
+                let mut kernel = make_kernel();
+                kernel.update_leaf(x, ids, &mut local);
+                (ids.clone(), local)
+            };
+            let results: Vec<(Vec<usize>, NeighborTable)> = if self.cfg.parallel_leaves {
+                leaves.par_iter().map(solve_leaf).collect()
+            } else {
+                leaves.iter().map(solve_leaf).collect()
+            };
+            for (ids, local) in results {
+                for (row, id) in ids.into_iter().enumerate() {
+                    table.set_row(id, local.row(row));
+                }
+            }
+            let kernel_seconds = t0.elapsed().as_secs_f64();
+
+            let changed = (0..n)
+                .filter(|&i| {
+                    let after = table.row(i).last().map_or(f64::INFINITY, |nb| nb.dist);
+                    after < kth_before[i]
+                })
+                .count();
+            stats.push(IterationStats {
+                iter,
+                changed_fraction: changed as f64 / n.max(1) as f64,
+                kernel_seconds,
+                recall: exact.map(|e| table.recall_against(e)),
+            });
+        }
+        (table, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::{gaussian_embedded, uniform};
+    use knn_ref::oracle;
+
+    #[test]
+    fn single_leaf_is_exact() {
+        // leaf_size >= N: one leaf = brute force in one iteration
+        let x = uniform(80, 6, 3);
+        let ids: Vec<usize> = (0..80).collect();
+        let cfg = RkdtConfig {
+            leaf_size: 80,
+            iterations: 1,
+            seed: 1,
+            parallel_leaves: false,
+        };
+        let (table, stats) = AllNnSolver::new(cfg).solve(
+            &x,
+            4,
+            || GsknnLeaf::new(GsknnConfig::default(), DistanceKind::SqL2),
+            None,
+        );
+        let want = oracle::exact(&x, &ids, &ids, 4, DistanceKind::SqL2);
+        oracle::assert_matches(&table, &want, 1e-9, "single leaf");
+        assert_eq!(stats.len(), 1);
+        assert!(stats[0].changed_fraction > 0.99);
+    }
+
+    #[test]
+    fn recall_is_monotone_over_iterations() {
+        let x = gaussian_embedded(400, 16, 4, 7);
+        let ids: Vec<usize> = (0..400).collect();
+        let exact = oracle::exact(&x, &ids, &ids, 8, DistanceKind::SqL2);
+        let cfg = RkdtConfig {
+            leaf_size: 64,
+            iterations: 6,
+            seed: 3,
+            parallel_leaves: false,
+        };
+        let (_, stats) = AllNnSolver::new(cfg).solve(
+            &x,
+            8,
+            || GsknnLeaf::new(GsknnConfig::default(), DistanceKind::SqL2),
+            Some(&exact),
+        );
+        let recalls: Vec<f64> = stats.iter().map(|s| s.recall.unwrap()).collect();
+        for w in recalls.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "recall regressed: {recalls:?}");
+        }
+        assert!(
+            *recalls.last().unwrap() > recalls[0],
+            "no improvement: {recalls:?}"
+        );
+        assert!(*recalls.last().unwrap() > 0.5, "poor recall: {recalls:?}");
+    }
+
+    #[test]
+    fn gemm_and_gsknn_kernels_agree() {
+        let x = uniform(300, 10, 17);
+        let cfg = RkdtConfig {
+            leaf_size: 50,
+            iterations: 3,
+            seed: 11,
+            parallel_leaves: false,
+        };
+        let solver = AllNnSolver::new(cfg);
+        let (a, _) = solver.solve(
+            &x,
+            5,
+            || GsknnLeaf::new(GsknnConfig::default(), DistanceKind::SqL2),
+            None,
+        );
+        let (b, _) = solver.solve(&x, 5, GemmLeaf::default, None);
+        for i in 0..300 {
+            let ia: Vec<u32> = a.row(i).iter().map(|nb| nb.idx).collect();
+            let ib: Vec<u32> = b.row(i).iter().map(|nb| nb.idx).collect();
+            assert_eq!(ia, ib, "row {i}");
+        }
+    }
+
+    #[test]
+    fn parallel_leaves_match_serial() {
+        let x = uniform(250, 7, 23);
+        let mk = || GsknnLeaf::new(GsknnConfig::default(), DistanceKind::SqL2);
+        let base = RkdtConfig {
+            leaf_size: 40,
+            iterations: 2,
+            seed: 5,
+            parallel_leaves: false,
+        };
+        let (a, _) = AllNnSolver::new(base.clone()).solve(&x, 3, mk, None);
+        let par = RkdtConfig {
+            parallel_leaves: true,
+            ..base
+        };
+        let (b, _) = AllNnSolver::new(par).solve(&x, 3, mk, None);
+        for i in 0..250 {
+            assert_eq!(a.row(i), b.row(i), "row {i}");
+        }
+    }
+
+    #[test]
+    fn changed_fraction_decays() {
+        let x = gaussian_embedded(300, 12, 3, 29);
+        let cfg = RkdtConfig {
+            leaf_size: 64,
+            iterations: 5,
+            seed: 9,
+            parallel_leaves: false,
+        };
+        let (_, stats) = AllNnSolver::new(cfg).solve(
+            &x,
+            4,
+            || GsknnLeaf::new(GsknnConfig::default(), DistanceKind::SqL2),
+            None,
+        );
+        // first iteration touches everything; later ones much less
+        assert!(stats[0].changed_fraction > 0.9);
+        assert!(stats.last().unwrap().changed_fraction < stats[0].changed_fraction);
+    }
+}

@@ -1,0 +1,235 @@
+//! Streaming all-nearest-neighbors — the §1 motivation made concrete:
+//! "In many applications (e.g., image datasets, streaming datasets) there
+//! are frequent updates of X and computing all nearest-neighbors fast
+//! efficiently is time-critical."
+//!
+//! [`StreamingAllNn`] maintains a neighbor table over a growing point
+//! set. Each [`StreamingAllNn::insert`] appends a batch, builds one fresh
+//! random tree over the *whole* set, and re-solves only the leaves that
+//! contain new points — so new points get neighbors immediately and the
+//! existing points in those leaves see the new candidates, at a fraction
+//! of a full re-solve. Because the update stream is exactly the solvers'
+//! neighbor-list contract (rows only improve), occasional
+//! [`StreamingAllNn::refresh`] iterations tighten recall the same way
+//! extra trees do in the batch solver.
+
+use crate::solver::LeafKernel;
+use crate::tree::build_leaf_partition;
+use dataset::PointSet;
+use knn_select::NeighborTable;
+
+/// Configuration for the streaming maintainer.
+#[derive(Clone, Debug)]
+pub struct StreamingConfig {
+    /// Points per leaf for the per-insert trees.
+    pub leaf_size: usize,
+    /// Full-table iterations run at construction (initial solve).
+    pub initial_iterations: usize,
+    /// Base RNG seed; every tree uses a fresh stream.
+    pub seed: u64,
+}
+
+impl Default for StreamingConfig {
+    fn default() -> Self {
+        StreamingConfig {
+            leaf_size: 1024,
+            initial_iterations: 6,
+            seed: 0x57EA,
+        }
+    }
+}
+
+/// An all-NN table kept current while points stream in.
+pub struct StreamingAllNn<K: LeafKernel> {
+    x: PointSet,
+    table: NeighborTable,
+    k: usize,
+    cfg: StreamingConfig,
+    kernel: K,
+    trees_built: u64,
+}
+
+impl<K: LeafKernel> StreamingAllNn<K> {
+    /// Build over an initial point set (runs `initial_iterations` of the
+    /// batch solver to seed the table).
+    pub fn new(x: PointSet, k: usize, cfg: StreamingConfig, mut kernel: K) -> Self {
+        let mut table = NeighborTable::new(x.len(), k);
+        let mut trees_built = 0;
+        for t in 0..cfg.initial_iterations {
+            if x.is_empty() {
+                break;
+            }
+            let leaves = build_leaf_partition(&x, cfg.leaf_size, cfg.seed + t as u64);
+            for ids in &leaves {
+                update_leaf_rows(&mut kernel, &x, ids, &mut table, k);
+            }
+            trees_built += 1;
+        }
+        StreamingAllNn {
+            x,
+            table,
+            k,
+            cfg,
+            kernel,
+            trees_built,
+        }
+    }
+
+    /// The current point set.
+    pub fn points(&self) -> &PointSet {
+        &self.x
+    }
+
+    /// The current neighbor table (row `i` ↔ point `i`).
+    pub fn table(&self) -> &NeighborTable {
+        &self.table
+    }
+
+    /// Insert a batch of points (column-major, a whole number of points);
+    /// returns their new id range. One fresh tree is built and only the
+    /// leaves containing new points are re-solved.
+    pub fn insert(&mut self, coords: &[f64]) -> std::ops::Range<usize> {
+        let range = self.x.append(coords);
+        self.table.push_rows(range.len());
+        if range.is_empty() {
+            return range;
+        }
+        let seed = self.cfg.seed ^ 0x1157 ^ self.trees_built;
+        self.trees_built += 1;
+        let leaves = build_leaf_partition(&self.x, self.cfg.leaf_size, seed);
+        for ids in &leaves {
+            if ids.iter().any(|&i| range.contains(&i)) {
+                update_leaf_rows(&mut self.kernel, &self.x, ids, &mut self.table, self.k);
+            }
+        }
+        range
+    }
+
+    /// Run `iterations` full batch-solver passes to tighten recall (rows
+    /// only improve — the standard update contract).
+    pub fn refresh(&mut self, iterations: usize) {
+        for _ in 0..iterations {
+            let seed = self.cfg.seed ^ 0xF5E5 ^ self.trees_built;
+            self.trees_built += 1;
+            let leaves = build_leaf_partition(&self.x, self.cfg.leaf_size, seed);
+            for ids in &leaves {
+                update_leaf_rows(&mut self.kernel, &self.x, ids, &mut self.table, self.k);
+            }
+        }
+    }
+}
+
+fn update_leaf_rows<K: LeafKernel>(
+    kernel: &mut K,
+    x: &PointSet,
+    ids: &[usize],
+    table: &mut NeighborTable,
+    k: usize,
+) {
+    let mut local = NeighborTable::new(ids.len(), k);
+    for (row, &id) in ids.iter().enumerate() {
+        local.set_row(row, table.row(id));
+    }
+    kernel.update_leaf(x, ids, &mut local);
+    for (row, &id) in ids.iter().enumerate() {
+        table.set_row(id, local.row(row));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::GsknnLeaf;
+    use dataset::{uniform, DistanceKind};
+    use gsknn_core::GsknnConfig;
+    use knn_ref::oracle;
+
+    fn kernel() -> GsknnLeaf {
+        GsknnLeaf::new(GsknnConfig::default(), DistanceKind::SqL2)
+    }
+
+    fn cfg(leaf: usize) -> StreamingConfig {
+        StreamingConfig {
+            leaf_size: leaf,
+            initial_iterations: 4,
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn single_leaf_streaming_is_exact() {
+        // leaf covers everything: every insert is a full exact re-solve,
+        // so the table must equal the oracle on the union at every step.
+        let x0 = uniform(40, 6, 1);
+        let extra = uniform(25, 6, 2);
+        let mut s = StreamingAllNn::new(x0, 4, cfg(1000), kernel());
+        let r = s.insert(extra.as_slice());
+        assert_eq!(r, 40..65);
+        let ids: Vec<usize> = (0..65).collect();
+        let want = oracle::exact(s.points(), &ids, &ids, 4, DistanceKind::SqL2);
+        for i in 0..65 {
+            let gi: Vec<u32> = s.table().row(i).iter().map(|nb| nb.idx).collect();
+            let wi: Vec<u32> = want.row(i).iter().map(|nb| nb.idx).collect();
+            assert_eq!(gi, wi, "row {i}");
+        }
+    }
+
+    #[test]
+    fn inserts_grow_table_and_never_regress_existing_rows() {
+        let x0 = dataset::gaussian_embedded(400, 12, 4, 3);
+        let mut s = StreamingAllNn::new(x0, 5, cfg(64), kernel());
+        let before: Vec<f64> = (0..400)
+            .map(|i| s.table().row(i).last().unwrap().dist)
+            .collect();
+        let extra = dataset::gaussian_embedded(100, 12, 4, 5);
+        let r = s.insert(extra.as_slice());
+        assert_eq!(s.points().len(), 500);
+        assert_eq!(s.table().len(), 500);
+        for i in 0..400 {
+            let after = s.table().row(i).last().unwrap().dist;
+            assert!(after <= before[i] + 1e-12, "row {i} regressed");
+        }
+        // every new point has at least one real neighbor immediately
+        for i in r {
+            assert!(s.table().row(i)[0].dist.is_finite(), "row {i} empty");
+        }
+    }
+
+    #[test]
+    fn refresh_converges_to_exact_neighbors() {
+        let x0 = dataset::gaussian_embedded(300, 16, 3, 11);
+        let mut s = StreamingAllNn::new(x0, 4, cfg(64), kernel());
+        let extra = dataset::gaussian_embedded(60, 16, 3, 13);
+        s.insert(extra.as_slice());
+        let ids: Vec<usize> = (0..360).collect();
+        let exact = oracle::exact(s.points(), &ids, &ids, 4, DistanceKind::SqL2);
+        let before = s.table().recall_against(&exact);
+        s.refresh(6);
+        let after = s.table().recall_against(&exact);
+        assert!(after >= before, "{before} -> {after}");
+        assert!(after > 0.9, "recall after refresh: {after}");
+    }
+
+    #[test]
+    fn empty_insert_is_a_noop() {
+        let x0 = uniform(20, 3, 7);
+        let mut s = StreamingAllNn::new(x0, 2, cfg(8), kernel());
+        let before = s.table().row(5).to_vec();
+        let r = s.insert(&[]);
+        assert!(r.is_empty());
+        assert_eq!(s.points().len(), 20);
+        assert_eq!(s.table().row(5), &before[..]);
+    }
+
+    #[test]
+    fn streaming_from_empty_set() {
+        let x0 = dataset::PointSet::from_vec(4, 0, Vec::new());
+        let mut s = StreamingAllNn::new(x0, 3, cfg(16), kernel());
+        assert_eq!(s.table().len(), 0);
+        let batch = uniform(30, 4, 21);
+        s.insert(batch.as_slice());
+        assert_eq!(s.points().len(), 30);
+        // rows populated by the insert's leaf solves
+        assert!(s.table().row(0)[0].dist.is_finite());
+    }
+}

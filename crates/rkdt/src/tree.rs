@@ -1,0 +1,222 @@
+//! Randomized space partition: a random-projection KD-tree. At every
+//! internal node the point set is split at the median of its projections
+//! onto a random unit direction (the randomized-KD-tree family of
+//! Dasgupta & Freund / Jones et al., refs [6, 16] of the paper); leaves
+//! hold at most `leaf_size` points. Only the leaf partition is needed by
+//! the all-NN solver, but the tree structure is kept for inspection and
+//! for query routing.
+
+use dataset::PointSet;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One node of the random-projection tree.
+#[derive(Debug)]
+pub enum RpNode {
+    /// Internal split: a direction, the median threshold, two children.
+    Split {
+        /// Random unit direction (length `d`).
+        direction: Vec<f64>,
+        /// Median of the projections.
+        threshold: f64,
+        /// `proj <= threshold` side.
+        left: Box<RpNode>,
+        /// `proj > threshold` side.
+        right: Box<RpNode>,
+    },
+    /// Leaf: indices into the point set.
+    Leaf(Vec<usize>),
+}
+
+/// A random-projection tree over a subset of a [`PointSet`].
+#[derive(Debug)]
+pub struct RpTree {
+    root: RpNode,
+    leaf_size: usize,
+}
+
+impl RpTree {
+    /// Build over all points of `x` with the given RNG seed. Splits stop
+    /// when a node holds ≤ `leaf_size` points (`leaf_size ≥ 1`).
+    pub fn build(x: &PointSet, leaf_size: usize, seed: u64) -> Self {
+        assert!(leaf_size >= 1, "leaf_size must be positive");
+        let ids: Vec<usize> = (0..x.len()).collect();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        RpTree {
+            root: build_node(x, ids, leaf_size, &mut rng),
+            leaf_size,
+        }
+    }
+
+    /// The configured maximum leaf size.
+    pub fn leaf_size(&self) -> usize {
+        self.leaf_size
+    }
+
+    /// All leaves, left to right. The union is a partition of `0..N`.
+    pub fn leaves(&self) -> Vec<&[usize]> {
+        let mut out = Vec::new();
+        collect_leaves(&self.root, &mut out);
+        out
+    }
+
+    /// Route a point (by coordinates) to its leaf.
+    pub fn route(&self, point: &[f64]) -> &[usize] {
+        let mut node = &self.root;
+        loop {
+            match node {
+                RpNode::Leaf(ids) => return ids,
+                RpNode::Split {
+                    direction,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let proj: f64 = direction.iter().zip(point).map(|(a, b)| a * b).sum();
+                    node = if proj <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Maximum depth (leaf = 0).
+    pub fn depth(&self) -> usize {
+        fn depth(node: &RpNode) -> usize {
+            match node {
+                RpNode::Leaf(_) => 0,
+                RpNode::Split { left, right, .. } => 1 + depth(left).max(depth(right)),
+            }
+        }
+        depth(&self.root)
+    }
+}
+
+fn collect_leaves<'a>(node: &'a RpNode, out: &mut Vec<&'a [usize]>) {
+    match node {
+        RpNode::Leaf(ids) => out.push(ids),
+        RpNode::Split { left, right, .. } => {
+            collect_leaves(left, out);
+            collect_leaves(right, out);
+        }
+    }
+}
+
+fn build_node(x: &PointSet, ids: Vec<usize>, leaf_size: usize, rng: &mut SmallRng) -> RpNode {
+    if ids.len() <= leaf_size {
+        return RpNode::Leaf(ids);
+    }
+    let direction = random_unit(x.dim(), rng);
+    let mut projected: Vec<(f64, usize)> = ids
+        .iter()
+        .map(|&i| {
+            let p = x.point(i);
+            let proj: f64 = direction.iter().zip(p).map(|(a, b)| a * b).sum();
+            (proj, i)
+        })
+        .collect();
+    // median split (ties keep the partition balanced by index order)
+    let mid = projected.len() / 2;
+    projected.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).expect("finite projections"));
+    let threshold = projected[mid].0;
+    let (l, r) = projected.split_at(mid);
+    let left_ids: Vec<usize> = l.iter().map(|&(_, i)| i).collect();
+    let right_ids: Vec<usize> = r.iter().map(|&(_, i)| i).collect();
+    // len > leaf_size ≥ 1 ⇒ len ≥ 2 ⇒ 1 ≤ mid < len: both sides
+    // non-empty even when every projection ties, so recursion terminates.
+    debug_assert!(!left_ids.is_empty() && !right_ids.is_empty());
+    RpNode::Split {
+        direction,
+        threshold,
+        left: Box::new(build_node(x, left_ids, leaf_size, rng)),
+        right: Box::new(build_node(x, right_ids, leaf_size, rng)),
+    }
+}
+
+fn random_unit(d: usize, rng: &mut SmallRng) -> Vec<f64> {
+    loop {
+        // Gaussian-ish direction from sums of uniforms (CLT is plenty for
+        // a random split direction), normalized.
+        let v: Vec<f64> = (0..d)
+            .map(|_| {
+                let s: f64 = (0..4).map(|_| rng.gen::<f64>() - 0.5).sum();
+                s
+            })
+            .collect();
+        let norm = v.iter().map(|a| a * a).sum::<f64>().sqrt();
+        if norm > 1e-12 {
+            return v.into_iter().map(|a| a / norm).collect();
+        }
+    }
+}
+
+/// Convenience: just the leaf partition (owned), one `Vec<usize>` per
+/// leaf. Union = `0..N`, pairwise disjoint.
+pub fn build_leaf_partition(x: &PointSet, leaf_size: usize, seed: u64) -> Vec<Vec<usize>> {
+    RpTree::build(x, leaf_size, seed)
+        .leaves()
+        .into_iter()
+        .map(|l| l.to_vec())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::uniform;
+
+    #[test]
+    fn leaves_partition_the_point_set() {
+        let x = uniform(137, 6, 5);
+        let tree = RpTree::build(&x, 16, 42);
+        let mut all: Vec<usize> = tree.leaves().into_iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..137).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn leaf_sizes_respect_bound_and_balance() {
+        let x = uniform(256, 4, 9);
+        let tree = RpTree::build(&x, 32, 1);
+        for leaf in tree.leaves() {
+            assert!(leaf.len() <= 32);
+            // median splits keep leaves at least half full
+            assert!(leaf.len() >= 16, "undersized leaf: {}", leaf.len());
+        }
+    }
+
+    #[test]
+    fn single_leaf_when_leaf_size_exceeds_n() {
+        let x = uniform(10, 3, 2);
+        let tree = RpTree::build(&x, 100, 3);
+        assert_eq!(tree.leaves().len(), 1);
+        assert_eq!(tree.depth(), 0);
+    }
+
+    #[test]
+    fn different_seeds_give_different_partitions() {
+        let x = uniform(200, 8, 7);
+        let a = build_leaf_partition(&x, 25, 1);
+        let b = build_leaf_partition(&x, 25, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn route_lands_in_own_leaf() {
+        let x = uniform(120, 5, 11);
+        let tree = RpTree::build(&x, 20, 13);
+        for i in (0..120).step_by(17) {
+            let leaf = tree.route(x.point(i));
+            assert!(leaf.contains(&i), "point {i} not in its routed leaf");
+        }
+    }
+
+    #[test]
+    fn duplicate_points_terminate() {
+        // all-identical points make every projection equal: the
+        // degenerate-split fallback must produce a single leaf
+        let x = dataset::PointSet::from_vec(2, 50, vec![0.5; 100]);
+        let tree = RpTree::build(&x, 4, 21);
+        let total: usize = tree.leaves().iter().map(|l| l.len()).sum();
+        assert_eq!(total, 50);
+    }
+}

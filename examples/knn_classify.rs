@@ -1,0 +1,83 @@
+//! k-NN classification with out-of-sample forest queries — the classic
+//! supervised-learning use of the kernel (the paper's §1: kNN "is used in
+//! cross-validation studies in supervised learning").
+//!
+//! Train set: labeled points from `C` Gaussian classes. Test set: fresh
+//! points from the same classes. Prediction: majority vote among the
+//! k nearest *training* points found by the randomized-KD-tree forest
+//! through the cross-table GSKNN kernel.
+//!
+//! ```sh
+//! cargo run --release --example knn_classify
+//! ```
+
+use gsknn::core::GsknnConfig;
+use gsknn::tree::Forest;
+use gsknn::{DistanceKind, PointSet};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// `n` labeled points from `classes` well-separated Gaussians in `d`-d.
+fn labeled_blobs(n: usize, d: usize, classes: usize, seed: u64) -> (PointSet, Vec<usize>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // fixed class centers on a scaled simplex-ish arrangement
+    let centers: Vec<f64> = {
+        let mut c_rng = SmallRng::seed_from_u64(999);
+        (0..classes * d)
+            .map(|_| c_rng.gen::<f64>() * 12.0)
+            .collect()
+    };
+    let mut data = Vec::with_capacity(n * d);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let c = rng.gen_range(0..classes);
+        labels.push(c);
+        for p in 0..d {
+            data.push(centers[c * d + p] + rng.gen::<f64>() - 0.5);
+        }
+    }
+    (PointSet::from_vec(d, n, data), labels)
+}
+
+fn main() {
+    let (d, classes, k) = (16, 5, 7);
+    let (train, train_labels) = labeled_blobs(8_000, d, classes, 1);
+    let (test, test_labels) = labeled_blobs(1_000, d, classes, 2);
+    println!(
+        "kNN classification: {} train / {} test points, {classes} classes, d = {d}, k = {k}",
+        train.len(),
+        test.len()
+    );
+
+    let forest = Forest::build(&train, 6, 256, 7);
+    let t0 = std::time::Instant::now();
+    let table = forest.query(&train, &test, k, DistanceKind::SqL2, GsknnConfig::default());
+    let query_time = t0.elapsed();
+
+    let mut correct = 0usize;
+    for i in 0..test.len() {
+        let mut votes = vec![0usize; classes];
+        for nb in table.row(i).iter().filter(|nb| nb.idx != u32::MAX) {
+            votes[train_labels[nb.idx as usize]] += 1;
+        }
+        let pred = votes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &v)| v)
+            .map(|(c, _)| c)
+            .unwrap();
+        if pred == test_labels[i] {
+            correct += 1;
+        }
+    }
+    let acc = correct as f64 / test.len() as f64;
+    println!(
+        "queried in {query_time:.2?}; accuracy {:.1}% ({correct}/{})",
+        100.0 * acc,
+        test.len()
+    );
+    assert!(
+        acc > 0.95,
+        "well-separated blobs should classify near-perfectly"
+    );
+}

@@ -1,0 +1,84 @@
+//! Near-duplicate detection with the LSH all-NN solver: find, for every
+//! item in a corpus with planted near-duplicates, its closest other item
+//! — the streaming/image-dataset use case the paper's introduction
+//! motivates ("frequent updates of X ... time-critical").
+//!
+//! ```sh
+//! cargo run --release --example lsh_dedup
+//! ```
+
+use gsknn::core::GsknnConfig;
+use gsknn::hashing::{LshConfig, LshParams, LshSolver};
+use gsknn::tree::GsknnLeaf;
+use gsknn::{DistanceKind, PointSet};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // corpus: 5,000 base items in 24-d plus a 10% tail of near-duplicates
+    let base = 5_000usize;
+    let dupes = base / 10;
+    let d = 24;
+    let mut rng = SmallRng::seed_from_u64(11);
+    let mut data: Vec<f64> = (0..base * d).map(|_| rng.gen::<f64>() * 10.0).collect();
+    let mut dup_of = Vec::with_capacity(dupes);
+    for _ in 0..dupes {
+        let src = rng.gen_range(0..base);
+        dup_of.push(src);
+        for p in 0..d {
+            // a duplicate = source + tiny jitter
+            let v = data[src * d + p] + (rng.gen::<f64>() - 0.5) * 1e-3;
+            data.push(v);
+        }
+    }
+    let n = base + dupes;
+    let x = PointSet::from_vec(d, n, data);
+    println!("corpus: {base} items + {dupes} planted near-duplicates, d = {d}");
+
+    // k = 2: self + closest other item
+    let cfg = LshConfig {
+        tables: 10,
+        params: LshParams {
+            hashes_per_table: 6,
+            bucket_width: 4.0,
+        },
+        seed: 3,
+        parallel_buckets: true,
+        max_bucket: 2048,
+        probes: 0,
+    };
+    let (table, stats) = LshSolver::new(cfg).solve(
+        &x,
+        2,
+        || GsknnLeaf::new(GsknnConfig::default(), DistanceKind::SqL2),
+        None,
+    );
+    for s in &stats {
+        println!(
+            "table {:>2}: {:>5} buckets, {:>6} points covered",
+            s.table, s.buckets, s.covered
+        );
+    }
+
+    // a duplicate is "caught" if its nearest other item is its source
+    let caught = dup_of
+        .iter()
+        .enumerate()
+        .filter(|&(i, &src)| {
+            let id = (base + i) as u32;
+            let row = table.row(base + i);
+            // row[0] is the self-match; row[1] the closest other
+            row.iter()
+                .find(|nb| nb.idx != id)
+                .is_some_and(|nb| nb.idx == src as u32)
+        })
+        .count();
+    println!(
+        "\nduplicates caught: {caught}/{dupes} ({:.1}%)",
+        100.0 * caught as f64 / dupes as f64
+    );
+    assert!(
+        caught as f64 / dupes as f64 > 0.9,
+        "LSH should catch nearly all 1e-3-jitter duplicates"
+    );
+}

@@ -1,0 +1,70 @@
+//! Manifold-learning kNN graph on the swiss roll — §1's motivating
+//! application ("construction of nearest-neighbor graphs for manifold
+//! learning"). A good neighbor graph on a rolled-up 2-d sheet connects
+//! points *along* the sheet: the graph is one connected component, yet
+//! graph (geodesic-ish) hop distances between the roll's ends are much
+//! larger than their 3-d Euclidean distance suggests.
+//!
+//! ```sh
+//! cargo run --release --example manifold_graph
+//! ```
+
+use gsknn::graph::{build_exact, connected_components, Symmetrize};
+use gsknn::DistanceKind;
+use std::collections::VecDeque;
+
+fn main() {
+    let n = 4_000;
+    let x = gsknn::data::swiss_roll(n, 0.05, 11);
+    println!("swiss roll: {n} points, 3-d ambient, 2-d intrinsic");
+
+    for k in [4usize, 8, 12] {
+        let g = build_exact(&x, k, DistanceKind::SqL2, Symmetrize::Union);
+        let comps = connected_components(&g);
+        let (dmin, dmean, dmax) = g.degree_stats();
+        println!(
+            "k = {k:>2}: {} edges, degree {dmin}/{dmean:.1}/{dmax}, {} component(s)",
+            g.num_edges(),
+            comps.count()
+        );
+        if comps.count() == 1 {
+            // BFS hop distance between the innermost and outermost points
+            let radius = |i: usize| {
+                let p = x.point(i);
+                (p[0] * p[0] + p[2] * p[2]).sqrt()
+            };
+            let inner = (0..n)
+                .min_by(|&a, &b| radius(a).total_cmp(&radius(b)))
+                .unwrap();
+            let outer = (0..n)
+                .max_by(|&a, &b| radius(a).total_cmp(&radius(b)))
+                .unwrap();
+            let hops = bfs_hops(&g, inner, outer);
+            let euclid = gsknn::data::dist_sq_l2(x.point(inner), x.point(outer)).sqrt();
+            println!(
+                "         inner->outer: {hops:?} graph hops vs {euclid:.1} ambient distance \
+                 (the graph walks along the sheet)"
+            );
+        }
+    }
+}
+
+fn bfs_hops(g: &gsknn::graph::CsrGraph, from: usize, to: usize) -> Option<usize> {
+    let n = g.num_vertices();
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = VecDeque::new();
+    dist[from] = 0;
+    queue.push_back(from);
+    while let Some(v) = queue.pop_front() {
+        if v == to {
+            return Some(dist[v]);
+        }
+        for &w in g.neighbors(v) {
+            if dist[w as usize] == usize::MAX {
+                dist[w as usize] = dist[v] + 1;
+                queue.push_back(w as usize);
+            }
+        }
+    }
+    None
+}

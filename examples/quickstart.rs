@@ -1,0 +1,47 @@
+//! Quickstart: solve one exact kNN kernel problem with GSKNN.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use gsknn::{DistanceKind, Gsknn, GsknnConfig};
+
+fn main() {
+    // A coordinate table X of 10,000 points in 32 dimensions. In a real
+    // application this is your embedding/feature matrix, column-major
+    // (each point's coordinates contiguous).
+    let x = gsknn::data::uniform(10_000, 32, 42);
+
+    // The "general stride" interface: queries and references are index
+    // lists into X — no need to copy points into dense matrices. Here:
+    // the first 100 points query against every point.
+    let q_idx: Vec<usize> = (0..100).collect();
+    let r_idx: Vec<usize> = (0..x.len()).collect();
+
+    // One reusable executor. The default configuration uses the paper's
+    // Ivy Bridge blocking parameters and auto-selects the kernel variant
+    // (Var#1 for small k, Var#6 for large k).
+    let mut exec = Gsknn::new(GsknnConfig::default());
+
+    let k = 5;
+    let table = exec.run(&x, &q_idx, &r_idx, k, DistanceKind::SqL2);
+
+    println!("5 nearest neighbors of the first three queries:");
+    for qi in 0..3 {
+        print!("  point {qi}:");
+        for nb in table.row(qi) {
+            print!("  #{} (d²={:.4})", nb.idx, nb.dist);
+        }
+        println!();
+    }
+
+    // Every point is its own nearest neighbor (distance ~0).
+    assert!(table.row(0)[0].idx == 0 && table.row(0)[0].dist < 1e-12);
+
+    // Neighbor lists are updatable: stream in more references later and
+    // the lists fold them in (this is how the approximate solvers use
+    // the kernel).
+    let more = gsknn::data::uniform(10_000, 32, 43);
+    let _ = more; // (a second table would need its own index space)
+    println!("\nDone. See examples/allnn_forest.rs for the full pipeline.");
+}

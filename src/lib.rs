@@ -1,0 +1,35 @@
+//! # gsknn-rs — the GSKNN kNN kernel, reproduced in Rust
+//!
+//! Umbrella crate for the reproduction of *Yu, Huang, Austin, Xiao &
+//! Biros, "Performance Optimization for the K-Nearest Neighbors Kernel
+//! on x86 Architectures" (SC'15)*. Re-exports the public API of every
+//! workspace crate:
+//!
+//! * [`gsknn_core`] (as `core`) — the fused GSKNN kernel (blocking, packing,
+//!   micro-kernel, variants, parallel schemes, performance model);
+//! * [`knn_select`] (as `select`) — selection substrate (heaps, quickselect,
+//!   merge selection);
+//! * [`gemm`](gemm_kernel) — the blocked Goto GEMM substrate;
+//! * [`reference`](knn_ref) — the GEMM-based and single-loop baselines
+//!   plus the brute-force oracle;
+//! * [`tree`](rkdt) / [`hashing`](lsh) — the approximate all-NN outer
+//!   solvers the kernel plugs into;
+//! * [`data`](dataset) — point sets, synthetic generators, metrics.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for
+//! the paper-to-code map.
+
+pub use cluster as clustering;
+pub use dataset as data;
+pub use gemm_kernel as gemm;
+pub use gsknn_core as core;
+pub use knn_graph as graph;
+pub use knn_ref as reference;
+pub use knn_select as select;
+pub use lsh as hashing;
+pub use rkdt as tree;
+
+// The most-used types at the top level for convenient importing.
+pub use dataset::{DistanceKind, PointSet};
+pub use gsknn_core::{Gsknn, GsknnConfig, MachineParams, Model, ProblemSize, Variant};
+pub use knn_select::{Neighbor, NeighborTable};

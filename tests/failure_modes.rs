@@ -1,0 +1,158 @@
+//! Failure-injection and boundary-condition tests across the public API:
+//! malformed inputs must be rejected loudly at the boundary, and every
+//! legal degenerate shape must produce well-defined results.
+
+use gsknn::core::scheduler::{lpt_schedule, run_task_parallel, KnnTask};
+use gsknn::{DistanceKind, Gsknn, GsknnConfig, MachineParams, Neighbor, PointSet, Variant};
+
+#[test]
+#[should_panic(expected = "non-finite")]
+fn nan_coordinates_rejected_at_construction() {
+    PointSet::from_vec(2, 2, vec![0.0, 1.0, f64::NAN, 2.0]);
+}
+
+#[test]
+#[should_panic(expected = "non-finite")]
+fn infinite_coordinates_rejected_at_construction() {
+    PointSet::from_vec(1, 1, vec![f64::INFINITY]);
+}
+
+#[test]
+#[should_panic(expected = "reference index out of bounds")]
+fn out_of_bounds_reference_panics() {
+    let x = gsknn::data::uniform(5, 2, 1);
+    Gsknn::new(GsknnConfig::default()).run(&x, &[0], &[5], 1, DistanceKind::SqL2);
+}
+
+#[test]
+fn single_point_single_query() {
+    let x = gsknn::data::uniform(1, 3, 1);
+    let t = Gsknn::new(GsknnConfig::default()).run(&x, &[0], &[0], 1, DistanceKind::SqL2);
+    assert_eq!(t.row(0)[0].idx, 0);
+}
+
+#[test]
+fn d_zero_distances_are_all_zero_with_index_tiebreak() {
+    let x = PointSet::from_vec(0, 4, Vec::new());
+    let t =
+        Gsknn::new(GsknnConfig::default()).run(&x, &[0, 1], &[3, 1, 2, 0], 2, DistanceKind::SqL2);
+    for i in 0..2 {
+        let ids: Vec<u32> = t.row(i).iter().map(|nb| nb.idx).collect();
+        assert_eq!(ids, vec![0, 1], "smallest ids win all-zero ties");
+    }
+}
+
+#[test]
+fn duplicate_points_tie_break_deterministically() {
+    // four identical points: the k=2 nearest of each are ids 0 and 1
+    let x = PointSet::from_vec(2, 4, vec![0.5; 8]);
+    let all = [0usize, 1, 2, 3];
+    for variant in Variant::ALL {
+        let mut exec = Gsknn::new(GsknnConfig {
+            variant,
+            ..Default::default()
+        });
+        let t = exec.run(&x, &all, &all, 2, DistanceKind::SqL2);
+        for i in 0..4 {
+            let ids: Vec<u32> = t.row(i).iter().map(|nb| nb.idx).collect();
+            assert_eq!(ids, vec![0, 1], "{} row {i}", variant.name());
+        }
+    }
+}
+
+#[test]
+fn huge_k_padded_with_sentinels() {
+    let x = gsknn::data::uniform(6, 4, 3);
+    let t = Gsknn::new(GsknnConfig::default()).run(&x, &[0], &[1, 2, 3], 1000, DistanceKind::SqL2);
+    assert_eq!(t.k(), 1000);
+    let real = t.row(0).iter().filter(|nb| nb.dist.is_finite()).count();
+    assert_eq!(real, 3);
+    assert_eq!(t.row(0)[999], Neighbor::sentinel());
+}
+
+#[test]
+fn empty_everything() {
+    let x = gsknn::data::uniform(4, 2, 5);
+    let mut exec = Gsknn::new(GsknnConfig::default());
+    assert_eq!(exec.run(&x, &[], &[], 3, DistanceKind::SqL2).len(), 0);
+    assert_eq!(exec.run(&x, &[], &[0], 3, DistanceKind::SqL2).len(), 0);
+    let t = exec.run(&x, &[0], &[], 3, DistanceKind::SqL2);
+    assert_eq!(t.row(0)[0], Neighbor::sentinel());
+}
+
+#[test]
+#[should_panic(expected = "NaN task cost")]
+fn scheduler_rejects_nan_costs() {
+    lpt_schedule(&[1.0, f64::NAN], 2);
+}
+
+#[test]
+fn scheduler_more_workers_than_tasks() {
+    let s = lpt_schedule(&[1.0, 2.0], 5);
+    assert_eq!(s.len(), 5);
+    assert_eq!(s.iter().map(|b| b.len()).sum::<usize>(), 2);
+}
+
+#[test]
+fn task_parallel_with_empty_task_list() {
+    let x = gsknn::data::uniform(10, 2, 7);
+    let out = run_task_parallel(
+        &x,
+        &[],
+        DistanceKind::SqL2,
+        &GsknnConfig::default(),
+        MachineParams::ivy_bridge_1core(),
+        2,
+    );
+    assert!(out.is_empty());
+}
+
+#[test]
+fn task_parallel_with_degenerate_tasks() {
+    let x = gsknn::data::uniform(20, 3, 9);
+    let tasks = vec![
+        KnnTask {
+            q_idx: vec![],
+            r_idx: (0..20).collect(),
+            k: 2,
+        },
+        KnnTask {
+            q_idx: vec![0, 1],
+            r_idx: vec![],
+            k: 2,
+        },
+        KnnTask {
+            q_idx: vec![5],
+            r_idx: vec![5],
+            k: 2,
+        },
+    ];
+    let out = run_task_parallel(
+        &x,
+        &tasks,
+        DistanceKind::SqL2,
+        &GsknnConfig::default(),
+        MachineParams::ivy_bridge_1core(),
+        2,
+    );
+    assert_eq!(out.len(), 3);
+    assert_eq!(out[0].len(), 0);
+    assert_eq!(out[1].row(0)[0], Neighbor::sentinel());
+    assert_eq!(out[2].row(0)[0].idx, 5);
+}
+
+#[test]
+fn lp_norm_extremes_behave() {
+    // p very large approaches l-inf ordering; p small but positive legal
+    let x = gsknn::data::uniform(40, 6, 13);
+    let q: Vec<usize> = (0..5).collect();
+    let r: Vec<usize> = (0..40).collect();
+    let mut exec = Gsknn::new(GsknnConfig::default());
+    let t_big = exec.run(&x, &q, &r, 3, DistanceKind::Lp(32.0));
+    let t_inf = exec.run(&x, &q, &r, 3, DistanceKind::LInf);
+    // nearest neighbor under p=32 nearly always matches l-inf
+    let agree = (0..5)
+        .filter(|&i| t_big.row(i)[1].idx == t_inf.row(i)[1].idx)
+        .count();
+    assert!(agree >= 3, "Lp(32) should approximate LInf: {agree}/5");
+}

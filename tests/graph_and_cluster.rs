@@ -1,0 +1,100 @@
+//! Integration of the downstream applications (kNN graph, k-means) with
+//! the kernel and solvers — the intro's motivating use cases end to end.
+
+use gsknn::clustering::{kmeans, KMeansConfig};
+use gsknn::graph::{build_exact, build_with_forest, connected_components, Symmetrize};
+use gsknn::tree::RkdtConfig;
+use gsknn::DistanceKind;
+
+#[test]
+fn graph_components_recover_planted_clusters() {
+    // 3 well-separated Gaussian blobs: the union kNN graph must split
+    // into >= 3 components, and points of one blob must share a label
+    let x = gsknn::data::gaussian_embedded(240, 16, 3, 55);
+    let g = build_exact(&x, 3, DistanceKind::SqL2, Symmetrize::Union);
+    let comps = connected_components(&g);
+    assert!(
+        comps.count() >= 3,
+        "expected >= 3 components, got {}",
+        comps.count()
+    );
+    // the three largest components cover nearly everything
+    let mut sizes = comps.sizes();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    let covered: usize = sizes.iter().take(3).sum();
+    assert!(covered > 200, "3 largest components cover {covered}/240");
+}
+
+#[test]
+fn kmeans_labels_agree_with_graph_components() {
+    // on perfectly separated blobs, k-means clusters and kNN-graph
+    // components define the same partition
+    let x = gsknn::data::gaussian_embedded(180, 12, 3, 77);
+    let g = build_exact(&x, 3, DistanceKind::SqL2, Symmetrize::Union);
+    let comps = connected_components(&g);
+    let km = kmeans(
+        &x,
+        &KMeansConfig {
+            clusters: comps.count().min(8),
+            max_iters: 60,
+            tol: 0.0,
+            seed: 5,
+        },
+    );
+    // partitions agree iff same-component ⇔ same-cluster for most pairs
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for i in (0..180).step_by(3) {
+        for j in (i + 1..180).step_by(7) {
+            total += 1;
+            let same_comp = comps.label(i) == comps.label(j);
+            let same_km = km.assignment[i] == km.assignment[j];
+            if same_comp == same_km {
+                agree += 1;
+            }
+        }
+    }
+    let frac = agree as f64 / total as f64;
+    assert!(frac > 0.9, "partition agreement only {frac}");
+}
+
+#[test]
+fn forest_graph_matches_exact_graph_closely() {
+    let x = gsknn::data::gaussian_embedded(400, 24, 4, 31);
+    let exact = build_exact(&x, 5, DistanceKind::SqL2, Symmetrize::None);
+    let approx = build_with_forest(
+        &x,
+        5,
+        DistanceKind::SqL2,
+        Symmetrize::None,
+        RkdtConfig {
+            leaf_size: 80,
+            iterations: 10,
+            seed: 3,
+            parallel_leaves: true,
+        },
+    );
+    let mut hit = 0;
+    let mut total = 0;
+    for u in 0..400 {
+        for &v in exact.neighbors(u) {
+            total += 1;
+            if approx.has_edge(u, v) {
+                hit += 1;
+            }
+        }
+    }
+    assert!(
+        hit as f64 / total as f64 > 0.9,
+        "forest graph edge recall {}/{total}",
+        hit
+    );
+}
+
+#[test]
+fn cosine_graph_works_end_to_end() {
+    let x = gsknn::data::uniform(150, 10, 9);
+    let g = build_exact(&x, 4, DistanceKind::Cosine, Symmetrize::Mutual);
+    assert_eq!(g.num_vertices(), 150);
+    assert!(g.is_symmetric());
+}

@@ -1,0 +1,141 @@
+//! End-to-end integration of the approximate all-NN solvers with both
+//! kernel backends: exactness in the degenerate case, recall behaviour,
+//! kernel interchangeability, determinism, and solver composition.
+
+use gsknn::core::GsknnConfig;
+use gsknn::hashing::{LshConfig, LshParams, LshSolver};
+use gsknn::reference::oracle;
+use gsknn::tree::{AllNnSolver, GemmLeaf, GsknnLeaf, RkdtConfig};
+use gsknn::DistanceKind;
+
+fn gsknn_leaf() -> GsknnLeaf {
+    GsknnLeaf::new(GsknnConfig::default(), DistanceKind::SqL2)
+}
+
+#[test]
+fn forest_converges_to_exact_on_clustered_data() {
+    let x = gsknn::data::gaussian_embedded(600, 24, 5, 17);
+    let ids: Vec<usize> = (0..600).collect();
+    let exact = oracle::exact(&x, &ids, &ids, 6, DistanceKind::SqL2);
+    let cfg = RkdtConfig {
+        leaf_size: 128,
+        iterations: 12,
+        seed: 2,
+        parallel_leaves: true,
+    };
+    let (table, stats) = AllNnSolver::new(cfg).solve(&x, 6, gsknn_leaf, Some(&exact));
+    let final_recall = stats.last().unwrap().recall.unwrap();
+    assert!(final_recall > 0.95, "recall {final_recall}");
+    assert_eq!(table.len(), 600);
+}
+
+#[test]
+fn both_kernels_drive_the_forest_to_identical_tables() {
+    let x = gsknn::data::uniform(350, 10, 3);
+    let cfg = RkdtConfig {
+        leaf_size: 64,
+        iterations: 4,
+        seed: 8,
+        parallel_leaves: false,
+    };
+    let solver = AllNnSolver::new(cfg);
+    let (a, _) = solver.solve(&x, 4, gsknn_leaf, None);
+    let (b, _) = solver.solve(&x, 4, GemmLeaf::default, None);
+    for i in 0..350 {
+        let ia: Vec<u32> = a.row(i).iter().map(|nb| nb.idx).collect();
+        let ib: Vec<u32> = b.row(i).iter().map(|nb| nb.idx).collect();
+        assert_eq!(ia, ib, "row {i}");
+    }
+}
+
+#[test]
+fn solver_runs_are_deterministic() {
+    let x = gsknn::data::uniform(280, 8, 21);
+    let cfg = RkdtConfig {
+        leaf_size: 48,
+        iterations: 3,
+        seed: 4,
+        parallel_leaves: true,
+    };
+    let (a, _) = AllNnSolver::new(cfg.clone()).solve(&x, 5, gsknn_leaf, None);
+    let (b, _) = AllNnSolver::new(cfg).solve(&x, 5, gsknn_leaf, None);
+    for i in 0..280 {
+        assert_eq!(a.row(i), b.row(i), "row {i}");
+    }
+}
+
+#[test]
+fn lsh_then_forest_beats_either_alone() {
+    let x = gsknn::data::gaussian_embedded(500, 20, 4, 77);
+    let ids: Vec<usize> = (0..500).collect();
+    let exact = oracle::exact(&x, &ids, &ids, 5, DistanceKind::SqL2);
+
+    let lsh_cfg = LshConfig {
+        tables: 3,
+        params: LshParams {
+            hashes_per_table: 3,
+            bucket_width: 2.0,
+        },
+        seed: 1,
+        parallel_buckets: false,
+        max_bucket: 128,
+        probes: 0,
+    };
+    let (lsh_table, lsh_stats) = LshSolver::new(lsh_cfg).solve(&x, 5, gsknn_leaf, Some(&exact));
+    let lsh_only = lsh_stats.last().unwrap().recall.unwrap();
+
+    let tree_cfg = RkdtConfig {
+        leaf_size: 100,
+        iterations: 3,
+        seed: 6,
+        parallel_leaves: false,
+    };
+    let (_, combo_stats) =
+        AllNnSolver::new(tree_cfg.clone()).solve_from(&x, lsh_table, gsknn_leaf, Some(&exact));
+    let combined = combo_stats.last().unwrap().recall.unwrap();
+
+    let (_, tree_stats) = AllNnSolver::new(tree_cfg).solve(&x, 5, gsknn_leaf, Some(&exact));
+    let tree_only = tree_stats.last().unwrap().recall.unwrap();
+
+    assert!(combined >= lsh_only, "{combined} < {lsh_only}");
+    assert!(combined >= tree_only, "{combined} < {tree_only}");
+}
+
+#[test]
+fn forest_handles_k_larger_than_leaf() {
+    // k > leaf size: a single tree can never fill the lists; iterating
+    // must still make progress and never panic
+    let x = gsknn::data::uniform(200, 6, 9);
+    let cfg = RkdtConfig {
+        leaf_size: 16,
+        iterations: 4,
+        seed: 12,
+        parallel_leaves: false,
+    };
+    let (table, _) = AllNnSolver::new(cfg).solve(&x, 32, gsknn_leaf, None);
+    // rows collect candidates from multiple trees: more than one leaf's
+    // worth of real neighbors must be present by iteration 4
+    let real = table.row(0).iter().filter(|nb| nb.dist.is_finite()).count();
+    assert!(real > 16, "only {real} real neighbors after 4 trees");
+}
+
+#[test]
+fn lsh_narrow_buckets_low_coverage_wide_buckets_high() {
+    let x = gsknn::data::uniform(400, 8, 31);
+    let run = |w: f64| {
+        let cfg = LshConfig {
+            tables: 1,
+            params: LshParams {
+                hashes_per_table: 4,
+                bucket_width: w,
+            },
+            seed: 2,
+            parallel_buckets: false,
+            max_bucket: 0,
+            probes: 0,
+        };
+        let (_, stats) = LshSolver::new(cfg).solve(&x, 3, gsknn_leaf, None);
+        stats[0].covered
+    };
+    assert!(run(8.0) > run(0.05), "wider buckets must cover more points");
+}
