@@ -27,7 +27,7 @@ fn inputs(n: usize, regime: &str) -> Vec<Neighbor> {
             .map(|i| Neighbor::new((n - i) as f64, i as u32))
             .collect(),
         "avg" => {
-            let mut state = 0x1234_5678_9ABC_DEFu64;
+            let mut state = 0x0123_4567_89AB_CDEF_u64;
             (0..n)
                 .map(|i| {
                     state = state.wrapping_mul(6364136223846793005).wrapping_add(1);

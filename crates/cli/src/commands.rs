@@ -280,6 +280,70 @@ inserted {} more in {insert_time:.2?}\ntable now covers {} points; \
     ))
 }
 
+/// `profile`: run a synthetic problem under the observability layer and
+/// report phase times, model-vs-measured drift, the variant verdict and
+/// scheduler telemetry. Writes the full report as JSON under `--outdir`
+/// (default `bench_out/`).
+pub fn cmd_profile(args: &ArgMap) -> Result<String, CliError> {
+    use gsknn_core::scheduler::{run_task_parallel_traced, KnnTask};
+    use gsknn_obs::{profile_synthetic, SchedulerReport};
+
+    let m: usize = args.get_or("m", 8192)?;
+    let n: usize = args.get_or("n", 8192)?;
+    let d: usize = args.get_or("d", 64)?;
+    let k: usize = args.get_or("k", 16)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let reps: usize = args.get_or("reps", 3)?;
+    let kind = parse_kind(&args.str_or("kind", "sq-l2"))?;
+    let workers: usize = args.get_or("p", 4)?;
+    let ntasks: usize = args.get_or("tasks", 2 * workers.max(1))?;
+    let outdir = PathBuf::from(args.str_or("outdir", "bench_out"));
+
+    let machine = MachineParams::ivy_bridge_1core();
+    let report = profile_synthetic(m, n, d, k, seed, kind, machine, reps);
+    let mut out = report.render_table();
+
+    // Scheduler telemetry: the same problem split into `--tasks` query
+    // chunks, LPT-scheduled over `--p` workers by model-predicted cost.
+    let x = dataset::uniform(m.max(n).max(1), d, seed);
+    let chunk = m.div_ceil(ntasks.max(1)).max(1);
+    let tasks: Vec<KnnTask> = (0..m)
+        .step_by(chunk)
+        .map(|lo| KnnTask {
+            q_idx: (lo..(lo + chunk).min(m)).collect(),
+            r_idx: (0..n).collect(),
+            k,
+        })
+        .collect();
+    let sched = if tasks.is_empty() {
+        None
+    } else {
+        let (_, tel) = run_task_parallel_traced(
+            &x,
+            &tasks,
+            kind,
+            &GsknnConfig::default(),
+            machine,
+            workers.max(1),
+        );
+        let sr = SchedulerReport::from_telemetry(&tel);
+        out.push('\n');
+        out.push_str(&sr.render_table());
+        Some(sr)
+    };
+
+    let mut doc = vec![("profile".to_string(), report.to_json())];
+    if let Some(sr) = &sched {
+        doc.push(("scheduler".to_string(), sr.to_json()));
+    }
+    let json = serde_json::Value::Object(doc);
+    std::fs::create_dir_all(&outdir).map_err(|e| CliError(e.to_string()))?;
+    let path = outdir.join(format!("profile_m{m}_n{n}_d{d}_k{k}.json"));
+    std::fs::write(&path, json.to_string()).map_err(|e| CliError(e.to_string()))?;
+    writeln!(out, "\nreport written to {}", path.display()).unwrap();
+    Ok(out)
+}
+
 /// `tune`: show detected caches and the §2.4 analytically derived
 /// blocking parameters next to the paper's.
 pub fn cmd_tune(_args: &ArgMap) -> Result<String, CliError> {
@@ -326,6 +390,7 @@ pub fn usage() -> String {
      \x20 kmeans  --in F [--clusters 8 --iters 50 --tol 1e-6 --seed 193]\n\
      \x20 graph   --in F [--k 8 --sym none|union|mutual --leaf 512 --iters 6]\n\
      \x20 model   [--m 8192 --n 8192 --d 64 --k 16]\n\
+     \x20 profile [--m 8192 --n 8192 --d 64 --k 16 --reps 3 --p 4 --tasks 8 --outdir bench_out]\n\
      \x20 stream  --in F --batch F [--k 8 --leaf 1024 --iters 4]\n\
      \x20 tune    (show detected caches + derived blocking parameters)\n"
         .to_string()
@@ -396,7 +461,11 @@ mod tests {
         let base = dir.join("base.csv");
         let batch = dir.join("batch.csv");
         cmd_gen(&argmap(&format!("--n 150 --d 5 --out {}", base.display()))).unwrap();
-        cmd_gen(&argmap(&format!("--n 30 --d 5 --seed 7 --out {}", batch.display()))).unwrap();
+        cmd_gen(&argmap(&format!(
+            "--n 30 --d 5 --seed 7 --out {}",
+            batch.display()
+        )))
+        .unwrap();
         let out = cmd_stream(&argmap(&format!(
             "--in {} --batch {} --k 3 --leaf 64",
             base.display(),
@@ -425,6 +494,28 @@ mod tests {
         assert!(err.0.contains("dimension mismatch"));
         std::fs::remove_file(base).ok();
         std::fs::remove_file(batch).ok();
+    }
+
+    #[test]
+    fn profile_reports_and_writes_json() {
+        let dir = tmpdir().join("profout");
+        let out = cmd_profile(&argmap(&format!(
+            "--m 96 --n 256 --d 16 --k 8 --reps 1 --p 2 --tasks 4 --outdir {}",
+            dir.display()
+        )))
+        .unwrap();
+        assert!(out.contains("profile: m=96 n=256 d=16 k=8"), "{out}");
+        assert!(out.contains("variant: model picks"), "{out}");
+        assert!(out.contains("makespan: predicted"), "{out}");
+        let path = dir.join("profile_m96_n256_d16_k8.json");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = serde_json::from_str(&text).unwrap();
+        assert!(doc.get("profile").and_then(|p| p.get("m")).is_some());
+        assert!(doc
+            .get("scheduler")
+            .and_then(|s| s.get("workers"))
+            .is_some());
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]

@@ -21,6 +21,7 @@ fn main() {
         "kmeans" => commands::cmd_kmeans(&args),
         "graph" => commands::cmd_graph(&args),
         "model" => commands::cmd_model(&args),
+        "profile" => commands::cmd_profile(&args),
         "stream" => commands::cmd_stream(&args),
         "tune" => commands::cmd_tune(&args),
         "help" | "--help" | "-h" => Ok(commands::usage()),

@@ -81,9 +81,9 @@ pub fn kmeans(x: &PointSet, cfg: &KMeansConfig) -> KMeansResult {
         let cents = PointSet::from_vec(d, kc, centroids.clone());
         let table = exec.run_cross(x, &all, &cents, &cent_ids, 1, DistanceKind::SqL2);
         let mut new_inertia = 0.0;
-        for i in 0..n {
+        for (i, slot) in assignment.iter_mut().enumerate() {
             let nb = table.row(i)[0];
-            assignment[i] = nb.idx;
+            *slot = nb.idx;
             new_inertia += nb.dist;
         }
         history.push(new_inertia);
@@ -92,8 +92,8 @@ pub fn kmeans(x: &PointSet, cfg: &KMeansConfig) -> KMeansResult {
         // to the point farthest from its centroid
         let mut sums = vec![0.0f64; kc * d];
         let mut counts = vec![0usize; kc];
-        for i in 0..n {
-            let c = assignment[i] as usize;
+        for (i, &a) in assignment.iter().enumerate() {
+            let c = a as usize;
             counts[c] += 1;
             for (s, v) in sums[c * d..(c + 1) * d].iter_mut().zip(x.point(i)) {
                 *s += v;
@@ -163,8 +163,8 @@ fn kmeanspp_init(x: &PointSet, kc: usize, seed: u64) -> Vec<f64> {
             pick
         };
         centroids.extend_from_slice(x.point(next));
-        for i in 0..n {
-            best_d2[i] = best_d2[i].min(dist_sq_l2(x.point(i), x.point(next)));
+        for (i, w) in best_d2.iter_mut().enumerate() {
+            *w = w.min(dist_sq_l2(x.point(i), x.point(next)));
         }
     }
     centroids

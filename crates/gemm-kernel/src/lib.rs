@@ -31,6 +31,7 @@ pub use params::{CacheSizes, GemmParams};
 
 /// Reference triple-loop implementation of the same operation; the oracle
 /// for every test in this crate. O(mnd), no blocking, no vectorization.
+#[allow(clippy::too_many_arguments)] // mirrors the BLAS dgemm argument list
 pub fn gemm_tn_naive(
     alpha: f64,
     a: &[f64],

@@ -78,9 +78,9 @@ pub unsafe fn kernel_8x4_avx2(
         let b = _mm256_load_pd(bp.add(p * NR)); // packed, 32B-aligned rows
         let a_row = ap.add(p * MR);
         // Fixed-count loop: unrolled by the compiler into 8 broadcast+FMA.
-        for i in 0..MR {
+        for (i, acc_i) in acc.iter_mut().enumerate() {
             let a = _mm256_broadcast_sd(&*a_row.add(i));
-            acc[i] = _mm256_fmadd_pd(a, b, acc[i]);
+            *acc_i = _mm256_fmadd_pd(a, b, *acc_i);
         }
     }
     let va = _mm256_set1_pd(alpha);

@@ -3,7 +3,16 @@
 //! demand so repeated kernel invocations — the approximate solvers call
 //! the kernel thousands of times — never allocate on the hot path.
 
+use crate::obs::PhaseSet;
 use gemm_kernel::AlignedBuf;
+
+serde::impl_struct_serde!(KernelStats {
+    tiles,
+    rows_filtered,
+    rows_scanned,
+    candidates_offered,
+    candidates_kept,
+});
 
 /// Observability counters collected by the serial driver (zeroed at the
 /// start of each [`crate::Gsknn::run`]/`update`). They quantify how often
@@ -45,6 +54,18 @@ impl KernelStats {
             self.rows_filtered as f64 / total as f64
         }
     }
+
+    /// Fraction of offered candidates a heap actually kept (0.0 when
+    /// nothing was offered). High values mean the stale-threshold check
+    /// passes candidates that still win — the heap is doing real work;
+    /// low values mean most offers bounce off the root.
+    pub fn selection_rate(&self) -> f64 {
+        if self.candidates_offered == 0 {
+            0.0
+        } else {
+            self.candidates_kept as f64 / self.candidates_offered as f64
+        }
+    }
 }
 
 /// Scratch buffers for one kernel execution context (one thread).
@@ -65,6 +86,9 @@ pub struct GsknnWorkspace {
     pub dist: AlignedBuf,
     /// Counters for the most recent serial run.
     pub stats: KernelStats,
+    /// Phase timings for the most recent run (zero-sized no-op unless
+    /// the `obs` feature is enabled).
+    pub phases: PhaseSet,
 }
 
 impl GsknnWorkspace {
@@ -86,5 +110,71 @@ mod tests {
         assert_eq!(ws.q_pack.len(), 128);
         assert_eq!(ws.cc.len(), 1024);
         assert_eq!(ws.r_pack.len(), 0);
+    }
+
+    fn sample_stats() -> KernelStats {
+        KernelStats {
+            tiles: 7,
+            rows_filtered: 40,
+            rows_scanned: 10,
+            candidates_offered: 25,
+            candidates_kept: 5,
+        }
+    }
+
+    #[test]
+    fn merge_sums_every_field() {
+        let mut a = sample_stats();
+        let b = KernelStats {
+            tiles: 3,
+            rows_filtered: 2,
+            rows_scanned: 8,
+            candidates_offered: 15,
+            candidates_kept: 1,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            KernelStats {
+                tiles: 10,
+                rows_filtered: 42,
+                rows_scanned: 18,
+                candidates_offered: 40,
+                candidates_kept: 6,
+            }
+        );
+    }
+
+    #[test]
+    fn merge_with_default_is_identity() {
+        let mut a = sample_stats();
+        a.merge(&KernelStats::default());
+        assert_eq!(a, sample_stats());
+        let mut zero = KernelStats::default();
+        zero.merge(&sample_stats());
+        assert_eq!(zero, sample_stats());
+    }
+
+    #[test]
+    fn rates_are_zero_safe() {
+        let zero = KernelStats::default();
+        assert_eq!(zero.filter_rate(), 0.0);
+        assert_eq!(zero.selection_rate(), 0.0);
+        let s = sample_stats();
+        assert!((s.filter_rate() - 0.8).abs() < 1e-12);
+        assert!((s.selection_rate() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_round_trip_through_serde() {
+        use serde::{Deserialize, Serialize};
+        let s = sample_stats();
+        let v = s.to_value();
+        assert_eq!(v.get("tiles").and_then(|t| t.as_u64()), Some(7));
+        let back = KernelStats::from_value(&v).expect("deserialize");
+        assert_eq!(back, s);
+        // missing field is an error, not a silent default
+        let empty = serde_json::from_str("{}").expect("parse");
+        assert!(KernelStats::from_value(&empty).is_err());
     }
 }

@@ -39,15 +39,17 @@ pub mod buffers;
 pub mod kernel;
 pub mod microkernel;
 pub mod model;
+pub mod obs;
 pub mod packing;
 pub mod parallel;
 pub mod params;
 pub mod scheduler;
 pub mod variants;
 
-pub use buffers::GsknnWorkspace;
+pub use buffers::{GsknnWorkspace, KernelStats};
 pub use kernel::{Gsknn, GsknnConfig};
 pub use model::{MachineParams, Model, ProblemSize};
+pub use obs::{Phase, PhaseSet};
 pub use params::Variant;
 
 // Re-export the types a caller needs to drive the kernel.

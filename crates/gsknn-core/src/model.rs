@@ -10,8 +10,8 @@
 //!   the rank-d update + distance epilogue, plus the instruction cost of
 //!   heap selection (≈12 instructions ≈ 24 flop-equivalents per
 //!   adjustment, `ε` the expected fraction of worst-case adjustments).
-//! * `Tm^Var1 = τb(nd + 2n) + τb(dm + 2m)·⌈n/nc⌉ + τb(⌈d/dc⌉−1)·mn
-//!   + 2·τl·ε·mk·log₂k` — packing traffic for `Rc`/`R2c` (once) and
+//! * `Tm^Var1 = τb(nd + 2n) + τb(dm + 2m)·⌈n/nc⌉ + τb(⌈d/dc⌉−1)·mn +
+//!   2·τl·ε·mk·log₂k` — packing traffic for `Rc`/`R2c` (once) and
 //!   `Qc`/`Qc2` (per `jc` block), the `Cc` rank-dc spill when `d > dc`,
 //!   and the random-access heap updates.
 //! * `Tm^Var6 = Tm^Var1 + τb·mn` — Eq. (4): storing `C` once. Var#6's

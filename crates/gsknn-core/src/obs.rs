@@ -1,0 +1,273 @@
+//! Phase-level observability for the six-loop nest.
+//!
+//! Every phase of the fused kernel — gather-packing of `Rc`/`Qc`, the
+//! rank-dc micro-kernel (including `Cc`/`C` traffic), heap selection and
+//! the final table writeback — is wrapped in a [`PhaseSet::time`] span at
+//! exactly one Goto-loop level, so the measured breakdown lines up
+//! one-to-one with the terms of the §2.6 performance model
+//! ([`crate::Model::tm_terms`]).
+//!
+//! The probes are **compiled out** unless the `obs` cargo feature is
+//! enabled: without it [`PhaseSet`] is a zero-sized type and
+//! [`PhaseSet::time`] is an `#[inline(always)]` identity wrapper, so the
+//! micro-kernel hot path carries no timing instructions (the guard test
+//! in `tests/obs_guard.rs` checks both properties). With `obs` on,
+//! spans read the TSC on x86_64 (calibrated against `Instant` once) and
+//! fall back to a monotonic-clock anchor elsewhere.
+
+/// One phase of the fused kernel, in pipeline order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// 6th/5th loop: gather-pack `Rc` + `R2c` from `X`.
+    PackR,
+    /// 4th loop: gather-pack `Qc` + `Qc2` from `X`.
+    PackQ,
+    /// 1st loop: rank-dc micro-kernel tiles, `Cc` spill writes and the
+    /// buffered variants' `C` stores.
+    RankDc,
+    /// Heap selection (fused tile scan or buffered block scan).
+    Select,
+    /// Draining heaps into the sorted neighbor table.
+    Writeback,
+}
+
+/// Number of [`Phase`] values.
+pub const PHASE_COUNT: usize = 5;
+
+impl Phase {
+    /// All phases in pipeline order.
+    pub const ALL: [Phase; PHASE_COUNT] = [
+        Phase::PackR,
+        Phase::PackQ,
+        Phase::RankDc,
+        Phase::Select,
+        Phase::Writeback,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::PackR => "gather-pack R",
+            Phase::PackQ => "gather-pack Q",
+            Phase::RankDc => "rank-dc kernel",
+            Phase::Select => "selection",
+            Phase::Writeback => "writeback",
+        }
+    }
+
+    #[cfg_attr(not(feature = "obs"), allow(dead_code))]
+    #[inline(always)]
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Whether phase timing is compiled into this build.
+pub const fn enabled() -> bool {
+    cfg!(feature = "obs")
+}
+
+/// Per-phase accumulated time and span counts.
+///
+/// Zero-sized no-op without the `obs` feature — safe to embed in the
+/// per-thread workspace and call on the hot path unconditionally.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseSet {
+    #[cfg(feature = "obs")]
+    ticks: [u64; PHASE_COUNT],
+    #[cfg(feature = "obs")]
+    counts: [u64; PHASE_COUNT],
+}
+
+impl PhaseSet {
+    /// Empty set (all phases zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Zero all accumulators.
+    #[inline(always)]
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Run `f`, attributing its wall time to `phase`.
+    #[cfg(feature = "obs")]
+    #[inline(always)]
+    pub fn time<R>(&mut self, phase: Phase, f: impl FnOnce() -> R) -> R {
+        let t0 = clock::now_ticks();
+        let r = f();
+        self.ticks[phase.index()] += clock::now_ticks().wrapping_sub(t0);
+        self.counts[phase.index()] += 1;
+        r
+    }
+
+    /// Run `f` (no timing — `obs` feature disabled).
+    #[cfg(not(feature = "obs"))]
+    #[inline(always)]
+    pub fn time<R>(&mut self, _phase: Phase, f: impl FnOnce() -> R) -> R {
+        f()
+    }
+
+    /// Fold another set into this one (per-worker merge).
+    #[inline]
+    pub fn merge(&mut self, other: &PhaseSet) {
+        #[cfg(feature = "obs")]
+        for i in 0..PHASE_COUNT {
+            self.ticks[i] += other.ticks[i];
+            self.counts[i] += other.counts[i];
+        }
+        let _ = other;
+    }
+
+    /// Accumulated seconds attributed to `phase` (0.0 when disabled).
+    pub fn seconds(&self, phase: Phase) -> f64 {
+        #[cfg(feature = "obs")]
+        {
+            self.ticks[phase.index()] as f64 / clock::ticks_per_sec()
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = phase;
+            0.0
+        }
+    }
+
+    /// Number of spans recorded for `phase` (0 when disabled).
+    pub fn count(&self, phase: Phase) -> u64 {
+        #[cfg(feature = "obs")]
+        {
+            self.counts[phase.index()]
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = phase;
+            0
+        }
+    }
+
+    /// Sum of all phase times in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        Phase::ALL.iter().map(|&p| self.seconds(p)).sum()
+    }
+
+    /// `(phase, seconds, spans)` rows in pipeline order.
+    pub fn rows(&self) -> Vec<(Phase, f64, u64)> {
+        Phase::ALL
+            .iter()
+            .map(|&p| (p, self.seconds(p), self.count(p)))
+            .collect()
+    }
+}
+
+#[cfg(feature = "obs")]
+mod clock {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+
+    /// Monotonic tick counter: TSC on x86_64, nanoseconds since an
+    /// anchor elsewhere.
+    #[inline(always)]
+    pub fn now_ticks() -> u64 {
+        #[cfg(target_arch = "x86_64")]
+        {
+            // SAFETY: RDTSC has no memory effects and is available on
+            // every x86_64 this kernel targets.
+            unsafe { core::arch::x86_64::_rdtsc() }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            anchor().elapsed().as_nanos() as u64
+        }
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    fn anchor() -> &'static Instant {
+        static ANCHOR: OnceLock<Instant> = OnceLock::new();
+        ANCHOR.get_or_init(Instant::now)
+    }
+
+    /// Tick rate, calibrated once against the monotonic clock.
+    pub fn ticks_per_sec() -> f64 {
+        #[cfg(target_arch = "x86_64")]
+        {
+            static RATE: OnceLock<f64> = OnceLock::new();
+            *RATE.get_or_init(|| {
+                let wall = Instant::now();
+                let t0 = now_ticks();
+                // ~5 ms busy-wait gives the TSC rate to well under 1%.
+                while wall.elapsed().as_micros() < 5_000 {
+                    std::hint::spin_loop();
+                }
+                let dt = now_ticks().wrapping_sub(t0) as f64;
+                dt / wall.elapsed().as_secs_f64()
+            })
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            1e9
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_returns_closure_value() {
+        let mut ps = PhaseSet::new();
+        let v = ps.time(Phase::RankDc, || 41 + 1);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn rows_cover_all_phases_in_order() {
+        let ps = PhaseSet::new();
+        let rows = ps.rows();
+        assert_eq!(rows.len(), PHASE_COUNT);
+        assert_eq!(rows[0].0, Phase::PackR);
+        assert_eq!(rows[4].0, Phase::Writeback);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn spans_accumulate_time_and_counts() {
+        let mut ps = PhaseSet::new();
+        for _ in 0..3 {
+            ps.time(Phase::Select, || {
+                std::hint::black_box((0..20_000u64).sum::<u64>())
+            });
+        }
+        assert_eq!(ps.count(Phase::Select), 3);
+        assert!(ps.seconds(Phase::Select) > 0.0);
+        assert_eq!(ps.count(Phase::PackR), 0);
+        assert!((ps.total_seconds() - ps.seconds(Phase::Select)).abs() < 1e-12);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn merge_sums_workers() {
+        let mut a = PhaseSet::new();
+        let mut b = PhaseSet::new();
+        a.time(Phase::PackQ, || std::hint::black_box(1 + 1));
+        b.time(Phase::PackQ, || std::hint::black_box(2 + 2));
+        b.time(Phase::RankDc, || std::hint::black_box(3 + 3));
+        let secs_a = a.seconds(Phase::PackQ);
+        let secs_b = b.seconds(Phase::PackQ);
+        a.merge(&b);
+        assert_eq!(a.count(Phase::PackQ), 2);
+        assert_eq!(a.count(Phase::RankDc), 1);
+        assert!((a.seconds(Phase::PackQ) - (secs_a + secs_b)).abs() < 1e-9);
+    }
+
+    #[cfg(not(feature = "obs"))]
+    #[test]
+    fn disabled_set_is_zero_sized_and_silent() {
+        assert_eq!(std::mem::size_of::<PhaseSet>(), 0);
+        let mut ps = PhaseSet::new();
+        ps.time(Phase::RankDc, || ());
+        assert_eq!(ps.count(Phase::RankDc), 0);
+        assert_eq!(ps.total_seconds(), 0.0);
+    }
+}

@@ -12,6 +12,7 @@
 
 use crate::buffers::KernelStats;
 use crate::microkernel::MR;
+use crate::obs::{Phase, PhaseSet};
 use crate::packing::{pack_r_panel, pack_sqnorms};
 use crate::params::Variant;
 use crate::variants::{
@@ -35,11 +36,17 @@ pub fn dynamic_mc(m: usize, p: usize, mc_base: usize) -> usize {
 }
 
 /// Run the kernel with the data-parallel 4th-loop scheme on the current
-/// rayon thread pool, using up to `p` query chunks per sweep.
+/// rayon thread pool, using up to `p` query chunks per sweep. Returns the
+/// observability counters and phase times merged across all workers
+/// (phase times sum worker CPU time, so they can exceed wall time).
 ///
 /// Exactly equivalent to [`crate::variants::run_serial`] (bit-identical
 /// heaps: workers own disjoint query ranges, so no merge is needed).
-pub fn run_data_parallel(args: &DriverArgs<'_>, heaps: &mut [SelHeap], p: usize) {
+pub fn run_data_parallel(
+    args: &DriverArgs<'_>,
+    heaps: &mut [SelHeap],
+    p: usize,
+) -> (KernelStats, PhaseSet) {
     let m = args.q_idx.len();
     let n = args.r_idx.len();
     let d = args.xq.dim();
@@ -49,9 +56,11 @@ pub fn run_data_parallel(args: &DriverArgs<'_>, heaps: &mut [SelHeap], p: usize)
         "driver needs a concrete variant"
     );
     args.params.validate().expect("invalid blocking parameters");
+    let mut total_stats = KernelStats::default();
+    let mut total_phases = PhaseSet::new();
     if m == 0 || n == 0 || d == 0 {
         feed_degenerate(args, heaps);
-        return;
+        return (total_stats, total_phases);
     }
 
     let GemmParams { dc, nc, .. } = args.params;
@@ -75,12 +84,14 @@ pub fn run_data_parallel(args: &DriverArgs<'_>, heaps: &mut [SelHeap], p: usize)
             let last = pc + dcb >= d;
 
             let nblocks = ncb.div_ceil(NR);
-            r_pack.resize(nblocks * NR * dcb);
-            pack_r_panel(args.xr, args.r_idx, jc, ncb, pc, dcb, r_pack.as_mut_slice());
-            if last {
-                r2_pack.resize(nblocks * NR);
-                pack_sqnorms::<NR>(args.xr, args.r_idx, jc, ncb, r2_pack.as_mut_slice());
-            }
+            total_phases.time(Phase::PackR, || {
+                r_pack.resize(nblocks * NR * dcb);
+                pack_r_panel(args.xr, args.r_idx, jc, ncb, pc, dcb, r_pack.as_mut_slice());
+                if last {
+                    r2_pack.resize(nblocks * NR);
+                    pack_sqnorms::<NR>(args.xr, args.r_idx, jc, ncb, r2_pack.as_mut_slice());
+                }
+            });
             let rb = RefBlock {
                 r_pack: r_pack.as_slice(),
                 r2_pack: r2_pack.as_slice(),
@@ -93,20 +104,23 @@ pub fn run_data_parallel(args: &DriverArgs<'_>, heaps: &mut [SelHeap], p: usize)
                 pc,
             };
 
-            // Parallel 4th loop: zip disjoint query/heap/Cc chunks.
+            // Parallel 4th loop: zip disjoint query/heap/Cc chunks. Each
+            // worker's counters/phase times come back in chunk order and
+            // fold into the run totals.
             let heap_chunks = heaps.par_chunks_mut(mc);
             let nchunks = m.div_ceil(mc);
-            if geo.need_cc {
+            let worker_obs: Vec<(KernelStats, PhaseSet)> = if geo.need_cc {
                 cc.as_mut_slice()
                     .par_chunks_mut(mc * geo.ldcc)
                     .zip(heap_chunks)
                     .enumerate()
-                    .for_each(|(ci, (cc_rows, heap_chunk))| {
+                    .map(|(ci, (cc_rows, heap_chunk))| {
                         let ic = ci * mc;
                         let mcb = (m - ic).min(mc);
                         let mut q_pack = AlignedBuf::new();
                         let mut q2_pack = AlignedBuf::new();
                         let mut stats = KernelStats::default();
+                        let mut phases = PhaseSet::new();
                         ic_block_body(
                             args,
                             ic,
@@ -118,65 +132,103 @@ pub fn run_data_parallel(args: &DriverArgs<'_>, heaps: &mut [SelHeap], p: usize)
                             Some(cc_rows),
                             heap_chunk,
                             &mut stats,
+                            &mut phases,
                         );
-                    });
+                        (stats, phases)
+                    })
+                    .collect()
             } else {
-                heap_chunks.enumerate().for_each(|(ci, heap_chunk)| {
-                    let ic = ci * mc;
-                    let mcb = (m - ic).min(mc);
-                    let mut q_pack = AlignedBuf::new();
-                    let mut q2_pack = AlignedBuf::new();
-                    let mut stats = KernelStats::default();
-                    ic_block_body(
-                        args,
-                        ic,
-                        mcb,
-                        &rb,
-                        geo.ldcc,
-                        &mut q_pack,
-                        &mut q2_pack,
-                        None,
-                        heap_chunk,
-                        &mut stats,
-                    );
-                });
+                heap_chunks
+                    .enumerate()
+                    .map(|(ci, heap_chunk)| {
+                        let ic = ci * mc;
+                        let mcb = (m - ic).min(mc);
+                        let mut q_pack = AlignedBuf::new();
+                        let mut q2_pack = AlignedBuf::new();
+                        let mut stats = KernelStats::default();
+                        let mut phases = PhaseSet::new();
+                        ic_block_body(
+                            args,
+                            ic,
+                            mcb,
+                            &rb,
+                            geo.ldcc,
+                            &mut q_pack,
+                            &mut q2_pack,
+                            None,
+                            heap_chunk,
+                            &mut stats,
+                            &mut phases,
+                        );
+                        (stats, phases)
+                    })
+                    .collect()
+            };
+            for (stats, phases) in &worker_obs {
+                total_stats.merge(stats);
+                total_phases.merge(phases);
             }
             debug_assert_eq!(nchunks, m.div_ceil(mc));
         }
         // Var#5: parallel per-query selection over this jc block
         if variant == Variant::Var5 {
             let cc_ref = cc.as_slice();
-            heaps.par_iter_mut().enumerate().for_each(|(i, heap)| {
-                let mut stats = KernelStats::default();
-                select_block(
-                    cc_ref,
-                    geo.ldcc,
-                    i..i + 1,
-                    col0..col0 + ncb,
-                    jc,
-                    args.r_idx,
-                    std::slice::from_mut(heap),
-                    &mut stats,
-                )
-            });
+            let worker_obs: Vec<(KernelStats, PhaseSet)> = heaps
+                .par_iter_mut()
+                .enumerate()
+                .map(|(i, heap)| {
+                    let mut stats = KernelStats::default();
+                    let mut phases = PhaseSet::new();
+                    phases.time(Phase::Select, || {
+                        select_block(
+                            cc_ref,
+                            geo.ldcc,
+                            i..i + 1,
+                            col0..col0 + ncb,
+                            jc,
+                            args.r_idx,
+                            std::slice::from_mut(heap),
+                            &mut stats,
+                        )
+                    });
+                    (stats, phases)
+                })
+                .collect();
+            for (stats, phases) in &worker_obs {
+                total_stats.merge(stats);
+                total_phases.merge(phases);
+            }
         }
     }
     if variant == Variant::Var6 {
         let cc_ref = cc.as_slice();
-        heaps.par_iter_mut().enumerate().for_each(|(i, heap)| {
-            let mut stats = KernelStats::default();
-            select_block(
-                cc_ref,
-                geo.ldcc,
-                i..i + 1,
-                0..n,
-                0,
-                args.r_idx,
-                std::slice::from_mut(heap),
-                &mut stats,
-            )
-        });
+        let worker_obs: Vec<(KernelStats, PhaseSet)> = heaps
+            .par_iter_mut()
+            .enumerate()
+            .map(|(i, heap)| {
+                let mut stats = KernelStats::default();
+                let mut phases = PhaseSet::new();
+                phases.time(Phase::Select, || {
+                    select_block(
+                        cc_ref,
+                        geo.ldcc,
+                        i..i + 1,
+                        0..n,
+                        0,
+                        args.r_idx,
+                        std::slice::from_mut(heap),
+                        &mut stats,
+                    )
+                });
+                (stats, phases)
+            })
+            .collect();
+        for (stats, phases) in &worker_obs {
+            total_stats.merge(stats);
+            total_phases.merge(phases);
+        }
     }
+    (total_stats, total_phases)
 }
 
 #[cfg(test)]

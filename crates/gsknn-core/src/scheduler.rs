@@ -7,10 +7,13 @@
 //! least accumulated time — LPT (longest processing time) list
 //! scheduling, Graham's classic 4/3-approximation on homogeneous workers.
 
+use crate::buffers::KernelStats;
 use crate::kernel::{Gsknn, GsknnConfig};
 use crate::model::{MachineParams, Model, ProblemSize};
+use crate::obs::PhaseSet;
 use dataset::{DistanceKind, PointSet};
 use knn_select::NeighborTable;
+use std::time::Instant;
 
 /// One independent kNN kernel invocation.
 #[derive(Clone, Debug)]
@@ -58,6 +61,85 @@ pub fn makespan(schedule: &[Vec<usize>], costs: &[f64]) -> f64 {
         .fold(0.0, f64::max)
 }
 
+/// One task's predicted vs measured runtime from a traced run.
+#[derive(Clone, Debug)]
+pub struct TaskTrace {
+    /// Task index (position in the input `tasks` slice).
+    pub task: usize,
+    /// Worker bucket the task was assigned to.
+    pub worker: usize,
+    /// §2.6 model cost estimate (seconds) the scheduler used.
+    pub predicted: f64,
+    /// Measured wall time of the kernel call (seconds).
+    pub measured: f64,
+}
+
+impl TaskTrace {
+    /// Relative estimation error `(measured - predicted) / predicted`
+    /// (0.0 when the prediction is 0).
+    pub fn rel_error(&self) -> f64 {
+        if self.predicted == 0.0 {
+            0.0
+        } else {
+            (self.measured - self.predicted) / self.predicted
+        }
+    }
+}
+
+/// Scheduler telemetry from [`run_task_parallel_traced`]: how well the
+/// model-guided LPT schedule matched reality.
+#[derive(Clone, Debug, Default)]
+pub struct SchedulerTelemetry {
+    /// Makespan of the LPT schedule under the *predicted* costs.
+    pub predicted_makespan: f64,
+    /// Realized makespan: max over workers of summed measured task times.
+    pub realized_makespan: f64,
+    /// Per-worker predicted load (seconds), in worker order.
+    pub worker_predicted: Vec<f64>,
+    /// Per-worker realized load (seconds), in worker order.
+    pub worker_realized: Vec<f64>,
+    /// Per-task traces, in task order.
+    pub tasks: Vec<TaskTrace>,
+    /// Kernel counters merged across all tasks and workers.
+    pub stats: KernelStats,
+    /// Phase times merged across all tasks and workers (all-zero unless
+    /// built with the `obs` feature).
+    pub phases: PhaseSet,
+}
+
+impl SchedulerTelemetry {
+    /// Relative LPT makespan error `(realized - predicted) / predicted`
+    /// (0.0 when the prediction is 0). Positive means the schedule ran
+    /// longer than the model promised.
+    pub fn makespan_error(&self) -> f64 {
+        if self.predicted_makespan == 0.0 {
+            0.0
+        } else {
+            (self.realized_makespan - self.predicted_makespan) / self.predicted_makespan
+        }
+    }
+
+    /// Mean absolute relative task-cost estimation error.
+    pub fn mean_abs_cost_error(&self) -> f64 {
+        if self.tasks.is_empty() {
+            0.0
+        } else {
+            self.tasks.iter().map(|t| t.rel_error().abs()).sum::<f64>() / self.tasks.len() as f64
+        }
+    }
+
+    /// Realized load imbalance: max worker load over mean worker load
+    /// (1.0 = perfectly balanced; 0.0 when nothing ran).
+    pub fn load_imbalance(&self) -> f64 {
+        let sum: f64 = self.worker_realized.iter().sum();
+        if self.worker_realized.is_empty() || sum == 0.0 {
+            0.0
+        } else {
+            self.realized_makespan / (sum / self.worker_realized.len() as f64)
+        }
+    }
+}
+
 /// Run `tasks` against `x` on `p` workers with model-guided LPT
 /// scheduling. Returns one [`NeighborTable`] per task, in task order.
 ///
@@ -71,6 +153,22 @@ pub fn run_task_parallel(
     machine: MachineParams,
     p: usize,
 ) -> Vec<NeighborTable> {
+    run_task_parallel_traced(x, tasks, kind, cfg, machine, p).0
+}
+
+/// [`run_task_parallel`] plus [`SchedulerTelemetry`]: per-task wall time
+/// against the model estimate, per-worker realized load, and the LPT
+/// predicted-vs-realized makespan. Task timing uses `Instant` at task
+/// granularity and is always on (no `obs` feature needed); the merged
+/// `phases` breakdown is only non-zero with `obs`.
+pub fn run_task_parallel_traced(
+    x: &PointSet,
+    tasks: &[KnnTask],
+    kind: DistanceKind,
+    cfg: &GsknnConfig,
+    machine: MachineParams,
+    p: usize,
+) -> (Vec<NeighborTable>, SchedulerTelemetry) {
     let model = Model::new(machine);
     let costs: Vec<f64> = tasks
         .iter()
@@ -88,7 +186,8 @@ pub fn run_task_parallel(
     let mut results: Vec<Option<NeighborTable>> = vec![None; tasks.len()];
     // Hand each worker its bucket plus a matching slice of result slots.
     // Results are scattered, so collect per worker and write back after.
-    let worker_outputs: Vec<Vec<(usize, NeighborTable)>> = crossbeam::thread::scope(|scope| {
+    type WorkerOut = Vec<(usize, NeighborTable, f64, KernelStats, PhaseSet)>;
+    let worker_outputs: Vec<WorkerOut> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = schedule
             .iter()
             .map(|bucket| {
@@ -99,9 +198,12 @@ pub fn run_task_parallel(
                         .iter()
                         .map(|&t| {
                             let task = &tasks[t];
-                            (t, exec.run(x, &task.q_idx, &task.r_idx, task.k, kind))
+                            let t0 = Instant::now();
+                            let table = exec.run(x, &task.q_idx, &task.r_idx, task.k, kind);
+                            let secs = t0.elapsed().as_secs_f64();
+                            (t, table, secs, exec.last_stats(), exec.last_phases())
                         })
-                        .collect::<Vec<_>>()
+                        .collect::<WorkerOut>()
                 })
             })
             .collect();
@@ -112,15 +214,40 @@ pub fn run_task_parallel(
     })
     .expect("scope");
 
-    for out in worker_outputs {
-        for (t, table) in out {
+    let mut tel = SchedulerTelemetry {
+        worker_predicted: schedule
+            .iter()
+            .map(|b| b.iter().map(|&t| costs[t]).sum())
+            .collect(),
+        worker_realized: vec![0.0; schedule.len()],
+        ..Default::default()
+    };
+    let mut traces: Vec<Option<TaskTrace>> = vec![None; tasks.len()];
+    for (w, out) in worker_outputs.into_iter().enumerate() {
+        for (t, table, secs, stats, phases) in out {
             results[t] = Some(table);
+            tel.worker_realized[w] += secs;
+            tel.stats.merge(&stats);
+            tel.phases.merge(&phases);
+            traces[t] = Some(TaskTrace {
+                task: t,
+                worker: w,
+                predicted: costs[t],
+                measured: secs,
+            });
         }
     }
-    results
+    tel.predicted_makespan = makespan(&schedule, &costs);
+    tel.realized_makespan = tel.worker_realized.iter().cloned().fold(0.0, f64::max);
+    tel.tasks = traces
+        .into_iter()
+        .map(|t| t.expect("every task traced exactly once"))
+        .collect();
+    let tables = results
         .into_iter()
         .map(|r| r.expect("every task scheduled exactly once"))
-        .collect()
+        .collect();
+    (tables, tel)
 }
 
 #[cfg(test)]
@@ -173,6 +300,49 @@ mod tests {
     }
 
     #[test]
+    fn traced_run_reports_consistent_telemetry() {
+        let x = uniform(150, 10, 91);
+        let tasks: Vec<KnnTask> = (0..5)
+            .map(|t| KnnTask {
+                q_idx: (t * 30..(t + 1) * 30).collect(),
+                r_idx: (0..150).collect(),
+                k: 3,
+            })
+            .collect();
+        let cfg = GsknnConfig::default();
+        let (tables, tel) = run_task_parallel_traced(
+            &x,
+            &tasks,
+            DistanceKind::SqL2,
+            &cfg,
+            MachineParams::ivy_bridge_1core(),
+            2,
+        );
+        assert_eq!(tables.len(), 5);
+        assert_eq!(tel.tasks.len(), 5);
+        assert_eq!(tel.worker_predicted.len(), 2);
+        assert_eq!(tel.worker_realized.len(), 2);
+        // every task appears once, in task order, on a valid worker
+        for (i, tr) in tel.tasks.iter().enumerate() {
+            assert_eq!(tr.task, i);
+            assert!(tr.worker < 2);
+            assert!(tr.predicted > 0.0);
+            assert!(tr.measured >= 0.0);
+        }
+        // per-worker predicted loads sum to the total predicted cost
+        let total_pred: f64 = tel.tasks.iter().map(|t| t.predicted).sum();
+        let bucket_pred: f64 = tel.worker_predicted.iter().sum();
+        assert!((total_pred - bucket_pred).abs() < 1e-12 * total_pred.max(1.0));
+        // makespans are the max bucket loads
+        let max_real = tel.worker_realized.iter().cloned().fold(0.0, f64::max);
+        assert_eq!(tel.realized_makespan, max_real);
+        assert!(tel.predicted_makespan > 0.0);
+        assert!(tel.load_imbalance() >= 1.0 - 1e-12);
+        // kernel counters were merged across workers
+        assert!(tel.stats.tiles > 0);
+    }
+
+    #[test]
     fn task_parallel_matches_serial_execution() {
         let x = uniform(120, 8, 55);
         let tasks: Vec<KnnTask> = (0..6)
@@ -196,6 +366,62 @@ mod tests {
             let want = exec.run(&x, &task.q_idx, &task.r_idx, task.k, DistanceKind::SqL2);
             for i in 0..task.q_idx.len() {
                 assert_eq!(table.row(i), want.row(i));
+            }
+        }
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn prop_every_task_assigned_exactly_once(
+                costs in proptest::collection::vec(0.0f64..100.0, 0..48),
+                p in 1usize..9,
+            ) {
+                let s = lpt_schedule(&costs, p);
+                prop_assert_eq!(s.len(), p);
+                let mut seen: Vec<usize> = s.concat();
+                seen.sort_unstable();
+                let want: Vec<usize> = (0..costs.len()).collect();
+                prop_assert_eq!(seen, want);
+            }
+
+            #[test]
+            fn prop_makespan_at_most_total_cost(
+                costs in proptest::collection::vec(0.0f64..100.0, 0..48),
+                p in 1usize..9,
+            ) {
+                let s = lpt_schedule(&costs, p);
+                let total: f64 = costs.iter().sum();
+                let ms = makespan(&s, &costs);
+                prop_assert!(ms >= 0.0);
+                prop_assert!(
+                    ms <= total + 1e-9,
+                    "makespan {} exceeds total cost {}", ms, total
+                );
+            }
+
+            #[test]
+            fn prop_lpt_within_twice_lower_bound(
+                costs in proptest::collection::vec(0.0f64..100.0, 1..48),
+                p in 1usize..9,
+            ) {
+                // Any schedule's makespan is at least
+                // max(max_cost, total/p); Graham's bound guarantees LPT is
+                // within 4/3 of optimal, so certainly within 2x the lower
+                // bound.
+                let s = lpt_schedule(&costs, p);
+                let total: f64 = costs.iter().sum();
+                let max_cost = costs.iter().cloned().fold(0.0, f64::max);
+                let lower = (total / p as f64).max(max_cost);
+                let ms = makespan(&s, &costs);
+                prop_assert!(ms + 1e-9 >= lower);
+                prop_assert!(
+                    ms <= 2.0 * lower + 1e-9,
+                    "LPT makespan {} above 2x lower bound {}", ms, lower
+                );
             }
         }
     }

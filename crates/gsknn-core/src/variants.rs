@@ -23,6 +23,7 @@
 
 use crate::buffers::{GsknnWorkspace, KernelStats};
 use crate::microkernel::{tile_pass, PassMode, Tile, MR, NR};
+use crate::obs::{Phase, PhaseSet};
 use crate::packing::{pack_q_panel, pack_r_panel, pack_sqnorms};
 use crate::params::Variant;
 use dataset::{DistanceKind, PointSet};
@@ -209,6 +210,7 @@ pub(crate) fn ic_block_body(
     mut cc_rows: Option<&mut [f64]>,
     heaps: &mut [SelHeap],
     stats: &mut KernelStats,
+    phases: &mut PhaseSet,
 ) {
     let variant = args.variant;
     let multipass = args.xq.dim() > args.params.dc;
@@ -216,20 +218,22 @@ pub(crate) fn ic_block_body(
     let dcb = rb.dcb;
     let mblocks = mcb.div_ceil(MR);
 
-    q_pack.resize(mblocks * MR * dcb);
-    pack_q_panel(
-        args.xq,
-        args.q_idx,
-        ic_global,
-        mcb,
-        rb.pc,
-        dcb,
-        q_pack.as_mut_slice(),
-    );
-    if rb.last {
-        q2_pack.resize(mblocks * MR);
-        pack_sqnorms::<MR>(args.xq, args.q_idx, ic_global, mcb, q2_pack.as_mut_slice());
-    }
+    phases.time(Phase::PackQ, || {
+        q_pack.resize(mblocks * MR * dcb);
+        pack_q_panel(
+            args.xq,
+            args.q_idx,
+            ic_global,
+            mcb,
+            rb.pc,
+            dcb,
+            q_pack.as_mut_slice(),
+        );
+        if rb.last {
+            q2_pack.resize(mblocks * MR);
+            pack_sqnorms::<MR>(args.xq, args.q_idx, ic_global, mcb, q2_pack.as_mut_slice());
+        }
+    });
 
     // 3rd loop: reference micro-panels
     for jr in (0..rb.ncb).step_by(NR) {
@@ -261,19 +265,21 @@ pub(crate) fn ic_block_body(
 
             if !rb.last {
                 let cc = cc_rows.as_deref_mut().expect("partial pass requires Cc");
-                tile_pass(
-                    args.kind,
-                    dcb,
-                    ap,
-                    bp,
-                    &ZERO_ROW,
-                    &ZERO_ROW,
-                    PassMode::Partial {
-                        cc: &mut cc[tile_origin..],
-                        ldcc,
-                        first: rb.first,
-                    },
-                );
+                phases.time(Phase::RankDc, || {
+                    tile_pass(
+                        args.kind,
+                        dcb,
+                        ap,
+                        bp,
+                        &ZERO_ROW,
+                        &ZERO_ROW,
+                        PassMode::Partial {
+                            cc: &mut cc[tile_origin..],
+                            ldcc,
+                            first: rb.first,
+                        },
+                    )
+                });
                 continue;
             }
 
@@ -287,18 +293,20 @@ pub(crate) fn ic_block_body(
                 } else {
                     None
                 };
-                tile_pass(
-                    args.kind,
-                    dcb,
-                    ap,
-                    bp,
-                    q2,
-                    r2,
-                    PassMode::Last {
-                        prior,
-                        out: &mut out,
-                    },
-                );
+                phases.time(Phase::RankDc, || {
+                    tile_pass(
+                        args.kind,
+                        dcb,
+                        ap,
+                        bp,
+                        q2,
+                        r2,
+                        PassMode::Last {
+                            prior,
+                            out: &mut out,
+                        },
+                    )
+                });
             }
 
             stats.tiles += 1;
@@ -306,42 +314,52 @@ pub(crate) fn ic_block_body(
                 let cc = cc_rows
                     .as_deref_mut()
                     .expect("buffered variant requires Cc");
-                for i in 0..MR {
-                    let dst = &mut cc[tile_origin + i * ldcc..tile_origin + i * ldcc + NR];
-                    dst.copy_from_slice(&out[i * NR..i * NR + NR]);
-                }
+                // The buffered variants' "store C" traffic belongs to the
+                // rank-dc phase: it is the write the fused Var#1 avoids.
+                phases.time(Phase::RankDc, || {
+                    for i in 0..MR {
+                        let dst = &mut cc[tile_origin + i * ldcc..tile_origin + i * ldcc + NR];
+                        dst.copy_from_slice(&out[i * NR..i * NR + NR]);
+                    }
+                });
             } else {
-                select_tile(&out, ir, mre, rb.jc + jr, nre, args.r_idx, heaps, stats);
+                phases.time(Phase::Select, || {
+                    select_tile(&out, ir, mre, rb.jc + jr, nre, args.r_idx, heaps, stats)
+                });
             }
         }
         // Var#2: select the mcb × nre strip just completed
         if variant == Variant::Var2 && rb.last {
             let cc = cc_rows.as_deref().expect("Var#2 requires Cc");
-            select_block(
-                cc,
-                ldcc,
-                0..mcb,
-                rb.col0 + jr..rb.col0 + jr + nre,
-                rb.jc + jr,
-                args.r_idx,
-                heaps,
-                stats,
-            );
+            phases.time(Phase::Select, || {
+                select_block(
+                    cc,
+                    ldcc,
+                    0..mcb,
+                    rb.col0 + jr..rb.col0 + jr + nre,
+                    rb.jc + jr,
+                    args.r_idx,
+                    heaps,
+                    stats,
+                )
+            });
         }
     }
     // Var#3: select the mcb × ncb macro-block
     if variant == Variant::Var3 && rb.last {
         let cc = cc_rows.as_deref().expect("Var#3 requires Cc");
-        select_block(
-            cc,
-            ldcc,
-            0..mcb,
-            rb.col0..rb.col0 + rb.ncb,
-            rb.jc,
-            args.r_idx,
-            heaps,
-            stats,
-        );
+        phases.time(Phase::Select, || {
+            select_block(
+                cc,
+                ldcc,
+                0..mcb,
+                rb.col0..rb.col0 + rb.ncb,
+                rb.jc,
+                args.r_idx,
+                heaps,
+                stats,
+            )
+        });
     }
 }
 
@@ -368,8 +386,18 @@ pub fn run_serial(args: &DriverArgs<'_>, heaps: &mut [SelHeap], ws: &mut GsknnWo
     let GemmParams { dc, mc, nc } = args.params;
     let variant = args.variant;
     let geo = cc_geometry(args);
+    let GsknnWorkspace {
+        q_pack,
+        r_pack,
+        q2_pack,
+        r2_pack,
+        cc,
+        stats,
+        phases,
+        ..
+    } = ws;
     if geo.need_cc {
-        ws.cc.resize(geo.pad_m * geo.ldcc);
+        cc.resize(geo.pad_m * geo.ldcc);
     }
 
     // 6th loop: partition the references
@@ -384,23 +412,17 @@ pub fn run_serial(args: &DriverArgs<'_>, heaps: &mut [SelHeap], ws: &mut GsknnWo
             let last = pc + dcb >= d;
 
             let nblocks = ncb.div_ceil(NR);
-            ws.r_pack.resize(nblocks * NR * dcb);
-            pack_r_panel(
-                args.xr,
-                args.r_idx,
-                jc,
-                ncb,
-                pc,
-                dcb,
-                ws.r_pack.as_mut_slice(),
-            );
-            if last {
-                ws.r2_pack.resize(nblocks * NR);
-                pack_sqnorms::<NR>(args.xr, args.r_idx, jc, ncb, ws.r2_pack.as_mut_slice());
-            }
+            phases.time(Phase::PackR, || {
+                r_pack.resize(nblocks * NR * dcb);
+                pack_r_panel(args.xr, args.r_idx, jc, ncb, pc, dcb, r_pack.as_mut_slice());
+                if last {
+                    r2_pack.resize(nblocks * NR);
+                    pack_sqnorms::<NR>(args.xr, args.r_idx, jc, ncb, r2_pack.as_mut_slice());
+                }
+            });
             let rb = RefBlock {
-                r_pack: ws.r_pack.as_slice(),
-                r2_pack: ws.r2_pack.as_slice(),
+                r_pack: r_pack.as_slice(),
+                r2_pack: r2_pack.as_slice(),
                 jc,
                 ncb,
                 dcb,
@@ -411,13 +433,6 @@ pub fn run_serial(args: &DriverArgs<'_>, heaps: &mut [SelHeap], ws: &mut GsknnWo
             };
 
             // 4th loop: partition the queries
-            let GsknnWorkspace {
-                q_pack,
-                q2_pack,
-                cc,
-                stats,
-                ..
-            } = ws;
             for ic in (0..m).step_by(mc) {
                 let mcb = (m - ic).min(mc);
                 let cc_rows = if geo.need_cc {
@@ -437,37 +452,40 @@ pub fn run_serial(args: &DriverArgs<'_>, heaps: &mut [SelHeap], ws: &mut GsknnWo
                     cc_rows,
                     &mut heaps[ic..ic + mcb],
                     stats,
+                    phases,
                 );
             }
         }
         // Var#5: all queries against this jc block
         if variant == Variant::Var5 {
-            let GsknnWorkspace { cc, stats, .. } = ws;
-            select_block(
-                cc.as_slice(),
-                geo.ldcc,
-                0..m,
-                col0..col0 + ncb,
-                jc,
-                args.r_idx,
-                heaps,
-                stats,
-            );
+            phases.time(Phase::Select, || {
+                select_block(
+                    cc.as_slice(),
+                    geo.ldcc,
+                    0..m,
+                    col0..col0 + ncb,
+                    jc,
+                    args.r_idx,
+                    heaps,
+                    stats,
+                )
+            });
         }
     }
     // Var#6: the classical post-hoc selection over the full matrix
     if variant == Variant::Var6 {
-        let GsknnWorkspace { cc, stats, .. } = ws;
-        select_block(
-            cc.as_slice(),
-            geo.ldcc,
-            0..m,
-            0..n,
-            0,
-            args.r_idx,
-            heaps,
-            stats,
-        );
+        phases.time(Phase::Select, || {
+            select_block(
+                cc.as_slice(),
+                geo.ldcc,
+                0..m,
+                0..n,
+                0,
+                args.r_idx,
+                heaps,
+                stats,
+            )
+        });
     }
 }
 
@@ -487,6 +505,7 @@ pub(crate) fn feed_degenerate(args: &DriverArgs<'_>, heaps: &mut [SelHeap]) {
 /// compare per row decides whether the heap is touched at all — the O(n)
 /// best case of heap selection.
 #[inline]
+#[allow(clippy::too_many_arguments)] // tile geometry is inherently wide
 pub(crate) fn select_tile(
     out: &Tile,
     row0: usize,
@@ -534,6 +553,7 @@ pub(crate) fn select_tile(
 /// can hand in exactly the chunk of heaps covering `rows`). `cols` are
 /// `Cc` column coordinates; the global reference of column `c` is
 /// `r_idx[ref0 + (c - cols.start)]`.
+#[allow(clippy::too_many_arguments)] // block geometry is inherently wide
 pub(crate) fn select_block(
     cc: &[f64],
     ldcc: usize,

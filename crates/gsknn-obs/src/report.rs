@@ -1,0 +1,428 @@
+//! Report types: measured phase breakdowns joined against the §2.6
+//! model's itemized predictions, plus renderers (text table, JSON).
+
+use gsknn_core::buffers::KernelStats;
+use gsknn_core::obs::{Phase, PhaseSet};
+use serde::Serialize;
+use serde_json::Value;
+
+/// One measured phase of the kernel.
+#[derive(Clone, Debug)]
+pub struct PhaseRow {
+    /// Phase display name ([`Phase::name`]).
+    pub phase: &'static str,
+    /// Accumulated seconds.
+    pub seconds: f64,
+    /// Number of spans recorded.
+    pub spans: u64,
+    /// Fraction of the summed phase time (0.0 when nothing measured).
+    pub share: f64,
+}
+
+/// Build phase rows (with shares) from a [`PhaseSet`].
+pub fn phase_rows(phases: &PhaseSet) -> Vec<PhaseRow> {
+    let total = phases.total_seconds();
+    Phase::ALL
+        .iter()
+        .map(|&p| PhaseRow {
+            phase: p.name(),
+            seconds: phases.seconds(p),
+            spans: phases.count(p),
+            share: if total > 0.0 {
+                phases.seconds(p) / total
+            } else {
+                0.0
+            },
+        })
+        .collect()
+}
+
+/// One model-vs-measured component of the drift join. `terms` lists the
+/// [`gsknn_core::Model::tm_terms`] names (plus `"compute (Tf + To)"`)
+/// whose predictions were summed into `predicted`, so the report is an
+/// auditable join, not a lookalike table.
+#[derive(Clone, Debug)]
+pub struct DriftRow {
+    /// Component label.
+    pub component: &'static str,
+    /// Model term names folded into `predicted`.
+    pub terms: Vec<String>,
+    /// Predicted seconds (sum of `terms`).
+    pub predicted: f64,
+    /// Measured seconds (phase span totals).
+    pub measured: f64,
+}
+
+impl DriftRow {
+    /// Measured-over-predicted drift ratio (`None` when the model
+    /// predicts zero for this component).
+    pub fn ratio(&self) -> Option<f64> {
+        if self.predicted > 0.0 {
+            Some(self.measured / self.predicted)
+        } else {
+            None
+        }
+    }
+}
+
+/// Predicted and measured total runtime of one variant.
+#[derive(Clone, Debug)]
+pub struct VariantTiming {
+    /// Variant name (`"Var#1"` / `"Var#6"`).
+    pub variant: String,
+    /// §2.6 predicted total seconds.
+    pub predicted: f64,
+    /// Best-of-reps measured wall seconds.
+    pub measured: f64,
+}
+
+/// Full profile of one kNN problem: phase breakdown, model drift, GFLOPS
+/// and the model's variant-choice verdict.
+#[derive(Clone, Debug)]
+pub struct ProfileReport {
+    /// Queries.
+    pub m: usize,
+    /// References.
+    pub n: usize,
+    /// Dimension.
+    pub d: usize,
+    /// Neighbors kept.
+    pub k: usize,
+    /// Distance kind name.
+    pub kind: String,
+    /// Timing repetitions per variant (best kept).
+    pub reps: usize,
+    /// Whether phase probes were compiled in.
+    pub obs_enabled: bool,
+    /// Variant the §2.6 model picks for this problem.
+    pub variant_predicted: String,
+    /// Empirically fastest variant (min measured total).
+    pub variant_empirical: String,
+    /// Did the model pick the empirically fastest variant?
+    pub model_choice_correct: bool,
+    /// Per-variant predicted vs measured totals.
+    pub variants: Vec<VariantTiming>,
+    /// Measured total of the model-chosen variant (seconds).
+    pub measured_total: f64,
+    /// Predicted total of the model-chosen variant (seconds).
+    pub predicted_total: f64,
+    /// Realized GFLOPS of the model-chosen variant.
+    pub measured_gflops: f64,
+    /// Predicted GFLOPS of the model-chosen variant.
+    pub predicted_gflops: f64,
+    /// Measured phase breakdown of the model-chosen variant.
+    pub phases: Vec<PhaseRow>,
+    /// Model-vs-measured drift per component.
+    pub drift: Vec<DriftRow>,
+    /// Kernel counters of the profiled run.
+    pub stats: KernelStats,
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+impl ProfileReport {
+    /// JSON value for machine consumption (`bench_out/` artifacts).
+    pub fn to_json(&self) -> Value {
+        let phases: Vec<Value> = self
+            .phases
+            .iter()
+            .map(|r| {
+                Value::Object(vec![
+                    ("phase".into(), Value::from(r.phase)),
+                    ("seconds".into(), Value::from(r.seconds)),
+                    ("spans".into(), Value::from(r.spans)),
+                    ("share".into(), Value::from(r.share)),
+                ])
+            })
+            .collect();
+        let drift: Vec<Value> = self
+            .drift
+            .iter()
+            .map(|r| {
+                Value::Object(vec![
+                    ("component".into(), Value::from(r.component)),
+                    ("model_terms".into(), Value::from(r.terms.clone())),
+                    ("predicted_s".into(), Value::from(r.predicted)),
+                    ("measured_s".into(), Value::from(r.measured)),
+                    (
+                        "drift_ratio".into(),
+                        r.ratio().map(Value::from).unwrap_or(Value::Null),
+                    ),
+                ])
+            })
+            .collect();
+        let variants: Vec<Value> = self
+            .variants
+            .iter()
+            .map(|v| {
+                Value::Object(vec![
+                    ("variant".into(), Value::from(v.variant.clone())),
+                    ("predicted_s".into(), Value::from(v.predicted)),
+                    ("measured_s".into(), Value::from(v.measured)),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("experiment".into(), Value::from("profile")),
+            ("m".into(), Value::from(self.m)),
+            ("n".into(), Value::from(self.n)),
+            ("d".into(), Value::from(self.d)),
+            ("k".into(), Value::from(self.k)),
+            ("kind".into(), Value::from(self.kind.clone())),
+            ("reps".into(), Value::from(self.reps)),
+            ("obs_enabled".into(), Value::from(self.obs_enabled)),
+            (
+                "variant_predicted".into(),
+                Value::from(self.variant_predicted.clone()),
+            ),
+            (
+                "variant_empirical".into(),
+                Value::from(self.variant_empirical.clone()),
+            ),
+            (
+                "model_choice_correct".into(),
+                Value::from(self.model_choice_correct),
+            ),
+            ("variants".into(), Value::Array(variants)),
+            ("measured_total_s".into(), Value::from(self.measured_total)),
+            (
+                "predicted_total_s".into(),
+                Value::from(self.predicted_total),
+            ),
+            ("measured_gflops".into(), Value::from(self.measured_gflops)),
+            (
+                "predicted_gflops".into(),
+                Value::from(self.predicted_gflops),
+            ),
+            ("phases".into(), Value::Array(phases)),
+            ("drift".into(), Value::Array(drift)),
+            ("stats".into(), self.stats.to_value()),
+        ])
+    }
+
+    /// Human-readable report (the `gsknn profile` output).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "profile: m={} n={} d={} k={} kind={} (best of {} reps)\n",
+            self.m, self.n, self.d, self.k, self.kind, self.reps
+        ));
+        out.push_str(&format!(
+            "variant: model picks {} | empirically fastest {} | model {}\n",
+            self.variant_predicted,
+            self.variant_empirical,
+            if self.model_choice_correct {
+                "CORRECT"
+            } else {
+                "WRONG"
+            }
+        ));
+        for v in &self.variants {
+            out.push_str(&format!(
+                "  {:<6} predicted {:>12}  measured {:>12}  ({:.2}x)\n",
+                v.variant,
+                fmt_secs(v.predicted),
+                fmt_secs(v.measured),
+                if v.predicted > 0.0 {
+                    v.measured / v.predicted
+                } else {
+                    0.0
+                }
+            ));
+        }
+        out.push_str(&format!(
+            "total ({}): measured {} @ {:.2} GFLOPS | predicted {} @ {:.2} GFLOPS\n",
+            self.variant_predicted,
+            fmt_secs(self.measured_total),
+            self.measured_gflops,
+            fmt_secs(self.predicted_total),
+            self.predicted_gflops,
+        ));
+        if !self.obs_enabled {
+            out.push_str("phases: (obs feature disabled — phase probes compiled out)\n");
+        } else {
+            out.push_str("phase breakdown:\n");
+            out.push_str(&format!(
+                "  {:<16} {:>12} {:>10} {:>7}\n",
+                "phase", "time", "spans", "share"
+            ));
+            for r in &self.phases {
+                out.push_str(&format!(
+                    "  {:<16} {:>12} {:>10} {:>6.1}%\n",
+                    r.phase,
+                    fmt_secs(r.seconds),
+                    r.spans,
+                    r.share * 100.0
+                ));
+            }
+            out.push_str("model drift (measured / predicted):\n");
+            out.push_str(&format!(
+                "  {:<22} {:>12} {:>12} {:>7}\n",
+                "component", "predicted", "measured", "drift"
+            ));
+            for r in &self.drift {
+                let drift = match r.ratio() {
+                    Some(x) => format!("{x:.2}x"),
+                    None => "--".to_string(),
+                };
+                out.push_str(&format!(
+                    "  {:<22} {:>12} {:>12} {:>7}\n",
+                    r.component,
+                    fmt_secs(r.predicted),
+                    fmt_secs(r.measured),
+                    drift
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "kernel stats: {} tiles, filter rate {:.3}, selection rate {:.3}\n",
+            self.stats.tiles,
+            self.stats.filter_rate(),
+            self.stats.selection_rate()
+        ));
+        out
+    }
+}
+
+/// Per-worker row of a scheduler report.
+#[derive(Clone, Debug)]
+pub struct WorkerRow {
+    /// Worker index.
+    pub worker: usize,
+    /// Tasks assigned.
+    pub tasks: usize,
+    /// Predicted load (seconds).
+    pub predicted: f64,
+    /// Realized load (seconds).
+    pub realized: f64,
+}
+
+/// Scheduler telemetry rendered for reporting: how well the model-guided
+/// LPT schedule predicted per-worker load and the makespan.
+#[derive(Clone, Debug)]
+pub struct SchedulerReport {
+    /// Number of tasks scheduled.
+    pub tasks: usize,
+    /// Per-worker loads.
+    pub workers: Vec<WorkerRow>,
+    /// LPT makespan under predicted costs (seconds).
+    pub predicted_makespan: f64,
+    /// Realized makespan (seconds).
+    pub realized_makespan: f64,
+    /// Relative makespan error `(realized - predicted) / predicted`.
+    pub makespan_error: f64,
+    /// Mean absolute relative task-cost estimation error.
+    pub mean_abs_cost_error: f64,
+    /// Realized max-over-mean worker load (1.0 = balanced).
+    pub load_imbalance: f64,
+    /// Kernel counters merged across all tasks.
+    pub stats: KernelStats,
+}
+
+impl SchedulerReport {
+    /// Summarize raw telemetry from
+    /// [`gsknn_core::scheduler::run_task_parallel_traced`].
+    pub fn from_telemetry(tel: &gsknn_core::scheduler::SchedulerTelemetry) -> Self {
+        let workers = tel
+            .worker_predicted
+            .iter()
+            .zip(&tel.worker_realized)
+            .enumerate()
+            .map(|(w, (&predicted, &realized))| WorkerRow {
+                worker: w,
+                tasks: tel.tasks.iter().filter(|t| t.worker == w).count(),
+                predicted,
+                realized,
+            })
+            .collect();
+        SchedulerReport {
+            tasks: tel.tasks.len(),
+            workers,
+            predicted_makespan: tel.predicted_makespan,
+            realized_makespan: tel.realized_makespan,
+            makespan_error: tel.makespan_error(),
+            mean_abs_cost_error: tel.mean_abs_cost_error(),
+            load_imbalance: tel.load_imbalance(),
+            stats: tel.stats,
+        }
+    }
+
+    /// JSON value for machine consumption.
+    pub fn to_json(&self) -> Value {
+        let workers: Vec<Value> = self
+            .workers
+            .iter()
+            .map(|w| {
+                Value::Object(vec![
+                    ("worker".into(), Value::from(w.worker)),
+                    ("tasks".into(), Value::from(w.tasks)),
+                    ("predicted_s".into(), Value::from(w.predicted)),
+                    ("realized_s".into(), Value::from(w.realized)),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("experiment".into(), Value::from("scheduler")),
+            ("tasks".into(), Value::from(self.tasks)),
+            ("workers".into(), Value::Array(workers)),
+            (
+                "predicted_makespan_s".into(),
+                Value::from(self.predicted_makespan),
+            ),
+            (
+                "realized_makespan_s".into(),
+                Value::from(self.realized_makespan),
+            ),
+            ("makespan_error".into(), Value::from(self.makespan_error)),
+            (
+                "mean_abs_cost_error".into(),
+                Value::from(self.mean_abs_cost_error),
+            ),
+            ("load_imbalance".into(), Value::from(self.load_imbalance)),
+            ("stats".into(), self.stats.to_value()),
+        ])
+    }
+
+    /// Human-readable report.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "scheduler: {} tasks over {} workers (model-guided LPT)\n",
+            self.tasks,
+            self.workers.len()
+        ));
+        out.push_str(&format!(
+            "  {:<7} {:>6} {:>14} {:>14}\n",
+            "worker", "tasks", "predicted", "realized"
+        ));
+        for w in &self.workers {
+            out.push_str(&format!(
+                "  {:<7} {:>6} {:>14} {:>14}\n",
+                w.worker,
+                w.tasks,
+                fmt_secs(w.predicted),
+                fmt_secs(w.realized)
+            ));
+        }
+        out.push_str(&format!(
+            "makespan: predicted {} | realized {} | error {:+.1}%\n",
+            fmt_secs(self.predicted_makespan),
+            fmt_secs(self.realized_makespan),
+            self.makespan_error * 100.0
+        ));
+        out.push_str(&format!(
+            "task-cost estimation: mean abs error {:.1}% | realized load imbalance {:.2}\n",
+            self.mean_abs_cost_error * 100.0,
+            self.load_imbalance
+        ));
+        out
+    }
+}

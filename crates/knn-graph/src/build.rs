@@ -24,9 +24,9 @@ pub enum Symmetrize {
 pub fn from_table(table: &NeighborTable, sym: Symmetrize) -> CsrGraph {
     let n = table.len();
     let mut lists: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
-    for u in 0..n {
+    for (u, list) in lists.iter_mut().enumerate() {
         for nb in table.row(u).iter().filter(|nb| nb.idx != u32::MAX) {
-            lists[u].push((nb.idx, nb.dist));
+            list.push((nb.idx, nb.dist));
         }
     }
     match sym {
@@ -43,10 +43,10 @@ pub fn from_table(table: &NeighborTable, sym: Symmetrize) -> CsrGraph {
         Symmetrize::Mutual => {
             let directed = CsrGraph::from_adjacency(lists);
             let mut out: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
-            for u in 0..n {
+            for (u, list) in out.iter_mut().enumerate() {
                 for (&v, &w) in directed.neighbors(u).iter().zip(directed.weights(u)) {
                     if directed.has_edge(v as usize, u as u32) {
-                        out[u].push((v, w));
+                        list.push((v, w));
                     }
                 }
             }

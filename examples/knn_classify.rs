@@ -55,7 +55,7 @@ fn main() {
     let query_time = t0.elapsed();
 
     let mut correct = 0usize;
-    for i in 0..test.len() {
+    for (i, &label) in test_labels.iter().enumerate() {
         let mut votes = vec![0usize; classes];
         for nb in table.row(i).iter().filter(|nb| nb.idx != u32::MAX) {
             votes[train_labels[nb.idx as usize]] += 1;
@@ -66,7 +66,7 @@ fn main() {
             .max_by_key(|(_, &v)| v)
             .map(|(c, _)| c)
             .unwrap();
-        if pred == test_labels[i] {
+        if pred == label {
             correct += 1;
         }
     }

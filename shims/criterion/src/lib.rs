@@ -1,0 +1,235 @@
+//! Offline stand-in for `criterion`. Implements the subset of the API the
+//! workspace's benches use — `Criterion`, `benchmark_group`,
+//! `bench_function` (with `&str` or [`BenchmarkId`] labels), `Throughput`,
+//! and the `criterion_group!` / `criterion_main!` macros — over a simple
+//! warmup + median-of-samples timer. No statistics engine, no HTML
+//! reports; one line per benchmark on stdout.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (builder style, as in the
+    /// real crate).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<D: fmt::Display, F>(&mut self, id: D, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.to_string();
+        run_benchmark(&label, self.sample_size, None, f);
+        self
+    }
+}
+
+/// Work-per-iteration hint; used to report element throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(3);
+        self
+    }
+
+    pub fn bench_function<D: fmt::Display, F>(&mut self, id: D, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.criterion.sample_size, self.throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifies a benchmark as `function_name/parameter`.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            text: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.text)
+    }
+}
+
+/// Passed to the closure given to `bench_function`; `iter` runs and times
+/// the routine.
+pub struct Bencher {
+    /// Median seconds per iteration, filled in by [`Bencher::iter`].
+    sec_per_iter: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up ~10ms, then size iteration batches to ~25ms each.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < Duration::from_millis(10) {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let batch = ((0.025 / per.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let start = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(routine());
+        }
+        self.sec_per_iter = start.elapsed().as_secs_f64() / batch as f64;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher { sec_per_iter: 0.0 };
+        f(&mut b);
+        times.push(b.sec_per_iter);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = times[times.len() / 2];
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  {:>10.1} Melem/s", n as f64 / median / 1e6),
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>10.1} MiB/s", n as f64 / median / (1 << 20) as f64)
+        }
+        None => String::new(),
+    };
+    println!("{label:<48} {}{rate}", fmt_time(median));
+}
+
+fn fmt_time(sec: f64) -> String {
+    if sec >= 1.0 {
+        format!("{sec:>9.3} s ")
+    } else if sec >= 1e-3 {
+        format!("{:>9.3} ms", sec * 1e3)
+    } else if sec >= 1e-6 {
+        format!("{:>9.3} µs", sec * 1e6)
+    } else {
+        format!("{:>9.1} ns", sec * 1e9)
+    }
+}
+
+/// Block form only (the form this workspace uses):
+/// `criterion_group! { name = benches; config = ...; targets = f, g }`
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` invokes harness-less bench targets with a
+            // `--bench` argument; `cargo test` does not. Skip the (slow)
+            // measurement loop outside of `cargo bench`.
+            if !::std::env::args().any(|a| a == "--bench") {
+                println!("benchmarks skipped (run under `cargo bench`)");
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_runs() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("demo");
+        group.throughput(Throughput::Elements(100));
+        let mut acc = 0u64;
+        group.bench_function(BenchmarkId::new("sum", 100), |b| {
+            b.iter(|| {
+                acc = (0..100u64).sum();
+                acc
+            })
+        });
+        group.bench_function("plain-label", |b| b.iter(|| 2 + 2));
+        group.finish();
+        assert_eq!(acc, 4950);
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(fmt_time(2.0).contains("s"));
+        assert!(fmt_time(2e-3).contains("ms"));
+        assert!(fmt_time(2e-6).contains("µs"));
+        assert!(fmt_time(2e-9).contains("ns"));
+    }
+}

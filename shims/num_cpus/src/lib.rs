@@ -1,0 +1,23 @@
+//! Offline stand-in for `num_cpus` on top of
+//! `std::thread::available_parallelism`.
+
+/// Number of logical CPUs available to this process (at least 1).
+pub fn get() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Physical core count is not exposed by std; report the logical count.
+pub fn get_physical() -> usize {
+    get()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn at_least_one() {
+        assert!(super::get() >= 1);
+        assert!(super::get_physical() >= 1);
+    }
+}

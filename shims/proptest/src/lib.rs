@@ -1,0 +1,450 @@
+//! Offline stand-in for `proptest`. Provides the [`strategy::Strategy`]
+//! trait with the combinators this workspace uses (`prop_map`,
+//! `prop_flat_map`, tuples, `Just`, `collection::vec`, `sample::select`,
+//! integer/float ranges) plus the `proptest!` / `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!` macros. Cases are generated from a
+//! deterministic per-test RNG (seeded from the test name) so failures
+//! reproduce; there is no shrinking — the failing case's values are
+//! reported via `Debug` in the panic message instead.
+
+pub mod test_runner {
+    /// Subset of proptest's config: just the case count.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; 64 keeps the suite fast while
+            // still exercising a meaningful spread of inputs.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// SplitMix64 — deterministic, seeded from the test's name.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        pub fn from_name(name: &str) -> Self {
+            // FNV-1a over the name gives a stable, well-mixed seed.
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+
+        /// Uniform in `[0, 1)` with 53 bits of precision.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for producing random values of `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(
+                        self.start < self.end,
+                        "empty strategy range {}..{}", self.start, self.end
+                    );
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(usize, u64, u32, u16, u8);
+
+    macro_rules! signed_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(
+                        self.start < self.end,
+                        "empty strategy range {}..{}", self.start, self.end
+                    );
+                    let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                    (self.start as i64).wrapping_add(rng.below(span) as i64) as $t
+                }
+            }
+        )*};
+    }
+    signed_range_strategy!(i64, i32, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            (self.start as f64 + rng.unit_f64() * (self.end - self.start) as f64) as f32
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vectors whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct Select<T: Clone> {
+        items: Vec<T>,
+    }
+
+    /// Uniformly selects one of the given items.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select() needs at least one item");
+        Select { items }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.items.len() as u64) as usize;
+            self.items[i].clone()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Define property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` (the attribute is written explicitly, as in real
+/// proptest) that runs the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+        $(#[$attr:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        #[allow(clippy::redundant_closure_call)]
+        fn $name() {
+            use $crate::strategy::Strategy as _;
+            let __cfg = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            let __strats = ($($strat,)+);
+            for __case in 0..__cfg.cases {
+                let __values = __strats.generate(&mut __rng);
+                let __debug = format!("{:?}", &__values);
+                let ($($pat,)+) = __values;
+                let __outcome = (|| -> ::std::result::Result<(), ::std::string::String> {
+                    $body
+                    Ok(())
+                })();
+                if let Err(__msg) = __outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{}\n  input: {}\n  {}",
+                        stringify!($name), __case + 1, __cfg.cases, __debug, __msg
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Assert inside a `proptest!` body; failure reports the generated input.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body. Operands are evaluated
+/// exactly once (they may be moved values).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&($left), &($right));
+        if !(*__l == *__r) {
+            return Err(format!(
+                "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+                __l, __r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&($left), &($right));
+        if !(*__l == *__r) {
+            return Err(format!(
+                "assertion failed: `left == right` ({})\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), __l, __r
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&($left), &($right));
+        if *__l == *__r {
+            return Err(format!(
+                "assertion failed: `left != right`\n  both: {:?}",
+                __l
+            ));
+        }
+    }};
+}
+
+/// Skip cases that don't satisfy a precondition. (The real crate retries;
+/// here the case simply counts as passed.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Pair {
+        a: usize,
+        b: usize,
+    }
+
+    fn pairs() -> impl Strategy<Value = Pair> {
+        (1usize..10, 0u64..5)
+            .prop_flat_map(|(a, _seed)| (Just(a), 0usize..10).prop_map(|(a, b)| Pair { a, b }))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in -5i64..5, f in 0.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.0..2.0).contains(&f), "f = {f}");
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in prop::collection::vec(0u32..100, 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+            for x in &v {
+                prop_assert!(*x < 100);
+            }
+        }
+
+        #[test]
+        fn select_draws_from_items(beta in prop::sample::select(vec![0.0f64, 1.0, 0.5])) {
+            prop_assert!(beta == 0.0 || beta == 1.0 || beta == 0.5);
+        }
+
+        #[test]
+        fn flat_map_composes(p in pairs()) {
+            prop_assert!(p.a >= 1 && p.a < 10);
+            prop_assert_eq!(p.clone(), p);
+        }
+
+        #[test]
+        fn assume_skips(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = crate::test_runner::TestRng::from_name("same");
+        let mut b = crate::test_runner::TestRng::from_name("same");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    mod failing {
+        proptest! {
+            // no #[test] here on purpose: invoked manually below so the
+            // panic can be asserted on
+            #[allow(dead_code)]
+            fn must_fail(x in 0usize..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+
+        #[test]
+        #[should_panic(expected = "proptest must_fail failed at case 1/64")]
+        fn failure_panics_with_input() {
+            must_fail();
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal parallel-iterator layer with rayon's *names* and
+//! *semantics* for exactly the call patterns the workspace uses:
+//!
+//! * `slice.par_iter()` / `par_iter_mut()` / `par_chunks_mut(n)`
+//! * `range.into_par_iter()` / `vec.into_par_iter()`
+//! * adapters: `zip`, `enumerate`, `map`
+//! * terminals: `for_each`, `collect::<Vec<_>>()`
+//!
+//! Unlike rayon there is no work-stealing pool: each call site splits its
+//! items into contiguous index-order chunks and runs them on
+//! `std::thread::scope` threads (one per available core, capped by item
+//! count). Results are gathered back in input order, so `map().collect()`
+//! is order-preserving exactly like rayon's indexed parallel iterators.
+
+use std::ops::Range;
+
+fn max_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Split `items` into at most `nt` contiguous chunks of near-equal size.
+fn split<T>(mut items: Vec<T>, nt: usize) -> Vec<Vec<T>> {
+    let n = items.len();
+    let nt = nt.clamp(1, n.max(1));
+    let chunk = n.div_ceil(nt).max(1);
+    let mut out = Vec::with_capacity(nt);
+    while !items.is_empty() {
+        let tail = items.split_off(chunk.min(items.len()));
+        out.push(items);
+        items = tail;
+    }
+    out
+}
+
+/// Map every item through `f` on scoped threads, preserving input order.
+fn run_map<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if items.len() <= 1 || max_threads() == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunks = split(items, max_threads());
+    let mut gathered: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            gathered.push(h.join().expect("rayon-shim worker panicked"));
+        }
+    });
+    gathered.into_iter().flatten().collect()
+}
+
+/// An eager "parallel iterator": the items are materialized up front
+/// (they are references, chunk slices, or indices — cheap), and the
+/// terminal operation fans them out across threads.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pair up with another parallel iterator (truncates to the shorter).
+    pub fn zip<U: Send>(self, other: ParIter<U>) -> ParIter<(T, U)> {
+        ParIter {
+            items: self.items.into_iter().zip(other.items).collect(),
+        }
+    }
+
+    /// Attach the input index to every item.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Lazily record a per-item transform; executed by the terminal op.
+    pub fn map<R, F>(self, f: F) -> MapIter<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        MapIter {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Run `f` on every item across threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        run_map(self.items, &|t| f(t));
+    }
+}
+
+/// A `ParIter` with a pending `map` transform.
+pub struct MapIter<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> MapIter<T, F> {
+    /// Execute the map across threads and collect in input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        run_map(self.items, &self.f).into_iter().collect()
+    }
+
+    /// Execute the map across threads, discarding results.
+    pub fn for_each<R, G>(self, g: G)
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        G: Fn(R) + Sync,
+    {
+        let f = &self.f;
+        run_map(self.items, &|t| g(f(t)));
+    }
+}
+
+/// `par_iter` / `par_chunks` on shared slices.
+pub trait ParallelSliceRef<T: Sync> {
+    fn par_iter(&self) -> ParIter<&T>;
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSliceRef<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]> {
+        assert!(size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks(size).collect(),
+        }
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_iter_mut(&mut self) -> ParIter<&mut T>;
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]> {
+        assert!(size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks_mut(size).collect(),
+        }
+    }
+}
+
+/// `into_par_iter` on owning collections and ranges.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, MapIter, ParIter, ParallelSliceMut, ParallelSliceRef};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_mut_zip_enumerate() {
+        let mut c = [0usize; 12];
+        let adds = [10usize, 20, 30];
+        c.par_chunks_mut(4)
+            .zip(adds.par_iter())
+            .enumerate()
+            .for_each(|(i, (chunk, &a))| {
+                for v in chunk.iter_mut() {
+                    *v = a + i;
+                }
+            });
+        assert_eq!(c[0], 10);
+        assert_eq!(c[4], 21);
+        assert_eq!(c[8], 32);
+    }
+
+    #[test]
+    fn into_par_iter_range() {
+        let squares: Vec<usize> = (0..50usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares[7], 49);
+        assert_eq!(squares.len(), 50);
+    }
+
+    #[test]
+    fn par_iter_mut_for_each() {
+        let mut v = vec![1.0f64; 64];
+        v.par_iter_mut().for_each(|x| *x *= 3.0);
+        assert!(v.iter().all(|&x| x == 3.0));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let v: Vec<u32> = Vec::new();
+        let out: Vec<u32> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        (0..0usize).into_par_iter().for_each(|_| panic!("no items"));
+    }
+}

@@ -1,0 +1,174 @@
+//! Offline stand-in for `serde`. Instead of the full visitor-based data
+//! model, types convert to and from a [`serde_json::Value`] tree — which is
+//! the only data format this workspace serializes to. No derive macro is
+//! provided; implement the two one-method traits by hand (see the
+//! `impl_struct_serde!` helper).
+
+pub use serde_json::Value;
+
+/// Types that can render themselves as a JSON value tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a JSON value tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, String>;
+}
+
+macro_rules! prim_serde {
+    ($($t:ty => $as:ident),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::from(*self)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, String> {
+                v.$as()
+                    .map(|x| x as $t)
+                    .ok_or_else(|| format!("expected {}, got {v}", stringify!($t)))
+            }
+        }
+    )*};
+}
+prim_serde!(
+    f64 => as_f64,
+    f32 => as_f64,
+    u64 => as_u64,
+    u32 => as_u64,
+    u16 => as_u64,
+    usize => as_u64,
+    i64 => as_f64,
+    i32 => as_f64,
+);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        v.as_bool().ok_or_else(|| format!("expected bool, got {v}"))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| format!("expected string, got {v}"))
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        v.as_array()
+            .ok_or_else(|| format!("expected array, got {v}"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+/// Implement [`Serialize`] and [`Deserialize`] for a struct by listing its
+/// fields. Each field's type must itself implement both traits.
+///
+/// ```
+/// use serde::impl_struct_serde;
+/// #[derive(Debug, PartialEq, Default)]
+/// struct Stats { hits: u64, rate: f64 }
+/// impl_struct_serde!(Stats { hits, rate });
+/// ```
+#[macro_export]
+macro_rules! impl_struct_serde {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                $crate::Value::Object(vec![
+                    $( (stringify!($field).to_string(), $crate::Serialize::to_value(&self.$field)) ),+
+                ])
+            }
+        }
+        impl $crate::Deserialize for $ty {
+            fn from_value(v: &$crate::Value) -> Result<Self, String> {
+                Ok($ty {
+                    $( $field: $crate::Deserialize::from_value(
+                        v.get(stringify!($field))
+                            .ok_or_else(|| format!("missing field `{}`", stringify!($field)))?
+                    )? ),+
+                })
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Demo {
+        count: u64,
+        ratio: f64,
+        tags: Vec<String>,
+    }
+    impl_struct_serde!(Demo { count, ratio, tags });
+
+    #[test]
+    fn struct_round_trip() {
+        let d = Demo {
+            count: 9,
+            ratio: 0.5,
+            tags: vec!["a".into(), "b".into()],
+        };
+        let v = d.to_value();
+        assert_eq!(v.get("count").and_then(Value::as_u64), Some(9));
+        let back = Demo::from_value(&v).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn missing_field_errors() {
+        let v = serde_json::json!({"count": 1});
+        assert!(Demo::from_value(&v).is_err());
+    }
+}

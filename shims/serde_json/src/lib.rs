@@ -1,0 +1,574 @@
+//! Offline stand-in for `serde_json`: a JSON `Value` tree, the `json!`
+//! constructor macro, `Display`-based serialization and a recursive
+//! descent parser (`from_str`). Object member order is preserved
+//! (insertion order), which keeps emitted reports stable for diffing.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on objects (`None` for absent keys or non-objects).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Pretty-printed with two-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut s = String::new();
+        self.write_pretty(&mut s, 0);
+        s
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth + 1);
+        let close = "  ".repeat(depth);
+        match self {
+            Value::Array(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    out.push_str(&pad);
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                out.push_str(&close);
+                out.push(']');
+            }
+            Value::Object(members) if !members.is_empty() => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    out.push_str(&pad);
+                    out.push_str(&format!("{}: ", Escaped(k)));
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                out.push_str(&close);
+                out.push('}');
+            }
+            other => {
+                out.push_str(&other.to_string());
+            }
+        }
+    }
+}
+
+struct Escaped<'a>(&'a str);
+
+impl fmt::Display for Escaped<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "\"")?;
+        for c in self.0.chars() {
+            match c {
+                '"' => write!(f, "\\\"")?,
+                '\\' => write!(f, "\\\\")?,
+                '\n' => write!(f, "\\n")?,
+                '\r' => write!(f, "\\r")?,
+                '\t' => write!(f, "\\t")?,
+                c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                c => write!(f, "{c}")?,
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => {
+                if n.is_finite() {
+                    if n.fract() == 0.0 && n.abs() < 1e15 {
+                        write!(f, "{}", *n as i64)
+                    } else {
+                        write!(f, "{n}")
+                    }
+                } else {
+                    // JSON has no Inf/NaN; mirror serde_json's `null`
+                    write!(f, "null")
+                }
+            }
+            Value::String(s) => write!(f, "{}", Escaped(s)),
+            Value::Array(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Object(members) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{}:{v}", Escaped(k))?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+macro_rules! value_from_num {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(v as f64) }
+        }
+    )*};
+}
+value_from_num!(f64, f32, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<V: Into<Value>> From<BTreeMap<String, V>> for Value {
+    fn from(m: BTreeMap<String, V>) -> Value {
+        Value::Object(m.into_iter().map(|(k, v)| (k, v.into())).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        match v {
+            Some(x) => x.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+/// Build a [`Value`] with JSON-literal syntax. Supports nested objects,
+/// arrays, `null`, and any expression convertible `Into<Value>`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($items:tt)* ]) => {{
+        #[allow(unused_mut)]
+        let mut __items: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::__json_array!(__items; $($items)*);
+        $crate::Value::Array(__items)
+    }};
+    ({ $($members:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut __members: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
+            ::std::vec::Vec::new();
+        $crate::__json_object!(__members; $($members)*);
+        $crate::Value::Object(__members)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+/// Object-member muncher for [`json!`]: handles `null`, nested `[...]` /
+/// `{...}` literals, and arbitrary expressions as values.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_object {
+    ($vec:ident;) => {};
+    ($vec:ident; ,) => {};
+    ($vec:ident; $key:tt : null $(, $($rest:tt)*)?) => {
+        $vec.push(($key.to_string(), $crate::Value::Null));
+        $crate::__json_object!($vec; $($($rest)*)?);
+    };
+    ($vec:ident; $key:tt : [ $($arr:tt)* ] $(, $($rest:tt)*)?) => {
+        $vec.push(($key.to_string(), $crate::json!([ $($arr)* ])));
+        $crate::__json_object!($vec; $($($rest)*)?);
+    };
+    ($vec:ident; $key:tt : { $($obj:tt)* } $(, $($rest:tt)*)?) => {
+        $vec.push(($key.to_string(), $crate::json!({ $($obj)* })));
+        $crate::__json_object!($vec; $($($rest)*)?);
+    };
+    ($vec:ident; $key:tt : $val:expr , $($rest:tt)*) => {
+        $vec.push(($key.to_string(), $crate::Value::from($val)));
+        $crate::__json_object!($vec; $($rest)*);
+    };
+    ($vec:ident; $key:tt : $val:expr) => {
+        $vec.push(($key.to_string(), $crate::Value::from($val)));
+    };
+}
+
+/// Array-element muncher for [`json!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_array {
+    ($vec:ident;) => {};
+    ($vec:ident; ,) => {};
+    ($vec:ident; null $(, $($rest:tt)*)?) => {
+        $vec.push($crate::Value::Null);
+        $crate::__json_array!($vec; $($($rest)*)?);
+    };
+    ($vec:ident; [ $($arr:tt)* ] $(, $($rest:tt)*)?) => {
+        $vec.push($crate::json!([ $($arr)* ]));
+        $crate::__json_array!($vec; $($($rest)*)?);
+    };
+    ($vec:ident; { $($obj:tt)* } $(, $($rest:tt)*)?) => {
+        $vec.push($crate::json!({ $($obj)* }));
+        $crate::__json_array!($vec; $($($rest)*)?);
+    };
+    ($vec:ident; $val:expr , $($rest:tt)*) => {
+        $vec.push($crate::Value::from($val));
+        $crate::__json_array!($vec; $($rest)*);
+    };
+    ($vec:ident; $val:expr) => {
+        $vec.push($crate::Value::from($val));
+    };
+}
+
+/// Parse error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    pub msg: String,
+    pub at: usize,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Parse a JSON document.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+/// Serialize any `Into<Value>` (by value) to compact JSON text.
+pub fn to_string<T: Into<Value>>(v: T) -> String {
+    v.into().to_string()
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error {
+            msg: msg.to_string(),
+            at: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.lit("null", Value::Null),
+            Some(b't') => self.lit("true", Value::Bool(true)),
+            Some(b'f') => self.lit("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            members.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(members));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.pos + 4 >= self.bytes.len() {
+                                return Err(self.err("short \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // consume one UTF-8 scalar
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| self.err("bad number"))
+    }
+}
+
+#[cfg(test)]
+// `json!` expands to build-then-push; the lint only fires on same-crate
+// expansions, so silence it here rather than complicating the macro.
+#[allow(clippy::vec_init_then_push)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_values() {
+        let v = json!({
+            "name": "gsknn",
+            "k": 16,
+            "ratio": 1.5,
+            "ok": true,
+            "missing": null,
+            "phases": [{"name": "pack", "s": 0.25}, {"name": "select", "s": 0.75}],
+        });
+        assert_eq!(v.get("k").and_then(Value::as_u64), Some(16));
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("gsknn"));
+        assert_eq!(v.get("phases").and_then(Value::as_array).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn display_round_trips_through_parser() {
+        let v = json!({
+            "a": [1, 2.5, "x\"y\\z", false, null],
+            "nested": {"deep": [[], {}]},
+        });
+        let text = v.to_string();
+        let back = from_str(&text).unwrap();
+        assert_eq!(back, v);
+        let pretty = v.to_string_pretty();
+        assert_eq!(from_str(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn parses_plain_documents() {
+        assert_eq!(from_str("42").unwrap(), Value::Number(42.0));
+        assert_eq!(from_str(" [1, 2] ").unwrap(), json!([1, 2]));
+        assert!(from_str("{bad}").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("1 2").is_err());
+    }
+
+    #[test]
+    fn integers_print_without_fraction() {
+        assert_eq!(json!(3usize).to_string(), "3");
+        assert_eq!(json!(2.25).to_string(), "2.25");
+        assert_eq!(json!(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn btreemap_values_convert() {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("x".to_string(), 1.0f64);
+        m.insert("y".to_string(), 2.0f64);
+        let v = json!({"map": (m)});
+        assert_eq!(v.get("map").unwrap().get("y").unwrap().as_f64(), Some(2.0));
+    }
+}
