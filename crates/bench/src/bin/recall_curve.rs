@@ -27,6 +27,7 @@ fn main() {
         iterations: 10,
         seed: 1,
         parallel_leaves: true,
+        lpt_workers: None,
     });
     let (_, stats) = solver.solve(
         &x,

@@ -50,6 +50,7 @@ fn main() {
                 iterations,
                 seed: 99,
                 parallel_leaves: true,
+                lpt_workers: None,
             };
             let solver = AllNnSolver::new(cfg);
 

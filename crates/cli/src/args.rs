@@ -63,6 +63,17 @@ impl ArgMap {
                 .map_err(|_| CliError(format!("--{key}: cannot parse '{v}'"))),
         }
     }
+
+    /// Typed optional value: `None` when the flag is absent.
+    pub fn opt<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, CliError> {
+        match self.vals.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| CliError(format!("--{key}: cannot parse '{v}'"))),
+        }
+    }
 }
 
 /// Parse a distance-kind label (`sq-l2`, `l1`, `linf`, `cosine`, `l<p>`).

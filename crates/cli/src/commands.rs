@@ -5,11 +5,28 @@ use crate::args::{parse_kind, ArgMap, CliError};
 use cluster::{kmeans, KMeansConfig};
 use dataset::{gaussian_embedded, io, uniform, PointSet};
 use gsknn_core::model::Approach;
-use gsknn_core::{Gsknn, GsknnConfig, MachineParams, Model, ProblemSize};
+use gsknn_core::{FusedScalar, Gsknn, GsknnConfig, GsknnScalar, MachineParams, Model, ProblemSize};
 use knn_graph::{build_with_forest, connected_components, Symmetrize};
 use rkdt::{AllNnSolver, Forest, GsknnLeaf, RkdtConfig};
 use std::fmt::Write as _;
 use std::path::PathBuf;
+
+/// The `--precision` flag: which element type a command computes in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Precision {
+    F64,
+    F32,
+}
+
+fn parse_precision(args: &ArgMap) -> Result<Precision, CliError> {
+    match args.str_or("precision", "f64").as_str() {
+        "f64" | "double" => Ok(Precision::F64),
+        "f32" | "single" | "float" => Ok(Precision::F32),
+        other => Err(CliError(format!(
+            "unknown --precision '{other}' (expected f64 or f32)"
+        ))),
+    }
+}
 
 /// `gen`: synthesize a dataset and write it as CSV.
 pub fn cmd_gen(args: &ArgMap) -> Result<String, CliError> {
@@ -36,20 +53,30 @@ fn load(args: &ArgMap) -> Result<PointSet, CliError> {
 }
 
 /// `knn`: exact k nearest neighbors of the first `--m` points (or all).
+/// `--precision f32` casts the dataset and runs the single-precision
+/// fused kernel (8×8 micro-tiles) instead of the paper's double path.
 pub fn cmd_knn(args: &ArgMap) -> Result<String, CliError> {
     let x = load(args)?;
+    match parse_precision(args)? {
+        Precision::F64 => knn_run(&x, args),
+        Precision::F32 => knn_run(&x.cast::<f32>(), args),
+    }
+}
+
+fn knn_run<T: FusedScalar>(x: &PointSet<T>, args: &ArgMap) -> Result<String, CliError> {
     let k: usize = args.get_or("k", 8)?;
     let m: usize = args.get_or("m", x.len().min(10))?;
     let kind = parse_kind(&args.str_or("kind", "sq-l2"))?;
     let q: Vec<usize> = (0..m.min(x.len())).collect();
     let r: Vec<usize> = (0..x.len()).collect();
     let t0 = std::time::Instant::now();
-    let table = Gsknn::new(GsknnConfig::default()).run(&x, &q, &r, k, kind);
+    let table = Gsknn::<T>::new(GsknnConfig::for_scalar::<T>()).run(x, &q, &r, k, kind);
     let dt = t0.elapsed();
     let mut out = format!(
-        "exact {}-NN ({}) of {} queries against {} points in {dt:.2?}\n",
+        "exact {}-NN ({}, {}) of {} queries against {} points in {dt:.2?}\n",
         k,
         kind.name(),
+        T::NAME,
         q.len(),
         x.len()
     );
@@ -64,8 +91,18 @@ pub fn cmd_knn(args: &ArgMap) -> Result<String, CliError> {
 }
 
 /// `allnn`: approximate all-nearest-neighbors with the rkdt solver.
+/// `--precision f32` runs the whole tree/leaf pipeline in single
+/// precision; `--lpt P` swaps the rayon leaf loop for the paper's §2.5
+/// model-guided LPT schedule over `P` workers.
 pub fn cmd_allnn(args: &ArgMap) -> Result<String, CliError> {
     let x = load(args)?;
+    match parse_precision(args)? {
+        Precision::F64 => allnn_run(&x, args),
+        Precision::F32 => allnn_run(&x.cast::<f32>(), args),
+    }
+}
+
+fn allnn_run<T: FusedScalar>(x: &PointSet<T>, args: &ArgMap) -> Result<String, CliError> {
     let k: usize = args.get_or("k", 8)?;
     let kind = parse_kind(&args.str_or("kind", "sq-l2"))?;
     let cfg = RkdtConfig {
@@ -73,12 +110,21 @@ pub fn cmd_allnn(args: &ArgMap) -> Result<String, CliError> {
         iterations: args.get_or("iters", 6)?,
         seed: args.get_or("seed", 1)?,
         parallel_leaves: true,
+        lpt_workers: args.opt("lpt")?,
     };
     let t0 = std::time::Instant::now();
-    let (table, stats) =
-        AllNnSolver::new(cfg).solve(&x, k, || GsknnLeaf::new(GsknnConfig::default(), kind), None);
+    let (table, stats) = AllNnSolver::new(cfg).solve(
+        x,
+        k,
+        || GsknnLeaf::<T>::new(GsknnConfig::for_scalar::<T>(), kind),
+        None,
+    );
     let dt = t0.elapsed();
-    let mut out = format!("all-{k}-NN of {} points in {dt:.2?}\n", x.len());
+    let mut out = format!(
+        "all-{k}-NN ({}) of {} points in {dt:.2?}\n",
+        T::NAME,
+        x.len()
+    );
     for s in &stats {
         writeln!(
             out,
@@ -107,14 +153,17 @@ impl ArgMap {
     }
 }
 
-fn save_table(table: &knn_select::NeighborTable, path: &std::path::Path) -> Result<(), CliError> {
+fn save_table<T: GsknnScalar>(
+    table: &knn_select::NeighborTable<T>,
+    path: &std::path::Path,
+) -> Result<(), CliError> {
     let mut s = String::new();
     for i in 0..table.len() {
         for (p, nb) in table.row(i).iter().enumerate() {
             if p > 0 {
                 s.push(',');
             }
-            write!(s, "{}:{:.6e}", nb.idx as i64, nb.dist).unwrap();
+            write!(s, "{}:{:.6e}", nb.idx as i64, nb.dist.to_f64()).unwrap();
         }
         s.push('\n');
     }
@@ -190,6 +239,7 @@ pub fn cmd_graph(args: &ArgMap) -> Result<String, CliError> {
         iterations: args.get_or("iters", 6)?,
         seed: args.get_or("seed", 1)?,
         parallel_leaves: true,
+        lpt_workers: args.opt("lpt")?,
     };
     let t0 = std::time::Instant::now();
     let g = build_with_forest(&x, k, kind, sym, cfg);
@@ -282,9 +332,17 @@ inserted {} more in {insert_time:.2?}\ntable now covers {} points; \
 
 /// `profile`: run a synthetic problem under the observability layer and
 /// report phase times, model-vs-measured drift, the variant verdict and
-/// scheduler telemetry. Writes the full report as JSON under `--outdir`
-/// (default `bench_out/`).
+/// scheduler telemetry. `--precision f32` profiles the single-precision
+/// path against the rescaled machine model. Writes the full report as
+/// JSON under `--outdir` (default `bench_out/`).
 pub fn cmd_profile(args: &ArgMap) -> Result<String, CliError> {
+    match parse_precision(args)? {
+        Precision::F64 => profile_run_cmd::<f64>(args),
+        Precision::F32 => profile_run_cmd::<f32>(args),
+    }
+}
+
+fn profile_run_cmd<T: FusedScalar>(args: &ArgMap) -> Result<String, CliError> {
     use gsknn_core::scheduler::{run_task_parallel_traced, KnnTask};
     use gsknn_obs::{profile_synthetic, SchedulerReport};
 
@@ -300,12 +358,12 @@ pub fn cmd_profile(args: &ArgMap) -> Result<String, CliError> {
     let outdir = PathBuf::from(args.str_or("outdir", "bench_out"));
 
     let machine = MachineParams::ivy_bridge_1core();
-    let report = profile_synthetic(m, n, d, k, seed, kind, machine, reps);
+    let report = profile_synthetic::<T>(m, n, d, k, seed, kind, machine, reps);
     let mut out = report.render_table();
 
     // Scheduler telemetry: the same problem split into `--tasks` query
     // chunks, LPT-scheduled over `--p` workers by model-predicted cost.
-    let x = dataset::uniform(m.max(n).max(1), d, seed);
+    let x = dataset::uniform(m.max(n).max(1), d, seed).cast::<T>();
     let chunk = m.div_ceil(ntasks.max(1)).max(1);
     let tasks: Vec<KnnTask> = (0..m)
         .step_by(chunk)
@@ -322,7 +380,7 @@ pub fn cmd_profile(args: &ArgMap) -> Result<String, CliError> {
             &x,
             &tasks,
             kind,
-            &GsknnConfig::default(),
+            &GsknnConfig::for_scalar::<T>(),
             machine,
             workers.max(1),
         );
@@ -338,7 +396,7 @@ pub fn cmd_profile(args: &ArgMap) -> Result<String, CliError> {
     }
     let json = serde_json::Value::Object(doc);
     std::fs::create_dir_all(&outdir).map_err(|e| CliError(e.to_string()))?;
-    let path = outdir.join(format!("profile_m{m}_n{n}_d{d}_k{k}.json"));
+    let path = outdir.join(format!("profile_m{m}_n{n}_d{d}_k{k}_{}.json", T::NAME));
     std::fs::write(&path, json.to_string()).map_err(|e| CliError(e.to_string()))?;
     writeln!(out, "\nreport written to {}", path.display()).unwrap();
     Ok(out)
@@ -384,15 +442,22 @@ pub fn usage() -> String {
     "gsknn-cli <command> [--flag value ...]\n\
      commands:\n\
      \x20 gen     --out F [--n 1000 --d 16 --dist uniform|gaussian --clusters 8 --seed 42]\n\
-     \x20 knn     --in F [--k 8 --m 10 --kind sq-l2|l1|linf|cosine|l<p>]\n\
-     \x20 allnn   --in F [--k 8 --leaf 1024 --iters 6 --kind ... --out TABLE]\n\
+     \x20 knn     --in F [--k 8 --m 10 --kind sq-l2|l1|linf|cosine|l<p> --precision f64|f32]\n\
+     \x20 allnn   --in F [--k 8 --leaf 1024 --iters 6 --kind ... --out TABLE\n\
+     \x20                 --precision f64|f32 --lpt P]\n\
      \x20 query   --in F --queries F [--k 8 --trees 8 --leaf 512 --kind ...]\n\
      \x20 kmeans  --in F [--clusters 8 --iters 50 --tol 1e-6 --seed 193]\n\
-     \x20 graph   --in F [--k 8 --sym none|union|mutual --leaf 512 --iters 6]\n\
+     \x20 graph   --in F [--k 8 --sym none|union|mutual --leaf 512 --iters 6 --lpt P]\n\
      \x20 model   [--m 8192 --n 8192 --d 64 --k 16]\n\
-     \x20 profile [--m 8192 --n 8192 --d 64 --k 16 --reps 3 --p 4 --tasks 8 --outdir bench_out]\n\
+     \x20 profile [--m 8192 --n 8192 --d 64 --k 16 --reps 3 --p 4 --tasks 8\n\
+     \x20                 --precision f64|f32 --outdir bench_out]\n\
      \x20 stream  --in F --batch F [--k 8 --leaf 1024 --iters 4]\n\
-     \x20 tune    (show detected caches + derived blocking parameters)\n"
+     \x20 tune    (show detected caches + derived blocking parameters)\n\
+     flags:\n\
+     \x20 --precision f64|f32   element type (f32 uses the 8-lane/16-lane\n\
+     \x20                       single-precision micro-kernels)\n\
+     \x20 --lpt P               schedule tree leaves on P workers with the\n\
+     \x20                       model-guided LPT scheme (default: rayon)\n"
         .to_string()
 }
 
@@ -504,10 +569,10 @@ mod tests {
             dir.display()
         )))
         .unwrap();
-        assert!(out.contains("profile: m=96 n=256 d=16 k=8"), "{out}");
+        assert!(out.contains("profile: m=96 n=256 d=16 k=8 f64"), "{out}");
         assert!(out.contains("variant: model picks"), "{out}");
         assert!(out.contains("makespan: predicted"), "{out}");
-        let path = dir.join("profile_m96_n256_d16_k8.json");
+        let path = dir.join("profile_m96_n256_d16_k8_f64.json");
         let text = std::fs::read_to_string(&path).unwrap();
         let doc = serde_json::from_str(&text).unwrap();
         assert!(doc.get("profile").and_then(|p| p.get("m")).is_some());
@@ -516,6 +581,70 @@ mod tests {
             .and_then(|s| s.get("workers"))
             .is_some());
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn knn_precision_f32_finds_self() {
+        let dir = tmpdir();
+        let f = dir.join("pts32.csv");
+        cmd_gen(&argmap(&format!("--n 150 --d 8 --out {}", f.display()))).unwrap();
+        let out = cmd_knn(&argmap(&format!(
+            "--in {} --k 3 --m 5 --precision f32",
+            f.display()
+        )))
+        .unwrap();
+        assert!(out.contains("(sq-l2, f32)"), "{out}");
+        assert!(out.contains("0: 0(0.0000)"), "{out}");
+        std::fs::remove_file(f).ok();
+    }
+
+    #[test]
+    fn allnn_precision_f32_with_lpt_writes_table() {
+        let dir = tmpdir();
+        let f = dir.join("allnn32.csv");
+        let table = dir.join("table32.txt");
+        cmd_gen(&argmap(&format!("--n 200 --d 6 --out {}", f.display()))).unwrap();
+        let out = cmd_allnn(&argmap(&format!(
+            "--in {} --k 4 --leaf 64 --iters 3 --precision f32 --lpt 2 --out {}",
+            f.display(),
+            table.display()
+        )))
+        .unwrap();
+        assert!(out.contains("all-4-NN (f32) of 200 points"), "{out}");
+        let text = std::fs::read_to_string(&table).unwrap();
+        assert_eq!(text.lines().count(), 200);
+        std::fs::remove_file(f).ok();
+        std::fs::remove_file(table).ok();
+    }
+
+    #[test]
+    fn profile_precision_f32_writes_tagged_json() {
+        let dir = tmpdir().join("profout32");
+        let out = cmd_profile(&argmap(&format!(
+            "--m 96 --n 256 --d 16 --k 8 --reps 1 --p 2 --tasks 4 --precision f32 --outdir {}",
+            dir.display()
+        )))
+        .unwrap();
+        assert!(out.contains("profile: m=96 n=256 d=16 k=8 f32"), "{out}");
+        let text = std::fs::read_to_string(dir.join("profile_m96_n256_d16_k8_f32.json")).unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(
+            doc.get("profile")
+                .and_then(|p| p.get("precision"))
+                .and_then(|v| v.as_str()),
+            Some("f32")
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn precision_flag_rejects_unknown_value() {
+        let dir = tmpdir();
+        let f = dir.join("prec.csv");
+        cmd_gen(&argmap(&format!("--n 20 --d 4 --out {}", f.display()))).unwrap();
+        let e = cmd_knn(&argmap(&format!("--in {} --precision f16", f.display()))).unwrap_err();
+        assert!(e.0.contains("f16"), "{}", e.0);
+        std::fs::remove_file(f).ok();
     }
 
     #[test]

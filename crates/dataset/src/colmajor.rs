@@ -1,6 +1,11 @@
 //! The global coordinate table `X ∈ R^{d×N}` of Table 2, stored
 //! column-major so each point's `d` coordinates are contiguous, together
-//! with the precomputed squared 2-norms `X2(i) = ‖x_i‖²`.
+//! with the precomputed squared 2-norms `X2(i) = ‖x_i‖²`. Generic over the
+//! coordinate scalar ([`GsknnScalar`]) with `f64` as the default; the f32
+//! kernel path consumes `PointSet<f32>` (usually produced by
+//! [`PointSet::cast`] from an f64 generator).
+
+use gsknn_scalar::GsknnScalar;
 
 /// Column-major `d × N` point set with cached squared norms.
 ///
@@ -17,30 +22,34 @@
 /// assert_eq!(x.sqnorm(1), 4.0); // cached X2 table
 /// ```
 #[derive(Clone, Debug)]
-pub struct PointSet {
+pub struct PointSet<T: GsknnScalar = f64> {
     d: usize,
     n: usize,
     /// Point `j` occupies `data[j*d .. (j+1)*d]`.
-    data: Vec<f64>,
+    data: Vec<T>,
     /// `sqnorms[j] = ‖x_j‖²` — the `X2` table.
-    sqnorms: Vec<f64>,
+    sqnorms: Vec<T>,
 }
 
-impl PointSet {
+impl<T: GsknnScalar> PointSet<T> {
     /// Wrap a column-major buffer (`data.len() == d * n`); computes `X2`.
     ///
     /// # Panics
     /// If the buffer length does not match, or any coordinate is non-finite
     /// (NaN/±∞ coordinates would poison every distance comparison, so they
     /// are rejected once here instead of being checked in the hot loops).
-    pub fn from_vec(d: usize, n: usize, data: Vec<f64>) -> Self {
+    pub fn from_vec(d: usize, n: usize, data: Vec<T>) -> Self {
         assert_eq!(data.len(), d * n, "buffer is not d*n long");
         assert!(
             data.iter().all(|x| x.is_finite()),
             "non-finite coordinate in point set"
         );
         let sqnorms = (0..n)
-            .map(|j| data[j * d..(j + 1) * d].iter().map(|x| x * x).sum())
+            .map(|j| {
+                data[j * d..(j + 1) * d]
+                    .iter()
+                    .fold(T::ZERO, |acc, &x| acc + x * x)
+            })
             .collect();
         PointSet {
             d,
@@ -70,40 +79,40 @@ impl PointSet {
 
     /// Coordinates of point `j` (`X(:, j)`).
     #[inline(always)]
-    pub fn point(&self, j: usize) -> &[f64] {
+    pub fn point(&self, j: usize) -> &[T] {
         &self.data[j * self.d..(j + 1) * self.d]
     }
 
     /// A `dc`-long slice of point `j` starting at coordinate `pc`
     /// (`X(pc:pc+dc-1, j)`) — what the 5th loop packs.
     #[inline(always)]
-    pub fn point_slab(&self, j: usize, pc: usize, dc: usize) -> &[f64] {
+    pub fn point_slab(&self, j: usize, pc: usize, dc: usize) -> &[T] {
         debug_assert!(pc + dc <= self.d);
         &self.data[j * self.d + pc..j * self.d + pc + dc]
     }
 
     /// `X2(j) = ‖x_j‖²`.
     #[inline(always)]
-    pub fn sqnorm(&self, j: usize) -> f64 {
+    pub fn sqnorm(&self, j: usize) -> T {
         self.sqnorms[j]
     }
 
     /// The raw column-major buffer.
     #[inline]
-    pub fn as_slice(&self) -> &[f64] {
+    pub fn as_slice(&self) -> &[T] {
         &self.data
     }
 
     /// The full `X2` table.
     #[inline]
-    pub fn sqnorms(&self) -> &[f64] {
+    pub fn sqnorms(&self) -> &[T] {
         &self.sqnorms
     }
 
     /// Gather a dense column-major `d × idx.len()` matrix `X(:, idx)` —
     /// the explicit collection step of the GEMM approach (Algorithm 2.1),
     /// which GSKNN avoids.
-    pub fn gather(&self, idx: &[usize]) -> Vec<f64> {
+    pub fn gather(&self, idx: &[usize]) -> Vec<T> {
         let mut out = Vec::with_capacity(self.d * idx.len());
         for &j in idx {
             out.extend_from_slice(self.point(j));
@@ -118,7 +127,7 @@ impl PointSet {
     ///
     /// # Panics
     /// On a ragged buffer or non-finite coordinates.
-    pub fn append(&mut self, coords: &[f64]) -> std::ops::Range<usize> {
+    pub fn append(&mut self, coords: &[T]) -> std::ops::Range<usize> {
         assert!(self.d > 0, "cannot append to a 0-dimensional set");
         assert_eq!(
             coords.len() % self.d,
@@ -135,10 +144,18 @@ impl PointSet {
         self.sqnorms.extend(
             coords
                 .chunks_exact(self.d)
-                .map(|p| p.iter().map(|x| x * x).sum::<f64>()),
+                .map(|p| p.iter().fold(T::ZERO, |acc, &x| acc + x * x)),
         );
         self.n += added;
         start..self.n
+    }
+
+    /// Convert every coordinate to another scalar type, recomputing the
+    /// `X2` table in the target precision (so f32 kernels prune against
+    /// f32-accurate norms rather than rounded f64 ones).
+    pub fn cast<U: GsknnScalar>(&self) -> PointSet<U> {
+        let data: Vec<U> = self.data.iter().map(|&x| U::from_f64(x.to_f64())).collect();
+        PointSet::from_vec(self.d, self.n, data)
     }
 }
 
@@ -182,7 +199,7 @@ mod tests {
 
     #[test]
     fn empty_set_is_fine() {
-        let ps = PointSet::from_vec(4, 0, Vec::new());
+        let ps = PointSet::<f64>::from_vec(4, 0, Vec::new());
         assert!(ps.is_empty());
         assert_eq!(ps.dim(), 4);
     }
@@ -197,6 +214,26 @@ mod tests {
         assert_eq!(ps.point(1), &[3.0, 4.0]);
         assert_eq!(ps.sqnorm(1), 25.0);
         assert_eq!(ps.sqnorm(2), 1.0);
+    }
+
+    #[test]
+    fn f32_point_set_and_cast() {
+        let ps64 = PointSet::from_vec(2, 2, vec![0.5, 1.5, 2.0, 3.0]);
+        let ps32: PointSet<f32> = ps64.cast();
+        assert_eq!(ps32.dim(), 2);
+        assert_eq!(ps32.point(1), &[2.0f32, 3.0]);
+        // sqnorms recomputed in f32 (exact here: small halves)
+        assert_eq!(ps32.sqnorm(0), 2.5f32);
+        // and a direct f32 construction matches the cast
+        let direct = PointSet::<f32>::from_vec(2, 2, vec![0.5, 1.5, 2.0, 3.0]);
+        assert_eq!(direct.as_slice(), ps32.as_slice());
+        assert_eq!(direct.sqnorms(), ps32.sqnorms());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn f32_rejects_nan_too() {
+        PointSet::<f32>::from_vec(1, 2, vec![1.0, f32::NAN]);
     }
 
     #[test]

@@ -1,6 +1,10 @@
 //! Scalar distance functions — the single source of truth every optimized
 //! kernel in the workspace is tested against, covering the ℓp family the
-//! paper's micro-kernel supports (§2.4 "General ℓp norm").
+//! paper's micro-kernel supports (§2.4 "General ℓp norm"). All functions
+//! are generic over the coordinate scalar; `DistanceKind` itself stays a
+//! plain enum (`Lp` carries its exponent as f64 and converts at the edge).
+
+use gsknn_scalar::GsknnScalar;
 
 /// Which distance the kernel computes. `SqL2` is the squared Euclidean
 /// distance of the GEMM expansion (Eq. 1); the others are the direct-form
@@ -27,12 +31,12 @@ pub enum DistanceKind {
 impl DistanceKind {
     /// Evaluate this distance between two equal-length coordinate slices.
     #[inline]
-    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+    pub fn eval<T: GsknnScalar>(&self, a: &[T], b: &[T]) -> T {
         match *self {
             DistanceKind::SqL2 => dist_sq_l2(a, b),
             DistanceKind::L1 => dist_l1(a, b),
             DistanceKind::LInf => dist_linf(a, b),
-            DistanceKind::Lp(p) => dist_lp(a, b, p),
+            DistanceKind::Lp(p) => dist_lp(a, b, T::from_f64(p)),
             DistanceKind::Cosine => dist_cosine(a, b),
         }
     }
@@ -51,60 +55,60 @@ impl DistanceKind {
 
 /// Squared Euclidean distance `‖a − b‖²`, direct form.
 #[inline]
-pub fn dist_sq_l2(a: &[f64], b: &[f64]) -> f64 {
+pub fn dist_sq_l2<T: GsknnScalar>(a: &[T], b: &[T]) -> T {
     debug_assert_eq!(a.len(), b.len());
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| {
-            let t = x - y;
-            t * t
-        })
-        .sum()
+    a.iter().zip(b).fold(T::ZERO, |acc, (&x, &y)| {
+        let t = x - y;
+        acc + t * t
+    })
 }
 
 /// Manhattan distance `Σ|a_i − b_i|`.
 #[inline]
-pub fn dist_l1(a: &[f64], b: &[f64]) -> f64 {
+pub fn dist_l1<T: GsknnScalar>(a: &[T], b: &[T]) -> T {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+    a.iter()
+        .zip(b)
+        .fold(T::ZERO, |acc, (&x, &y)| acc + (x - y).abs())
 }
 
 /// Chebyshev distance `max|a_i − b_i|`.
 #[inline]
-pub fn dist_linf(a: &[f64], b: &[f64]) -> f64 {
+pub fn dist_linf<T: GsknnScalar>(a: &[T], b: &[T]) -> T {
     debug_assert_eq!(a.len(), b.len());
     a.iter()
         .zip(b)
-        .map(|(x, y)| (x - y).abs())
-        .fold(0.0, f64::max)
+        .fold(T::ZERO, |acc, (&x, &y)| acc.max((x - y).abs()))
 }
 
 /// Cosine distance `1 − cos(a, b)`; 1 when either operand has zero norm.
 #[inline]
-pub fn dist_cosine(a: &[f64], b: &[f64]) -> f64 {
+pub fn dist_cosine<T: GsknnScalar>(a: &[T], b: &[T]) -> T {
     debug_assert_eq!(a.len(), b.len());
-    let mut dot = 0.0;
-    let mut na = 0.0;
-    let mut nb = 0.0;
-    for (x, y) in a.iter().zip(b) {
+    let mut dot = T::ZERO;
+    let mut na = T::ZERO;
+    let mut nb = T::ZERO;
+    for (&x, &y) in a.iter().zip(b) {
         dot += x * y;
         na += x * x;
         nb += y * y;
     }
     let denom = (na * nb).sqrt();
-    if denom > 0.0 {
-        1.0 - dot / denom
+    if denom > T::ZERO {
+        T::ONE - dot / denom
     } else {
-        1.0
+        T::ONE
     }
 }
 
 /// `Σ|a_i − b_i|^p` (no final root; see [`DistanceKind::Lp`]).
 #[inline]
-pub fn dist_lp(a: &[f64], b: &[f64], p: f64) -> f64 {
+pub fn dist_lp<T: GsknnScalar>(a: &[T], b: &[T], p: T) -> T {
     debug_assert_eq!(a.len(), b.len());
-    assert!(p > 0.0, "lp norm requires p > 0");
-    a.iter().zip(b).map(|(x, y)| (x - y).abs().powf(p)).sum()
+    assert!(p > T::ZERO, "lp norm requires p > 0");
+    a.iter()
+        .zip(b)
+        .fold(T::ZERO, |acc, (&x, &y)| acc + (x - y).abs().powf(p))
 }
 
 #[cfg(test)]
@@ -177,5 +181,28 @@ mod tests {
     #[should_panic(expected = "p > 0")]
     fn lp_rejects_nonpositive_p() {
         dist_lp(&A, &B, 0.0);
+    }
+
+    #[test]
+    fn f32_distances_match_f64_on_exact_inputs() {
+        // small integers are exact in both precisions, so every metric
+        // must agree bit-for-bit after widening
+        let a32: Vec<f32> = A.iter().map(|&v| v as f32).collect();
+        let b32: Vec<f32> = B.iter().map(|&v| v as f32).collect();
+        for kind in [
+            DistanceKind::SqL2,
+            DistanceKind::L1,
+            DistanceKind::LInf,
+            DistanceKind::Lp(2.0),
+            DistanceKind::Cosine,
+        ] {
+            let d64 = kind.eval(&A[..], &B[..]);
+            let d32 = kind.eval(&a32[..], &b32[..]);
+            assert!(
+                (d64 - d32 as f64).abs() < 1e-6,
+                "{}: {d64} vs {d32}",
+                kind.name()
+            );
+        }
     }
 }

@@ -1,31 +1,34 @@
-//! 64-byte-aligned, reusable `f64` buffers for packed panels.
+//! 64-byte-aligned, reusable element buffers for packed panels.
 //!
 //! Packing (§2.3 of the paper) exists precisely so the micro-kernel can
-//! stream aligned, contiguous panels; a `Vec<f64>` only guarantees 8-byte
-//! alignment, so we allocate with an explicit 64-byte (cache-line /
-//! AVX-512-friendly) layout.
+//! stream aligned, contiguous panels; a `Vec<T>` only guarantees
+//! element-size alignment, so we allocate with an explicit 64-byte
+//! (cache-line / AVX-512-friendly) layout. Generic over [`GsknnScalar`]
+//! with `f64` as the default, so the pre-existing f64 call sites compile
+//! unchanged.
 
+use gsknn_scalar::GsknnScalar;
 use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
 
 /// Cache-line alignment for packed panels.
 pub const ALIGN: usize = 64;
 
-/// An owned, 64-byte-aligned `f64` buffer that can be resized (grow-only)
+/// An owned, 64-byte-aligned scalar buffer that can be resized (grow-only)
 /// without reallocating when capacity suffices — the per-thread packing
 /// workspace is reused across kernel invocations so the hot path never
 /// allocates.
-pub struct AlignedBuf {
-    ptr: *mut f64,
+pub struct AlignedBuf<T: GsknnScalar = f64> {
+    ptr: *mut T,
     len: usize,
     cap: usize,
 }
 
 // SAFETY: AlignedBuf owns its allocation exclusively (no aliasing), so
 // transferring it across threads is sound, as is sharing &AlignedBuf.
-unsafe impl Send for AlignedBuf {}
-unsafe impl Sync for AlignedBuf {}
+unsafe impl<T: GsknnScalar> Send for AlignedBuf<T> {}
+unsafe impl<T: GsknnScalar> Sync for AlignedBuf<T> {}
 
-impl AlignedBuf {
+impl<T: GsknnScalar> AlignedBuf<T> {
     /// Empty buffer (no allocation until first `resize`).
     pub fn new() -> Self {
         AlignedBuf {
@@ -49,9 +52,9 @@ impl AlignedBuf {
     pub fn resize(&mut self, len: usize) {
         if len > self.cap {
             let new_cap = len.next_power_of_two().max(1024);
-            let layout = Layout::from_size_align(new_cap * 8, ALIGN).expect("layout");
+            let layout = Layout::from_size_align(new_cap * size_of::<T>(), ALIGN).expect("layout");
             // SAFETY: layout has non-zero size (new_cap >= 1024).
-            let ptr = unsafe { alloc_zeroed(layout) } as *mut f64;
+            let ptr = unsafe { alloc_zeroed(layout) } as *mut T;
             if ptr.is_null() {
                 handle_alloc_error(layout);
             }
@@ -76,18 +79,18 @@ impl AlignedBuf {
 
     /// Immutable view.
     #[inline(always)]
-    pub fn as_slice(&self) -> &[f64] {
+    pub fn as_slice(&self) -> &[T] {
         if self.len == 0 {
             return &[];
         }
         // SAFETY: ptr valid for cap >= len elements, properly aligned,
-        // initialized (alloc_zeroed + only f64 writes).
+        // initialized (alloc_zeroed + only all-bits-valid float writes).
         unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
     }
 
     /// Mutable view.
     #[inline(always)]
-    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
         if self.len == 0 {
             return &mut [];
         }
@@ -97,7 +100,7 @@ impl AlignedBuf {
 
     fn free(&mut self) {
         if !self.ptr.is_null() {
-            let layout = Layout::from_size_align(self.cap * 8, ALIGN).expect("layout");
+            let layout = Layout::from_size_align(self.cap * size_of::<T>(), ALIGN).expect("layout");
             // SAFETY: ptr was allocated with exactly this layout.
             unsafe { dealloc(self.ptr as *mut u8, layout) };
             self.ptr = std::ptr::null_mut();
@@ -106,21 +109,22 @@ impl AlignedBuf {
     }
 }
 
-impl Default for AlignedBuf {
+impl<T: GsknnScalar> Default for AlignedBuf<T> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl Drop for AlignedBuf {
+impl<T: GsknnScalar> Drop for AlignedBuf<T> {
     fn drop(&mut self) {
         self.free();
     }
 }
 
-impl std::fmt::Debug for AlignedBuf {
+impl<T: GsknnScalar> std::fmt::Debug for AlignedBuf<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AlignedBuf")
+            .field("elem", &T::NAME)
             .field("len", &self.len)
             .field("cap", &self.cap)
             .finish()
@@ -133,15 +137,22 @@ mod tests {
 
     #[test]
     fn alignment_is_64_bytes() {
-        let b = AlignedBuf::zeroed(17);
+        let b = AlignedBuf::<f64>::zeroed(17);
         assert_eq!(b.as_slice().as_ptr() as usize % ALIGN, 0);
         assert_eq!(b.len(), 17);
         assert!(b.as_slice().iter().all(|&x| x == 0.0));
     }
 
     #[test]
+    fn f32_buffer_is_aligned_too() {
+        let b = AlignedBuf::<f32>::zeroed(33);
+        assert_eq!(b.as_slice().as_ptr() as usize % ALIGN, 0);
+        assert!(b.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
     fn grow_preserves_alignment_and_shrink_keeps_alloc() {
-        let mut b = AlignedBuf::new();
+        let mut b = AlignedBuf::<f64>::new();
         assert!(b.is_empty());
         b.resize(4000);
         let p1 = b.as_slice().as_ptr();
@@ -156,7 +167,7 @@ mod tests {
 
     #[test]
     fn writes_round_trip() {
-        let mut b = AlignedBuf::zeroed(8);
+        let mut b = AlignedBuf::<f64>::zeroed(8);
         b.as_mut_slice()[3] = 42.0;
         assert_eq!(b.as_slice()[3], 42.0);
     }

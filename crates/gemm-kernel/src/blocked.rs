@@ -1,22 +1,28 @@
 //! The five-loop blocked GEMM (Goto algorithm): loops 6→2 in C around the
-//! micro-kernel, with packed panels sized by [`GemmParams`].
+//! micro-kernel, with packed panels sized by [`GemmParams`]. Generic over
+//! the element type ([`GemmScalar`]): `f64` runs the paper's 8×4 kernel,
+//! `f32` the 8×8 one, with the same loop structure and per-type blocking.
 
 use crate::aligned::AlignedBuf;
-use crate::microkernel::{microkernel_dispatch, MR, NR};
+use crate::microkernel::{GemmScalar, MicroKernelFnT};
 use crate::packing::{pack_a_panel, pack_b_panel};
 use crate::params::GemmParams;
+use gsknn_scalar::{GsknnScalar, MAX_TILE};
 
 /// Reusable packing buffers so repeated GEMM calls never allocate.
 #[derive(Default, Debug)]
-pub struct GemmWorkspace {
-    a_pack: AlignedBuf,
-    b_pack: AlignedBuf,
+pub struct GemmWorkspace<T: GsknnScalar = f64> {
+    a_pack: AlignedBuf<T>,
+    b_pack: AlignedBuf<T>,
 }
 
-impl GemmWorkspace {
+impl<T: GsknnScalar> GemmWorkspace<T> {
     /// Fresh (empty) workspace.
     pub fn new() -> Self {
-        Self::default()
+        GemmWorkspace {
+            a_pack: AlignedBuf::new(),
+            b_pack: AlignedBuf::new(),
+        }
     }
 }
 
@@ -38,27 +44,29 @@ impl GemmWorkspace {
 /// assert_eq!(c, vec![-2.0, 0.0, 0.0, -2.0]);
 /// ```
 #[allow(clippy::too_many_arguments)]
-pub fn gemm_tn(
-    alpha: f64,
-    a: &[f64],
-    b: &[f64],
-    beta: f64,
-    c: &mut [f64],
+pub fn gemm_tn<T: GemmScalar>(
+    alpha: T,
+    a: &[T],
+    b: &[T],
+    beta: T,
+    c: &mut [T],
     d: usize,
     m: usize,
     n: usize,
     params: &GemmParams,
-    ws: &mut GemmWorkspace,
+    ws: &mut GemmWorkspace<T>,
 ) {
     assert_eq!(a.len(), d * m, "A must be d×m column-major");
     assert_eq!(b.len(), d * n, "B must be d×n column-major");
     assert_eq!(c.len(), m * n, "C must be m×n row-major");
-    params.validate().expect("invalid blocking parameters");
+    params
+        .validate_for::<T>()
+        .expect("invalid blocking parameters");
 
     // beta pass
-    if beta == 0.0 {
-        c.fill(0.0);
-    } else if beta != 1.0 {
+    if beta == T::ZERO {
+        c.fill(T::ZERO);
+    } else if beta != T::ONE {
         for v in c.iter_mut() {
             *v *= beta;
         }
@@ -70,7 +78,8 @@ pub fn gemm_tn(
         return; // C = beta*C only
     }
 
-    let kernel = microkernel_dispatch();
+    let kernel = T::microkernel();
+    let (mr, nr) = (T::MR, T::NR);
     let ldc = n;
 
     // 6th loop: partition n
@@ -79,14 +88,14 @@ pub fn gemm_tn(
         // 5th loop: partition d
         for pc in (0..d).step_by(params.dc) {
             let dcb = (d - pc).min(params.dc);
-            let nblocks = ncb.div_ceil(NR);
-            ws.b_pack.resize(nblocks * NR * dcb);
+            let nblocks = ncb.div_ceil(nr);
+            ws.b_pack.resize(nblocks * nr * dcb);
             pack_b_panel(b, d, jc, ncb, pc, dcb, ws.b_pack.as_mut_slice());
             // 4th loop: partition m
             for ic in (0..m).step_by(params.mc) {
                 let mcb = (m - ic).min(params.mc);
-                let mblocks = mcb.div_ceil(MR);
-                ws.a_pack.resize(mblocks * MR * dcb);
+                let mblocks = mcb.div_ceil(mr);
+                ws.a_pack.resize(mblocks * mr * dcb);
                 pack_a_panel(a, d, ic, mcb, pc, dcb, ws.a_pack.as_mut_slice());
                 // macro-kernel: 3rd and 2nd loops
                 macrokernel(
@@ -111,36 +120,37 @@ pub fn gemm_tn(
 /// straight into `C`; fringe tiles go through a scratch tile so the
 /// micro-kernel itself never needs bounds checks.
 #[allow(clippy::too_many_arguments)]
-fn macrokernel(
-    kernel: crate::MicroKernelFn,
+fn macrokernel<T: GemmScalar>(
+    kernel: MicroKernelFnT<T>,
     dcb: usize,
-    alpha: f64,
-    a_pack: &[f64],
-    b_pack: &[f64],
-    c: &mut [f64],
+    alpha: T,
+    a_pack: &[T],
+    b_pack: &[T],
+    c: &mut [T],
     ldc: usize,
     ic: usize,
     mcb: usize,
     jc: usize,
     ncb: usize,
 ) {
-    let mut scratch = [0.0f64; MR * NR];
-    for jr in (0..ncb).step_by(NR) {
-        let nre = (ncb - jr).min(NR);
-        let bp = &b_pack[(jr / NR) * NR * dcb..];
-        for ir in (0..mcb).step_by(MR) {
-            let mre = (mcb - ir).min(MR);
-            let ap = &a_pack[(ir / MR) * MR * dcb..];
-            let full = mre == MR && nre == NR;
+    let (mr, nr) = (T::MR, T::NR);
+    let mut scratch = [T::ZERO; MAX_TILE];
+    for jr in (0..ncb).step_by(nr) {
+        let nre = (ncb - jr).min(nr);
+        let bp = &b_pack[(jr / nr) * nr * dcb..];
+        for ir in (0..mcb).step_by(mr) {
+            let mre = (mcb - ir).min(mr);
+            let ap = &a_pack[(ir / mr) * mr * dcb..];
+            let full = mre == mr && nre == nr;
             if full {
-                let cptr = &mut c[(ic + ir) * ldc + jc + jr] as *mut f64;
+                let cptr = &mut c[(ic + ir) * ldc + jc + jr] as *mut T;
                 // SAFETY: the tile (MR rows × NR cols at row stride ldc)
                 // lies inside c because ic+ir+MR <= m and jc+jr+NR <= n;
                 // packed panels hold dcb*MR / dcb*NR elements; bp rows are
                 // 32B-aligned (AlignedBuf + NR-multiple offsets).
                 unsafe { kernel(dcb, alpha, ap.as_ptr(), bp.as_ptr(), cptr, ldc) };
             } else {
-                scratch.fill(0.0);
+                scratch[..mr * nr].fill(T::ZERO);
                 // SAFETY: scratch is a full MR×NR tile; panels as above
                 // (fringe entries are zero-padded by packing).
                 unsafe {
@@ -150,12 +160,12 @@ fn macrokernel(
                         ap.as_ptr(),
                         bp.as_ptr(),
                         scratch.as_mut_ptr(),
-                        NR,
+                        nr,
                     )
                 };
                 for i in 0..mre {
                     for j in 0..nre {
-                        c[(ic + ir + i) * ldc + jc + jr + j] += scratch[i * NR + j];
+                        c[(ic + ir + i) * ldc + jc + jr + j] += scratch[i * nr + j];
                     }
                 }
             }
@@ -170,12 +180,12 @@ fn macrokernel(
 /// needed. Bit-identical to the serial version (same tile order per
 /// element).
 #[allow(clippy::too_many_arguments)]
-pub fn gemm_tn_parallel(
-    alpha: f64,
-    a: &[f64],
-    b: &[f64],
-    beta: f64,
-    c: &mut [f64],
+pub fn gemm_tn_parallel<T: GemmScalar>(
+    alpha: T,
+    a: &[T],
+    b: &[T],
+    beta: T,
+    c: &mut [T],
     d: usize,
     m: usize,
     n: usize,
@@ -186,27 +196,30 @@ pub fn gemm_tn_parallel(
     assert_eq!(a.len(), d * m, "A must be d×m column-major");
     assert_eq!(b.len(), d * n, "B must be d×n column-major");
     assert_eq!(c.len(), m * n, "C must be m×n row-major");
-    params.validate().expect("invalid blocking parameters");
+    params
+        .validate_for::<T>()
+        .expect("invalid blocking parameters");
 
-    if beta == 0.0 {
-        c.fill(0.0);
-    } else if beta != 1.0 {
+    if beta == T::ZERO {
+        c.fill(T::ZERO);
+    } else if beta != T::ONE {
         c.par_iter_mut().for_each(|v| *v *= beta);
     }
     if m == 0 || n == 0 || d == 0 {
         return;
     }
 
-    let kernel = microkernel_dispatch();
+    let kernel = T::microkernel();
+    let (mr, nr) = (T::MR, T::NR);
     let ldc = n;
-    let mut b_pack = AlignedBuf::new();
+    let mut b_pack = AlignedBuf::<T>::new();
 
     for jc in (0..n).step_by(params.nc) {
         let ncb = (n - jc).min(params.nc);
         for pc in (0..d).step_by(params.dc) {
             let dcb = (d - pc).min(params.dc);
-            let nblocks = ncb.div_ceil(NR);
-            b_pack.resize(nblocks * NR * dcb);
+            let nblocks = ncb.div_ceil(nr);
+            b_pack.resize(nblocks * nr * dcb);
             pack_b_panel(b, d, jc, ncb, pc, dcb, b_pack.as_mut_slice());
             let bp_shared = b_pack.as_slice();
 
@@ -215,8 +228,8 @@ pub fn gemm_tn_parallel(
                 .for_each(|(ci, c_rows)| {
                     let ic = ci * params.mc;
                     let mcb = (m - ic).min(params.mc);
-                    let mblocks = mcb.div_ceil(MR);
-                    let mut a_pack = AlignedBuf::zeroed(mblocks * MR * dcb);
+                    let mblocks = mcb.div_ceil(mr);
+                    let mut a_pack = AlignedBuf::<T>::zeroed(mblocks * mr * dcb);
                     pack_a_panel(a, d, ic, mcb, pc, dcb, a_pack.as_mut_slice());
                     // rows are chunk-local: macro-kernel runs at ic = 0
                     macrokernel(
@@ -241,6 +254,7 @@ pub fn gemm_tn_parallel(
 mod tests {
     use super::*;
     use crate::gemm_tn_naive;
+    use crate::microkernel::{MR, NR};
     use proptest::prelude::*;
 
     fn rand_vec(len: usize, seed: u64) -> Vec<f64> {
@@ -266,6 +280,23 @@ mod tests {
             assert!(
                 (g - w).abs() < 1e-10 * (1.0 + w.abs()),
                 "({d},{m},{n}) elt {i}: {g} vs {w}"
+            );
+        }
+    }
+
+    fn check_f32(d: usize, m: usize, n: usize, alpha: f32, beta: f32, params: &GemmParams) {
+        let a: Vec<f32> = rand_vec(d * m, 11).iter().map(|&v| v as f32).collect();
+        let b: Vec<f32> = rand_vec(d * n, 12).iter().map(|&v| v as f32).collect();
+        let c0: Vec<f32> = rand_vec(m * n, 13).iter().map(|&v| v as f32).collect();
+        let mut got = c0.clone();
+        let mut want = c0.clone();
+        let mut ws = GemmWorkspace::<f32>::new();
+        gemm_tn(alpha, &a, &b, beta, &mut got, d, m, n, params, &mut ws);
+        gemm_tn_naive(alpha, &a, &b, beta, &mut want, d, m, n);
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert!(
+                (g - w).abs() < 1e-4 * (1.0 + w.abs()),
+                "f32 ({d},{m},{n}) elt {i}: {g} vs {w}"
             );
         }
     }
@@ -307,6 +338,44 @@ mod tests {
     }
 
     #[test]
+    fn f32_path_matches_naive() {
+        let p = GemmParams::tiny_for::<f32>();
+        check_f32(8, 16, 24, 1.0, 0.0, &p); // exact block multiples
+        check_f32(13, 19, 25, -2.0, 0.0, &p); // fringe in every dimension
+        check_f32(5, 9, 7, 1.0, 1.0, &p); // beta accumulation
+        check_f32(0, 4, 4, 1.0, 0.5, &p); // d = 0
+        check_f32(
+            40,
+            60,
+            33,
+            -2.0,
+            0.0,
+            &GemmParams::for_caches_of::<f32>(&crate::CacheSizes::ivy_bridge()),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid blocking")]
+    fn f32_rejects_f64_tiny_blocking() {
+        // tiny() has nc = 12, not a multiple of the f32 NR = 8
+        let mut ws = GemmWorkspace::<f32>::new();
+        let a = vec![0.0f32; 4];
+        let mut c = vec![0.0f32; 4];
+        gemm_tn(
+            1.0f32,
+            &a,
+            &a.clone(),
+            0.0,
+            &mut c,
+            2,
+            2,
+            2,
+            &GemmParams::tiny(),
+            &mut ws,
+        );
+    }
+
+    #[test]
     fn workspace_reuse_across_shapes() {
         let p = GemmParams::tiny();
         let mut ws = GemmWorkspace::new();
@@ -340,6 +409,22 @@ mod tests {
     }
 
     #[test]
+    fn f32_parallel_matches_serial_bitwise() {
+        for (d, m, n) in [(13usize, 50usize, 37usize), (9, 8, 8)] {
+            let a: Vec<f32> = rand_vec(d * m, 5).iter().map(|&v| v as f32).collect();
+            let b: Vec<f32> = rand_vec(d * n, 6).iter().map(|&v| v as f32).collect();
+            let c0: Vec<f32> = rand_vec(m * n, 7).iter().map(|&v| v as f32).collect();
+            let params = GemmParams::tiny_for::<f32>();
+            let mut serial = c0.clone();
+            let mut par = c0;
+            let mut ws = GemmWorkspace::<f32>::new();
+            gemm_tn(-2.0f32, &a, &b, 0.5, &mut serial, d, m, n, &params, &mut ws);
+            gemm_tn_parallel(-2.0f32, &a, &b, 0.5, &mut par, d, m, n, &params);
+            assert_eq!(serial, par, "f32 ({d},{m},{n})");
+        }
+    }
+
+    #[test]
     fn parallel_degenerate_shapes() {
         let params = GemmParams::tiny();
         let mut c = vec![1.0, 2.0];
@@ -369,6 +454,24 @@ mod tests {
             gemm_tn_naive(alpha, &a, &b, beta, &mut want, d, m, n);
             for (g, w) in got.iter().zip(&want) {
                 prop_assert!((g - w).abs() < 1e-10 * (1.0 + w.abs()));
+            }
+        }
+
+        #[test]
+        fn f32_matches_naive(
+            d in 1usize..32,
+            m in 1usize..40,
+            n in 1usize..40,
+        ) {
+            let a: Vec<f32> = rand_vec(d * m, (d + m) as u64).iter().map(|&v| v as f32).collect();
+            let b: Vec<f32> = rand_vec(d * n, (d + n) as u64).iter().map(|&v| v as f32).collect();
+            let mut got = vec![0.0f32; m * n];
+            let mut want = vec![0.0f32; m * n];
+            let mut ws = GemmWorkspace::<f32>::new();
+            gemm_tn(-2.0f32, &a, &b, 0.0, &mut got, d, m, n, &GemmParams::tiny_for::<f32>(), &mut ws);
+            gemm_tn_naive(-2.0f32, &a, &b, 0.0, &mut want, d, m, n);
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert!((g - w).abs() < 1e-4 * (1.0 + w.abs()));
             }
         }
     }

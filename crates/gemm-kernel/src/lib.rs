@@ -25,19 +25,24 @@ mod params;
 
 pub use aligned::AlignedBuf;
 pub use blocked::{gemm_tn, gemm_tn_parallel, GemmWorkspace};
-pub use microkernel::{microkernel_dispatch, MicroKernelFn, MR, NR};
+pub use microkernel::{
+    microkernel_dispatch, microkernel_dispatch_f32, GemmScalar, MicroKernelFn, MicroKernelFnT, MR,
+    MR_F32, NR, NR_F32,
+};
 pub use packing::{pack_a_panel, pack_b_panel};
 pub use params::{CacheSizes, GemmParams};
+
+pub use gsknn_scalar::GsknnScalar;
 
 /// Reference triple-loop implementation of the same operation; the oracle
 /// for every test in this crate. O(mnd), no blocking, no vectorization.
 #[allow(clippy::too_many_arguments)] // mirrors the BLAS dgemm argument list
-pub fn gemm_tn_naive(
-    alpha: f64,
-    a: &[f64],
-    b: &[f64],
-    beta: f64,
-    c: &mut [f64],
+pub fn gemm_tn_naive<T: GsknnScalar>(
+    alpha: T,
+    a: &[T],
+    b: &[T],
+    beta: T,
+    c: &mut [T],
     d: usize,
     m: usize,
     n: usize,
@@ -47,7 +52,7 @@ pub fn gemm_tn_naive(
     assert_eq!(c.len(), m * n, "C must be m×n row-major");
     for i in 0..m {
         for j in 0..n {
-            let mut acc = 0.0;
+            let mut acc = T::ZERO;
             for p in 0..d {
                 acc += a[i * d + p] * b[j * d + p];
             }

@@ -4,66 +4,68 @@
 //! edge checks — fringe columns are padded with zeros, which contribute
 //! nothing to the inner products.
 
-use crate::microkernel::{MR, NR};
+use gsknn_scalar::GsknnScalar;
 
 /// Pack the A-side (query-side) panel.
 ///
 /// `src` is column-major with leading dimension `ld` (point `i` at
 /// `src[i*ld ..]`). The packed output covers points `col0 .. col0+mcb` and
-/// coordinates `p0 .. p0+dcb`, laid out as consecutive `MR`-wide
+/// coordinates `p0 .. p0+dcb`, laid out as consecutive `T::MR`-wide
 /// micro-panels: element `(i, p)` of micro-panel `ib` lands at
 /// `ib*MR*dcb + p*MR + i`.
 ///
 /// `out` must have length `ceil(mcb/MR)*MR*dcb`.
-pub fn pack_a_panel(
-    src: &[f64],
+pub fn pack_a_panel<T: GsknnScalar>(
+    src: &[T],
     ld: usize,
     col0: usize,
     mcb: usize,
     p0: usize,
     dcb: usize,
-    out: &mut [f64],
+    out: &mut [T],
 ) {
-    pack_panel::<MR>(src, ld, col0, mcb, p0, dcb, out)
+    pack_panel(T::MR, src, ld, col0, mcb, p0, dcb, out)
 }
 
-/// Pack the B-side (reference-side) panel: identical scheme with `NR`-wide
-/// micro-panels; element `(j, p)` of micro-panel `jb` lands at
-/// `jb*NR*dcb + p*NR + j`.
-pub fn pack_b_panel(
-    src: &[f64],
+/// Pack the B-side (reference-side) panel: identical scheme with
+/// `T::NR`-wide micro-panels; element `(j, p)` of micro-panel `jb` lands
+/// at `jb*NR*dcb + p*NR + j`.
+pub fn pack_b_panel<T: GsknnScalar>(
+    src: &[T],
     ld: usize,
     col0: usize,
     ncb: usize,
     p0: usize,
     dcb: usize,
-    out: &mut [f64],
+    out: &mut [T],
 ) {
-    pack_panel::<NR>(src, ld, col0, ncb, p0, dcb, out)
+    pack_panel(T::NR, src, ld, col0, ncb, p0, dcb, out)
 }
 
-fn pack_panel<const W: usize>(
-    src: &[f64],
+#[allow(clippy::too_many_arguments)] // internal helper shared by both panel shapes
+fn pack_panel<T: GsknnScalar>(
+    w: usize,
+    src: &[T],
     ld: usize,
     col0: usize,
     cols: usize,
     p0: usize,
     dcb: usize,
-    out: &mut [f64],
+    out: &mut [T],
 ) {
-    let blocks = cols.div_ceil(W);
-    assert_eq!(out.len(), blocks * W * dcb, "packed buffer size mismatch");
+    let blocks = cols.div_ceil(w);
+    assert_eq!(out.len(), blocks * w * dcb, "packed buffer size mismatch");
     debug_assert!(p0 + dcb <= ld);
     for ib in 0..blocks {
-        let base = ib * W * dcb;
-        let width = (cols - ib * W).min(W);
+        let base = ib * w * dcb;
+        let width = (cols - ib * w).min(w);
         for p in 0..dcb {
-            let row = &mut out[base + p * W..base + p * W + W];
+            let row = &mut out[base + p * w..base + p * w + w];
             for (i, slot) in row.iter_mut().enumerate().take(width) {
-                *slot = src[(col0 + ib * W + i) * ld + p0 + p];
+                *slot = src[(col0 + ib * w + i) * ld + p0 + p];
             }
             for slot in row.iter_mut().skip(width) {
-                *slot = 0.0; // fringe padding
+                *slot = T::ZERO; // fringe padding
             }
         }
     }
@@ -72,6 +74,7 @@ fn pack_panel<const W: usize>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::microkernel::{MR, NR};
 
     /// 3 coordinates × 5 points, column-major: point j = [10j, 10j+1, 10j+2]
     fn sample() -> Vec<f64> {
@@ -116,6 +119,24 @@ mod tests {
         pack_b_panel(&src, 3, 2, 3, 2, 1, &mut out);
         // points 2..5, coordinate 2 => [22, 32, 42], padded
         assert_eq!(out, vec![22.0, 32.0, 42.0, 0.0]);
+    }
+
+    #[test]
+    fn f32_panels_use_the_wider_tile() {
+        // 2 coordinates × 9 points of f32: NR = 8 so 9 points need 2 blocks
+        let src: Vec<f32> = (0..18).map(|x| x as f32).collect();
+        let nr32 = <f32 as GsknnScalar>::NR;
+        assert_eq!(nr32, 8);
+        let blocks = 9usize.div_ceil(nr32);
+        let mut out = vec![f32::NAN; blocks * nr32 * 2];
+        pack_b_panel(&src, 2, 0, 9, 0, 2, &mut out);
+        // block 0, p=0: coordinate 0 of points 0..8
+        let want: Vec<f32> = (0..8).map(|j| (2 * j) as f32).collect();
+        assert_eq!(&out[..8], &want[..]);
+        // block 1, p=1 row starts at 16 + 8 = 24: point 8's coordinate 1
+        // then zero padding
+        assert_eq!(out[24], 17.0);
+        assert!(out[25..32].iter().all(|&v| v == 0.0));
     }
 
     #[test]

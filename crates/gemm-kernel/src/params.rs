@@ -5,6 +5,7 @@
 //! loops so the packed panels land in L1 / L2 / L3 respectively.
 
 use crate::microkernel::{MR, NR};
+use gsknn_scalar::GsknnScalar;
 
 /// Blocking parameters for the five-loop nest.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -103,9 +104,19 @@ impl GemmParams {
     /// `mc = 96` (their single-core choice; the shipped `mc = 104` adds
     /// one more `MR` row for load balance).
     pub fn for_caches(c: &CacheSizes) -> Self {
-        let dc = ((3 * c.l1d / 4) / (8 * (MR + NR))).max(8);
-        let mc = (((3 * c.l2 / 4) / (8 * dc)) / MR * MR).max(MR);
-        let nc = (((c.l3 / 3) / (8 * dc)) / NR * NR).max(NR);
+        Self::for_caches_of::<f64>(c)
+    }
+
+    /// [`GemmParams::for_caches`] for an arbitrary element type: the same
+    /// capacity formulas with `size_of::<T>()` in place of 8 bytes and the
+    /// type's own `MR`/`NR` tile. Halving the element size doubles `dc`
+    /// (twice the rank-update depth fits in L1), which is exactly the f32
+    /// blocking the paper's model predicts.
+    pub fn for_caches_of<T: GsknnScalar>(c: &CacheSizes) -> Self {
+        let (mr, nr, sz) = (T::MR, T::NR, T::BYTES);
+        let dc = ((3 * c.l1d / 4) / (sz * (mr + nr))).max(8);
+        let mc = (((3 * c.l2 / 4) / (sz * dc)) / mr * mr).max(mr);
+        let nc = (((c.l3 / 3) / (sz * dc)) / nr * nr).max(nr);
         GemmParams { dc, mc, nc }
     }
 
@@ -118,6 +129,14 @@ impl GemmParams {
         }
     }
 
+    /// [`GemmParams::native`] for an arbitrary element type: the generic
+    /// capacity formulas applied to the detected caches (or the paper's
+    /// Ivy Bridge sizes when detection fails).
+    pub fn native_for<T: GsknnScalar>() -> Self {
+        let c = CacheSizes::detect().unwrap_or_else(CacheSizes::ivy_bridge);
+        Self::for_caches_of::<T>(&c)
+    }
+
     /// Small blocks for tests: force many partial/edge iterations of every
     /// loop even on tiny inputs.
     pub const fn tiny() -> Self {
@@ -128,18 +147,45 @@ impl GemmParams {
         }
     }
 
+    /// [`GemmParams::tiny`] for an arbitrary element type (`nc` must be a
+    /// multiple of the type's own `NR`, which differs between f64 and
+    /// f32).
+    pub fn tiny_for<T: GsknnScalar>() -> Self {
+        GemmParams {
+            dc: 8,
+            mc: T::MR * 2,
+            nc: T::NR * 3,
+        }
+    }
+
     /// Validate invariants: positive blocks, `mc` a multiple of `mr` and
     /// `nc` a multiple of `nr` (keeps macro-kernel edge handling to the
     /// final fringe only).
     pub fn validate(&self) -> Result<(), String> {
+        self.validate_for::<f64>()
+    }
+
+    /// [`GemmParams::validate`] against an arbitrary element type's micro
+    /// tile.
+    pub fn validate_for<T: GsknnScalar>(&self) -> Result<(), String> {
         if self.dc == 0 || self.mc == 0 || self.nc == 0 {
             return Err("block sizes must be positive".into());
         }
-        if !self.mc.is_multiple_of(MR) {
-            return Err(format!("mc={} must be a multiple of mr={}", self.mc, MR));
+        if !self.mc.is_multiple_of(T::MR) {
+            return Err(format!(
+                "mc={} must be a multiple of mr={} ({})",
+                self.mc,
+                T::MR,
+                T::NAME
+            ));
         }
-        if !self.nc.is_multiple_of(NR) {
-            return Err(format!("nc={} must be a multiple of nr={}", self.nc, NR));
+        if !self.nc.is_multiple_of(T::NR) {
+            return Err(format!(
+                "nc={} must be a multiple of nr={} ({})",
+                self.nc,
+                T::NR,
+                T::NAME
+            ));
         }
         Ok(())
     }
@@ -190,6 +236,30 @@ mod tests {
         assert!(p.validate().is_ok());
         assert_eq!(p.mc % MR, 0);
         assert_eq!(p.nc % NR, 0);
+    }
+
+    #[test]
+    fn f32_blocking_doubles_dc() {
+        let c = CacheSizes::ivy_bridge();
+        let p64 = GemmParams::for_caches_of::<f64>(&c);
+        let p32 = GemmParams::for_caches_of::<f32>(&c);
+        // Half-size elements deepen the L1 rank-update: the f64 tile's
+        // micro-panels cost (8+4)·8 = 96 bytes per unit of dc, the f32
+        // 8×8 tile's cost (8+8)·4 = 64, so dc grows by exactly 3/2
+        // (384 vs the paper's 256 on Ivy Bridge caches).
+        assert_eq!(p64.dc, 256);
+        assert_eq!(p32.dc, 384);
+        assert_eq!(p32.dc * 2, 3 * p64.dc);
+        assert!(p32.validate_for::<f32>().is_ok());
+        assert!(p64.validate_for::<f64>().is_ok());
+    }
+
+    #[test]
+    fn tiny_for_respects_each_tile() {
+        assert!(GemmParams::tiny_for::<f64>().validate_for::<f64>().is_ok());
+        assert!(GemmParams::tiny_for::<f32>().validate_for::<f32>().is_ok());
+        // the f64 tiny nc=12 is NOT valid for the f32 NR=8 tile
+        assert!(GemmParams::tiny().validate_for::<f32>().is_err());
     }
 
     #[test]

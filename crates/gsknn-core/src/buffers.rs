@@ -5,6 +5,7 @@
 
 use crate::obs::PhaseSet;
 use gemm_kernel::AlignedBuf;
+use gsknn_scalar::GsknnScalar;
 
 serde::impl_struct_serde!(KernelStats {
     tiles,
@@ -68,22 +69,23 @@ impl KernelStats {
     }
 }
 
-/// Scratch buffers for one kernel execution context (one thread).
+/// Scratch buffers for one kernel execution context (one thread),
+/// parameterized by the element type the kernel runs in.
 #[derive(Default, Debug)]
-pub struct GsknnWorkspace {
+pub struct GsknnWorkspace<T: GsknnScalar = f64> {
     /// Packed query panel `Qc` (`⌈mcb/MR⌉·MR × dcb`, Z-shape).
-    pub q_pack: AlignedBuf,
+    pub q_pack: AlignedBuf<T>,
     /// Packed reference panel `Rc` (`⌈ncb/NR⌉·NR × dcb`, Z-shape).
-    pub r_pack: AlignedBuf,
+    pub r_pack: AlignedBuf<T>,
     /// Gathered query squared norms `Qc2` (`mcb`, MR-padded).
-    pub q2_pack: AlignedBuf,
+    pub q2_pack: AlignedBuf<T>,
     /// Gathered reference squared norms `R2c` (`ncb`, NR-padded).
-    pub r2_pack: AlignedBuf,
+    pub r2_pack: AlignedBuf<T>,
     /// Rank-dc accumulation buffer `Cc` (only used when `d > dc`, or by
     /// the buffered variants Var#2/3/5/6 as their distance store).
-    pub cc: AlignedBuf,
+    pub cc: AlignedBuf<T>,
     /// Distance strip for buffered selection (Var#2/Var#3).
-    pub dist: AlignedBuf,
+    pub dist: AlignedBuf<T>,
     /// Counters for the most recent serial run.
     pub stats: KernelStats,
     /// Phase timings for the most recent run (zero-sized no-op unless
@@ -91,7 +93,7 @@ pub struct GsknnWorkspace {
     pub phases: PhaseSet,
 }
 
-impl GsknnWorkspace {
+impl<T: GsknnScalar> GsknnWorkspace<T> {
     /// Fresh workspace; buffers allocate lazily on first use.
     pub fn new() -> Self {
         Self::default()
@@ -104,7 +106,7 @@ mod tests {
 
     #[test]
     fn buffers_grow_independently() {
-        let mut ws = GsknnWorkspace::new();
+        let mut ws: GsknnWorkspace = GsknnWorkspace::new();
         ws.q_pack.resize(128);
         ws.cc.resize(1024);
         assert_eq!(ws.q_pack.len(), 128);

@@ -4,12 +4,14 @@
 //! lists and the per-query neighbor lists persist across calls.
 
 use crate::buffers::GsknnWorkspace;
+use crate::microkernel::FusedScalar;
 use crate::model::{MachineParams, Model, ProblemSize};
 use crate::obs::{Phase, PhaseSet};
 use crate::params::Variant;
 use crate::variants::{run_serial, DriverArgs, SelHeap};
 use dataset::{DistanceKind, PointSet};
 use gemm_kernel::GemmParams;
+use gsknn_scalar::GsknnScalar;
 use knn_select::NeighborTable;
 
 /// Kernel configuration.
@@ -48,19 +50,35 @@ impl GsknnConfig {
             ..Default::default()
         }
     }
+
+    /// Configuration whose blocking is derived for a specific element
+    /// type: the same cache formulas with the type's size and micro-tile
+    /// (f32 gets `dc = 1.5 × dc_f64` on the paper's caches — see
+    /// `GemmParams::for_caches_of`). The f64 default parameters happen to
+    /// also be *valid* (if suboptimal) for f32, so this is an upgrade,
+    /// not a requirement, for single-precision runs.
+    pub fn for_scalar<T: GsknnScalar>() -> Self {
+        GsknnConfig {
+            params: GemmParams::native_for::<T>(),
+            ..Default::default()
+        }
+    }
 }
 
-/// A reusable kernel execution context (owns the packing workspace).
+/// A reusable kernel execution context (owns the packing workspace),
+/// generic over the element precision (`Gsknn` = `Gsknn<f64>` is the
+/// paper's double-precision kernel; `Gsknn<f32>` runs the 8-lane/16-lane
+/// single-precision micro-kernels on the same nest).
 ///
 /// See the crate-level example. Not `Sync`: create one per thread (the
 /// parallel schemes in [`crate::parallel`] and [`crate::scheduler`] do).
 #[derive(Default, Debug)]
-pub struct Gsknn {
+pub struct Gsknn<T: FusedScalar = f64> {
     cfg: GsknnConfig,
-    ws: GsknnWorkspace,
+    ws: GsknnWorkspace<T>,
 }
 
-impl Gsknn {
+impl<T: FusedScalar> Gsknn<T> {
     /// New context with the given configuration.
     pub fn new(cfg: GsknnConfig) -> Self {
         Gsknn {
@@ -79,7 +97,9 @@ impl Gsknn {
         match self.cfg.variant {
             Variant::Auto => match &self.cfg.model_switch {
                 Some(machine) => {
-                    let model = Model::new(*machine);
+                    // scale the machine constants to this element type
+                    // (f32: double flop throughput, half stream traffic)
+                    let model = Model::new(machine.for_scalar::<T>());
                     model.choose_variant(&ProblemSize { m, n, d, k })
                 }
                 // §3: "For all experiments with k ≤ 512, we use Var#1.
@@ -100,12 +120,12 @@ impl Gsknn {
     /// every query. Row `i` of the result corresponds to `q_idx[i]`.
     pub fn run(
         &mut self,
-        x: &PointSet,
+        x: &PointSet<T>,
         q_idx: &[usize],
         r_idx: &[usize],
         k: usize,
         kind: DistanceKind,
-    ) -> NeighborTable {
+    ) -> NeighborTable<T> {
         let mut table = NeighborTable::new(q_idx.len(), k);
         self.update(x, q_idx, r_idx, kind, &mut table);
         table
@@ -117,11 +137,11 @@ impl Gsknn {
     /// current list).
     pub fn update(
         &mut self,
-        x: &PointSet,
+        x: &PointSet<T>,
         q_idx: &[usize],
         r_idx: &[usize],
         kind: DistanceKind,
-        table: &mut NeighborTable,
+        table: &mut NeighborTable<T>,
     ) {
         self.update_cross(x, q_idx, x, r_idx, kind, table)
     }
@@ -131,13 +151,13 @@ impl Gsknn {
     /// result refer to positions in `xr`.
     pub fn run_cross(
         &mut self,
-        xq: &PointSet,
+        xq: &PointSet<T>,
         q_idx: &[usize],
-        xr: &PointSet,
+        xr: &PointSet<T>,
         r_idx: &[usize],
         k: usize,
         kind: DistanceKind,
-    ) -> NeighborTable {
+    ) -> NeighborTable<T> {
         let mut table = NeighborTable::new(q_idx.len(), k);
         self.update_cross(xq, q_idx, xr, r_idx, kind, &mut table);
         table
@@ -146,12 +166,12 @@ impl Gsknn {
     /// Cross-table update; see [`Gsknn::run_cross`] / [`Gsknn::update`].
     pub fn update_cross(
         &mut self,
-        xq: &PointSet,
+        xq: &PointSet<T>,
         q_idx: &[usize],
-        xr: &PointSet,
+        xr: &PointSet<T>,
         r_idx: &[usize],
         kind: DistanceKind,
-        table: &mut NeighborTable,
+        table: &mut NeighborTable<T>,
     ) {
         let k = table.k();
         assert_eq!(table.len(), q_idx.len(), "one table row per query");
@@ -162,7 +182,7 @@ impl Gsknn {
         // §2.4: Var#1 pairs with the binary heap (small k), Var#6 with the
         // padded 4-heap (large k).
         let four = variant == Variant::Var6;
-        let mut heaps: Vec<SelHeap> = (0..q_idx.len())
+        let mut heaps: Vec<SelHeap<T>> = (0..q_idx.len())
             .map(|i| SelHeap::from_row(k, table.row(i), four))
             .collect();
         let args = DriverArgs {
@@ -202,13 +222,13 @@ impl Gsknn {
     /// `p` query chunks in flight): identical results to [`Gsknn::run`].
     pub fn run_parallel(
         &mut self,
-        x: &PointSet,
+        x: &PointSet<T>,
         q_idx: &[usize],
         r_idx: &[usize],
         k: usize,
         kind: DistanceKind,
         p: usize,
-    ) -> NeighborTable {
+    ) -> NeighborTable<T> {
         let mut table = NeighborTable::new(q_idx.len(), k);
         self.update_parallel(x, q_idx, r_idx, kind, &mut table, p);
         table
@@ -220,11 +240,11 @@ impl Gsknn {
     /// worker CPU time and can exceed wall time).
     pub fn update_parallel(
         &mut self,
-        x: &PointSet,
+        x: &PointSet<T>,
         q_idx: &[usize],
         r_idx: &[usize],
         kind: DistanceKind,
-        table: &mut NeighborTable,
+        table: &mut NeighborTable<T>,
         p: usize,
     ) {
         let k = table.k();
@@ -232,7 +252,7 @@ impl Gsknn {
         validate_indices(x, q_idx, r_idx);
         let variant = self.effective_variant(q_idx.len(), r_idx.len(), x.dim(), k);
         let four = variant == Variant::Var6;
-        let mut heaps: Vec<SelHeap> = (0..q_idx.len())
+        let mut heaps: Vec<SelHeap<T>> = (0..q_idx.len())
             .map(|i| SelHeap::from_row(k, table.row(i), four))
             .collect();
         let args = DriverArgs::same(x, q_idx, r_idx, kind, self.cfg.params, variant);
@@ -247,7 +267,7 @@ impl Gsknn {
     }
 }
 
-pub(crate) fn validate_indices(x: &PointSet, q_idx: &[usize], r_idx: &[usize]) {
+pub(crate) fn validate_indices<T: GsknnScalar>(x: &PointSet<T>, q_idx: &[usize], r_idx: &[usize]) {
     let n = x.len();
     assert!(
         q_idx.iter().all(|&i| i < n),
@@ -282,7 +302,7 @@ mod tests {
 
     #[test]
     fn auto_rule_of_thumb_matches_paper() {
-        let exec = Gsknn::new(GsknnConfig::default());
+        let exec: Gsknn = Gsknn::new(GsknnConfig::default());
         assert_eq!(exec.effective_variant(8192, 8192, 64, 16), Variant::Var1);
         assert_eq!(exec.effective_variant(8192, 8192, 64, 512), Variant::Var1);
         assert_eq!(exec.effective_variant(8192, 8192, 64, 2048), Variant::Var6);
@@ -294,7 +314,7 @@ mod tests {
             variant: Variant::Var3,
             ..Default::default()
         };
-        let exec = Gsknn::new(cfg);
+        let exec: Gsknn = Gsknn::new(cfg);
         assert_eq!(exec.effective_variant(10, 10, 4, 2048), Variant::Var3);
     }
 
@@ -468,5 +488,59 @@ mod tests {
         let mut exec = Gsknn::new(GsknnConfig::default());
         let t = exec.run(&x, &[0, 1], &[], 2, DistanceKind::SqL2);
         assert_eq!(t.row(0)[0], Neighbor::sentinel());
+    }
+
+    #[test]
+    fn f32_run_finds_self_as_nearest() {
+        let x: PointSet<f32> = uniform(200, 12, 5).cast();
+        let q: Vec<usize> = (0..50).collect();
+        let r: Vec<usize> = (0..200).collect();
+        let mut exec: Gsknn<f32> = Gsknn::new(GsknnConfig::for_scalar::<f32>());
+        let t = exec.run(&x, &q, &r, 3, DistanceKind::SqL2);
+        for (i, &qi) in q.iter().enumerate() {
+            assert_eq!(t.row(i)[0].idx, qi as u32, "query {qi}");
+            // single precision leaves more expansion rounding than f64
+            assert!(t.row(i)[0].dist < 1e-3);
+        }
+    }
+
+    #[test]
+    fn f32_run_parallel_matches_run() {
+        let x: PointSet<f32> = uniform(300, 9, 47).cast();
+        let q: Vec<usize> = (0..96).collect();
+        let r: Vec<usize> = (0..300).collect();
+        let mut exec: Gsknn<f32> = Gsknn::new(GsknnConfig::default());
+        let serial = exec.run(&x, &q, &r, 7, DistanceKind::SqL2);
+        let par = exec.run_parallel(&x, &q, &r, 7, DistanceKind::SqL2, 4);
+        for i in 0..96 {
+            assert_eq!(serial.row(i), par.row(i), "row {i}");
+        }
+    }
+
+    #[test]
+    fn f32_update_equals_one_shot_on_union() {
+        let x: PointSet<f32> = uniform(120, 6, 29).cast();
+        let q: Vec<usize> = (0..12).collect();
+        let all: Vec<usize> = (0..120).collect();
+        let mut exec: Gsknn<f32> = Gsknn::new(GsknnConfig::default());
+        let mut incremental = exec.run(&x, &q, &all[..60], 5, DistanceKind::SqL2);
+        exec.update(&x, &q, &all[60..], DistanceKind::SqL2, &mut incremental);
+        let oneshot = exec.run(&x, &q, &all, 5, DistanceKind::SqL2);
+        for i in 0..12 {
+            let a: Vec<u32> = incremental.row(i).iter().map(|n| n.idx).collect();
+            let b: Vec<u32> = oneshot.row(i).iter().map(|n| n.idx).collect();
+            assert_eq!(a, b, "row {i}");
+        }
+    }
+
+    #[test]
+    fn for_scalar_config_validates_for_its_type() {
+        let c32 = GsknnConfig::for_scalar::<f32>();
+        assert!(c32.params.validate_for::<f32>().is_ok());
+        let c64 = GsknnConfig::for_scalar::<f64>();
+        assert!(c64.params.validate_for::<f64>().is_ok());
+        // the f64 *default* config is also usable for f32 (both widths
+        // divide its mc/nc), which keeps `Gsknn::<f32>::default()` legal
+        assert!(GsknnConfig::default().params.validate_for::<f32>().is_ok());
     }
 }

@@ -48,6 +48,7 @@ pub mod variants;
 
 pub use buffers::{GsknnWorkspace, KernelStats};
 pub use kernel::{Gsknn, GsknnConfig};
+pub use microkernel::{set_simd_level, simd_level, FusedScalar, SimdLevel};
 pub use model::{MachineParams, Model, ProblemSize};
 pub use obs::{Phase, PhaseSet};
 pub use params::Variant;
@@ -55,4 +56,5 @@ pub use params::Variant;
 // Re-export the types a caller needs to drive the kernel.
 pub use dataset::{DistanceKind, PointSet};
 pub use gemm_kernel::GemmParams;
+pub use gsknn_scalar::GsknnScalar;
 pub use knn_select::{Neighbor, NeighborTable};

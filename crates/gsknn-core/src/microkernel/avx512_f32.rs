@@ -1,0 +1,224 @@
+//! AVX-512F specializations of the fused micro-kernel for `f32`.
+//!
+//! Mirrors the f64 rewrite in [`super::avx512`]: the 8×8 tile is
+//! processed as **four 512-bit accumulators, each holding two adjacent
+//! 8-wide tile rows** — 4 FMAs per `p` step over 16 lanes each. Only
+//! AVX-512F intrinsics are used (no DQ/BW): 256-bit half extraction and
+//! insertion go through the `f64x4` casts, the 8-lane B-row duplication
+//! through `shuffle_f32x4`, and |x| through an integer sign-mask AND.
+//!
+//! Register layout per step `p`:
+//!
+//! ```text
+//! bb   = [ b0..b7 | b0..b7 ]            (shuffle_f32x4 self-dup)
+//! aj   = [ a(2j) ×8 | a(2j+1) ×8 ]      (permutexvar of a pair)
+//! accj = fma(aj, bb, accj)               j = 0..4
+//! ```
+
+#![cfg(target_arch = "x86_64")]
+
+use super::PassMode;
+use dataset::DistanceKind;
+use gsknn_scalar::GsknnScalar;
+use std::arch::x86_64::*;
+
+const MR: usize = <f32 as GsknnScalar>::MR;
+const NR: usize = <f32 as GsknnScalar>::NR;
+
+/// Vectorized f32 tile pass; contract identical to [`super::tile_pass`].
+///
+/// # Safety
+/// Caller must guarantee AVX-512F support (via
+/// [`super::avx512::available`]) and the slice-length preconditions of
+/// `tile_pass`.
+pub unsafe fn tile_pass_avx512_f32(
+    kind: DistanceKind,
+    dcb: usize,
+    ap: &[f32],
+    bp: &[f32],
+    q2: &[f32],
+    r2: &[f32],
+    mode: PassMode<'_, f32>,
+) {
+    match kind {
+        DistanceKind::SqL2 => sq_l2(dcb, ap, bp, q2, r2, mode),
+        DistanceKind::L1 => l1(dcb, ap, bp, mode),
+        DistanceKind::LInf => linf(dcb, ap, bp, mode),
+        DistanceKind::Cosine => cosine(dcb, ap, bp, q2, r2, mode),
+        DistanceKind::Lp(_) => unreachable!("general p has no AVX-512 path"),
+    }
+}
+
+/// |x| on 16 f32 lanes via integer sign-mask AND (plain AVX-512F; the
+/// dedicated `abs` form would pull in DQ on some toolchains).
+#[inline(always)]
+unsafe fn abs_ps16(x: __m512) -> __m512 {
+    let mask = _mm512_set1_epi32(0x7fff_ffff);
+    _mm512_castsi512_ps(_mm512_and_si512(_mm512_castps_si512(x), mask))
+}
+
+/// The lane-pair spread `[a ×8 | b ×8]` from lanes 0/1 of `v`.
+#[inline(always)]
+unsafe fn spread_pair(v: __m512) -> __m512 {
+    let idx = _mm512_set_epi32(1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0);
+    _mm512_permutexvar_ps(idx, v)
+}
+
+/// Load two adjacent f32 lanes into lanes 0/1 of a zmm (one 64-bit load).
+#[inline(always)]
+unsafe fn load_pair(ptr: *const f32) -> __m512 {
+    _mm512_castps128_ps512(_mm_castsi128_ps(_mm_loadl_epi64(ptr as *const __m128i)))
+}
+
+/// Duplicate an 8-lane row into both 256-bit halves of a zmm.
+#[inline(always)]
+unsafe fn dup_row(v: __m256) -> __m512 {
+    let w = _mm512_castps256_ps512(v);
+    // 128-bit block selector [0,1,0,1]: low half repeated
+    _mm512_shuffle_f32x4(w, w, 0b0100_0100)
+}
+
+/// Extract the high 256-bit half without AVX-512DQ (`extractf32x8`):
+/// round-trip through the F-only `f64x4` extract.
+#[inline(always)]
+unsafe fn hi_half(v: __m512) -> __m256 {
+    _mm256_castpd_ps(_mm512_extractf64x4_pd(_mm512_castps_pd(v), 1))
+}
+
+/// Load two tile rows (`i = 2j`, `2j+1`) from a strided buffer into one
+/// zmm: two 256-bit loads glued with the F-only `f64x4` insert.
+#[inline(always)]
+unsafe fn load_row_pair(base: *const f32, ldcc: usize, j: usize) -> __m512 {
+    let lo = _mm256_castps_pd(_mm256_loadu_ps(base.add(2 * j * ldcc)));
+    let hi = _mm256_castps_pd(_mm256_loadu_ps(base.add((2 * j + 1) * ldcc)));
+    _mm512_castpd_ps(_mm512_insertf64x4(_mm512_castpd256_pd512(lo), hi, 1))
+}
+
+/// Store one zmm as two strided tile rows.
+#[inline(always)]
+unsafe fn store_row_pair(base: *mut f32, ldcc: usize, j: usize, v: __m512) {
+    _mm256_storeu_ps(base.add(2 * j * ldcc), _mm512_castps512_ps256(v));
+    _mm256_storeu_ps(base.add((2 * j + 1) * ldcc), hi_half(v));
+}
+
+macro_rules! rank_update_512 {
+    ($dcb:ident, $ap:ident, $bp:ident, $acc:ident, |$a:ident, $b:ident, $acc_j:ident| $body:expr) => {
+        for p in 0..$dcb {
+            let b8 = _mm256_loadu_ps($bp.as_ptr().add(p * NR));
+            let $b = dup_row(b8);
+            let a_row = $ap.as_ptr().add(p * MR);
+            for j in 0..MR / 2 {
+                // lanes 0..2 hold a(2j), a(2j+1); spread to halves
+                let $a = spread_pair(load_pair(a_row.add(2 * j)));
+                let $acc_j = $acc[j];
+                $acc[j] = $body;
+            }
+        }
+    };
+}
+
+macro_rules! finish_512 {
+    ($acc:ident, $mode:ident, $combine:ident, |$acc_j:ident, $j:ident| $final_expr:expr) => {
+        match $mode {
+            PassMode::Partial { cc, ldcc, first } => {
+                let base = cc.as_mut_ptr();
+                for $j in 0..MR / 2 {
+                    let v = if first {
+                        $acc[$j]
+                    } else {
+                        $combine(load_row_pair(base, ldcc, $j), $acc[$j])
+                    };
+                    store_row_pair(base, ldcc, $j, v);
+                }
+            }
+            PassMode::Last { prior, out } => {
+                if let Some((cc, ldcc)) = prior {
+                    let base = cc.as_ptr();
+                    for $j in 0..MR / 2 {
+                        $acc[$j] = $combine(load_row_pair(base, ldcc, $j), $acc[$j]);
+                    }
+                }
+                for $j in 0..MR / 2 {
+                    let $acc_j = $acc[$j];
+                    let v = $final_expr;
+                    // two tile rows are contiguous: one 512-bit store
+                    _mm512_storeu_ps(out.as_mut_ptr().add(2 * $j * NR), v);
+                }
+            }
+        }
+    };
+}
+
+#[inline(always)]
+unsafe fn vadd16(a: __m512, b: __m512) -> __m512 {
+    _mm512_add_ps(a, b)
+}
+
+#[inline(always)]
+unsafe fn vmax16(a: __m512, b: __m512) -> __m512 {
+    _mm512_max_ps(a, b)
+}
+
+#[target_feature(enable = "avx512f,fma")]
+unsafe fn sq_l2(
+    dcb: usize,
+    ap: &[f32],
+    bp: &[f32],
+    q2: &[f32],
+    r2: &[f32],
+    mode: PassMode<'_, f32>,
+) {
+    let mut acc = [_mm512_setzero_ps(); MR / 2];
+    rank_update_512!(dcb, ap, bp, acc, |a, b, acc_j| _mm512_fmadd_ps(a, b, acc_j));
+    let r2v = dup_row(_mm256_loadu_ps(r2.as_ptr()));
+    let two = _mm512_set1_ps(2.0);
+    let zero = _mm512_setzero_ps();
+    finish_512!(acc, mode, vadd16, |acc_j, j| {
+        // q2 pair spread across the two row-halves, + r2, − 2·acc, clamp
+        let sum = _mm512_add_ps(spread_pair(load_pair(q2.as_ptr().add(2 * j))), r2v);
+        _mm512_max_ps(_mm512_fnmadd_ps(two, acc_j, sum), zero)
+    });
+}
+
+#[target_feature(enable = "avx512f,fma")]
+unsafe fn cosine(
+    dcb: usize,
+    ap: &[f32],
+    bp: &[f32],
+    q2: &[f32],
+    r2: &[f32],
+    mode: PassMode<'_, f32>,
+) {
+    let mut acc = [_mm512_setzero_ps(); MR / 2];
+    rank_update_512!(dcb, ap, bp, acc, |a, b, acc_j| _mm512_fmadd_ps(a, b, acc_j));
+    let r2v = dup_row(_mm256_loadu_ps(r2.as_ptr()));
+    let one = _mm512_set1_ps(1.0);
+    let zero = _mm512_setzero_ps();
+    finish_512!(acc, mode, vadd16, |acc_j, j| {
+        let q2p = spread_pair(load_pair(q2.as_ptr().add(2 * j)));
+        let denom = _mm512_sqrt_ps(_mm512_mul_ps(q2p, r2v));
+        let cosd = _mm512_sub_ps(one, _mm512_div_ps(acc_j, denom));
+        let ok = _mm512_cmp_ps_mask(denom, zero, _CMP_GT_OQ);
+        _mm512_mask_blend_ps(ok, one, cosd)
+    });
+}
+
+#[target_feature(enable = "avx512f,fma")]
+unsafe fn l1(dcb: usize, ap: &[f32], bp: &[f32], mode: PassMode<'_, f32>) {
+    let mut acc = [_mm512_setzero_ps(); MR / 2];
+    rank_update_512!(dcb, ap, bp, acc, |a, b, acc_j| _mm512_add_ps(
+        acc_j,
+        abs_ps16(_mm512_sub_ps(a, b))
+    ));
+    finish_512!(acc, mode, vadd16, |acc_j, _j| acc_j);
+}
+
+#[target_feature(enable = "avx512f,fma")]
+unsafe fn linf(dcb: usize, ap: &[f32], bp: &[f32], mode: PassMode<'_, f32>) {
+    let mut acc = [_mm512_setzero_ps(); MR / 2];
+    rank_update_512!(dcb, ap, bp, acc, |a, b, acc_j| _mm512_max_ps(
+        acc_j,
+        abs_ps16(_mm512_sub_ps(a, b))
+    ));
+    finish_512!(acc, mode, vmax16, |acc_j, _j| acc_j);
+}

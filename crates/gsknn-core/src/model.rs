@@ -65,6 +65,23 @@ impl MachineParams {
             cores: 10,
         }
     }
+
+    /// Rescale the constants from their f64 baseline to element type `T`:
+    /// a 256-bit vector holds `8/BYTES × 4` lanes, so peak flops scale by
+    /// `8/BYTES` (2× for f32) and contiguous traffic per element scales
+    /// by `BYTES/8` (half the bytes per f32, so `τb` halves). The random
+    /// access latency `τl` is a cache-line/TLB cost, not a width cost,
+    /// and stays put — which is why f32 shifts the Var#1→Var#6 switch-over
+    /// *down* in `k`: the heap term grows relative to everything else.
+    pub fn for_scalar<T: gsknn_scalar::GsknnScalar>(&self) -> Self {
+        let ratio = T::BYTES as f64 / 8.0;
+        MachineParams {
+            tau_f: self.tau_f / ratio,
+            tau_b: self.tau_b * ratio,
+            tau_l: self.tau_l,
+            ..*self
+        }
+    }
 }
 
 /// One kernel problem size.
@@ -466,6 +483,33 @@ mod tests {
             ipc_ratio > gflops_ratio,
             "IPC should fall less than GFLOPS: {ipc_ratio} vs {gflops_ratio}"
         );
+    }
+
+    #[test]
+    fn f32_machine_doubles_flops_and_halves_stream_cost() {
+        let m64 = MachineParams::ivy_bridge_1core();
+        let m32 = m64.for_scalar::<f32>();
+        assert_eq!(m32.tau_f, 2.0 * m64.tau_f);
+        assert_eq!(m32.tau_b, m64.tau_b / 2.0);
+        assert_eq!(m32.tau_l, m64.tau_l, "latency is width-independent");
+        assert_eq!(m32.epsilon, m64.epsilon);
+        // f64 is the baseline: rescaling to f64 is the identity
+        assert_eq!(m64.for_scalar::<f64>(), m64);
+    }
+
+    #[test]
+    fn f32_lowers_the_variant_switch_threshold() {
+        // With τl fixed while τf/τb improve, the binary heap's random
+        // accesses dominate sooner — Var#6 should win at a smaller k.
+        let m64 = Model::new(MachineParams::ivy_bridge_1core());
+        let m32 = Model::new(MachineParams::ivy_bridge_1core().for_scalar::<f32>());
+        let t64 = m64
+            .threshold_k(8192, 8192, 64, 8192)
+            .expect("f64 threshold");
+        let t32 = m32
+            .threshold_k(8192, 8192, 64, 8192)
+            .expect("f32 threshold");
+        assert!(t32 < t64, "f32 {t32} should switch below f64 {t64}");
     }
 
     #[test]

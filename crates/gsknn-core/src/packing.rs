@@ -3,88 +3,94 @@
 //! coordinate table `X` through the index lists `q`/`r`** — the explicit
 //! collection `Q(:,i) = X(:,q(i))` of Algorithm 2.1 never happens, saving
 //! the `2dm + 2dn` memory traffic the performance model charges the
-//! baseline for (Eq. 5).
+//! baseline for (Eq. 5). Generic over the element type: the micro-panel
+//! widths come from the type's own tile (`MR×NR` = 8×4 for f64, 8×8 for
+//! f32), so the same packing serves both precisions.
 
 use dataset::PointSet;
-use gemm_kernel::{MR, NR};
+use gsknn_scalar::GsknnScalar;
 
 /// Gather-pack the query-side panel `Qc`: points `q_idx[ic .. ic+mcb]`,
-/// coordinates `pc .. pc+dcb`, as `MR`-wide micro-panels (element `(i, p)`
-/// of micro-panel `ib` at `ib*MR*dcb + p*MR + i`), fringe zero-padded.
+/// coordinates `pc .. pc+dcb`, as `T::MR`-wide micro-panels (element
+/// `(i, p)` of micro-panel `ib` at `ib*MR*dcb + p*MR + i`), fringe
+/// zero-padded.
 ///
 /// `out.len()` must equal `⌈mcb/MR⌉ * MR * dcb`.
-pub fn pack_q_panel(
-    x: &PointSet,
+pub fn pack_q_panel<T: GsknnScalar>(
+    x: &PointSet<T>,
     q_idx: &[usize],
     ic: usize,
     mcb: usize,
     pc: usize,
     dcb: usize,
-    out: &mut [f64],
+    out: &mut [T],
 ) {
-    gather_pack::<MR>(x, q_idx, ic, mcb, pc, dcb, out)
+    gather_pack(x, q_idx, ic, mcb, pc, dcb, T::MR, out)
 }
 
-/// Gather-pack the reference-side panel `Rc` (`NR`-wide micro-panels).
-pub fn pack_r_panel(
-    x: &PointSet,
+/// Gather-pack the reference-side panel `Rc` (`T::NR`-wide micro-panels).
+pub fn pack_r_panel<T: GsknnScalar>(
+    x: &PointSet<T>,
     r_idx: &[usize],
     jc: usize,
     ncb: usize,
     pc: usize,
     dcb: usize,
-    out: &mut [f64],
+    out: &mut [T],
 ) {
-    gather_pack::<NR>(x, r_idx, jc, ncb, pc, dcb, out)
+    gather_pack(x, r_idx, jc, ncb, pc, dcb, T::NR, out)
 }
 
-fn gather_pack<const W: usize>(
-    x: &PointSet,
+#[allow(clippy::too_many_arguments)]
+fn gather_pack<T: GsknnScalar>(
+    x: &PointSet<T>,
     idx: &[usize],
     c0: usize,
     cols: usize,
     pc: usize,
     dcb: usize,
-    out: &mut [f64],
+    w: usize,
+    out: &mut [T],
 ) {
-    let blocks = cols.div_ceil(W);
-    assert_eq!(out.len(), blocks * W * dcb, "packed buffer size mismatch");
+    let blocks = cols.div_ceil(w);
+    assert_eq!(out.len(), blocks * w * dcb, "packed buffer size mismatch");
     debug_assert!(c0 + cols <= idx.len());
     for ib in 0..blocks {
-        let base = ib * W * dcb;
-        let width = (cols - ib * W).min(W);
+        let base = ib * w * dcb;
+        let width = (cols - ib * w).min(w);
         for i in 0..width {
-            let src = x.point_slab(idx[c0 + ib * W + i], pc, dcb);
+            let src = x.point_slab(idx[c0 + ib * w + i], pc, dcb);
             for (p, &v) in src.iter().enumerate() {
-                out[base + p * W + i] = v;
+                out[base + p * w + i] = v;
             }
         }
         // fringe zero-padding so the micro-kernel runs full tiles
-        for i in width..W {
+        for i in width..w {
             for p in 0..dcb {
-                out[base + p * W + i] = 0.0;
+                out[base + p * w + i] = T::ZERO;
             }
         }
     }
 }
 
 /// Gather squared norms `X2(idx[c0..c0+cols])` into `out`, padding the
-/// `W`-aligned tail with zeros (pad distances are discarded by the
+/// `w`-aligned tail with zeros (pad distances are discarded by the
 /// selection bounds, so their value is irrelevant).
-pub fn pack_sqnorms<const W: usize>(
-    x: &PointSet,
+pub fn pack_sqnorms<T: GsknnScalar>(
+    x: &PointSet<T>,
     idx: &[usize],
     c0: usize,
     cols: usize,
-    out: &mut [f64],
+    w: usize,
+    out: &mut [T],
 ) {
-    let padded = cols.div_ceil(W) * W;
+    let padded = cols.div_ceil(w) * w;
     assert_eq!(out.len(), padded, "sqnorm buffer size mismatch");
     for i in 0..cols {
         out[i] = x.sqnorm(idx[c0 + i]);
     }
     for slot in out[cols..].iter_mut() {
-        *slot = 0.0;
+        *slot = T::ZERO;
     }
 }
 
@@ -92,6 +98,7 @@ pub fn pack_sqnorms<const W: usize>(
 mod tests {
     use super::*;
     use dataset::uniform;
+    use gemm_kernel::{MR, NR};
 
     #[test]
     fn q_panel_gathers_through_indices() {
@@ -126,11 +133,29 @@ mod tests {
     }
 
     #[test]
+    fn f32_r_panel_uses_eight_wide_micro_panels() {
+        let x: dataset::PointSet<f32> = uniform(10, 3, 5).cast();
+        let r: Vec<usize> = (0..10).rev().collect();
+        let nr32 = <f32 as GsknnScalar>::NR;
+        assert_eq!(nr32, 8);
+        let blocks = 10usize.div_ceil(nr32);
+        let mut out = vec![f32::NAN; blocks * nr32 * 3];
+        pack_r_panel(&x, &r, 0, 10, 0, 3, &mut out);
+        // (j=0, p=0): X(0, r[0]=9); (j=2, p=1) in block 0: X(1, r[2]=7)
+        assert_eq!(out[0], x.point(9)[0]);
+        assert_eq!(out[nr32 + 2], x.point(7)[1]);
+        // block 1 holds r[8..10] = {1, 0}, rest zero-padded
+        let b1 = nr32 * 3;
+        assert_eq!(out[b1], x.point(1)[0]);
+        assert_eq!(out[b1 + 2], 0.0);
+    }
+
+    #[test]
     fn sqnorms_gather_and_pad() {
         let x = uniform(5, 2, 3);
         let idx = [4usize, 1, 3];
         let mut out = vec![f64::NAN; 4]; // W=4 pad
-        pack_sqnorms::<4>(&x, &idx, 0, 3, &mut out);
+        pack_sqnorms(&x, &idx, 0, 3, 4, &mut out);
         assert_eq!(out[0], x.sqnorm(4));
         assert_eq!(out[2], x.sqnorm(3));
         assert_eq!(out[3], 0.0);

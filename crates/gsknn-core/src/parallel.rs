@@ -9,22 +9,28 @@
 //! Load balance: when `m` is not a multiple of `mc × p` the fixed `mc`
 //! leaves stragglers, so `mc` is re-derived per problem
 //! ([`dynamic_mc`]) — the paper's "dynamically deciding mc".
+//!
+//! Allocation discipline: the per-worker `Qc`/`Qc2` scratch buffers are
+//! created once per worker via `map_init` and reused across every chunk
+//! that worker processes — the 4th-loop closure itself never allocates
+//! (the buffers only `resize`, which is a no-op after the first chunk).
 
 use crate::buffers::KernelStats;
-use crate::microkernel::MR;
+use crate::microkernel::{FusedScalar, MR};
 use crate::obs::{Phase, PhaseSet};
 use crate::packing::{pack_r_panel, pack_sqnorms};
 use crate::params::Variant;
 use crate::variants::{
     cc_geometry, feed_degenerate, ic_block_body, select_block, DriverArgs, RefBlock, SelHeap,
 };
-use gemm_kernel::{AlignedBuf, GemmParams, NR};
+use gemm_kernel::{AlignedBuf, GemmParams};
 use rayon::prelude::*;
 
 /// Pick an effective `mc` so the 4th loop splits into a whole number of
 /// near-equal chunks per worker: smallest multiple of `MR` such that the
 /// chunk count is a multiple of `p` (when `m` is large enough) and no
-/// chunk exceeds the cache-derived `mc_base`.
+/// chunk exceeds the cache-derived `mc_base`. (`MR = 8` for both element
+/// types, so this stays type-free.)
 pub fn dynamic_mc(m: usize, p: usize, mc_base: usize) -> usize {
     assert!(p > 0 && mc_base >= MR);
     if m == 0 {
@@ -42,11 +48,12 @@ pub fn dynamic_mc(m: usize, p: usize, mc_base: usize) -> usize {
 ///
 /// Exactly equivalent to [`crate::variants::run_serial`] (bit-identical
 /// heaps: workers own disjoint query ranges, so no merge is needed).
-pub fn run_data_parallel(
-    args: &DriverArgs<'_>,
-    heaps: &mut [SelHeap],
+pub fn run_data_parallel<T: FusedScalar>(
+    args: &DriverArgs<'_, T>,
+    heaps: &mut [SelHeap<T>],
     p: usize,
 ) -> (KernelStats, PhaseSet) {
+    let nr = T::NR;
     let m = args.q_idx.len();
     let n = args.r_idx.len();
     let d = args.xq.dim();
@@ -55,7 +62,9 @@ pub fn run_data_parallel(
         args.variant != Variant::Auto,
         "driver needs a concrete variant"
     );
-    args.params.validate().expect("invalid blocking parameters");
+    args.params
+        .validate_for::<T>()
+        .expect("invalid blocking parameters");
     let mut total_stats = KernelStats::default();
     let mut total_phases = PhaseSet::new();
     if m == 0 || n == 0 || d == 0 {
@@ -83,13 +92,13 @@ pub fn run_data_parallel(
             let first = pc == 0;
             let last = pc + dcb >= d;
 
-            let nblocks = ncb.div_ceil(NR);
+            let nblocks = ncb.div_ceil(nr);
             total_phases.time(Phase::PackR, || {
-                r_pack.resize(nblocks * NR * dcb);
+                r_pack.resize(nblocks * nr * dcb);
                 pack_r_panel(args.xr, args.r_idx, jc, ncb, pc, dcb, r_pack.as_mut_slice());
                 if last {
-                    r2_pack.resize(nblocks * NR);
-                    pack_sqnorms::<NR>(args.xr, args.r_idx, jc, ncb, r2_pack.as_mut_slice());
+                    r2_pack.resize(nblocks * nr);
+                    pack_sqnorms(args.xr, args.r_idx, jc, ncb, nr, r2_pack.as_mut_slice());
                 }
             });
             let rb = RefBlock {
@@ -105,8 +114,10 @@ pub fn run_data_parallel(
             };
 
             // Parallel 4th loop: zip disjoint query/heap/Cc chunks. Each
-            // worker's counters/phase times come back in chunk order and
-            // fold into the run totals.
+            // worker builds its Qc/Qc2 scratch once (`map_init`) and
+            // reuses it for every chunk it processes; the per-chunk
+            // closure is allocation-free. Counters/phase times come back
+            // in chunk order and fold into the run totals.
             let heap_chunks = heaps.par_chunks_mut(mc);
             let nchunks = m.div_ceil(mc);
             let worker_obs: Vec<(KernelStats, PhaseSet)> = if geo.need_cc {
@@ -114,54 +125,56 @@ pub fn run_data_parallel(
                     .par_chunks_mut(mc * geo.ldcc)
                     .zip(heap_chunks)
                     .enumerate()
-                    .map(|(ci, (cc_rows, heap_chunk))| {
-                        let ic = ci * mc;
-                        let mcb = (m - ic).min(mc);
-                        let mut q_pack = AlignedBuf::new();
-                        let mut q2_pack = AlignedBuf::new();
-                        let mut stats = KernelStats::default();
-                        let mut phases = PhaseSet::new();
-                        ic_block_body(
-                            args,
-                            ic,
-                            mcb,
-                            &rb,
-                            geo.ldcc,
-                            &mut q_pack,
-                            &mut q2_pack,
-                            Some(cc_rows),
-                            heap_chunk,
-                            &mut stats,
-                            &mut phases,
-                        );
-                        (stats, phases)
-                    })
+                    .map_init(
+                        || (AlignedBuf::new(), AlignedBuf::new()),
+                        |(q_pack, q2_pack), (ci, (cc_rows, heap_chunk))| {
+                            let ic = ci * mc;
+                            let mcb = (m - ic).min(mc);
+                            let mut stats = KernelStats::default();
+                            let mut phases = PhaseSet::new();
+                            ic_block_body(
+                                args,
+                                ic,
+                                mcb,
+                                &rb,
+                                geo.ldcc,
+                                q_pack,
+                                q2_pack,
+                                Some(cc_rows),
+                                heap_chunk,
+                                &mut stats,
+                                &mut phases,
+                            );
+                            (stats, phases)
+                        },
+                    )
                     .collect()
             } else {
                 heap_chunks
                     .enumerate()
-                    .map(|(ci, heap_chunk)| {
-                        let ic = ci * mc;
-                        let mcb = (m - ic).min(mc);
-                        let mut q_pack = AlignedBuf::new();
-                        let mut q2_pack = AlignedBuf::new();
-                        let mut stats = KernelStats::default();
-                        let mut phases = PhaseSet::new();
-                        ic_block_body(
-                            args,
-                            ic,
-                            mcb,
-                            &rb,
-                            geo.ldcc,
-                            &mut q_pack,
-                            &mut q2_pack,
-                            None,
-                            heap_chunk,
-                            &mut stats,
-                            &mut phases,
-                        );
-                        (stats, phases)
-                    })
+                    .map_init(
+                        || (AlignedBuf::new(), AlignedBuf::new()),
+                        |(q_pack, q2_pack), (ci, heap_chunk)| {
+                            let ic = ci * mc;
+                            let mcb = (m - ic).min(mc);
+                            let mut stats = KernelStats::default();
+                            let mut phases = PhaseSet::new();
+                            ic_block_body(
+                                args,
+                                ic,
+                                mcb,
+                                &rb,
+                                geo.ldcc,
+                                q_pack,
+                                q2_pack,
+                                None,
+                                heap_chunk,
+                                &mut stats,
+                                &mut phases,
+                            );
+                            (stats, phases)
+                        },
+                    )
                     .collect()
             };
             for (stats, phases) in &worker_obs {
@@ -236,7 +249,7 @@ mod tests {
     use super::*;
     use crate::buffers::GsknnWorkspace;
     use crate::variants::run_serial;
-    use dataset::{uniform, DistanceKind};
+    use dataset::{uniform, DistanceKind, PointSet};
     use knn_select::Neighbor;
 
     #[test]
@@ -310,6 +323,38 @@ mod tests {
             run_data_parallel(&args, &mut par, 3);
             for (s, p) in sorted_rows(serial).into_iter().zip(sorted_rows(par)) {
                 assert_eq!(s, p, "{}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn f32_parallel_equals_f32_serial() {
+        // bit-identical across schemes in f32 too: same chunk geometry,
+        // same kernels, disjoint heap ownership
+        let x: PointSet<f32> = uniform(150, 12, 77).cast();
+        let q_idx: Vec<usize> = (0..70).collect();
+        let r_idx: Vec<usize> = (0..150).collect();
+        for variant in [Variant::Var1, Variant::Var3, Variant::Var6] {
+            let args = DriverArgs::same(
+                &x,
+                &q_idx,
+                &r_idx,
+                DistanceKind::SqL2,
+                GemmParams::tiny_for::<f32>(),
+                variant,
+            );
+            let mut serial: Vec<SelHeap<f32>> = (0..70).map(|_| SelHeap::new(5, false)).collect();
+            let mut ws = GsknnWorkspace::new();
+            run_serial(&args, &mut serial, &mut ws);
+            let mut par: Vec<SelHeap<f32>> = (0..70).map(|_| SelHeap::new(5, false)).collect();
+            run_data_parallel(&args, &mut par, 4);
+            for (i, (s, p)) in serial.into_iter().zip(par).enumerate() {
+                assert_eq!(
+                    s.into_sorted_vec(),
+                    p.into_sorted_vec(),
+                    "{} row {i}",
+                    variant.name()
+                );
             }
         }
     }

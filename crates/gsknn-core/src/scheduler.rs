@@ -9,6 +9,7 @@
 
 use crate::buffers::KernelStats;
 use crate::kernel::{Gsknn, GsknnConfig};
+use crate::microkernel::FusedScalar;
 use crate::model::{MachineParams, Model, ProblemSize};
 use crate::obs::PhaseSet;
 use dataset::{DistanceKind, PointSet};
@@ -59,6 +60,53 @@ pub fn makespan(schedule: &[Vec<usize>], costs: &[f64]) -> f64 {
         .iter()
         .map(|b| b.iter().map(|&t| costs[t]).sum::<f64>())
         .fold(0.0, f64::max)
+}
+
+/// Generic LPT executor: schedule `costs.len()` tasks onto `p` workers
+/// (biggest estimated cost first, least-loaded worker wins), give each
+/// worker its own state from `init` — a kernel context whose packing
+/// workspace is then reused across every task in the bucket — and run
+/// `work(&mut state, task_index)` for each assigned task. Results come
+/// back in task order.
+///
+/// This is the reusable core of [`run_task_parallel`]; the randomized
+/// KD-tree solver plugs its per-leaf kernel calls into it directly.
+pub fn lpt_execute<S, R, I, F>(costs: &[f64], p: usize, init: I, work: F) -> Vec<R>
+where
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+    R: Send,
+{
+    let schedule = lpt_schedule(costs, p.max(1));
+    let worker_outputs: Vec<Vec<(usize, R)>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = schedule
+            .iter()
+            .map(|bucket| {
+                scope.spawn(|_| {
+                    let mut state = init();
+                    bucket
+                        .iter()
+                        .map(|&t| (t, work(&mut state, t)))
+                        .collect::<Vec<(usize, R)>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("scope");
+    let mut results: Vec<Option<R>> = (0..costs.len()).map(|_| None).collect();
+    for out in worker_outputs {
+        for (t, r) in out {
+            results[t] = Some(r);
+        }
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every task scheduled exactly once"))
+        .collect()
 }
 
 /// One task's predicted vs measured runtime from a traced run.
@@ -145,14 +193,14 @@ impl SchedulerTelemetry {
 ///
 /// Each worker owns a private [`Gsknn`] context (workspace reuse within a
 /// worker, zero sharing between workers).
-pub fn run_task_parallel(
-    x: &PointSet,
+pub fn run_task_parallel<T: FusedScalar>(
+    x: &PointSet<T>,
     tasks: &[KnnTask],
     kind: DistanceKind,
     cfg: &GsknnConfig,
     machine: MachineParams,
     p: usize,
-) -> Vec<NeighborTable> {
+) -> Vec<NeighborTable<T>> {
     run_task_parallel_traced(x, tasks, kind, cfg, machine, p).0
 }
 
@@ -161,15 +209,17 @@ pub fn run_task_parallel(
 /// predicted-vs-realized makespan. Task timing uses `Instant` at task
 /// granularity and is always on (no `obs` feature needed); the merged
 /// `phases` breakdown is only non-zero with `obs`.
-pub fn run_task_parallel_traced(
-    x: &PointSet,
+pub fn run_task_parallel_traced<T: FusedScalar>(
+    x: &PointSet<T>,
     tasks: &[KnnTask],
     kind: DistanceKind,
     cfg: &GsknnConfig,
     machine: MachineParams,
     p: usize,
-) -> (Vec<NeighborTable>, SchedulerTelemetry) {
-    let model = Model::new(machine);
+) -> (Vec<NeighborTable<T>>, SchedulerTelemetry) {
+    // rescale the machine constants to the element type so f32 costs are
+    // estimated with doubled flop rate / halved stream traffic
+    let model = Model::new(machine.for_scalar::<T>());
     let costs: Vec<f64> = tasks
         .iter()
         .map(|t| {
@@ -183,11 +233,11 @@ pub fn run_task_parallel_traced(
         .collect();
     let schedule = lpt_schedule(&costs, p.max(1));
 
-    let mut results: Vec<Option<NeighborTable>> = vec![None; tasks.len()];
+    let mut results: Vec<Option<NeighborTable<T>>> = vec![None; tasks.len()];
     // Hand each worker its bucket plus a matching slice of result slots.
     // Results are scattered, so collect per worker and write back after.
-    type WorkerOut = Vec<(usize, NeighborTable, f64, KernelStats, PhaseSet)>;
-    let worker_outputs: Vec<WorkerOut> = crossbeam::thread::scope(|scope| {
+    type WorkerOut<T> = Vec<(usize, NeighborTable<T>, f64, KernelStats, PhaseSet)>;
+    let worker_outputs: Vec<WorkerOut<T>> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = schedule
             .iter()
             .map(|bucket| {
@@ -203,7 +253,7 @@ pub fn run_task_parallel_traced(
                             let secs = t0.elapsed().as_secs_f64();
                             (t, table, secs, exec.last_stats(), exec.last_phases())
                         })
-                        .collect::<WorkerOut>()
+                        .collect::<WorkerOut<T>>()
                 })
             })
             .collect();
@@ -340,6 +390,58 @@ mod tests {
         assert!(tel.load_imbalance() >= 1.0 - 1e-12);
         // kernel counters were merged across workers
         assert!(tel.stats.tiles > 0);
+    }
+
+    #[test]
+    fn lpt_execute_returns_results_in_task_order_with_worker_state() {
+        let costs = vec![3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0];
+        // state = per-worker counter: each task records (task, nth-in-bucket)
+        let out = lpt_execute(
+            &costs,
+            3,
+            || 0usize,
+            |seen, t| {
+                *seen += 1;
+                (t, *seen)
+            },
+        );
+        assert_eq!(out.len(), costs.len());
+        for (i, (t, nth)) in out.iter().enumerate() {
+            assert_eq!(*t, i, "task order preserved");
+            assert!(*nth >= 1, "worker state was initialized");
+        }
+        // worker state is shared within a bucket: with 7 tasks on 3
+        // workers some bucket has >= 3 tasks, so some task is the 3rd
+        // its worker ran — proof init() ran once per worker, not per task
+        assert!(out.iter().any(|(_, nth)| *nth >= 3));
+    }
+
+    #[test]
+    fn f32_task_parallel_matches_f32_serial() {
+        let x: PointSet<f32> = uniform(120, 8, 55).cast();
+        let tasks: Vec<KnnTask> = (0..4)
+            .map(|t| KnnTask {
+                q_idx: (t * 30..(t + 1) * 30).collect(),
+                r_idx: (0..120).collect(),
+                k: 4,
+            })
+            .collect();
+        let cfg = GsknnConfig::default();
+        let got = run_task_parallel(
+            &x,
+            &tasks,
+            DistanceKind::SqL2,
+            &cfg,
+            MachineParams::ivy_bridge_1core(),
+            2,
+        );
+        let mut exec: Gsknn<f32> = Gsknn::new(cfg);
+        for (task, table) in tasks.iter().zip(&got) {
+            let want = exec.run(&x, &task.q_idx, &task.r_idx, task.k, DistanceKind::SqL2);
+            for i in 0..task.q_idx.len() {
+                assert_eq!(table.row(i), want.row(i));
+            }
+        }
     }
 
     #[test]

@@ -20,14 +20,20 @@
 //! data-parallel scheme (§2.5) can run it on disjoint query chunks —
 //! private `Qc` per thread, shared packed `Rc` — without duplicating the
 //! nest.
+//!
+//! The whole nest is generic over the element type ([`FusedScalar`]):
+//! the micro-tile geometry (`T::MR × T::NR`) and the SIMD kernels come
+//! from the type, everything else — blocking, packing, selection — is
+//! shared between f64 and f32.
 
 use crate::buffers::{GsknnWorkspace, KernelStats};
-use crate::microkernel::{tile_pass, PassMode, Tile, MR, NR};
+use crate::microkernel::{tile_pass, FusedScalar, PassMode};
 use crate::obs::{Phase, PhaseSet};
 use crate::packing::{pack_q_panel, pack_r_panel, pack_sqnorms};
 use crate::params::Variant;
 use dataset::{DistanceKind, PointSet};
 use gemm_kernel::{AlignedBuf, GemmParams};
+use gsknn_scalar::{GsknnScalar, MAX_TILE};
 use knn_select::{BinaryMaxHeap, FourHeap, Neighbor};
 
 /// Per-query selection heap: binary for small `k` (Var#1's choice), 4-ary
@@ -40,14 +46,14 @@ use knn_select::{BinaryMaxHeap, FourHeap, Neighbor};
 /// (breaking the solvers' recall monotonicity). Fresh heaps keep the
 /// unchecked O(1)-filter push of the paper.
 #[derive(Clone, Debug)]
-pub enum SelHeap {
+pub enum SelHeap<T: GsknnScalar = f64> {
     /// Binary max-heap (`dedup` = id-unique insertion).
-    Bin(BinaryMaxHeap, bool),
+    Bin(BinaryMaxHeap<T>, bool),
     /// Padded 4-ary max-heap (`dedup` = id-unique insertion).
-    Four(FourHeap, bool),
+    Four(FourHeap<T>, bool),
 }
 
-impl SelHeap {
+impl<T: GsknnScalar> SelHeap<T> {
     /// Fresh heap of capacity `k`; `four` picks the 4-ary layout.
     pub fn new(k: usize, four: bool) -> Self {
         if four {
@@ -59,7 +65,7 @@ impl SelHeap {
 
     /// Build from an existing neighbor row (sentinels dropped); id-unique
     /// insertion is enabled iff the row holds any real entry.
-    pub fn from_row(k: usize, row: &[Neighbor], four: bool) -> Self {
+    pub fn from_row(k: usize, row: &[Neighbor<T>], four: bool) -> Self {
         let seeded = row.iter().any(|n| n.dist.is_finite());
         if four {
             SelHeap::Four(FourHeap::from_row(k, row), seeded)
@@ -70,7 +76,7 @@ impl SelHeap {
 
     /// Offer a candidate.
     #[inline(always)]
-    pub fn push(&mut self, cand: Neighbor) -> bool {
+    pub fn push(&mut self, cand: Neighbor<T>) -> bool {
         match self {
             SelHeap::Bin(h, false) => h.push(cand),
             SelHeap::Bin(h, true) => h.push_unique(cand),
@@ -81,7 +87,7 @@ impl SelHeap {
 
     /// Current pruning bound (+∞ until full).
     #[inline(always)]
-    pub fn threshold(&self) -> f64 {
+    pub fn threshold(&self) -> T {
         match self {
             SelHeap::Bin(h, _) => h.threshold(),
             SelHeap::Four(h, _) => h.threshold(),
@@ -89,7 +95,7 @@ impl SelHeap {
     }
 
     /// Drain into ascending sorted order.
-    pub fn into_sorted_vec(self) -> Vec<Neighbor> {
+    pub fn into_sorted_vec(self) -> Vec<Neighbor<T>> {
         match self {
             SelHeap::Bin(h, _) => h.into_sorted_vec(),
             SelHeap::Four(h, _) => h.into_sorted_vec(),
@@ -104,11 +110,11 @@ impl SelHeap {
 /// same dimension (`xq`/`xr`), which adds out-of-sample (train/test)
 /// search for free — pass the same table twice for the paper's setting
 /// ([`DriverArgs::same`]).
-pub struct DriverArgs<'a> {
+pub struct DriverArgs<'a, T: GsknnScalar = f64> {
     /// Coordinate table the queries are gathered from.
-    pub xq: &'a PointSet,
+    pub xq: &'a PointSet<T>,
     /// Coordinate table the references are gathered from.
-    pub xr: &'a PointSet,
+    pub xr: &'a PointSet<T>,
     /// Query ids into `xq` (the `q` array — general stride).
     pub q_idx: &'a [usize],
     /// Reference ids into `xr` (the `r` array).
@@ -121,10 +127,10 @@ pub struct DriverArgs<'a> {
     pub variant: Variant,
 }
 
-impl<'a> DriverArgs<'a> {
+impl<'a, T: GsknnScalar> DriverArgs<'a, T> {
     /// The paper's single-table form: queries and references both from `x`.
     pub fn same(
-        x: &'a PointSet,
+        x: &'a PointSet<T>,
         q_idx: &'a [usize],
         r_idx: &'a [usize],
         kind: DistanceKind,
@@ -153,17 +159,18 @@ pub(crate) struct CcGeometry {
     pub need_cc: bool,
 }
 
-pub(crate) fn cc_geometry(args: &DriverArgs<'_>) -> CcGeometry {
+pub(crate) fn cc_geometry<T: GsknnScalar>(args: &DriverArgs<'_, T>) -> CcGeometry {
+    let (mr, nr) = (T::MR, T::NR);
     let m = args.q_idx.len();
     let n = args.r_idx.len();
     let d = args.xq.dim();
     let multipass = d > args.params.dc;
     let buffered = args.variant != Variant::Var1;
-    let pad_m = m.div_ceil(MR) * MR;
+    let pad_m = m.div_ceil(mr) * mr;
     let ldcc = if args.variant == Variant::Var6 {
-        n.div_ceil(NR) * NR
+        n.div_ceil(nr) * nr
     } else {
-        args.params.nc.min(n.div_ceil(NR) * NR)
+        args.params.nc.min(n.div_ceil(nr) * nr)
     };
     CcGeometry {
         ldcc,
@@ -173,11 +180,11 @@ pub(crate) fn cc_geometry(args: &DriverArgs<'_>) -> CcGeometry {
 }
 
 /// State of the current `(jc, pc)` iteration handed to the 4th-loop body.
-pub(crate) struct RefBlock<'a> {
+pub(crate) struct RefBlock<'a, T: GsknnScalar = f64> {
     /// Packed `Rc` panel for this `(jc, pc)`.
-    pub r_pack: &'a [f64],
+    pub r_pack: &'a [T],
     /// Packed `R2c` (only valid when `last`).
-    pub r2_pack: &'a [f64],
+    pub r2_pack: &'a [T],
     /// Reference-block origin (6th-loop index).
     pub jc: usize,
     /// Reference-block extent.
@@ -199,27 +206,30 @@ pub(crate) struct RefBlock<'a> {
 /// Var#1/2/3 selection. All row indexing is local to the chunk: `heaps`
 /// and `cc_rows` start at query `ic_global`.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn ic_block_body(
-    args: &DriverArgs<'_>,
+pub(crate) fn ic_block_body<T: FusedScalar>(
+    args: &DriverArgs<'_, T>,
     ic_global: usize,
     mcb: usize,
-    rb: &RefBlock<'_>,
+    rb: &RefBlock<'_, T>,
     ldcc: usize,
-    q_pack: &mut AlignedBuf,
-    q2_pack: &mut AlignedBuf,
-    mut cc_rows: Option<&mut [f64]>,
-    heaps: &mut [SelHeap],
+    q_pack: &mut AlignedBuf<T>,
+    q2_pack: &mut AlignedBuf<T>,
+    mut cc_rows: Option<&mut [T]>,
+    heaps: &mut [SelHeap<T>],
     stats: &mut KernelStats,
     phases: &mut PhaseSet,
 ) {
+    let (mr, nr) = (T::MR, T::NR);
     let variant = args.variant;
     let multipass = args.xq.dim() > args.params.dc;
     let buffered = variant != Variant::Var1;
     let dcb = rb.dcb;
-    let mblocks = mcb.div_ceil(MR);
+    let mblocks = mcb.div_ceil(mr);
+    // placeholder norms for partial passes (never read by finalize)
+    let zero_row = [T::ZERO; MAX_TILE];
 
     phases.time(Phase::PackQ, || {
-        q_pack.resize(mblocks * MR * dcb);
+        q_pack.resize(mblocks * mr * dcb);
         pack_q_panel(
             args.xq,
             args.q_idx,
@@ -230,22 +240,29 @@ pub(crate) fn ic_block_body(
             q_pack.as_mut_slice(),
         );
         if rb.last {
-            q2_pack.resize(mblocks * MR);
-            pack_sqnorms::<MR>(args.xq, args.q_idx, ic_global, mcb, q2_pack.as_mut_slice());
+            q2_pack.resize(mblocks * mr);
+            pack_sqnorms(
+                args.xq,
+                args.q_idx,
+                ic_global,
+                mcb,
+                mr,
+                q2_pack.as_mut_slice(),
+            );
         }
     });
 
     // 3rd loop: reference micro-panels
-    for jr in (0..rb.ncb).step_by(NR) {
-        let nre = (rb.ncb - jr).min(NR);
-        let bp = &rb.r_pack[(jr / NR) * NR * dcb..];
+    for jr in (0..rb.ncb).step_by(nr) {
+        let nre = (rb.ncb - jr).min(nr);
+        let bp = &rb.r_pack[(jr / nr) * nr * dcb..];
         // §2.4 rank-dc pipeline: prefetch the *next* Rc micro-panel so it
         // streams toward L1 while the whole ir sweep consumes the current
         // one (the paper's "the next required micro-panel of Rc ... can
         // be prefetched and overlapped with the current rank-dc update").
         #[cfg(target_arch = "x86_64")]
         {
-            let next = (jr / NR + 1) * NR * dcb;
+            let next = (jr / nr + 1) * nr * dcb;
             if next < rb.r_pack.len() {
                 // SAFETY: prefetch has no architectural memory effects
                 // and the address is in-bounds of r_pack.
@@ -258,9 +275,9 @@ pub(crate) fn ic_block_body(
             }
         }
         // 2nd loop: query micro-panels
-        for ir in (0..mcb).step_by(MR) {
-            let mre = (mcb - ir).min(MR);
-            let ap = &q_pack.as_slice()[(ir / MR) * MR * dcb..];
+        for ir in (0..mcb).step_by(mr) {
+            let mre = (mcb - ir).min(mr);
+            let ap = &q_pack.as_slice()[(ir / mr) * mr * dcb..];
             let tile_origin = ir * ldcc + rb.col0 + jr;
 
             if !rb.last {
@@ -271,8 +288,8 @@ pub(crate) fn ic_block_body(
                         dcb,
                         ap,
                         bp,
-                        &ZERO_ROW,
-                        &ZERO_ROW,
+                        &zero_row,
+                        &zero_row,
                         PassMode::Partial {
                             cc: &mut cc[tile_origin..],
                             ldcc,
@@ -285,7 +302,7 @@ pub(crate) fn ic_block_body(
 
             let q2 = &q2_pack.as_slice()[ir..];
             let r2 = &rb.r2_pack[jr..];
-            let mut out: Tile = [0.0; MR * NR];
+            let mut out = [T::ZERO; MAX_TILE];
             {
                 let prior = if multipass && !rb.first {
                     let cc = cc_rows.as_deref().expect("multipass requires Cc");
@@ -317,9 +334,9 @@ pub(crate) fn ic_block_body(
                 // The buffered variants' "store C" traffic belongs to the
                 // rank-dc phase: it is the write the fused Var#1 avoids.
                 phases.time(Phase::RankDc, || {
-                    for i in 0..MR {
-                        let dst = &mut cc[tile_origin + i * ldcc..tile_origin + i * ldcc + NR];
-                        dst.copy_from_slice(&out[i * NR..i * NR + NR]);
+                    for i in 0..mr {
+                        let dst = &mut cc[tile_origin + i * ldcc..tile_origin + i * ldcc + nr];
+                        dst.copy_from_slice(&out[i * nr..i * nr + nr]);
                     }
                 });
             } else {
@@ -363,11 +380,14 @@ pub(crate) fn ic_block_body(
     }
 }
 
-static ZERO_ROW: [f64; MR] = [0.0; MR];
-
 /// Run the six-loop nest serially, updating `heaps[i]` (one per query,
 /// `heaps.len() == q_idx.len()`) with every reference candidate.
-pub fn run_serial(args: &DriverArgs<'_>, heaps: &mut [SelHeap], ws: &mut GsknnWorkspace) {
+pub fn run_serial<T: FusedScalar>(
+    args: &DriverArgs<'_, T>,
+    heaps: &mut [SelHeap<T>],
+    ws: &mut GsknnWorkspace<T>,
+) {
+    let (mr, nr) = (T::MR, T::NR);
     let m = args.q_idx.len();
     let n = args.r_idx.len();
     let d = args.xq.dim();
@@ -377,7 +397,9 @@ pub fn run_serial(args: &DriverArgs<'_>, heaps: &mut [SelHeap], ws: &mut GsknnWo
         args.variant != Variant::Auto,
         "driver needs a concrete variant"
     );
-    args.params.validate().expect("invalid blocking parameters");
+    args.params
+        .validate_for::<T>()
+        .expect("invalid blocking parameters");
     if m == 0 || n == 0 || d == 0 {
         feed_degenerate(args, heaps);
         return;
@@ -411,13 +433,13 @@ pub fn run_serial(args: &DriverArgs<'_>, heaps: &mut [SelHeap], ws: &mut GsknnWo
             let first = pc == 0;
             let last = pc + dcb >= d;
 
-            let nblocks = ncb.div_ceil(NR);
+            let nblocks = ncb.div_ceil(nr);
             phases.time(Phase::PackR, || {
-                r_pack.resize(nblocks * NR * dcb);
+                r_pack.resize(nblocks * nr * dcb);
                 pack_r_panel(args.xr, args.r_idx, jc, ncb, pc, dcb, r_pack.as_mut_slice());
                 if last {
-                    r2_pack.resize(nblocks * NR);
-                    pack_sqnorms::<NR>(args.xr, args.r_idx, jc, ncb, r2_pack.as_mut_slice());
+                    r2_pack.resize(nblocks * nr);
+                    pack_sqnorms(args.xr, args.r_idx, jc, ncb, nr, r2_pack.as_mut_slice());
                 }
             });
             let rb = RefBlock {
@@ -436,7 +458,7 @@ pub fn run_serial(args: &DriverArgs<'_>, heaps: &mut [SelHeap], ws: &mut GsknnWo
             for ic in (0..m).step_by(mc) {
                 let mcb = (m - ic).min(mc);
                 let cc_rows = if geo.need_cc {
-                    let rows = (geo.pad_m - ic).min(mc.div_ceil(MR) * MR);
+                    let rows = (geo.pad_m - ic).min(mc.div_ceil(mr) * mr);
                     Some(&mut cc.as_mut_slice()[ic * geo.ldcc..(ic + rows) * geo.ldcc])
                 } else {
                     None
@@ -491,11 +513,11 @@ pub fn run_serial(args: &DriverArgs<'_>, heaps: &mut [SelHeap], ws: &mut GsknnWo
 
 /// `d == 0`: every distance is 0; still feed candidates so the semantics
 /// (k nearest ids by tie-break) hold. `m == 0` / `n == 0`: nothing to do.
-pub(crate) fn feed_degenerate(args: &DriverArgs<'_>, heaps: &mut [SelHeap]) {
+pub(crate) fn feed_degenerate<T: GsknnScalar>(args: &DriverArgs<'_, T>, heaps: &mut [SelHeap<T>]) {
     if args.xq.dim() == 0 && !args.q_idx.is_empty() {
         for heap in heaps.iter_mut() {
             for &rj in args.r_idx {
-                heap.push(Neighbor::new(0.0, rj as u32));
+                heap.push(Neighbor::new(T::ZERO, rj as u32));
             }
         }
     }
@@ -506,36 +528,32 @@ pub(crate) fn feed_degenerate(args: &DriverArgs<'_>, heaps: &mut [SelHeap]) {
 /// best case of heap selection.
 #[inline]
 #[allow(clippy::too_many_arguments)] // tile geometry is inherently wide
-pub(crate) fn select_tile(
-    out: &Tile,
+pub(crate) fn select_tile<T: FusedScalar>(
+    out: &[T],
     row0: usize,
     mre: usize,
     refcol0: usize,
     nre: usize,
     r_idx: &[usize],
-    heaps: &mut [SelHeap],
+    heaps: &mut [SelHeap<T>],
     stats: &mut KernelStats,
 ) {
-    #[cfg(target_arch = "x86_64")]
-    let use_simd = crate::microkernel::avx2_available();
+    let nr = T::NR;
+    let use_simd = T::row_filter_available();
     for i in 0..mre {
         let heap = &mut heaps[row0 + i];
-        let row = &out[i * NR..i * NR + NR];
+        let row = &out[i * nr..i * nr + nr];
         let thr = heap.threshold();
-        #[cfg(target_arch = "x86_64")]
-        {
-            if use_simd && nre == NR {
-                // SAFETY: AVX2 available; row has NR elements.
-                let mask = unsafe { crate::microkernel::row_filter_mask(row, thr) };
-                if mask == 0 {
-                    stats.rows_filtered += 1;
-                    continue;
-                }
+        if use_simd && nre == nr {
+            // SAFETY: filter availability checked; row has NR elements.
+            let mask = unsafe { T::row_filter_mask(row, thr) };
+            if mask == 0 {
+                stats.rows_filtered += 1;
+                continue;
             }
         }
         stats.rows_scanned += 1;
-        for j in 0..nre {
-            let dist = row[j];
+        for (j, &dist) in row.iter().enumerate().take(nre) {
             // `thr` is the bound from before this row: it only admits more
             // than the live one, and `push` re-checks, so this stays exact.
             if dist <= thr {
@@ -554,14 +572,14 @@ pub(crate) fn select_tile(
 /// `Cc` column coordinates; the global reference of column `c` is
 /// `r_idx[ref0 + (c - cols.start)]`.
 #[allow(clippy::too_many_arguments)] // block geometry is inherently wide
-pub(crate) fn select_block(
-    cc: &[f64],
+pub(crate) fn select_block<T: GsknnScalar>(
+    cc: &[T],
     ldcc: usize,
     rows: std::ops::Range<usize>,
     cols: std::ops::Range<usize>,
     ref0: usize,
     r_idx: &[usize],
-    heaps: &mut [SelHeap],
+    heaps: &mut [SelHeap<T>],
     stats: &mut KernelStats,
 ) {
     let row0 = rows.start;
@@ -586,17 +604,17 @@ mod tests {
     use super::*;
     use dataset::uniform;
 
-    pub(crate) fn brute_force(
-        x: &PointSet,
+    pub(crate) fn brute_force_t<T: GsknnScalar>(
+        x: &PointSet<T>,
         q_idx: &[usize],
         r_idx: &[usize],
         k: usize,
         kind: DistanceKind,
-    ) -> Vec<Vec<Neighbor>> {
+    ) -> Vec<Vec<Neighbor<T>>> {
         q_idx
             .iter()
             .map(|&qi| {
-                let mut cands: Vec<Neighbor> = r_idx
+                let mut cands: Vec<Neighbor<T>> = r_idx
                     .iter()
                     .map(|&rj| Neighbor::new(kind.eval(x.point(qi), x.point(rj)), rj as u32))
                     .collect();
@@ -605,6 +623,32 @@ mod tests {
                 cands
             })
             .collect()
+    }
+
+    pub(crate) fn brute_force(
+        x: &PointSet,
+        q_idx: &[usize],
+        r_idx: &[usize],
+        k: usize,
+        kind: DistanceKind,
+    ) -> Vec<Vec<Neighbor>> {
+        brute_force_t::<f64>(x, q_idx, r_idx, k, kind)
+    }
+
+    fn run_variant_t<T: FusedScalar>(
+        x: &PointSet<T>,
+        q_idx: &[usize],
+        r_idx: &[usize],
+        k: usize,
+        kind: DistanceKind,
+        variant: Variant,
+        params: GemmParams,
+    ) -> Vec<Vec<Neighbor<T>>> {
+        let args = DriverArgs::same(x, q_idx, r_idx, kind, params, variant);
+        let mut heaps: Vec<SelHeap<T>> = (0..q_idx.len()).map(|_| SelHeap::new(k, false)).collect();
+        let mut ws = GsknnWorkspace::new();
+        run_serial(&args, &mut heaps, &mut ws);
+        heaps.into_iter().map(|h| h.into_sorted_vec()).collect()
     }
 
     fn run_variant(
@@ -616,26 +660,30 @@ mod tests {
         variant: Variant,
         params: GemmParams,
     ) -> Vec<Vec<Neighbor>> {
-        let args = DriverArgs::same(x, q_idx, r_idx, kind, params, variant);
-        let mut heaps: Vec<SelHeap> = (0..q_idx.len()).map(|_| SelHeap::new(k, false)).collect();
-        let mut ws = GsknnWorkspace::new();
-        run_serial(&args, &mut heaps, &mut ws);
-        heaps.into_iter().map(|h| h.into_sorted_vec()).collect()
+        run_variant_t::<f64>(x, q_idx, r_idx, k, kind, variant, params)
     }
 
-    fn assert_rows_match(got: &[Vec<Neighbor>], want: &[Vec<Neighbor>], tol: f64, ctx: &str) {
+    fn assert_rows_match_t<T: GsknnScalar>(
+        got: &[Vec<Neighbor<T>>],
+        want: &[Vec<Neighbor<T>>],
+        tol: f64,
+        ctx: &str,
+    ) {
         assert_eq!(got.len(), want.len());
         for (qi, (g, w)) in got.iter().zip(want).enumerate() {
             assert_eq!(g.len(), w.len(), "{ctx}: row {qi} length");
             for (a, b) in g.iter().zip(w) {
+                let (da, db) = (a.dist.to_f64(), b.dist.to_f64());
                 assert!(
-                    (a.dist - b.dist).abs() <= tol * (1.0 + b.dist.abs()),
-                    "{ctx}: row {qi}: dist {} vs {}",
-                    a.dist,
-                    b.dist
+                    (da - db).abs() <= tol * (1.0 + db.abs()),
+                    "{ctx}: row {qi}: dist {da} vs {db}"
                 );
             }
         }
+    }
+
+    fn assert_rows_match(got: &[Vec<Neighbor>], want: &[Vec<Neighbor>], tol: f64, ctx: &str) {
+        assert_rows_match_t::<f64>(got, want, tol, ctx)
     }
 
     #[test]
@@ -655,6 +703,55 @@ mod tests {
                 GemmParams::tiny(),
             );
             assert_rows_match(&got, &want, 1e-9, v.name());
+        }
+    }
+
+    #[test]
+    fn f32_all_variants_match_f32_brute_force() {
+        // the full nest in single precision, against an f32 oracle (same
+        // arithmetic, different association order — tolerance covers it)
+        let x: PointSet<f32> = uniform(60, 5, 11).cast();
+        let q_idx: Vec<usize> = (0..20).collect();
+        let r_idx: Vec<usize> = (10..60).collect();
+        let want = brute_force_t::<f32>(&x, &q_idx, &r_idx, 4, DistanceKind::SqL2);
+        for v in Variant::ALL {
+            let got = run_variant_t::<f32>(
+                &x,
+                &q_idx,
+                &r_idx,
+                4,
+                DistanceKind::SqL2,
+                v,
+                GemmParams::tiny_for::<f32>(),
+            );
+            assert_rows_match_t(&got, &want, 1e-4, v.name());
+        }
+    }
+
+    #[test]
+    fn f32_multipass_and_norms() {
+        let x: PointSet<f32> = uniform(40, 37, 3).cast();
+        let q_idx: Vec<usize> = (0..15).collect();
+        let r_idx: Vec<usize> = (0..40).collect();
+        for kind in [
+            DistanceKind::SqL2,
+            DistanceKind::L1,
+            DistanceKind::LInf,
+            DistanceKind::Cosine,
+        ] {
+            let want = brute_force_t::<f32>(&x, &q_idx, &r_idx, 6, kind);
+            for v in [Variant::Var1, Variant::Var3, Variant::Var6] {
+                let got = run_variant_t::<f32>(
+                    &x,
+                    &q_idx,
+                    &r_idx,
+                    6,
+                    kind,
+                    v,
+                    GemmParams::tiny_for::<f32>(),
+                );
+                assert_rows_match_t(&got, &want, 1e-3, &format!("{} {}", v.name(), kind.name()));
+            }
         }
     }
 
@@ -797,6 +894,29 @@ mod tests {
                 GemmParams::ivy_bridge(),
             );
             assert_rows_match(&got, &want, 1e-9, v.name());
+        }
+    }
+
+    #[test]
+    fn f32_ivy_bridge_params_are_usable() {
+        // the paper's f64 blocking (mc=104, nc=4096) happens to satisfy
+        // the f32 8×8 tile's divisibility too — the default config must
+        // keep working when the element type changes underneath it
+        let x: PointSet<f32> = uniform(300, 20, 31).cast();
+        let q_idx: Vec<usize> = (0..100).collect();
+        let r_idx: Vec<usize> = (50..300).collect();
+        let want = brute_force_t::<f32>(&x, &q_idx, &r_idx, 8, DistanceKind::SqL2);
+        for v in [Variant::Var1, Variant::Var6] {
+            let got = run_variant_t::<f32>(
+                &x,
+                &q_idx,
+                &r_idx,
+                8,
+                DistanceKind::SqL2,
+                v,
+                GemmParams::ivy_bridge(),
+            );
+            assert_rows_match_t(&got, &want, 1e-3, v.name());
         }
     }
 

@@ -7,7 +7,7 @@ use dataset::{DistanceKind, PointSet};
 use gsknn_core::buffers::KernelStats;
 use gsknn_core::model::Approach;
 use gsknn_core::obs::{Phase, PhaseSet};
-use gsknn_core::{Gsknn, GsknnConfig, MachineParams, Model, ProblemSize, Variant};
+use gsknn_core::{FusedScalar, Gsknn, GsknnConfig, MachineParams, Model, ProblemSize, Variant};
 use std::time::Instant;
 
 fn term(terms: &[(&'static str, f64)], name: &str) -> Option<f64> {
@@ -79,9 +79,13 @@ fn drift_join(
 
 /// Profile one kNN problem: time Var#1 and Var#6 (`reps` repetitions
 /// each, best kept), read the phase breakdown and kernel counters of the
-/// model-chosen variant, and join everything against the model.
-pub fn profile_run(
-    x: &PointSet,
+/// model-chosen variant, and join everything against the model. Generic
+/// over the element type: for `f32` the machine constants are rescaled
+/// (`MachineParams::for_scalar`) so the drift join compares against the
+/// doubled-lane predictions, and the blocking comes from
+/// [`GsknnConfig::for_scalar`].
+pub fn profile_run<T: FusedScalar>(
+    x: &PointSet<T>,
     q_idx: &[usize],
     r_idx: &[usize],
     k: usize,
@@ -96,7 +100,7 @@ pub fn profile_run(
         d: x.dim(),
         k,
     };
-    let model = Model::new(machine);
+    let model = Model::new(machine.for_scalar::<T>());
 
     let candidates = [
         (Variant::Var1, Approach::Var1),
@@ -105,9 +109,9 @@ pub fn profile_run(
     let mut variants = Vec::new();
     let mut observed: Vec<(PhaseSet, KernelStats)> = Vec::new();
     for (variant, approach) in candidates {
-        let mut exec = Gsknn::new(GsknnConfig {
+        let mut exec: Gsknn<T> = Gsknn::new(GsknnConfig {
             variant,
-            ..Default::default()
+            ..GsknnConfig::for_scalar::<T>()
         });
         let mut best = f64::INFINITY;
         let mut phases = PhaseSet::new();
@@ -151,6 +155,7 @@ pub fn profile_run(
         n: ps.n,
         d: ps.d,
         k: ps.k,
+        precision: T::NAME,
         kind: kind.name().to_string(),
         reps,
         obs_enabled: gsknn_core::obs::enabled(),
@@ -169,9 +174,10 @@ pub fn profile_run(
 }
 
 /// [`profile_run`] on a synthetic uniform problem: `max(m, n)` points in
-/// `d` dimensions, queries `0..m`, references `0..n`.
+/// `d` dimensions, queries `0..m`, references `0..n`. The data is drawn
+/// in `f64` and cast, so both precisions profile the same point set.
 #[allow(clippy::too_many_arguments)] // flat mirror of the CLI flag list
-pub fn profile_synthetic(
+pub fn profile_synthetic<T: FusedScalar>(
     m: usize,
     n: usize,
     d: usize,
@@ -181,7 +187,7 @@ pub fn profile_synthetic(
     machine: MachineParams,
     reps: usize,
 ) -> ProfileReport {
-    let x = dataset::uniform(m.max(n).max(1), d, seed);
+    let x = dataset::uniform(m.max(n).max(1), d, seed).cast::<T>();
     let q_idx: Vec<usize> = (0..m).collect();
     let r_idx: Vec<usize> = (0..n).collect();
     profile_run(&x, &q_idx, &r_idx, k, kind, machine, reps)
@@ -192,7 +198,7 @@ mod tests {
     use super::*;
 
     fn small_report() -> ProfileReport {
-        profile_synthetic(
+        profile_synthetic::<f64>(
             96,
             256,
             16,
@@ -282,6 +288,34 @@ mod tests {
             .phases
             .iter()
             .any(|p| p.phase == "rank-dc kernel" && p.spans > 0));
+    }
+
+    #[test]
+    fn f32_report_carries_precision_and_scaled_predictions() {
+        let r32 = profile_synthetic::<f32>(
+            96,
+            256,
+            16,
+            8,
+            7,
+            DistanceKind::SqL2,
+            MachineParams::ivy_bridge_1core(),
+            1,
+        );
+        let r64 = small_report();
+        assert_eq!(r32.precision, "f32");
+        assert_eq!(r64.precision, "f64");
+        // the f32 machine model halves every bandwidth-bound term, so the
+        // predicted total must drop strictly below the f64 prediction
+        for (v32, v64) in r32.variants.iter().zip(&r64.variants) {
+            assert_eq!(v32.variant, v64.variant);
+            assert!(v32.predicted < v64.predicted, "{}", v32.variant);
+        }
+        assert_eq!(
+            r32.to_json().get("precision").and_then(|v| v.as_str()),
+            Some("f32")
+        );
+        assert!(r32.render_table().contains(" f32 "));
     }
 
     #[test]

@@ -88,6 +88,8 @@ pub struct ProfileReport {
     pub d: usize,
     /// Neighbors kept.
     pub k: usize,
+    /// Element type profiled (`"f64"` / `"f32"`).
+    pub precision: &'static str,
     /// Distance kind name.
     pub kind: String,
     /// Timing repetitions per variant (best kept).
@@ -176,6 +178,7 @@ impl ProfileReport {
             ("n".into(), Value::from(self.n)),
             ("d".into(), Value::from(self.d)),
             ("k".into(), Value::from(self.k)),
+            ("precision".into(), Value::from(self.precision)),
             ("kind".into(), Value::from(self.kind.clone())),
             ("reps".into(), Value::from(self.reps)),
             ("obs_enabled".into(), Value::from(self.obs_enabled)),
@@ -212,8 +215,8 @@ impl ProfileReport {
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "profile: m={} n={} d={} k={} kind={} (best of {} reps)\n",
-            self.m, self.n, self.d, self.k, self.kind, self.reps
+            "profile: m={} n={} d={} k={} {} kind={} (best of {} reps)\n",
+            self.m, self.n, self.d, self.k, self.precision, self.kind, self.reps
         ));
         out.push_str(&format!(
             "variant: model picks {} | empirically fastest {} | model {}\n",

@@ -161,6 +161,7 @@ mod tests {
                 iterations: 8,
                 seed: 1,
                 parallel_leaves: false,
+                lpt_workers: None,
             },
         );
         // edge recall

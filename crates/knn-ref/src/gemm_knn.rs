@@ -15,7 +15,8 @@
 //! being limited to ℓ2/cosine while GSKNN supports any ℓp.
 
 use dataset::PointSet;
-use gemm_kernel::{gemm_tn, GemmParams, GemmWorkspace};
+use gemm_kernel::{gemm_tn, GemmParams, GemmScalar, GemmWorkspace};
+use gsknn_scalar::GsknnScalar;
 use knn_select::{BinaryMaxHeap, Neighbor, NeighborTable};
 use rayon::prelude::*;
 use std::time::{Duration, Instant};
@@ -61,21 +62,22 @@ pub enum GemmMetric {
 }
 
 /// Reusable GEMM-approach executor (owns `Q`, `R`, `C` staging buffers —
-/// the very buffers whose traffic Eq. (5) charges this method for).
+/// the very buffers whose traffic Eq. (5) charges this method for),
+/// generic over the element precision like the fused kernel it baselines.
 #[derive(Default)]
-pub struct GemmKnn {
+pub struct GemmKnn<T: GemmScalar = f64> {
     params: GemmParams,
     parallel: bool,
     metric: GemmMetric,
-    ws: GemmWorkspace,
-    q: Vec<f64>,
-    r: Vec<f64>,
-    q2: Vec<f64>,
-    r2: Vec<f64>,
-    c: Vec<f64>,
+    ws: GemmWorkspace<T>,
+    q: Vec<T>,
+    r: Vec<T>,
+    q2: Vec<T>,
+    r2: Vec<T>,
+    c: Vec<T>,
 }
 
-impl GemmKnn {
+impl<T: GemmScalar> GemmKnn<T> {
     /// Executor with the given blocking parameters; `parallel` turns on
     /// rayon parallelism for the correction + selection phases (the GEMM
     /// substrate itself is serial).
@@ -100,11 +102,11 @@ impl GemmKnn {
     /// Solve one kernel: squared-ℓ2 k nearest references for each query.
     pub fn run(
         &mut self,
-        x: &PointSet,
+        x: &PointSet<T>,
         q_idx: &[usize],
         r_idx: &[usize],
         k: usize,
-    ) -> (NeighborTable, PhaseTimes) {
+    ) -> (NeighborTable<T>, PhaseTimes) {
         let mut table = NeighborTable::new(q_idx.len(), k);
         let times = self.update(x, q_idx, r_idx, &mut table);
         (table, times)
@@ -113,10 +115,10 @@ impl GemmKnn {
     /// Update existing neighbor lists (row `i` ↔ `q_idx[i]`).
     pub fn update(
         &mut self,
-        x: &PointSet,
+        x: &PointSet<T>,
         q_idx: &[usize],
         r_idx: &[usize],
-        table: &mut NeighborTable,
+        table: &mut NeighborTable<T>,
     ) -> PhaseTimes {
         let (m, n, d) = (q_idx.len(), r_idx.len(), x.dim());
         assert_eq!(table.len(), m, "one table row per query");
@@ -142,18 +144,18 @@ impl GemmKnn {
         // alpha = −2 for the ℓ2² expansion, +1 for the cosine dot product
         let t1 = Instant::now();
         let alpha = match self.metric {
-            GemmMetric::SqL2 => -2.0,
-            GemmMetric::Cosine => 1.0,
+            GemmMetric::SqL2 => T::from_f64(-2.0),
+            GemmMetric::Cosine => T::ONE,
         };
-        self.c.resize(m * n, 0.0);
+        self.c.resize(m * n, T::ZERO);
         if d == 0 {
-            self.c.fill(0.0);
+            self.c.fill(T::ZERO);
         } else if self.parallel {
             gemm_kernel::gemm_tn_parallel(
                 alpha,
                 &self.q,
                 &self.r,
-                0.0,
+                T::ZERO,
                 &mut self.c,
                 d,
                 m,
@@ -165,7 +167,7 @@ impl GemmKnn {
                 alpha,
                 &self.q,
                 &self.r,
-                0.0,
+                T::ZERO,
                 &mut self.c,
                 d,
                 m,
@@ -181,16 +183,20 @@ impl GemmKnn {
         let t2 = Instant::now();
         let (q2, r2) = (&self.q2, &self.r2);
         let metric = self.metric;
-        let correct = |(row, q2i): (&mut [f64], &f64)| match metric {
+        let correct = |(row, q2i): (&mut [T], &T)| match metric {
             GemmMetric::SqL2 => {
                 for (cij, r2j) in row.iter_mut().zip(r2) {
-                    *cij = (*cij + q2i + r2j).max(0.0);
+                    *cij = (*cij + *q2i + *r2j).max(T::ZERO);
                 }
             }
             GemmMetric::Cosine => {
                 for (cij, r2j) in row.iter_mut().zip(r2) {
-                    let denom = (q2i * r2j).sqrt();
-                    *cij = if denom > 0.0 { 1.0 - *cij / denom } else { 1.0 };
+                    let denom = (*q2i * *r2j).sqrt();
+                    *cij = if denom > T::ZERO {
+                        T::ONE - *cij / denom
+                    } else {
+                        T::ONE
+                    };
                 }
             }
         };
@@ -208,7 +214,7 @@ impl GemmKnn {
         let t3 = Instant::now();
         let k = table.k();
         let c = &self.c;
-        let select = |i: usize, row_in: &[Neighbor]| -> Vec<Neighbor> {
+        let select = |i: usize, row_in: &[Neighbor<T>]| -> Vec<Neighbor<T>> {
             let mut heap = BinaryMaxHeap::from_row(k, row_in);
             // id-unique insertion once seeded from a non-empty list: the
             // iterated solvers re-visit stored neighbors (see
@@ -228,7 +234,7 @@ impl GemmKnn {
             heap.into_sorted_vec()
         };
         if self.parallel {
-            let rows: Vec<Vec<Neighbor>> = (0..m)
+            let rows: Vec<Vec<Neighbor<T>>> = (0..m)
                 .into_par_iter()
                 .map(|i| select(i, table.row(i)))
                 .collect();
@@ -247,7 +253,7 @@ impl GemmKnn {
 }
 
 /// `X(:, idx)` into a reusable dense column-major buffer.
-fn gather_into(x: &PointSet, idx: &[usize], out: &mut Vec<f64>) {
+fn gather_into<T: GsknnScalar>(x: &PointSet<T>, idx: &[usize], out: &mut Vec<T>) {
     out.clear();
     out.reserve(idx.len() * x.dim());
     for &j in idx {
@@ -319,6 +325,29 @@ mod tests {
             let want = oracle::exact(&x, &q, &r, 3, DistanceKind::SqL2);
             oracle::assert_matches(&got, &want, 1e-9, "reuse");
         }
+    }
+
+    #[test]
+    fn f32_matches_f32_oracle() {
+        let x: PointSet<f32> = uniform(90, 11, 7).cast();
+        let q: Vec<usize> = (0..25).collect();
+        let r: Vec<usize> = (5..90).collect();
+        let mut exec: GemmKnn<f32> = GemmKnn::new(GemmParams::tiny_for::<f32>(), false);
+        let (got, _) = exec.run(&x, &q, &r, 6);
+        let want = oracle::exact(&x, &q, &r, 6, DistanceKind::SqL2);
+        oracle::assert_matches(&got, &want, 1e-4, "gemm-knn f32");
+    }
+
+    #[test]
+    fn f32_cosine_matches_f32_oracle() {
+        let x: PointSet<f32> = uniform(80, 9, 15).cast();
+        let q: Vec<usize> = (0..20).collect();
+        let r: Vec<usize> = (0..80).collect();
+        let mut exec: GemmKnn<f32> =
+            GemmKnn::with_metric(GemmParams::tiny_for::<f32>(), false, GemmMetric::Cosine);
+        let (got, _) = exec.run(&x, &q, &r, 5);
+        let want = oracle::exact(&x, &q, &r, 5, DistanceKind::Cosine);
+        oracle::assert_matches(&got, &want, 1e-4, "gemm-knn f32 cosine");
     }
 
     #[test]

@@ -15,5 +15,6 @@ mod gemm_knn;
 pub mod oracle;
 mod single_loop;
 
+pub use gemm_kernel::GemmScalar;
 pub use gemm_knn::{GemmKnn, PhaseTimes};
 pub use single_loop::single_loop_knn;

@@ -2,20 +2,22 @@
 //! mn·log n) — never used for performance, always used for correctness.
 
 use dataset::{DistanceKind, PointSet};
+use gsknn_scalar::GsknnScalar;
 use knn_select::{Neighbor, NeighborTable};
 
 /// Exact k nearest references for every query, by direct per-pair distance
 /// evaluation (no GEMM expansion — this is the numerically "direct" form)
-/// and a full sort under the workspace-wide `(dist, idx)` order.
-pub fn exact(
-    x: &PointSet,
+/// and a full sort under the workspace-wide `(dist, idx)` order. Generic
+/// over the element type so the f32 kernels have a same-precision oracle.
+pub fn exact<T: GsknnScalar>(
+    x: &PointSet<T>,
     q_idx: &[usize],
     r_idx: &[usize],
     k: usize,
     kind: DistanceKind,
-) -> NeighborTable {
+) -> NeighborTable<T> {
     let mut table = NeighborTable::new(q_idx.len(), k);
-    let mut cands: Vec<Neighbor> = Vec::with_capacity(r_idx.len());
+    let mut cands: Vec<Neighbor<T>> = Vec::with_capacity(r_idx.len());
     for (i, &qi) in q_idx.iter().enumerate() {
         cands.clear();
         cands.extend(
@@ -34,13 +36,19 @@ pub fn exact(
 /// distance tolerance (the GEMM expansion rounds differently from the
 /// direct form) and id agreement wherever distances are separated by more
 /// than the tolerance. Panics with context on mismatch.
-pub fn assert_matches(got: &NeighborTable, want: &NeighborTable, tol: f64, ctx: &str) {
+pub fn assert_matches<T: GsknnScalar>(
+    got: &NeighborTable<T>,
+    want: &NeighborTable<T>,
+    tol: f64,
+    ctx: &str,
+) {
     assert_eq!(got.len(), want.len(), "{ctx}: row count");
     assert_eq!(got.k(), want.k(), "{ctx}: k");
     for i in 0..want.len() {
         let (g, w) = (got.row(i), want.row(i));
         for (pos, (a, b)) in g.iter().zip(w).enumerate() {
-            let close = (a.dist - b.dist).abs() <= tol * (1.0 + b.dist.abs());
+            let (ad, bd) = (a.dist.to_f64(), b.dist.to_f64());
+            let close = (ad - bd).abs() <= tol * (1.0 + bd.abs());
             assert!(
                 close,
                 "{ctx}: row {i} pos {pos}: dist {} vs {} (idx {} vs {})",

@@ -7,6 +7,7 @@
 //! (O(log k) worst case per accepted candidate).
 
 use crate::Neighbor;
+use gsknn_scalar::GsknnScalar;
 
 /// Bounded binary max-heap of [`Neighbor`]s ordered by `(dist, idx)`.
 ///
@@ -25,12 +26,12 @@ use crate::Neighbor;
 /// assert_eq!(kept, vec![1.0, 3.0]);
 /// ```
 #[derive(Clone, Debug)]
-pub struct BinaryMaxHeap {
+pub struct BinaryMaxHeap<T: GsknnScalar = f64> {
     k: usize,
-    data: Vec<Neighbor>,
+    data: Vec<Neighbor<T>>,
 }
 
-impl BinaryMaxHeap {
+impl<T: GsknnScalar> BinaryMaxHeap<T> {
     /// Empty heap with capacity `k`.
     pub fn new(k: usize) -> Self {
         BinaryMaxHeap {
@@ -42,8 +43,9 @@ impl BinaryMaxHeap {
     /// Build a heap from an existing *sorted or unsorted* row of at most
     /// `k` neighbors; sentinel (+∞) entries are dropped. Uses Floyd's O(k)
     /// bottom-up heapify.
-    pub fn from_row(k: usize, row: &[Neighbor]) -> Self {
-        let mut data: Vec<Neighbor> = row.iter().copied().filter(|n| n.dist.is_finite()).collect();
+    pub fn from_row(k: usize, row: &[Neighbor<T>]) -> Self {
+        let mut data: Vec<Neighbor<T>> =
+            row.iter().copied().filter(|n| n.dist.is_finite()).collect();
         assert!(data.len() <= k, "row longer than heap capacity");
         let mut heap = BinaryMaxHeap {
             k,
@@ -88,23 +90,23 @@ impl BinaryMaxHeap {
     /// +∞ otherwise. A candidate with `dist >= threshold()` can only be
     /// accepted via the tie-break on index, and `dist > threshold()` never.
     #[inline(always)]
-    pub fn threshold(&self) -> f64 {
+    pub fn threshold(&self) -> T {
         if self.k > 0 && self.is_full() {
             self.data[0].dist
         } else {
-            f64::INFINITY
+            T::INFINITY
         }
     }
 
     /// The current root (worst kept neighbor), if any.
     #[inline]
-    pub fn root(&self) -> Option<Neighbor> {
+    pub fn root(&self) -> Option<Neighbor<T>> {
         self.data.first().copied()
     }
 
     /// Offer a candidate. Returns `true` if it was kept.
     #[inline]
-    pub fn push(&mut self, cand: Neighbor) -> bool {
+    pub fn push(&mut self, cand: Neighbor<T>) -> bool {
         if self.k == 0 {
             return false;
         }
@@ -129,7 +131,7 @@ impl BinaryMaxHeap {
     /// duplicate would evict a genuine k-th neighbor. O(k) scan, but only
     /// on candidates that pass the root filter.
     #[inline]
-    pub fn push_unique(&mut self, cand: Neighbor) -> bool {
+    pub fn push_unique(&mut self, cand: Neighbor<T>) -> bool {
         if self.k == 0 {
             return false;
         }
@@ -143,13 +145,13 @@ impl BinaryMaxHeap {
     }
 
     /// Drain into an ascending `(dist, idx)`-sorted vector.
-    pub fn into_sorted_vec(mut self) -> Vec<Neighbor> {
+    pub fn into_sorted_vec(mut self) -> Vec<Neighbor<T>> {
         self.data.sort_unstable_by(Neighbor::cmp_dist_idx);
         self.data
     }
 
     /// Borrowed view of the raw (heap-ordered) storage.
-    pub fn as_slice(&self) -> &[Neighbor] {
+    pub fn as_slice(&self) -> &[Neighbor<T>] {
         &self.data
     }
 
@@ -217,6 +219,18 @@ mod tests {
     }
 
     #[test]
+    fn f32_heap_keeps_k_smallest() {
+        let mut h = BinaryMaxHeap::<f32>::new(3);
+        for (i, d) in [9.0f32, 2.0, 7.0, 1.0, 5.0, 3.0].iter().enumerate() {
+            h.push(Neighbor::new(*d, i as u32));
+            assert!(h.check_invariant());
+        }
+        assert_eq!(h.threshold(), 3.0f32);
+        let got: Vec<f32> = h.into_sorted_vec().iter().map(|x| x.dist).collect();
+        assert_eq!(got, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
     fn threshold_is_inf_until_full() {
         let mut h = BinaryMaxHeap::new(2);
         assert_eq!(h.threshold(), f64::INFINITY);
@@ -260,6 +274,47 @@ mod tests {
         assert_eq!(h.threshold(), f64::INFINITY); // not full yet
     }
 
+    #[test]
+    fn nan_candidates_never_evict_real_neighbors() {
+        // A full heap rejects NaN (NaN beats nothing under `beats`); the
+        // kernel boundary rejects NaN inputs, but the heap itself must
+        // stay well-behaved if one slips through.
+        let mut h = BinaryMaxHeap::new(2);
+        h.push(n(1.0, 0));
+        h.push(n(2.0, 1));
+        assert!(!h.push(n(f64::NAN, 9)));
+        assert!(h.check_invariant());
+        let got = h.into_sorted_vec();
+        assert_eq!(got.iter().map(|x| x.idx).collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn nan_in_partial_heap_sorts_last_and_keeps_invariant() {
+        // While not full, pushes are unconditional — a NaN is stored but
+        // never breaks the heap invariant (it compares as "not beating"),
+        // and total_cmp sorts it after every real distance on drain.
+        let mut h = BinaryMaxHeap::new(4);
+        h.push(n(f64::NAN, 7));
+        h.push(n(5.0, 1));
+        h.push(n(f64::INFINITY, 2));
+        assert!(h.check_invariant());
+        let got = h.into_sorted_vec();
+        assert_eq!(got[0].idx, 1);
+        assert_eq!(got[1].dist, f64::INFINITY);
+        assert!(got[2].dist.is_nan());
+    }
+
+    #[test]
+    fn infinity_candidates_behave_like_sentinels() {
+        let mut h = BinaryMaxHeap::<f32>::new(2);
+        h.push(Neighbor::new(f32::INFINITY, 5));
+        h.push(Neighbor::new(1.0f32, 0));
+        assert_eq!(h.threshold(), f32::INFINITY); // worst kept is +inf
+        assert!(h.push(Neighbor::new(2.0f32, 1)), "finite beats +inf");
+        let got = h.into_sorted_vec();
+        assert_eq!(got.iter().map(|x| x.idx).collect::<Vec<_>>(), vec![0, 1]);
+    }
+
     proptest! {
         #[test]
         fn matches_sort_truncate(dists in prop::collection::vec(0.0f64..100.0, 0..200), k in 0usize..20) {
@@ -294,6 +349,24 @@ mod tests {
             for &c in &row { pushed.push(c); }
             prop_assert!(built.check_invariant());
             prop_assert_eq!(built.into_sorted_vec(), pushed.into_sorted_vec());
+        }
+
+        #[test]
+        fn f32_heap_agrees_with_f64_on_exact_values(
+            dists in prop::collection::vec(0u16..1000, 0..100),
+            k in 1usize..16,
+        ) {
+            // u16-derived distances are exactly representable in both
+            // precisions, so the two heaps must keep identical index sets.
+            let mut h64 = BinaryMaxHeap::<f64>::new(k);
+            let mut h32 = BinaryMaxHeap::<f32>::new(k);
+            for (i, &d) in dists.iter().enumerate() {
+                h64.push(Neighbor::new(d as f64, i as u32));
+                h32.push(Neighbor::new(d as f32, i as u32));
+            }
+            let i64s: Vec<u32> = h64.into_sorted_vec().iter().map(|x| x.idx).collect();
+            let i32s: Vec<u32> = h32.into_sorted_vec().iter().map(|x| x.idx).collect();
+            prop_assert_eq!(i64s, i32s);
         }
     }
 }

@@ -20,23 +20,28 @@
 //! exactly `D` consecutive `f64`s — one AVX register load for `D = 4`.
 
 use crate::Neighbor;
+use gsknn_scalar::GsknnScalar;
 
 /// Padded d-ary bounded max-heap of neighbors ordered by `(dist, idx)`.
+/// Generic over the distance scalar with `f64` as the default; for `f32`
+/// the `D = 4` child group is half a cache line (the natural f32 choice is
+/// `DHeap<8, f32>`, one full line / one AVX2 register of distances).
 #[derive(Clone, Debug)]
-pub struct DHeap<const D: usize> {
+pub struct DHeap<const D: usize, T: GsknnScalar = f64> {
     k: usize,
     len: usize,
     /// `D-1` pad slots, then `k` node slots, then tail pad to a multiple of
     /// `D`; pads hold `-inf` so a vector max over a child group never picks
     /// them.
-    dists: Vec<f64>,
+    dists: Vec<T>,
     idxs: Vec<u32>,
 }
 
-/// The paper's 4-heap: all four children of a node share one cache line.
-pub type FourHeap = DHeap<4>;
+/// The paper's 4-heap: all four children of a node share one cache line
+/// (for f64; the f32 group is half a line — see the type docs above).
+pub type FourHeap<T = f64> = DHeap<4, T>;
 
-impl<const D: usize> DHeap<D> {
+impl<const D: usize, T: GsknnScalar> DHeap<D, T> {
     const PAD: usize = D - 1;
 
     /// Empty heap with capacity `k`.
@@ -46,13 +51,13 @@ impl<const D: usize> DHeap<D> {
         DHeap {
             k,
             len: 0,
-            dists: vec![f64::NEG_INFINITY; cap],
+            dists: vec![T::NEG_INFINITY; cap],
             idxs: vec![u32::MAX; cap],
         }
     }
 
     /// Build from an existing row (sentinels dropped), Floyd-style.
-    pub fn from_row(k: usize, row: &[Neighbor]) -> Self {
+    pub fn from_row(k: usize, row: &[Neighbor<T>]) -> Self {
         let mut heap = Self::new(k);
         for n in row.iter().filter(|n| n.dist.is_finite()) {
             // Insert unconditionally: from_row is cold-path, so a simple
@@ -88,17 +93,17 @@ impl<const D: usize> DHeap<D> {
 
     /// Pruning bound: worst kept distance when full, +∞ otherwise.
     #[inline(always)]
-    pub fn threshold(&self) -> f64 {
+    pub fn threshold(&self) -> T {
         if self.is_full() && self.k > 0 {
             self.dists[Self::PAD]
         } else {
-            f64::INFINITY
+            T::INFINITY
         }
     }
 
     /// Current root (worst kept neighbor).
     #[inline]
-    pub fn root(&self) -> Option<Neighbor> {
+    pub fn root(&self) -> Option<Neighbor<T>> {
         if self.len == 0 {
             None
         } else {
@@ -107,13 +112,13 @@ impl<const D: usize> DHeap<D> {
     }
 
     #[inline(always)]
-    fn get(&self, logical: usize) -> Neighbor {
+    fn get(&self, logical: usize) -> Neighbor<T> {
         let s = logical + Self::PAD;
         Neighbor::new(self.dists[s], self.idxs[s])
     }
 
     #[inline(always)]
-    fn set(&mut self, logical: usize, n: Neighbor) {
+    fn set(&mut self, logical: usize, n: Neighbor<T>) {
         let s = logical + Self::PAD;
         self.dists[s] = n.dist;
         self.idxs[s] = n.idx;
@@ -121,7 +126,7 @@ impl<const D: usize> DHeap<D> {
 
     /// Offer a candidate; returns `true` if kept.
     #[inline]
-    pub fn push(&mut self, cand: Neighbor) -> bool {
+    pub fn push(&mut self, cand: Neighbor<T>) -> bool {
         if self.k == 0 {
             return false;
         }
@@ -143,7 +148,7 @@ impl<const D: usize> DHeap<D> {
     /// stored are dropped (see `BinaryMaxHeap::push_unique` for why the
     /// iterated solvers need this).
     #[inline]
-    pub fn push_unique(&mut self, cand: Neighbor) -> bool {
+    pub fn push_unique(&mut self, cand: Neighbor<T>) -> bool {
         if self.k == 0 {
             return false;
         }
@@ -158,7 +163,7 @@ impl<const D: usize> DHeap<D> {
     }
 
     /// Remove and return the max (worst) neighbor.
-    pub fn pop(&mut self) -> Option<Neighbor> {
+    pub fn pop(&mut self) -> Option<Neighbor<T>> {
         if self.len == 0 {
             return None;
         }
@@ -178,13 +183,13 @@ impl<const D: usize> DHeap<D> {
     #[inline]
     fn clear_slot(&mut self, logical: usize) {
         let s = logical + Self::PAD;
-        self.dists[s] = f64::NEG_INFINITY;
+        self.dists[s] = T::NEG_INFINITY;
         self.idxs[s] = u32::MAX;
     }
 
     /// Drain into an ascending `(dist, idx)`-sorted vector.
-    pub fn into_sorted_vec(self) -> Vec<Neighbor> {
-        let mut out: Vec<Neighbor> = (0..self.len).map(|j| self.get(j)).collect();
+    pub fn into_sorted_vec(self) -> Vec<Neighbor<T>> {
+        let mut out: Vec<Neighbor<T>> = (0..self.len).map(|j| self.get(j)).collect();
         out.sort_unstable_by(Neighbor::cmp_dist_idx);
         out
     }
@@ -258,10 +263,10 @@ impl<const D: usize> DHeap<D> {
         // pads must all be -inf
         let pads_ok = self.dists[..Self::PAD]
             .iter()
-            .all(|&d| d == f64::NEG_INFINITY)
+            .all(|&d| d == T::NEG_INFINITY)
             && self.dists[Self::PAD + self.len..]
                 .iter()
-                .all(|&d| d == f64::NEG_INFINITY);
+                .all(|&d| d == T::NEG_INFINITY);
         pads_ok
     }
 }
@@ -355,6 +360,29 @@ mod tests {
         assert_eq!(h.threshold(), f64::INFINITY);
         h.push(n(1.0, 1));
         assert_eq!(h.threshold(), 3.0);
+    }
+
+    #[test]
+    fn f32_eight_heap_keeps_k_smallest() {
+        // the natural f32 geometry: 8 children = one cache line of f32s
+        let mut h: DHeap<8, f32> = DHeap::new(3);
+        for (i, d) in [9.0f32, 2.0, 7.0, 1.0, 5.0, 3.0, 0.5].iter().enumerate() {
+            h.push(Neighbor::new(*d, i as u32));
+            assert!(h.check_invariant());
+        }
+        assert_eq!(h.threshold(), 2.0f32);
+        let got: Vec<f32> = h.into_sorted_vec().iter().map(|x| x.dist).collect();
+        assert_eq!(got, vec![0.5, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn full_four_heap_rejects_nan() {
+        let mut h = FourHeap::new(2);
+        h.push(n(1.0, 0));
+        h.push(n(2.0, 1));
+        assert!(!h.push(n(f64::NAN, 9)));
+        assert!(h.check_invariant());
+        assert_eq!(h.into_sorted_vec().len(), 2);
     }
 
     #[test]

@@ -5,15 +5,16 @@
 //! worst case, with fully contiguous memory access.
 
 use crate::Neighbor;
+use gsknn_scalar::GsknnScalar;
 
 /// Select the k smallest of `cands` (ascending `(dist, idx)` order).
-pub fn merge_select(cands: &[Neighbor], k: usize) -> Vec<Neighbor> {
+pub fn merge_select<T: GsknnScalar>(cands: &[Neighbor<T>], k: usize) -> Vec<Neighbor<T>> {
     if k == 0 || cands.is_empty() {
         return Vec::new();
     }
-    let mut acc: Vec<Neighbor> = Vec::with_capacity(k);
-    let mut chunk_buf: Vec<Neighbor> = Vec::with_capacity(k);
-    let mut merged: Vec<Neighbor> = Vec::with_capacity(k);
+    let mut acc: Vec<Neighbor<T>> = Vec::with_capacity(k);
+    let mut chunk_buf: Vec<Neighbor<T>> = Vec::with_capacity(k);
+    let mut merged: Vec<Neighbor<T>> = Vec::with_capacity(k);
     for chunk in cands.chunks(k) {
         chunk_buf.clear();
         chunk_buf.extend_from_slice(chunk);
@@ -27,9 +28,13 @@ pub fn merge_select(cands: &[Neighbor], k: usize) -> Vec<Neighbor> {
 /// Update an existing sorted list with candidates: O(n log k) for the
 /// chunk sorts plus one O(log k)-deep merge cascade — the cost the paper
 /// notes makes merge selection unattractive for small n.
-pub fn merge_update(list: &[Neighbor], cands: &[Neighbor], k: usize) -> Vec<Neighbor> {
+pub fn merge_update<T: GsknnScalar>(
+    list: &[Neighbor<T>],
+    cands: &[Neighbor<T>],
+    k: usize,
+) -> Vec<Neighbor<T>> {
     let fresh = merge_select(cands, k);
-    let clean: Vec<Neighbor> = list
+    let clean: Vec<Neighbor<T>> = list
         .iter()
         .copied()
         .filter(|n| n.dist.is_finite())
@@ -41,7 +46,12 @@ pub fn merge_update(list: &[Neighbor], cands: &[Neighbor], k: usize) -> Vec<Neig
 
 /// Merge two ascending-sorted slices, writing at most `k` smallest elements
 /// into `out` (cleared first).
-fn merge_truncated(a: &[Neighbor], b: &[Neighbor], k: usize, out: &mut Vec<Neighbor>) {
+fn merge_truncated<T: GsknnScalar>(
+    a: &[Neighbor<T>],
+    b: &[Neighbor<T>],
+    k: usize,
+    out: &mut Vec<Neighbor<T>>,
+) {
     out.clear();
     let (mut i, mut j) = (0, 0);
     while out.len() < k {

@@ -1,26 +1,32 @@
 //! The `Neighbor` value type and the per-query neighbor table `N`/`D`
 //! (Table 2 of the paper: `N(i,:)` holds kNN ids of query `i`, `D(i,:)`
-//! the squared distances).
+//! the squared distances). Generic over the distance scalar
+//! ([`GsknnScalar`]) with `f64` as the default so the pre-existing call
+//! sites compile unchanged; the f32 kernel path stores `Neighbor<f32>`.
+
+use gsknn_scalar::GsknnScalar;
 
 /// One neighbor candidate: a squared distance (or any ℓp distance) paired
 /// with the *global* index of the reference point in the coordinate table
 /// `X`.
 ///
-/// Ordering is lexicographic on `(dist, idx)`. Distances must be finite and
-/// non-NaN; the kernel entry points validate this once at the boundary so
-/// the hot loops can use raw `<` comparisons.
+/// Ordering is lexicographic on `(dist, idx)`. The hot-path comparison
+/// ([`Neighbor::beats`]) uses raw `<`/`==`, under which a NaN distance
+/// never beats anything (so NaN candidates are rejected by a full heap);
+/// the total-order comparison ([`Neighbor::cmp_dist_idx`]) uses the IEEE
+/// `totalOrder` predicate, which sorts NaN after +∞ instead of panicking.
 #[derive(Clone, Copy, Debug, PartialEq)]
-pub struct Neighbor {
+pub struct Neighbor<T: GsknnScalar = f64> {
     /// Distance from the query (squared Euclidean for the ℓ2 kernels).
-    pub dist: f64,
+    pub dist: T,
     /// Global index of the reference point in `X`.
     pub idx: u32,
 }
 
-impl Neighbor {
+impl<T: GsknnScalar> Neighbor<T> {
     /// Construct a neighbor candidate.
     #[inline(always)]
-    pub fn new(dist: f64, idx: u32) -> Self {
+    pub fn new(dist: T, idx: u32) -> Self {
         Neighbor { dist, idx }
     }
 
@@ -29,26 +35,35 @@ impl Neighbor {
     #[inline(always)]
     pub fn sentinel() -> Self {
         Neighbor {
-            dist: f64::INFINITY,
+            dist: T::INFINITY,
             idx: u32::MAX,
         }
     }
 
     /// `true` if `self` is strictly closer than `other` under the
     /// `(dist, idx)` lexicographic order used everywhere in this workspace.
+    /// A NaN distance beats nothing (and nothing beats it).
     #[inline(always)]
-    pub fn beats(&self, other: &Neighbor) -> bool {
+    pub fn beats(&self, other: &Neighbor<T>) -> bool {
         self.dist < other.dist || (self.dist == other.dist && self.idx < other.idx)
     }
 
-    /// Total-order comparison by `(dist, idx)`; panics on NaN distances
-    /// (which are rejected at the API boundary).
+    /// Total-order comparison by `(dist, idx)`, using IEEE 754
+    /// `totalOrder` on the distance so it is defined (NaN sorts last)
+    /// even on inputs the API boundary normally rejects.
     #[inline(always)]
-    pub fn cmp_dist_idx(a: &Neighbor, b: &Neighbor) -> std::cmp::Ordering {
-        a.dist
-            .partial_cmp(&b.dist)
-            .expect("NaN distance in neighbor comparison")
-            .then(a.idx.cmp(&b.idx))
+    pub fn cmp_dist_idx(a: &Neighbor<T>, b: &Neighbor<T>) -> std::cmp::Ordering {
+        a.dist.total_cmp(&b.dist).then(a.idx.cmp(&b.idx))
+    }
+
+    /// Widen (or narrow) the stored distance to another scalar type; used
+    /// by the f32-vs-f64 agreement tests.
+    #[inline]
+    pub fn cast<U: GsknnScalar>(&self) -> Neighbor<U> {
+        Neighbor {
+            dist: U::from_f64(self.dist.to_f64()),
+            idx: self.idx,
+        }
     }
 }
 
@@ -69,13 +84,13 @@ impl Neighbor {
 /// heap contents, which is how the paper's "update the neighbor lists until
 /// convergence" iteration works.
 #[derive(Clone, Debug)]
-pub struct NeighborTable {
+pub struct NeighborTable<T: GsknnScalar = f64> {
     m: usize,
     k: usize,
-    rows: Vec<Neighbor>,
+    rows: Vec<Neighbor<T>>,
 }
 
-impl NeighborTable {
+impl<T: GsknnScalar> NeighborTable<T> {
     /// An `m × k` table filled with [`Neighbor::sentinel`] entries.
     pub fn new(m: usize, k: usize) -> Self {
         NeighborTable {
@@ -103,13 +118,13 @@ impl NeighborTable {
     /// Sorted neighbor row for query `i` (sentinel-padded while fewer than
     /// `k` real neighbors have been found).
     #[inline]
-    pub fn row(&self, i: usize) -> &[Neighbor] {
+    pub fn row(&self, i: usize) -> &[Neighbor<T>] {
         &self.rows[i * self.k..(i + 1) * self.k]
     }
 
     /// Mutable row access (kept sorted by the caller).
     #[inline]
-    pub fn row_mut(&mut self, i: usize) -> &mut [Neighbor] {
+    pub fn row_mut(&mut self, i: usize) -> &mut [Neighbor<T>] {
         &mut self.rows[i * self.k..(i + 1) * self.k]
     }
 
@@ -122,7 +137,7 @@ impl NeighborTable {
 
     /// Replace row `i` with `sorted` (must be ascending, length ≤ k);
     /// shorter rows are sentinel-padded.
-    pub fn set_row(&mut self, i: usize, sorted: &[Neighbor]) {
+    pub fn set_row(&mut self, i: usize, sorted: &[Neighbor<T>]) {
         assert!(sorted.len() <= self.k, "row longer than k");
         debug_assert!(sorted.windows(2).all(|w| !w[1].beats(&w[0])));
         let row = self.row_mut(i);
@@ -136,7 +151,7 @@ impl NeighborTable {
     /// true neighbors found, per query, averaged). Both tables must have
     /// the same shape. Sentinel entries in `exact` are ignored (queries
     /// with fewer than `k` real neighbors).
-    pub fn recall_against(&self, exact: &NeighborTable) -> f64 {
+    pub fn recall_against(&self, exact: &NeighborTable<T>) -> f64 {
         assert_eq!(self.len(), exact.len());
         assert_eq!(self.k(), exact.k());
         if self.is_empty() || self.k == 0 {
@@ -189,12 +204,53 @@ mod tests {
     }
 
     #[test]
+    fn f32_neighbors_order_the_same_way() {
+        let a = Neighbor::<f32>::new(1.0, 5);
+        let b = Neighbor::<f32>::new(1.0, 6);
+        assert!(a.beats(&b));
+        assert!(Neighbor::<f32>::new(1e30, 0).beats(&Neighbor::<f32>::sentinel()));
+        assert_eq!(Neighbor::cmp_dist_idx(&a, &b), std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn nan_distance_beats_nothing_and_sorts_last() {
+        let nan = Neighbor::new(f64::NAN, 1);
+        let inf = Neighbor::sentinel();
+        let fin = Neighbor::new(3.0, 2);
+        assert!(!nan.beats(&fin) && !fin.beats(&nan));
+        assert!(!nan.beats(&inf) && !inf.beats(&nan));
+        // total order is still defined: NaN after +inf
+        assert_eq!(Neighbor::cmp_dist_idx(&inf, &nan), std::cmp::Ordering::Less);
+        assert_eq!(Neighbor::cmp_dist_idx(&fin, &nan), std::cmp::Ordering::Less);
+        let mut v = [nan, fin, inf];
+        v.sort_unstable_by(Neighbor::cmp_dist_idx);
+        assert_eq!(v[0].idx, 2);
+        assert!(v[2].dist.is_nan());
+    }
+
+    #[test]
+    fn cast_round_trips_indices_and_widens_distance() {
+        let n32 = Neighbor::<f32>::new(0.5, 17);
+        let n64: Neighbor<f64> = n32.cast();
+        assert_eq!(n64.idx, 17);
+        assert_eq!(n64.dist, 0.5);
+    }
+
+    #[test]
     fn table_rows_round_trip() {
         let mut t = NeighborTable::new(3, 2);
         assert_eq!(t.len(), 3);
         t.set_row(1, &[Neighbor::new(0.5, 7), Neighbor::new(1.0, 3)]);
         assert_eq!(t.row(1)[0].idx, 7);
         assert_eq!(t.row(0)[0], Neighbor::sentinel());
+    }
+
+    #[test]
+    fn f32_table_uses_f32_sentinels() {
+        let mut t = NeighborTable::<f32>::new(2, 2);
+        t.set_row(0, &[Neighbor::new(0.5f32, 1)]);
+        assert_eq!(t.row(0)[1].dist, f32::INFINITY);
+        assert_eq!(t.row(0)[1].idx, u32::MAX);
     }
 
     #[test]

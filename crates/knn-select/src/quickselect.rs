@@ -5,11 +5,15 @@
 //! [Hoare 1961]: https://doi.org/10.1145/366622.366647
 
 use crate::Neighbor;
+use gsknn_scalar::GsknnScalar;
 
 /// Partition `buf` in place so that its first `min(k, len)` entries are the
 /// k smallest under `(dist, idx)` (in unspecified order) and return them as
 /// a vector.
-pub fn quickselect_k_smallest(buf: &mut [Neighbor], k: usize) -> Vec<Neighbor> {
+pub fn quickselect_k_smallest<T: GsknnScalar>(
+    buf: &mut [Neighbor<T>],
+    k: usize,
+) -> Vec<Neighbor<T>> {
     let k = k.min(buf.len());
     if k == 0 {
         return Vec::new();
@@ -23,7 +27,11 @@ pub fn quickselect_k_smallest(buf: &mut [Neighbor], k: usize) -> Vec<Neighbor> {
 /// Update a sorted neighbor list with new candidates: concatenate and
 /// re-select, the paper's O(n + k) list-update scheme. Returns the new
 /// sorted list of at most `k` entries.
-pub fn quickselect_update(list: &[Neighbor], cands: &[Neighbor], k: usize) -> Vec<Neighbor> {
+pub fn quickselect_update<T: GsknnScalar>(
+    list: &[Neighbor<T>],
+    cands: &[Neighbor<T>],
+    k: usize,
+) -> Vec<Neighbor<T>> {
     let mut all = Vec::with_capacity(list.len() + cands.len());
     all.extend(list.iter().copied().filter(|n| n.dist.is_finite()));
     all.extend_from_slice(cands);
@@ -36,7 +44,7 @@ pub fn quickselect_update(list: &[Neighbor], cands: &[Neighbor], k: usize) -> Ve
 /// `buf[k..]` the rest. Iterative selection over a shrinking window using a
 /// three-way (Dutch national flag) partition with median-of-3 pivoting; the
 /// equal-to-pivot middle block guarantees progress even on constant input.
-fn select_in_place(buf: &mut [Neighbor], k: usize) {
+fn select_in_place<T: GsknnScalar>(buf: &mut [Neighbor<T>], k: usize) {
     debug_assert!(k > 0 && k < buf.len());
     let mut lo = 0usize;
     let mut hi = buf.len(); // exclusive
@@ -69,7 +77,7 @@ fn select_in_place(buf: &mut [Neighbor], k: usize) {
 /// Returns `(lt, gt)` such that `buf[lo..lt]` beats the pivot,
 /// `buf[lt..gt]` equals it (at least one element), and the pivot beats
 /// `buf[gt..hi]`.
-fn partition3(buf: &mut [Neighbor], lo: usize, hi: usize) -> (usize, usize) {
+fn partition3<T: GsknnScalar>(buf: &mut [Neighbor<T>], lo: usize, hi: usize) -> (usize, usize) {
     let mid = lo + (hi - lo) / 2;
     let pivot = {
         let mut v = [buf[lo], buf[mid], buf[hi - 1]];

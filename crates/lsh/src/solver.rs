@@ -264,6 +264,7 @@ mod tests {
             iterations: 3,
             seed: 7,
             parallel_leaves: false,
+            lpt_workers: None,
         });
         let (refined, tree_stats) = tree.solve_from(&x, lsh_table, mk(), Some(&exact));
         let final_recall = tree_stats.last().unwrap().recall.unwrap();

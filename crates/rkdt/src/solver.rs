@@ -4,30 +4,32 @@
 
 use crate::tree::build_leaf_partition;
 use dataset::{DistanceKind, PointSet};
-use gsknn_core::{Gsknn, GsknnConfig};
-use knn_ref::GemmKnn;
+use gsknn_core::scheduler::lpt_execute;
+use gsknn_core::{FusedScalar, Gsknn, GsknnConfig, GsknnScalar, MachineParams, Model, ProblemSize};
+use knn_ref::{GemmKnn, GemmScalar};
 use knn_select::NeighborTable;
 use rayon::prelude::*;
 
 /// A kNN kernel usable as the leaf solver. `update_leaf` receives the
 /// leaf's global point ids and a *local* table whose row `i` is the
 /// current neighbor list of `ids[i]`; it must fold the leaf's exact
-/// all-pairs candidates into those rows.
-pub trait LeafKernel: Send {
+/// all-pairs candidates into those rows. Generic over the element type
+/// (`f64` default) so the f32 fused path plugs into the same tree solver.
+pub trait LeafKernel<T: GsknnScalar = f64>: Send {
     /// Fold the exact `q_ids × r_ids` search into `local` (row `i` ↔
     /// `q_ids[i]`). The LSH solver's multi-probe mode uses reference sets
     /// larger than the query set.
     fn update_bucket(
         &mut self,
-        x: &PointSet,
+        x: &PointSet<T>,
         q_ids: &[usize],
         r_ids: &[usize],
-        local: &mut NeighborTable,
+        local: &mut NeighborTable<T>,
     );
 
     /// Fold the exact `ids × ids` search into `local` (the KD-tree leaf
     /// case: queries = references).
-    fn update_leaf(&mut self, x: &PointSet, ids: &[usize], local: &mut NeighborTable) {
+    fn update_leaf(&mut self, x: &PointSet<T>, ids: &[usize], local: &mut NeighborTable<T>) {
         self.update_bucket(x, ids, ids, local)
     }
 
@@ -36,12 +38,12 @@ pub trait LeafKernel: Send {
 }
 
 /// GSKNN as the leaf kernel (the paper's improvement).
-pub struct GsknnLeaf {
-    exec: Gsknn,
+pub struct GsknnLeaf<T: FusedScalar = f64> {
+    exec: Gsknn<T>,
     kind: DistanceKind,
 }
 
-impl GsknnLeaf {
+impl<T: FusedScalar> GsknnLeaf<T> {
     /// Wrap a configured GSKNN executor.
     pub fn new(cfg: GsknnConfig, kind: DistanceKind) -> Self {
         GsknnLeaf {
@@ -51,13 +53,13 @@ impl GsknnLeaf {
     }
 }
 
-impl LeafKernel for GsknnLeaf {
+impl<T: FusedScalar> LeafKernel<T> for GsknnLeaf<T> {
     fn update_bucket(
         &mut self,
-        x: &PointSet,
+        x: &PointSet<T>,
         q_ids: &[usize],
         r_ids: &[usize],
-        local: &mut NeighborTable,
+        local: &mut NeighborTable<T>,
     ) {
         self.exec.update(x, q_ids, r_ids, self.kind, local);
     }
@@ -68,13 +70,13 @@ impl LeafKernel for GsknnLeaf {
 }
 
 /// The GEMM-approach reference as the leaf kernel (the Table 1 "ref").
-pub struct GemmLeaf {
-    exec: GemmKnn,
+pub struct GemmLeaf<T: GemmScalar = f64> {
+    exec: GemmKnn<T>,
 }
 
-impl GemmLeaf {
+impl<T: GemmScalar> GemmLeaf<T> {
     /// Wrap a configured GEMM-approach executor.
-    pub fn new(exec: GemmKnn) -> Self {
+    pub fn new(exec: GemmKnn<T>) -> Self {
         GemmLeaf { exec }
     }
 }
@@ -85,13 +87,13 @@ impl Default for GemmLeaf {
     }
 }
 
-impl LeafKernel for GemmLeaf {
+impl<T: GemmScalar> LeafKernel<T> for GemmLeaf<T> {
     fn update_bucket(
         &mut self,
-        x: &PointSet,
+        x: &PointSet<T>,
         q_ids: &[usize],
         r_ids: &[usize],
-        local: &mut NeighborTable,
+        local: &mut NeighborTable<T>,
     ) {
         self.exec.update(x, q_ids, r_ids, local);
     }
@@ -113,6 +115,15 @@ pub struct RkdtConfig {
     /// Solve leaves in parallel with rayon (disjoint rows per tree, so
     /// this is race-free).
     pub parallel_leaves: bool,
+    /// With `Some(p)`, use the paper's §2.5 task-parallel scheme instead
+    /// of the rayon leaf loop: estimate every leaf's kernel runtime with
+    /// the §2.6 model, LPT-schedule the leaves onto `p` workers (biggest
+    /// first, least-loaded worker wins), and let each worker reuse one
+    /// kernel context — and its packing workspace — across its whole
+    /// bucket. Overrides `parallel_leaves`. The balanced-tree leaves are
+    /// near-uniform, so the win over rayon's dynamic stealing is workspace
+    /// reuse and deterministic placement rather than balance.
+    pub lpt_workers: Option<usize>,
 }
 
 impl Default for RkdtConfig {
@@ -122,6 +133,7 @@ impl Default for RkdtConfig {
             iterations: 8,
             seed: 0x5EED,
             parallel_leaves: true,
+            lpt_workers: None,
         }
     }
 }
@@ -153,15 +165,16 @@ impl AllNnSolver {
     /// Run all iterations with `make_kernel` producing one kernel per
     /// worker. Returns the final table and per-iteration stats; pass
     /// `exact` to track recall (used by the Table 1 harness and tests).
-    pub fn solve<K, F>(
+    pub fn solve<T, K, F>(
         &self,
-        x: &PointSet,
+        x: &PointSet<T>,
         k: usize,
         make_kernel: F,
-        exact: Option<&NeighborTable>,
-    ) -> (NeighborTable, Vec<IterationStats>)
+        exact: Option<&NeighborTable<T>>,
+    ) -> (NeighborTable<T>, Vec<IterationStats>)
     where
-        K: LeafKernel,
+        T: GsknnScalar,
+        K: LeafKernel<T>,
         F: Fn() -> K + Sync,
     {
         let table = NeighborTable::new(x.len(), k);
@@ -171,15 +184,16 @@ impl AllNnSolver {
     /// As [`AllNnSolver::solve`], but starting from an existing neighbor
     /// table (e.g. produced by the LSH solver) — the solvers share the
     /// update contract, so they compose.
-    pub fn solve_from<K, F>(
+    pub fn solve_from<T, K, F>(
         &self,
-        x: &PointSet,
-        mut table: NeighborTable,
+        x: &PointSet<T>,
+        mut table: NeighborTable<T>,
         make_kernel: F,
-        exact: Option<&NeighborTable>,
-    ) -> (NeighborTable, Vec<IterationStats>)
+        exact: Option<&NeighborTable<T>>,
+    ) -> (NeighborTable<T>, Vec<IterationStats>)
     where
-        K: LeafKernel,
+        T: GsknnScalar,
+        K: LeafKernel<T>,
         F: Fn() -> K + Sync,
     {
         let n = x.len();
@@ -190,13 +204,18 @@ impl AllNnSolver {
         for iter in 0..self.cfg.iterations {
             let leaves = build_leaf_partition(x, self.cfg.leaf_size, self.cfg.seed + iter as u64);
             let kth_before: Vec<f64> = (0..n)
-                .map(|i| table.row(i).last().map_or(f64::INFINITY, |nb| nb.dist))
+                .map(|i| {
+                    table
+                        .row(i)
+                        .last()
+                        .map_or(f64::INFINITY, |nb| nb.dist.to_f64())
+                })
                 .collect();
 
             let t0 = std::time::Instant::now();
             // Each leaf extracts its local rows, solves, and hands rows
             // back; leaves partition the ids, so writes never collide.
-            let solve_leaf = |ids: &Vec<usize>| -> (Vec<usize>, NeighborTable) {
+            let solve_leaf = |ids: &Vec<usize>| -> (Vec<usize>, NeighborTable<T>) {
                 let mut local = NeighborTable::new(ids.len(), k);
                 for (row, &id) in ids.iter().enumerate() {
                     local.set_row(row, table.row(id));
@@ -205,7 +224,32 @@ impl AllNnSolver {
                 kernel.update_leaf(x, ids, &mut local);
                 (ids.clone(), local)
             };
-            let results: Vec<(Vec<usize>, NeighborTable)> = if self.cfg.parallel_leaves {
+            let results: Vec<(Vec<usize>, NeighborTable<T>)> = if let Some(p) = self.cfg.lpt_workers
+            {
+                // §2.5 task parallelism: model-estimated leaf costs →
+                // LPT buckets → one long-lived kernel per worker.
+                let model = Model::new(MachineParams::ivy_bridge_1core().for_scalar::<T>());
+                let costs: Vec<f64> = leaves
+                    .iter()
+                    .map(|ids| {
+                        model.estimate_runtime(&ProblemSize {
+                            m: ids.len(),
+                            n: ids.len(),
+                            d: x.dim(),
+                            k,
+                        })
+                    })
+                    .collect();
+                lpt_execute(&costs, p, &make_kernel, |kernel, t| {
+                    let ids = &leaves[t];
+                    let mut local = NeighborTable::new(ids.len(), k);
+                    for (row, &id) in ids.iter().enumerate() {
+                        local.set_row(row, table.row(id));
+                    }
+                    kernel.update_leaf(x, ids, &mut local);
+                    (ids.clone(), local)
+                })
+            } else if self.cfg.parallel_leaves {
                 leaves.par_iter().map(solve_leaf).collect()
             } else {
                 leaves.iter().map(solve_leaf).collect()
@@ -219,7 +263,10 @@ impl AllNnSolver {
 
             let changed = (0..n)
                 .filter(|&i| {
-                    let after = table.row(i).last().map_or(f64::INFINITY, |nb| nb.dist);
+                    let after = table
+                        .row(i)
+                        .last()
+                        .map_or(f64::INFINITY, |nb| nb.dist.to_f64());
                     after < kth_before[i]
                 })
                 .count();
@@ -250,6 +297,7 @@ mod tests {
             iterations: 1,
             seed: 1,
             parallel_leaves: false,
+            lpt_workers: None,
         };
         let (table, stats) = AllNnSolver::new(cfg).solve(
             &x,
@@ -273,6 +321,7 @@ mod tests {
             iterations: 6,
             seed: 3,
             parallel_leaves: false,
+            lpt_workers: None,
         };
         let (_, stats) = AllNnSolver::new(cfg).solve(
             &x,
@@ -299,6 +348,7 @@ mod tests {
             iterations: 3,
             seed: 11,
             parallel_leaves: false,
+            lpt_workers: None,
         };
         let solver = AllNnSolver::new(cfg);
         let (a, _) = solver.solve(
@@ -324,15 +374,93 @@ mod tests {
             iterations: 2,
             seed: 5,
             parallel_leaves: false,
+            lpt_workers: None,
         };
         let (a, _) = AllNnSolver::new(base.clone()).solve(&x, 3, mk, None);
         let par = RkdtConfig {
             parallel_leaves: true,
+            lpt_workers: None,
             ..base
         };
         let (b, _) = AllNnSolver::new(par).solve(&x, 3, mk, None);
         for i in 0..250 {
             assert_eq!(a.row(i), b.row(i), "row {i}");
+        }
+    }
+
+    #[test]
+    fn lpt_scheduled_leaves_match_serial() {
+        let x = uniform(250, 7, 23);
+        let mk = || GsknnLeaf::new(GsknnConfig::default(), DistanceKind::SqL2);
+        let base = RkdtConfig {
+            leaf_size: 40,
+            iterations: 2,
+            seed: 5,
+            parallel_leaves: false,
+            lpt_workers: None,
+        };
+        let (a, _) = AllNnSolver::new(base.clone()).solve(&x, 3, mk, None);
+        for p in [1usize, 3] {
+            let lpt = RkdtConfig {
+                lpt_workers: Some(p),
+                ..base.clone()
+            };
+            let (b, _) = AllNnSolver::new(lpt).solve(&x, 3, mk, None);
+            for i in 0..250 {
+                assert_eq!(a.row(i), b.row(i), "p={p} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn f32_solver_single_leaf_matches_f32_oracle() {
+        // leaf_size >= N makes one iteration exact, so the f32 tree
+        // solver must reproduce the f32 brute-force oracle.
+        let x = uniform(70, 6, 31).cast::<f32>();
+        let ids: Vec<usize> = (0..70).collect();
+        let cfg = RkdtConfig {
+            leaf_size: 70,
+            iterations: 1,
+            seed: 2,
+            parallel_leaves: false,
+            lpt_workers: None,
+        };
+        let (table, _) = AllNnSolver::new(cfg).solve(
+            &x,
+            4,
+            || GsknnLeaf::<f32>::new(GsknnConfig::for_scalar::<f32>(), DistanceKind::SqL2),
+            None,
+        );
+        let want = oracle::exact(&x, &ids, &ids, 4, DistanceKind::SqL2);
+        oracle::assert_matches(&table, &want, 1e-4, "f32 single leaf");
+    }
+
+    #[test]
+    fn f32_lpt_and_parallel_paths_match_serial() {
+        let x = uniform(220, 7, 13).cast::<f32>();
+        let mk = || GsknnLeaf::<f32>::new(GsknnConfig::for_scalar::<f32>(), DistanceKind::SqL2);
+        let base = RkdtConfig {
+            leaf_size: 40,
+            iterations: 2,
+            seed: 8,
+            parallel_leaves: false,
+            lpt_workers: None,
+        };
+        let (a, _) = AllNnSolver::new(base.clone()).solve(&x, 3, mk, None);
+        for cfg in [
+            RkdtConfig {
+                parallel_leaves: true,
+                ..base.clone()
+            },
+            RkdtConfig {
+                lpt_workers: Some(2),
+                ..base.clone()
+            },
+        ] {
+            let (b, _) = AllNnSolver::new(cfg).solve(&x, 3, mk, None);
+            for i in 0..220 {
+                assert_eq!(a.row(i), b.row(i), "row {i}");
+            }
         }
     }
 
@@ -344,6 +472,7 @@ mod tests {
             iterations: 5,
             seed: 9,
             parallel_leaves: false,
+            lpt_workers: None,
         };
         let (_, stats) = AllNnSolver::new(cfg).solve(
             &x,

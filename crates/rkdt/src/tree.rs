@@ -7,6 +7,7 @@
 //! for query routing.
 
 use dataset::PointSet;
+use gsknn_core::GsknnScalar;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -37,8 +38,11 @@ pub struct RpTree {
 
 impl RpTree {
     /// Build over all points of `x` with the given RNG seed. Splits stop
-    /// when a node holds ≤ `leaf_size` points (`leaf_size ≥ 1`).
-    pub fn build(x: &PointSet, leaf_size: usize, seed: u64) -> Self {
+    /// when a node holds ≤ `leaf_size` points (`leaf_size ≥ 1`). Generic
+    /// over the element type: projections are accumulated in `f64` either
+    /// way, so f32 and f64 data share the tree machinery (and an f32 cast
+    /// of an f64 set yields near-identical partitions).
+    pub fn build<T: GsknnScalar>(x: &PointSet<T>, leaf_size: usize, seed: u64) -> Self {
         assert!(leaf_size >= 1, "leaf_size must be positive");
         let ids: Vec<usize> = (0..x.len()).collect();
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -61,7 +65,7 @@ impl RpTree {
     }
 
     /// Route a point (by coordinates) to its leaf.
-    pub fn route(&self, point: &[f64]) -> &[usize] {
+    pub fn route<T: GsknnScalar>(&self, point: &[T]) -> &[usize] {
         let mut node = &self.root;
         loop {
             match node {
@@ -72,7 +76,11 @@ impl RpTree {
                     left,
                     right,
                 } => {
-                    let proj: f64 = direction.iter().zip(point).map(|(a, b)| a * b).sum();
+                    let proj: f64 = direction
+                        .iter()
+                        .zip(point)
+                        .map(|(a, b)| a * b.to_f64())
+                        .sum();
                     node = if proj <= *threshold { left } else { right };
                 }
             }
@@ -101,7 +109,12 @@ fn collect_leaves<'a>(node: &'a RpNode, out: &mut Vec<&'a [usize]>) {
     }
 }
 
-fn build_node(x: &PointSet, ids: Vec<usize>, leaf_size: usize, rng: &mut SmallRng) -> RpNode {
+fn build_node<T: GsknnScalar>(
+    x: &PointSet<T>,
+    ids: Vec<usize>,
+    leaf_size: usize,
+    rng: &mut SmallRng,
+) -> RpNode {
     if ids.len() <= leaf_size {
         return RpNode::Leaf(ids);
     }
@@ -110,7 +123,7 @@ fn build_node(x: &PointSet, ids: Vec<usize>, leaf_size: usize, rng: &mut SmallRn
         .iter()
         .map(|&i| {
             let p = x.point(i);
-            let proj: f64 = direction.iter().zip(p).map(|(a, b)| a * b).sum();
+            let proj: f64 = direction.iter().zip(p).map(|(a, b)| a * b.to_f64()).sum();
             (proj, i)
         })
         .collect();
@@ -151,7 +164,11 @@ fn random_unit(d: usize, rng: &mut SmallRng) -> Vec<f64> {
 
 /// Convenience: just the leaf partition (owned), one `Vec<usize>` per
 /// leaf. Union = `0..N`, pairwise disjoint.
-pub fn build_leaf_partition(x: &PointSet, leaf_size: usize, seed: u64) -> Vec<Vec<usize>> {
+pub fn build_leaf_partition<T: GsknnScalar>(
+    x: &PointSet<T>,
+    leaf_size: usize,
+    seed: u64,
+) -> Vec<Vec<usize>> {
     RpTree::build(x, leaf_size, seed)
         .leaves()
         .into_iter()
@@ -207,6 +224,23 @@ mod tests {
         for i in (0..120).step_by(17) {
             let leaf = tree.route(x.point(i));
             assert!(leaf.contains(&i), "point {i} not in its routed leaf");
+        }
+    }
+
+    #[test]
+    fn f32_build_partitions_and_routes() {
+        let x = uniform(90, 5, 19);
+        let x32 = x.cast::<f32>();
+        let tree = RpTree::build(&x32, 16, 4);
+        let mut all: Vec<usize> = tree.leaves().into_iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..90).collect::<Vec<_>>());
+        // routing an f32 point lands in some leaf of the partition (the
+        // pivot point itself may legitimately route to the sibling side)
+        for i in (0..90).step_by(13) {
+            let leaf = tree.route(x32.point(i));
+            assert!(!leaf.is_empty());
+            assert!(tree.leaves().iter().any(|l| l.as_ptr() == leaf.as_ptr()));
         }
     }
 

@@ -1,0 +1,278 @@
+//! The element-type abstraction underneath the whole GSKNN stack.
+//!
+//! The paper's kernel is `double`-only; production embedding workloads are
+//! overwhelmingly `f32`, where the same SIMD registers hold twice the
+//! lanes. Every layer of this workspace — packing, blocking, the fused
+//! micro-kernel, heap selection, the reference kernels — is generic over
+//! [`GsknnScalar`], with exactly two implementors: `f64` (the paper's
+//! precision, the default type parameter everywhere) and `f32`.
+//!
+//! The trait carries the *register geometry* of each precision as
+//! associated constants: the micro-tile is `MR × NR` with `MR = 8` rows
+//! for both types, while `NR` doubles from 4 (`f64`, one 256-bit column
+//! register of 4 lanes) to 8 (`f32`, 8 lanes). Keeping the geometry on
+//! the scalar type lets the packing routines, blocking-parameter
+//! derivation, and tile buffers monomorphize to the right constants
+//! without any runtime configuration.
+
+use std::cmp::Ordering;
+use std::fmt::{Debug, Display};
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Largest micro-tile any scalar type uses (`MR × NR = 8 × 8` for f32).
+/// Fixed-size tile buffers are sized by this so they work for every
+/// implementor without `generic_const_exprs`.
+pub const MAX_TILE: usize = 64;
+
+/// Floating-point element type of the kNN kernel stack.
+///
+/// Implemented for `f64` and `f32` only; the associated constants pin the
+/// micro-kernel register blocking for each precision.
+pub trait GsknnScalar:
+    Copy
+    + Clone
+    + Default
+    + Debug
+    + Display
+    + PartialEq
+    + PartialOrd
+    + Send
+    + Sync
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + 'static
+{
+    /// Micro-tile rows (queries per register block).
+    const MR: usize;
+    /// Micro-tile columns (references per register block); the SIMD width
+    /// of one 256-bit register for this type.
+    const NR: usize;
+    /// Bytes per element (`size_of::<Self>()` as a const for blocking
+    /// arithmetic).
+    const BYTES: usize;
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Positive infinity (heap sentinel distance).
+    const INFINITY: Self;
+    /// Negative infinity (d-heap pad value).
+    const NEG_INFINITY: Self;
+    /// Quiet NaN.
+    const NAN: Self;
+    /// Default machine-epsilon-scale tolerance for cross-precision
+    /// distance comparison (`1e-9` for f64, `1e-4` for f32).
+    const DIST_TOL: Self;
+    /// Short lowercase label (`"f64"` / `"f32"`), for reports and file
+    /// names.
+    const NAME: &'static str;
+
+    /// Lossy conversion from `f64` (exact for f64, rounds for f32).
+    fn from_f64(v: f64) -> Self;
+    /// Widening conversion to `f64` (exact for both implementors).
+    fn to_f64(self) -> f64;
+    /// IEEE-754 `totalOrder` — the NaN-safe comparison every heap and
+    /// sort in the workspace uses.
+    fn total_cmp(&self, other: &Self) -> Ordering;
+    /// Fused multiply-add `self * a + b`.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// `self^p`.
+    fn powf(self, p: Self) -> Self;
+    /// IEEE max (NaN-propagating like `f64::max`).
+    fn max(self, other: Self) -> Self;
+    /// IEEE min.
+    fn min(self, other: Self) -> Self;
+    /// Finite (neither infinite nor NaN).
+    fn is_finite(self) -> bool;
+    /// NaN test.
+    fn is_nan(self) -> bool;
+}
+
+impl GsknnScalar for f64 {
+    const MR: usize = 8;
+    const NR: usize = 4;
+    const BYTES: usize = 8;
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const INFINITY: Self = f64::INFINITY;
+    const NEG_INFINITY: Self = f64::NEG_INFINITY;
+    const NAN: Self = f64::NAN;
+    const DIST_TOL: Self = 1e-9;
+    const NAME: &'static str = "f64";
+
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn total_cmp(&self, other: &Self) -> Ordering {
+        f64::total_cmp(self, other)
+    }
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f64::mul_add(self, a, b)
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    #[inline(always)]
+    fn powf(self, p: Self) -> Self {
+        f64::powf(self, p)
+    }
+    #[inline(always)]
+    fn max(self, other: Self) -> Self {
+        f64::max(self, other)
+    }
+    #[inline(always)]
+    fn min(self, other: Self) -> Self {
+        f64::min(self, other)
+    }
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+    #[inline(always)]
+    fn is_nan(self) -> bool {
+        f64::is_nan(self)
+    }
+}
+
+impl GsknnScalar for f32 {
+    const MR: usize = 8;
+    const NR: usize = 8;
+    const BYTES: usize = 4;
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const INFINITY: Self = f32::INFINITY;
+    const NEG_INFINITY: Self = f32::NEG_INFINITY;
+    const NAN: Self = f32::NAN;
+    const DIST_TOL: Self = 1e-4;
+    const NAME: &'static str = "f32";
+
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline(always)]
+    fn total_cmp(&self, other: &Self) -> Ordering {
+        f32::total_cmp(self, other)
+    }
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f32::mul_add(self, a, b)
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+    #[inline(always)]
+    fn powf(self, p: Self) -> Self {
+        f32::powf(self, p)
+    }
+    #[inline(always)]
+    fn max(self, other: Self) -> Self {
+        f32::max(self, other)
+    }
+    #[inline(always)]
+    fn min(self, other: Self) -> Self {
+        f32::min(self, other)
+    }
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+    #[inline(always)]
+    fn is_nan(self) -> bool {
+        f32::is_nan(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tile_fits<T: GsknnScalar>() {
+        assert!(T::MR * T::NR <= MAX_TILE);
+        assert_eq!(T::BYTES, std::mem::size_of::<T>());
+    }
+
+    #[test]
+    fn geometry_invariants() {
+        tile_fits::<f64>();
+        tile_fits::<f32>();
+        // f32 doubles the register lanes, so NR doubles at equal MR
+        assert_eq!(<f32 as GsknnScalar>::NR, 2 * <f64 as GsknnScalar>::NR);
+        assert_eq!(<f32 as GsknnScalar>::MR, <f64 as GsknnScalar>::MR);
+    }
+
+    fn round_trip<T: GsknnScalar>() {
+        for v in [-3.5f64, 0.0, 1.0, 1024.25] {
+            assert_eq!(T::from_f64(v).to_f64(), v);
+        }
+        assert!(T::NAN.is_nan());
+        assert!(!T::INFINITY.is_finite());
+        assert!(T::NEG_INFINITY < T::ZERO);
+        assert_eq!(T::ZERO + T::ONE, T::ONE);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        round_trip::<f64>();
+        round_trip::<f32>();
+    }
+
+    fn nan_orders_last<T: GsknnScalar>() {
+        // total_cmp puts +NaN above +inf — heaps rely on this to evict
+        // NaN distances first rather than panic
+        assert_eq!(T::NAN.total_cmp(&T::INFINITY), Ordering::Greater);
+        assert_eq!(T::ZERO.total_cmp(&T::ONE), Ordering::Less);
+        assert_eq!(T::ONE.total_cmp(&T::ONE), Ordering::Equal);
+    }
+
+    #[test]
+    fn total_order_semantics() {
+        nan_orders_last::<f64>();
+        nan_orders_last::<f32>();
+    }
+
+    fn fma_works<T: GsknnScalar>() {
+        let (a, b, c) = (T::from_f64(2.0), T::from_f64(3.0), T::from_f64(4.0));
+        assert_eq!(a.mul_add(b, c).to_f64(), 10.0);
+        assert_eq!(T::from_f64(9.0).sqrt().to_f64(), 3.0);
+        assert_eq!(T::from_f64(-2.0).abs().to_f64(), 2.0);
+        assert_eq!(T::from_f64(2.0).powf(T::from_f64(3.0)).to_f64(), 8.0);
+    }
+
+    #[test]
+    fn arithmetic_helpers() {
+        fma_works::<f64>();
+        fma_works::<f32>();
+    }
+}

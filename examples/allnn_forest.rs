@@ -37,6 +37,7 @@ fn main() {
         iterations: 6,
         seed: 1,
         parallel_leaves: true,
+        lpt_workers: None,
     };
     println!(
         "solving all-NN: {} iterations of {}-point leaves, GSKNN leaf kernel",

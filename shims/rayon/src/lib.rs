@@ -61,6 +61,42 @@ where
     gathered.into_iter().flatten().collect()
 }
 
+/// Like [`run_map`], but each worker thread builds one `init()` state and
+/// threads it through every item it processes (rayon's `map_init`
+/// contract: the state is per-worker, reused across items, never shared).
+fn run_map_init<T, S, R, INIT, F>(items: Vec<T>, init: &INIT, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
+    if items.len() <= 1 || max_threads() == 1 {
+        let mut state = init();
+        return items.into_iter().map(|t| f(&mut state, t)).collect();
+    }
+    let chunks = split(items, max_threads());
+    let mut gathered: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                s.spawn(move || {
+                    let mut state = init();
+                    chunk
+                        .into_iter()
+                        .map(|t| f(&mut state, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            gathered.push(h.join().expect("rayon-shim worker panicked"));
+        }
+    });
+    gathered.into_iter().flatten().collect()
+}
+
 /// An eager "parallel iterator": the items are materialized up front
 /// (they are references, chunk slices, or indices — cheap), and the
 /// terminal operation fans them out across threads.
@@ -91,6 +127,22 @@ impl<T: Send> ParIter<T> {
     {
         MapIter {
             items: self.items,
+            f,
+        }
+    }
+
+    /// rayon's `map_init`: each worker thread creates one `init()` value
+    /// and hands `f` a mutable reference to it for every item that worker
+    /// processes — per-worker scratch state without per-item allocation.
+    pub fn map_init<S, R, INIT, F>(self, init: INIT, f: F) -> MapInitIter<T, INIT, F>
+    where
+        R: Send,
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, T) -> R + Sync,
+    {
+        MapInitIter {
+            items: self.items,
+            init,
             f,
         }
     }
@@ -130,6 +182,41 @@ impl<T: Send, F> MapIter<T, F> {
     {
         let f = &self.f;
         run_map(self.items, &|t| g(f(t)));
+    }
+}
+
+/// A `ParIter` with a pending `map_init` transform (per-worker state).
+pub struct MapInitIter<T, INIT, F> {
+    items: Vec<T>,
+    init: INIT,
+    f: F,
+}
+
+impl<T: Send, INIT, F> MapInitIter<T, INIT, F> {
+    /// Execute across threads (one state per worker) and collect in
+    /// input order.
+    pub fn collect<C, S, R>(self) -> C
+    where
+        R: Send,
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        run_map_init(self.items, &self.init, &self.f)
+            .into_iter()
+            .collect()
+    }
+
+    /// Execute across threads, discarding results.
+    pub fn for_each<S, R, G>(self, g: G)
+    where
+        R: Send,
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, T) -> R + Sync,
+        G: Fn(R) + Sync,
+    {
+        let f = &self.f;
+        run_map_init(self.items, &self.init, &|s: &mut S, t| g(f(s, t)));
     }
 }
 
@@ -198,7 +285,9 @@ impl<T: Send> IntoParallelIterator for Vec<T> {
 }
 
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, MapIter, ParIter, ParallelSliceMut, ParallelSliceRef};
+    pub use crate::{
+        IntoParallelIterator, MapInitIter, MapIter, ParIter, ParallelSliceMut, ParallelSliceRef,
+    };
 }
 
 #[cfg(test)]
@@ -241,6 +330,29 @@ mod tests {
         let mut v = vec![1.0f64; 64];
         v.par_iter_mut().for_each(|x| *x *= 3.0);
         assert!(v.iter().all(|&x| x == 3.0));
+    }
+
+    #[test]
+    fn map_init_reuses_state_per_worker_and_preserves_order() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let v: Vec<usize> = (0..512).collect();
+        let out: Vec<usize> = v
+            .into_par_iter()
+            .map_init(
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    Vec::<usize>::with_capacity(8)
+                },
+                |scratch, x| {
+                    scratch.push(x); // state is genuinely mutable
+                    x * 2
+                },
+            )
+            .collect();
+        assert_eq!(out, (0..512).map(|x| x * 2).collect::<Vec<_>>());
+        // one init per worker thread, not per item
+        assert!(inits.load(Ordering::Relaxed) <= crate::max_threads());
     }
 
     #[test]

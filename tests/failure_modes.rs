@@ -33,7 +33,7 @@ fn single_point_single_query() {
 
 #[test]
 fn d_zero_distances_are_all_zero_with_index_tiebreak() {
-    let x = PointSet::from_vec(0, 4, Vec::new());
+    let x: PointSet = PointSet::from_vec(0, 4, Vec::new());
     let t =
         Gsknn::new(GsknnConfig::default()).run(&x, &[0, 1], &[3, 1, 2, 0], 2, DistanceKind::SqL2);
     for i in 0..2 {

@@ -75,6 +75,7 @@ fn forest_graph_matches_exact_graph_closely() {
             iterations: 10,
             seed: 3,
             parallel_leaves: true,
+            lpt_workers: None,
         },
     );
     let mut hit = 0;

@@ -22,6 +22,7 @@ fn forest_converges_to_exact_on_clustered_data() {
         iterations: 12,
         seed: 2,
         parallel_leaves: true,
+        lpt_workers: None,
     };
     let (table, stats) = AllNnSolver::new(cfg).solve(&x, 6, gsknn_leaf, Some(&exact));
     let final_recall = stats.last().unwrap().recall.unwrap();
@@ -37,6 +38,7 @@ fn both_kernels_drive_the_forest_to_identical_tables() {
         iterations: 4,
         seed: 8,
         parallel_leaves: false,
+        lpt_workers: None,
     };
     let solver = AllNnSolver::new(cfg);
     let (a, _) = solver.solve(&x, 4, gsknn_leaf, None);
@@ -56,6 +58,7 @@ fn solver_runs_are_deterministic() {
         iterations: 3,
         seed: 4,
         parallel_leaves: true,
+        lpt_workers: None,
     };
     let (a, _) = AllNnSolver::new(cfg.clone()).solve(&x, 5, gsknn_leaf, None);
     let (b, _) = AllNnSolver::new(cfg).solve(&x, 5, gsknn_leaf, None);
@@ -89,6 +92,7 @@ fn lsh_then_forest_beats_either_alone() {
         iterations: 3,
         seed: 6,
         parallel_leaves: false,
+        lpt_workers: None,
     };
     let (_, combo_stats) =
         AllNnSolver::new(tree_cfg.clone()).solve_from(&x, lsh_table, gsknn_leaf, Some(&exact));
@@ -111,6 +115,7 @@ fn forest_handles_k_larger_than_leaf() {
         iterations: 4,
         seed: 12,
         parallel_leaves: false,
+        lpt_workers: None,
     };
     let (table, _) = AllNnSolver::new(cfg).solve(&x, 32, gsknn_leaf, None);
     // rows collect candidates from multiple trees: more than one leaf's
