@@ -437,6 +437,198 @@ pub fn cmd_tune(_args: &ArgMap) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `serve`: load (or synthesize) an index and answer kNN queries over
+/// TCP until `query-remote --op shutdown` or SIGTERM. Blocks; prints the
+/// final [`gsknn_serve::ServeReport`] when it drains.
+pub fn cmd_serve(args: &ArgMap) -> Result<String, CliError> {
+    use gsknn_serve::{ServeIndex, Server, ServerConfig};
+
+    let x = if args.opt::<String>("in")?.is_some() {
+        load(args)?
+    } else {
+        let n: usize = args.get_or("n", 2000)?;
+        let d: usize = args.get_or("d", 16)?;
+        let seed: u64 = args.get_or("seed", 42)?;
+        match args.str_or("dist", "uniform").as_str() {
+            "uniform" => uniform(n, d, seed),
+            "gaussian" => gaussian_embedded(n, d, args.get_or("clusters", 8)?, seed),
+            other => return Err(CliError(format!("unknown --dist '{other}'"))),
+        }
+    };
+    let trees: usize = args.get_or("trees", 4)?;
+    let leaf: usize = args.get_or("leaf", 512)?;
+    let forest_seed: u64 = args.get_or("forest-seed", 7)?;
+    let cfg = ServerConfig {
+        addr: args.str_or("addr", "127.0.0.1:7979"),
+        workers_per_lane: args.get_or("workers", 1)?,
+        queue_cap: args.get_or("queue-cap", 1024)?,
+        coalesce_frac: args.get_or("frac", 0.9)?,
+        max_batch: args.get_or("max-batch", 512)?,
+        k_max: args.get_or("k-max", 128)?,
+        kind: parse_kind(&args.str_or("kind", "sq-l2"))?,
+    };
+    let (n, d) = (x.len(), x.dim());
+    let index = ServeIndex::build(x, trees, leaf, forest_seed);
+    let server = Server::bind(cfg, index).map_err(|e| CliError(format!("bind: {e}")))?;
+    let addr = server.local_addr().map_err(|e| CliError(e.to_string()))?;
+    let targets: Vec<String> = server
+        .batch_targets()
+        .iter()
+        .map(|(p, t)| format!("{p} m* = {t}"))
+        .collect();
+    // readiness banner on stderr — stdout stays reserved for the final
+    // report (the command's return value)
+    eprintln!(
+        "gsknn-serve: {n} x {d} index ({trees} trees, leaf {leaf}) listening on {addr} [{}]",
+        targets.join(", ")
+    );
+    let report = server.run();
+    Ok(report.render_table())
+}
+
+/// Connect with retries so scripts can race the client against a server
+/// that is still building its forest.
+fn connect_retry(addr: &str, wait_ms: u64) -> Result<gsknn_serve::Client, CliError> {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_millis(wait_ms);
+    loop {
+        match gsknn_serve::Client::connect(addr) {
+            Ok(c) => return Ok(c),
+            Err(e) => {
+                if std::time::Instant::now() >= deadline {
+                    return Err(CliError(format!("connect {addr}: {e}")));
+                }
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+/// `query-remote`: talk to a running `serve` instance. `--op query`
+/// (default) sends synthetic or CSV query points and summarizes the
+/// outcomes; with `--expect-in F` (the server's dataset) it verifies the
+/// answers against client-side brute force and enforces `--min-recall`.
+/// `--op ping|stats|shutdown` are the operational probes.
+pub fn cmd_query_remote(args: &ArgMap) -> Result<String, CliError> {
+    let addr = args.str_req("addr")?;
+    let mut client = connect_retry(&addr, args.get_or("connect-wait-ms", 5000)?)?;
+    client
+        .set_io_timeout(Some(std::time::Duration::from_secs(60)))
+        .map_err(|e| CliError(e.to_string()))?;
+    match args.str_or("op", "query").as_str() {
+        "ping" => {
+            client.ping().map_err(|e| CliError(e.to_string()))?;
+            Ok("pong\n".to_string())
+        }
+        "stats" => {
+            let json = client.stats().map_err(|e| CliError(e.to_string()))?;
+            Ok(json + "\n")
+        }
+        "shutdown" => {
+            client.shutdown().map_err(|e| CliError(e.to_string()))?;
+            Ok("server draining\n".to_string())
+        }
+        "query" => {
+            let queries = if args.opt::<String>("queries")?.is_some() {
+                let path = PathBuf::from(args.str_req("queries")?);
+                io::load_csv(&path).map_err(|e| CliError(format!("{}: {e}", path.display())))?
+            } else {
+                uniform(
+                    args.get_or("m", 10)?,
+                    args.get_or("d", 16)?,
+                    args.get_or("seed", 12345)?,
+                )
+            };
+            let expect = match args.opt::<String>("expect-in")? {
+                Some(p) => {
+                    let path = PathBuf::from(p);
+                    Some(
+                        io::load_csv(&path)
+                            .map_err(|e| CliError(format!("{}: {e}", path.display())))?,
+                    )
+                }
+                None => None,
+            };
+            match parse_precision(args)? {
+                Precision::F64 => query_remote_run::<f64>(client, &queries, expect, args),
+                Precision::F32 => query_remote_run::<f32>(client, &queries, expect, args),
+            }
+        }
+        other => Err(CliError(format!(
+            "unknown --op '{other}' (expected query, ping, stats or shutdown)"
+        ))),
+    }
+}
+
+fn query_remote_run<T: FusedScalar>(
+    mut client: gsknn_serve::Client,
+    queries64: &PointSet,
+    expect64: Option<PointSet>,
+    args: &ArgMap,
+) -> Result<String, CliError> {
+    use gsknn_serve::Outcome;
+
+    let k: usize = args.get_or("k", 8)?;
+    let deadline_ms: u32 = args.get_or("deadline-ms", 250)?;
+    let kind = parse_kind(&args.str_or("kind", "sq-l2"))?;
+    let min_recall: f64 = args.get_or("min-recall", if expect64.is_some() { 1.0 } else { 0.0 })?;
+    let queries = queries64.cast::<T>();
+    let expect = expect64.map(|x| x.cast::<T>());
+
+    let (mut ok, mut busy, mut timed_out, mut rejected) = (0usize, 0usize, 0usize, 0usize);
+    let (mut hit, mut total) = (0usize, 0usize);
+    let t0 = std::time::Instant::now();
+    for i in 0..queries.len() {
+        let q = queries.point(i);
+        match client
+            .query::<T>(q, 1, k, deadline_ms)
+            .map_err(|e| CliError(format!("query {i}: {e}")))?
+        {
+            Outcome::Neighbors(table) => {
+                ok += 1;
+                if let Some(refs) = &expect {
+                    let mut cands: Vec<knn_select::Neighbor<T>> = (0..refs.len())
+                        .map(|j| knn_select::Neighbor::new(kind.eval(q, refs.point(j)), j as u32))
+                        .collect();
+                    cands.sort_unstable_by(knn_select::Neighbor::cmp_dist_idx);
+                    let want: Vec<u32> = cands[..k.min(cands.len())]
+                        .iter()
+                        .map(|nb| nb.idx)
+                        .collect();
+                    let got: Vec<u32> = table.row(0).iter().map(|nb| nb.idx).collect();
+                    total += want.len();
+                    hit += got.iter().zip(&want).filter(|(g, w)| g == w).count();
+                }
+            }
+            Outcome::Busy => busy += 1,
+            Outcome::TimedOut => timed_out += 1,
+            Outcome::ShuttingDown => rejected += 1,
+            Outcome::Rejected(msg) => {
+                return Err(CliError(format!("query {i} rejected: {msg}")));
+            }
+        }
+    }
+    let dt = t0.elapsed();
+    let mut out = format!(
+        "{} queries ({}, k = {k}, {}) in {dt:.2?}: {ok} ok, {busy} busy, {timed_out} timed out, {rejected} refused\n",
+        queries.len(),
+        T::NAME,
+        kind.name()
+    );
+    if total > 0 {
+        let recall = hit as f64 / total as f64;
+        writeln!(out, "recall vs brute force: {recall:.3}").unwrap();
+        if recall < min_recall {
+            return Err(CliError(format!(
+                "recall {recall:.3} below --min-recall {min_recall}\n{out}"
+            )));
+        }
+    }
+    if ok == 0 {
+        return Err(CliError(format!("no query succeeded\n{out}")));
+    }
+    Ok(out)
+}
+
 /// Top-level usage text.
 pub fn usage() -> String {
     "gsknn-cli <command> [--flag value ...]\n\
@@ -453,6 +645,12 @@ pub fn usage() -> String {
      \x20                 --precision f64|f32 --outdir bench_out]\n\
      \x20 stream  --in F --batch F [--k 8 --leaf 1024 --iters 4]\n\
      \x20 tune    (show detected caches + derived blocking parameters)\n\
+     \x20 serve   [--in F | --n 2000 --d 16 --dist ... --seed 42]\n\
+     \x20                 [--addr 127.0.0.1:7979 --trees 4 --leaf 512 --workers 1\n\
+     \x20                 --queue-cap 1024 --frac 0.9 --max-batch 512 --k-max 128]\n\
+     \x20 query-remote --addr H:P [--op query|ping|stats|shutdown --precision f64|f32\n\
+     \x20                 --m 10 --d 16 --k 8 --deadline-ms 250 --queries F\n\
+     \x20                 --expect-in F --min-recall 1.0 --connect-wait-ms 5000]\n\
      flags:\n\
      \x20 --precision f64|f32   element type (f32 uses the 8-lane/16-lane\n\
      \x20                       single-precision micro-kernels)\n\
@@ -635,6 +833,52 @@ mod tests {
             Some("f32")
         );
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn serve_and_query_remote_round_trip() {
+        let dir = tmpdir();
+        let f = dir.join("serve_refs.csv");
+        // cmd_gen with --n 300 --d 8 --seed 1 writes exactly uniform(300, 8, 1),
+        // so the in-process server below and --expect-in see the same table.
+        cmd_gen(&argmap(&format!(
+            "--n 300 --d 8 --seed 1 --out {}",
+            f.display()
+        )))
+        .unwrap();
+        // exact setup: one tree, leaf covers everything
+        let index = gsknn_serve::ServeIndex::build(uniform(300, 8, 1), 1, 300, 7);
+        let server =
+            gsknn_serve::Server::bind(gsknn_serve::ServerConfig::default(), index).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run());
+
+        for precision in ["f64", "f32"] {
+            let out = cmd_query_remote(&argmap(&format!(
+                "--addr {addr} --m 12 --d 8 --k 5 --seed 99 --precision {precision} \
+                 --expect-in {} --min-recall 1.0",
+                f.display()
+            )))
+            .unwrap();
+            assert!(out.contains("12 ok"), "{out}");
+            assert!(out.contains("recall vs brute force: 1.000"), "{out}");
+        }
+        let pong = cmd_query_remote(&argmap(&format!("--addr {addr} --op ping"))).unwrap();
+        assert_eq!(pong, "pong\n");
+        let stats = cmd_query_remote(&argmap(&format!("--addr {addr} --op stats"))).unwrap();
+        assert!(stats.contains("\"queries\""), "{stats}");
+        cmd_query_remote(&argmap(&format!("--addr {addr} --op shutdown"))).unwrap();
+        let report = handle.join().unwrap();
+        assert_eq!(report.queries, 24);
+        std::fs::remove_file(f).ok();
+    }
+
+    #[test]
+    fn query_remote_reports_unreachable_server() {
+        // a port nobody listens on; short wait keeps the test fast
+        let e = cmd_query_remote(&argmap("--addr 127.0.0.1:1 --op ping --connect-wait-ms 50"))
+            .unwrap_err();
+        assert!(e.0.contains("connect"), "{}", e.0);
     }
 
     #[test]

@@ -24,6 +24,8 @@ fn main() {
         "profile" => commands::cmd_profile(&args),
         "stream" => commands::cmd_stream(&args),
         "tune" => commands::cmd_tune(&args),
+        "serve" => commands::cmd_serve(&args),
+        "query-remote" => commands::cmd_query_remote(&args),
         "help" | "--help" | "-h" => Ok(commands::usage()),
         other => Err(cli::CliError(format!(
             "unknown command '{other}'\n{}",

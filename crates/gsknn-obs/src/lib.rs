@@ -15,6 +15,9 @@
 //!   the LPT predicted-vs-realized makespan error from
 //!   [`gsknn_core::scheduler::run_task_parallel_traced`], summarized by
 //!   [`SchedulerReport`].
+//! * **Serving telemetry** — traffic, admission-control, and batch-
+//!   coalescing counters from the `gsknn-serve` query service, joined
+//!   against the model-predicted batch cost ([`ServeReport`]).
 //!
 //! All reports render as text tables and export as JSON (the `gsknn
 //! profile` CLI subcommand writes them under `bench_out/`).
@@ -26,9 +29,11 @@
 
 pub mod profile;
 pub mod report;
+pub mod serve;
 
 pub use profile::{profile_run, profile_synthetic};
 pub use report::{DriftRow, PhaseRow, ProfileReport, SchedulerReport, VariantTiming, WorkerRow};
+pub use serve::{batch_bucket, FlushCounts, ServeReport, BATCH_BUCKETS};
 
 #[cfg(test)]
 mod sched_tests {

@@ -1,0 +1,336 @@
+//! Serving-layer observability: the [`ServeReport`] summarizing one
+//! server run (or a live snapshot via the wire `Stats` op).
+//!
+//! The report mirrors what the §2.6 model promises the batch coalescer:
+//! batches flushed on the *model* trigger should run near the predicted
+//! asymptotic efficiency, so the report joins the summed model-predicted
+//! batch cost (itemized with [`gsknn_core::Model::tm_terms`] by the
+//! server's workers) against the summed measured kernel seconds — the
+//! same predicted-vs-measured drift discipline as [`crate::ProfileReport`],
+//! aggregated over every flush instead of one profiled problem.
+
+use serde_json::Value;
+
+/// Batch-size histogram bucket upper bounds (inclusive); the last bucket
+/// is open-ended. Shared between the server's counters and the report so
+/// both sides agree on the binning.
+pub const BATCH_BUCKETS: [usize; 10] = [1, 2, 4, 8, 16, 32, 64, 128, 256, usize::MAX];
+
+/// Index of the histogram bucket a batch of `m` queries falls into.
+pub fn batch_bucket(m: usize) -> usize {
+    BATCH_BUCKETS
+        .iter()
+        .position(|&hi| m <= hi)
+        .unwrap_or(BATCH_BUCKETS.len() - 1)
+}
+
+/// Why batches were flushed, by trigger.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlushCounts {
+    /// The §2.6 model predicted the batch reached the efficient regime
+    /// (or the configured hard batch cap, which clamps the model target).
+    pub model: u64,
+    /// The oldest request's latency budget expired first.
+    pub deadline: u64,
+    /// Shutdown drain: whatever was queued went out in final batches.
+    pub drain: u64,
+}
+
+impl FlushCounts {
+    /// Fraction of steady-state flushes that were model-triggered
+    /// (`model / (model + deadline)`; 0 when neither fired). Drain
+    /// flushes are excluded — they say nothing about the policy.
+    pub fn coalesce_ratio(&self) -> f64 {
+        let steady = self.model + self.deadline;
+        if steady == 0 {
+            0.0
+        } else {
+            self.model as f64 / steady as f64
+        }
+    }
+}
+
+/// One server run (or live snapshot) summarized: traffic, admission
+/// control, coalescing behavior and model drift.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Element precisions served (informational; e.g. `["f64", "f32"]`).
+    pub precisions: Vec<String>,
+    /// Request frames received, all ops.
+    pub requests: u64,
+    /// Query points answered with a neighbor row.
+    pub queries: u64,
+    /// Admission rejections (bounded queue full → `Busy`).
+    pub busy: u64,
+    /// Requests that missed their latency deadline.
+    pub timeouts: u64,
+    /// Malformed or failed requests answered with `Error`.
+    pub errors: u64,
+    /// Kernel batches executed.
+    pub batches: u64,
+    /// Flush counts by trigger.
+    pub flushes: FlushCounts,
+    /// Batch-size histogram over [`BATCH_BUCKETS`].
+    pub batch_hist: Vec<u64>,
+    /// Highest simultaneous pending-query count observed.
+    pub queue_high_water: u64,
+    /// Model-derived batch-size targets per precision lane
+    /// (`(precision, m*)`): the smallest batch the §2.6 model predicts
+    /// reaches the configured fraction of asymptotic GFLOPS.
+    pub batch_targets: Vec<(String, usize)>,
+    /// Summed model-predicted batch cost (seconds) over all flushes.
+    pub predicted_s: f64,
+    /// Summed measured kernel wall time (seconds) over all flushes.
+    pub measured_s: f64,
+    /// The predicted cost itemized by model term (summed
+    /// [`gsknn_core::Model::tm_terms`] rows plus the compute term),
+    /// aggregated over all flushed batches.
+    pub predicted_terms: Vec<(String, f64)>,
+}
+
+impl ServeReport {
+    /// Measured over predicted batch cost (`> 1`: the model was
+    /// optimistic). `None` until at least one batch has run.
+    pub fn drift_ratio(&self) -> Option<f64> {
+        if self.predicted_s > 0.0 && self.batches > 0 {
+            Some(self.measured_s / self.predicted_s)
+        } else {
+            None
+        }
+    }
+
+    /// JSON value for machine consumption (the `Stats` wire op body).
+    pub fn to_json(&self) -> Value {
+        let hist: Vec<Value> = self
+            .batch_hist
+            .iter()
+            .zip(BATCH_BUCKETS)
+            .map(|(&count, hi)| {
+                Value::Object(vec![
+                    (
+                        "le".into(),
+                        if hi == usize::MAX {
+                            Value::String("inf".into())
+                        } else {
+                            Value::from(hi)
+                        },
+                    ),
+                    ("count".into(), Value::from(count)),
+                ])
+            })
+            .collect();
+        let targets: Vec<Value> = self
+            .batch_targets
+            .iter()
+            .map(|(p, m)| {
+                Value::Object(vec![
+                    ("precision".into(), Value::String(p.clone())),
+                    ("batch_target".into(), Value::from(*m)),
+                ])
+            })
+            .collect();
+        let terms: Vec<Value> = self
+            .predicted_terms
+            .iter()
+            .map(|(name, s)| {
+                Value::Object(vec![
+                    ("term".into(), Value::String(name.clone())),
+                    ("predicted_s".into(), Value::from(*s)),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("experiment".into(), Value::from("serve")),
+            (
+                "precisions".into(),
+                Value::Array(
+                    self.precisions
+                        .iter()
+                        .map(|p| Value::String(p.clone()))
+                        .collect(),
+                ),
+            ),
+            ("requests".into(), Value::from(self.requests)),
+            ("queries".into(), Value::from(self.queries)),
+            ("busy".into(), Value::from(self.busy)),
+            ("timeouts".into(), Value::from(self.timeouts)),
+            ("errors".into(), Value::from(self.errors)),
+            ("batches".into(), Value::from(self.batches)),
+            ("flush_model".into(), Value::from(self.flushes.model)),
+            ("flush_deadline".into(), Value::from(self.flushes.deadline)),
+            ("flush_drain".into(), Value::from(self.flushes.drain)),
+            (
+                "coalesce_ratio".into(),
+                Value::from(self.flushes.coalesce_ratio()),
+            ),
+            ("batch_hist".into(), Value::Array(hist)),
+            (
+                "queue_high_water".into(),
+                Value::from(self.queue_high_water),
+            ),
+            ("batch_targets".into(), Value::Array(targets)),
+            ("predicted_s".into(), Value::from(self.predicted_s)),
+            ("measured_s".into(), Value::from(self.measured_s)),
+            (
+                "drift_ratio".into(),
+                self.drift_ratio().map(Value::from).unwrap_or(Value::Null),
+            ),
+            ("predicted_terms".into(), Value::Array(terms)),
+        ])
+    }
+
+    /// Human-readable report.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "serve: {} requests | {} queries answered | {} busy | {} timeouts | {} errors\n",
+            self.requests, self.queries, self.busy, self.timeouts, self.errors
+        ));
+        out.push_str(&format!(
+            "batches: {} (flush: {} model, {} deadline, {} drain | coalesce ratio {:.2})\n",
+            self.batches,
+            self.flushes.model,
+            self.flushes.deadline,
+            self.flushes.drain,
+            self.flushes.coalesce_ratio()
+        ));
+        let targets: Vec<String> = self
+            .batch_targets
+            .iter()
+            .map(|(p, m)| format!("{p}: m* = {m}"))
+            .collect();
+        out.push_str(&format!(
+            "queue high water: {} | model batch targets: {}\n",
+            self.queue_high_water,
+            targets.join(", ")
+        ));
+        out.push_str("  batch size   count\n");
+        for (&count, hi) in self.batch_hist.iter().zip(BATCH_BUCKETS) {
+            if count == 0 {
+                continue;
+            }
+            let label = if hi == usize::MAX {
+                "   >256".to_string()
+            } else {
+                format!("{hi:>7}")
+            };
+            out.push_str(&format!("  <= {label} {count:>7}\n"));
+        }
+        match self.drift_ratio() {
+            Some(r) => out.push_str(&format!(
+                "batch cost: predicted {:.3} ms | measured {:.3} ms | drift x{:.2}\n",
+                self.predicted_s * 1e3,
+                self.measured_s * 1e3,
+                r
+            )),
+            None => out.push_str("batch cost: no batches executed\n"),
+        }
+        for (name, s) in &self.predicted_terms {
+            out.push_str(&format!("  {:<32} {:>10.3} ms\n", name, s * 1e3));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ServeReport {
+        let mut hist = vec![0u64; BATCH_BUCKETS.len()];
+        hist[batch_bucket(1)] += 2;
+        hist[batch_bucket(24)] += 3;
+        hist[batch_bucket(4096)] += 1;
+        ServeReport {
+            precisions: vec!["f64".into(), "f32".into()],
+            requests: 42,
+            queries: 210,
+            busy: 3,
+            timeouts: 1,
+            errors: 2,
+            batches: 6,
+            flushes: FlushCounts {
+                model: 4,
+                deadline: 1,
+                drain: 1,
+            },
+            batch_hist: hist,
+            queue_high_water: 17,
+            batch_targets: vec![("f64".into(), 48), ("f32".into(), 96)],
+            predicted_s: 0.010,
+            measured_s: 0.013,
+            predicted_terms: vec![
+                ("compute (Tf + To)".into(), 0.004),
+                ("pack Rc + R2c".into(), 0.006),
+            ],
+        }
+    }
+
+    #[test]
+    fn buckets_cover_all_sizes_monotonically() {
+        assert_eq!(batch_bucket(1), 0);
+        assert_eq!(batch_bucket(2), 1);
+        assert_eq!(batch_bucket(3), 2);
+        assert_eq!(batch_bucket(256), 8);
+        assert_eq!(batch_bucket(257), 9);
+        assert_eq!(batch_bucket(usize::MAX), BATCH_BUCKETS.len() - 1);
+        let mut prev = 0;
+        for m in 1..2000 {
+            let b = batch_bucket(m);
+            assert!(b >= prev, "bucket must not decrease at m={m}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn coalesce_ratio_ignores_drain() {
+        let f = FlushCounts {
+            model: 3,
+            deadline: 1,
+            drain: 100,
+        };
+        assert!((f.coalesce_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(FlushCounts::default().coalesce_ratio(), 0.0);
+    }
+
+    #[test]
+    fn json_round_trips_counters() {
+        let r = sample();
+        let text = r.to_json().to_string();
+        let back: Value = serde_json::from_str(&text).expect("serve JSON parses");
+        assert_eq!(back.get("requests").and_then(|v| v.as_u64()), Some(42));
+        assert_eq!(back.get("flush_model").and_then(|v| v.as_u64()), Some(4));
+        assert_eq!(back.get("flush_deadline").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(back.get("busy").and_then(|v| v.as_u64()), Some(3));
+        assert!((back.get("coalesce_ratio").and_then(|v| v.as_f64()).unwrap() - 0.8).abs() < 1e-12);
+        assert_eq!(
+            back.get("batch_hist")
+                .and_then(|v| v.as_array())
+                .map(|a| a.len()),
+            Some(BATCH_BUCKETS.len())
+        );
+        let drift = back.get("drift_ratio").and_then(|v| v.as_f64()).unwrap();
+        assert!((drift - 1.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_mentions_every_section() {
+        let text = sample().render_table();
+        assert!(text.contains("42 requests"));
+        assert!(text.contains("coalesce ratio 0.80"));
+        assert!(text.contains("m* = 48"));
+        assert!(text.contains("drift x1.30"));
+        assert!(text.contains("pack Rc + R2c"));
+    }
+
+    #[test]
+    fn no_batches_yields_no_drift() {
+        let mut r = sample();
+        r.batches = 0;
+        r.predicted_s = 0.0;
+        r.measured_s = 0.0;
+        assert_eq!(r.drift_ratio(), None);
+        assert!(r.render_table().contains("no batches executed"));
+        assert_eq!(r.to_json().get("drift_ratio"), Some(&Value::Null));
+    }
+}

@@ -1,0 +1,122 @@
+//! Blocking client for the serve protocol — one `TcpStream`, frames in,
+//! frames out. Used by `gsknn-cli query-remote`, the CI smoke test and
+//! `examples/serve_roundtrip.rs`.
+
+use crate::wire::{
+    decode_response, encode_request, read_frame, write_frame, Precision, QueryBody, Request,
+    Response, Status,
+};
+use gsknn_core::GsknnScalar;
+use knn_select::NeighborTable;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// What a query came back as.
+#[derive(Clone, Debug)]
+pub enum Outcome<T: GsknnScalar> {
+    /// Neighbor rows, one per query point, truncated to the requested `k`.
+    Neighbors(NeighborTable<T>),
+    /// Admission control bounced the request; retry with backoff.
+    Busy,
+    /// The latency budget expired before the kernel started.
+    TimedOut,
+    /// Server is draining.
+    ShuttingDown,
+    /// Server-side rejection (dimension mismatch, bad `k`, …).
+    Rejected(String),
+}
+
+/// A connected client.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream })
+    }
+
+    /// Bound the time any single call may block on the socket (covers
+    /// coalescing delay plus kernel time; `None` = wait forever).
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)
+    }
+
+    fn round_trip(&mut self, req: &Request) -> io::Result<Response> {
+        write_frame(&mut self.stream, &encode_request(req))?;
+        let payload = read_frame(&mut self.stream)?
+            .ok_or_else(|| io::Error::from(io::ErrorKind::UnexpectedEof))?;
+        decode_response(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> io::Result<()> {
+        match self.round_trip(&Request::Ping)?.status {
+            Status::Ok => Ok(()),
+            other => Err(io::Error::other(format!("ping answered {other:?}"))),
+        }
+    }
+
+    /// kNN for `m` query points packed point-major into `coords`
+    /// (`coords.len() == m · dim`). The element type picks the wire
+    /// precision and the server lane. `deadline_ms` is the latency
+    /// budget: half may be spent coalescing, all of it exhausted means
+    /// [`Outcome::TimedOut`].
+    pub fn query<T: GsknnScalar>(
+        &mut self,
+        coords: &[T],
+        m: usize,
+        k: usize,
+        deadline_ms: u32,
+    ) -> io::Result<Outcome<T>> {
+        assert!(m >= 1, "need at least one query point");
+        assert_eq!(coords.len() % m, 0, "coords must be m * dim long");
+        let precision = if T::BYTES == 4 {
+            Precision::F32
+        } else {
+            Precision::F64
+        };
+        let req = Request::Query(QueryBody {
+            precision,
+            k,
+            deadline_ms,
+            dim: coords.len() / m,
+            m,
+            coords: coords.iter().map(|v| v.to_f64()).collect(),
+        });
+        let resp = self.round_trip(&req)?;
+        Ok(match resp.status {
+            Status::Ok => Outcome::Neighbors(
+                NeighborTable::<T>::from_bytes(&resp.body)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?,
+            ),
+            Status::Busy => Outcome::Busy,
+            Status::Timeout => Outcome::TimedOut,
+            Status::ShuttingDown => Outcome::ShuttingDown,
+            Status::Error => Outcome::Rejected(String::from_utf8_lossy(&resp.body).into_owned()),
+        })
+    }
+
+    /// Fetch the server's [`gsknn_obs::ServeReport`] as a JSON string.
+    pub fn stats(&mut self) -> io::Result<String> {
+        let resp = self.round_trip(&Request::Stats)?;
+        match resp.status {
+            Status::Ok => String::from_utf8(resp.body)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)),
+            other => Err(io::Error::other(format!("stats answered {other:?}"))),
+        }
+    }
+
+    /// Ask the server to drain and exit.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        match self.round_trip(&Request::Shutdown)?.status {
+            Status::Ok => Ok(()),
+            other => Err(io::Error::other(format!("shutdown answered {other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! # gsknn-serve — an online kNN query service with model-driven batch
+//! # coalescing
+//!
+//! The paper's kernel is a batch machine: its GFLOPS depend on `m`
+//! amortizing the packing and selection overheads (§2.6). An online
+//! service answering one query at a time would live at the `m = 1` floor
+//! of that curve. This crate closes the gap with a **model-driven batch
+//! coalescer**: arriving queries are held in a bounded queue and flushed
+//! into one cross-table kernel call when the §2.6 performance model
+//! predicts the batch has reached the efficient regime — predicted
+//! GFLOPS within a configurable fraction of the asymptote for the
+//! index's `(n, d, k)` — or when the oldest request's latency budget
+//! runs out, whichever is first.
+//!
+//! Pieces:
+//!
+//! * [`wire`] — length-prefixed binary protocol (`Query`, `BatchQuery`,
+//!   `Stats`, `Ping`, `Shutdown`; per-request `f64`/`f32` precision);
+//!   query responses are [`knn_select::NeighborTable`] v2 bytes.
+//! * [`coalesce`] — the flush policy: `m*` from the model, half-budget
+//!   deadline, drain.
+//! * [`server`] — `TcpListener` acceptor + per-precision lanes of kernel
+//!   workers on crossbeam scoped threads; bounded-queue admission
+//!   control (`Busy`), per-request timeouts, graceful drain on the
+//!   `Shutdown` op or SIGTERM.
+//! * [`client`] — blocking client used by `gsknn-cli query-remote`.
+//! * [`metrics`] — shared counters, reported as a
+//!   [`gsknn_obs::ServeReport`] (batch-size histogram, flush-trigger
+//!   ratio, predicted-vs-measured batch cost drift).
+//!
+//! ```no_run
+//! use gsknn_serve::{Client, Outcome, ServeIndex, Server, ServerConfig};
+//!
+//! let refs = dataset::uniform(10_000, 16, 1);
+//! let index = ServeIndex::build(refs, 4, 512, 7);
+//! let server = Server::bind(ServerConfig::default(), index).unwrap();
+//! let addr = server.local_addr().unwrap();
+//! std::thread::spawn(move || server.run());
+//!
+//! let mut client = Client::connect(addr).unwrap();
+//! let point = vec![0.5f64; 16];
+//! match client.query(&point, 1, 8, 200).unwrap() {
+//!     Outcome::Neighbors(table) => println!("{:?}", table.row(0)),
+//!     other => println!("{other:?}"),
+//! }
+//! ```
+
+pub mod client;
+pub mod coalesce;
+pub mod metrics;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, Outcome};
+pub use coalesce::{batch_target, predict_batch_cost, FlushReason, ASYMPTOTE_M};
+pub use gsknn_obs::ServeReport;
+pub use metrics::Metrics;
+pub use server::{ServeIndex, Server, ServerConfig};
+pub use wire::{Precision, Request, Response, Status, WireError, WIRE_VERSION};

@@ -1,0 +1,229 @@
+//! Shared server counters: lock-free atomics on the request path,
+//! a mutex only on the per-batch cost sums (a few updates per flush).
+//! Snapshots render as a [`gsknn_obs::ServeReport`].
+
+use crate::coalesce::FlushReason;
+use gsknn_obs::serve::{batch_bucket, FlushCounts, ServeReport, BATCH_BUCKETS};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+#[derive(Default)]
+struct CostSums {
+    predicted_s: f64,
+    measured_s: f64,
+    /// Term name -> summed predicted seconds across batches.
+    terms: Vec<(String, f64)>,
+}
+
+/// Counters shared by the acceptor, connection handlers and lane workers.
+#[derive(Default)]
+pub struct Metrics {
+    pub requests: AtomicU64,
+    pub queries: AtomicU64,
+    pub busy: AtomicU64,
+    pub timeouts: AtomicU64,
+    pub errors: AtomicU64,
+    pub batches: AtomicU64,
+    flush_model: AtomicU64,
+    flush_deadline: AtomicU64,
+    flush_drain: AtomicU64,
+    hist: [AtomicU64; BATCH_BUCKETS.len()],
+    in_flight: AtomicU64,
+    queue_high_water: AtomicU64,
+    cost: Mutex<CostSums>,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Admit `m` queries against the bound, all-or-nothing: either the
+    /// whole request fits under `cap` in-flight queries and the counter
+    /// advances, or nothing is admitted (→ `Busy`). CAS keeps this exact
+    /// under concurrent connection handlers.
+    pub fn admit(&self, m: usize, cap: usize) -> bool {
+        let m = m as u64;
+        let mut cur = self.in_flight.load(Ordering::Relaxed);
+        loop {
+            if cur + m > cap as u64 {
+                return false;
+            }
+            match self.in_flight.compare_exchange_weak(
+                cur,
+                cur + m,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+        let depth = cur + m;
+        let mut high = self.queue_high_water.load(Ordering::Relaxed);
+        while depth > high {
+            match self.queue_high_water.compare_exchange_weak(
+                high,
+                depth,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => high = actual,
+            }
+        }
+        true
+    }
+
+    /// Release `m` previously admitted queries (reply sent or enqueue
+    /// failed).
+    pub fn release(&self, m: usize) {
+        self.in_flight.fetch_sub(m as u64, Ordering::AcqRel);
+    }
+
+    /// Current in-flight query count (telemetry only).
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Record one flush decision; `batch_m` is the query count that
+    /// actually ran (0 when every held request had already timed out, in
+    /// which case no kernel ran and only the flush reason is counted).
+    pub fn record_flush(
+        &self,
+        reason: FlushReason,
+        batch_m: usize,
+        predicted_s: f64,
+        measured_s: f64,
+        terms: &[(&'static str, f64)],
+    ) {
+        match reason {
+            FlushReason::Model => &self.flush_model,
+            FlushReason::Deadline => &self.flush_deadline,
+            FlushReason::Drain => &self.flush_drain,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        if batch_m == 0 {
+            return;
+        }
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.queries.fetch_add(batch_m as u64, Ordering::Relaxed);
+        self.hist[batch_bucket(batch_m)].fetch_add(1, Ordering::Relaxed);
+        let mut cost = self.cost.lock().unwrap();
+        cost.predicted_s += predicted_s;
+        cost.measured_s += measured_s;
+        for &(name, s) in terms {
+            match cost.terms.iter_mut().find(|(n, _)| n == name) {
+                Some((_, sum)) => *sum += s,
+                None => cost.terms.push((name.to_string(), s)),
+            }
+        }
+    }
+
+    /// Snapshot as a report. `batch_targets` are the per-lane `m*`
+    /// constants (they live with the server config, not the counters).
+    pub fn report(&self, batch_targets: Vec<(String, usize)>) -> ServeReport {
+        let cost = self.cost.lock().unwrap();
+        ServeReport {
+            precisions: batch_targets.iter().map(|(p, _)| p.clone()).collect(),
+            requests: self.requests.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            busy: self.busy.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            flushes: FlushCounts {
+                model: self.flush_model.load(Ordering::Relaxed),
+                deadline: self.flush_deadline.load(Ordering::Relaxed),
+                drain: self.flush_drain.load(Ordering::Relaxed),
+            },
+            batch_hist: self
+                .hist
+                .iter()
+                .map(|h| h.load(Ordering::Relaxed))
+                .collect(),
+            queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
+            batch_targets,
+            predicted_s: cost.predicted_s,
+            measured_s: cost.measured_s,
+            predicted_terms: cost.terms.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_is_all_or_nothing() {
+        let m = Metrics::new();
+        assert!(m.admit(6, 8));
+        assert!(!m.admit(3, 8), "6 + 3 > 8 must be rejected whole");
+        assert!(m.admit(2, 8));
+        assert_eq!(m.in_flight(), 8);
+        m.release(6);
+        assert!(m.admit(3, 8));
+        assert_eq!(m.queue_high_water.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn oversized_batch_never_admits() {
+        let m = Metrics::new();
+        assert!(!m.admit(9, 8));
+        assert_eq!(m.in_flight(), 0);
+    }
+
+    #[test]
+    fn flushes_aggregate_into_the_report() {
+        let m = Metrics::new();
+        m.requests.fetch_add(3, Ordering::Relaxed);
+        m.record_flush(
+            FlushReason::Model,
+            32,
+            0.002,
+            0.003,
+            &[("pack Rc + R2c", 0.001)],
+        );
+        m.record_flush(
+            FlushReason::Deadline,
+            1,
+            0.001,
+            0.001,
+            &[("pack Rc + R2c", 0.0005)],
+        );
+        m.record_flush(FlushReason::Drain, 0, 0.0, 0.0, &[]); // all timed out
+
+        let r = m.report(vec![("f64".into(), 32)]);
+        assert_eq!(r.batches, 2);
+        assert_eq!(r.queries, 33);
+        assert_eq!(r.flushes.model, 1);
+        assert_eq!(r.flushes.deadline, 1);
+        assert_eq!(r.flushes.drain, 1);
+        assert_eq!(r.batch_hist[batch_bucket(32)], 1);
+        assert_eq!(r.batch_hist[batch_bucket(1)], 1);
+        assert!((r.predicted_s - 0.003).abs() < 1e-15);
+        assert!((r.measured_s - 0.004).abs() < 1e-15);
+        assert_eq!(r.predicted_terms.len(), 1);
+        assert!((r.predicted_terms[0].1 - 0.0015).abs() < 1e-15);
+    }
+
+    #[test]
+    fn concurrent_admission_respects_the_cap() {
+        let m = std::sync::Arc::new(Metrics::new());
+        let cap = 64usize;
+        let admitted: u64 = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| {
+                    let m = m.clone();
+                    s.spawn(move || (0..100).filter(|_| m.admit(1, cap)).count() as u64)
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(admitted, cap as u64);
+        assert_eq!(m.in_flight(), cap as u64);
+    }
+}

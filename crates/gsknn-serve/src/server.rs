@@ -1,0 +1,538 @@
+//! The query service: a `TcpListener` acceptor, one connection-handler
+//! thread per client, and per-precision lanes of kernel workers fed
+//! through bounded channels. No async runtime — crossbeam scoped threads
+//! and channels only (see DESIGN.md §9).
+//!
+//! Request lifecycle:
+//!
+//! 1. A connection handler decodes a frame, validates it against the
+//!    index (dimension, `k ≤ k_max`, finite coordinates), and admits it
+//!    against the bounded in-flight budget — all-or-nothing, so a batch
+//!    either fits whole or bounces as `Busy`.
+//! 2. Admitted jobs enter their precision lane's channel. A lane worker
+//!    coalesces jobs until the §2.6 model says the batch reached the
+//!    efficient regime (`m ≥ m*`, see [`crate::coalesce::batch_target`])
+//!    or the oldest job has spent half its latency budget waiting.
+//! 3. The flushed batch runs as one [`rkdt::Forest::query`] (cross-table
+//!    kernel calls per routed leaf) at the batch's largest `k`; each
+//!    job's rows are truncated to its own `k` and sent back as
+//!    NeighborTable v2 bytes. Jobs whose full budget elapsed before the
+//!    kernel started are answered `Timeout` without computing.
+//! 4. `Shutdown` (or SIGTERM) flips the drain flag: queued jobs flush as
+//!    `Drain` batches, new queries get `ShuttingDown`, and `run` returns
+//!    the final [`ServeReport`].
+
+use crate::coalesce::{batch_target, predict_batch_cost, FlushReason};
+use crate::metrics::Metrics;
+use crate::wire::{
+    deadline_duration, decode_request, encode_response, read_frame_poll, write_frame, Precision,
+    QueryBody, Request, Response, Status,
+};
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use dataset::{DistanceKind, PointSet};
+use gsknn_core::{FusedScalar, GsknnConfig, MachineParams, Model};
+use gsknn_obs::ServeReport;
+use knn_select::{Neighbor, NeighborTable};
+use rkdt::Forest;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Process-wide SIGTERM flag (the handler may not touch anything else).
+static SIGTERM: AtomicBool = AtomicBool::new(false);
+
+/// Register a minimal SIGTERM handler that flips [`SIGTERM`], so `kill`
+/// drains the server exactly like the wire `Shutdown` op. No-op off unix.
+fn install_sigterm() {
+    #[cfg(unix)]
+    {
+        extern "C" fn on_term(_signum: i32) {
+            SIGTERM.store(true, Ordering::SeqCst);
+        }
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGTERM_NUM: i32 = 15;
+        unsafe {
+            signal(SIGTERM_NUM, on_term as *const () as usize);
+        }
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address (`"127.0.0.1:0"` picks a free port).
+    pub addr: String,
+    /// Kernel worker threads per precision lane.
+    pub workers_per_lane: usize,
+    /// Admission bound: maximum in-flight query points across both lanes.
+    pub queue_cap: usize,
+    /// Model trigger: flush when predicted GFLOPS reaches this fraction
+    /// of the asymptote for the index's shape.
+    pub coalesce_frac: f64,
+    /// Hard cap on a coalesced batch (also clamps the model target).
+    pub max_batch: usize,
+    /// Largest `k` a request may ask for.
+    pub k_max: usize,
+    /// Distance served.
+    pub kind: DistanceKind,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers_per_lane: 1,
+            queue_cap: 1024,
+            coalesce_frac: 0.9,
+            max_batch: 512,
+            k_max: 128,
+            kind: DistanceKind::SqL2,
+        }
+    }
+}
+
+/// The loaded index: one reference table (kept in both precisions — the
+/// forest's split projections are precision-free, so a single forest
+/// routes either cast) plus its randomized-KD-tree forest.
+pub struct ServeIndex {
+    refs64: PointSet<f64>,
+    refs32: PointSet<f32>,
+    forest: Forest,
+    n_trees: usize,
+    leaf_size: usize,
+}
+
+impl ServeIndex {
+    /// Build the forest over `refs` and cache the f32 cast.
+    pub fn build(refs: PointSet<f64>, n_trees: usize, leaf_size: usize, seed: u64) -> Self {
+        assert!(!refs.is_empty(), "cannot serve an empty index");
+        let forest = Forest::build(&refs, n_trees, leaf_size, seed);
+        ServeIndex {
+            refs32: refs.cast::<f32>(),
+            refs64: refs,
+            forest,
+            n_trees,
+            leaf_size,
+        }
+    }
+
+    /// Point dimension.
+    pub fn dim(&self) -> usize {
+        self.refs64.dim()
+    }
+
+    /// Reference count.
+    pub fn len(&self) -> usize {
+        self.refs64.len()
+    }
+
+    /// Never true post-build (`build` rejects empty tables).
+    pub fn is_empty(&self) -> bool {
+        self.refs64.len() == 0
+    }
+
+    /// Trees in the forest.
+    pub fn n_trees(&self) -> usize {
+        self.n_trees
+    }
+
+    /// Leaf size the forest was built with.
+    pub fn leaf_size(&self) -> usize {
+        self.leaf_size
+    }
+}
+
+/// One admitted query batch traveling from a connection handler to a
+/// lane worker.
+struct Job {
+    /// `m · dim` coordinates, widened; the lane narrows to its scalar.
+    coords: Vec<f64>,
+    m: usize,
+    k: usize,
+    /// Coalesce bound: flush a batch containing this job by here.
+    flush_by: Instant,
+    /// Full latency budget: a kernel start after this answers `Timeout`.
+    timeout_at: Instant,
+    reply: Sender<Response>,
+}
+
+/// Everything a lane worker needs, borrowed for the scope's lifetime.
+struct LaneCtx<'a, T: FusedScalar> {
+    rx: Receiver<Job>,
+    refs: &'a PointSet<T>,
+    forest: &'a Forest,
+    n_trees: usize,
+    leaf_size: usize,
+    kind: DistanceKind,
+    target: usize,
+    model: Model,
+    metrics: &'a Metrics,
+    shutdown: &'a AtomicBool,
+}
+
+/// Shared state for connection handlers.
+struct Shared {
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    dim: usize,
+    n_refs: usize,
+    queue_cap: usize,
+    k_max: usize,
+    targets: Vec<(String, usize)>,
+}
+
+/// A bound, not-yet-running server. `bind` then `run`; the split lets
+/// in-process callers learn the ephemeral port before blocking.
+pub struct Server {
+    listener: TcpListener,
+    cfg: ServerConfig,
+    index: ServeIndex,
+}
+
+impl Server {
+    /// Bind the listener. The index must match the traffic: its dimension
+    /// is the only one served.
+    pub fn bind(cfg: ServerConfig, index: ServeIndex) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        Ok(Server {
+            listener,
+            cfg,
+            index,
+        })
+    }
+
+    /// The bound address (port resolved).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Per-lane model batch targets `m*` for this (config, index) pair.
+    pub fn batch_targets(&self) -> Vec<(String, usize)> {
+        let n = self.index.leaf_size.min(self.index.len());
+        let d = self.index.dim();
+        let k = self.cfg.k_max;
+        let t64 = batch_target(
+            &Model::new(MachineParams::ivy_bridge_1core().for_scalar::<f64>()),
+            n,
+            d,
+            k,
+            self.cfg.coalesce_frac,
+            self.cfg.max_batch,
+        );
+        let t32 = batch_target(
+            &Model::new(MachineParams::ivy_bridge_1core().for_scalar::<f32>()),
+            n,
+            d,
+            k,
+            self.cfg.coalesce_frac,
+            self.cfg.max_batch,
+        );
+        vec![("f64".to_string(), t64), ("f32".to_string(), t32)]
+    }
+
+    /// Serve until `Shutdown` / SIGTERM, then drain and return the final
+    /// report. Blocks the calling thread; workers and connection handlers
+    /// run on scoped threads underneath it.
+    pub fn run(self) -> ServeReport {
+        install_sigterm();
+        let targets = self.batch_targets();
+        let shared = Shared {
+            metrics: Metrics::new(),
+            shutdown: AtomicBool::new(false),
+            dim: self.index.dim(),
+            n_refs: self.index.len(),
+            queue_cap: self.cfg.queue_cap.max(1),
+            k_max: self.cfg.k_max.max(1),
+            targets: targets.clone(),
+        };
+        let cap = shared.queue_cap;
+        let (tx64, rx64) = channel::bounded::<Job>(cap);
+        let (tx32, rx32) = channel::bounded::<Job>(cap);
+        self.listener
+            .set_nonblocking(true)
+            .expect("nonblocking accept");
+        let workers = self.cfg.workers_per_lane.max(1);
+        let model64 = Model::new(MachineParams::ivy_bridge_1core().for_scalar::<f64>());
+        let model32 = Model::new(MachineParams::ivy_bridge_1core().for_scalar::<f32>());
+        let index = &self.index;
+        let cfg = &self.cfg;
+        let shared_ref = &shared;
+
+        crossbeam::thread::scope(|s| {
+            for _ in 0..workers {
+                let ctx = LaneCtx {
+                    rx: rx64.clone(),
+                    refs: &index.refs64,
+                    forest: &index.forest,
+                    n_trees: index.n_trees,
+                    leaf_size: index.leaf_size,
+                    kind: cfg.kind,
+                    target: targets[0].1,
+                    model: model64,
+                    metrics: &shared_ref.metrics,
+                    shutdown: &shared_ref.shutdown,
+                };
+                s.spawn(move |_| lane_worker(ctx));
+                let ctx = LaneCtx {
+                    rx: rx32.clone(),
+                    refs: &index.refs32,
+                    forest: &index.forest,
+                    n_trees: index.n_trees,
+                    leaf_size: index.leaf_size,
+                    kind: cfg.kind,
+                    target: targets[1].1,
+                    model: model32,
+                    metrics: &shared_ref.metrics,
+                    shutdown: &shared_ref.shutdown,
+                };
+                s.spawn(move |_| lane_worker(ctx));
+            }
+            // the worker-side clones above keep the lanes alive; drop the
+            // originals so worker recv() can observe disconnection once
+            // every connection handler is gone
+            drop(rx64);
+            drop(rx32);
+
+            loop {
+                if SIGTERM.load(Ordering::SeqCst) {
+                    shared_ref.shutdown.store(true, Ordering::SeqCst);
+                }
+                if shared_ref.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let tx64 = tx64.clone();
+                        let tx32 = tx32.clone();
+                        s.spawn(move |_| handle_conn(stream, shared_ref, tx64, tx32));
+                    }
+                    Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(2)),
+                }
+            }
+            drop(tx64);
+            drop(tx32);
+            // scope join: connection handlers observe the shutdown flag,
+            // lane workers drain their channels and exit
+        })
+        .expect("server thread panicked");
+
+        shared.metrics.report(targets)
+    }
+}
+
+/// Per-connection loop: read frames until EOF, error, or drain.
+fn handle_conn(mut stream: TcpStream, shared: &Shared, tx64: Sender<Job>, tx32: Sender<Job>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+    let _ = stream.set_nodelay(true);
+    loop {
+        let stop = || shared.shutdown.load(Ordering::SeqCst);
+        let payload = match read_frame_poll(&mut stream, &stop) {
+            Ok(Some(p)) => p,
+            Ok(None) | Err(_) => return,
+        };
+        shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let mut drain_after_reply = false;
+        let resp = match decode_request(&payload) {
+            Err(e) => {
+                shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                Response::error(e.to_string())
+            }
+            Ok(Request::Ping) => Response::empty(Status::Ok),
+            Ok(Request::Stats) => {
+                let report = shared.metrics.report(shared.targets.clone());
+                Response {
+                    status: Status::Ok,
+                    body: report.to_json().to_string().into_bytes(),
+                }
+            }
+            Ok(Request::Shutdown) => {
+                drain_after_reply = true;
+                Response::empty(Status::Ok)
+            }
+            Ok(Request::Query(q)) => handle_query(q, shared, &tx64, &tx32),
+        };
+        if write_frame(&mut stream, &encode_response(&resp)).is_err() {
+            return;
+        }
+        if drain_after_reply {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            return;
+        }
+    }
+}
+
+/// Validate, admit, enqueue, await the lane's reply.
+fn handle_query(q: QueryBody, shared: &Shared, tx64: &Sender<Job>, tx32: &Sender<Job>) -> Response {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Response::empty(Status::ShuttingDown);
+    }
+    if q.dim != shared.dim {
+        shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+        return Response::error(format!(
+            "dimension mismatch: index is {}-d, request is {}-d",
+            shared.dim, q.dim
+        ));
+    }
+    if q.m == 0 || q.k == 0 || q.k > shared.k_max {
+        shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+        return Response::error(format!(
+            "need m >= 1 and 1 <= k <= {} (got m = {}, k = {})",
+            shared.k_max, q.m, q.k
+        ));
+    }
+    if q.coords.iter().any(|v| !v.is_finite()) {
+        shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+        return Response::error("non-finite coordinate in query");
+    }
+    if !shared.metrics.admit(q.m, shared.queue_cap) {
+        shared.metrics.busy.fetch_add(1, Ordering::Relaxed);
+        return Response::empty(Status::Busy);
+    }
+    let now = Instant::now();
+    let budget = deadline_duration(q.deadline_ms);
+    let (reply_tx, reply_rx) = channel::bounded::<Response>(1);
+    let job = Job {
+        coords: q.coords,
+        m: q.m,
+        k: q.k.min(shared.n_refs.max(1)),
+        flush_by: now + budget / 2,
+        timeout_at: now + budget,
+        reply: reply_tx,
+    };
+    let lane = match q.precision {
+        Precision::F64 => tx64,
+        Precision::F32 => tx32,
+    };
+    if lane.try_send(job).is_err() {
+        shared.metrics.release(q.m);
+        shared.metrics.busy.fetch_add(1, Ordering::Relaxed);
+        return Response::empty(Status::Busy);
+    }
+    // workers always reply (Ok or Timeout); the grace covers kernel time
+    match reply_rx.recv_timeout(budget + Duration::from_secs(30)) {
+        Ok(resp) => resp,
+        Err(_) => {
+            shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            Response::error("lane worker did not reply")
+        }
+    }
+}
+
+/// One kernel worker: coalesce then flush, forever.
+fn lane_worker<T: FusedScalar>(ctx: LaneCtx<'_, T>) {
+    let kernel_cfg = GsknnConfig::for_scalar::<T>();
+    loop {
+        // block for the batch's first job, watching for drain
+        let first = loop {
+            match ctx.rx.recv_timeout(Duration::from_millis(25)) {
+                Ok(job) => break job,
+                Err(RecvTimeoutError::Timeout) => {
+                    if ctx.shutdown.load(Ordering::SeqCst) && ctx.rx.is_empty() {
+                        return;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        };
+        let mut flush_by = first.flush_by;
+        let mut m = first.m;
+        let mut batch = vec![first];
+        let reason = loop {
+            if m >= ctx.target {
+                break FlushReason::Model;
+            }
+            if ctx.shutdown.load(Ordering::SeqCst) {
+                break FlushReason::Drain;
+            }
+            let now = Instant::now();
+            if now >= flush_by {
+                break FlushReason::Deadline;
+            }
+            let wait = (flush_by - now).min(Duration::from_millis(5));
+            match ctx.rx.recv_timeout(wait) {
+                Ok(job) => {
+                    flush_by = flush_by.min(job.flush_by);
+                    m += job.m;
+                    batch.push(job);
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break FlushReason::Drain,
+            }
+        };
+        execute_batch(&ctx, &kernel_cfg, batch, reason);
+    }
+}
+
+/// Run one flushed batch through the forest and fan the rows back out.
+fn execute_batch<T: FusedScalar>(
+    ctx: &LaneCtx<'_, T>,
+    kernel_cfg: &GsknnConfig,
+    batch: Vec<Job>,
+    reason: FlushReason,
+) {
+    let start = Instant::now();
+    let mut live = Vec::with_capacity(batch.len());
+    for job in batch {
+        if start > job.timeout_at {
+            ctx.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+            ctx.metrics.release(job.m);
+            let _ = job.reply.try_send(Response::empty(Status::Timeout));
+        } else {
+            live.push(job);
+        }
+    }
+    if live.is_empty() {
+        ctx.metrics.record_flush(reason, 0, 0.0, 0.0, &[]);
+        return;
+    }
+
+    let dim = ctx.refs.dim();
+    let m_live: usize = live.iter().map(|j| j.m).sum();
+    let k_batch = live.iter().map(|j| j.k).max().unwrap_or(1);
+    let mut coords: Vec<T> = Vec::with_capacity(m_live * dim);
+    for job in &live {
+        coords.extend(job.coords.iter().map(|&v| T::from_f64(v)));
+    }
+    let queries = PointSet::from_vec(dim, m_live, coords);
+    let table = ctx
+        .forest
+        .query(ctx.refs, &queries, k_batch, ctx.kind, kernel_cfg.clone());
+    let measured = start.elapsed().as_secs_f64();
+    let (predicted, terms) = predict_batch_cost(
+        &ctx.model,
+        ctx.n_trees,
+        ctx.leaf_size.min(ctx.refs.len()),
+        m_live,
+        dim,
+        k_batch,
+    );
+    ctx.metrics
+        .record_flush(reason, m_live, predicted, measured, &terms);
+
+    let mut row0 = 0usize;
+    for job in live {
+        let mut out = NeighborTable::<T>::new(job.m, job.k);
+        for r in 0..job.m {
+            let real: Vec<Neighbor<T>> = table
+                .row(row0 + r)
+                .iter()
+                .filter(|nb| nb.idx != u32::MAX)
+                .take(job.k)
+                .copied()
+                .collect();
+            out.set_row(r, &real);
+        }
+        row0 += job.m;
+        ctx.metrics.release(job.m);
+        let _ = job.reply.try_send(Response {
+            status: Status::Ok,
+            body: out.to_bytes().to_vec(),
+        });
+    }
+}

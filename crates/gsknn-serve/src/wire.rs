@@ -1,0 +1,584 @@
+//! Length-prefixed binary wire protocol.
+//!
+//! Every message is one **frame**: a `u32` little-endian payload length
+//! followed by that many payload bytes (capped at [`MAX_FRAME`]). The
+//! payload is a versioned request or response:
+//!
+//! ```text
+//! request   magic "GSRQ", version u16 = 1, op u8, precision u8 (8|4|0)
+//!           Query:      k u16, deadline_ms u32, d u32, d coords
+//!           BatchQuery: k u16, deadline_ms u32, d u32, m u32, m·d coords
+//!           Stats / Ping / Shutdown: no body (precision byte is 0)
+//!
+//! response  magic "GSRP", version u16 = 1, status u8, body
+//!           Ok(Query/BatchQuery): NeighborTable v2 bytes (knn-select)
+//!           Ok(Stats):            ServeReport JSON (UTF-8)
+//!           Ok(Ping/Shutdown):    empty
+//!           Busy/Timeout/ShuttingDown: empty
+//!           Error:                UTF-8 message
+//! ```
+//!
+//! Coordinates travel at the negotiated precision (`f64` or `f32`
+//! little-endian); query responses reuse the [`NeighborTable`] v2
+//! serialization, which stamps its own precision byte, so a response
+//! frame is self-describing. Decoding widens coordinates to `f64`; the
+//! server's f32 lane narrows them back, which is exact (f32 → f64 → f32
+//! round-trips bit-for-bit).
+
+use bytes::{Buf, BufMut};
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+/// Protocol version stamped in every frame payload.
+pub const WIRE_VERSION: u16 = 1;
+/// Hard cap on a frame payload — larger length prefixes are rejected
+/// before any allocation (64 MiB covers ~4M-point f64 batch responses).
+pub const MAX_FRAME: usize = 1 << 26;
+
+const REQ_MAGIC: &[u8; 4] = b"GSRQ";
+const RESP_MAGIC: &[u8; 4] = b"GSRP";
+
+/// Element precision negotiated per request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Precision {
+    /// 8-byte coordinates/distances.
+    F64,
+    /// 4-byte coordinates/distances.
+    F32,
+}
+
+impl Precision {
+    /// The header byte: the element width, matching the NeighborTable
+    /// serialization convention.
+    pub fn byte(self) -> u8 {
+        match self {
+            Precision::F64 => 8,
+            Precision::F32 => 4,
+        }
+    }
+
+    /// Parse a header byte.
+    pub fn from_byte(b: u8) -> Result<Self, WireError> {
+        match b {
+            8 => Ok(Precision::F64),
+            4 => Ok(Precision::F32),
+            other => Err(WireError::BadPrecision(other)),
+        }
+    }
+
+    /// Display label (`"f64"` / `"f32"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::F64 => "f64",
+            Precision::F32 => "f32",
+        }
+    }
+}
+
+/// Request operations (the `op` header byte).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Op {
+    Query = 1,
+    BatchQuery = 2,
+    Stats = 3,
+    Ping = 4,
+    Shutdown = 5,
+}
+
+/// Body of a `Query` / `BatchQuery` request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryBody {
+    /// Coordinate/response precision.
+    pub precision: Precision,
+    /// Neighbors requested per query point.
+    pub k: usize,
+    /// Latency budget in milliseconds: the coalescer holds the request
+    /// for at most half of this, and a request whose kernel start slips
+    /// past the full budget is answered `Timeout` instead of computed.
+    pub deadline_ms: u32,
+    /// Point dimension.
+    pub dim: usize,
+    /// Number of query points.
+    pub m: usize,
+    /// `m · dim` coordinates, point-major, widened to `f64` on decode.
+    pub coords: Vec<f64>,
+}
+
+/// A decoded request frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// kNN for one point (`body.m == 1`) or a client-side batch.
+    Query(QueryBody),
+    /// Fetch the server's [`gsknn_obs::ServeReport`] as JSON.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Begin graceful drain: queued queries are answered, new ones get
+    /// `ShuttingDown`, then the server exits.
+    Shutdown,
+}
+
+/// Response status byte.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// Request served; body depends on the op.
+    Ok = 0,
+    /// Admission control rejected the request (queue full, or a batch
+    /// larger than the whole queue).
+    Busy = 1,
+    /// The request's latency budget expired before the kernel started.
+    Timeout = 2,
+    /// Server is draining; retry against another replica.
+    ShuttingDown = 3,
+    /// Malformed or unsatisfiable request; body is a UTF-8 message.
+    Error = 4,
+}
+
+impl Status {
+    fn from_byte(b: u8) -> Result<Self, WireError> {
+        Ok(match b {
+            0 => Status::Ok,
+            1 => Status::Busy,
+            2 => Status::Timeout,
+            3 => Status::ShuttingDown,
+            4 => Status::Error,
+            other => return Err(WireError::BadStatus(other)),
+        })
+    }
+}
+
+/// A decoded response frame.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Response {
+    /// Outcome.
+    pub status: Status,
+    /// Status-dependent body (see module docs).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// Shorthand for a body-less response.
+    pub fn empty(status: Status) -> Self {
+        Response {
+            status,
+            body: Vec::new(),
+        }
+    }
+
+    /// Shorthand for an `Error` response with a message.
+    pub fn error(msg: impl Into<String>) -> Self {
+        Response {
+            status: Status::Error,
+            body: msg.into().into_bytes(),
+        }
+    }
+}
+
+/// Why a payload failed to decode.
+#[derive(Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Wrong magic — not a gsknn-serve frame (or request/response mixed up).
+    BadMagic,
+    /// Unknown protocol version.
+    BadVersion(u16),
+    /// Unknown op byte.
+    BadOp(u8),
+    /// Precision byte is not 8 or 4.
+    BadPrecision(u8),
+    /// Unknown response status byte.
+    BadStatus(u8),
+    /// Payload ended before the declared content.
+    Truncated,
+    /// Declared frame length exceeds [`MAX_FRAME`].
+    Oversized(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "not a gsknn-serve frame (bad magic)"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::BadOp(op) => write!(f, "unknown op {op}"),
+            WireError::BadPrecision(b) => write!(f, "unsupported precision byte {b}"),
+            WireError::BadStatus(s) => write!(f, "unknown response status {s}"),
+            WireError::Truncated => write!(f, "frame payload truncated"),
+            WireError::Oversized(n) => write!(f, "frame of {n} bytes exceeds cap"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encode a request payload (no length prefix).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.put_slice(REQ_MAGIC);
+    buf.put_u16_le(WIRE_VERSION);
+    match req {
+        Request::Query(q) => {
+            let op = if q.m == 1 { Op::Query } else { Op::BatchQuery };
+            buf.put_u8(op as u8);
+            buf.put_u8(q.precision.byte());
+            buf.put_u16_le(q.k as u16);
+            buf.put_u32_le(q.deadline_ms);
+            buf.put_u32_le(q.dim as u32);
+            if op == Op::BatchQuery {
+                buf.put_u32_le(q.m as u32);
+            }
+            for &v in &q.coords {
+                match q.precision {
+                    Precision::F64 => buf.put_f64_le(v),
+                    Precision::F32 => buf.put_f32_le(v as f32),
+                }
+            }
+        }
+        Request::Stats => {
+            buf.put_u8(Op::Stats as u8);
+            buf.put_u8(0);
+        }
+        Request::Ping => {
+            buf.put_u8(Op::Ping as u8);
+            buf.put_u8(0);
+        }
+        Request::Shutdown => {
+            buf.put_u8(Op::Shutdown as u8);
+            buf.put_u8(0);
+        }
+    }
+    buf
+}
+
+/// Decode a request payload.
+pub fn decode_request(mut buf: &[u8]) -> Result<Request, WireError> {
+    if buf.remaining() < 4 + 2 + 1 + 1 {
+        return Err(WireError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != REQ_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = buf.get_u16_le();
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let op = buf.get_u8();
+    let prec_byte = buf.get_u8();
+    match op {
+        op if op == Op::Query as u8 || op == Op::BatchQuery as u8 => {
+            let precision = Precision::from_byte(prec_byte)?;
+            let fixed = 2 + 4 + 4 + if op == Op::BatchQuery as u8 { 4 } else { 0 };
+            if buf.remaining() < fixed {
+                return Err(WireError::Truncated);
+            }
+            let k = buf.get_u16_le() as usize;
+            let deadline_ms = buf.get_u32_le();
+            let dim = buf.get_u32_le() as usize;
+            let m = if op == Op::BatchQuery as u8 {
+                buf.get_u32_le() as usize
+            } else {
+                1
+            };
+            let want = m
+                .checked_mul(dim)
+                .and_then(|c| c.checked_mul(precision.byte() as usize))
+                .ok_or(WireError::Oversized(usize::MAX))?;
+            if buf.remaining() < want {
+                return Err(WireError::Truncated);
+            }
+            let mut coords = Vec::with_capacity(m * dim);
+            for _ in 0..m * dim {
+                coords.push(match precision {
+                    Precision::F64 => buf.get_f64_le(),
+                    Precision::F32 => buf.get_f32_le() as f64,
+                });
+            }
+            Ok(Request::Query(QueryBody {
+                precision,
+                k,
+                deadline_ms,
+                dim,
+                m,
+                coords,
+            }))
+        }
+        op if op == Op::Stats as u8 => Ok(Request::Stats),
+        op if op == Op::Ping as u8 => Ok(Request::Ping),
+        op if op == Op::Shutdown as u8 => Ok(Request::Shutdown),
+        other => Err(WireError::BadOp(other)),
+    }
+}
+
+/// Encode a response payload (no length prefix).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(4 + 2 + 1 + resp.body.len());
+    buf.put_slice(RESP_MAGIC);
+    buf.put_u16_le(WIRE_VERSION);
+    buf.put_u8(resp.status as u8);
+    buf.put_slice(&resp.body);
+    buf
+}
+
+/// Decode a response payload.
+pub fn decode_response(mut buf: &[u8]) -> Result<Response, WireError> {
+    if buf.remaining() < 4 + 2 + 1 {
+        return Err(WireError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != RESP_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = buf.get_u16_le();
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let status = Status::from_byte(buf.get_u8())?;
+    Ok(Response {
+        status,
+        body: buf.to_vec(),
+    })
+}
+
+/// Write one frame (length prefix + payload).
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    assert!(payload.len() <= MAX_FRAME, "frame exceeds MAX_FRAME");
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame, blocking. `Ok(None)` on clean EOF before any byte of
+/// the prefix; `UnexpectedEof` if the stream closes mid-frame.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    read_frame_poll(r, &|| false)
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Read one frame from a stream that may have a read timeout configured,
+/// polling `should_stop` whenever a read times out.
+///
+/// * `Ok(None)` — clean EOF, or `should_stop()` turned true while no
+///   frame bytes were pending.
+/// * `Ok(Some(payload))` — one complete frame.
+/// * `Err` — stream error, oversized frame ([`io::ErrorKind::InvalidData`]),
+///   or a stall mid-frame after `should_stop()` turned true.
+pub fn read_frame_poll<R: Read>(
+    r: &mut R,
+    should_stop: &dyn Fn() -> bool,
+) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0usize;
+    // Mid-frame stop: allow a few more timeout ticks for the sender to
+    // finish, then give up so shutdown can't hang on a stalled client.
+    let mut stall_ticks = 0u32;
+    while got < 4 {
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(None)
+                } else {
+                    Err(io::ErrorKind::UnexpectedEof.into())
+                };
+            }
+            Ok(n) => got += n,
+            Err(e) if is_timeout(&e) => {
+                if should_stop() {
+                    if got == 0 {
+                        return Ok(None);
+                    }
+                    stall_ticks += 1;
+                    if stall_ticks > 20 {
+                        return Err(io::ErrorKind::TimedOut.into());
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            WireError::Oversized(len).to_string(),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    let mut got = 0usize;
+    while got < len {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => got += n,
+            Err(e) if is_timeout(&e) => {
+                if should_stop() {
+                    stall_ticks += 1;
+                    if stall_ticks > 20 {
+                        return Err(io::ErrorKind::TimedOut.into());
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(payload))
+}
+
+/// Milliseconds-to-`Duration` helper used on both ends of the deadline
+/// header.
+pub fn deadline_duration(deadline_ms: u32) -> Duration {
+    Duration::from_millis(deadline_ms as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_query(precision: Precision, m: usize) -> Request {
+        Request::Query(QueryBody {
+            precision,
+            k: 5,
+            deadline_ms: 250,
+            dim: 3,
+            m,
+            coords: (0..m * 3).map(|i| i as f64 * 0.25).collect(),
+        })
+    }
+
+    #[test]
+    fn request_round_trips_all_ops() {
+        for req in [
+            sample_query(Precision::F64, 1),
+            sample_query(Precision::F32, 1),
+            sample_query(Precision::F64, 4),
+            sample_query(Precision::F32, 7),
+            Request::Stats,
+            Request::Ping,
+            Request::Shutdown,
+        ] {
+            let bytes = encode_request(&req);
+            assert_eq!(decode_request(&bytes).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn f32_coords_narrow_exactly() {
+        // dyadic coordinates survive the f64 -> f32 -> f64 round trip
+        let req = sample_query(Precision::F32, 2);
+        let bytes = encode_request(&req);
+        let Request::Query(q) = decode_request(&bytes).unwrap() else {
+            panic!("not a query");
+        };
+        assert_eq!(
+            q.coords,
+            (0..6).map(|i| i as f64 * 0.25).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn response_round_trips_all_statuses() {
+        for resp in [
+            Response {
+                status: Status::Ok,
+                body: vec![1, 2, 3],
+            },
+            Response::empty(Status::Busy),
+            Response::empty(Status::Timeout),
+            Response::empty(Status::ShuttingDown),
+            Response::error("dimension mismatch"),
+        ] {
+            let bytes = encode_response(&resp);
+            assert_eq!(decode_response(&bytes).unwrap(), resp, "{:?}", resp.status);
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_rejected() {
+        let mut bad_magic = encode_request(&Request::Ping);
+        bad_magic[0] = b'X';
+        assert_eq!(decode_request(&bad_magic).unwrap_err(), WireError::BadMagic);
+
+        let mut bad_version = encode_request(&Request::Ping);
+        bad_version[4] = 99;
+        assert_eq!(
+            decode_request(&bad_version).unwrap_err(),
+            WireError::BadVersion(99)
+        );
+
+        let mut bad_op = encode_request(&Request::Ping);
+        bad_op[6] = 42;
+        assert_eq!(decode_request(&bad_op).unwrap_err(), WireError::BadOp(42));
+
+        let mut bad_prec = encode_request(&sample_query(Precision::F64, 1));
+        bad_prec[7] = 3;
+        assert_eq!(
+            decode_request(&bad_prec).unwrap_err(),
+            WireError::BadPrecision(3)
+        );
+
+        let full = encode_request(&sample_query(Precision::F64, 2));
+        for cut in [0, 5, 7, 12, full.len() - 1] {
+            assert_eq!(
+                decode_request(&full[..cut]).unwrap_err(),
+                WireError::Truncated,
+                "cut at {cut}"
+            );
+        }
+
+        let mut bad_status = encode_response(&Response::empty(Status::Ok));
+        bad_status[6] = 9;
+        assert_eq!(
+            decode_response(&bad_status).unwrap_err(),
+            WireError::BadStatus(9)
+        );
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_pipe() {
+        let mut wire = Vec::new();
+        let a = encode_request(&Request::Ping);
+        let b = encode_request(&sample_query(Precision::F32, 3));
+        write_frame(&mut wire, &a).unwrap();
+        write_frame(&mut wire, &b).unwrap();
+
+        let mut r: &[u8] = &wire;
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), a);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b);
+        assert_eq!(read_frame(&mut r).unwrap(), None); // clean EOF
+    }
+
+    #[test]
+    fn mid_frame_eof_is_an_error() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &encode_request(&Request::Ping)).unwrap();
+        let mut r: &[u8] = &wire[..wire.len() - 2];
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+        // mid-prefix EOF too
+        let mut r: &[u8] = &wire[..2];
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_before_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut r: &[u8] = &wire;
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+}

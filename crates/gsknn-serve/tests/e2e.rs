@@ -1,0 +1,321 @@
+//! End-to-end service tests over real TCP sockets.
+//!
+//! Exactness setup: the index uses **one tree with leaf ≥ N**, so every
+//! query routes to a single leaf holding all references and
+//! `Forest::query` degenerates to exact brute force — any batching or
+//! thread interleaving the server picks must reproduce the oracle
+//! bit-for-bit (per precision). The coalescer's m-chunking is result-
+//! preserving by construction, so mixed traffic from concurrent clients
+//! is a pure scheduling question, which these tests probe.
+
+use dataset::{DistanceKind, PointSet};
+use gsknn_core::FusedScalar;
+use gsknn_serve::{Client, Outcome, ServeIndex, Server, ServerConfig};
+use knn_select::Neighbor;
+use serde_json::Value;
+use std::net::SocketAddr;
+use std::thread;
+use std::time::Duration;
+
+const N: usize = 600;
+const D: usize = 8;
+
+fn start_server(cfg: ServerConfig) -> (SocketAddr, thread::JoinHandle<gsknn_serve::ServeReport>) {
+    let refs = dataset::uniform(N, D, 1);
+    // exact configuration: one tree, leaf covers the whole table
+    let index = ServeIndex::build(refs, 1, N, 7);
+    let server = Server::bind(cfg, index).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+/// Exact kNN indices by brute force at the query's own precision.
+fn brute_indices<T: FusedScalar>(refs: &PointSet<T>, q: &[T], k: usize) -> Vec<u32> {
+    let mut cands: Vec<Neighbor<T>> = (0..refs.len())
+        .map(|j| Neighbor::new(DistanceKind::SqL2.eval(q, refs.point(j)), j as u32))
+        .collect();
+    cands.sort_unstable_by(Neighbor::cmp_dist_idx);
+    cands[..k].iter().map(|nb| nb.idx).collect()
+}
+
+fn counter(stats: &Value, key: &str) -> u64 {
+    stats.get(key).and_then(|v| v.as_u64()).unwrap_or_else(|| {
+        panic!("stats JSON missing {key}: {stats:?}");
+    })
+}
+
+#[test]
+fn mixed_precision_traffic_matches_oracle_exactly() {
+    let (addr, handle) = start_server(ServerConfig {
+        workers_per_lane: 2,
+        queue_cap: 256,
+        coalesce_frac: 0.9,
+        max_batch: 64,
+        k_max: 16,
+        ..ServerConfig::default()
+    });
+    let refs64 = dataset::uniform(N, D, 1);
+    let refs32 = refs64.cast::<f32>();
+
+    // 4 client threads (2 per precision), each 25 singles + 15 batches
+    // of 5 = 100 query points -> 400 mixed queries total
+    let total_points: usize = thread::scope(|s| {
+        (0..4u64)
+            .map(|t| {
+                let refs64 = &refs64;
+                let refs32 = &refs32;
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    client
+                        .set_io_timeout(Some(Duration::from_secs(30)))
+                        .unwrap();
+                    let pool = dataset::uniform(100, D, 100 + t);
+                    let mut points = 0usize;
+                    for r in 0..40usize {
+                        let m = if r < 25 { 1 } else { 5 };
+                        let k = 1 + (r % 10);
+                        let mut coords = Vec::with_capacity(m * D);
+                        for p in 0..m {
+                            coords.extend_from_slice(pool.point((r + p * 40) % 100));
+                        }
+                        if t % 2 == 0 {
+                            let out = client.query::<f64>(&coords, m, k, 40).expect("query");
+                            let Outcome::Neighbors(table) = out else {
+                                panic!("thread {t} req {r}: unexpected {out:?}");
+                            };
+                            assert_eq!(table.len(), m);
+                            assert_eq!(table.k(), k);
+                            for row in 0..m {
+                                let got: Vec<u32> =
+                                    table.row(row).iter().map(|nb| nb.idx).collect();
+                                let want =
+                                    brute_indices(refs64, &coords[row * D..(row + 1) * D], k);
+                                assert_eq!(got, want, "f64 thread {t} req {r} row {row}");
+                            }
+                        } else {
+                            let c32: Vec<f32> = coords.iter().map(|&v| v as f32).collect();
+                            let out = client.query::<f32>(&c32, m, k, 40).expect("query");
+                            let Outcome::Neighbors(table) = out else {
+                                panic!("thread {t} req {r}: unexpected {out:?}");
+                            };
+                            for row in 0..m {
+                                let got: Vec<u32> =
+                                    table.row(row).iter().map(|nb| nb.idx).collect();
+                                let want = brute_indices(refs32, &c32[row * D..(row + 1) * D], k);
+                                assert_eq!(got, want, "f32 thread {t} req {r} row {row}");
+                            }
+                        }
+                        points += m;
+                    }
+                    points
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .sum()
+    });
+    assert!(
+        total_points >= 200,
+        "need >= 200 queries, got {total_points}"
+    );
+
+    let mut client = Client::connect(addr).unwrap();
+    client.ping().expect("ping");
+    let stats: Value = serde_json::from_str(&client.stats().unwrap()).expect("stats JSON");
+    assert_eq!(counter(&stats, "queries"), total_points as u64);
+    assert_eq!(counter(&stats, "busy"), 0);
+    assert_eq!(counter(&stats, "errors"), 0);
+    assert_eq!(counter(&stats, "timeouts"), 0);
+    assert!(counter(&stats, "batches") >= 1);
+
+    client.shutdown().expect("shutdown");
+    let report = handle.join().expect("server thread");
+    assert_eq!(report.queries, total_points as u64);
+    assert!(
+        report.drift_ratio().is_some(),
+        "batches ran, drift must exist"
+    );
+}
+
+#[test]
+fn coalescer_flushes_on_both_triggers() {
+    let cfg = ServerConfig {
+        workers_per_lane: 1,
+        queue_cap: 512,
+        coalesce_frac: 0.9,
+        max_batch: 128,
+        k_max: 8,
+        ..ServerConfig::default()
+    };
+    // The model target must be a real threshold (> 1) for the deadline
+    // trigger to be observable at all.
+    {
+        let refs = dataset::uniform(N, D, 1);
+        let probe = Server::bind(cfg.clone(), ServeIndex::build(refs, 1, N, 7)).unwrap();
+        let targets = probe.batch_targets();
+        assert!(targets[0].1 > 1, "f64 m* = {} is degenerate", targets[0].1);
+    }
+    let (addr, handle) = start_server(cfg);
+    let mut client = Client::connect(addr).unwrap();
+    client
+        .set_io_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+
+    // Deadline trigger: one lonely query can never reach m*, so its
+    // flush must be deadline-driven.
+    let pool = dataset::uniform(200, D, 42);
+    let out = client.query::<f64>(pool.point(0), 1, 4, 60).unwrap();
+    assert!(matches!(out, Outcome::Neighbors(_)), "got {out:?}");
+    let stats: Value = serde_json::from_str(&client.stats().unwrap()).unwrap();
+    assert!(
+        counter(&stats, "flush_deadline") >= 1,
+        "lonely query must flush on deadline: {stats:?}"
+    );
+    let model_before = counter(&stats, "flush_model");
+
+    // Model trigger: a batch >= max_batch >= m* arrives as one job and
+    // crosses the target immediately.
+    let mut coords = Vec::with_capacity(128 * D);
+    for p in 0..128 {
+        coords.extend_from_slice(pool.point(p % 200));
+    }
+    let out = client.query::<f64>(&coords, 128, 4, 2000).unwrap();
+    assert!(matches!(out, Outcome::Neighbors(_)), "got {out:?}");
+    let stats: Value = serde_json::from_str(&client.stats().unwrap()).unwrap();
+    assert!(
+        counter(&stats, "flush_model") > model_before,
+        "batch >= m* must flush on the model trigger: {stats:?}"
+    );
+
+    client.shutdown().unwrap();
+    let report = handle.join().unwrap();
+    assert!(report.flushes.model >= 1);
+    assert!(report.flushes.deadline >= 1);
+}
+
+#[test]
+fn saturated_queue_returns_busy() {
+    let (addr, handle) = start_server(ServerConfig {
+        workers_per_lane: 1,
+        queue_cap: 8,
+        max_batch: 64,
+        k_max: 8,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).unwrap();
+    client
+        .set_io_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let pool = dataset::uniform(16, D, 5);
+    let coords: Vec<f64> = (0..16).flat_map(|p| pool.point(p).to_vec()).collect();
+
+    // a batch larger than the whole admission budget bounces whole
+    let out = client.query::<f64>(&coords, 16, 4, 500).unwrap();
+    assert!(matches!(out, Outcome::Busy), "got {out:?}");
+
+    // a batch that fits is served
+    let out = client.query::<f64>(&coords[..8 * D], 8, 4, 500).unwrap();
+    assert!(matches!(out, Outcome::Neighbors(_)), "got {out:?}");
+
+    let stats: Value = serde_json::from_str(&client.stats().unwrap()).unwrap();
+    assert_eq!(counter(&stats, "busy"), 1);
+
+    client.shutdown().unwrap();
+    let report = handle.join().unwrap();
+    assert_eq!(report.busy, 1);
+}
+
+#[test]
+fn zero_budget_request_times_out() {
+    let (addr, handle) = start_server(ServerConfig {
+        workers_per_lane: 1,
+        k_max: 8,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).unwrap();
+    client
+        .set_io_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let pool = dataset::uniform(4, D, 9);
+    let out = client.query::<f64>(pool.point(0), 1, 4, 0).unwrap();
+    assert!(matches!(out, Outcome::TimedOut), "got {out:?}");
+    let stats: Value = serde_json::from_str(&client.stats().unwrap()).unwrap();
+    assert!(counter(&stats, "timeouts") >= 1);
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn malformed_requests_are_rejected_not_fatal() {
+    let (addr, handle) = start_server(ServerConfig {
+        k_max: 8,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).unwrap();
+    client
+        .set_io_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+
+    // wrong dimension
+    let out = client.query::<f64>(&[1.0, 2.0], 1, 4, 100).unwrap();
+    assert!(matches!(out, Outcome::Rejected(_)), "got {out:?}");
+    // k over the cap
+    let pool = dataset::uniform(1, D, 3);
+    let out = client.query::<f64>(pool.point(0), 1, 99, 100).unwrap();
+    assert!(matches!(out, Outcome::Rejected(_)), "got {out:?}");
+    // non-finite coordinate
+    let mut bad = pool.point(0).to_vec();
+    bad[0] = f64::NAN;
+    let out = client.query::<f64>(&bad, 1, 4, 100).unwrap();
+    assert!(matches!(out, Outcome::Rejected(_)), "got {out:?}");
+
+    // the connection survives all three and the server still answers
+    let out = client.query::<f64>(pool.point(0), 1, 4, 100).unwrap();
+    assert!(matches!(out, Outcome::Neighbors(_)), "got {out:?}");
+    let stats: Value = serde_json::from_str(&client.stats().unwrap()).unwrap();
+    assert_eq!(counter(&stats, "errors"), 3);
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn shutdown_drains_pending_work() {
+    let (addr, handle) = start_server(ServerConfig {
+        workers_per_lane: 1,
+        queue_cap: 512,
+        max_batch: 256,
+        k_max: 8,
+        ..ServerConfig::default()
+    });
+    let pool = dataset::uniform(300, D, 77);
+    let coords: Vec<f64> = (0..2).flat_map(|p| pool.point(p).to_vec()).collect();
+
+    let worker = thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client
+            .set_io_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        // tiny batch, huge coalesce budget: it can only come back before
+        // the 5 s flush deadline if the drain flushes it
+        client.query::<f64>(&coords, 2, 4, 10_000).unwrap()
+    });
+    // let the query reach the lane, then drain
+    thread::sleep(Duration::from_millis(30));
+    let mut client = Client::connect(addr).unwrap();
+    client.shutdown().unwrap();
+
+    let out = worker.join().unwrap();
+    assert!(
+        matches!(out, Outcome::Neighbors(_)),
+        "queued work must be answered during drain, got {out:?}"
+    );
+    let report = handle.join().unwrap();
+    assert_eq!(report.queries, 2);
+    assert!(
+        report.flushes.drain >= 1,
+        "drain flush expected: {:?}",
+        report.flushes
+    );
+}

@@ -1,24 +1,32 @@
 //! Compact binary serialization for [`NeighborTable`] — neighbor tables
 //! for millions of points are expensive to recompute (the whole point of
-//! the paper), so pipelines persist them between stages.
+//! the paper), so pipelines persist them between stages, and the serving
+//! layer ships them over the wire as query responses.
 //!
-//! Format (little-endian):
+//! Format v2 (little-endian), generic over the element precision:
 //!
 //! ```text
-//! magic  "GSNT"          4 bytes
-//! version u16            currently 1
-//! m       u64            rows
-//! k       u64            neighbors per row
-//! rows    m·k × (f64 dist, u32 idx)
+//! magic     "GSNT"        4 bytes
+//! version   u16           currently 2
+//! precision u8            bytes per stored distance: 8 (f64) or 4 (f32)
+//! m         u64           rows
+//! k         u64           neighbors per row
+//! rows      m·k × (f64|f32 dist, u32 idx)
 //! ```
+//!
+//! Format v1 (the pre-precision layout: no precision byte, distances
+//! always `f64`) is still decoded by [`NeighborTable::from_bytes`] for
+//! any target precision — old persisted f64 tables keep working, and an
+//! f32 reader narrows the stored distances.
 //!
 //! Sentinels round-trip exactly (dist = +∞, idx = `u32::MAX`).
 
 use crate::{Neighbor, NeighborTable};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use gsknn_scalar::GsknnScalar;
 
 const MAGIC: &[u8; 4] = b"GSNT";
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
 
 /// Why a buffer failed to decode.
 #[derive(Debug, PartialEq, Eq)]
@@ -27,6 +35,11 @@ pub enum DecodeError {
     BadMagic,
     /// Unknown format version.
     BadVersion(u16),
+    /// v2 header names a precision this build cannot represent losslessly
+    /// in the requested element type (e.g. reading an f32 table as
+    /// `NeighborTable<f64>` is fine; the stored byte width must still be
+    /// one of 4/8).
+    BadPrecision(u8),
     /// Buffer ended before the declared `m × k` rows.
     Truncated,
     /// A stored distance was NaN (tables never contain NaN).
@@ -38,6 +51,7 @@ impl std::fmt::Display for DecodeError {
         match self {
             DecodeError::BadMagic => write!(f, "not a neighbor table (bad magic)"),
             DecodeError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            DecodeError::BadPrecision(b) => write!(f, "unsupported stored precision ({b} bytes)"),
             DecodeError::Truncated => write!(f, "buffer truncated"),
             DecodeError::CorruptDistance => write!(f, "NaN distance in stored table"),
         }
@@ -46,28 +60,55 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
-impl NeighborTable {
-    /// Serialize to the binary format above.
+/// Write one distance at the precision of `T` (f32 tables store 4-byte
+/// distances, everything else 8).
+#[inline]
+fn put_dist<T: GsknnScalar>(buf: &mut BytesMut, v: T) {
+    if T::BYTES == 4 {
+        buf.put_f32_le(v.to_f64() as f32);
+    } else {
+        buf.put_f64_le(v.to_f64());
+    }
+}
+
+/// Read one distance stored at `stored_bytes` width into `T`.
+#[inline]
+fn get_dist<T: GsknnScalar>(buf: &mut &[u8], stored_bytes: u8) -> T {
+    let wide = if stored_bytes == 4 {
+        buf.get_f32_le() as f64
+    } else {
+        buf.get_f64_le()
+    };
+    T::from_f64(wide)
+}
+
+impl<T: GsknnScalar> NeighborTable<T> {
+    /// Serialize to the binary format above (always writes v2, stamping
+    /// the table's element precision in the header).
     pub fn to_bytes(&self) -> Bytes {
         let m = self.len();
         let k = self.k();
-        let mut buf = BytesMut::with_capacity(4 + 2 + 16 + m * k * 12);
+        let row_bytes = T::BYTES + 4;
+        let mut buf = BytesMut::with_capacity(4 + 2 + 1 + 16 + m * k * row_bytes);
         buf.put_slice(MAGIC);
         buf.put_u16_le(VERSION);
+        buf.put_u8(T::BYTES as u8);
         buf.put_u64_le(m as u64);
         buf.put_u64_le(k as u64);
         for i in 0..m {
             for nb in self.row(i) {
-                buf.put_f64_le(nb.dist);
+                put_dist(&mut buf, nb.dist);
                 buf.put_u32_le(nb.idx);
             }
         }
         buf.freeze()
     }
 
-    /// Decode a buffer produced by [`NeighborTable::to_bytes`].
+    /// Decode a buffer produced by [`NeighborTable::to_bytes`] — v2 at
+    /// either stored precision (distances are converted to `T`), or the
+    /// legacy v1 f64-only layout.
     pub fn from_bytes(mut buf: &[u8]) -> Result<Self, DecodeError> {
-        if buf.remaining() < 4 + 2 + 16 {
+        if buf.remaining() < 4 + 2 {
             return Err(DecodeError::Truncated);
         }
         let mut magic = [0u8; 4];
@@ -76,14 +117,29 @@ impl NeighborTable {
             return Err(DecodeError::BadMagic);
         }
         let version = buf.get_u16_le();
-        if version != VERSION {
-            return Err(DecodeError::BadVersion(version));
+        let stored_bytes = match version {
+            // v1 predates the precision byte; distances are f64
+            1 => 8u8,
+            2 => {
+                if buf.remaining() < 1 {
+                    return Err(DecodeError::Truncated);
+                }
+                let b = buf.get_u8();
+                if b != 4 && b != 8 {
+                    return Err(DecodeError::BadPrecision(b));
+                }
+                b
+            }
+            v => return Err(DecodeError::BadVersion(v)),
+        };
+        if buf.remaining() < 16 {
+            return Err(DecodeError::Truncated);
         }
         let m = buf.get_u64_le() as usize;
         let k = buf.get_u64_le() as usize;
         let need = m
             .checked_mul(k)
-            .and_then(|v| v.checked_mul(12))
+            .and_then(|v| v.checked_mul(stored_bytes as usize + 4))
             .ok_or(DecodeError::Truncated)?;
         if buf.remaining() < need {
             return Err(DecodeError::Truncated);
@@ -94,7 +150,7 @@ impl NeighborTable {
             row.clear();
             let mut real = 0usize;
             for _ in 0..k {
-                let dist = buf.get_f64_le();
+                let dist: T = get_dist(&mut buf, stored_bytes);
                 let idx = buf.get_u32_le();
                 if dist.is_nan() {
                     return Err(DecodeError::CorruptDistance);
@@ -123,6 +179,37 @@ mod tests {
         t
     }
 
+    fn sample_f32() -> NeighborTable<f32> {
+        let mut t = NeighborTable::<f32>::new(2, 3);
+        t.set_row(
+            0,
+            &[
+                Neighbor::new(0.5f32, 2),
+                Neighbor::new(0.75, 11),
+                Neighbor::new(2.0, 1),
+            ],
+        );
+        t.set_row(1, &[Neighbor::new(0.0625f32, 4)]);
+        t
+    }
+
+    /// The legacy v1 encoding (no precision byte, f64 rows), for reader
+    /// compatibility tests.
+    fn encode_v1(t: &NeighborTable) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(1);
+        buf.put_u64_le(t.len() as u64);
+        buf.put_u64_le(t.k() as u64);
+        for i in 0..t.len() {
+            for nb in t.row(i) {
+                buf.put_f64_le(nb.dist);
+                buf.put_u32_le(nb.idx);
+            }
+        }
+        buf
+    }
+
     #[test]
     fn round_trip_exact() {
         let t = sample();
@@ -136,9 +223,47 @@ mod tests {
     }
 
     #[test]
+    fn f32_round_trip_exact() {
+        let t = sample_f32();
+        let bytes = t.to_bytes();
+        // header carries the 4-byte precision tag
+        assert_eq!(bytes[6], 4);
+        let back = NeighborTable::<f32>::from_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.k(), 3);
+        for i in 0..2 {
+            assert_eq!(back.row(i), t.row(i), "row {i}");
+        }
+    }
+
+    #[test]
+    fn f32_payload_widens_into_f64_reader() {
+        let bytes = sample_f32().to_bytes();
+        let wide = NeighborTable::<f64>::from_bytes(&bytes).unwrap();
+        assert_eq!(wide.row(0)[1].idx, 11);
+        assert_eq!(wide.row(0)[1].dist, 0.75);
+        assert_eq!(wide.row(1)[1], Neighbor::sentinel());
+    }
+
+    #[test]
+    fn legacy_v1_payload_still_decodes() {
+        let t = sample();
+        let v1 = encode_v1(&t);
+        let back = NeighborTable::<f64>::from_bytes(&v1).unwrap();
+        for i in 0..3 {
+            assert_eq!(back.row(i), t.row(i), "row {i}");
+        }
+        // and narrows into an f32 reader (exact here: the sample
+        // distances are all dyadic)
+        let narrow = NeighborTable::<f32>::from_bytes(&v1).unwrap();
+        assert_eq!(narrow.row(0)[0].dist, 0.25f32);
+        assert_eq!(narrow.row(0)[0].idx, 7);
+    }
+
+    #[test]
     fn empty_table_round_trips() {
-        let t = NeighborTable::new(0, 5);
-        let back = NeighborTable::from_bytes(&t.to_bytes()).unwrap();
+        let t = NeighborTable::<f64>::new(0, 5);
+        let back = NeighborTable::<f64>::from_bytes(&t.to_bytes()).unwrap();
         assert_eq!(back.len(), 0);
         assert_eq!(back.k(), 5);
     }
@@ -148,7 +273,7 @@ mod tests {
         let mut bytes = sample().to_bytes().to_vec();
         bytes[0] = b'X';
         assert_eq!(
-            NeighborTable::from_bytes(&bytes).unwrap_err(),
+            NeighborTable::<f64>::from_bytes(&bytes).unwrap_err(),
             DecodeError::BadMagic
         );
     }
@@ -158,17 +283,27 @@ mod tests {
         let mut bytes = sample().to_bytes().to_vec();
         bytes[4] = 9;
         assert_eq!(
-            NeighborTable::from_bytes(&bytes).unwrap_err(),
+            NeighborTable::<f64>::from_bytes(&bytes).unwrap_err(),
             DecodeError::BadVersion(9)
+        );
+    }
+
+    #[test]
+    fn wrong_precision_byte_rejected() {
+        let mut bytes = sample().to_bytes().to_vec();
+        bytes[6] = 2; // not 4 or 8
+        assert_eq!(
+            NeighborTable::<f64>::from_bytes(&bytes).unwrap_err(),
+            DecodeError::BadPrecision(2)
         );
     }
 
     #[test]
     fn truncation_rejected() {
         let bytes = sample().to_bytes();
-        for cut in [0usize, 3, 10, bytes.len() - 1] {
+        for cut in [0usize, 3, 6, 10, bytes.len() - 1] {
             assert_eq!(
-                NeighborTable::from_bytes(&bytes[..cut]).unwrap_err(),
+                NeighborTable::<f64>::from_bytes(&bytes[..cut]).unwrap_err(),
                 DecodeError::Truncated,
                 "cut at {cut}"
             );
@@ -178,10 +313,11 @@ mod tests {
     #[test]
     fn nan_distance_rejected() {
         let mut bytes = sample().to_bytes().to_vec();
-        // overwrite the first row's first dist (offset 22) with NaN
-        bytes[22..30].copy_from_slice(&f64::NAN.to_le_bytes());
+        // overwrite the first row's first dist (offset 23: 4 magic +
+        // 2 version + 1 precision + 16 header) with NaN
+        bytes[23..31].copy_from_slice(&f64::NAN.to_le_bytes());
         assert_eq!(
-            NeighborTable::from_bytes(&bytes).unwrap_err(),
+            NeighborTable::<f64>::from_bytes(&bytes).unwrap_err(),
             DecodeError::CorruptDistance
         );
     }
@@ -190,11 +326,12 @@ mod tests {
     fn oversized_header_does_not_overflow() {
         let mut buf = Vec::new();
         buf.extend_from_slice(b"GSNT");
-        buf.extend_from_slice(&1u16.to_le_bytes());
+        buf.extend_from_slice(&2u16.to_le_bytes());
+        buf.push(8);
         buf.extend_from_slice(&u64::MAX.to_le_bytes()); // m
         buf.extend_from_slice(&u64::MAX.to_le_bytes()); // k
         assert_eq!(
-            NeighborTable::from_bytes(&buf).unwrap_err(),
+            NeighborTable::<f64>::from_bytes(&buf).unwrap_err(),
             DecodeError::Truncated
         );
     }

@@ -9,11 +9,17 @@
 
 use crate::tree::RpTree;
 use dataset::{DistanceKind, PointSet};
-use gsknn_core::{Gsknn, GsknnConfig};
+use gsknn_core::{FusedScalar, Gsknn, GsknnConfig};
 use knn_select::NeighborTable;
 use std::collections::HashMap;
 
 /// A forest of random-projection trees over one reference set.
+///
+/// The forest itself is precision-free (splits are stored as `f64`
+/// projections either way); `build` and `query` are generic over the
+/// element type, so one forest built from an f64 table can also route
+/// the f32 cast of the same data — which is how the serving layer offers
+/// both precisions over a single index.
 ///
 /// ```
 /// use rkdt::Forest;
@@ -32,7 +38,12 @@ pub struct Forest {
 
 impl Forest {
     /// Build `n_trees` trees over `x` with leaves of ≤ `leaf_size`.
-    pub fn build(x: &PointSet, n_trees: usize, leaf_size: usize, seed: u64) -> Self {
+    pub fn build<T: FusedScalar>(
+        x: &PointSet<T>,
+        n_trees: usize,
+        leaf_size: usize,
+        seed: u64,
+    ) -> Self {
         assert!(n_trees >= 1, "need at least one tree");
         Forest {
             trees: (0..n_trees)
@@ -53,15 +64,17 @@ impl Forest {
 
     /// Approximate k nearest references (ids into `x`) for every point of
     /// `queries` (a separate table of equal dimension). Row `i` of the
-    /// result corresponds to `queries.point(i)`.
-    pub fn query(
+    /// result corresponds to `queries.point(i)`. Each (tree, leaf) group
+    /// of queries is solved by one cross-table kernel call
+    /// ([`Gsknn::run_cross`] / [`Gsknn::update_cross`]).
+    pub fn query<T: FusedScalar>(
         &self,
-        x: &PointSet,
-        queries: &PointSet,
+        x: &PointSet<T>,
+        queries: &PointSet<T>,
         k: usize,
         kind: DistanceKind,
         cfg: GsknnConfig,
-    ) -> NeighborTable {
+    ) -> NeighborTable<T> {
         assert_eq!(x.dim(), queries.dim(), "dimension mismatch");
         let mut table = NeighborTable::new(queries.len(), k);
         let mut exec = Gsknn::new(cfg);
@@ -172,6 +185,31 @@ mod tests {
         for i in 0..20 {
             assert_eq!(a.row(i), b.row(i));
         }
+    }
+
+    #[test]
+    fn f32_single_tree_big_leaf_is_exact() {
+        let x = uniform(100, 6, 1);
+        let queries = uniform(15, 6, 2);
+        let x32 = x.cast::<f32>();
+        let q32 = queries.cast::<f32>();
+        let forest = Forest::build(&x32, 1, 100, 7);
+        let got = forest.query(&x32, &q32, 4, DistanceKind::SqL2, GsknnConfig::default());
+        // same-precision brute-force truth
+        let mut want = NeighborTable::<f32>::new(15, 4);
+        for i in 0..15 {
+            let mut cands: Vec<knn_select::Neighbor<f32>> = (0..100)
+                .map(|j| {
+                    knn_select::Neighbor::new(
+                        DistanceKind::SqL2.eval(q32.point(i), x32.point(j)),
+                        j as u32,
+                    )
+                })
+                .collect();
+            cands.sort_unstable_by(knn_select::Neighbor::cmp_dist_idx);
+            want.set_row(i, &cands[..4]);
+        }
+        knn_ref::oracle::assert_matches(&got, &want, 1e-4, "f32 forest vs brute force");
     }
 
     #[test]

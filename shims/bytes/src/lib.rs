@@ -98,6 +98,9 @@ pub trait BufMut {
     fn put_u64_le(&mut self, v: u64) {
         self.put_slice(&v.to_le_bytes());
     }
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
     fn put_f64_le(&mut self, v: f64) {
         self.put_slice(&v.to_le_bytes());
     }
@@ -140,6 +143,11 @@ pub trait Buf {
         self.copy_to_slice(&mut b);
         u64::from_le_bytes(b)
     }
+    fn get_f32_le(&mut self) -> f32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        f32::from_le_bytes(b)
+    }
     fn get_f64_le(&mut self) -> f64 {
         let mut b = [0u8; 8];
         self.copy_to_slice(&mut b);
@@ -171,6 +179,7 @@ mod tests {
         w.put_u16_le(7);
         w.put_u32_le(0xDEADBEEF);
         w.put_u64_le(1 << 40);
+        w.put_f32_le(0.75);
         w.put_f64_le(-2.5);
         let frozen = w.freeze();
 
@@ -181,6 +190,7 @@ mod tests {
         assert_eq!(r.get_u16_le(), 7);
         assert_eq!(r.get_u32_le(), 0xDEADBEEF);
         assert_eq!(r.get_u64_le(), 1 << 40);
+        assert_eq!(r.get_f32_le(), 0.75);
         assert_eq!(r.get_f64_le(), -2.5);
         assert_eq!(r.remaining(), 0);
     }

@@ -1,6 +1,256 @@
 //! Offline stand-in for `crossbeam`, providing `thread::scope` with the
 //! crossbeam 0.8 calling convention (`scope.spawn(|scope| ...)`, scope
-//! returns `Result`) implemented on `std::thread::scope`.
+//! returns `Result`) implemented on `std::thread::scope`, and
+//! `channel::{bounded, unbounded}` MPMC channels (clonable `Sender` and
+//! `Receiver`, blocking/timed/non-blocking receive, `try_send` with a
+//! `Full`/`Disconnected` split) implemented on `Mutex` + `Condvar`.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    /// `try_send` failure: the queue is at capacity, or no receiver is
+    /// left alive (the value is handed back either way).
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        Full(T),
+        Disconnected(T),
+    }
+
+    /// Blocking `send` failure: every receiver has been dropped.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Blocking `recv` failure: channel empty and every sender dropped.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// `recv_timeout` failure.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    /// `try_recv` failure.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    struct Inner<T> {
+        queue: Mutex<VecDeque<T>>,
+        /// `usize::MAX` encodes "unbounded".
+        cap: usize,
+        not_empty: Condvar,
+        not_full: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// Sending half; clone freely (MPMC).
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Receiving half; clone freely (MPMC — each message goes to exactly
+    /// one receiver).
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Channel holding at most `cap` queued messages (`cap = 0` is
+    /// rounded up to 1: this shim has no rendezvous mode).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        channel(cap.max(1))
+    }
+
+    /// Channel with no capacity bound.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(usize::MAX)
+    }
+
+    fn channel<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            cap,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner },
+        )
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.senders.fetch_add(1, Ordering::SeqCst);
+            Sender {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.inner.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // last sender gone: wake blocked receivers so they can
+                // observe the disconnect
+                self.inner.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner.receivers.fetch_add(1, Ordering::SeqCst);
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if self.inner.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                self.inner.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue without blocking.
+        pub fn try_send(&self, v: T) -> Result<(), TrySendError<T>> {
+            if self.inner.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(TrySendError::Disconnected(v));
+            }
+            let mut q = self.inner.queue.lock().unwrap();
+            if q.len() >= self.inner.cap {
+                return Err(TrySendError::Full(v));
+            }
+            q.push_back(v);
+            drop(q);
+            self.inner.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Enqueue, blocking while the channel is full.
+        pub fn send(&self, v: T) -> Result<(), SendError<T>> {
+            let mut q = self.inner.queue.lock().unwrap();
+            loop {
+                if self.inner.receivers.load(Ordering::SeqCst) == 0 {
+                    return Err(SendError(v));
+                }
+                if q.len() < self.inner.cap {
+                    q.push_back(v);
+                    drop(q);
+                    self.inner.not_empty.notify_one();
+                    return Ok(());
+                }
+                // bounded waits so a receiver disconnect is never missed
+                let (guard, _) = self
+                    .inner
+                    .not_full
+                    .wait_timeout(q, Duration::from_millis(50))
+                    .unwrap();
+                q = guard;
+            }
+        }
+
+        /// Number of queued messages (racy, for telemetry only).
+        pub fn len(&self) -> usize {
+            self.inner.queue.lock().unwrap().len()
+        }
+
+        /// `true` when no message is queued (racy, for telemetry only).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeue without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.inner.queue.lock().unwrap();
+            match q.pop_front() {
+                Some(v) => {
+                    drop(q);
+                    self.inner.not_full.notify_one();
+                    Ok(v)
+                }
+                None if self.inner.senders.load(Ordering::SeqCst) == 0 => {
+                    Err(TryRecvError::Disconnected)
+                }
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Dequeue, blocking until a message or disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.inner.queue.lock().unwrap();
+            loop {
+                if let Some(v) = q.pop_front() {
+                    drop(q);
+                    self.inner.not_full.notify_one();
+                    return Ok(v);
+                }
+                if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                let (guard, _) = self
+                    .inner
+                    .not_empty
+                    .wait_timeout(q, Duration::from_millis(50))
+                    .unwrap();
+                q = guard;
+            }
+        }
+
+        /// Dequeue, blocking at most `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut q = self.inner.queue.lock().unwrap();
+            loop {
+                if let Some(v) = q.pop_front() {
+                    drop(q);
+                    self.inner.not_full.notify_one();
+                    return Ok(v);
+                }
+                if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .inner
+                    .not_empty
+                    .wait_timeout(q, deadline - now)
+                    .unwrap();
+                q = guard;
+            }
+        }
+
+        /// Number of queued messages (racy, for telemetry only).
+        pub fn len(&self) -> usize {
+            self.inner.queue.lock().unwrap().len()
+        }
+
+        /// `true` when no message is queued (racy, for telemetry only).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+}
 
 pub mod thread {
     use std::any::Any;
@@ -49,6 +299,108 @@ pub mod thread {
 
 #[cfg(test)]
 mod tests {
+    use super::channel::{self, RecvTimeoutError, TryRecvError, TrySendError};
+    use std::time::Duration;
+
+    #[test]
+    fn bounded_try_send_reports_full_then_drains() {
+        let (tx, rx) = channel::bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_receives() {
+        let (tx, rx) = channel::unbounded();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+    }
+
+    #[test]
+    fn drop_of_all_senders_disconnects_after_drain() {
+        let (tx, rx) = channel::unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert!(rx.recv().is_err());
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn drop_of_all_receivers_fails_send() {
+        let (tx, rx) = channel::bounded::<i32>(1);
+        drop(rx);
+        assert_eq!(tx.try_send(9), Err(TrySendError::Disconnected(9)));
+        assert!(tx.send(9).is_err());
+    }
+
+    #[test]
+    fn mpmc_distributes_every_message_once() {
+        let (tx, rx) = channel::bounded(8);
+        let received: Vec<i32> = super::thread::scope(|scope| {
+            let consumers: Vec<_> = (0..3)
+                .map(|_| {
+                    let rx = rx.clone();
+                    scope.spawn(move |_| {
+                        let mut got = Vec::new();
+                        while let Ok(v) = rx.recv() {
+                            got.push(v);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            for producer in 0..2 {
+                let tx = tx.clone();
+                scope.spawn(move |_| {
+                    for i in 0..50 {
+                        tx.send(producer * 50 + i).unwrap();
+                    }
+                });
+            }
+            drop(tx); // close: consumers exit once drained
+            consumers
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        })
+        .unwrap();
+        let mut sorted = received;
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn blocking_send_waits_for_capacity() {
+        let (tx, rx) = channel::bounded(1);
+        tx.send(1).unwrap();
+        super::thread::scope(|scope| {
+            let h = scope.spawn(|_| tx.send(2).unwrap());
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(rx.recv(), Ok(1));
+            h.join().unwrap();
+            assert_eq!(rx.recv(), Ok(2));
+        })
+        .unwrap();
+    }
+
     #[test]
     fn scoped_threads_borrow_and_join() {
         let data = [1, 2, 3, 4];

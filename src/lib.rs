@@ -23,6 +23,7 @@ pub use cluster as clustering;
 pub use dataset as data;
 pub use gemm_kernel as gemm;
 pub use gsknn_core as core;
+pub use gsknn_serve as serve;
 pub use knn_graph as graph;
 pub use knn_ref as reference;
 pub use knn_select as select;
