@@ -458,6 +458,12 @@ pub fn cmd_serve(args: &ArgMap) -> Result<String, CliError> {
     let trees: usize = args.get_or("trees", 4)?;
     let leaf: usize = args.get_or("leaf", 512)?;
     let forest_seed: u64 = args.get_or("forest-seed", 7)?;
+    let overload_threshold: f64 = args.get_or("overload-threshold", 0.75)?;
+    if !(overload_threshold > 0.0 && overload_threshold <= 1.0) {
+        return Err(CliError(format!(
+            "--overload-threshold must be in (0, 1], got {overload_threshold}"
+        )));
+    }
     let cfg = ServerConfig {
         addr: args.str_or("addr", "127.0.0.1:7979"),
         workers_per_lane: args.get_or("workers", 1)?,
@@ -466,6 +472,11 @@ pub fn cmd_serve(args: &ArgMap) -> Result<String, CliError> {
         max_batch: args.get_or("max-batch", 512)?,
         k_max: args.get_or("k-max", 128)?,
         kind: parse_kind(&args.str_or("kind", "sq-l2"))?,
+        degrade_precision: args.get_or("degrade-precision", false)?,
+        overload_threshold,
+        overload_window: std::time::Duration::from_millis(
+            args.get_or("overload-window-ms", 250u64)?,
+        ),
     };
     let (n, d) = (x.len(), x.dim());
     let index = ServeIndex::build(x, trees, leaf, forest_seed);
@@ -511,8 +522,11 @@ fn connect_retry(addr: &str, wait_ms: u64) -> Result<gsknn_serve::Client, CliErr
 pub fn cmd_query_remote(args: &ArgMap) -> Result<String, CliError> {
     let addr = args.str_req("addr")?;
     let mut client = connect_retry(&addr, args.get_or("connect-wait-ms", 5000)?)?;
+    // socket-level bound on any single read/write (0 = wait forever)
+    let timeout_ms: u64 = args.get_or("timeout-ms", 60_000)?;
+    let io_timeout = (timeout_ms > 0).then(|| std::time::Duration::from_millis(timeout_ms));
     client
-        .set_io_timeout(Some(std::time::Duration::from_secs(60)))
+        .set_io_timeout(io_timeout)
         .map_err(|e| CliError(e.to_string()))?;
     match args.str_or("op", "query").as_str() {
         "ping" => {
@@ -571,45 +585,63 @@ fn query_remote_run<T: FusedScalar>(
     let deadline_ms: u32 = args.get_or("deadline-ms", 250)?;
     let kind = parse_kind(&args.str_or("kind", "sq-l2"))?;
     let min_recall: f64 = args.get_or("min-recall", if expect64.is_some() { 1.0 } else { 0.0 })?;
+    let retries: u32 = args.get_or("retries", 0)?;
+    let policy = gsknn_serve::RetryPolicy {
+        max_attempts: retries + 1,
+        ..gsknn_serve::RetryPolicy::default()
+    };
     let queries = queries64.cast::<T>();
     let expect = expect64.map(|x| x.cast::<T>());
 
-    let (mut ok, mut busy, mut timed_out, mut rejected) = (0usize, 0usize, 0usize, 0usize);
+    let (mut ok, mut degraded, mut busy, mut timed_out, mut rejected, mut failed) =
+        (0usize, 0usize, 0usize, 0usize, 0usize, 0usize);
     let (mut hit, mut total) = (0usize, 0usize);
     let t0 = std::time::Instant::now();
     for i in 0..queries.len() {
         let q = queries.point(i);
+        let mut check_recall = |table: &knn_select::NeighborTable<T>| {
+            if let Some(refs) = &expect {
+                let mut cands: Vec<knn_select::Neighbor<T>> = (0..refs.len())
+                    .map(|j| knn_select::Neighbor::new(kind.eval(q, refs.point(j)), j as u32))
+                    .collect();
+                cands.sort_unstable_by(knn_select::Neighbor::cmp_dist_idx);
+                let want: Vec<u32> = cands[..k.min(cands.len())]
+                    .iter()
+                    .map(|nb| nb.idx)
+                    .collect();
+                let got: Vec<u32> = table.row(0).iter().map(|nb| nb.idx).collect();
+                total += want.len();
+                hit += got.iter().zip(&want).filter(|(g, w)| g == w).count();
+            }
+        };
         match client
-            .query::<T>(q, 1, k, deadline_ms)
+            .query_with_retry::<T>(q, 1, k, deadline_ms, &policy)
             .map_err(|e| CliError(format!("query {i}: {e}")))?
         {
             Outcome::Neighbors(table) => {
                 ok += 1;
-                if let Some(refs) = &expect {
-                    let mut cands: Vec<knn_select::Neighbor<T>> = (0..refs.len())
-                        .map(|j| knn_select::Neighbor::new(kind.eval(q, refs.point(j)), j as u32))
-                        .collect();
-                    cands.sort_unstable_by(knn_select::Neighbor::cmp_dist_idx);
-                    let want: Vec<u32> = cands[..k.min(cands.len())]
-                        .iter()
-                        .map(|nb| nb.idx)
-                        .collect();
-                    let got: Vec<u32> = table.row(0).iter().map(|nb| nb.idx).collect();
-                    total += want.len();
-                    hit += got.iter().zip(&want).filter(|(g, w)| g == w).count();
-                }
+                check_recall(&table);
+            }
+            Outcome::Degraded(table) => {
+                degraded += 1;
+                check_recall(&table);
             }
             Outcome::Busy => busy += 1,
             Outcome::TimedOut => timed_out += 1,
             Outcome::ShuttingDown => rejected += 1,
+            Outcome::Failed(msg) => {
+                eprintln!("query {i} failed after retries: {msg}");
+                failed += 1;
+            }
             Outcome::Rejected(msg) => {
                 return Err(CliError(format!("query {i} rejected: {msg}")));
             }
         }
     }
     let dt = t0.elapsed();
+    let ok = ok + degraded;
     let mut out = format!(
-        "{} queries ({}, k = {k}, {}) in {dt:.2?}: {ok} ok, {busy} busy, {timed_out} timed out, {rejected} refused\n",
+        "{} queries ({}, k = {k}, {}) in {dt:.2?}: {ok} ok ({degraded} degraded), {busy} busy, {timed_out} timed out, {rejected} refused, {failed} failed\n",
         queries.len(),
         T::NAME,
         kind.name()
@@ -647,10 +679,13 @@ pub fn usage() -> String {
      \x20 tune    (show detected caches + derived blocking parameters)\n\
      \x20 serve   [--in F | --n 2000 --d 16 --dist ... --seed 42]\n\
      \x20                 [--addr 127.0.0.1:7979 --trees 4 --leaf 512 --workers 1\n\
-     \x20                 --queue-cap 1024 --frac 0.9 --max-batch 512 --k-max 128]\n\
+     \x20                 --queue-cap 1024 --frac 0.9 --max-batch 512 --k-max 128\n\
+     \x20                 --degrade-precision true --overload-threshold 0.75\n\
+     \x20                 --overload-window-ms 250]\n\
      \x20 query-remote --addr H:P [--op query|ping|stats|shutdown --precision f64|f32\n\
      \x20                 --m 10 --d 16 --k 8 --deadline-ms 250 --queries F\n\
-     \x20                 --expect-in F --min-recall 1.0 --connect-wait-ms 5000]\n\
+     \x20                 --expect-in F --min-recall 1.0 --connect-wait-ms 5000\n\
+     \x20                 --timeout-ms 60000 --retries 0]\n\
      flags:\n\
      \x20 --precision f64|f32   element type (f32 uses the 8-lane/16-lane\n\
      \x20                       single-precision micro-kernels)\n\

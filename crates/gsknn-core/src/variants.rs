@@ -228,6 +228,7 @@ pub(crate) fn ic_block_body<T: FusedScalar>(
     // placeholder norms for partial passes (never read by finalize)
     let zero_row = [T::ZERO; MAX_TILE];
 
+    gsknn_faults::fail_point!(gsknn_faults::FaultPoint::PackQ);
     phases.time(Phase::PackQ, || {
         q_pack.resize(mblocks * mr * dcb);
         pack_q_panel(
@@ -276,6 +277,7 @@ pub(crate) fn ic_block_body<T: FusedScalar>(
         }
         // 2nd loop: query micro-panels
         for ir in (0..mcb).step_by(mr) {
+            gsknn_faults::fail_point!(gsknn_faults::FaultPoint::MicroKernel);
             let mre = (mcb - ir).min(mr);
             let ap = &q_pack.as_slice()[(ir / mr) * mr * dcb..];
             let tile_origin = ir * ldcc + rb.col0 + jr;
@@ -340,6 +342,7 @@ pub(crate) fn ic_block_body<T: FusedScalar>(
                     }
                 });
             } else {
+                gsknn_faults::fail_point!(gsknn_faults::FaultPoint::HeapSelect);
                 phases.time(Phase::Select, || {
                     select_tile(&out, ir, mre, rb.jc + jr, nre, args.r_idx, heaps, stats)
                 });
@@ -434,6 +437,7 @@ pub fn run_serial<T: FusedScalar>(
             let last = pc + dcb >= d;
 
             let nblocks = ncb.div_ceil(nr);
+            gsknn_faults::fail_point!(gsknn_faults::FaultPoint::PackR);
             phases.time(Phase::PackR, || {
                 r_pack.resize(nblocks * nr * dcb);
                 pack_r_panel(args.xr, args.r_idx, jc, ncb, pc, dcb, r_pack.as_mut_slice());

@@ -1,0 +1,354 @@
+//! # gsknn-faults — deterministic fault injection for the GSKNN stack
+//!
+//! Production ANN services treat fault containment as a first-class,
+//! *tested* property: a panicking worker, a garbage frame or a poisoned
+//! workspace must never take the service down, and the only way to keep
+//! that true is to be able to produce those faults on demand. This crate
+//! provides the substrate: named **injection points** threaded through
+//! the kernel (`gsknn-core`: packing, micro-kernel dispatch, heap
+//! selection) and the serving layer (`gsknn-serve`: frame decode,
+//! coalescer flush, batch execution), armed from a seeded [`FaultPlan`]
+//! so every chaos run is reproducible bit-for-bit.
+//!
+//! ## Zero overhead when off
+//!
+//! Everything is gated behind the `faults` cargo feature. Host crates
+//! forward their own `faults` feature here and call the
+//! [`fail_point!`] macro, which expands to **nothing** when the host is
+//! built without the feature — no branch, no atomic, no registry, no
+//! code. The hard acceptance bar is that a `faults`-off build is
+//! byte-for-byte indistinguishable from one that never heard of this
+//! crate.
+//!
+//! ## Determinism
+//!
+//! Each injection point keeps a hit counter; whether hit number `h`
+//! fires is a pure function `mix(seed, point, h)` of the plan's seed
+//! (probability mode) or an exact match (`Nth` mode). The *set* of
+//! firing hit numbers is therefore deterministic for a given seed; which
+//! thread experiences a given hit is a scheduling question, which is
+//! exactly the nondeterminism a chaos harness wants to keep.
+//!
+//! ```
+//! use gsknn_faults::{FaultPoint, FaultPlan, Mode};
+//!
+//! // Arm the 3rd batch execution to panic, and ~10% of frame decodes
+//! // to hand the decoder corrupted bytes.
+//! gsknn_faults::configure(
+//!     FaultPlan::new(42)
+//!         .with(FaultPoint::BatchExec, Mode::Nth(3))
+//!         .with(FaultPoint::FrameDecode, Mode::Probability(0.1)),
+//! );
+//! # #[cfg(feature = "faults")]
+//! # assert!(!gsknn_faults::armed(FaultPoint::PackR));
+//! gsknn_faults::clear();
+//! ```
+
+/// A named place in the stack where a fault can be injected.
+///
+/// The enum is available with or without the `faults` feature so host
+/// code can name points unconditionally; only the machinery that arms
+/// them is feature-gated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultPoint {
+    /// `gsknn-core`: gather-packing of a reference panel.
+    PackR,
+    /// `gsknn-core`: gather-packing of a query panel.
+    PackQ,
+    /// `gsknn-core`: rank-dc micro-kernel dispatch (one tile).
+    MicroKernel,
+    /// `gsknn-core`: fused heap-selection epilogue.
+    HeapSelect,
+    /// `gsknn-serve`: a request frame about to be decoded (the fault
+    /// hands the decoder corrupted bytes rather than panicking).
+    FrameDecode,
+    /// `gsknn-serve`: the coalescer's flush decision (the fault forces a
+    /// premature deadline flush).
+    CoalesceFlush,
+    /// `gsknn-serve`: a lane worker executing a flushed batch (the fault
+    /// panics mid-batch, exercising supervision).
+    BatchExec,
+}
+
+impl FaultPoint {
+    /// Every injection point, for iteration in tests and reports.
+    pub const ALL: [FaultPoint; 7] = [
+        FaultPoint::PackR,
+        FaultPoint::PackQ,
+        FaultPoint::MicroKernel,
+        FaultPoint::HeapSelect,
+        FaultPoint::FrameDecode,
+        FaultPoint::CoalesceFlush,
+        FaultPoint::BatchExec,
+    ];
+
+    /// Stable small integer id (indexes the per-point counters and
+    /// perturbs the PRNG stream so points never share a sequence).
+    pub fn id(self) -> usize {
+        match self {
+            FaultPoint::PackR => 0,
+            FaultPoint::PackQ => 1,
+            FaultPoint::MicroKernel => 2,
+            FaultPoint::HeapSelect => 3,
+            FaultPoint::FrameDecode => 4,
+            FaultPoint::CoalesceFlush => 5,
+            FaultPoint::BatchExec => 6,
+        }
+    }
+
+    /// Display label.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultPoint::PackR => "pack-r",
+            FaultPoint::PackQ => "pack-q",
+            FaultPoint::MicroKernel => "micro-kernel",
+            FaultPoint::HeapSelect => "heap-select",
+            FaultPoint::FrameDecode => "frame-decode",
+            FaultPoint::CoalesceFlush => "coalesce-flush",
+            FaultPoint::BatchExec => "batch-exec",
+        }
+    }
+}
+
+/// When an armed point fires.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Mode {
+    /// Fire on each hit independently with this probability, decided by
+    /// a pure function of `(seed, point, hit_number)` — the firing set
+    /// is fixed per seed.
+    Probability(f64),
+    /// Fire exactly once, on the `n`-th hit (1-based).
+    Nth(u64),
+    /// Fire on every hit.
+    Always,
+}
+
+/// A seeded set of armed injection points.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Seed mixed into every probability decision.
+    pub seed: u64,
+    /// `(point, mode)` rules; at most one rule per point (last wins).
+    pub rules: Vec<(FaultPoint, Mode)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (nothing armed) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Arm `point` with `mode` (replacing any earlier rule for it).
+    pub fn with(mut self, point: FaultPoint, mode: Mode) -> Self {
+        self.rules.retain(|(p, _)| *p != point);
+        self.rules.push((point, mode));
+        self
+    }
+}
+
+#[cfg(feature = "faults")]
+mod armed_impl {
+    use super::{FaultPlan, FaultPoint, Mode};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::RwLock;
+
+    const N_POINTS: usize = FaultPoint::ALL.len();
+
+    struct Registry {
+        plan: RwLock<FaultPlan>,
+        hits: [AtomicU64; N_POINTS],
+        fired: [AtomicU64; N_POINTS],
+    }
+
+    static REGISTRY: Registry = Registry {
+        plan: RwLock::new(FaultPlan {
+            seed: 0,
+            rules: Vec::new(),
+        }),
+        hits: [const { AtomicU64::new(0) }; N_POINTS],
+        fired: [const { AtomicU64::new(0) }; N_POINTS],
+    };
+
+    /// SplitMix64 finalizer over (seed, point, hit) — a pure, well-mixed
+    /// decision function.
+    fn mix(seed: u64, point: usize, hit: u64) -> u64 {
+        let mut z = seed
+            .wrapping_add(0x9e3779b97f4a7c15u64.wrapping_mul(point as u64 + 1))
+            .wrapping_add(hit.wrapping_mul(0xbf58476d1ce4e5b9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Install `plan`, resetting all hit/fired counters.
+    pub fn configure(plan: FaultPlan) {
+        let mut guard = REGISTRY.plan.write().unwrap();
+        for i in 0..N_POINTS {
+            REGISTRY.hits[i].store(0, Ordering::SeqCst);
+            REGISTRY.fired[i].store(0, Ordering::SeqCst);
+        }
+        *guard = plan;
+    }
+
+    /// Disarm everything (counters reset too).
+    pub fn clear() {
+        configure(FaultPlan::default());
+    }
+
+    /// Record one hit at `point` and decide whether the fault fires.
+    pub fn armed(point: FaultPoint) -> bool {
+        let id = point.id();
+        let hit = REGISTRY.hits[id].fetch_add(1, Ordering::SeqCst) + 1;
+        let plan = REGISTRY.plan.read().unwrap();
+        let Some((_, mode)) = plan.rules.iter().find(|(p, _)| *p == point) else {
+            return false;
+        };
+        let fire = match *mode {
+            Mode::Always => true,
+            Mode::Nth(n) => hit == n,
+            Mode::Probability(p) => {
+                // compare the top 53 bits against p as a dyadic fraction
+                let u = (mix(plan.seed, id, hit) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                u < p
+            }
+        };
+        if fire {
+            REGISTRY.fired[id].fetch_add(1, Ordering::SeqCst);
+        }
+        fire
+    }
+
+    /// Total hits recorded at `point` since the last `configure`.
+    pub fn hits(point: FaultPoint) -> u64 {
+        REGISTRY.hits[point.id()].load(Ordering::SeqCst)
+    }
+
+    /// Total faults fired at `point` since the last `configure`.
+    pub fn fired(point: FaultPoint) -> u64 {
+        REGISTRY.fired[point.id()].load(Ordering::SeqCst)
+    }
+
+    /// Record a hit and panic with a recognizable message if it fires —
+    /// the body of [`crate::fail_point!`].
+    #[inline]
+    pub fn maybe_fail(point: FaultPoint) {
+        if armed(point) {
+            panic!("injected fault: {}", point.name());
+        }
+    }
+}
+
+#[cfg(feature = "faults")]
+pub use armed_impl::{armed, clear, configure, fired, hits, maybe_fail};
+
+// Without the feature, configure/clear remain callable no-ops so test
+// setup code does not need its own cfg gates; the decision functions are
+// absent on purpose — nothing should consult them in production builds.
+#[cfg(not(feature = "faults"))]
+mod noop_impl {
+    use super::FaultPlan;
+
+    /// No-op: the `faults` feature is off, nothing can be armed.
+    pub fn configure(_plan: FaultPlan) {}
+
+    /// No-op: the `faults` feature is off.
+    pub fn clear() {}
+}
+
+#[cfg(not(feature = "faults"))]
+pub use noop_impl::{clear, configure};
+
+/// Panic-style injection point. With the *host crate's* `faults` feature
+/// on (forwarded to `gsknn-faults/faults`), records a hit and panics
+/// with `"injected fault: <name>"` when the active plan says so; with
+/// the feature off it expands to nothing at all.
+#[macro_export]
+macro_rules! fail_point {
+    ($point:expr) => {{
+        #[cfg(feature = "faults")]
+        $crate::maybe_fail($point);
+    }};
+}
+
+#[cfg(all(test, feature = "faults"))]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    // The registry is process-global; serialize tests that touch it.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn guard() -> MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn unarmed_points_never_fire() {
+        let _g = guard();
+        configure(FaultPlan::new(1).with(FaultPoint::PackR, Mode::Always));
+        for _ in 0..100 {
+            assert!(!armed(FaultPoint::PackQ));
+        }
+        assert_eq!(hits(FaultPoint::PackQ), 100);
+        assert_eq!(fired(FaultPoint::PackQ), 0);
+        clear();
+    }
+
+    #[test]
+    fn nth_fires_exactly_once() {
+        let _g = guard();
+        configure(FaultPlan::new(7).with(FaultPoint::BatchExec, Mode::Nth(3)));
+        let fired_at: Vec<u64> = (1..=10)
+            .filter(|_| armed(FaultPoint::BatchExec))
+            .collect::<Vec<_>>();
+        assert_eq!(fired_at.len(), 1);
+        assert_eq!(hits(FaultPoint::BatchExec), 10);
+        assert_eq!(fired(FaultPoint::BatchExec), 1);
+        clear();
+    }
+
+    #[test]
+    fn probability_stream_is_deterministic_per_seed() {
+        let _g = guard();
+        let run = |seed| {
+            configure(FaultPlan::new(seed).with(FaultPoint::FrameDecode, Mode::Probability(0.3)));
+            let v: Vec<bool> = (0..200).map(|_| armed(FaultPoint::FrameDecode)).collect();
+            clear();
+            v
+        };
+        let a = run(11);
+        let b = run(11);
+        let c = run(12);
+        assert_eq!(a, b, "same seed, same firing set");
+        assert_ne!(a, c, "different seed should differ somewhere");
+        let rate = a.iter().filter(|&&f| f).count() as f64 / a.len() as f64;
+        assert!((0.1..0.5).contains(&rate), "rate {rate} far from 0.3");
+    }
+
+    #[test]
+    fn fail_point_panics_with_recognizable_message() {
+        let _g = guard();
+        configure(FaultPlan::new(1).with(FaultPoint::HeapSelect, Mode::Always));
+        let err = std::panic::catch_unwind(|| {
+            fail_point!(FaultPoint::HeapSelect);
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("injected fault: heap-select"), "{msg}");
+        clear();
+    }
+
+    #[test]
+    fn reconfigure_resets_counters() {
+        let _g = guard();
+        configure(FaultPlan::new(1));
+        let _ = armed(FaultPoint::PackR);
+        assert_eq!(hits(FaultPoint::PackR), 1);
+        configure(FaultPlan::new(2));
+        assert_eq!(hits(FaultPoint::PackR), 0);
+        clear();
+    }
+}

@@ -68,6 +68,15 @@ pub struct ServeReport {
     pub errors: u64,
     /// Kernel batches executed.
     pub batches: u64,
+    /// Worker batches that panicked; every in-flight request in the
+    /// batch was answered with `InternalError` instead of being dropped.
+    pub worker_panics: u64,
+    /// Workers respawned with a fresh executor after a panic.
+    pub worker_respawns: u64,
+    /// f64 queries answered from the f32 lane while shedding load.
+    pub degraded_queries: u64,
+    /// Transitions into the overloaded (degraded) state.
+    pub overload_events: u64,
     /// Flush counts by trigger.
     pub flushes: FlushCounts,
     /// Batch-size histogram over [`BATCH_BUCKETS`].
@@ -156,6 +165,13 @@ impl ServeReport {
             ("timeouts".into(), Value::from(self.timeouts)),
             ("errors".into(), Value::from(self.errors)),
             ("batches".into(), Value::from(self.batches)),
+            ("worker_panics".into(), Value::from(self.worker_panics)),
+            ("worker_respawns".into(), Value::from(self.worker_respawns)),
+            (
+                "degraded_queries".into(),
+                Value::from(self.degraded_queries),
+            ),
+            ("overload_events".into(), Value::from(self.overload_events)),
             ("flush_model".into(), Value::from(self.flushes.model)),
             ("flush_deadline".into(), Value::from(self.flushes.deadline)),
             ("flush_drain".into(), Value::from(self.flushes.drain)),
@@ -194,6 +210,14 @@ impl ServeReport {
             self.flushes.drain,
             self.flushes.coalesce_ratio()
         ));
+        if self.worker_panics + self.worker_respawns + self.degraded_queries + self.overload_events
+            > 0
+        {
+            out.push_str(&format!(
+                "faults: {} worker panics | {} respawns | {} degraded queries | {} overload events\n",
+                self.worker_panics, self.worker_respawns, self.degraded_queries, self.overload_events
+            ));
+        }
         let targets: Vec<String> = self
             .batch_targets
             .iter()
@@ -249,6 +273,10 @@ mod tests {
             timeouts: 1,
             errors: 2,
             batches: 6,
+            worker_panics: 1,
+            worker_respawns: 1,
+            degraded_queries: 5,
+            overload_events: 1,
             flushes: FlushCounts {
                 model: 4,
                 deadline: 1,
@@ -302,6 +330,15 @@ mod tests {
         assert_eq!(back.get("flush_model").and_then(|v| v.as_u64()), Some(4));
         assert_eq!(back.get("flush_deadline").and_then(|v| v.as_u64()), Some(1));
         assert_eq!(back.get("busy").and_then(|v| v.as_u64()), Some(3));
+        assert_eq!(back.get("worker_panics").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(
+            back.get("degraded_queries").and_then(|v| v.as_u64()),
+            Some(5)
+        );
+        assert_eq!(
+            back.get("overload_events").and_then(|v| v.as_u64()),
+            Some(1)
+        );
         assert!((back.get("coalesce_ratio").and_then(|v| v.as_f64()).unwrap() - 0.8).abs() < 1e-12);
         assert_eq!(
             back.get("batch_hist")
@@ -321,6 +358,18 @@ mod tests {
         assert!(text.contains("m* = 48"));
         assert!(text.contains("drift x1.30"));
         assert!(text.contains("pack Rc + R2c"));
+        assert!(text.contains("1 worker panics"));
+        assert!(text.contains("5 degraded queries"));
+    }
+
+    #[test]
+    fn fault_line_is_omitted_when_clean() {
+        let mut r = sample();
+        r.worker_panics = 0;
+        r.worker_respawns = 0;
+        r.degraded_queries = 0;
+        r.overload_events = 0;
+        assert!(!r.render_table().contains("faults:"));
     }
 
     #[test]

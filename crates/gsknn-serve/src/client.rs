@@ -1,7 +1,17 @@
 //! Blocking client for the serve protocol — one `TcpStream`, frames in,
 //! frames out. Used by `gsknn-cli query-remote`, the CI smoke test and
 //! `examples/serve_roundtrip.rs`.
+//!
+//! Every socket operation is bounded by default: connect, read and write
+//! all time out rather than hanging on a wedged server (override with
+//! [`Client::set_io_timeout`], `None` = wait forever). For transient
+//! failures — admission-control `Busy`, a draining server, a worker
+//! panic answered with `InternalError`, or a dropped connection —
+//! [`Client::query_with_retry`] re-issues the request under a
+//! [`RetryPolicy`] (exponential backoff, full jitter), reconnecting as
+//! needed.
 
+use crate::retry::RetryPolicy;
 use crate::wire::{
     decode_response, encode_request, read_frame, write_frame, Precision, QueryBody, Request,
     Response, Status,
@@ -9,40 +19,105 @@ use crate::wire::{
 use gsknn_core::GsknnScalar;
 use knn_select::NeighborTable;
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Default bound on establishing the TCP connection.
+pub const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+/// Default bound on any single socket read or write (covers coalescing
+/// delay plus kernel time for the slowest reasonable batch).
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// What a query came back as.
 #[derive(Clone, Debug)]
 pub enum Outcome<T: GsknnScalar> {
     /// Neighbor rows, one per query point, truncated to the requested `k`.
     Neighbors(NeighborTable<T>),
+    /// Neighbor rows computed at reduced precision (f32 lane) because the
+    /// server was shedding load. Correct ids, lower-precision distances.
+    Degraded(NeighborTable<T>),
     /// Admission control bounced the request; retry with backoff.
     Busy,
     /// The latency budget expired before the kernel started.
     TimedOut,
     /// Server is draining.
     ShuttingDown,
-    /// Server-side rejection (dimension mismatch, bad `k`, …).
+    /// Server-side rejection (dimension mismatch, bad `k`, non-finite
+    /// coordinates, …) — retrying the same request cannot succeed.
     Rejected(String),
+    /// The worker handling the batch panicked before producing an
+    /// answer; the request was never partially applied, so it is safe
+    /// to retry.
+    Failed(String),
+}
+
+impl<T: GsknnScalar> Outcome<T> {
+    /// `true` for outcomes where re-sending the identical request can
+    /// succeed (the server never acted on it).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            Outcome::Busy | Outcome::ShuttingDown | Outcome::Failed(_)
+        )
+    }
 }
 
 /// A connected client.
 pub struct Client {
     stream: TcpStream,
+    /// Resolved server addresses, kept for reconnect-on-retry.
+    addrs: Vec<SocketAddr>,
+    io_timeout: Option<Duration>,
 }
 
 impl Client {
-    /// Connect to a server.
+    /// Connect to a server with the default connect and I/O timeouts.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        Ok(Client { stream })
+        Client::connect_with_timeout(addr, DEFAULT_CONNECT_TIMEOUT)
+    }
+
+    /// Connect with an explicit bound on connection establishment.
+    pub fn connect_with_timeout<A: ToSocketAddrs>(
+        addr: A,
+        connect_timeout: Duration,
+    ) -> io::Result<Client> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let stream = Self::open(&addrs, connect_timeout)?;
+        let mut client = Client {
+            stream,
+            addrs,
+            io_timeout: None,
+        };
+        client.set_io_timeout(Some(DEFAULT_IO_TIMEOUT))?;
+        Ok(client)
+    }
+
+    fn open(addrs: &[SocketAddr], connect_timeout: Duration) -> io::Result<TcpStream> {
+        let mut last_err = None;
+        for sa in addrs {
+            match TcpStream::connect_timeout(sa, connect_timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true).ok();
+                    return Ok(stream);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err
+            .unwrap_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address to dial")))
+    }
+
+    /// Drop the current connection and dial the server again.
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        self.stream = Self::open(&self.addrs, DEFAULT_CONNECT_TIMEOUT)?;
+        let timeout = self.io_timeout;
+        self.set_io_timeout(timeout)
     }
 
     /// Bound the time any single call may block on the socket (covers
     /// coalescing delay plus kernel time; `None` = wait forever).
     pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.io_timeout = timeout;
         self.stream.set_read_timeout(timeout)?;
         self.stream.set_write_timeout(timeout)
     }
@@ -62,6 +137,44 @@ impl Client {
         }
     }
 
+    fn build_query<T: GsknnScalar>(coords: &[T], m: usize, k: usize, deadline_ms: u32) -> Request {
+        assert!(m >= 1, "need at least one query point");
+        assert_eq!(coords.len() % m, 0, "coords must be m * dim long");
+        let precision = if T::BYTES == 4 {
+            Precision::F32
+        } else {
+            Precision::F64
+        };
+        Request::Query(QueryBody {
+            precision,
+            k,
+            deadline_ms,
+            dim: coords.len() / m,
+            m,
+            coords: coords.iter().map(|v| v.to_f64()).collect(),
+        })
+    }
+
+    fn interpret<T: GsknnScalar>(resp: Response) -> io::Result<Outcome<T>> {
+        let table = |body: &[u8]| {
+            NeighborTable::<T>::from_bytes(body)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        };
+        Ok(match resp.status {
+            Status::Ok => Outcome::Neighbors(table(&resp.body)?),
+            Status::OkDegraded => Outcome::Degraded(table(&resp.body)?),
+            Status::Busy => Outcome::Busy,
+            Status::Timeout => Outcome::TimedOut,
+            Status::ShuttingDown => Outcome::ShuttingDown,
+            Status::Error | Status::BadRequest => {
+                Outcome::Rejected(String::from_utf8_lossy(&resp.body).into_owned())
+            }
+            Status::InternalError => {
+                Outcome::Failed(String::from_utf8_lossy(&resp.body).into_owned())
+            }
+        })
+    }
+
     /// kNN for `m` query points packed point-major into `coords`
     /// (`coords.len() == m · dim`). The element type picks the wire
     /// precision and the server lane. `deadline_ms` is the latency
@@ -74,32 +187,65 @@ impl Client {
         k: usize,
         deadline_ms: u32,
     ) -> io::Result<Outcome<T>> {
-        assert!(m >= 1, "need at least one query point");
-        assert_eq!(coords.len() % m, 0, "coords must be m * dim long");
-        let precision = if T::BYTES == 4 {
-            Precision::F32
-        } else {
-            Precision::F64
-        };
-        let req = Request::Query(QueryBody {
-            precision,
-            k,
-            deadline_ms,
-            dim: coords.len() / m,
-            m,
-            coords: coords.iter().map(|v| v.to_f64()).collect(),
-        });
-        let resp = self.round_trip(&req)?;
-        Ok(match resp.status {
-            Status::Ok => Outcome::Neighbors(
-                NeighborTable::<T>::from_bytes(&resp.body)
-                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?,
-            ),
-            Status::Busy => Outcome::Busy,
-            Status::Timeout => Outcome::TimedOut,
-            Status::ShuttingDown => Outcome::ShuttingDown,
-            Status::Error => Outcome::Rejected(String::from_utf8_lossy(&resp.body).into_owned()),
-        })
+        let req = Self::build_query(coords, m, k, deadline_ms);
+        Self::interpret(self.round_trip(&req)?)
+    }
+
+    /// Like [`Client::query`], but re-issuing the request under `policy`
+    /// whenever the outcome is transient ([`Outcome::is_retryable`]) or
+    /// the connection itself failed (in which case it reconnects first).
+    /// Returns the last outcome when attempts or the deadline run out;
+    /// I/O errors only surface if the final attempt dies on the wire.
+    pub fn query_with_retry<T: GsknnScalar>(
+        &mut self,
+        coords: &[T],
+        m: usize,
+        k: usize,
+        deadline_ms: u32,
+        policy: &RetryPolicy,
+    ) -> io::Result<Outcome<T>> {
+        let req = Self::build_query(coords, m, k, deadline_ms);
+        let started = Instant::now();
+        let mut backoff = policy.start();
+        let mut broken = false;
+        loop {
+            if broken {
+                // Best effort: a failed redial counts as a failed attempt.
+                broken = self.reconnect().is_err();
+            }
+            let result = if broken {
+                Err(io::Error::from(io::ErrorKind::NotConnected))
+            } else {
+                self.round_trip(&req)
+            };
+            let (outcome, retryable) = match result {
+                Ok(resp) => {
+                    let outcome = Self::interpret::<T>(resp)?;
+                    let retryable = outcome.is_retryable();
+                    (Some(outcome), retryable)
+                }
+                Err(e) => {
+                    broken = true;
+                    match backoff.tick() {
+                        Some(sleep) if started.elapsed() + sleep < policy.deadline => {
+                            std::thread::sleep(sleep);
+                            continue;
+                        }
+                        _ => return Err(e),
+                    }
+                }
+            };
+            if let (Some(outcome), true) = (&outcome, retryable) {
+                if let Some(sleep) = backoff.tick() {
+                    if started.elapsed() + sleep < policy.deadline {
+                        std::thread::sleep(sleep);
+                        continue;
+                    }
+                }
+                return Ok(outcome.clone());
+            }
+            return Ok(outcome.expect("non-retryable branch always has an outcome"));
+        }
     }
 
     /// Fetch the server's [`gsknn_obs::ServeReport`] as a JSON string.

@@ -1,0 +1,186 @@
+//! Overload detection with hysteresis: decide when the server should
+//! stop optimizing for throughput-per-batch and start shedding load.
+//!
+//! The signal is queue pressure — in-flight queries as a fraction of the
+//! admission cap. A single spike above the threshold means nothing (one
+//! large batch admission looks identical), so a transition requires the
+//! pressure to hold *continuously* for a window. Recovery is symmetric
+//! but uses a lower exit threshold (half the entry threshold) so the
+//! detector doesn't flap when pressure hovers at the boundary.
+//!
+//! The detector is a pure state machine over `(in_flight, cap, now)`
+//! observations — no clocks or atomics of its own — so the server's
+//! monitor thread can drive it with real time and tests can drive it
+//! with synthetic instants.
+
+use std::time::{Duration, Instant};
+
+/// What one observation did to the overload state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transition {
+    /// No state change.
+    None,
+    /// Pressure held above the threshold for the window: degrade now.
+    Enter,
+    /// Pressure held below the exit threshold for the window: recover.
+    Exit,
+}
+
+/// Hysteresis state machine over queue-pressure observations.
+#[derive(Debug)]
+pub struct OverloadDetector {
+    /// Enter overload when `in_flight >= threshold_frac · cap` holds for
+    /// a full window.
+    threshold_frac: f64,
+    /// How long pressure must hold (above entry or below exit) to flip.
+    window: Duration,
+    degraded: bool,
+    /// When the current qualifying streak (above entry while normal,
+    /// below exit while degraded) began.
+    streak_since: Option<Instant>,
+}
+
+impl OverloadDetector {
+    pub fn new(threshold_frac: f64, window: Duration) -> Self {
+        assert!(
+            threshold_frac > 0.0 && threshold_frac <= 1.0,
+            "threshold must be a fraction of the queue cap, got {threshold_frac}"
+        );
+        OverloadDetector {
+            threshold_frac,
+            window,
+            degraded: false,
+            streak_since: None,
+        }
+    }
+
+    /// Currently shedding load?
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Feed one queue sample; returns the transition it caused (if any).
+    pub fn observe(&mut self, in_flight: u64, cap: usize, now: Instant) -> Transition {
+        let frac = if cap == 0 {
+            0.0
+        } else {
+            in_flight as f64 / cap as f64
+        };
+        let qualifying = if self.degraded {
+            frac < self.threshold_frac * 0.5
+        } else {
+            frac >= self.threshold_frac
+        };
+        if !qualifying {
+            self.streak_since = None;
+            return Transition::None;
+        }
+        let since = *self.streak_since.get_or_insert(now);
+        if now.duration_since(since) >= self.window {
+            self.degraded = !self.degraded;
+            self.streak_since = None;
+            if self.degraded {
+                Transition::Enter
+            } else {
+                Transition::Exit
+            }
+        } else {
+            Transition::None
+        }
+    }
+}
+
+/// The degraded batch target: keep batches small so latency stays
+/// bounded while the queue drains. Quartering undoes roughly two
+/// doublings of the model's amortization ladder; the floor keeps a
+/// target of 1 meaningful.
+pub fn degraded_target(normal_target: usize) -> usize {
+    (normal_target / 4).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t0() -> Instant {
+        Instant::now()
+    }
+
+    #[test]
+    fn single_spike_does_not_degrade() {
+        let mut d = OverloadDetector::new(0.75, Duration::from_millis(100));
+        let base = t0();
+        assert_eq!(d.observe(80, 100, base), Transition::None);
+        // pressure vanishes before the window elapses
+        assert_eq!(
+            d.observe(10, 100, base + Duration::from_millis(50)),
+            Transition::None
+        );
+        // even much later, the streak restarted
+        assert_eq!(
+            d.observe(80, 100, base + Duration::from_millis(500)),
+            Transition::None
+        );
+        assert!(!d.is_degraded());
+    }
+
+    #[test]
+    fn sustained_pressure_enters_and_recovery_exits() {
+        let mut d = OverloadDetector::new(0.75, Duration::from_millis(100));
+        let base = t0();
+        assert_eq!(d.observe(90, 100, base), Transition::None);
+        assert_eq!(
+            d.observe(90, 100, base + Duration::from_millis(100)),
+            Transition::Enter
+        );
+        assert!(d.is_degraded());
+        // still overloaded: nothing more fires
+        assert_eq!(
+            d.observe(95, 100, base + Duration::from_millis(150)),
+            Transition::None
+        );
+        // pressure below exit threshold (0.375 here) must also hold
+        let calm = base + Duration::from_millis(200);
+        assert_eq!(d.observe(10, 100, calm), Transition::None);
+        assert_eq!(
+            d.observe(10, 100, calm + Duration::from_millis(100)),
+            Transition::Exit
+        );
+        assert!(!d.is_degraded());
+    }
+
+    #[test]
+    fn hysteresis_band_holds_the_degraded_state() {
+        let mut d = OverloadDetector::new(0.8, Duration::from_millis(10));
+        let base = t0();
+        d.observe(90, 100, base);
+        assert_eq!(
+            d.observe(90, 100, base + Duration::from_millis(10)),
+            Transition::Enter
+        );
+        // 50% of cap: below entry (80%) but above exit (40%) — stays
+        // degraded indefinitely
+        for i in 0..10 {
+            assert_eq!(
+                d.observe(50, 100, base + Duration::from_millis(20 + i * 10)),
+                Transition::None
+            );
+        }
+        assert!(d.is_degraded());
+    }
+
+    #[test]
+    fn zero_cap_reads_as_idle() {
+        let mut d = OverloadDetector::new(0.5, Duration::ZERO);
+        assert_eq!(d.observe(100, 0, t0()), Transition::None);
+        assert!(!d.is_degraded());
+    }
+
+    #[test]
+    fn degraded_target_quarters_with_a_floor() {
+        assert_eq!(degraded_target(64), 16);
+        assert_eq!(degraded_target(4), 1);
+        assert_eq!(degraded_target(3), 1);
+        assert_eq!(degraded_target(1), 1);
+    }
+}

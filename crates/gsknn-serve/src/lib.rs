@@ -23,10 +23,27 @@
 //!   workers on crossbeam scoped threads; bounded-queue admission
 //!   control (`Busy`), per-request timeouts, graceful drain on the
 //!   `Shutdown` op or SIGTERM.
-//! * [`client`] — blocking client used by `gsknn-cli query-remote`.
+//! * [`client`] — blocking client used by `gsknn-cli query-remote`;
+//!   bounded socket timeouts and [`Client::query_with_retry`] for
+//!   transient failures.
+//! * [`retry`] — exponential backoff with full jitter, bounded by
+//!   attempts and a wall-clock deadline.
+//! * [`degrade`] — queue-pressure overload detector with hysteresis;
+//!   while overloaded the server shrinks its batch target and (opt-in)
+//!   answers f64 queries from the f32 lane with `Status::OkDegraded`.
 //! * [`metrics`] — shared counters, reported as a
 //!   [`gsknn_obs::ServeReport`] (batch-size histogram, flush-trigger
-//!   ratio, predicted-vs-measured batch cost drift).
+//!   ratio, predicted-vs-measured batch cost drift, worker
+//!   panic/respawn and degradation counts).
+//!
+//! Failure semantics: worker batches run under `catch_unwind`; a panic
+//! answers every in-flight request in the batch with
+//! `Status::InternalError` (safe to retry — the batch produced nothing)
+//! and the worker respawns with a fresh executor, discarding any
+//! possibly-poisoned packing workspace. With the `faults` feature the
+//! [`gsknn_faults`] injection points compiled into decode, flush and
+//! batch execution let `tests/chaos.rs` drive all of this
+//! deterministically; without it they compile to nothing.
 //!
 //! ```no_run
 //! use gsknn_serve::{Client, Outcome, ServeIndex, Server, ServerConfig};
@@ -47,13 +64,17 @@
 
 pub mod client;
 pub mod coalesce;
+pub mod degrade;
 pub mod metrics;
+pub mod retry;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, Outcome};
+pub use client::{Client, Outcome, DEFAULT_CONNECT_TIMEOUT, DEFAULT_IO_TIMEOUT};
 pub use coalesce::{batch_target, predict_batch_cost, FlushReason, ASYMPTOTE_M};
+pub use degrade::{degraded_target, OverloadDetector, Transition};
 pub use gsknn_obs::ServeReport;
 pub use metrics::Metrics;
+pub use retry::RetryPolicy;
 pub use server::{ServeIndex, Server, ServerConfig};
 pub use wire::{Precision, Request, Response, Status, WireError, WIRE_VERSION};

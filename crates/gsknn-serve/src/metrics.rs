@@ -24,6 +24,16 @@ pub struct Metrics {
     pub timeouts: AtomicU64,
     pub errors: AtomicU64,
     pub batches: AtomicU64,
+    /// Worker batches that panicked (injected or organic); each one
+    /// answered its in-flight requests with `InternalError`.
+    pub worker_panics: AtomicU64,
+    /// Workers rebuilt with a fresh executor after a panic.
+    pub worker_respawns: AtomicU64,
+    /// Queries answered from the f32 lane on behalf of f64 clients while
+    /// the server was shedding load (`Status::OkDegraded`).
+    pub degraded: AtomicU64,
+    /// Overload episodes: transitions into the degraded state.
+    pub overload_events: AtomicU64,
     flush_model: AtomicU64,
     flush_deadline: AtomicU64,
     flush_drain: AtomicU64,
@@ -132,6 +142,10 @@ impl Metrics {
             timeouts: self.timeouts.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            worker_respawns: self.worker_respawns.load(Ordering::Relaxed),
+            degraded_queries: self.degraded.load(Ordering::Relaxed),
+            overload_events: self.overload_events.load(Ordering::Relaxed),
             flushes: FlushCounts {
                 model: self.flush_model.load(Ordering::Relaxed),
                 deadline: self.flush_deadline.load(Ordering::Relaxed),

@@ -1,0 +1,180 @@
+//! Retry policy for transient serve failures: exponential backoff with
+//! full jitter, bounded by both an attempt count and a wall-clock
+//! deadline.
+//!
+//! Retryable outcomes are the ones that leave the request unserved but
+//! well-formed — `Busy` (admission control bounced it), `ShuttingDown`
+//! (another instance may be up by the next attempt), and `Failed` /
+//! `InternalError` (a worker panicked; the batch never produced an
+//! answer, so re-running it is safe). Everything else is terminal:
+//! `Rejected` means the request itself is malformed and will fail again
+//! verbatim, `TimedOut` means the latency budget is gone.
+//!
+//! Full jitter (sleep uniform in `[0, min(cap, base·2^attempt))`) is the
+//! standard fix for retry synchronization: with N clients bounced by the
+//! same saturated queue, deterministic backoff has them all knock again
+//! at the same instant, while full jitter spreads the retries across the
+//! whole window. The jitter RNG is a seeded SplitMix64 so tests can make
+//! the sleep schedule reproducible.
+
+use std::time::Duration;
+
+/// How [`crate::Client::query_with_retry`] paces its attempts.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Give up after this many attempts (the first try counts as one).
+    pub max_attempts: u32,
+    /// Backoff base: attempt `i` (0-based) sleeps at most `base · 2^i`.
+    pub base: Duration,
+    /// Per-sleep ceiling, applied before jitter.
+    pub cap: Duration,
+    /// Total wall-clock budget across all attempts and sleeps; an
+    /// attempt is only launched while the budget has time left.
+    pub deadline: Duration,
+    /// Seed for the jitter RNG (deterministic sleep schedule per seed).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            base: Duration::from_millis(20),
+            cap: Duration::from_millis(500),
+            deadline: Duration::from_secs(10),
+            seed: 0x9e3779b97f4a7c15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt, no sleeps).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Backoff state for one request's lifetime.
+    pub fn start(&self) -> Backoff {
+        Backoff {
+            policy: self.clone(),
+            attempt: 0,
+            rng: self.seed.max(1),
+        }
+    }
+}
+
+/// Iterator-like backoff schedule: `next_sleep()` yields the jittered
+/// sleep before the *next* attempt, or `None` once attempts run out.
+/// The caller enforces the wall-clock deadline (it knows when the
+/// request actually started).
+pub struct Backoff {
+    policy: RetryPolicy,
+    attempt: u32,
+    rng: u64,
+}
+
+impl Backoff {
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64: one multiply-shift chain per draw.
+        self.rng = self.rng.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Attempts consumed so far (starts at 0; bump with [`Backoff::tick`]).
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Record one attempt; returns the jittered sleep to take before the
+    /// next one, or `None` when the attempt budget is exhausted.
+    pub fn tick(&mut self) -> Option<Duration> {
+        self.attempt += 1;
+        if self.attempt >= self.policy.max_attempts {
+            return None;
+        }
+        // base · 2^(attempt-1), saturating, then capped.
+        let exp = (self.attempt - 1).min(30);
+        let window = self
+            .policy
+            .base
+            .saturating_mul(1u32 << exp)
+            .min(self.policy.cap);
+        let nanos = window.as_nanos() as u64;
+        if nanos == 0 {
+            return Some(Duration::ZERO);
+        }
+        // full jitter: uniform in [0, window)
+        Some(Duration::from_nanos(self.next_u64() % nanos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attempt_budget_is_exact() {
+        let mut b = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        }
+        .start();
+        assert!(b.tick().is_some()); // after attempt 1
+        assert!(b.tick().is_some()); // after attempt 2
+        assert!(b.tick().is_none()); // attempt 3 was the last
+        assert_eq!(b.attempt(), 3);
+    }
+
+    #[test]
+    fn no_retry_policy_ticks_out_immediately() {
+        let mut b = RetryPolicy::none().start();
+        assert!(b.tick().is_none());
+    }
+
+    #[test]
+    fn sleeps_stay_under_the_jitter_window() {
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(80),
+            ..RetryPolicy::default()
+        };
+        let mut b = policy.start();
+        let mut windows = Vec::new();
+        while let Some(sleep) = b.tick() {
+            let exp = (b.attempt() - 1).min(30);
+            let window = policy.base.saturating_mul(1u32 << exp).min(policy.cap);
+            assert!(sleep < window, "sleep {sleep:?} >= window {window:?}");
+            windows.push(window);
+        }
+        // the window doubles then clamps at the cap
+        assert_eq!(windows[0], Duration::from_millis(10));
+        assert_eq!(windows[1], Duration::from_millis(20));
+        assert_eq!(*windows.last().unwrap(), Duration::from_millis(80));
+    }
+
+    #[test]
+    fn same_seed_same_schedule_different_seed_differs() {
+        let sched = |seed: u64| {
+            let mut b = RetryPolicy {
+                max_attempts: 8,
+                seed,
+                ..RetryPolicy::default()
+            }
+            .start();
+            let mut out = Vec::new();
+            while let Some(s) = b.tick() {
+                out.push(s);
+            }
+            out
+        };
+        assert_eq!(sched(7), sched(7));
+        assert_ne!(sched(7), sched(8), "full jitter must vary by seed");
+    }
+}

@@ -21,8 +21,27 @@
 //! 4. `Shutdown` (or SIGTERM) flips the drain flag: queued jobs flush as
 //!    `Drain` batches, new queries get `ShuttingDown`, and `run` returns
 //!    the final [`ServeReport`].
+//!
+//! Failure semantics (see DESIGN.md §10):
+//!
+//! * **Supervision** — the kernel call runs under `catch_unwind`. A
+//!   panicking batch answers every live job `InternalError` (nothing was
+//!   computed, so clients may retry), the worker's executor — and with
+//!   it any half-packed workspace the panic may have poisoned — is
+//!   discarded and rebuilt, and the worker keeps serving. Counted as
+//!   `worker_panics` / `worker_respawns`.
+//! * **Degradation** — a monitor thread feeds queue pressure into an
+//!   [`OverloadDetector`]; while overloaded, lanes shrink their batch
+//!   target ([`degraded_target`]) to bound latency, and with
+//!   [`ServerConfig::degrade_precision`] f64 queries are answered from
+//!   the f32 lane as `OkDegraded` (the v2 table encoding is
+//!   cross-precision, so clients decode transparently).
+//! * **Injection** — with the `faults` feature, [`gsknn_faults`] points
+//!   corrupt decoded frames, force premature flushes, and panic batch
+//!   execution on demand (`tests/chaos.rs`); off, they compile away.
 
 use crate::coalesce::{batch_target, predict_batch_cost, FlushReason};
+use crate::degrade::{degraded_target, OverloadDetector, Transition};
 use crate::metrics::Metrics;
 use crate::wire::{
     deadline_duration, decode_request, encode_response, read_frame_poll, write_frame, Precision,
@@ -30,12 +49,13 @@ use crate::wire::{
 };
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 use dataset::{DistanceKind, PointSet};
-use gsknn_core::{FusedScalar, GsknnConfig, MachineParams, Model};
+use gsknn_core::{FusedScalar, Gsknn, GsknnConfig, MachineParams, Model};
 use gsknn_obs::ServeReport;
 use knn_select::{Neighbor, NeighborTable};
 use rkdt::Forest;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
@@ -78,6 +98,16 @@ pub struct ServerConfig {
     pub k_max: usize,
     /// Distance served.
     pub kind: DistanceKind,
+    /// While overloaded, answer f64 queries from the f32 lane with
+    /// `Status::OkDegraded` (correct neighbor ids at reduced distance
+    /// precision) instead of making them wait for the slower lane.
+    pub degrade_precision: bool,
+    /// Enter overload once in-flight queries stay at or above this
+    /// fraction of `queue_cap` for a full [`ServerConfig::overload_window`].
+    pub overload_threshold: f64,
+    /// How long queue pressure must hold before the overload state
+    /// flips (entry and recovery; see [`OverloadDetector`]).
+    pub overload_window: Duration,
 }
 
 impl Default for ServerConfig {
@@ -90,6 +120,9 @@ impl Default for ServerConfig {
             max_batch: 512,
             k_max: 128,
             kind: DistanceKind::SqL2,
+            degrade_precision: false,
+            overload_threshold: 0.75,
+            overload_window: Duration::from_millis(250),
         }
     }
 }
@@ -156,6 +189,9 @@ struct Job {
     flush_by: Instant,
     /// Full latency budget: a kernel start after this answers `Timeout`.
     timeout_at: Instant,
+    /// An f64 request routed to the f32 lane under overload: answer with
+    /// `Status::OkDegraded` so the client knows the precision dropped.
+    degraded: bool,
     reply: Sender<Response>,
 }
 
@@ -171,12 +207,18 @@ struct LaneCtx<'a, T: FusedScalar> {
     model: Model,
     metrics: &'a Metrics,
     shutdown: &'a AtomicBool,
+    /// Overload flag: while set, the lane coalesces toward
+    /// [`degraded_target`] instead of the model target.
+    degraded: &'a AtomicBool,
 }
 
 /// Shared state for connection handlers.
 struct Shared {
     metrics: Metrics,
     shutdown: AtomicBool,
+    /// Overload state, owned by the monitor thread.
+    degraded: AtomicBool,
+    degrade_precision: bool,
     dim: usize,
     n_refs: usize,
     queue_cap: usize,
@@ -242,6 +284,8 @@ impl Server {
         let shared = Shared {
             metrics: Metrics::new(),
             shutdown: AtomicBool::new(false),
+            degraded: AtomicBool::new(false),
+            degrade_precision: self.cfg.degrade_precision,
             dim: self.index.dim(),
             n_refs: self.index.len(),
             queue_cap: self.cfg.queue_cap.max(1),
@@ -274,6 +318,7 @@ impl Server {
                     model: model64,
                     metrics: &shared_ref.metrics,
                     shutdown: &shared_ref.shutdown,
+                    degraded: &shared_ref.degraded,
                 };
                 s.spawn(move |_| lane_worker(ctx));
                 let ctx = LaneCtx {
@@ -287,8 +332,37 @@ impl Server {
                     model: model32,
                     metrics: &shared_ref.metrics,
                     shutdown: &shared_ref.shutdown,
+                    degraded: &shared_ref.degraded,
                 };
                 s.spawn(move |_| lane_worker(ctx));
+            }
+            // overload monitor: queue pressure in, degraded flag out
+            {
+                let threshold = cfg.overload_threshold;
+                let window = cfg.overload_window;
+                s.spawn(move |_| {
+                    let mut detector = OverloadDetector::new(threshold, window);
+                    let period = (window / 8).max(Duration::from_millis(2));
+                    while !shared_ref.shutdown.load(Ordering::SeqCst) {
+                        let transition = detector.observe(
+                            shared_ref.metrics.in_flight(),
+                            shared_ref.queue_cap,
+                            Instant::now(),
+                        );
+                        match transition {
+                            Transition::Enter => {
+                                shared_ref.degraded.store(true, Ordering::SeqCst);
+                                shared_ref
+                                    .metrics
+                                    .overload_events
+                                    .fetch_add(1, Ordering::Relaxed);
+                            }
+                            Transition::Exit => shared_ref.degraded.store(false, Ordering::SeqCst),
+                            Transition::None => {}
+                        }
+                        std::thread::sleep(period);
+                    }
+                });
             }
             // the worker-side clones above keep the lanes alive; drop the
             // originals so worker recv() can observe disconnection once
@@ -336,6 +410,18 @@ fn handle_conn(mut stream: TcpStream, shared: &Shared, tx64: Sender<Job>, tx32: 
             Ok(Some(p)) => p,
             Ok(None) | Err(_) => return,
         };
+        // Injected frame corruption: flip a byte of the received payload
+        // so the hardened decoder (not the network) is what's under test.
+        // The connection must answer a typed error and keep serving.
+        #[cfg(feature = "faults")]
+        let payload = {
+            let mut payload = payload;
+            if gsknn_faults::armed(gsknn_faults::FaultPoint::FrameDecode) && !payload.is_empty() {
+                let mid = payload.len() / 2;
+                payload[mid] ^= 0xff;
+            }
+            payload
+        };
         shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
         let mut drain_after_reply = false;
         let resp = match decode_request(&payload) {
@@ -374,21 +460,43 @@ fn handle_query(q: QueryBody, shared: &Shared, tx64: &Sender<Job>, tx32: &Sender
     }
     if q.dim != shared.dim {
         shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-        return Response::error(format!(
+        return Response::bad_request(format!(
             "dimension mismatch: index is {}-d, request is {}-d",
             shared.dim, q.dim
         ));
     }
     if q.m == 0 || q.k == 0 || q.k > shared.k_max {
         shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-        return Response::error(format!(
+        return Response::bad_request(format!(
             "need m >= 1 and 1 <= k <= {} (got m = {}, k = {})",
             shared.k_max, q.m, q.k
         ));
     }
+    if q.k > shared.n_refs {
+        shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+        return Response::bad_request(format!(
+            "k = {} exceeds the index's {} reference points",
+            q.k, shared.n_refs
+        ));
+    }
     if q.coords.iter().any(|v| !v.is_finite()) {
         shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-        return Response::error("non-finite coordinate in query");
+        return Response::bad_request("non-finite coordinate in query");
+    }
+    // Under overload (and opt-in), answer f64 traffic from the f32 lane:
+    // same neighbor ids at reduced distance precision, flagged
+    // `OkDegraded` on the wire.
+    let degraded = shared.degrade_precision
+        && q.precision == Precision::F64
+        && shared.degraded.load(Ordering::SeqCst);
+    // Anything narrowed to f32 — native f32 requests or degraded f64
+    // routing — must stay finite at that width too, or the lane's
+    // `PointSet` constructor would panic on an overflow-to-inf value.
+    if (degraded || q.precision == Precision::F32)
+        && q.coords.iter().any(|&v| !(v as f32).is_finite())
+    {
+        shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+        return Response::bad_request("coordinate overflows f32 (the serving precision)");
     }
     if !shared.metrics.admit(q.m, shared.queue_cap) {
         shared.metrics.busy.fetch_add(1, Ordering::Relaxed);
@@ -400,14 +508,19 @@ fn handle_query(q: QueryBody, shared: &Shared, tx64: &Sender<Job>, tx32: &Sender
     let job = Job {
         coords: q.coords,
         m: q.m,
-        k: q.k.min(shared.n_refs.max(1)),
+        k: q.k,
         flush_by: now + budget / 2,
         timeout_at: now + budget,
+        degraded,
         reply: reply_tx,
     };
-    let lane = match q.precision {
-        Precision::F64 => tx64,
-        Precision::F32 => tx32,
+    let lane = if degraded {
+        tx32
+    } else {
+        match q.precision {
+            Precision::F64 => tx64,
+            Precision::F32 => tx32,
+        }
     };
     if lane.try_send(job).is_err() {
         shared.metrics.release(q.m);
@@ -419,14 +532,18 @@ fn handle_query(q: QueryBody, shared: &Shared, tx64: &Sender<Job>, tx32: &Sender
         Ok(resp) => resp,
         Err(_) => {
             shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-            Response::error("lane worker did not reply")
+            Response::internal_error("lane worker did not reply")
         }
     }
 }
 
-/// One kernel worker: coalesce then flush, forever.
+/// One kernel worker: coalesce then flush, forever. The executor (and
+/// its packing workspace) persists across batches; after a panicking
+/// batch it is discarded and rebuilt — the respawned worker starts from
+/// a provably clean workspace.
 fn lane_worker<T: FusedScalar>(ctx: LaneCtx<'_, T>) {
     let kernel_cfg = GsknnConfig::for_scalar::<T>();
+    let mut exec = Gsknn::<T>::new(kernel_cfg.clone());
     loop {
         // block for the batch's first job, watching for drain
         let first = loop {
@@ -440,15 +557,27 @@ fn lane_worker<T: FusedScalar>(ctx: LaneCtx<'_, T>) {
                 Err(RecvTimeoutError::Disconnected) => return,
             }
         };
+        // overload shrinks the coalescing bar for the whole batch
+        let target = if ctx.degraded.load(Ordering::SeqCst) {
+            degraded_target(ctx.target)
+        } else {
+            ctx.target
+        };
         let mut flush_by = first.flush_by;
         let mut m = first.m;
         let mut batch = vec![first];
         let reason = loop {
-            if m >= ctx.target {
+            if m >= target {
                 break FlushReason::Model;
             }
             if ctx.shutdown.load(Ordering::SeqCst) {
                 break FlushReason::Drain;
+            }
+            // Injected premature flush: the batch goes out undersized,
+            // exercising the deadline path without a slow clock.
+            #[cfg(feature = "faults")]
+            if gsknn_faults::armed(gsknn_faults::FaultPoint::CoalesceFlush) {
+                break FlushReason::Deadline;
             }
             let now = Instant::now();
             if now >= flush_by {
@@ -465,17 +594,36 @@ fn lane_worker<T: FusedScalar>(ctx: LaneCtx<'_, T>) {
                 Err(RecvTimeoutError::Disconnected) => break FlushReason::Drain,
             }
         };
-        execute_batch(&ctx, &kernel_cfg, batch, reason);
+        if execute_batch(&ctx, &mut exec, batch, reason) == BatchFate::Panicked {
+            // Answering the batch's jobs is already done; recover the
+            // worker itself. The old executor may hold a workspace the
+            // panic left half-packed — never reuse it.
+            exec = Gsknn::<T>::new(kernel_cfg.clone());
+            ctx.metrics.worker_respawns.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
+/// Whether a flushed batch ran to completion or died mid-kernel.
+#[derive(PartialEq, Eq)]
+enum BatchFate {
+    Completed,
+    Panicked,
+}
+
 /// Run one flushed batch through the forest and fan the rows back out.
+///
+/// The kernel call is supervised: a panic (injected or organic) is
+/// caught here, every live job is answered `InternalError` — the batch
+/// produced nothing, so retrying is safe — and the caller learns the
+/// executor must be discarded. Jobs are deliberately kept *outside* the
+/// unwind closure so they remain answerable after a panic.
 fn execute_batch<T: FusedScalar>(
     ctx: &LaneCtx<'_, T>,
-    kernel_cfg: &GsknnConfig,
+    exec: &mut Gsknn<T>,
     batch: Vec<Job>,
     reason: FlushReason,
-) {
+) -> BatchFate {
     let start = Instant::now();
     let mut live = Vec::with_capacity(batch.len());
     for job in batch {
@@ -489,7 +637,7 @@ fn execute_batch<T: FusedScalar>(
     }
     if live.is_empty() {
         ctx.metrics.record_flush(reason, 0, 0.0, 0.0, &[]);
-        return;
+        return BatchFate::Completed;
     }
 
     let dim = ctx.refs.dim();
@@ -500,9 +648,25 @@ fn execute_batch<T: FusedScalar>(
         coords.extend(job.coords.iter().map(|&v| T::from_f64(v)));
     }
     let queries = PointSet::from_vec(dim, m_live, coords);
-    let table = ctx
-        .forest
-        .query(ctx.refs, &queries, k_batch, ctx.kind, kernel_cfg.clone());
+    let table = catch_unwind(AssertUnwindSafe(|| {
+        gsknn_faults::fail_point!(gsknn_faults::FaultPoint::BatchExec);
+        ctx.forest
+            .query_with(exec, ctx.refs, &queries, k_batch, ctx.kind)
+    }));
+    let table = match table {
+        Ok(table) => table,
+        Err(_) => {
+            ctx.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+            for job in live {
+                ctx.metrics.release(job.m);
+                ctx.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = job.reply.try_send(Response::internal_error(
+                    "worker panicked executing the batch",
+                ));
+            }
+            return BatchFate::Panicked;
+        }
+    };
     let measured = start.elapsed().as_secs_f64();
     let (predicted, terms) = predict_batch_cost(
         &ctx.model,
@@ -530,9 +694,18 @@ fn execute_batch<T: FusedScalar>(
         }
         row0 += job.m;
         ctx.metrics.release(job.m);
+        let status = if job.degraded {
+            ctx.metrics
+                .degraded
+                .fetch_add(job.m as u64, Ordering::Relaxed);
+            Status::OkDegraded
+        } else {
+            Status::Ok
+        };
         let _ = job.reply.try_send(Response {
-            status: Status::Ok,
+            status,
             body: out.to_bytes().to_vec(),
         });
     }
+    BatchFate::Completed
 }

@@ -12,10 +12,12 @@
 //!
 //! response  magic "GSRP", version u16 = 1, status u8, body
 //!           Ok(Query/BatchQuery): NeighborTable v2 bytes (knn-select)
+//!           OkDegraded:           NeighborTable v2 bytes (degraded lane's
+//!                                 precision; the table is self-describing)
 //!           Ok(Stats):            ServeReport JSON (UTF-8)
 //!           Ok(Ping/Shutdown):    empty
 //!           Busy/Timeout/ShuttingDown: empty
-//!           Error:                UTF-8 message
+//!           Error/BadRequest/InternalError: UTF-8 message
 //! ```
 //!
 //! Coordinates travel at the negotiated precision (`f64` or `f32`
@@ -130,8 +132,21 @@ pub enum Status {
     Timeout = 2,
     /// Server is draining; retry against another replica.
     ShuttingDown = 3,
-    /// Malformed or unsatisfiable request; body is a UTF-8 message.
+    /// Protocol-level failure (undecodable frame); body is a UTF-8
+    /// message.
     Error = 4,
+    /// Request decoded but failed validation (dimension mismatch, bad
+    /// `m`/`k`, non-finite coordinate at the lane's precision); body is
+    /// a UTF-8 message. Not retryable as-is.
+    BadRequest = 5,
+    /// A lane worker failed (panicked) while this request was in flight;
+    /// the worker was respawned and the request is safe to retry. Body
+    /// is a UTF-8 message.
+    InternalError = 6,
+    /// Request served from a degraded lane (overload shed an f64 query
+    /// to the f32 lane); body is NeighborTable bytes like `Ok`, at the
+    /// degraded precision.
+    OkDegraded = 7,
 }
 
 impl Status {
@@ -142,6 +157,9 @@ impl Status {
             2 => Status::Timeout,
             3 => Status::ShuttingDown,
             4 => Status::Error,
+            5 => Status::BadRequest,
+            6 => Status::InternalError,
+            7 => Status::OkDegraded,
             other => return Err(WireError::BadStatus(other)),
         })
     }
@@ -169,6 +187,22 @@ impl Response {
     pub fn error(msg: impl Into<String>) -> Self {
         Response {
             status: Status::Error,
+            body: msg.into().into_bytes(),
+        }
+    }
+
+    /// Shorthand for a `BadRequest` response with a message.
+    pub fn bad_request(msg: impl Into<String>) -> Self {
+        Response {
+            status: Status::BadRequest,
+            body: msg.into().into_bytes(),
+        }
+    }
+
+    /// Shorthand for an `InternalError` response with a message.
+    pub fn internal_error(msg: impl Into<String>) -> Self {
+        Response {
+            status: Status::InternalError,
             body: msg.into().into_bytes(),
         }
     }
@@ -283,6 +317,11 @@ pub fn decode_request(mut buf: &[u8]) -> Result<Request, WireError> {
                 .checked_mul(dim)
                 .and_then(|c| c.checked_mul(precision.byte() as usize))
                 .ok_or(WireError::Oversized(usize::MAX))?;
+            // cap the *declared* size before trusting it anywhere — a
+            // hostile header must never drive an allocation decision
+            if want > MAX_FRAME {
+                return Err(WireError::Oversized(want));
+            }
             if buf.remaining() < want {
                 return Err(WireError::Truncated);
             }
@@ -489,10 +528,16 @@ mod tests {
                 status: Status::Ok,
                 body: vec![1, 2, 3],
             },
+            Response {
+                status: Status::OkDegraded,
+                body: vec![4, 5],
+            },
             Response::empty(Status::Busy),
             Response::empty(Status::Timeout),
             Response::empty(Status::ShuttingDown),
             Response::error("dimension mismatch"),
+            Response::bad_request("k exceeds reference count"),
+            Response::internal_error("lane worker panicked"),
         ] {
             let bytes = encode_response(&resp);
             assert_eq!(decode_response(&bytes).unwrap(), resp, "{:?}", resp.status);
@@ -533,11 +578,56 @@ mod tests {
         }
 
         let mut bad_status = encode_response(&Response::empty(Status::Ok));
-        bad_status[6] = 9;
+        bad_status[6] = 99;
         assert_eq!(
             decode_response(&bad_status).unwrap_err(),
-            WireError::BadStatus(9)
+            WireError::BadStatus(99)
         );
+    }
+
+    #[test]
+    fn declared_coordinate_size_is_capped_before_allocation() {
+        // a Query header declaring a dim that would need > MAX_FRAME
+        // bytes of coordinates must be rejected as Oversized, not
+        // trusted as an allocation size
+        let mut buf = Vec::new();
+        buf.extend_from_slice(REQ_MAGIC);
+        buf.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+        buf.push(1); // Op::Query
+        buf.push(8); // f64
+        buf.extend_from_slice(&5u16.to_le_bytes()); // k
+        buf.extend_from_slice(&100u32.to_le_bytes()); // deadline
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes()); // dim
+        assert!(matches!(
+            decode_request(&buf).unwrap_err(),
+            WireError::Oversized(_)
+        ));
+    }
+
+    proptest::proptest! {
+        /// The decoders must be total: arbitrary bytes (including
+        /// adversarial headers) produce a typed error, never a panic or
+        /// an unbounded allocation.
+        #[test]
+        fn decode_arbitrary_bytes_never_panics(
+            raw in proptest::collection::vec(0usize..256, 0..512)
+        ) {
+            let bytes: Vec<u8> = raw.iter().map(|&b| b as u8).collect();
+            let _ = decode_request(&bytes);
+            let _ = decode_response(&bytes);
+        }
+
+        /// Single-byte corruption of a valid frame: still total.
+        #[test]
+        fn decode_corrupted_valid_frame_never_panics(
+            (m, pos, flip) in (1usize..6, 0usize..1000, 1usize..256)
+        ) {
+            let mut bytes = encode_request(&sample_query(Precision::F32, m));
+            let pos = pos % bytes.len();
+            bytes[pos] ^= flip as u8;
+            let _ = decode_request(&bytes);
+            let _ = decode_response(&bytes);
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use dataset::{DistanceKind, PointSet};
 use gsknn_core::FusedScalar;
-use gsknn_serve::{Client, Outcome, ServeIndex, Server, ServerConfig};
+use gsknn_serve::{Client, Outcome, RetryPolicy, ServeIndex, Server, ServerConfig};
 use knn_select::Neighbor;
 use serde_json::Value;
 use std::net::SocketAddr;
@@ -276,6 +276,176 @@ fn malformed_requests_are_rejected_not_fatal() {
     assert!(matches!(out, Outcome::Neighbors(_)), "got {out:?}");
     let stats: Value = serde_json::from_str(&client.stats().unwrap()).unwrap();
     assert_eq!(counter(&stats, "errors"), 3);
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn retry_converges_against_a_saturated_queue() {
+    // coalesce_frac = 1.0 clamps the model target to max_batch — an
+    // unreachable bar — so a batch with a long deadline parks in the
+    // coalescer for deadline/2, keeping the admission budget full for a
+    // known window.
+    let (addr, handle) = start_server(ServerConfig {
+        workers_per_lane: 1,
+        queue_cap: 8,
+        coalesce_frac: 1.0,
+        max_batch: 64,
+        k_max: 8,
+        ..ServerConfig::default()
+    });
+    let pool = dataset::uniform(16, D, 5);
+    let coords: Vec<f64> = (0..8).flat_map(|p| pool.point(p).to_vec()).collect();
+
+    let hog = thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        // 8 points fill the cap; they coalesce for ~1 s before flushing
+        client.query::<f64>(&coords, 8, 4, 2000).unwrap()
+    });
+    thread::sleep(Duration::from_millis(50)); // let the hog get admitted
+
+    let mut client = Client::connect(addr).unwrap();
+    // without retries, the saturated queue bounces the request
+    let out = client.query::<f64>(pool.point(9), 1, 4, 500).unwrap();
+    assert!(matches!(out, Outcome::Busy), "got {out:?}");
+
+    // with retries, backoff outlasts the hog's coalescing window and the
+    // request lands once the budget frees up
+    let policy = RetryPolicy {
+        max_attempts: 50,
+        base: Duration::from_millis(50),
+        cap: Duration::from_millis(200),
+        deadline: Duration::from_secs(10),
+        seed: 99,
+    };
+    let out = client
+        .query_with_retry::<f64>(pool.point(9), 1, 4, 500, &policy)
+        .unwrap();
+    assert!(
+        matches!(out, Outcome::Neighbors(_)),
+        "retry must converge once the queue drains, got {out:?}"
+    );
+
+    assert!(matches!(hog.join().unwrap(), Outcome::Neighbors(_)));
+    let stats: Value = serde_json::from_str(&client.stats().unwrap()).unwrap();
+    assert!(counter(&stats, "busy") >= 1);
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn overload_degrades_precision_and_recovers() {
+    let (addr, handle) = start_server(ServerConfig {
+        workers_per_lane: 1,
+        queue_cap: 8,
+        coalesce_frac: 1.0, // park batches: sustained, deterministic pressure
+        max_batch: 64,
+        k_max: 8,
+        degrade_precision: true,
+        overload_threshold: 0.5,
+        overload_window: Duration::from_millis(100),
+        ..ServerConfig::default()
+    });
+    let refs64 = dataset::uniform(N, D, 1);
+    let refs32 = refs64.cast::<f32>();
+    let pool = dataset::uniform(16, D, 5);
+    let coords: Vec<f64> = (0..6).flat_map(|p| pool.point(p).to_vec()).collect();
+
+    // 6 of 8 slots in flight for ~2 s: pressure 0.75 >= threshold 0.5
+    let hog = thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.query::<f64>(&coords, 6, 4, 4000).unwrap()
+    });
+    thread::sleep(Duration::from_millis(400)); // window + margin
+
+    // an f64 query under overload is served degraded from the f32 lane
+    let mut client = Client::connect(addr).unwrap();
+    let q = pool.point(9);
+    let out = client.query::<f64>(q, 1, 4, 400).unwrap();
+    let Outcome::Degraded(table) = out else {
+        panic!("expected a degraded answer under overload, got {out:?}");
+    };
+    // ids match brute force at the precision that actually served it
+    let got: Vec<u32> = table.row(0).iter().map(|nb| nb.idx).collect();
+    let q32: Vec<f32> = q.iter().map(|&v| v as f32).collect();
+    assert_eq!(got, brute_indices(&refs32, &q32, 4));
+    let _ = refs64; // precision contrast is the point of the cast above
+
+    assert!(matches!(hog.join().unwrap(), Outcome::Neighbors(_)));
+    // pressure is gone; after the recovery window full precision returns
+    thread::sleep(Duration::from_millis(400));
+    let out = client.query::<f64>(q, 1, 4, 400).unwrap();
+    assert!(
+        matches!(out, Outcome::Neighbors(_)),
+        "recovered server must answer at full precision, got {out:?}"
+    );
+
+    let stats: Value = serde_json::from_str(&client.stats().unwrap()).unwrap();
+    assert!(counter(&stats, "degraded_queries") >= 1, "{stats:?}");
+    assert!(counter(&stats, "overload_events") >= 1, "{stats:?}");
+    client.shutdown().unwrap();
+    let report = handle.join().unwrap();
+    assert!(report.degraded_queries >= 1);
+    assert!(report.overload_events >= 1);
+}
+
+#[test]
+fn degenerate_shapes_get_typed_errors() {
+    let (addr, handle) = start_server(ServerConfig {
+        k_max: 2 * N, // over the index size, so k > n is reachable
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).unwrap();
+    let pool = dataset::uniform(1, D, 3);
+
+    // more neighbors than references
+    let out = client.query::<f64>(pool.point(0), 1, N + 1, 100).unwrap();
+    let Outcome::Rejected(msg) = out else {
+        panic!("k > n must be rejected, got {out:?}");
+    };
+    assert!(msg.contains("exceeds"), "unhelpful message: {msg}");
+
+    // a finite f64 coordinate that overflows f32 must be rejected by the
+    // f32 lane's validation, not panic the worker mid-pack. The client
+    // API can't express this (its f32 path takes &[f32]), so speak wire
+    // directly: precision = f32 with a coordinate only f64 can hold.
+    {
+        use gsknn_serve::wire::{
+            decode_response, encode_request, read_frame, write_frame, Precision, QueryBody,
+            Request, Status,
+        };
+        let mut big = pool.point(0).to_vec();
+        big[0] = 1e300;
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        let req = Request::Query(QueryBody {
+            precision: Precision::F32,
+            k: 4,
+            deadline_ms: 100,
+            dim: D,
+            m: 1,
+            coords: big,
+        });
+        write_frame(&mut stream, &encode_request(&req)).unwrap();
+        let payload = read_frame(&mut stream).unwrap().unwrap();
+        let resp = decode_response(&payload).unwrap();
+        assert_eq!(
+            resp.status,
+            Status::BadRequest,
+            "f32-overflowing coordinate must be a typed error"
+        );
+    }
+    // the same value is fine on the f64 lane
+    let mut big = pool.point(0).to_vec();
+    big[0] = 1e300;
+    let out = client.query::<f64>(&big, 1, 4, 100).unwrap();
+    assert!(
+        matches!(out, Outcome::Neighbors(_)),
+        "finite f64 is fine on the f64 lane, got {out:?}"
+    );
+
+    // the connection still works afterwards
+    let out = client.query::<f64>(pool.point(0), 1, 4, 100).unwrap();
+    assert!(matches!(out, Outcome::Neighbors(_)), "got {out:?}");
     client.shutdown().unwrap();
     handle.join().unwrap();
 }

@@ -75,9 +75,24 @@ impl Forest {
         kind: DistanceKind,
         cfg: GsknnConfig,
     ) -> NeighborTable<T> {
+        let mut exec = Gsknn::new(cfg);
+        self.query_with(&mut exec, x, queries, k, kind)
+    }
+
+    /// Like [`Forest::query`], but reusing a caller-owned executor so its
+    /// packing workspace persists across calls — the form long-lived
+    /// servers use (one executor per worker thread, rebuilt from scratch
+    /// if a batch panics and may have left the workspace poisoned).
+    pub fn query_with<T: FusedScalar>(
+        &self,
+        exec: &mut Gsknn<T>,
+        x: &PointSet<T>,
+        queries: &PointSet<T>,
+        k: usize,
+        kind: DistanceKind,
+    ) -> NeighborTable<T> {
         assert_eq!(x.dim(), queries.dim(), "dimension mismatch");
         let mut table = NeighborTable::new(queries.len(), k);
-        let mut exec = Gsknn::new(cfg);
 
         for tree in &self.trees {
             let leaves = tree.leaves();
@@ -210,6 +225,23 @@ mod tests {
             want.set_row(i, &cands[..4]);
         }
         knn_ref::oracle::assert_matches(&got, &want, 1e-4, "f32 forest vs brute force");
+    }
+
+    #[test]
+    fn query_with_reused_executor_matches_query() {
+        let x = uniform(200, 5, 9);
+        let queries = uniform(20, 5, 10);
+        let forest = Forest::build(&x, 3, 32, 13);
+        let want = forest.query(&x, &queries, 3, DistanceKind::SqL2, GsknnConfig::default());
+        let mut exec = Gsknn::new(GsknnConfig::default());
+        // two back-to-back calls on one executor: workspace reuse must
+        // not leak state between queries
+        let a = forest.query_with(&mut exec, &x, &queries, 3, DistanceKind::SqL2);
+        let b = forest.query_with(&mut exec, &x, &queries, 3, DistanceKind::SqL2);
+        for i in 0..20 {
+            assert_eq!(a.row(i), want.row(i), "row {i}");
+            assert_eq!(b.row(i), want.row(i), "row {i} (second call)");
+        }
     }
 
     #[test]

@@ -1,0 +1,253 @@
+//! Chaos suite: deterministic fault injection against a live server.
+//!
+//! Run with `cargo test --features faults --test chaos`. Everything here
+//! is driven by the [`gsknn_faults`] registry at pinned seeds, so a
+//! failure reproduces exactly. The fault registry is process-global;
+//! the suite is one test function so phases can't race each other.
+//!
+//! What must hold under chaos:
+//!
+//! 1. every request in flight when a worker dies gets a *terminal*
+//!    response (`InternalError`, never a hang or a dropped socket),
+//! 2. the server keeps serving — panicked workers respawn with fresh
+//!    executors, corrupted frames answer typed errors,
+//! 3. once the faults clear, answers are bit-identical to brute force
+//!    (the index is exact: one tree, leaf ≥ N), i.e. recall is
+//!    unchanged by any amount of prior fault traffic.
+#![cfg(feature = "faults")]
+
+use gsknn::serve::{Client, Outcome, RetryPolicy, ServeIndex, Server, ServerConfig};
+use gsknn::{DistanceKind, Gsknn, GsknnConfig, Neighbor, PointSet};
+use gsknn_faults::{FaultPlan, FaultPoint, Mode};
+use serde_json::Value;
+use std::net::SocketAddr;
+use std::thread;
+use std::time::Duration;
+
+const N: usize = 300;
+const D: usize = 8;
+const K: usize = 8;
+
+fn brute_indices(refs: &PointSet<f64>, q: &[f64], k: usize) -> Vec<u32> {
+    let mut cands: Vec<Neighbor<f64>> = (0..refs.len())
+        .map(|j| Neighbor::new(DistanceKind::SqL2.eval(q, refs.point(j)), j as u32))
+        .collect();
+    cands.sort_unstable_by(Neighbor::cmp_dist_idx);
+    cands[..k].iter().map(|nb| nb.idx).collect()
+}
+
+fn start_server() -> (SocketAddr, thread::JoinHandle<gsknn::serve::ServeReport>) {
+    let refs = gsknn::data::uniform(N, D, 1);
+    // exact configuration: one tree whose single leaf holds every
+    // reference, so a healthy answer is brute force bit-for-bit
+    let index = ServeIndex::build(refs, 1, N, 7);
+    let server = Server::bind(
+        ServerConfig {
+            workers_per_lane: 2,
+            queue_cap: 256,
+            max_batch: 32,
+            k_max: 16,
+            ..ServerConfig::default()
+        },
+        index,
+    )
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    (addr, thread::spawn(move || server.run()))
+}
+
+fn counter(stats: &Value, key: &str) -> u64 {
+    stats
+        .get(key)
+        .and_then(|v| v.as_u64())
+        .unwrap_or_else(|| panic!("stats JSON missing {key}: {stats:?}"))
+}
+
+/// The injected panic is catchable *outside* the server too: a direct
+/// kernel call dies with a recognizable message and a fresh executor is
+/// unaffected — the contract the worker supervisor builds on. Runs as a
+/// phase of the single chaos test because the fault registry is global.
+fn direct_kernel_fault_has_recognizable_panic() {
+    let x = gsknn::data::uniform(64, D, 3);
+    let refs: Vec<usize> = (0..64).collect();
+    let queries: Vec<usize> = (0..4).collect();
+    gsknn_faults::configure(FaultPlan::new(11).with(FaultPoint::HeapSelect, Mode::Nth(1)));
+    let got = std::panic::catch_unwind(|| {
+        Gsknn::new(GsknnConfig::default()).run(&x, &queries, &refs, 4, DistanceKind::SqL2)
+    });
+    let err = got.expect_err("armed heap-select fault must panic");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(
+        msg.contains("injected fault: heap-select"),
+        "panic must identify its injection point, got: {msg}"
+    );
+    gsknn_faults::clear();
+    let t = Gsknn::new(GsknnConfig::default()).run(&x, &queries, &refs, 4, DistanceKind::SqL2);
+    assert_eq!(t.len(), 4, "fresh executor after a fault must work");
+}
+
+#[test]
+fn chaos_faults_are_survived_and_recall_is_unchanged() {
+    // standalone kernel-level contract first (shares the global registry,
+    // so it cannot be its own #[test] without racing this one)
+    direct_kernel_fault_has_recognizable_panic();
+
+    let refs = gsknn::data::uniform(N, D, 1);
+    let pool = gsknn::data::uniform(64, D, 99);
+    let (addr, handle) = start_server();
+    let mut client = Client::connect(addr).expect("connect");
+
+    // -- phase 0: healthy baseline ------------------------------------
+    for i in 0..8 {
+        let q = pool.point(i);
+        let Outcome::Neighbors(t) = client.query::<f64>(q, 1, K, 500).unwrap() else {
+            panic!("healthy query {i} must succeed");
+        };
+        let got: Vec<u32> = t.row(0).iter().map(|nb| nb.idx).collect();
+        assert_eq!(got, brute_indices(&refs, q, K), "baseline query {i}");
+    }
+
+    // -- phase 1: worker killed mid-batch -----------------------------
+    // The next batch execution panics (Nth(1) is one-shot). The query
+    // riding in that batch must get a terminal InternalError, and the
+    // worker must respawn.
+    gsknn_faults::configure(FaultPlan::new(0xC4A05).with(FaultPoint::BatchExec, Mode::Nth(1)));
+    let out = client.query::<f64>(pool.point(10), 1, K, 500).unwrap();
+    let Outcome::Failed(msg) = out else {
+        panic!("in-flight request of a killed worker must fail terminally, got {out:?}");
+    };
+    assert!(msg.contains("panicked"), "unhelpful failure message: {msg}");
+    assert_eq!(gsknn_faults::fired(FaultPoint::BatchExec), 1);
+    // the respawned worker answers the identical request correctly
+    let out = client.query::<f64>(pool.point(10), 1, K, 500).unwrap();
+    let Outcome::Neighbors(t) = out else {
+        panic!("respawned worker must serve, got {out:?}");
+    };
+    let got: Vec<u32> = t.row(0).iter().map(|nb| nb.idx).collect();
+    assert_eq!(got, brute_indices(&refs, pool.point(10), K));
+    gsknn_faults::clear();
+
+    // -- phase 2: kernel fault deep in the six-loop nest ---------------
+    // The panic starts in gsknn-core's packing/micro-kernel path and
+    // unwinds through rkdt into the server's supervisor — same terminal
+    // answer, same respawn.
+    for (point, label) in [
+        (FaultPoint::MicroKernel, "micro-kernel"),
+        (FaultPoint::PackR, "pack-r"),
+    ] {
+        gsknn_faults::configure(FaultPlan::new(0xFEED).with(point, Mode::Nth(1)));
+        let out = client.query::<f64>(pool.point(11), 1, K, 500).unwrap();
+        assert!(
+            matches!(out, Outcome::Failed(_)),
+            "{label}: expected terminal failure, got {out:?}"
+        );
+        assert_eq!(gsknn_faults::fired(point), 1, "{label} must have fired");
+        // retry lands on a healthy (respawned) worker
+        let out = client
+            .query_with_retry::<f64>(pool.point(11), 1, K, 500, &RetryPolicy::default())
+            .unwrap();
+        assert!(
+            matches!(out, Outcome::Neighbors(_)),
+            "{label}: retry after respawn must succeed, got {out:?}"
+        );
+        gsknn_faults::clear();
+    }
+
+    // -- phase 3: concurrent clients under probabilistic worker kills --
+    // Every call must return a terminal outcome; with retries, nearly
+    // all converge to answers. Nothing may hang or drop.
+    gsknn_faults::configure(
+        FaultPlan::new(0xD1CE).with(FaultPoint::BatchExec, Mode::Probability(0.3)),
+    );
+    let outcomes: Vec<&'static str> = thread::scope(|s| {
+        (0..3u64)
+            .map(|t| {
+                let pool = &pool;
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let policy = RetryPolicy {
+                        max_attempts: 8,
+                        base: Duration::from_millis(10),
+                        cap: Duration::from_millis(80),
+                        deadline: Duration::from_secs(20),
+                        seed: 1000 + t,
+                    };
+                    let mut out = Vec::new();
+                    for r in 0..10usize {
+                        let q = pool.point((13 + 3 * r + t as usize) % 64);
+                        match client.query_with_retry::<f64>(q, 1, K, 500, &policy) {
+                            Ok(Outcome::Neighbors(_)) => out.push("ok"),
+                            Ok(Outcome::Failed(_)) => out.push("failed"),
+                            Ok(other) => panic!("thread {t} req {r}: unexpected {other:?}"),
+                            Err(e) => panic!("thread {t} req {r}: transport error {e}"),
+                        }
+                    }
+                    out
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    assert_eq!(
+        outcomes.len(),
+        30,
+        "every request must reach a terminal outcome"
+    );
+    let answered = outcomes.iter().filter(|&&o| o == "ok").count();
+    assert!(
+        answered >= 25,
+        "retries should absorb most injected kills: {answered}/30 answered"
+    );
+    assert!(
+        gsknn_faults::fired(FaultPoint::BatchExec) >= 1,
+        "the probabilistic killer must actually engage"
+    );
+    gsknn_faults::clear();
+
+    // -- phase 4: corrupted frames ------------------------------------
+    // Inbound payloads get a byte flipped before decoding. Pings carry a
+    // 7-byte frame whose middle is the version field, so an armed hit is
+    // always a decode error — answered as a typed Error, connection kept.
+    gsknn_faults::configure(
+        FaultPlan::new(0xBADF).with(FaultPoint::FrameDecode, Mode::Probability(0.5)),
+    );
+    let (mut clean, mut corrupted) = (0, 0);
+    for _ in 0..30 {
+        match client.ping() {
+            Ok(()) => clean += 1,
+            Err(_) => corrupted += 1, // typed Error decoded fine client-side
+        }
+    }
+    assert!(clean >= 1, "p = 0.5 over 30 pings must pass some through");
+    assert!(corrupted >= 1, "p = 0.5 over 30 pings must corrupt some");
+    assert!(gsknn_faults::fired(FaultPoint::FrameDecode) >= 1);
+    gsknn_faults::clear();
+
+    // -- phase 5: post-chaos recall is unchanged ----------------------
+    // Same connection, no faults armed: every answer must again match
+    // brute force exactly, as in phase 0.
+    for i in 0..16 {
+        let q = pool.point(i);
+        let Outcome::Neighbors(t) = client.query::<f64>(q, 1, K, 500).unwrap() else {
+            panic!("post-chaos query {i} must succeed");
+        };
+        let got: Vec<u32> = t.row(0).iter().map(|nb| nb.idx).collect();
+        assert_eq!(got, brute_indices(&refs, q, K), "post-chaos query {i}");
+    }
+
+    // supervision counters made it into the report
+    let stats: Value = serde_json::from_str(&client.stats().unwrap()).unwrap();
+    assert!(counter(&stats, "worker_panics") >= 3, "{stats:?}");
+    assert!(counter(&stats, "worker_respawns") >= 3, "{stats:?}");
+
+    client.shutdown().unwrap();
+    let report = handle.join().expect("server must outlive the chaos");
+    assert!(report.worker_panics >= 3);
+    assert_eq!(report.worker_panics, report.worker_respawns);
+}

@@ -141,6 +141,119 @@ fn task_parallel_with_degenerate_tasks() {
     assert_eq!(out[2].row(0)[0].idx, 5);
 }
 
+// ---------------------------------------------------------------------
+// Degenerate shapes at the serving boundary: every one of these must
+// come back as a *typed* error response on a connection that keeps
+// working — never a panic, never a dropped socket.
+// ---------------------------------------------------------------------
+
+mod serve_shapes {
+    use gsknn::serve::wire::{
+        decode_response, encode_request, read_frame, write_frame, Precision, QueryBody, Request,
+        Status,
+    };
+    use gsknn::serve::{Client, Outcome, ServeIndex, Server, ServerConfig};
+    use std::net::{SocketAddr, TcpStream};
+    use std::thread;
+
+    const N: usize = 80;
+    const D: usize = 4;
+
+    fn start() -> (SocketAddr, thread::JoinHandle<gsknn::serve::ServeReport>) {
+        let refs = gsknn::data::uniform(N, D, 1);
+        let index = ServeIndex::build(refs, 1, N, 7);
+        let server = Server::bind(
+            ServerConfig {
+                k_max: 4 * N, // k > n stays reachable below k_max
+                ..ServerConfig::default()
+            },
+            index,
+        )
+        .expect("bind");
+        let addr = server.local_addr().expect("addr");
+        (addr, thread::spawn(move || server.run()))
+    }
+
+    /// Send a raw query frame and return the response status — for
+    /// shapes the typed `Client` API refuses to construct.
+    fn raw_status(stream: &mut TcpStream, q: QueryBody) -> Status {
+        write_frame(stream, &encode_request(&Request::Query(q))).unwrap();
+        let payload = read_frame(stream).unwrap().expect("response frame");
+        decode_response(&payload).unwrap().status
+    }
+
+    #[test]
+    fn degenerate_serve_shapes_answer_typed_errors() {
+        let (addr, handle) = start();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let point = vec![0.25f64; D];
+
+        // k exceeding the reference count
+        let status = raw_status(
+            &mut stream,
+            QueryBody {
+                precision: Precision::F64,
+                k: N + 3,
+                deadline_ms: 100,
+                dim: D,
+                m: 1,
+                coords: point.clone(),
+            },
+        );
+        assert_eq!(status, Status::BadRequest, "k > n must be a typed error");
+
+        // empty batch (m = 0)
+        let status = raw_status(
+            &mut stream,
+            QueryBody {
+                precision: Precision::F64,
+                k: 4,
+                deadline_ms: 100,
+                dim: D,
+                m: 0,
+                coords: Vec::new(),
+            },
+        );
+        assert_eq!(status, Status::BadRequest, "m = 0 must be a typed error");
+
+        // zero-dimension query against a 4-d index
+        let status = raw_status(
+            &mut stream,
+            QueryBody {
+                precision: Precision::F64,
+                k: 4,
+                deadline_ms: 100,
+                dim: 0,
+                m: 1,
+                coords: Vec::new(),
+            },
+        );
+        assert_eq!(status, Status::BadRequest, "dim = 0 must be a typed error");
+
+        // same connection still serves a healthy request afterwards
+        let status = raw_status(
+            &mut stream,
+            QueryBody {
+                precision: Precision::F64,
+                k: 4,
+                deadline_ms: 200,
+                dim: D,
+                m: 1,
+                coords: point.clone(),
+            },
+        );
+        assert_eq!(status, Status::Ok, "connection must survive rejections");
+
+        // ...and the typed client maps BadRequest to Outcome::Rejected
+        let mut client = Client::connect(addr).unwrap();
+        let out = client.query::<f64>(&point, 1, N + 3, 100).unwrap();
+        assert!(matches!(out, Outcome::Rejected(_)), "got {out:?}");
+
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+}
+
 #[test]
 fn lp_norm_extremes_behave() {
     // p very large approaches l-inf ordering; p small but positive legal
