@@ -1,0 +1,219 @@
+//! Persisted serving-latency trajectory: drive a fixed workload of
+//! single-point queries through an in-process `gsknn-serve` server in
+//! both precisions, and append client-measured p50/p99 round-trip
+//! latency plus throughput to a repo-root `BENCH_serve.json` so
+//! successive PRs can compare the serving stack against history.
+//!
+//! The workload is deliberately coalescer-bound: several concurrent
+//! clients issue `m = 1` queries, so the measured latency is dominated
+//! by the model-driven batch coalescing the crate exists to provide —
+//! a regression in the flush policy or the lane plumbing shows up here
+//! before it shows up in a kernel benchmark.
+//!
+//! Flags:
+//! * `--smoke` — tiny workload (CI: proves the harness runs, not perf)
+//! * `--out F` — output path (default `<repo root>/BENCH_serve.json`)
+
+use dataset::PointSet;
+use gsknn_serve::{Client, Outcome, ServeIndex, Server, ServerConfig};
+use serde_json::Value;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn default_out() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json")
+}
+
+struct Args {
+    smoke: bool,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        smoke: false,
+        out: default_out(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => out.smoke = true,
+            "--out" => out.out = PathBuf::from(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+    out
+}
+
+fn usage() -> ! {
+    eprintln!("usage: bench_serve [--smoke] [--out F]");
+    std::process::exit(2);
+}
+
+/// One precision's measured workload.
+struct LaneResult {
+    precision: &'static str,
+    queries: usize,
+    ok: usize,
+    p50_us: f64,
+    p99_us: f64,
+    qps: f64,
+}
+
+impl LaneResult {
+    fn to_json(&self) -> Value {
+        serde_json::json!({
+            "precision": self.precision,
+            "queries": self.queries,
+            "ok": self.ok,
+            "p50_us": self.p50_us,
+            "p99_us": self.p99_us,
+            "qps": self.qps,
+        })
+    }
+}
+
+fn quantile_us(sorted: &[Duration], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx].as_secs_f64() * 1e6
+}
+
+/// `clients` threads each fire `per_client` single-point queries and
+/// report their measured round trips.
+fn run_lane<T: gsknn_core::FusedScalar>(
+    addr: std::net::SocketAddr,
+    queries: &PointSet,
+    clients: usize,
+    per_client: usize,
+    deadline_ms: u32,
+    k: usize,
+) -> LaneResult {
+    let cast = queries.cast::<T>();
+    let t0 = Instant::now();
+    let per_thread: Vec<(Vec<Duration>, usize)> = std::thread::scope(|s| {
+        (0..clients)
+            .map(|c| {
+                let cast = &cast;
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut rtts = Vec::with_capacity(per_client);
+                    let mut ok = 0usize;
+                    for i in 0..per_client {
+                        let q = cast.point((c * per_client + i) % cast.len());
+                        let reply = client.query::<T>(q, 1, k, deadline_ms).expect("query");
+                        rtts.push(reply.rtt);
+                        if matches!(reply.outcome, Outcome::Neighbors(_) | Outcome::Degraded(_)) {
+                            ok += 1;
+                        }
+                    }
+                    (rtts, ok)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let mut rtts: Vec<Duration> = per_thread
+        .iter()
+        .flat_map(|(r, _)| r.iter().copied())
+        .collect();
+    let ok = per_thread.iter().map(|(_, o)| o).sum();
+    rtts.sort_unstable();
+    LaneResult {
+        precision: <T as gsknn_core::GsknnScalar>::NAME,
+        queries: rtts.len(),
+        ok,
+        p50_us: quantile_us(&rtts, 0.50),
+        p99_us: quantile_us(&rtts, 0.99),
+        qps: rtts.len() as f64 / wall,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    // Fixed workload: changing it would break comparability across PRs.
+    let (n_refs, clients, per_client) = if args.smoke {
+        (2000, 4, 10)
+    } else {
+        (8192, 8, 50)
+    };
+    let (d, k, deadline_ms) = (16, 8, 50u32);
+
+    let refs = dataset::uniform(n_refs, d, 2026);
+    let queries = dataset::uniform(256, d, 777);
+    let index = ServeIndex::build(refs, 4, 512, 7);
+    let server = Server::bind(ServerConfig::default(), index).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || server.run());
+
+    let lanes = vec![
+        run_lane::<f64>(addr, &queries, clients, per_client, deadline_ms, k),
+        run_lane::<f32>(addr, &queries, clients, per_client, deadline_ms, k),
+    ];
+
+    Client::connect(addr)
+        .and_then(|mut c| c.shutdown())
+        .expect("shutdown");
+    handle.join().expect("server thread");
+
+    for lane in &lanes {
+        println!(
+            "{}: {} queries ({} ok), p50 {:.0} us, p99 {:.0} us, {:.0} qps",
+            lane.precision, lane.queries, lane.ok, lane.p50_us, lane.p99_us, lane.qps
+        );
+        assert_eq!(
+            lane.queries, lane.ok,
+            "{}: every query of the fixed workload must answer Ok",
+            lane.precision
+        );
+    }
+
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let run = serde_json::json!({
+        "unix_time": unix_time,
+        "smoke": args.smoke,
+        "workload": {
+            "n_refs": n_refs, "d": d, "k": k, "deadline_ms": deadline_ms,
+            "clients": clients, "per_client": per_client,
+        },
+        "lanes": (Value::Array(lanes.iter().map(LaneResult::to_json).collect())),
+    });
+
+    // Append to the existing trajectory when the file already holds one
+    // (and start fresh on a missing or malformed file).
+    let mut doc = std::fs::read_to_string(&args.out)
+        .ok()
+        .and_then(|text| serde_json::from_str(&text).ok())
+        .filter(|v: &Value| matches!(v.get("runs"), Some(Value::Array(_))))
+        .unwrap_or_else(|| {
+            serde_json::json!({
+                "benchmark": "serve",
+                "metric": "client round-trip latency (p50/p99 us) and throughput (qps)",
+                "runs": [],
+            })
+        });
+    if let Value::Object(members) = &mut doc {
+        if let Some((_, Value::Array(runs))) = members.iter_mut().find(|(k, _)| k == "runs") {
+            runs.push(run);
+        }
+    }
+    if let Some(parent) = args.out.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create output directory");
+        }
+    }
+    std::fs::write(&args.out, doc.to_string_pretty()).expect("write BENCH_serve.json");
+    println!("trajectory appended to {}", args.out.display());
+}

@@ -477,6 +477,12 @@ pub fn cmd_serve(args: &ArgMap) -> Result<String, CliError> {
         overload_window: std::time::Duration::from_millis(
             args.get_or("overload-window-ms", 250u64)?,
         ),
+        slow_query_ms: match args.get_or("slow-query-ms", 0u64)? {
+            0 => None,
+            ms => Some(ms),
+        },
+        metrics_addr: args.opt::<String>("metrics-addr")?,
+        trace_ring: args.get_or("trace-ring", 32)?,
     };
     let (n, d) = (x.len(), x.dim());
     let index = ServeIndex::build(x, trees, leaf, forest_seed);
@@ -541,6 +547,14 @@ pub fn cmd_query_remote(args: &ArgMap) -> Result<String, CliError> {
             client.shutdown().map_err(|e| CliError(e.to_string()))?;
             Ok("server draining\n".to_string())
         }
+        "metrics" => {
+            let text = client.metrics_text().map_err(|e| CliError(e.to_string()))?;
+            Ok(text)
+        }
+        "traces" => {
+            let json = client.traces_json().map_err(|e| CliError(e.to_string()))?;
+            Ok(json + "\n")
+        }
         "query" => {
             let queries = if args.opt::<String>("queries")?.is_some() {
                 let path = PathBuf::from(args.str_req("queries")?);
@@ -568,7 +582,7 @@ pub fn cmd_query_remote(args: &ArgMap) -> Result<String, CliError> {
             }
         }
         other => Err(CliError(format!(
-            "unknown --op '{other}' (expected query, ping, stats or shutdown)"
+            "unknown --op '{other}' (expected query, ping, stats, metrics, traces or shutdown)"
         ))),
     }
 }
@@ -596,6 +610,7 @@ fn query_remote_run<T: FusedScalar>(
     let (mut ok, mut degraded, mut busy, mut timed_out, mut rejected, mut failed) =
         (0usize, 0usize, 0usize, 0usize, 0usize, 0usize);
     let (mut hit, mut total) = (0usize, 0usize);
+    let mut rtts: Vec<std::time::Duration> = Vec::with_capacity(queries.len());
     let t0 = std::time::Instant::now();
     for i in 0..queries.len() {
         let q = queries.point(i);
@@ -614,10 +629,11 @@ fn query_remote_run<T: FusedScalar>(
                 hit += got.iter().zip(&want).filter(|(g, w)| g == w).count();
             }
         };
-        match client
+        let reply = client
             .query_with_retry::<T>(q, 1, k, deadline_ms, &policy)
-            .map_err(|e| CliError(format!("query {i}: {e}")))?
-        {
+            .map_err(|e| CliError(format!("query {i}: {e}")))?;
+        rtts.push(reply.rtt);
+        match reply.outcome {
             Outcome::Neighbors(table) => {
                 ok += 1;
                 check_recall(&table);
@@ -646,6 +662,19 @@ fn query_remote_run<T: FusedScalar>(
         T::NAME,
         kind.name()
     );
+    if !rtts.is_empty() {
+        rtts.sort_unstable();
+        let q = |f: f64| rtts[((rtts.len() - 1) as f64 * f).round() as usize];
+        writeln!(
+            out,
+            "client rtt: p50 {:.2?}, p90 {:.2?}, p99 {:.2?}, max {:.2?}",
+            q(0.50),
+            q(0.90),
+            q(0.99),
+            rtts[rtts.len() - 1]
+        )
+        .unwrap();
+    }
     if total > 0 {
         let recall = hit as f64 / total as f64;
         writeln!(out, "recall vs brute force: {recall:.3}").unwrap();
@@ -659,6 +688,41 @@ fn query_remote_run<T: FusedScalar>(
         return Err(CliError(format!("no query succeeded\n{out}")));
     }
     Ok(out)
+}
+
+/// `trace`: pull the slowest-request ring from a running `serve`
+/// instance as Chrome trace-event JSON (open in `chrome://tracing` or
+/// <https://ui.perfetto.dev>). Validates the export parses before
+/// writing it; with `--out F` the JSON lands in the file and a summary
+/// goes to stdout, otherwise the JSON itself is the output.
+pub fn cmd_trace(args: &ArgMap) -> Result<String, CliError> {
+    let addr = args.str_req("addr")?;
+    let mut client = connect_retry(&addr, args.get_or("connect-wait-ms", 5000)?)?;
+    let json = client.traces_json().map_err(|e| CliError(e.to_string()))?;
+    let doc: serde_json::Value = serde_json::from_str(&json)
+        .map_err(|e| CliError(format!("server sent unparseable trace JSON: {e}")))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .ok_or_else(|| CliError("trace JSON has no traceEvents array".into()))?;
+    let spans = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+        .count();
+    let traces = events.len() - spans; // one "M" metadata event per trace
+    match args.opt::<String>("out")? {
+        Some(path) => {
+            let path = PathBuf::from(path);
+            std::fs::write(&path, &json)
+                .map_err(|e| CliError(format!("{}: {e}", path.display())))?;
+            Ok(format!(
+                "wrote {} traces ({spans} spans) to {}\n",
+                traces,
+                path.display()
+            ))
+        }
+        None => Ok(json + "\n"),
+    }
 }
 
 /// Top-level usage text.
@@ -681,11 +745,15 @@ pub fn usage() -> String {
      \x20                 [--addr 127.0.0.1:7979 --trees 4 --leaf 512 --workers 1\n\
      \x20                 --queue-cap 1024 --frac 0.9 --max-batch 512 --k-max 128\n\
      \x20                 --degrade-precision true --overload-threshold 0.75\n\
-     \x20                 --overload-window-ms 250]\n\
-     \x20 query-remote --addr H:P [--op query|ping|stats|shutdown --precision f64|f32\n\
+     \x20                 --overload-window-ms 250 --slow-query-ms 0\n\
+     \x20                 --metrics-addr H:P --trace-ring 32]\n\
+     \x20 query-remote --addr H:P [--op query|ping|stats|metrics|traces|shutdown\n\
+     \x20                 --precision f64|f32\n\
      \x20                 --m 10 --d 16 --k 8 --deadline-ms 250 --queries F\n\
      \x20                 --expect-in F --min-recall 1.0 --connect-wait-ms 5000\n\
      \x20                 --timeout-ms 60000 --retries 0]\n\
+     \x20 trace   --addr H:P [--out F --connect-wait-ms 5000]\n\
+     \x20                 (slowest-request ring as Chrome trace-event JSON)\n\
      flags:\n\
      \x20 --precision f64|f32   element type (f32 uses the 8-lane/16-lane\n\
      \x20                       single-precision micro-kernels)\n\

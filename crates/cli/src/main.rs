@@ -26,6 +26,7 @@ fn main() {
         "tune" => commands::cmd_tune(&args),
         "serve" => commands::cmd_serve(&args),
         "query-remote" => commands::cmd_query_remote(&args),
+        "trace" => commands::cmd_trace(&args),
         "help" | "--help" | "-h" => Ok(commands::usage()),
         other => Err(cli::CliError(format!(
             "unknown command '{other}'\n{}",

@@ -76,6 +76,12 @@ impl GsknnConfig {
 pub struct Gsknn<T: FusedScalar = f64> {
     cfg: GsknnConfig,
     ws: GsknnWorkspace<T>,
+    /// Phase times accumulated across calls since the last
+    /// [`Gsknn::take_phase_accum`] — callers that issue many updates per
+    /// logical unit of work (the forest makes one `update_cross` call
+    /// per routed leaf) read their totals here, since `ws.phases` resets
+    /// every call. Zero-sized without the `obs` feature.
+    phase_accum: PhaseSet,
 }
 
 impl<T: FusedScalar> Gsknn<T> {
@@ -84,6 +90,7 @@ impl<T: FusedScalar> Gsknn<T> {
         Gsknn {
             cfg,
             ws: GsknnWorkspace::new(),
+            phase_accum: PhaseSet::new(),
         }
     }
 
@@ -202,6 +209,7 @@ impl<T: FusedScalar> Gsknn<T> {
                 table.set_row(i, &heap.into_sorted_vec());
             }
         });
+        self.phase_accum.merge(&self.ws.phases);
     }
 
     /// Observability counters from the most recent `run`/`update` call
@@ -216,6 +224,16 @@ impl<T: FusedScalar> Gsknn<T> {
     /// All-zero unless the crate is built with the `obs` feature.
     pub fn last_phases(&self) -> PhaseSet {
         self.ws.phases
+    }
+
+    /// Drain the phase times accumulated over *all* `run`/`update` calls
+    /// since the previous drain (the per-call [`Gsknn::last_phases`]
+    /// resets each call). Lets a caller that issues many kernel calls
+    /// per unit of work — e.g. a forest query, one call per routed leaf
+    /// — attribute the summed phase cost to that unit. All-zero unless
+    /// the crate is built with the `obs` feature.
+    pub fn take_phase_accum(&mut self) -> PhaseSet {
+        std::mem::take(&mut self.phase_accum)
     }
 
     /// Data-parallel run (§2.5's 4th-loop scheme on the rayon pool,
@@ -264,6 +282,7 @@ impl<T: FusedScalar> Gsknn<T> {
                 table.set_row(i, &heap.into_sorted_vec());
             }
         });
+        self.phase_accum.merge(&self.ws.phases);
     }
 }
 
@@ -531,6 +550,27 @@ mod tests {
             let b: Vec<u32> = oneshot.row(i).iter().map(|n| n.idx).collect();
             assert_eq!(a, b, "row {i}");
         }
+    }
+
+    #[test]
+    fn phase_accum_sums_across_calls_and_drains() {
+        let x = uniform(96, 6, 31);
+        let q: Vec<usize> = (0..8).collect();
+        let r: Vec<usize> = (0..96).collect();
+        let mut exec: Gsknn<f64> = Gsknn::new(GsknnConfig::default());
+        exec.take_phase_accum(); // start clean
+        let _ = exec.run(&x, &q, &r, 4, DistanceKind::SqL2);
+        let _ = exec.run(&x, &q, &r, 4, DistanceKind::SqL2);
+        let accum = exec.take_phase_accum();
+        if crate::obs::enabled() {
+            // one writeback span per call, summed — unlike last_phases,
+            // which only held the second call
+            assert_eq!(accum.count(crate::obs::Phase::Writeback), 2);
+            assert_eq!(exec.last_phases().count(crate::obs::Phase::Writeback), 1);
+        }
+        // draining resets the accumulator
+        let drained = exec.take_phase_accum();
+        assert_eq!(drained.count(crate::obs::Phase::Writeback), 0);
     }
 
     #[test]

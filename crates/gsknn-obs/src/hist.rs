@@ -1,0 +1,409 @@
+//! Lock-free log-bucketed latency histograms.
+//!
+//! The serving stack records one end-to-end latency per request, per
+//! (lane × terminal status) pair, on the connection-handler hot path —
+//! so recording must be a single relaxed atomic increment, never a lock.
+//! Buckets are log-linear over nanoseconds: each power-of-two octave is
+//! split into [`SUB_BUCKETS`] linear sub-buckets, giving ≤ 25% relative
+//! bucket width across the full `u64` range (sub-microsecond pings up to
+//! minute-long stalls) with a fixed [`NUM_BUCKETS`]-slot table. That is
+//! the same mantissa-bits scheme HDR-style histograms use, reduced to
+//! two mantissa bits so the whole table stays cache-resident.
+//!
+//! [`LatencyHistogram`] is the shared atomic recorder; [`HistSnapshot`]
+//! is its frozen view — mergeable across histograms (lane aggregation,
+//! multi-server rollups) and queryable for p50/p90/p99/p999. Quantile
+//! estimates return the midpoint of the bucket holding the true
+//! quantile, so they are exact to within one bucket width (property-
+//! tested below).
+
+use serde_json::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Linear sub-buckets per power-of-two octave (2 mantissa bits).
+pub const SUB_BUCKETS: usize = 4;
+
+/// Values `0..LINEAR_CUTOFF` get one exact bucket each; above that the
+/// log-linear scheme takes over.
+const LINEAR_CUTOFF: u64 = 2 * SUB_BUCKETS as u64; // 8
+
+/// Total bucket count covering every `u64` nanosecond value:
+/// 8 exact buckets for 0..8 ns, then 4 sub-buckets for each of the
+/// 61 octaves `[2^3, 2^4) .. [2^63, 2^64)`.
+pub const NUM_BUCKETS: usize = LINEAR_CUTOFF as usize + (64 - 3) * SUB_BUCKETS;
+
+/// Index of the bucket holding `ns`. Total over all of `u64`.
+#[inline]
+pub fn bucket_index(ns: u64) -> usize {
+    if ns < LINEAR_CUTOFF {
+        return ns as usize;
+    }
+    let exp = 63 - ns.leading_zeros() as usize; // floor(log2), >= 3
+    let sub = ((ns >> (exp - 2)) & (SUB_BUCKETS as u64 - 1)) as usize;
+    LINEAR_CUTOFF as usize + (exp - 3) * SUB_BUCKETS + sub
+}
+
+/// Half-open range `[lo, hi)` of bucket `idx`. The last bucket's `hi`
+/// saturates to `u64::MAX` (treated as +inf: that bucket also holds
+/// `u64::MAX` itself).
+#[inline]
+pub fn bucket_bounds(idx: usize) -> (u64, u64) {
+    assert!(idx < NUM_BUCKETS, "bucket index {idx} out of range");
+    if (idx as u64) < LINEAR_CUTOFF {
+        return (idx as u64, idx as u64 + 1);
+    }
+    let g = (idx - LINEAR_CUTOFF as usize) / SUB_BUCKETS;
+    let sub = (idx - LINEAR_CUTOFF as usize) % SUB_BUCKETS;
+    let exp = g + 3;
+    let lo = ((SUB_BUCKETS + sub) as u64) << (exp - 2);
+    let hi = lo.saturating_add(1u64 << (exp - 2));
+    (lo, hi)
+}
+
+/// A lock-free log-bucketed latency histogram: record with one relaxed
+/// atomic add, snapshot without stopping writers.
+pub struct LatencyHistogram {
+    counts: Box<[AtomicU64]>,
+    sum_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Empty histogram (one allocation, done once at server start).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one latency in nanoseconds. Lock-free; safe from any
+    /// thread.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        self.counts[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Record one latency as a [`Duration`] (saturating at `u64` ns,
+    /// ~584 years).
+    #[inline]
+    pub fn record(&self, d: Duration) {
+        self.record_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Frozen copy for querying, merging and serialization.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A frozen histogram: per-bucket counts plus the exact sum of recorded
+/// values. Mergeable (bucket-wise addition) and queryable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket sample counts, indexed by [`bucket_index`].
+    pub counts: Vec<u64>,
+    /// Exact sum of all recorded nanosecond values.
+    pub sum_ns: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        HistSnapshot {
+            counts: vec![0; NUM_BUCKETS],
+            sum_ns: 0,
+        }
+    }
+}
+
+impl HistSnapshot {
+    /// Empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record into a snapshot directly (tests and offline merging).
+    pub fn record_ns(&mut self, ns: u64) {
+        self.counts[bucket_index(ns)] += 1;
+        self.sum_ns += ns;
+    }
+
+    /// Total samples.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fold `other` into `self`: the result is indistinguishable from a
+    /// snapshot that recorded both sample streams.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum_ns += other.sum_ns;
+    }
+
+    /// Mean of recorded values in nanoseconds (`None` when empty).
+    pub fn mean_ns(&self) -> Option<f64> {
+        let n = self.count();
+        (n > 0).then(|| self.sum_ns as f64 / n as f64)
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) in nanoseconds: the
+    /// midpoint of the bucket containing the true quantile value, so the
+    /// estimate is exact to within one bucket width (≤ 25% relative).
+    /// `None` when empty.
+    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                return Some(if hi == u64::MAX {
+                    lo
+                } else {
+                    lo + (hi - lo) / 2
+                });
+            }
+        }
+        unreachable!("rank <= total must land in a bucket");
+    }
+
+    /// Median estimate in nanoseconds.
+    pub fn p50_ns(&self) -> Option<u64> {
+        self.quantile_ns(0.50)
+    }
+    /// 90th-percentile estimate in nanoseconds.
+    pub fn p90_ns(&self) -> Option<u64> {
+        self.quantile_ns(0.90)
+    }
+    /// 99th-percentile estimate in nanoseconds.
+    pub fn p99_ns(&self) -> Option<u64> {
+        self.quantile_ns(0.99)
+    }
+    /// 99.9th-percentile estimate in nanoseconds.
+    pub fn p999_ns(&self) -> Option<u64> {
+        self.quantile_ns(0.999)
+    }
+
+    /// Non-empty buckets as `(upper_bound_ns, count)`; the open top
+    /// bucket reports `u64::MAX`.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_bounds(i).1, c))
+            .collect()
+    }
+
+    /// JSON value: count, sum, quantiles in microseconds, and the
+    /// non-empty buckets (`le_ns` upper bounds).
+    pub fn to_json(&self) -> Value {
+        let us = |v: Option<u64>| match v {
+            Some(ns) => Value::from(ns as f64 / 1e3),
+            None => Value::Null,
+        };
+        let buckets: Vec<Value> = self
+            .nonzero_buckets()
+            .into_iter()
+            .map(|(le, count)| {
+                Value::Object(vec![
+                    ("le_ns".into(), Value::from(le)),
+                    ("count".into(), Value::from(count)),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("count".into(), Value::from(self.count())),
+            ("sum_ns".into(), Value::from(self.sum_ns)),
+            ("p50_us".into(), us(self.p50_ns())),
+            ("p90_us".into(), us(self.p90_ns())),
+            ("p99_us".into(), us(self.p99_ns())),
+            ("p999_us".into(), us(self.p999_ns())),
+            ("buckets".into(), Value::Array(buckets)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bucket_scheme_tiles_the_line() {
+        // consecutive buckets share an edge, starting at 0
+        assert_eq!(bucket_bounds(0).0, 0);
+        for i in 0..NUM_BUCKETS - 1 {
+            assert_eq!(
+                bucket_bounds(i).1,
+                bucket_bounds(i + 1).0,
+                "gap/overlap between buckets {i} and {}",
+                i + 1
+            );
+        }
+        assert_eq!(bucket_bounds(NUM_BUCKETS - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn known_values_land_where_expected() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(7), 7);
+        assert_eq!(bucket_index(8), 8); // first log-linear bucket [8,10)
+        assert_eq!(bucket_index(9), 8);
+        assert_eq!(bucket_index(10), 9);
+        assert_eq!(bucket_index(15), 11);
+        assert_eq!(bucket_index(16), 12);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn relative_width_is_bounded() {
+        // every log-linear bucket is at most 25% of its lower bound wide
+        for i in LINEAR_CUTOFF as usize..NUM_BUCKETS - 1 {
+            let (lo, hi) = bucket_bounds(i);
+            assert!(hi - lo <= lo / 4 + 1, "bucket {i}: [{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn atomic_and_snapshot_agree() {
+        let h = LatencyHistogram::new();
+        for ns in [0, 1, 999, 1_000_000, 3_141_592_653] {
+            h.record_ns(ns);
+        }
+        h.record(Duration::from_millis(5));
+        let s = h.snapshot();
+        assert_eq!(s.count(), 6);
+        assert_eq!(h.count(), 6);
+        assert_eq!(s.sum_ns, 1_000_000 + 999 + 1 + 3_141_592_653 + 5_000_000);
+    }
+
+    #[test]
+    fn quantiles_of_a_point_mass() {
+        let mut s = HistSnapshot::new();
+        for _ in 0..1000 {
+            s.record_ns(1_000_000); // 1 ms
+        }
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let est = s.quantile_ns(q).unwrap();
+            let (lo, hi) = bucket_bounds(bucket_index(1_000_000));
+            assert!(est >= lo && est < hi, "q={q}: {est} not in [{lo},{hi})");
+        }
+        assert_eq!(HistSnapshot::new().quantile_ns(0.5), None);
+        assert_eq!(HistSnapshot::new().mean_ns(), None);
+    }
+
+    #[test]
+    fn json_carries_counts_and_quantiles() {
+        let mut s = HistSnapshot::new();
+        for ns in [1_000, 2_000, 4_000, 1_000_000] {
+            s.record_ns(ns);
+        }
+        let text = s.to_json().to_string();
+        let back: Value = serde_json::from_str(&text).expect("hist JSON parses");
+        assert_eq!(back.get("count").and_then(|v| v.as_u64()), Some(4));
+        assert!(back.get("p50_us").and_then(|v| v.as_f64()).unwrap() > 0.0);
+        let buckets = back.get("buckets").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(buckets.len(), 4);
+        let total: u64 = buckets
+            .iter()
+            .map(|b| b.get("count").and_then(|v| v.as_u64()).unwrap())
+            .sum();
+        assert_eq!(total, 4);
+    }
+
+    proptest! {
+        /// Bucket boundaries are exhaustive and non-overlapping: every
+        /// value falls in exactly the bucket whose [lo, hi) contains it.
+        #[test]
+        fn buckets_are_exhaustive_and_disjoint(
+            (base, shift) in (0u64..u64::MAX, 0u32..64)
+        ) {
+            let v = base >> shift; // bias coverage toward every octave
+            let idx = bucket_index(v);
+            let (lo, hi) = bucket_bounds(idx);
+            prop_assert!(v >= lo, "{v} below bucket {idx} = [{lo},{hi})");
+            prop_assert!(v < hi || hi == u64::MAX, "{v} above bucket {idx} = [{lo},{hi})");
+            // and no other bucket claims it: neighbors exclude v
+            if idx > 0 {
+                let (_, prev_hi) = bucket_bounds(idx - 1);
+                prop_assert!(prev_hi <= v);
+            }
+            if idx + 1 < NUM_BUCKETS {
+                let (next_lo, _) = bucket_bounds(idx + 1);
+                prop_assert!(v < next_lo);
+            }
+        }
+
+        /// merge(a, b) is indistinguishable from recording a ∪ b.
+        #[test]
+        fn merge_equals_union(
+            (a, b) in (
+                proptest::collection::vec(0u64..1u64 << 40, 0..64),
+                proptest::collection::vec(0u64..1u64 << 40, 0..64),
+            )
+        ) {
+            let mut ha = HistSnapshot::new();
+            let mut hb = HistSnapshot::new();
+            let mut hu = HistSnapshot::new();
+            for &v in &a { ha.record_ns(v); hu.record_ns(v); }
+            for &v in &b { hb.record_ns(v); hu.record_ns(v); }
+            ha.merge(&hb);
+            prop_assert_eq!(ha, hu);
+        }
+
+        /// Quantile estimates bracket the true order statistic within
+        /// one bucket width.
+        #[test]
+        fn quantile_brackets_truth(
+            (values, qi) in (
+                proptest::collection::vec(0u64..1u64 << 40, 1..128),
+                0usize..4,
+            )
+        ) {
+            let q = [0.5, 0.9, 0.99, 0.999][qi];
+            let mut s = HistSnapshot::new();
+            for &v in &values { s.record_ns(v); }
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            let rank = ((q * sorted.len() as f64).ceil() as usize)
+                .clamp(1, sorted.len());
+            let truth = sorted[rank - 1];
+            let est = s.quantile_ns(q).unwrap();
+            // the estimate's bucket must contain the true value, so the
+            // error is bounded by that bucket's width
+            let idx = bucket_index(truth);
+            let (lo, hi) = bucket_bounds(idx);
+            prop_assert!(est >= lo && (est < hi || hi == u64::MAX),
+                "q={} est={} truth={} bucket=[{},{})", q, est, truth, lo, hi);
+            let width = hi.saturating_sub(lo);
+            prop_assert!(est.abs_diff(truth) <= width,
+                "q={} est={} truth={} width={}", q, est, truth, width);
+        }
+    }
+}

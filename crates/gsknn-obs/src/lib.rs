@@ -17,7 +17,14 @@
 //!   [`SchedulerReport`].
 //! * **Serving telemetry** — traffic, admission-control, and batch-
 //!   coalescing counters from the `gsknn-serve` query service, joined
-//!   against the model-predicted batch cost ([`ServeReport`]).
+//!   against the model-predicted batch cost ([`ServeReport`]), plus
+//!   per-lane × per-status end-to-end latency histograms and a
+//!   Prometheus-style text exposition.
+//! * **Latency histograms** — lock-free log-bucketed recorders with
+//!   mergeable snapshots and p50/p90/p99/p999 estimates ([`hist`]).
+//! * **Request traces** — span timelines for individual served
+//!   requests, a keep-the-slowest ring, and Chrome trace-event JSON
+//!   export ([`trace`]).
 //!
 //! All reports render as text tables and export as JSON (the `gsknn
 //! profile` CLI subcommand writes them under `bench_out/`).
@@ -27,13 +34,17 @@
 //! still times totals, but phase rows are zero and reports carry
 //! `obs_enabled = false`.
 
+pub mod hist;
 pub mod profile;
 pub mod report;
 pub mod serve;
+pub mod trace;
 
+pub use hist::{HistSnapshot, LatencyHistogram};
 pub use profile::{profile_run, profile_synthetic};
 pub use report::{DriftRow, PhaseRow, ProfileReport, SchedulerReport, VariantTiming, WorkerRow};
-pub use serve::{batch_bucket, FlushCounts, ServeReport, BATCH_BUCKETS};
+pub use serve::{batch_bucket, FlushCounts, LatencyRow, ServeReport, BATCH_BUCKETS};
+pub use trace::{chrome_trace_json, Trace, TraceRing, TraceSpan};
 
 #[cfg(test)]
 mod sched_tests {

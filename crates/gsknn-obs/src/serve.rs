@@ -9,7 +9,19 @@
 //! same predicted-vs-measured drift discipline as [`crate::ProfileReport`],
 //! aggregated over every flush instead of one profiled problem.
 
+use crate::hist::HistSnapshot;
 use serde_json::Value;
+
+/// End-to-end latency histogram for one (lane, terminal status) pair.
+#[derive(Clone, Debug)]
+pub struct LatencyRow {
+    /// Precision lane (`"f64"` / `"f32"`).
+    pub lane: String,
+    /// Terminal wire status label (`"ok"`, `"busy"`, `"timeout"`, …).
+    pub status: String,
+    /// Log-bucketed receive-to-reply latency distribution.
+    pub hist: HistSnapshot,
+}
 
 /// Batch-size histogram bucket upper bounds (inclusive); the last bucket
 /// is open-ended. Shared between the server's counters and the report so
@@ -83,6 +95,15 @@ pub struct ServeReport {
     pub batch_hist: Vec<u64>,
     /// Highest simultaneous pending-query count observed.
     pub queue_high_water: u64,
+    /// Query points in flight at snapshot time (gauge).
+    pub in_flight: u64,
+    /// Whether the overload detector held the degraded state at
+    /// snapshot time (gauge).
+    pub overloaded: bool,
+    /// End-to-end request latency histograms, one row per non-empty
+    /// (lane × terminal status) pair. Latency covers receive → reply
+    /// written, measured at the server.
+    pub latency: Vec<LatencyRow>,
     /// Model-derived batch-size targets per precision lane
     /// (`(precision, m*)`): the smallest batch the §2.6 model predicts
     /// reaches the configured fraction of asymptotic GFLOPS.
@@ -184,6 +205,26 @@ impl ServeReport {
                 "queue_high_water".into(),
                 Value::from(self.queue_high_water),
             ),
+            ("in_flight".into(), Value::from(self.in_flight)),
+            ("overloaded".into(), Value::from(self.overloaded)),
+            (
+                "latency".into(),
+                Value::Array(
+                    self.latency
+                        .iter()
+                        .map(|row| {
+                            let mut obj = vec![
+                                ("lane".into(), Value::String(row.lane.clone())),
+                                ("status".into(), Value::String(row.status.clone())),
+                            ];
+                            if let Value::Object(fields) = row.hist.to_json() {
+                                obj.extend(fields);
+                            }
+                            Value::Object(obj)
+                        })
+                        .collect(),
+                ),
+            ),
             ("batch_targets".into(), Value::Array(targets)),
             ("predicted_s".into(), Value::from(self.predicted_s)),
             ("measured_s".into(), Value::from(self.measured_s)),
@@ -240,6 +281,24 @@ impl ServeReport {
             };
             out.push_str(&format!("  <= {label} {count:>7}\n"));
         }
+        if !self.latency.is_empty() {
+            out.push_str("  latency (lane/status)     n       p50       p90       p99      p999\n");
+            for row in &self.latency {
+                let ms = |v: Option<u64>| match v {
+                    Some(ns) => format!("{:>8.2}ms", ns as f64 / 1e6),
+                    None => "       n/a".to_string(),
+                };
+                out.push_str(&format!(
+                    "  {:<22} {:>5} {} {} {} {}\n",
+                    format!("{}/{}", row.lane, row.status),
+                    row.hist.count(),
+                    ms(row.hist.p50_ns()),
+                    ms(row.hist.p90_ns()),
+                    ms(row.hist.p99_ns()),
+                    ms(row.hist.p999_ns()),
+                ));
+            }
+        }
         match self.drift_ratio() {
             Some(r) => out.push_str(&format!(
                 "batch cost: predicted {:.3} ms | measured {:.3} ms | drift x{:.2}\n",
@@ -252,6 +311,168 @@ impl ServeReport {
         for (name, s) in &self.predicted_terms {
             out.push_str(&format!("  {:<32} {:>10.3} ms\n", name, s * 1e3));
         }
+        out
+    }
+
+    /// Prometheus text exposition (version 0.0.4): counters, gauges and
+    /// cumulative latency histograms, scrapeable via the `Metrics` wire
+    /// op or the server's `--metrics-addr` HTTP listener. Only buckets
+    /// that gained samples are emitted (plus `+Inf`); the cumulative
+    /// counts stay correct on any `le` grid.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut counter = |name: &str, help: &str, v: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"
+            ));
+        };
+        counter(
+            "gsknn_requests_total",
+            "Request frames received (all ops).",
+            self.requests,
+        );
+        counter(
+            "gsknn_queries_total",
+            "Query points answered with a neighbor row.",
+            self.queries,
+        );
+        counter(
+            "gsknn_busy_total",
+            "Requests bounced by admission control.",
+            self.busy,
+        );
+        counter(
+            "gsknn_timeouts_total",
+            "Requests whose latency budget expired before the kernel ran.",
+            self.timeouts,
+        );
+        counter(
+            "gsknn_errors_total",
+            "Malformed or failed requests.",
+            self.errors,
+        );
+        counter(
+            "gsknn_batches_total",
+            "Kernel batches executed.",
+            self.batches,
+        );
+        counter(
+            "gsknn_worker_panics_total",
+            "Worker batches that panicked.",
+            self.worker_panics,
+        );
+        counter(
+            "gsknn_worker_respawns_total",
+            "Workers rebuilt after a panic.",
+            self.worker_respawns,
+        );
+        counter(
+            "gsknn_degraded_queries_total",
+            "f64 queries answered from the f32 lane while shedding load.",
+            self.degraded_queries,
+        );
+        counter(
+            "gsknn_overload_events_total",
+            "Transitions into the overloaded state.",
+            self.overload_events,
+        );
+        out.push_str(
+            "# HELP gsknn_flushes_total Coalescer flushes by trigger.\n# TYPE gsknn_flushes_total counter\n",
+        );
+        for (reason, v) in [
+            ("model", self.flushes.model),
+            ("deadline", self.flushes.deadline),
+            ("drain", self.flushes.drain),
+        ] {
+            out.push_str(&format!("gsknn_flushes_total{{reason=\"{reason}\"}} {v}\n"));
+        }
+        let mut gauge = |name: &str, help: &str, v: String| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"
+            ));
+        };
+        gauge(
+            "gsknn_in_flight",
+            "Query points currently admitted and unanswered.",
+            self.in_flight.to_string(),
+        );
+        gauge(
+            "gsknn_overloaded",
+            "1 while the overload detector holds the degraded state.",
+            u64::from(self.overloaded).to_string(),
+        );
+        gauge(
+            "gsknn_queue_high_water",
+            "Highest simultaneous in-flight query count observed.",
+            self.queue_high_water.to_string(),
+        );
+        gauge(
+            "gsknn_coalesce_ratio",
+            "Fraction of steady-state flushes triggered by the model.",
+            format!("{:.6}", self.flushes.coalesce_ratio()),
+        );
+        out.push_str(
+            "# HELP gsknn_batch_target Model batch-size target m* per lane.\n# TYPE gsknn_batch_target gauge\n",
+        );
+        for (lane, m) in &self.batch_targets {
+            out.push_str(&format!("gsknn_batch_target{{lane=\"{lane}\"}} {m}\n"));
+        }
+        out.push_str(
+            "# HELP gsknn_batch_size Coalesced batch sizes.\n# TYPE gsknn_batch_size histogram\n",
+        );
+        let mut cum = 0u64;
+        for (&count, hi) in self.batch_hist.iter().zip(BATCH_BUCKETS) {
+            cum += count;
+            if count == 0 && hi != usize::MAX {
+                continue;
+            }
+            let le = if hi == usize::MAX {
+                "+Inf".to_string()
+            } else {
+                hi.to_string()
+            };
+            out.push_str(&format!("gsknn_batch_size_bucket{{le=\"{le}\"}} {cum}\n"));
+        }
+        out.push_str(&format!("gsknn_batch_size_count {cum}\n"));
+        if !self.latency.is_empty() {
+            out.push_str(
+                "# HELP gsknn_request_latency_seconds End-to-end request latency (receive to reply written).\n# TYPE gsknn_request_latency_seconds histogram\n",
+            );
+            for row in &self.latency {
+                let labels = format!("lane=\"{}\",status=\"{}\"", row.lane, row.status);
+                let mut cum = 0u64;
+                for (le_ns, count) in row.hist.nonzero_buckets() {
+                    cum += count;
+                    let le = if le_ns == u64::MAX {
+                        "+Inf".to_string()
+                    } else {
+                        format!("{:.9}", le_ns as f64 / 1e9)
+                    };
+                    out.push_str(&format!(
+                        "gsknn_request_latency_seconds_bucket{{{labels},le=\"{le}\"}} {cum}\n"
+                    ));
+                }
+                out.push_str(&format!(
+                    "gsknn_request_latency_seconds_bucket{{{labels},le=\"+Inf\"}} {cum}\n"
+                ));
+                out.push_str(&format!(
+                    "gsknn_request_latency_seconds_sum{{{labels}}} {:.9}\n",
+                    row.hist.sum_ns as f64 / 1e9
+                ));
+                out.push_str(&format!(
+                    "gsknn_request_latency_seconds_count{{{labels}}} {}\n",
+                    row.hist.count()
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "# HELP gsknn_batch_cost_predicted_seconds_total Summed model-predicted batch cost.\n# TYPE gsknn_batch_cost_predicted_seconds_total counter\ngsknn_batch_cost_predicted_seconds_total {:.9}\n",
+            self.predicted_s
+        ));
+        out.push_str(&format!(
+            "# HELP gsknn_batch_cost_measured_seconds_total Summed measured kernel wall time.\n# TYPE gsknn_batch_cost_measured_seconds_total counter\ngsknn_batch_cost_measured_seconds_total {:.9}\n",
+            self.measured_s
+        ));
         out
     }
 }
@@ -284,6 +505,30 @@ mod tests {
             },
             batch_hist: hist,
             queue_high_water: 17,
+            in_flight: 4,
+            overloaded: true,
+            latency: vec![
+                LatencyRow {
+                    lane: "f64".into(),
+                    status: "ok".into(),
+                    hist: {
+                        let mut h = HistSnapshot::new();
+                        for ns in [900_000, 1_100_000, 2_000_000, 40_000_000] {
+                            h.record_ns(ns);
+                        }
+                        h
+                    },
+                },
+                LatencyRow {
+                    lane: "f32".into(),
+                    status: "timeout".into(),
+                    hist: {
+                        let mut h = HistSnapshot::new();
+                        h.record_ns(55_000_000);
+                        h
+                    },
+                },
+            ],
             batch_targets: vec![("f64".into(), 48), ("f32".into(), 96)],
             predicted_s: 0.010,
             measured_s: 0.013,
@@ -360,6 +605,64 @@ mod tests {
         assert!(text.contains("pack Rc + R2c"));
         assert!(text.contains("1 worker panics"));
         assert!(text.contains("5 degraded queries"));
+    }
+
+    #[test]
+    fn json_carries_latency_rows() {
+        let r = sample();
+        let back: Value = serde_json::from_str(&r.to_json().to_string()).unwrap();
+        assert_eq!(back.get("in_flight").and_then(|v| v.as_u64()), Some(4));
+        let rows = back.get("latency").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("lane").and_then(|v| v.as_str()), Some("f64"));
+        assert_eq!(rows[0].get("count").and_then(|v| v.as_u64()), Some(4));
+        assert!(rows[0].get("p99_us").and_then(|v| v.as_f64()).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn render_table_includes_latency_quantiles() {
+        let text = sample().render_table();
+        assert!(text.contains("f64/ok"));
+        assert!(text.contains("f32/timeout"));
+        assert!(text.contains("p99"));
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let text = sample().render_prometheus();
+        assert!(text.contains("# TYPE gsknn_requests_total counter"));
+        assert!(text.contains("gsknn_requests_total 42"));
+        assert!(text.contains("gsknn_queries_total 210"));
+        assert!(text.contains("gsknn_flushes_total{reason=\"model\"} 4"));
+        assert!(text.contains("gsknn_in_flight 4"));
+        assert!(text.contains("gsknn_overloaded 1"));
+        assert!(text.contains("gsknn_batch_target{lane=\"f64\"} 48"));
+        assert!(text.contains("gsknn_request_latency_seconds_count{lane=\"f64\",status=\"ok\"} 4"));
+        assert!(text.contains(
+            "gsknn_request_latency_seconds_bucket{lane=\"f64\",status=\"ok\",le=\"+Inf\"} 4"
+        ));
+        // cumulative bucket counts never decrease within a series
+        let mut prev = 0u64;
+        for line in text.lines().filter(|l| {
+            l.starts_with("gsknn_request_latency_seconds_bucket{lane=\"f64\",status=\"ok\"")
+        }) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= prev, "non-monotone cumulative count in {line}");
+            prev = v;
+        }
+        // every non-comment line is `name{labels} value` or `name value`
+        for line in text
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+        {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "unparseable sample value in {line}"
+            );
+            assert!(parts.next().is_some());
+        }
     }
 
     #[test]

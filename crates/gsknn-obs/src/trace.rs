@@ -1,0 +1,303 @@
+//! Request-scoped traces for the serving stack.
+//!
+//! A [`Trace`] is one request's span timeline: decode, admission,
+//! coalesce wait, the kernel phases (amortized over the batch the
+//! request rode in) and the reply write, all in microseconds relative to
+//! a server-wide epoch. The server keeps the N *slowest* completed
+//! traces in a [`TraceRing`] — tail latency is the metric that matters,
+//! and the slowest requests are exactly the ones worth a timeline — and
+//! exports them in Chrome trace-event JSON ([`chrome_trace_json`]), the
+//! format `chrome://tracing` / Perfetto load directly.
+
+use serde_json::Value;
+use std::sync::Mutex;
+
+/// One timed section of a request's lifetime.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceSpan {
+    /// Section name (`"decode"`, `"coalesce wait"`, `"kernel: selection"`, …).
+    pub name: String,
+    /// Start, microseconds relative to the owning trace's `t0_us`.
+    pub start_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+}
+
+/// One request's completed timeline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trace {
+    /// Wire-level trace id (echoed to the client in the response header).
+    pub trace_id: u64,
+    /// Precision lane that handled the request (`"f64"` / `"f32"`).
+    pub lane: String,
+    /// Terminal wire status label (`"ok"`, `"timeout"`, `"busy"`, …).
+    pub status: String,
+    /// Query points in the request.
+    pub m: usize,
+    /// Neighbors requested.
+    pub k: usize,
+    /// Request receive time, microseconds since the server epoch.
+    pub t0_us: f64,
+    /// End-to-end latency (receive → reply written), microseconds.
+    pub total_us: f64,
+    /// Span timeline, starts relative to `t0_us`.
+    pub spans: Vec<TraceSpan>,
+}
+
+impl Trace {
+    /// Sum of all span durations (µs). For a fully-instrumented request
+    /// this approaches `total_us`; the gap is untimed glue.
+    pub fn span_sum_us(&self) -> f64 {
+        self.spans.iter().map(|s| s.dur_us).sum()
+    }
+
+    /// JSON object (used inside the `Stats`-adjacent trace export).
+    pub fn to_json(&self) -> Value {
+        let spans: Vec<Value> = self
+            .spans
+            .iter()
+            .map(|s| {
+                Value::Object(vec![
+                    ("name".into(), Value::String(s.name.clone())),
+                    ("start_us".into(), Value::from(s.start_us)),
+                    ("dur_us".into(), Value::from(s.dur_us)),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            (
+                "trace_id".into(),
+                Value::String(format!("{:016x}", self.trace_id)),
+            ),
+            ("lane".into(), Value::String(self.lane.clone())),
+            ("status".into(), Value::String(self.status.clone())),
+            ("m".into(), Value::from(self.m)),
+            ("k".into(), Value::from(self.k)),
+            ("t0_us".into(), Value::from(self.t0_us)),
+            ("total_us".into(), Value::from(self.total_us)),
+            ("spans".into(), Value::Array(spans)),
+        ])
+    }
+}
+
+/// Bounded keep-the-slowest collection of completed traces.
+///
+/// `offer` is called once per completed request under a mutex — after
+/// the reply is already on the wire, so it is off the latency path —
+/// and evicts the fastest resident trace when full.
+pub struct TraceRing {
+    cap: usize,
+    inner: Mutex<Vec<Trace>>,
+}
+
+impl TraceRing {
+    /// Ring keeping the `cap` slowest traces (`cap == 0` disables).
+    pub fn new(cap: usize) -> Self {
+        TraceRing {
+            cap,
+            inner: Mutex::new(Vec::with_capacity(cap.min(1024))),
+        }
+    }
+
+    /// Capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Offer a completed trace; kept only if the ring has room or the
+    /// trace is slower than the current fastest resident.
+    pub fn offer(&self, trace: Trace) {
+        if self.cap == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        if inner.len() < self.cap {
+            inner.push(trace);
+            return;
+        }
+        let (min_idx, min_total) = inner.iter().enumerate().map(|(i, t)| (i, t.total_us)).fold(
+            (0, f64::INFINITY),
+            |acc, cur| {
+                if cur.1 < acc.1 {
+                    cur
+                } else {
+                    acc
+                }
+            },
+        );
+        if trace.total_us > min_total {
+            inner[min_idx] = trace;
+        }
+    }
+
+    /// Resident traces, slowest first.
+    pub fn snapshot(&self) -> Vec<Trace> {
+        let mut traces = self.inner.lock().unwrap().clone();
+        traces.sort_by(|a, b| b.total_us.total_cmp(&a.total_us));
+        traces
+    }
+
+    /// Number of resident traces.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// Whether no trace has been kept yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Render traces as Chrome trace-event JSON: one complete (`"ph": "X"`)
+/// event per span, one virtual thread per trace (named with the trace
+/// id, lane and status), timestamps in absolute microseconds since the
+/// server epoch. Loadable in `chrome://tracing` and Perfetto.
+pub fn chrome_trace_json(traces: &[Trace]) -> Value {
+    let mut events: Vec<Value> = Vec::new();
+    for (i, t) in traces.iter().enumerate() {
+        let tid = i as u64 + 1;
+        events.push(Value::Object(vec![
+            ("name".into(), Value::String("thread_name".into())),
+            ("ph".into(), Value::String("M".into())),
+            ("pid".into(), Value::from(1u64)),
+            ("tid".into(), Value::from(tid)),
+            (
+                "args".into(),
+                Value::Object(vec![(
+                    "name".into(),
+                    Value::String(format!(
+                        "trace {:016x} [{} {} m={} k={}] {:.2} ms",
+                        t.trace_id,
+                        t.lane,
+                        t.status,
+                        t.m,
+                        t.k,
+                        t.total_us / 1e3
+                    )),
+                )]),
+            ),
+        ]));
+        for s in &t.spans {
+            events.push(Value::Object(vec![
+                ("name".into(), Value::String(s.name.clone())),
+                ("ph".into(), Value::String("X".into())),
+                ("pid".into(), Value::from(1u64)),
+                ("tid".into(), Value::from(tid)),
+                ("ts".into(), Value::from(t.t0_us + s.start_us)),
+                ("dur".into(), Value::from(s.dur_us)),
+                (
+                    "args".into(),
+                    Value::Object(vec![
+                        (
+                            "trace_id".into(),
+                            Value::String(format!("{:016x}", t.trace_id)),
+                        ),
+                        ("lane".into(), Value::String(t.lane.clone())),
+                        ("status".into(), Value::String(t.status.clone())),
+                    ]),
+                ),
+            ]));
+        }
+    }
+    Value::Object(vec![
+        ("displayTimeUnit".into(), Value::String("ms".into())),
+        ("traceEvents".into(), Value::Array(events)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(id: u64, total_us: f64) -> Trace {
+        Trace {
+            trace_id: id,
+            lane: "f64".into(),
+            status: "ok".into(),
+            m: 1,
+            k: 8,
+            t0_us: 100.0 * id as f64,
+            total_us,
+            spans: vec![
+                TraceSpan {
+                    name: "decode".into(),
+                    start_us: 0.0,
+                    dur_us: 2.0,
+                },
+                TraceSpan {
+                    name: "coalesce wait".into(),
+                    start_us: 2.0,
+                    dur_us: total_us - 4.0,
+                },
+                TraceSpan {
+                    name: "kernel: rank-dc kernel".into(),
+                    start_us: total_us - 2.0,
+                    dur_us: 2.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_slowest() {
+        let ring = TraceRing::new(3);
+        for (id, total) in [(1, 10.0), (2, 50.0), (3, 20.0), (4, 5.0), (5, 40.0)] {
+            ring.offer(trace(id, total));
+        }
+        let kept = ring.snapshot();
+        assert_eq!(kept.len(), 3);
+        let ids: Vec<u64> = kept.iter().map(|t| t.trace_id).collect();
+        assert_eq!(ids, vec![2, 5, 3], "slowest first: 50, 40, 20 µs");
+    }
+
+    #[test]
+    fn zero_capacity_ring_stays_empty() {
+        let ring = TraceRing::new(0);
+        ring.offer(trace(1, 10.0));
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn span_sum_accounts_the_timeline() {
+        let t = trace(1, 100.0);
+        assert!((t.span_sum_us() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chrome_export_parses_and_counts_events() {
+        let traces = vec![trace(1, 30.0), trace(2, 60.0)];
+        let text = chrome_trace_json(&traces).to_string();
+        let back: Value = serde_json::from_str(&text).expect("chrome JSON parses");
+        let events = back
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents array");
+        // one metadata + three span events per trace
+        assert_eq!(events.len(), 2 * 4);
+        let xs = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some("X"))
+            .count();
+        assert_eq!(xs, 6);
+        for e in events {
+            assert!(e.get("pid").is_some());
+            assert!(e.get("tid").is_some());
+        }
+    }
+
+    #[test]
+    fn trace_json_round_trips_ids() {
+        let t = trace(0xabcd, 30.0);
+        let back: Value = serde_json::from_str(&t.to_json().to_string()).unwrap();
+        assert_eq!(
+            back.get("trace_id").and_then(|v| v.as_str()),
+            Some("000000000000abcd")
+        );
+        assert_eq!(
+            back.get("spans")
+                .and_then(|v| v.as_array())
+                .map(|a| a.len()),
+            Some(3)
+        );
+    }
+}

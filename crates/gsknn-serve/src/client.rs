@@ -20,6 +20,7 @@ use gsknn_core::GsknnScalar;
 use knn_select::NeighborTable;
 use std::io;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Default bound on establishing the TCP connection.
@@ -59,6 +60,34 @@ impl<T: GsknnScalar> Outcome<T> {
             self,
             Outcome::Busy | Outcome::ShuttingDown | Outcome::Failed(_)
         )
+    }
+}
+
+/// A query's full result: the outcome, the measured round-trip time
+/// (write → decoded reply, as seen by this client — reported for every
+/// outcome, `Busy` and `TimedOut` included), and the trace id the
+/// server echoed in the response header.
+#[derive(Clone, Debug)]
+pub struct QueryReply<T: GsknnScalar> {
+    pub outcome: Outcome<T>,
+    /// Wall-clock round trip of the attempt that produced `outcome`
+    /// (the final attempt, under retry).
+    pub rtt: Duration,
+    /// Trace id this request traveled under; quote it against the
+    /// server's slow-query log or exported trace ring.
+    pub trace_id: u64,
+}
+
+/// A process-unique, never-zero trace id: pid in the high bits, a
+/// counter in the low 40 (zero on the wire means "server, pick one").
+fn next_trace_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    let seq = NEXT.fetch_add(1, Ordering::Relaxed);
+    let id = (u64::from(std::process::id()) << 40) | (seq & ((1 << 40) - 1));
+    if id == 0 {
+        1
+    } else {
+        id
     }
 }
 
@@ -137,7 +166,13 @@ impl Client {
         }
     }
 
-    fn build_query<T: GsknnScalar>(coords: &[T], m: usize, k: usize, deadline_ms: u32) -> Request {
+    fn build_query<T: GsknnScalar>(
+        coords: &[T],
+        m: usize,
+        k: usize,
+        deadline_ms: u32,
+        trace_id: u64,
+    ) -> Request {
         assert!(m >= 1, "need at least one query point");
         assert_eq!(coords.len() % m, 0, "coords must be m * dim long");
         let precision = if T::BYTES == 4 {
@@ -149,6 +184,7 @@ impl Client {
             precision,
             k,
             deadline_ms,
+            trace_id,
             dim: coords.len() / m,
             m,
             coords: coords.iter().map(|v| v.to_f64()).collect(),
@@ -179,16 +215,38 @@ impl Client {
     /// (`coords.len() == m · dim`). The element type picks the wire
     /// precision and the server lane. `deadline_ms` is the latency
     /// budget: half may be spent coalescing, all of it exhausted means
-    /// [`Outcome::TimedOut`].
+    /// [`Outcome::TimedOut`]. A fresh trace id is assigned; to pick your
+    /// own, use [`Client::query_traced`].
     pub fn query<T: GsknnScalar>(
         &mut self,
         coords: &[T],
         m: usize,
         k: usize,
         deadline_ms: u32,
-    ) -> io::Result<Outcome<T>> {
-        let req = Self::build_query(coords, m, k, deadline_ms);
-        Self::interpret(self.round_trip(&req)?)
+    ) -> io::Result<QueryReply<T>> {
+        self.query_traced(coords, m, k, deadline_ms, next_trace_id())
+    }
+
+    /// Like [`Client::query`] with a caller-chosen trace id (`0` asks
+    /// the server to assign one; the echoed id is in the reply).
+    pub fn query_traced<T: GsknnScalar>(
+        &mut self,
+        coords: &[T],
+        m: usize,
+        k: usize,
+        deadline_ms: u32,
+        trace_id: u64,
+    ) -> io::Result<QueryReply<T>> {
+        let req = Self::build_query(coords, m, k, deadline_ms, trace_id);
+        let started = Instant::now();
+        let resp = self.round_trip(&req)?;
+        let rtt = started.elapsed();
+        let echoed = resp.trace_id;
+        Ok(QueryReply {
+            outcome: Self::interpret(resp)?,
+            rtt,
+            trace_id: echoed,
+        })
     }
 
     /// Like [`Client::query`], but re-issuing the request under `policy`
@@ -203,8 +261,10 @@ impl Client {
         k: usize,
         deadline_ms: u32,
         policy: &RetryPolicy,
-    ) -> io::Result<Outcome<T>> {
-        let req = Self::build_query(coords, m, k, deadline_ms);
+    ) -> io::Result<QueryReply<T>> {
+        // one trace id for the whole retry episode: every attempt of
+        // this request shows up under the same id server-side
+        let req = Self::build_query(coords, m, k, deadline_ms, next_trace_id());
         let started = Instant::now();
         let mut backoff = policy.start();
         let mut broken = false;
@@ -213,16 +273,26 @@ impl Client {
                 // Best effort: a failed redial counts as a failed attempt.
                 broken = self.reconnect().is_err();
             }
+            let attempt = Instant::now();
             let result = if broken {
                 Err(io::Error::from(io::ErrorKind::NotConnected))
             } else {
                 self.round_trip(&req)
             };
-            let (outcome, retryable) = match result {
+            let (reply, retryable) = match result {
                 Ok(resp) => {
+                    let rtt = attempt.elapsed();
+                    let echoed = resp.trace_id;
                     let outcome = Self::interpret::<T>(resp)?;
                     let retryable = outcome.is_retryable();
-                    (Some(outcome), retryable)
+                    (
+                        Some(QueryReply {
+                            outcome,
+                            rtt,
+                            trace_id: echoed,
+                        }),
+                        retryable,
+                    )
                 }
                 Err(e) => {
                     broken = true;
@@ -235,16 +305,16 @@ impl Client {
                     }
                 }
             };
-            if let (Some(outcome), true) = (&outcome, retryable) {
+            if let (Some(reply), true) = (&reply, retryable) {
                 if let Some(sleep) = backoff.tick() {
                     if started.elapsed() + sleep < policy.deadline {
                         std::thread::sleep(sleep);
                         continue;
                     }
                 }
-                return Ok(outcome.clone());
+                return Ok(reply.clone());
             }
-            return Ok(outcome.expect("non-retryable branch always has an outcome"));
+            return Ok(reply.expect("non-retryable branch always has an outcome"));
         }
     }
 
@@ -255,6 +325,27 @@ impl Client {
             Status::Ok => String::from_utf8(resp.body)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)),
             other => Err(io::Error::other(format!("stats answered {other:?}"))),
+        }
+    }
+
+    /// Fetch the server's Prometheus-style plaintext metrics exposition.
+    pub fn metrics_text(&mut self) -> io::Result<String> {
+        let resp = self.round_trip(&Request::Metrics)?;
+        match resp.status {
+            Status::Ok => String::from_utf8(resp.body)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)),
+            other => Err(io::Error::other(format!("metrics answered {other:?}"))),
+        }
+    }
+
+    /// Fetch the server's slowest-traces ring as Chrome trace-event JSON
+    /// (load it at `chrome://tracing` or <https://ui.perfetto.dev>).
+    pub fn traces_json(&mut self) -> io::Result<String> {
+        let resp = self.round_trip(&Request::Traces)?;
+        match resp.status {
+            Status::Ok => String::from_utf8(resp.body)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)),
+            other => Err(io::Error::other(format!("traces answered {other:?}"))),
         }
     }
 

@@ -14,9 +14,11 @@
 //!
 //! Pieces:
 //!
-//! * [`wire`] — length-prefixed binary protocol (`Query`, `BatchQuery`,
-//!   `Stats`, `Ping`, `Shutdown`; per-request `f64`/`f32` precision);
-//!   query responses are [`knn_select::NeighborTable`] v2 bytes.
+//! * [`wire`] — length-prefixed binary protocol, version 2 (`Query`,
+//!   `BatchQuery`, `Stats`, `Ping`, `Shutdown`, `Metrics`, `Traces`;
+//!   per-request `f64`/`f32` precision; a `trace_id` on every query and
+//!   response); query responses are [`knn_select::NeighborTable`] v2
+//!   bytes. Version-1 frames still decode (`trace_id = 0`).
 //! * [`coalesce`] — the flush policy: `m*` from the model, half-budget
 //!   deadline, drain.
 //! * [`server`] — `TcpListener` acceptor + per-precision lanes of kernel
@@ -31,10 +33,20 @@
 //! * [`degrade`] — queue-pressure overload detector with hysteresis;
 //!   while overloaded the server shrinks its batch target and (opt-in)
 //!   answers f64 queries from the f32 lane with `Status::OkDegraded`.
-//! * [`metrics`] — shared counters, reported as a
+//! * [`metrics`] — shared counters plus lock-free log-bucketed latency
+//!   histograms (per lane × terminal status), reported as a
 //!   [`gsknn_obs::ServeReport`] (batch-size histogram, flush-trigger
 //!   ratio, predicted-vs-measured batch cost drift, worker
-//!   panic/respawn and degradation counts).
+//!   panic/respawn and degradation counts, p50/p90/p99/p999 latency),
+//!   also rendered as a Prometheus-style plaintext exposition (the
+//!   `Metrics` wire op or [`ServerConfig::metrics_addr`]).
+//! * `trace` — the request-scoped span recorder: every query carries a
+//!   trace id (echoed in the response header) and, with the `obs`
+//!   feature, a span timeline (decode, admission, coalesce wait,
+//!   amortized kernel phases, reply write). The N slowest traces are
+//!   retained and exported as Chrome trace-event JSON via the `Traces`
+//!   wire op (`gsknn-cli trace`). Without `obs` the recorder is
+//!   zero-sized and the hot path does no span work.
 //!
 //! Failure semantics: worker batches run under `catch_unwind`; a panic
 //! answers every in-flight request in the batch with
@@ -56,8 +68,14 @@
 //!
 //! let mut client = Client::connect(addr).unwrap();
 //! let point = vec![0.5f64; 16];
-//! match client.query(&point, 1, 8, 200).unwrap() {
-//!     Outcome::Neighbors(table) => println!("{:?}", table.row(0)),
+//! let reply = client.query(&point, 1, 8, 200).unwrap();
+//! match reply.outcome {
+//!     Outcome::Neighbors(table) => println!(
+//!         "{:?} in {:?} (trace {:016x})",
+//!         table.row(0),
+//!         reply.rtt,
+//!         reply.trace_id
+//!     ),
 //!     other => println!("{other:?}"),
 //! }
 //! ```
@@ -68,9 +86,10 @@ pub mod degrade;
 pub mod metrics;
 pub mod retry;
 pub mod server;
+mod trace;
 pub mod wire;
 
-pub use client::{Client, Outcome, DEFAULT_CONNECT_TIMEOUT, DEFAULT_IO_TIMEOUT};
+pub use client::{Client, Outcome, QueryReply, DEFAULT_CONNECT_TIMEOUT, DEFAULT_IO_TIMEOUT};
 pub use coalesce::{batch_target, predict_batch_cost, FlushReason, ASYMPTOTE_M};
 pub use degrade::{degraded_target, OverloadDetector, Transition};
 pub use gsknn_obs::ServeReport;

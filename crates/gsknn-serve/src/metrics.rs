@@ -3,9 +3,27 @@
 //! Snapshots render as a [`gsknn_obs::ServeReport`].
 
 use crate::coalesce::FlushReason;
-use gsknn_obs::serve::{batch_bucket, FlushCounts, ServeReport, BATCH_BUCKETS};
+use crate::wire::Status;
+use gsknn_obs::hist::LatencyHistogram;
+use gsknn_obs::serve::{batch_bucket, FlushCounts, LatencyRow, ServeReport, BATCH_BUCKETS};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
+
+/// Lane labels, indexed by lane (0 = f64, 1 = f32).
+pub const LANES: [&str; 2] = ["f64", "f32"];
+
+/// Terminal-status labels, indexed by the wire status discriminant.
+pub const STATUS_LABELS: [&str; 8] = [
+    "ok",
+    "busy",
+    "timeout",
+    "shutting_down",
+    "error",
+    "bad_request",
+    "internal_error",
+    "ok_degraded",
+];
 
 #[derive(Default)]
 struct CostSums {
@@ -38,6 +56,10 @@ pub struct Metrics {
     flush_deadline: AtomicU64,
     flush_drain: AtomicU64,
     hist: [AtomicU64; BATCH_BUCKETS.len()],
+    /// End-to-end request latency (frame received → reply written),
+    /// log-bucketed, one histogram per lane × terminal status. Lock-free
+    /// on the record path; rows with zero samples are skipped in reports.
+    latency: [[LatencyHistogram; STATUS_LABELS.len()]; LANES.len()],
     in_flight: AtomicU64,
     queue_high_water: AtomicU64,
     cost: Mutex<CostSums>,
@@ -130,9 +152,22 @@ impl Metrics {
         }
     }
 
+    /// Record one finished request's round-trip latency under its lane
+    /// and terminal status.
+    pub fn record_latency(&self, lane: usize, status: Status, rtt: Duration) {
+        self.latency[lane][status as usize].record(rtt);
+    }
+
+    /// Snapshot of one lane × status latency histogram (tests, slow-query
+    /// threshold checks).
+    pub fn latency_count(&self, lane: usize, status: Status) -> u64 {
+        self.latency[lane][status as usize].count()
+    }
+
     /// Snapshot as a report. `batch_targets` are the per-lane `m*`
-    /// constants (they live with the server config, not the counters).
-    pub fn report(&self, batch_targets: Vec<(String, usize)>) -> ServeReport {
+    /// constants and `overloaded` the degradation flag (both live with
+    /// the server, not the counters).
+    pub fn report(&self, batch_targets: Vec<(String, usize)>, overloaded: bool) -> ServeReport {
         let cost = self.cost.lock().unwrap();
         ServeReport {
             precisions: batch_targets.iter().map(|(p, _)| p.clone()).collect(),
@@ -157,11 +192,32 @@ impl Metrics {
                 .map(|h| h.load(Ordering::Relaxed))
                 .collect(),
             queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            overloaded,
+            latency: self.latency_rows(),
             batch_targets,
             predicted_s: cost.predicted_s,
             measured_s: cost.measured_s,
             predicted_terms: cost.terms.clone(),
         }
+    }
+
+    /// Non-empty latency histograms as report rows, lane-major.
+    fn latency_rows(&self) -> Vec<LatencyRow> {
+        let mut rows = Vec::new();
+        for (li, lane) in LANES.iter().enumerate() {
+            for (si, status) in STATUS_LABELS.iter().enumerate() {
+                let hist = self.latency[li][si].snapshot();
+                if hist.count() > 0 {
+                    rows.push(LatencyRow {
+                        lane: lane.to_string(),
+                        status: status.to_string(),
+                        hist,
+                    });
+                }
+            }
+        }
+        rows
     }
 }
 
@@ -208,7 +264,7 @@ mod tests {
         );
         m.record_flush(FlushReason::Drain, 0, 0.0, 0.0, &[]); // all timed out
 
-        let r = m.report(vec![("f64".into(), 32)]);
+        let r = m.report(vec![("f64".into(), 32)], false);
         assert_eq!(r.batches, 2);
         assert_eq!(r.queries, 33);
         assert_eq!(r.flushes.model, 1);
@@ -220,6 +276,34 @@ mod tests {
         assert!((r.measured_s - 0.004).abs() < 1e-15);
         assert_eq!(r.predicted_terms.len(), 1);
         assert!((r.predicted_terms[0].1 - 0.0015).abs() < 1e-15);
+    }
+
+    #[test]
+    fn latency_rows_cover_only_populated_cells() {
+        let m = Metrics::new();
+        m.record_latency(0, Status::Ok, Duration::from_micros(900));
+        m.record_latency(0, Status::Ok, Duration::from_micros(1_100));
+        m.record_latency(1, Status::Timeout, Duration::from_millis(55));
+        assert_eq!(m.latency_count(0, Status::Ok), 2);
+        assert_eq!(m.latency_count(1, Status::Ok), 0);
+
+        let r = m.report(vec![("f64".into(), 32), ("f32".into(), 48)], true);
+        assert!(r.overloaded);
+        assert_eq!(r.latency.len(), 2, "empty lane × status cells skipped");
+        assert_eq!(
+            (r.latency[0].lane.as_str(), r.latency[0].status.as_str()),
+            ("f64", "ok")
+        );
+        assert_eq!(r.latency[0].hist.count(), 2);
+        assert_eq!(
+            (r.latency[1].lane.as_str(), r.latency[1].status.as_str()),
+            ("f32", "timeout")
+        );
+        let p50 = r.latency[1].hist.p50_ns().expect("non-empty histogram");
+        assert!(
+            (40_000_000..=70_000_000).contains(&p50),
+            "p50 {p50} near 55 ms"
+        );
     }
 
     #[test]

@@ -42,21 +42,23 @@
 
 use crate::coalesce::{batch_target, predict_batch_cost, FlushReason};
 use crate::degrade::{degraded_target, OverloadDetector, Transition};
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, LANES, STATUS_LABELS};
+use crate::trace::ReqTrace;
 use crate::wire::{
     deadline_duration, decode_request, encode_response, read_frame_poll, write_frame, Precision,
     QueryBody, Request, Response, Status,
 };
-use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TrySendError};
 use dataset::{DistanceKind, PointSet};
 use gsknn_core::{FusedScalar, Gsknn, GsknnConfig, MachineParams, Model};
-use gsknn_obs::ServeReport;
+use gsknn_obs::{chrome_trace_json, ServeReport, TraceRing};
 use knn_select::{Neighbor, NeighborTable};
 use rkdt::Forest;
 use std::io;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Process-wide SIGTERM flag (the handler may not touch anything else).
@@ -108,6 +110,18 @@ pub struct ServerConfig {
     /// How long queue pressure must hold before the overload state
     /// flips (entry and recovery; see [`OverloadDetector`]).
     pub overload_window: Duration,
+    /// Log a line to stderr for every request slower than this many
+    /// milliseconds end-to-end (with the span breakdown when tracing is
+    /// compiled in). `None` disables the slow-query log.
+    pub slow_query_ms: Option<u64>,
+    /// Serve the Prometheus-style metrics exposition over plain HTTP on
+    /// this address (e.g. `"127.0.0.1:9109"`). `None` leaves only the
+    /// wire `Metrics` op.
+    pub metrics_addr: Option<String>,
+    /// Capacity of the slowest-traces ring exported by the wire `Traces`
+    /// op. `0` disables trace retention (spans are still recorded for
+    /// the slow-query log).
+    pub trace_ring: usize,
 }
 
 impl Default for ServerConfig {
@@ -123,6 +137,9 @@ impl Default for ServerConfig {
             degrade_precision: false,
             overload_threshold: 0.75,
             overload_window: Duration::from_millis(250),
+            slow_query_ms: None,
+            metrics_addr: None,
+            trace_ring: 32,
         }
     }
 }
@@ -192,7 +209,11 @@ struct Job {
     /// An f64 request routed to the f32 lane under overload: answer with
     /// `Status::OkDegraded` so the client knows the precision dropped.
     degraded: bool,
-    reply: Sender<Response>,
+    /// Span recorder riding along with the job; the worker closes the
+    /// coalesce wait and attributes kernel phases, then ships it back
+    /// with the reply (zero-sized without the `obs` feature).
+    trace: ReqTrace,
+    reply: Sender<(Response, ReqTrace)>,
 }
 
 /// Everything a lane worker needs, borrowed for the scope's lifetime.
@@ -224,6 +245,14 @@ struct Shared {
     queue_cap: usize,
     k_max: usize,
     targets: Vec<(String, usize)>,
+    /// Server start; trace timestamps are microseconds since this.
+    epoch: Instant,
+    /// The N slowest finished request traces, for the `Traces` wire op.
+    traces: TraceRing,
+    /// Server-assigned trace ids for requests that sent `trace_id = 0`
+    /// (starts at 1; 0 means "no id" on the wire).
+    next_trace: AtomicU64,
+    slow_query_ms: Option<u64>,
 }
 
 /// A bound, not-yet-running server. `bind` then `run`; the split lets
@@ -291,6 +320,10 @@ impl Server {
             queue_cap: self.cfg.queue_cap.max(1),
             k_max: self.cfg.k_max.max(1),
             targets: targets.clone(),
+            epoch: Instant::now(),
+            traces: TraceRing::new(self.cfg.trace_ring),
+            next_trace: AtomicU64::new(1),
+            slow_query_ms: self.cfg.slow_query_ms,
         };
         let cap = shared.queue_cap;
         let (tx64, rx64) = channel::bounded::<Job>(cap);
@@ -364,6 +397,10 @@ impl Server {
                     }
                 });
             }
+            // metrics exposition over plain HTTP, if asked for
+            if let Some(addr) = cfg.metrics_addr.clone() {
+                s.spawn(move |_| metrics_listener(&addr, shared_ref));
+            }
             // the worker-side clones above keep the lanes alive; drop the
             // originals so worker recv() can observe disconnection once
             // every connection handler is gone
@@ -396,7 +433,63 @@ impl Server {
         })
         .expect("server thread panicked");
 
-        shared.metrics.report(targets)
+        let overloaded = shared.degraded.load(Ordering::SeqCst);
+        shared.metrics.report(targets, overloaded)
+    }
+}
+
+/// Minimal HTTP/1.1 responder for the Prometheus exposition: every
+/// request on the metrics port gets the current scrape, regardless of
+/// path. Best-effort — a bind failure logs and disables the endpoint
+/// rather than killing the server.
+fn metrics_listener(addr: &str, shared: &Shared) {
+    let listener = match TcpListener::bind(addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("gsknn-serve: metrics listener failed to bind {addr}: {e}");
+            return;
+        }
+    };
+    let _ = listener.set_nonblocking(true);
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((mut stream, _peer)) => {
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+                // drain the request head (path is ignored)
+                let mut head = Vec::new();
+                let mut buf = [0u8; 1024];
+                loop {
+                    match stream.read(&mut buf) {
+                        Ok(0) => break,
+                        Ok(n) => {
+                            head.extend_from_slice(&buf[..n]);
+                            if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
+                                break;
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                }
+                let body = shared
+                    .metrics
+                    .report(
+                        shared.targets.clone(),
+                        shared.degraded.load(Ordering::SeqCst),
+                    )
+                    .render_prometheus();
+                let resp = format!(
+                    "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; \
+                     charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+                    body.len(),
+                    body
+                );
+                let _ = stream.write_all(resp.as_bytes());
+            }
+            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
     }
 }
 
@@ -422,29 +515,114 @@ fn handle_conn(mut stream: TcpStream, shared: &Shared, tx64: Sender<Job>, tx32: 
             }
             payload
         };
+        let t_recv = Instant::now();
         shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
         let mut drain_after_reply = false;
-        let resp = match decode_request(&payload) {
+        let decoded = decode_request(&payload);
+        let t_dec = Instant::now();
+        // Queries carry their timeline through to the latency histograms
+        // and the trace ring; control ops answer and forget.
+        let mut done: Option<QueryDone> = None;
+        let resp = match decoded {
             Err(e) => {
                 shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
                 Response::error(e.to_string())
             }
             Ok(Request::Ping) => Response::empty(Status::Ok),
             Ok(Request::Stats) => {
-                let report = shared.metrics.report(shared.targets.clone());
-                Response {
-                    status: Status::Ok,
-                    body: report.to_json().to_string().into_bytes(),
-                }
+                let report = shared.metrics.report(
+                    shared.targets.clone(),
+                    shared.degraded.load(Ordering::SeqCst),
+                );
+                Response::ok_body(report.to_json().to_string().into_bytes())
+            }
+            Ok(Request::Metrics) => {
+                let report = shared.metrics.report(
+                    shared.targets.clone(),
+                    shared.degraded.load(Ordering::SeqCst),
+                );
+                Response::ok_body(report.render_prometheus().into_bytes())
+            }
+            Ok(Request::Traces) => {
+                let traces = shared.traces.snapshot();
+                Response::ok_body(chrome_trace_json(&traces).to_string().into_bytes())
             }
             Ok(Request::Shutdown) => {
                 drain_after_reply = true;
                 Response::empty(Status::Ok)
             }
-            Ok(Request::Query(q)) => handle_query(q, shared, &tx64, &tx32),
+            Ok(Request::Query(q)) => {
+                // histograms are labeled by the *requested* lane; degraded
+                // f64 routing shows up as status ok_degraded, not lane f32
+                let lane = match q.precision {
+                    Precision::F64 => 0,
+                    Precision::F32 => 1,
+                };
+                let trace_id = if q.trace_id != 0 {
+                    q.trace_id
+                } else {
+                    shared.next_trace.fetch_add(1, Ordering::Relaxed)
+                };
+                let mut trace = ReqTrace::start(shared.epoch, t_recv);
+                trace.set_shape(q.m, q.k);
+                trace.add_span("decode", t_recv, t_dec);
+                let (resp, trace) = handle_query(q, trace, shared, &tx64, &tx32);
+                done = Some(QueryDone {
+                    lane,
+                    trace_id,
+                    trace,
+                });
+                resp.with_trace(trace_id)
+            }
         };
+        let t_reply = Instant::now();
         if write_frame(&mut stream, &encode_response(&resp)).is_err() {
             return;
+        }
+        if let Some(d) = done {
+            let t_done = Instant::now();
+            let total = t_done - t_recv;
+            shared.metrics.record_latency(d.lane, resp.status, total);
+            let mut trace = d.trace;
+            trace.add_span("reply write", t_reply, t_done);
+            let lane = LANES[d.lane];
+            let status = STATUS_LABELS[resp.status as usize];
+            let slow = shared
+                .slow_query_ms
+                .is_some_and(|ms| total >= Duration::from_millis(ms));
+            match trace.finish(d.trace_id, lane, status, total) {
+                Some(t) => {
+                    if slow {
+                        let spans: Vec<String> = t
+                            .spans
+                            .iter()
+                            .map(|s| format!("{} {:.1}us", s.name, s.dur_us))
+                            .collect();
+                        eprintln!(
+                            "gsknn-serve: slow query trace_id={:016x} lane={} status={} \
+                             m={} k={} total={:.1}us [{}]",
+                            t.trace_id,
+                            t.lane,
+                            t.status,
+                            t.m,
+                            t.k,
+                            t.total_us,
+                            spans.join(", ")
+                        );
+                    }
+                    shared.traces.offer(t);
+                }
+                None => {
+                    if slow {
+                        eprintln!(
+                            "gsknn-serve: slow query trace_id={:016x} lane={lane} \
+                             status={status} total={:.1}us (tracing compiled out)",
+                            d.trace_id,
+                            total.as_secs_f64() * 1e6
+                        );
+                    }
+                }
+            }
         }
         if drain_after_reply {
             shared.shutdown.store(true, Ordering::SeqCst);
@@ -453,35 +631,64 @@ fn handle_conn(mut stream: TcpStream, shared: &Shared, tx64: Sender<Job>, tx32: 
     }
 }
 
-/// Validate, admit, enqueue, await the lane's reply.
-fn handle_query(q: QueryBody, shared: &Shared, tx64: &Sender<Job>, tx32: &Sender<Job>) -> Response {
+/// What the connection loop keeps about an answered query to record its
+/// latency and finish its trace after the reply frame is on the wire.
+struct QueryDone {
+    lane: usize,
+    trace_id: u64,
+    trace: ReqTrace,
+}
+
+/// Validate, admit, enqueue, await the lane's reply. The trace recorder
+/// travels with the job through the lane and comes back with the reply,
+/// so the connection loop can finish it with the worker's spans.
+fn handle_query(
+    q: QueryBody,
+    mut trace: ReqTrace,
+    shared: &Shared,
+    tx64: &Sender<Job>,
+    tx32: &Sender<Job>,
+) -> (Response, ReqTrace) {
+    let t_val = Instant::now();
     if shared.shutdown.load(Ordering::SeqCst) {
-        return Response::empty(Status::ShuttingDown);
+        return (Response::empty(Status::ShuttingDown), trace);
     }
     if q.dim != shared.dim {
         shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-        return Response::bad_request(format!(
-            "dimension mismatch: index is {}-d, request is {}-d",
-            shared.dim, q.dim
-        ));
+        return (
+            Response::bad_request(format!(
+                "dimension mismatch: index is {}-d, request is {}-d",
+                shared.dim, q.dim
+            )),
+            trace,
+        );
     }
     if q.m == 0 || q.k == 0 || q.k > shared.k_max {
         shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-        return Response::bad_request(format!(
-            "need m >= 1 and 1 <= k <= {} (got m = {}, k = {})",
-            shared.k_max, q.m, q.k
-        ));
+        return (
+            Response::bad_request(format!(
+                "need m >= 1 and 1 <= k <= {} (got m = {}, k = {})",
+                shared.k_max, q.m, q.k
+            )),
+            trace,
+        );
     }
     if q.k > shared.n_refs {
         shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-        return Response::bad_request(format!(
-            "k = {} exceeds the index's {} reference points",
-            q.k, shared.n_refs
-        ));
+        return (
+            Response::bad_request(format!(
+                "k = {} exceeds the index's {} reference points",
+                q.k, shared.n_refs
+            )),
+            trace,
+        );
     }
     if q.coords.iter().any(|v| !v.is_finite()) {
         shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-        return Response::bad_request("non-finite coordinate in query");
+        return (
+            Response::bad_request("non-finite coordinate in query"),
+            trace,
+        );
     }
     // Under overload (and opt-in), answer f64 traffic from the f32 lane:
     // same neighbor ids at reduced distance precision, flagged
@@ -496,15 +703,20 @@ fn handle_query(q: QueryBody, shared: &Shared, tx64: &Sender<Job>, tx32: &Sender
         && q.coords.iter().any(|&v| !(v as f32).is_finite())
     {
         shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-        return Response::bad_request("coordinate overflows f32 (the serving precision)");
+        return (
+            Response::bad_request("coordinate overflows f32 (the serving precision)"),
+            trace,
+        );
     }
     if !shared.metrics.admit(q.m, shared.queue_cap) {
         shared.metrics.busy.fetch_add(1, Ordering::Relaxed);
-        return Response::empty(Status::Busy);
+        return (Response::empty(Status::Busy), trace);
     }
     let now = Instant::now();
+    trace.add_span("admission", t_val, now);
+    trace.mark_enqueued();
     let budget = deadline_duration(q.deadline_ms);
-    let (reply_tx, reply_rx) = channel::bounded::<Response>(1);
+    let (reply_tx, reply_rx) = channel::bounded::<(Response, ReqTrace)>(1);
     let job = Job {
         coords: q.coords,
         m: q.m,
@@ -512,6 +724,7 @@ fn handle_query(q: QueryBody, shared: &Shared, tx64: &Sender<Job>, tx32: &Sender
         flush_by: now + budget / 2,
         timeout_at: now + budget,
         degraded,
+        trace,
         reply: reply_tx,
     };
     let lane = if degraded {
@@ -522,17 +735,24 @@ fn handle_query(q: QueryBody, shared: &Shared, tx64: &Sender<Job>, tx32: &Sender
             Precision::F32 => tx32,
         }
     };
-    if lane.try_send(job).is_err() {
-        shared.metrics.release(q.m);
+    if let Err(e) = lane.try_send(job) {
+        // the job (and its trace) comes back in the error
+        let job = match e {
+            TrySendError::Full(job) | TrySendError::Disconnected(job) => job,
+        };
+        shared.metrics.release(job.m);
         shared.metrics.busy.fetch_add(1, Ordering::Relaxed);
-        return Response::empty(Status::Busy);
+        return (Response::empty(Status::Busy), job.trace);
     }
     // workers always reply (Ok or Timeout); the grace covers kernel time
     match reply_rx.recv_timeout(budget + Duration::from_secs(30)) {
-        Ok(resp) => resp,
+        Ok((resp, trace)) => (resp, trace),
         Err(_) => {
             shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-            Response::internal_error("lane worker did not reply")
+            (
+                Response::internal_error("lane worker did not reply"),
+                ReqTrace::off(),
+            )
         }
     }
 }
@@ -630,7 +850,11 @@ fn execute_batch<T: FusedScalar>(
         if start > job.timeout_at {
             ctx.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
             ctx.metrics.release(job.m);
-            let _ = job.reply.try_send(Response::empty(Status::Timeout));
+            let Job {
+                mut trace, reply, ..
+            } = job;
+            trace.coalesce_end(start);
+            let _ = reply.try_send((Response::empty(Status::Timeout), trace));
         } else {
             live.push(job);
         }
@@ -648,6 +872,10 @@ fn execute_batch<T: FusedScalar>(
         coords.extend(job.coords.iter().map(|&v| T::from_f64(v)));
     }
     let queries = PointSet::from_vec(dim, m_live, coords);
+    // drop phase times a previous (panicked) batch may have left behind,
+    // so this batch's jobs only see their own kernel
+    let _ = exec.take_phase_accum();
+    let k_start = Instant::now();
     let table = catch_unwind(AssertUnwindSafe(|| {
         gsknn_faults::fail_point!(gsknn_faults::FaultPoint::BatchExec);
         ctx.forest
@@ -660,13 +888,19 @@ fn execute_batch<T: FusedScalar>(
             for job in live {
                 ctx.metrics.release(job.m);
                 ctx.metrics.errors.fetch_add(1, Ordering::Relaxed);
-                let _ = job.reply.try_send(Response::internal_error(
-                    "worker panicked executing the batch",
+                let Job {
+                    mut trace, reply, ..
+                } = job;
+                trace.coalesce_end(k_start);
+                let _ = reply.try_send((
+                    Response::internal_error("worker panicked executing the batch"),
+                    trace,
                 ));
             }
             return BatchFate::Panicked;
         }
     };
+    let phases = exec.take_phase_accum();
     let measured = start.elapsed().as_secs_f64();
     let (predicted, terms) = predict_batch_cost(
         &ctx.model,
@@ -702,10 +936,20 @@ fn execute_batch<T: FusedScalar>(
         } else {
             Status::Ok
         };
-        let _ = job.reply.try_send(Response {
-            status,
-            body: out.to_bytes().to_vec(),
-        });
+        let share = job.m as f64 / m_live as f64;
+        let Job {
+            mut trace, reply, ..
+        } = job;
+        trace.coalesce_end(k_start);
+        trace.add_phases(k_start, &phases, share);
+        let _ = reply.try_send((
+            Response {
+                status,
+                trace_id: 0,
+                body: out.to_bytes().to_vec(),
+            },
+            trace,
+        ));
     }
     BatchFate::Completed
 }

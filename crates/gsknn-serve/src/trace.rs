@@ -1,0 +1,258 @@
+//! The server-side request trace recorder.
+//!
+//! [`ReqTrace`] rides along with a request: created by the connection
+//! handler when a query frame decodes, carried inside the [`Job`]
+//! through the lane channel, filled in by the worker (coalesce wait,
+//! amortized kernel phases), and finished back on the connection thread
+//! after the reply is written. [`ReqTrace::finish`] converts it into a
+//! [`gsknn_obs::Trace`] for the slowest-traces ring.
+//!
+//! Mirrors the [`gsknn_core::obs::PhaseSet`] discipline: without the
+//! `obs` cargo feature the struct is **zero-sized** and every method is
+//! an inlined no-op, so the serve hot path carries no span bookkeeping
+//! and no allocations (the guard test below checks the size
+//! structurally, like `gsknn-core/tests/obs_guard.rs` does for the
+//! kernel).
+//!
+//! [`Job`]: crate::server — the lane job struct
+//!
+//! Span amortization: a coalesced batch runs the kernel once for all
+//! its requests, so per-request kernel-phase spans are the batch's
+//! phase totals scaled by the request's share of the batch (`m / m_live`
+//! query points). The synthetic spans are laid out sequentially after
+//! the coalesce wait; their durations — not their exact offsets — are
+//! the signal.
+
+use gsknn_core::obs::PhaseSet;
+use gsknn_obs::Trace;
+#[cfg(feature = "obs")]
+use gsknn_obs::TraceSpan;
+use std::time::Duration;
+use std::time::Instant;
+
+#[cfg(feature = "obs")]
+struct Inner {
+    /// Request receive time (span starts are relative to this).
+    t0: Instant,
+    /// `t0` in microseconds since the server epoch.
+    t0_us: f64,
+    spans: Vec<TraceSpan>,
+    /// When the job entered its lane channel (coalesce wait start).
+    enqueued: Option<Instant>,
+    m: usize,
+    k: usize,
+}
+
+/// Per-request span recorder; see the module docs. Zero-sized and inert
+/// without the `obs` feature.
+#[derive(Default)]
+pub(crate) struct ReqTrace {
+    #[cfg(feature = "obs")]
+    inner: Option<Box<Inner>>,
+}
+
+impl ReqTrace {
+    /// An inert recorder (non-query ops, or a trace lost to a worker
+    /// failure).
+    #[inline]
+    pub fn off() -> Self {
+        Self::default()
+    }
+
+    /// Start recording a request received at `t0`, `epoch` being the
+    /// server start (for absolute span placement in the export).
+    #[inline]
+    pub fn start(epoch: Instant, t0: Instant) -> Self {
+        #[cfg(feature = "obs")]
+        {
+            ReqTrace {
+                inner: Some(Box::new(Inner {
+                    t0,
+                    t0_us: t0.duration_since(epoch).as_secs_f64() * 1e6,
+                    spans: Vec::with_capacity(8),
+                    enqueued: None,
+                    m: 0,
+                    k: 0,
+                })),
+            }
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = (epoch, t0);
+            ReqTrace::off()
+        }
+    }
+
+    /// Record the request's shape once known.
+    #[inline]
+    pub fn set_shape(&mut self, m: usize, k: usize) {
+        #[cfg(feature = "obs")]
+        if let Some(inner) = &mut self.inner {
+            inner.m = m;
+            inner.k = k;
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = (m, k);
+        }
+    }
+
+    /// Add a span covering `[start, end]`.
+    #[inline]
+    pub fn add_span(&mut self, name: &'static str, start: Instant, end: Instant) {
+        #[cfg(feature = "obs")]
+        if let Some(inner) = &mut self.inner {
+            inner.spans.push(TraceSpan {
+                name: name.to_string(),
+                start_us: start.duration_since(inner.t0).as_secs_f64() * 1e6,
+                dur_us: end.duration_since(start).as_secs_f64() * 1e6,
+            });
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = (name, start, end);
+        }
+    }
+
+    /// Mark the job as entering its lane channel: the coalesce wait
+    /// starts now.
+    #[inline]
+    pub fn mark_enqueued(&mut self) {
+        #[cfg(feature = "obs")]
+        if let Some(inner) = &mut self.inner {
+            inner.enqueued = Some(Instant::now());
+        }
+    }
+
+    /// Close the coalesce wait at `kernel_start` (also used on timeout /
+    /// panic paths, where the wait is the whole story).
+    #[inline]
+    pub fn coalesce_end(&mut self, kernel_start: Instant) {
+        #[cfg(feature = "obs")]
+        if let Some(inner) = &mut self.inner {
+            if let Some(enq) = inner.enqueued.take() {
+                inner.spans.push(TraceSpan {
+                    name: "coalesce wait".to_string(),
+                    start_us: enq.duration_since(inner.t0).as_secs_f64() * 1e6,
+                    dur_us: kernel_start.duration_since(enq).as_secs_f64() * 1e6,
+                });
+            }
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = kernel_start;
+        }
+    }
+
+    /// Attribute this request's share of the batch's kernel-phase times:
+    /// one span per non-empty phase, `share` (= `m / m_live`) of the
+    /// batch total, laid out sequentially from `kernel_start`.
+    #[inline]
+    pub fn add_phases(&mut self, kernel_start: Instant, phases: &PhaseSet, share: f64) {
+        #[cfg(feature = "obs")]
+        if let Some(inner) = &mut self.inner {
+            let mut at = kernel_start.duration_since(inner.t0).as_secs_f64() * 1e6;
+            for (phase, seconds, _count) in phases.rows() {
+                if seconds <= 0.0 {
+                    continue;
+                }
+                let dur_us = seconds * share * 1e6;
+                inner.spans.push(TraceSpan {
+                    name: format!("kernel: {}", phase.name()),
+                    start_us: at,
+                    dur_us,
+                });
+                at += dur_us;
+            }
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = (kernel_start, phases, share);
+        }
+    }
+
+    /// Convert into an exportable [`Trace`]. `None` when tracing is
+    /// compiled out or the recorder was inert.
+    #[inline]
+    pub fn finish(
+        self,
+        trace_id: u64,
+        lane: &'static str,
+        status: &'static str,
+        total: Duration,
+    ) -> Option<Trace> {
+        #[cfg(feature = "obs")]
+        {
+            let inner = self.inner?;
+            Some(Trace {
+                trace_id,
+                lane: lane.to_string(),
+                status: status.to_string(),
+                m: inner.m,
+                k: inner.k,
+                t0_us: inner.t0_us,
+                total_us: total.as_secs_f64() * 1e6,
+                spans: inner.spans,
+            })
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = (trace_id, lane, status, total);
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// With tracing compiled out the recorder must be zero-sized — the
+    /// structural form of "the serve hot path has zero added
+    /// allocations" (same discipline as the kernel's obs guard).
+    #[cfg(not(feature = "obs"))]
+    #[test]
+    fn req_trace_is_zero_sized_without_obs() {
+        assert_eq!(std::mem::size_of::<ReqTrace>(), 0);
+        let mut t = ReqTrace::start(Instant::now(), Instant::now());
+        t.set_shape(3, 8);
+        t.add_span("decode", Instant::now(), Instant::now());
+        assert!(t.finish(1, "f64", "ok", Duration::from_millis(1)).is_none());
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn spans_accumulate_and_finish_into_a_trace() {
+        let epoch = Instant::now();
+        std::thread::sleep(Duration::from_millis(2));
+        let t0 = Instant::now();
+        let mut t = ReqTrace::start(epoch, t0);
+        t.set_shape(2, 5);
+        std::thread::sleep(Duration::from_millis(1));
+        let dec = Instant::now();
+        t.add_span("decode", t0, dec);
+        t.mark_enqueued();
+        std::thread::sleep(Duration::from_millis(3));
+        let kstart = Instant::now();
+        t.coalesce_end(kstart);
+        let trace = t
+            .finish(42, "f32", "ok", kstart.duration_since(t0))
+            .expect("obs build yields a trace");
+        assert_eq!(trace.trace_id, 42);
+        assert_eq!((trace.m, trace.k), (2, 5));
+        assert_eq!(trace.spans.len(), 2);
+        assert_eq!(trace.spans[0].name, "decode");
+        assert_eq!(trace.spans[1].name, "coalesce wait");
+        assert!(trace.spans[1].dur_us >= 2_000.0, "waited ~3 ms");
+        assert!(trace.t0_us >= 2_000.0, "t0 is after the epoch");
+        // the two spans cover nearly the whole request
+        assert!(trace.span_sum_us() <= trace.total_us * 1.05);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn inert_recorder_yields_no_trace() {
+        let t = ReqTrace::off();
+        assert!(t.finish(1, "f64", "ok", Duration::from_millis(1)).is_none());
+    }
+}

@@ -5,20 +5,31 @@
 //! payload is a versioned request or response:
 //!
 //! ```text
-//! request   magic "GSRQ", version u16 = 1, op u8, precision u8 (8|4|0)
-//!           Query:      k u16, deadline_ms u32, d u32, d coords
-//!           BatchQuery: k u16, deadline_ms u32, d u32, m u32, m·d coords
-//!           Stats / Ping / Shutdown: no body (precision byte is 0)
+//! request   magic "GSRQ", version u16 = 2, op u8, precision u8 (8|4|0)
+//!           Query:      k u16, deadline_ms u32, trace_id u64, d u32, d coords
+//!           BatchQuery: k u16, deadline_ms u32, trace_id u64, d u32,
+//!                       m u32, m·d coords
+//!           Stats / Ping / Shutdown / Metrics / Traces: no body
+//!           (precision byte is 0)
 //!
-//! response  magic "GSRP", version u16 = 1, status u8, body
+//! response  magic "GSRP", version u16 = 2, status u8, trace_id u64, body
 //!           Ok(Query/BatchQuery): NeighborTable v2 bytes (knn-select)
 //!           OkDegraded:           NeighborTable v2 bytes (degraded lane's
 //!                                 precision; the table is self-describing)
 //!           Ok(Stats):            ServeReport JSON (UTF-8)
+//!           Ok(Metrics):          Prometheus text exposition (UTF-8)
+//!           Ok(Traces):           Chrome trace-event JSON (UTF-8)
 //!           Ok(Ping/Shutdown):    empty
 //!           Busy/Timeout/ShuttingDown: empty
 //!           Error/BadRequest/InternalError: UTF-8 message
 //! ```
+//!
+//! **Trace ids.** Version 2 threads a `u64` trace id through every
+//! query: the client stamps one (0 = "server, assign me one"), the
+//! server echoes it in the response header, so a client can join its
+//! measured RTT against the server's exported trace of the same
+//! request. Version 1 frames (no trace field) still decode — the id
+//! reads as 0 — so old clients keep working against new servers.
 //!
 //! Coordinates travel at the negotiated precision (`f64` or `f32`
 //! little-endian); query responses reuse the [`NeighborTable`] v2
@@ -31,8 +42,9 @@ use bytes::{Buf, BufMut};
 use std::io::{self, Read, Write};
 use std::time::Duration;
 
-/// Protocol version stamped in every frame payload.
-pub const WIRE_VERSION: u16 = 1;
+/// Protocol version stamped in every frame payload. Version 1 (no
+/// trace ids) is still accepted on decode.
+pub const WIRE_VERSION: u16 = 2;
 /// Hard cap on a frame payload — larger length prefixes are rejected
 /// before any allocation (64 MiB covers ~4M-point f64 batch responses).
 pub const MAX_FRAME: usize = 1 << 26;
@@ -85,6 +97,8 @@ enum Op {
     Stats = 3,
     Ping = 4,
     Shutdown = 5,
+    Metrics = 6,
+    Traces = 7,
 }
 
 /// Body of a `Query` / `BatchQuery` request.
@@ -98,6 +112,9 @@ pub struct QueryBody {
     /// for at most half of this, and a request whose kernel start slips
     /// past the full budget is answered `Timeout` instead of computed.
     pub deadline_ms: u32,
+    /// Client-stamped trace id, echoed in the response header. 0 asks
+    /// the server to assign one (also what v1 frames decode to).
+    pub trace_id: u64,
     /// Point dimension.
     pub dim: usize,
     /// Number of query points.
@@ -118,6 +135,11 @@ pub enum Request {
     /// Begin graceful drain: queued queries are answered, new ones get
     /// `ShuttingDown`, then the server exits.
     Shutdown,
+    /// Fetch the Prometheus-style text exposition (counters, gauges and
+    /// latency histogram buckets).
+    Metrics,
+    /// Fetch the slowest-traces ring as Chrome trace-event JSON.
+    Traces,
 }
 
 /// Response status byte.
@@ -170,6 +192,9 @@ impl Status {
 pub struct Response {
     /// Outcome.
     pub status: Status,
+    /// Trace id of the request this answers (0 for non-query ops and
+    /// v1 frames).
+    pub trace_id: u64,
     /// Status-dependent body (see module docs).
     pub body: Vec<u8>,
 }
@@ -179,7 +204,18 @@ impl Response {
     pub fn empty(status: Status) -> Self {
         Response {
             status,
+            trace_id: 0,
             body: Vec::new(),
+        }
+    }
+
+    /// An `Ok` response carrying `body` (no trace id; see
+    /// [`Response::with_trace`]).
+    pub fn ok_body(body: Vec<u8>) -> Self {
+        Response {
+            status: Status::Ok,
+            trace_id: 0,
+            body,
         }
     }
 
@@ -187,6 +223,7 @@ impl Response {
     pub fn error(msg: impl Into<String>) -> Self {
         Response {
             status: Status::Error,
+            trace_id: 0,
             body: msg.into().into_bytes(),
         }
     }
@@ -195,6 +232,7 @@ impl Response {
     pub fn bad_request(msg: impl Into<String>) -> Self {
         Response {
             status: Status::BadRequest,
+            trace_id: 0,
             body: msg.into().into_bytes(),
         }
     }
@@ -203,8 +241,15 @@ impl Response {
     pub fn internal_error(msg: impl Into<String>) -> Self {
         Response {
             status: Status::InternalError,
+            trace_id: 0,
             body: msg.into().into_bytes(),
         }
+    }
+
+    /// Stamp the trace id this response echoes.
+    pub fn with_trace(mut self, trace_id: u64) -> Self {
+        self.trace_id = trace_id;
+        self
     }
 }
 
@@ -255,6 +300,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             buf.put_u8(q.precision.byte());
             buf.put_u16_le(q.k as u16);
             buf.put_u32_le(q.deadline_ms);
+            buf.put_u64_le(q.trace_id);
             buf.put_u32_le(q.dim as u32);
             if op == Op::BatchQuery {
                 buf.put_u32_le(q.m as u32);
@@ -278,6 +324,14 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             buf.put_u8(Op::Shutdown as u8);
             buf.put_u8(0);
         }
+        Request::Metrics => {
+            buf.put_u8(Op::Metrics as u8);
+            buf.put_u8(0);
+        }
+        Request::Traces => {
+            buf.put_u8(Op::Traces as u8);
+            buf.put_u8(0);
+        }
     }
     buf
 }
@@ -293,7 +347,7 @@ pub fn decode_request(mut buf: &[u8]) -> Result<Request, WireError> {
         return Err(WireError::BadMagic);
     }
     let version = buf.get_u16_le();
-    if version != WIRE_VERSION {
+    if version != 1 && version != WIRE_VERSION {
         return Err(WireError::BadVersion(version));
     }
     let op = buf.get_u8();
@@ -301,12 +355,14 @@ pub fn decode_request(mut buf: &[u8]) -> Result<Request, WireError> {
     match op {
         op if op == Op::Query as u8 || op == Op::BatchQuery as u8 => {
             let precision = Precision::from_byte(prec_byte)?;
-            let fixed = 2 + 4 + 4 + if op == Op::BatchQuery as u8 { 4 } else { 0 };
+            let trace_bytes = if version >= 2 { 8 } else { 0 };
+            let fixed = 2 + 4 + trace_bytes + 4 + if op == Op::BatchQuery as u8 { 4 } else { 0 };
             if buf.remaining() < fixed {
                 return Err(WireError::Truncated);
             }
             let k = buf.get_u16_le() as usize;
             let deadline_ms = buf.get_u32_le();
+            let trace_id = if version >= 2 { buf.get_u64_le() } else { 0 };
             let dim = buf.get_u32_le() as usize;
             let m = if op == Op::BatchQuery as u8 {
                 buf.get_u32_le() as usize
@@ -336,6 +392,7 @@ pub fn decode_request(mut buf: &[u8]) -> Result<Request, WireError> {
                 precision,
                 k,
                 deadline_ms,
+                trace_id,
                 dim,
                 m,
                 coords,
@@ -344,16 +401,19 @@ pub fn decode_request(mut buf: &[u8]) -> Result<Request, WireError> {
         op if op == Op::Stats as u8 => Ok(Request::Stats),
         op if op == Op::Ping as u8 => Ok(Request::Ping),
         op if op == Op::Shutdown as u8 => Ok(Request::Shutdown),
+        op if op == Op::Metrics as u8 => Ok(Request::Metrics),
+        op if op == Op::Traces as u8 => Ok(Request::Traces),
         other => Err(WireError::BadOp(other)),
     }
 }
 
 /// Encode a response payload (no length prefix).
 pub fn encode_response(resp: &Response) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(4 + 2 + 1 + resp.body.len());
+    let mut buf = Vec::with_capacity(4 + 2 + 1 + 8 + resp.body.len());
     buf.put_slice(RESP_MAGIC);
     buf.put_u16_le(WIRE_VERSION);
     buf.put_u8(resp.status as u8);
+    buf.put_u64_le(resp.trace_id);
     buf.put_slice(&resp.body);
     buf
 }
@@ -369,12 +429,21 @@ pub fn decode_response(mut buf: &[u8]) -> Result<Response, WireError> {
         return Err(WireError::BadMagic);
     }
     let version = buf.get_u16_le();
-    if version != WIRE_VERSION {
+    if version != 1 && version != WIRE_VERSION {
         return Err(WireError::BadVersion(version));
     }
     let status = Status::from_byte(buf.get_u8())?;
+    let trace_id = if version >= 2 {
+        if buf.remaining() < 8 {
+            return Err(WireError::Truncated);
+        }
+        buf.get_u64_le()
+    } else {
+        0
+    };
     Ok(Response {
         status,
+        trace_id,
         body: buf.to_vec(),
     })
 }
@@ -485,6 +554,7 @@ mod tests {
             precision,
             k: 5,
             deadline_ms: 250,
+            trace_id: 0xfeed_beef_cafe_0042,
             dim: 3,
             m,
             coords: (0..m * 3).map(|i| i as f64 * 0.25).collect(),
@@ -501,6 +571,8 @@ mod tests {
             Request::Stats,
             Request::Ping,
             Request::Shutdown,
+            Request::Metrics,
+            Request::Traces,
         ] {
             let bytes = encode_request(&req);
             assert_eq!(decode_request(&bytes).unwrap(), req, "{req:?}");
@@ -526,10 +598,12 @@ mod tests {
         for resp in [
             Response {
                 status: Status::Ok,
+                trace_id: 7,
                 body: vec![1, 2, 3],
             },
             Response {
                 status: Status::OkDegraded,
+                trace_id: u64::MAX,
                 body: vec![4, 5],
             },
             Response::empty(Status::Busy),
@@ -597,11 +671,62 @@ mod tests {
         buf.push(8); // f64
         buf.extend_from_slice(&5u16.to_le_bytes()); // k
         buf.extend_from_slice(&100u32.to_le_bytes()); // deadline
+        buf.extend_from_slice(&9u64.to_le_bytes()); // trace id
         buf.extend_from_slice(&(u32::MAX).to_le_bytes()); // dim
         assert!(matches!(
             decode_request(&buf).unwrap_err(),
             WireError::Oversized(_)
         ));
+    }
+
+    #[test]
+    fn v1_request_frames_still_decode_with_zero_trace_id() {
+        // hand-built version-1 BatchQuery: no trace_id field on the wire
+        let mut buf = Vec::new();
+        buf.extend_from_slice(REQ_MAGIC);
+        buf.extend_from_slice(&1u16.to_le_bytes()); // version 1
+        buf.push(2); // Op::BatchQuery
+        buf.push(4); // f32
+        buf.extend_from_slice(&3u16.to_le_bytes()); // k
+        buf.extend_from_slice(&200u32.to_le_bytes()); // deadline
+        buf.extend_from_slice(&2u32.to_le_bytes()); // dim
+        buf.extend_from_slice(&2u32.to_le_bytes()); // m
+        for v in [1.0f32, 2.0, 3.0, 4.0] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        let Request::Query(q) = decode_request(&buf).unwrap() else {
+            panic!("not a query");
+        };
+        assert_eq!(q.trace_id, 0, "v1 frames carry no trace id");
+        assert_eq!((q.k, q.deadline_ms, q.dim, q.m), (3, 200, 2, 2));
+        assert_eq!(q.coords, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn v1_response_frames_still_decode_with_zero_trace_id() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(RESP_MAGIC);
+        buf.extend_from_slice(&1u16.to_le_bytes()); // version 1
+        buf.push(0); // Status::Ok
+        buf.extend_from_slice(b"payload");
+        let resp = decode_response(&buf).unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.trace_id, 0);
+        assert_eq!(resp.body, b"payload");
+    }
+
+    #[test]
+    fn trace_id_round_trips_through_both_directions() {
+        let req = sample_query(Precision::F64, 2);
+        let Request::Query(q) = decode_request(&encode_request(&req)).unwrap() else {
+            panic!("not a query");
+        };
+        assert_eq!(q.trace_id, 0xfeed_beef_cafe_0042);
+        let resp = Response::empty(Status::Busy).with_trace(0xabc);
+        assert_eq!(
+            decode_response(&encode_response(&resp)).unwrap().trace_id,
+            0xabc
+        );
     }
 
     proptest::proptest! {

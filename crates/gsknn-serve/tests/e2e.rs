@@ -80,7 +80,10 @@ fn mixed_precision_traffic_matches_oracle_exactly() {
                             coords.extend_from_slice(pool.point((r + p * 40) % 100));
                         }
                         if t % 2 == 0 {
-                            let out = client.query::<f64>(&coords, m, k, 40).expect("query");
+                            let out = client
+                                .query::<f64>(&coords, m, k, 40)
+                                .expect("query")
+                                .outcome;
                             let Outcome::Neighbors(table) = out else {
                                 panic!("thread {t} req {r}: unexpected {out:?}");
                             };
@@ -95,7 +98,7 @@ fn mixed_precision_traffic_matches_oracle_exactly() {
                             }
                         } else {
                             let c32: Vec<f32> = coords.iter().map(|&v| v as f32).collect();
-                            let out = client.query::<f32>(&c32, m, k, 40).expect("query");
+                            let out = client.query::<f32>(&c32, m, k, 40).expect("query").outcome;
                             let Outcome::Neighbors(table) = out else {
                                 panic!("thread {t} req {r}: unexpected {out:?}");
                             };
@@ -166,7 +169,10 @@ fn coalescer_flushes_on_both_triggers() {
     // Deadline trigger: one lonely query can never reach m*, so its
     // flush must be deadline-driven.
     let pool = dataset::uniform(200, D, 42);
-    let out = client.query::<f64>(pool.point(0), 1, 4, 60).unwrap();
+    let out = client
+        .query::<f64>(pool.point(0), 1, 4, 60)
+        .unwrap()
+        .outcome;
     assert!(matches!(out, Outcome::Neighbors(_)), "got {out:?}");
     let stats: Value = serde_json::from_str(&client.stats().unwrap()).unwrap();
     assert!(
@@ -181,7 +187,7 @@ fn coalescer_flushes_on_both_triggers() {
     for p in 0..128 {
         coords.extend_from_slice(pool.point(p % 200));
     }
-    let out = client.query::<f64>(&coords, 128, 4, 2000).unwrap();
+    let out = client.query::<f64>(&coords, 128, 4, 2000).unwrap().outcome;
     assert!(matches!(out, Outcome::Neighbors(_)), "got {out:?}");
     let stats: Value = serde_json::from_str(&client.stats().unwrap()).unwrap();
     assert!(
@@ -212,11 +218,14 @@ fn saturated_queue_returns_busy() {
     let coords: Vec<f64> = (0..16).flat_map(|p| pool.point(p).to_vec()).collect();
 
     // a batch larger than the whole admission budget bounces whole
-    let out = client.query::<f64>(&coords, 16, 4, 500).unwrap();
+    let out = client.query::<f64>(&coords, 16, 4, 500).unwrap().outcome;
     assert!(matches!(out, Outcome::Busy), "got {out:?}");
 
     // a batch that fits is served
-    let out = client.query::<f64>(&coords[..8 * D], 8, 4, 500).unwrap();
+    let out = client
+        .query::<f64>(&coords[..8 * D], 8, 4, 500)
+        .unwrap()
+        .outcome;
     assert!(matches!(out, Outcome::Neighbors(_)), "got {out:?}");
 
     let stats: Value = serde_json::from_str(&client.stats().unwrap()).unwrap();
@@ -239,7 +248,7 @@ fn zero_budget_request_times_out() {
         .set_io_timeout(Some(Duration::from_secs(30)))
         .unwrap();
     let pool = dataset::uniform(4, D, 9);
-    let out = client.query::<f64>(pool.point(0), 1, 4, 0).unwrap();
+    let out = client.query::<f64>(pool.point(0), 1, 4, 0).unwrap().outcome;
     assert!(matches!(out, Outcome::TimedOut), "got {out:?}");
     let stats: Value = serde_json::from_str(&client.stats().unwrap()).unwrap();
     assert!(counter(&stats, "timeouts") >= 1);
@@ -259,20 +268,26 @@ fn malformed_requests_are_rejected_not_fatal() {
         .unwrap();
 
     // wrong dimension
-    let out = client.query::<f64>(&[1.0, 2.0], 1, 4, 100).unwrap();
+    let out = client.query::<f64>(&[1.0, 2.0], 1, 4, 100).unwrap().outcome;
     assert!(matches!(out, Outcome::Rejected(_)), "got {out:?}");
     // k over the cap
     let pool = dataset::uniform(1, D, 3);
-    let out = client.query::<f64>(pool.point(0), 1, 99, 100).unwrap();
+    let out = client
+        .query::<f64>(pool.point(0), 1, 99, 100)
+        .unwrap()
+        .outcome;
     assert!(matches!(out, Outcome::Rejected(_)), "got {out:?}");
     // non-finite coordinate
     let mut bad = pool.point(0).to_vec();
     bad[0] = f64::NAN;
-    let out = client.query::<f64>(&bad, 1, 4, 100).unwrap();
+    let out = client.query::<f64>(&bad, 1, 4, 100).unwrap().outcome;
     assert!(matches!(out, Outcome::Rejected(_)), "got {out:?}");
 
     // the connection survives all three and the server still answers
-    let out = client.query::<f64>(pool.point(0), 1, 4, 100).unwrap();
+    let out = client
+        .query::<f64>(pool.point(0), 1, 4, 100)
+        .unwrap()
+        .outcome;
     assert!(matches!(out, Outcome::Neighbors(_)), "got {out:?}");
     let stats: Value = serde_json::from_str(&client.stats().unwrap()).unwrap();
     assert_eq!(counter(&stats, "errors"), 3);
@@ -300,13 +315,16 @@ fn retry_converges_against_a_saturated_queue() {
     let hog = thread::spawn(move || {
         let mut client = Client::connect(addr).unwrap();
         // 8 points fill the cap; they coalesce for ~1 s before flushing
-        client.query::<f64>(&coords, 8, 4, 2000).unwrap()
+        client.query::<f64>(&coords, 8, 4, 2000).unwrap().outcome
     });
     thread::sleep(Duration::from_millis(50)); // let the hog get admitted
 
     let mut client = Client::connect(addr).unwrap();
     // without retries, the saturated queue bounces the request
-    let out = client.query::<f64>(pool.point(9), 1, 4, 500).unwrap();
+    let out = client
+        .query::<f64>(pool.point(9), 1, 4, 500)
+        .unwrap()
+        .outcome;
     assert!(matches!(out, Outcome::Busy), "got {out:?}");
 
     // with retries, backoff outlasts the hog's coalescing window and the
@@ -318,13 +336,15 @@ fn retry_converges_against_a_saturated_queue() {
         deadline: Duration::from_secs(10),
         seed: 99,
     };
-    let out = client
+    let reply = client
         .query_with_retry::<f64>(pool.point(9), 1, 4, 500, &policy)
         .unwrap();
+    let out = reply.outcome;
     assert!(
         matches!(out, Outcome::Neighbors(_)),
         "retry must converge once the queue drains, got {out:?}"
     );
+    assert!(reply.rtt > Duration::ZERO, "retry reply carries the rtt");
 
     assert!(matches!(hog.join().unwrap(), Outcome::Neighbors(_)));
     let stats: Value = serde_json::from_str(&client.stats().unwrap()).unwrap();
@@ -354,14 +374,14 @@ fn overload_degrades_precision_and_recovers() {
     // 6 of 8 slots in flight for ~2 s: pressure 0.75 >= threshold 0.5
     let hog = thread::spawn(move || {
         let mut client = Client::connect(addr).unwrap();
-        client.query::<f64>(&coords, 6, 4, 4000).unwrap()
+        client.query::<f64>(&coords, 6, 4, 4000).unwrap().outcome
     });
     thread::sleep(Duration::from_millis(400)); // window + margin
 
     // an f64 query under overload is served degraded from the f32 lane
     let mut client = Client::connect(addr).unwrap();
     let q = pool.point(9);
-    let out = client.query::<f64>(q, 1, 4, 400).unwrap();
+    let out = client.query::<f64>(q, 1, 4, 400).unwrap().outcome;
     let Outcome::Degraded(table) = out else {
         panic!("expected a degraded answer under overload, got {out:?}");
     };
@@ -374,7 +394,7 @@ fn overload_degrades_precision_and_recovers() {
     assert!(matches!(hog.join().unwrap(), Outcome::Neighbors(_)));
     // pressure is gone; after the recovery window full precision returns
     thread::sleep(Duration::from_millis(400));
-    let out = client.query::<f64>(q, 1, 4, 400).unwrap();
+    let out = client.query::<f64>(q, 1, 4, 400).unwrap().outcome;
     assert!(
         matches!(out, Outcome::Neighbors(_)),
         "recovered server must answer at full precision, got {out:?}"
@@ -399,7 +419,10 @@ fn degenerate_shapes_get_typed_errors() {
     let pool = dataset::uniform(1, D, 3);
 
     // more neighbors than references
-    let out = client.query::<f64>(pool.point(0), 1, N + 1, 100).unwrap();
+    let out = client
+        .query::<f64>(pool.point(0), 1, N + 1, 100)
+        .unwrap()
+        .outcome;
     let Outcome::Rejected(msg) = out else {
         panic!("k > n must be rejected, got {out:?}");
     };
@@ -421,6 +444,7 @@ fn degenerate_shapes_get_typed_errors() {
             precision: Precision::F32,
             k: 4,
             deadline_ms: 100,
+            trace_id: 0,
             dim: D,
             m: 1,
             coords: big,
@@ -437,14 +461,17 @@ fn degenerate_shapes_get_typed_errors() {
     // the same value is fine on the f64 lane
     let mut big = pool.point(0).to_vec();
     big[0] = 1e300;
-    let out = client.query::<f64>(&big, 1, 4, 100).unwrap();
+    let out = client.query::<f64>(&big, 1, 4, 100).unwrap().outcome;
     assert!(
         matches!(out, Outcome::Neighbors(_)),
         "finite f64 is fine on the f64 lane, got {out:?}"
     );
 
     // the connection still works afterwards
-    let out = client.query::<f64>(pool.point(0), 1, 4, 100).unwrap();
+    let out = client
+        .query::<f64>(pool.point(0), 1, 4, 100)
+        .unwrap()
+        .outcome;
     assert!(matches!(out, Outcome::Neighbors(_)), "got {out:?}");
     client.shutdown().unwrap();
     handle.join().unwrap();
@@ -469,7 +496,7 @@ fn shutdown_drains_pending_work() {
             .unwrap();
         // tiny batch, huge coalesce budget: it can only come back before
         // the 5 s flush deadline if the drain flushes it
-        client.query::<f64>(&coords, 2, 4, 10_000).unwrap()
+        client.query::<f64>(&coords, 2, 4, 10_000).unwrap().outcome
     });
     // let the query reach the lane, then drain
     thread::sleep(Duration::from_millis(30));

@@ -49,13 +49,17 @@ fn main() {
             .query::<f32>(queries32.point(i), 1, k, deadline_ms)
             .expect("query f32");
         if i == 0 {
-            if let (Outcome::Neighbors(t64), Outcome::Neighbors(t32)) = (&out64, &out32) {
+            if let (Outcome::Neighbors(t64), Outcome::Neighbors(t32)) =
+                (&out64.outcome, &out32.outcome)
+            {
                 println!(
-                    "query 0: f64 nearest #{} (d²={:.4}), f32 nearest #{} (d²={:.4})",
+                    "query 0: f64 nearest #{} (d²={:.4}, rtt {:?}), f32 nearest #{} (d²={:.4}, rtt {:?})",
                     t64.row(0)[0].idx,
                     t64.row(0)[0].dist,
+                    out64.rtt,
                     t32.row(0)[0].idx,
                     t32.row(0)[0].dist,
+                    out32.rtt,
                 );
             }
         }
@@ -64,7 +68,11 @@ fn main() {
     // One 48-point batch query — arrives as a single job, usually enough
     // to trip the model flush on its own.
     let batch: Vec<f64> = (0..48).flat_map(|i| queries.point(i).to_vec()).collect();
-    match c64.query::<f64>(&batch, 48, k, deadline_ms).expect("batch") {
+    match c64
+        .query::<f64>(&batch, 48, k, deadline_ms)
+        .expect("batch")
+        .outcome
+    {
         Outcome::Neighbors(table) => println!("batch query answered {} rows", table.len()),
         other => println!("batch query answered {other:?}"),
     }

@@ -104,7 +104,7 @@ fn chaos_faults_are_survived_and_recall_is_unchanged() {
     // -- phase 0: healthy baseline ------------------------------------
     for i in 0..8 {
         let q = pool.point(i);
-        let Outcome::Neighbors(t) = client.query::<f64>(q, 1, K, 500).unwrap() else {
+        let Outcome::Neighbors(t) = client.query::<f64>(q, 1, K, 500).unwrap().outcome else {
             panic!("healthy query {i} must succeed");
         };
         let got: Vec<u32> = t.row(0).iter().map(|nb| nb.idx).collect();
@@ -116,14 +116,20 @@ fn chaos_faults_are_survived_and_recall_is_unchanged() {
     // riding in that batch must get a terminal InternalError, and the
     // worker must respawn.
     gsknn_faults::configure(FaultPlan::new(0xC4A05).with(FaultPoint::BatchExec, Mode::Nth(1)));
-    let out = client.query::<f64>(pool.point(10), 1, K, 500).unwrap();
+    let out = client
+        .query::<f64>(pool.point(10), 1, K, 500)
+        .unwrap()
+        .outcome;
     let Outcome::Failed(msg) = out else {
         panic!("in-flight request of a killed worker must fail terminally, got {out:?}");
     };
     assert!(msg.contains("panicked"), "unhelpful failure message: {msg}");
     assert_eq!(gsknn_faults::fired(FaultPoint::BatchExec), 1);
     // the respawned worker answers the identical request correctly
-    let out = client.query::<f64>(pool.point(10), 1, K, 500).unwrap();
+    let out = client
+        .query::<f64>(pool.point(10), 1, K, 500)
+        .unwrap()
+        .outcome;
     let Outcome::Neighbors(t) = out else {
         panic!("respawned worker must serve, got {out:?}");
     };
@@ -140,7 +146,10 @@ fn chaos_faults_are_survived_and_recall_is_unchanged() {
         (FaultPoint::PackR, "pack-r"),
     ] {
         gsknn_faults::configure(FaultPlan::new(0xFEED).with(point, Mode::Nth(1)));
-        let out = client.query::<f64>(pool.point(11), 1, K, 500).unwrap();
+        let out = client
+            .query::<f64>(pool.point(11), 1, K, 500)
+            .unwrap()
+            .outcome;
         assert!(
             matches!(out, Outcome::Failed(_)),
             "{label}: expected terminal failure, got {out:?}"
@@ -149,7 +158,8 @@ fn chaos_faults_are_survived_and_recall_is_unchanged() {
         // retry lands on a healthy (respawned) worker
         let out = client
             .query_with_retry::<f64>(pool.point(11), 1, K, 500, &RetryPolicy::default())
-            .unwrap();
+            .unwrap()
+            .outcome;
         assert!(
             matches!(out, Outcome::Neighbors(_)),
             "{label}: retry after respawn must succeed, got {out:?}"
@@ -179,7 +189,10 @@ fn chaos_faults_are_survived_and_recall_is_unchanged() {
                     let mut out = Vec::new();
                     for r in 0..10usize {
                         let q = pool.point((13 + 3 * r + t as usize) % 64);
-                        match client.query_with_retry::<f64>(q, 1, K, 500, &policy) {
+                        match client
+                            .query_with_retry::<f64>(q, 1, K, 500, &policy)
+                            .map(|r| r.outcome)
+                        {
                             Ok(Outcome::Neighbors(_)) => out.push("ok"),
                             Ok(Outcome::Failed(_)) => out.push("failed"),
                             Ok(other) => panic!("thread {t} req {r}: unexpected {other:?}"),
@@ -234,7 +247,7 @@ fn chaos_faults_are_survived_and_recall_is_unchanged() {
     // brute force exactly, as in phase 0.
     for i in 0..16 {
         let q = pool.point(i);
-        let Outcome::Neighbors(t) = client.query::<f64>(q, 1, K, 500).unwrap() else {
+        let Outcome::Neighbors(t) = client.query::<f64>(q, 1, K, 500).unwrap().outcome else {
             panic!("post-chaos query {i} must succeed");
         };
         let got: Vec<u32> = t.row(0).iter().map(|nb| nb.idx).collect();

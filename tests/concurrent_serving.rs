@@ -170,6 +170,7 @@ fn served_answers_equal_serial_run_cross() {
                     match client
                         .query::<f64>(queries.point(qi), 1, k, 500)
                         .unwrap_or_else(|e| panic!("client {i} query {qi}: {e}"))
+                        .outcome
                     {
                         Outcome::Neighbors(table) => {
                             let got: Vec<u32> = table.row(0).iter().map(|nb| nb.idx).collect();

@@ -195,6 +195,7 @@ mod serve_shapes {
                 precision: Precision::F64,
                 k: N + 3,
                 deadline_ms: 100,
+                trace_id: 0,
                 dim: D,
                 m: 1,
                 coords: point.clone(),
@@ -209,6 +210,7 @@ mod serve_shapes {
                 precision: Precision::F64,
                 k: 4,
                 deadline_ms: 100,
+                trace_id: 0,
                 dim: D,
                 m: 0,
                 coords: Vec::new(),
@@ -223,6 +225,7 @@ mod serve_shapes {
                 precision: Precision::F64,
                 k: 4,
                 deadline_ms: 100,
+                trace_id: 0,
                 dim: 0,
                 m: 1,
                 coords: Vec::new(),
@@ -237,6 +240,7 @@ mod serve_shapes {
                 precision: Precision::F64,
                 k: 4,
                 deadline_ms: 200,
+                trace_id: 0,
                 dim: D,
                 m: 1,
                 coords: point.clone(),
@@ -246,7 +250,7 @@ mod serve_shapes {
 
         // ...and the typed client maps BadRequest to Outcome::Rejected
         let mut client = Client::connect(addr).unwrap();
-        let out = client.query::<f64>(&point, 1, N + 3, 100).unwrap();
+        let out = client.query::<f64>(&point, 1, N + 3, 100).unwrap().outcome;
         assert!(matches!(out, Outcome::Rejected(_)), "got {out:?}");
 
         client.shutdown().unwrap();
