@@ -13,7 +13,8 @@
 use bench::{best_of, gflops, print_table};
 use dataset::DistanceKind;
 use gemm_kernel::GemmScalar;
-use gsknn_core::{FusedScalar, GemmParams, Gsknn, GsknnConfig};
+use gsknn_core::{FusedScalar, GemmParams, Gsknn, GsknnConfig, MachineParams};
+use gsknn_obs::roofline::{classify, RooflineInputs};
 use knn_ref::GemmKnn;
 use serde_json::Value;
 use std::path::PathBuf;
@@ -72,6 +73,11 @@ struct Row {
     kernel: &'static str,
     seconds: f64,
     gflops: f64,
+    /// Roofline bound class against the §2.6 asymptotes (an offline run
+    /// has no coalescer, so this is compute vs bandwidth).
+    bound: &'static str,
+    /// Predicted asymptote over achieved rate on the binding resource.
+    headroom: f64,
 }
 
 impl Row {
@@ -80,8 +86,40 @@ impl Row {
             "m": self.m, "n": self.n, "d": self.d, "k": self.k,
             "precision": self.precision, "kernel": self.kernel,
             "seconds": self.seconds, "gflops": self.gflops,
+            "bound": self.bound, "headroom": self.headroom,
         })
     }
+}
+
+/// Classify one timed shape against the scalar-rescaled machine model:
+/// achieved flops/s and bytes/s (the model's slow-memory element count —
+/// pack R `nd + 2n`, pack Q `dm + 2m`, writeback `mk`) versus the
+/// asymptotes `τf` and `1/τb`.
+fn classify_row(
+    m: usize,
+    n: usize,
+    d: usize,
+    k: usize,
+    elem_bytes: usize,
+    machine: &MachineParams,
+    seconds: f64,
+) -> (&'static str, f64) {
+    let flops = (2 * d + 3) as f64 * m as f64 * n as f64;
+    let elems = (n * d + 2 * n + d * m + 2 * m + m * k) as f64;
+    let v = classify(&RooflineInputs {
+        flops,
+        bytes: elems * elem_bytes as f64,
+        measured_s: seconds,
+        mem_phase_s: 0.0,
+        compute_phase_s: 0.0,
+        peak_flops_per_s: machine.tau_f,
+        peak_bytes_per_s: elem_bytes as f64 / machine.tau_b,
+        batch_m: m,
+        target_m: 0,
+        deadline_flush: false,
+        backlog: 0,
+    });
+    (v.class.name(), v.headroom)
 }
 
 /// Time the fused kernel and the GEMM reference for one shape in one
@@ -110,17 +148,24 @@ fn bench_shape<T: FusedScalar + GemmScalar>(
         std::hint::black_box(gemm.run(&x, &q, &r, k));
     });
 
+    let machine = MachineParams::ivy_bridge_1core().for_scalar::<T>();
     [("fused", t_fused), ("gemm", t_gemm)]
         .into_iter()
-        .map(|(kernel, t)| Row {
-            m,
-            n,
-            d,
-            k,
-            precision: <T as gsknn_core::GsknnScalar>::NAME,
-            kernel,
-            seconds: t.as_secs_f64(),
-            gflops: gflops(m, n, d, t),
+        .map(|(kernel, t)| {
+            let seconds = t.as_secs_f64();
+            let (bound, headroom) = classify_row(m, n, d, k, T::BYTES, &machine, seconds);
+            Row {
+                m,
+                n,
+                d,
+                k,
+                precision: <T as gsknn_core::GsknnScalar>::NAME,
+                kernel,
+                seconds,
+                gflops: gflops(m, n, d, t),
+                bound,
+                headroom,
+            }
         })
         .collect()
 }
@@ -177,11 +222,15 @@ fn main() {
             r.kernel.to_string(),
             format!("{:.1}", r.seconds * 1e3),
             format!("{:.2}", r.gflops),
+            r.bound.to_string(),
+            format!("{:.2}", r.headroom),
         ]);
     }
     print_table(
         "kernel GFLOPS trajectory",
-        &["m x n", "d", "k", "prec", "kernel", "ms", "GFLOPS"],
+        &[
+            "m x n", "d", "k", "prec", "kernel", "ms", "GFLOPS", "bound", "headroom",
+        ],
         &table,
     );
     for (shape, s) in &speedups {

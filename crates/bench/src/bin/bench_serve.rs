@@ -13,6 +13,17 @@
 //! Flags:
 //! * `--smoke` — tiny workload (CI: proves the harness runs, not perf)
 //! * `--out F` — output path (default `<repo root>/BENCH_serve.json`)
+//! * `--warmup N` — unrecorded queries per client before measuring, so
+//!   trajectory points exclude cold-start effects (default 0, keeping
+//!   historical comparability)
+//! * `--duration-ms D` — run each client for a wall-clock duration
+//!   instead of a fixed query count (default 0 = count-based)
+//!
+//! Besides the per-lane latency quantiles, each run records a `server`
+//! section from the drained server's final report: flush-reason counts
+//! (model / deadline / drain), the realized mean batch size, and the
+//! per-lane roofline bound-class rows — the numbers `gsknn-cli
+//! bench-diff` gates on.
 
 use dataset::PointSet;
 use gsknn_serve::{Client, Outcome, ServeIndex, Server, ServerConfig};
@@ -27,18 +38,34 @@ fn default_out() -> PathBuf {
 struct Args {
     smoke: bool,
     out: PathBuf,
+    warmup: usize,
+    duration_ms: u64,
 }
 
 fn parse_args() -> Args {
     let mut out = Args {
         smoke: false,
         out: default_out(),
+        warmup: 0,
+        duration_ms: 0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--smoke" => out.smoke = true,
             "--out" => out.out = PathBuf::from(args.next().unwrap_or_else(|| usage())),
+            "--warmup" => {
+                out.warmup = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--duration-ms" => {
+                out.duration_ms = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -50,7 +77,7 @@ fn parse_args() -> Args {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: bench_serve [--smoke] [--out F]");
+    eprintln!("usage: bench_serve [--smoke] [--out F] [--warmup N] [--duration-ms D]");
     std::process::exit(2);
 }
 
@@ -85,8 +112,10 @@ fn quantile_us(sorted: &[Duration], q: f64) -> f64 {
     sorted[idx].as_secs_f64() * 1e6
 }
 
-/// `clients` threads each fire `per_client` single-point queries and
-/// report their measured round trips.
+/// `clients` threads each fire `warmup` unrecorded then `per_client`
+/// recorded single-point queries (or loop for `duration_ms` when that is
+/// nonzero) and report their measured round trips.
+#[allow(clippy::too_many_arguments)]
 fn run_lane<T: gsknn_core::FusedScalar>(
     addr: std::net::SocketAddr,
     queries: &PointSet,
@@ -94,26 +123,48 @@ fn run_lane<T: gsknn_core::FusedScalar>(
     per_client: usize,
     deadline_ms: u32,
     k: usize,
+    warmup: usize,
+    duration_ms: u64,
 ) -> LaneResult {
     let cast = queries.cast::<T>();
-    let t0 = Instant::now();
-    let per_thread: Vec<(Vec<Duration>, usize)> = std::thread::scope(|s| {
+    let per_thread: Vec<(Vec<Duration>, usize, f64)> = std::thread::scope(|s| {
         (0..clients)
             .map(|c| {
                 let cast = &cast;
                 s.spawn(move || {
                     let mut client = Client::connect(addr).expect("connect");
+                    for i in 0..warmup {
+                        let q = cast.point((c * warmup + i) % cast.len());
+                        let _ = client.query::<T>(q, 1, k, deadline_ms).expect("warmup");
+                    }
+                    let measure_start = Instant::now();
+                    let deadline = (duration_ms > 0)
+                        .then(|| measure_start + Duration::from_millis(duration_ms));
                     let mut rtts = Vec::with_capacity(per_client);
                     let mut ok = 0usize;
-                    for i in 0..per_client {
+                    let mut i = 0usize;
+                    loop {
+                        match deadline {
+                            Some(d) => {
+                                if Instant::now() >= d {
+                                    break;
+                                }
+                            }
+                            None => {
+                                if i >= per_client {
+                                    break;
+                                }
+                            }
+                        }
                         let q = cast.point((c * per_client + i) % cast.len());
                         let reply = client.query::<T>(q, 1, k, deadline_ms).expect("query");
                         rtts.push(reply.rtt);
                         if matches!(reply.outcome, Outcome::Neighbors(_) | Outcome::Degraded(_)) {
                             ok += 1;
                         }
+                        i += 1;
                     }
-                    (rtts, ok)
+                    (rtts, ok, measure_start.elapsed().as_secs_f64())
                 })
             })
             .collect::<Vec<_>>()
@@ -121,12 +172,16 @@ fn run_lane<T: gsknn_core::FusedScalar>(
             .map(|h| h.join().expect("client thread"))
             .collect()
     });
-    let wall = t0.elapsed().as_secs_f64();
+    // wall clock of the measuring loops only — warmup must not dilute qps
+    let wall = per_thread
+        .iter()
+        .map(|(_, _, w)| *w)
+        .fold(f64::MIN_POSITIVE, f64::max);
     let mut rtts: Vec<Duration> = per_thread
         .iter()
-        .flat_map(|(r, _)| r.iter().copied())
+        .flat_map(|(r, _, _)| r.iter().copied())
         .collect();
-    let ok = per_thread.iter().map(|(_, o)| o).sum();
+    let ok = per_thread.iter().map(|(_, o, _)| o).sum();
     rtts.sort_unstable();
     LaneResult {
         precision: <T as gsknn_core::GsknnScalar>::NAME,
@@ -156,14 +211,32 @@ fn main() {
     let handle = std::thread::spawn(move || server.run());
 
     let lanes = vec![
-        run_lane::<f64>(addr, &queries, clients, per_client, deadline_ms, k),
-        run_lane::<f32>(addr, &queries, clients, per_client, deadline_ms, k),
+        run_lane::<f64>(
+            addr,
+            &queries,
+            clients,
+            per_client,
+            deadline_ms,
+            k,
+            args.warmup,
+            args.duration_ms,
+        ),
+        run_lane::<f32>(
+            addr,
+            &queries,
+            clients,
+            per_client,
+            deadline_ms,
+            k,
+            args.warmup,
+            args.duration_ms,
+        ),
     ];
 
     Client::connect(addr)
         .and_then(|mut c| c.shutdown())
         .expect("shutdown");
-    handle.join().expect("server thread");
+    let report = handle.join().expect("server thread");
 
     for lane in &lanes {
         println!(
@@ -176,6 +249,37 @@ fn main() {
             lane.precision
         );
     }
+    // server-side accounting: flush reasons and the roofline bound-class
+    // summary (empty without the serve crate's `obs` feature)
+    println!(
+        "server: {} batches (flushes: {} model, {} deadline, {} drain), mean batch m {:.2}",
+        report.batches,
+        report.flushes.model,
+        report.flushes.deadline,
+        report.flushes.drain,
+        if report.batches > 0 {
+            report.queries as f64 / report.batches as f64
+        } else {
+            0.0
+        }
+    );
+    for row in &report.roofline {
+        if row.total() == 0 {
+            continue;
+        }
+        println!(
+            "roofline {}: {} compute, {} bandwidth, {} coalesce, {} queue{}",
+            row.lane,
+            row.counts[0],
+            row.counts[1],
+            row.counts[2],
+            row.counts[3],
+            match row.headroom_mean() {
+                Some(h) => format!(" | headroom x{h:.2}"),
+                None => String::new(),
+            }
+        );
+    }
 
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -184,11 +288,31 @@ fn main() {
     let run = serde_json::json!({
         "unix_time": unix_time,
         "smoke": args.smoke,
+        "warmup": args.warmup,
+        "duration_ms": args.duration_ms,
         "workload": {
             "n_refs": n_refs, "d": d, "k": k, "deadline_ms": deadline_ms,
             "clients": clients, "per_client": per_client,
         },
         "lanes": (Value::Array(lanes.iter().map(LaneResult::to_json).collect())),
+        "server": {
+            "queries": report.queries,
+            "batches": report.batches,
+            "batch_m_mean": if report.batches > 0 {
+                report.queries as f64 / report.batches as f64
+            } else {
+                0.0
+            },
+            "flushes": {
+                "model": report.flushes.model,
+                "deadline": report.flushes.deadline,
+                "drain": report.flushes.drain,
+            },
+            "coalesce_ratio": report.flushes.coalesce_ratio(),
+            "roofline": (Value::Array(
+                report.roofline.iter().map(|r| r.to_json()).collect(),
+            )),
+        },
     });
 
     // Append to the existing trajectory when the file already holds one

@@ -555,6 +555,12 @@ pub fn cmd_query_remote(args: &ArgMap) -> Result<String, CliError> {
             let json = client.traces_json().map_err(|e| CliError(e.to_string()))?;
             Ok(json + "\n")
         }
+        "timeseries" => {
+            let json = client
+                .timeseries_json()
+                .map_err(|e| CliError(e.to_string()))?;
+            Ok(json + "\n")
+        }
         "query" => {
             let queries = if args.opt::<String>("queries")?.is_some() {
                 let path = PathBuf::from(args.str_req("queries")?);
@@ -582,7 +588,8 @@ pub fn cmd_query_remote(args: &ArgMap) -> Result<String, CliError> {
             }
         }
         other => Err(CliError(format!(
-            "unknown --op '{other}' (expected query, ping, stats, metrics, traces or shutdown)"
+            "unknown --op '{other}' (expected query, ping, stats, metrics, traces, \
+             timeseries or shutdown)"
         ))),
     }
 }
@@ -655,6 +662,12 @@ fn query_remote_run<T: FusedScalar>(
         }
     }
     let dt = t0.elapsed();
+    // status breakdown under the server-side histogram labels, so client
+    // and server tallies line up one-to-one
+    let breakdown = format!(
+        "status breakdown: ok {ok}, ok_degraded {degraded}, busy {busy}, timeout {timed_out}, \
+         shutting_down {rejected}, error {failed}"
+    );
     let ok = ok + degraded;
     let mut out = format!(
         "{} queries ({}, k = {k}, {}) in {dt:.2?}: {ok} ok ({degraded} degraded), {busy} busy, {timed_out} timed out, {rejected} refused, {failed} failed\n",
@@ -667,14 +680,16 @@ fn query_remote_run<T: FusedScalar>(
         let q = |f: f64| rtts[((rtts.len() - 1) as f64 * f).round() as usize];
         writeln!(
             out,
-            "client rtt: p50 {:.2?}, p90 {:.2?}, p99 {:.2?}, max {:.2?}",
+            "client rtt: p50 {:.2?}, p90 {:.2?}, p99 {:.2?}, p999 {:.2?}, max {:.2?}",
             q(0.50),
             q(0.90),
             q(0.99),
+            q(0.999),
             rtts[rtts.len() - 1]
         )
         .unwrap();
     }
+    writeln!(out, "{breakdown}").unwrap();
     if total > 0 {
         let recall = hit as f64 / total as f64;
         writeln!(out, "recall vs brute force: {recall:.3}").unwrap();
@@ -725,6 +740,342 @@ pub fn cmd_trace(args: &ArgMap) -> Result<String, CliError> {
     }
 }
 
+/// `top`: live terminal view of a running server's per-second load
+/// time-series (arrival rate, queue depth, batch sizes, flush reasons,
+/// aggregate kernel-phase split). Polls the `TimeSeries` wire op every
+/// `--interval-ms`; `--iters N` bounds the refresh count (default:
+/// forever, or a single fetch when `--timeseries-out F` asks for a JSON
+/// dump instead of a live view).
+pub fn cmd_top(args: &ArgMap) -> Result<String, CliError> {
+    let addr = args.str_req("addr")?;
+    let mut client = connect_retry(&addr, args.get_or("connect-wait-ms", 5000)?)?;
+    let interval_ms: u64 = args.get_or("interval-ms", 1000)?;
+    let rows: usize = args.get_or("rows", 20)?;
+    let ts_out = args.opt::<String>("timeseries-out")?;
+    let iters: u64 = args.get_or("iters", if ts_out.is_some() { 1 } else { 0 })?;
+
+    let mut frame;
+    let mut raw;
+    let mut i = 0u64;
+    loop {
+        raw = client
+            .timeseries_json()
+            .map_err(|e| CliError(e.to_string()))?;
+        let doc: serde_json::Value = serde_json::from_str(&raw)
+            .map_err(|e| CliError(format!("server sent unparseable time-series JSON: {e}")))?;
+        let (enabled, window_s, samples) = gsknn_obs::parse_timeseries(&doc)
+            .ok_or_else(|| CliError("time-series JSON is missing required fields".into()))?;
+        if !enabled {
+            return Err(CliError(
+                "server was built without its obs feature; no time-series to show".into(),
+            ));
+        }
+        frame = format!(
+            "gsknn top — {addr} (window {window_s}s, {} live seconds)\n{}",
+            samples.len(),
+            gsknn_obs::render_top(&samples, rows)
+        );
+        i += 1;
+        if iters != 0 && i >= iters {
+            break;
+        }
+        // live view: repaint the terminal, then sleep out the interval
+        print!("\x1b[2J\x1b[H{frame}");
+        use std::io::Write as _;
+        std::io::stdout().flush().ok();
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+    if let Some(path) = ts_out {
+        let path = PathBuf::from(path);
+        std::fs::write(&path, &raw).map_err(|e| CliError(format!("{}: {e}", path.display())))?;
+        writeln!(frame, "\ntime-series dump written to {}", path.display()).unwrap();
+    }
+    Ok(frame)
+}
+
+/// One gated metric of a `bench-diff` comparison.
+struct DiffMetric {
+    name: String,
+    baseline: Vec<f64>,
+    candidate: f64,
+    /// Whether a *decrease* is the regression direction (throughput-like
+    /// metrics) as opposed to an increase (latency-like).
+    down_bad: bool,
+}
+
+/// Median of an unsorted sample (mean of the middle pair when even).
+fn median(vals: &[f64]) -> Option<f64> {
+    if vals.is_empty() {
+        return None;
+    }
+    let mut v = vals.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mid = v.len() / 2;
+    Some(if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    })
+}
+
+/// Read a trajectory file's `runs` array; `Ok(None)` when the file does
+/// not exist (that benchmark just isn't gated this time).
+fn load_runs(path: &PathBuf) -> Result<Option<Vec<serde_json::Value>>, CliError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(CliError(format!("{}: {e}", path.display()))),
+    };
+    let doc: serde_json::Value = serde_json::from_str(&text)
+        .map_err(|e| CliError(format!("{}: not valid JSON: {e}", path.display())))?;
+    let runs = doc
+        .get("runs")
+        .and_then(|v| v.as_array())
+        .ok_or_else(|| CliError(format!("{}: no runs array", path.display())))?;
+    Ok(Some(runs.clone()))
+}
+
+/// Split a trajectory into the newest run and its comparable priors:
+/// same `--smoke` flag, and (when both carry one) the same `workload`.
+fn candidate_and_priors(
+    runs: &[serde_json::Value],
+    smoke_ok: bool,
+    label: &str,
+) -> Result<Option<(serde_json::Value, Vec<serde_json::Value>)>, CliError> {
+    let Some(cand) = runs.last() else {
+        return Ok(None);
+    };
+    let cand_smoke = cand.get("smoke").and_then(|v| v.as_bool()).unwrap_or(false);
+    if cand_smoke && !smoke_ok {
+        return Err(CliError(format!(
+            "{label}: newest run is a --smoke run; pass --smoke-ok true to gate on it"
+        )));
+    }
+    let comparable = |r: &serde_json::Value| {
+        r.get("smoke").and_then(|v| v.as_bool()).unwrap_or(false) == cand_smoke
+            && match (r.get("workload"), cand.get("workload")) {
+                (Some(a), Some(b)) => a == b,
+                _ => true,
+            }
+    };
+    let priors: Vec<serde_json::Value> = runs[..runs.len() - 1]
+        .iter()
+        .filter(|r| comparable(r))
+        .cloned()
+        .collect();
+    Ok(Some((cand.clone(), priors)))
+}
+
+/// Pull the kernel trajectory's gated metrics: per-(shape × precision ×
+/// kernel) GFLOPS, where a drop is the regression direction.
+fn kernel_metrics(cand: &serde_json::Value, priors: &[serde_json::Value]) -> Vec<DiffMetric> {
+    let row_key = |r: &serde_json::Value| {
+        Some(format!(
+            "m{} n{} d{} k{} {} {}",
+            r.get("m")?.as_u64()?,
+            r.get("n")?.as_u64()?,
+            r.get("d")?.as_u64()?,
+            r.get("k")?.as_u64()?,
+            r.get("precision")?.as_str()?,
+            r.get("kernel")?.as_str()?
+        ))
+    };
+    let rows_of = |run: &serde_json::Value| -> Vec<(String, f64)> {
+        run.get("rows")
+            .and_then(|v| v.as_array())
+            .map(|rows| {
+                rows.iter()
+                    .filter_map(|r| Some((row_key(r)?, r.get("gflops")?.as_f64()?)))
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    rows_of(cand)
+        .into_iter()
+        .map(|(key, gf)| DiffMetric {
+            baseline: priors
+                .iter()
+                .flat_map(&rows_of)
+                .filter(|(k, _)| *k == key)
+                .map(|(_, v)| v)
+                .collect(),
+            name: format!("kernel gflops {key}"),
+            candidate: gf,
+            down_bad: true,
+        })
+        .collect()
+}
+
+/// Pull the serve trajectory's gated metrics: per-lane latency quantiles
+/// (up bad) and throughput (down bad), plus the server's realized mean
+/// batch size (down bad — a collapsing coalescer shows up here even when
+/// closed-loop client latency improves).
+fn serve_metrics(cand: &serde_json::Value, priors: &[serde_json::Value]) -> Vec<DiffMetric> {
+    let mut out = Vec::new();
+    let lane_val = |run: &serde_json::Value, precision: &str, field: &str| -> Option<f64> {
+        run.get("lanes")?
+            .as_array()?
+            .iter()
+            .find(|l| l.get("precision").and_then(|v| v.as_str()) == Some(precision))?
+            .get(field)?
+            .as_f64()
+    };
+    if let Some(lanes) = cand.get("lanes").and_then(|v| v.as_array()) {
+        for lane in lanes {
+            let Some(precision) = lane.get("precision").and_then(|v| v.as_str()) else {
+                continue;
+            };
+            for (field, down_bad) in [("p50_us", false), ("p99_us", false), ("qps", true)] {
+                let Some(val) = lane.get(field).and_then(|v| v.as_f64()) else {
+                    continue;
+                };
+                out.push(DiffMetric {
+                    name: format!("serve {precision} {field}"),
+                    baseline: priors
+                        .iter()
+                        .filter_map(|r| lane_val(r, precision, field))
+                        .collect(),
+                    candidate: val,
+                    down_bad,
+                });
+            }
+        }
+    }
+    let server_mean = |run: &serde_json::Value| -> Option<f64> {
+        run.get("server")?.get("batch_m_mean")?.as_f64()
+    };
+    if let Some(mean) = server_mean(cand) {
+        out.push(DiffMetric {
+            name: "serve batch_m_mean".to_string(),
+            baseline: priors.iter().filter_map(server_mean).collect(),
+            candidate: mean,
+            down_bad: true,
+        });
+    }
+    out
+}
+
+/// `bench-diff`: the trajectory regression gate. Compares the newest
+/// run of `BENCH_kernel.json` / `BENCH_serve.json` against a baseline
+/// built from the comparable prior runs (`--baseline median` of them by
+/// default, `prev` for just the previous run) and fails — nonzero exit —
+/// when any gated metric regressed by more than `--threshold-pct`.
+/// Metrics with no comparable baseline pass with a note, so the gate is
+/// safe to wire into CI before a trajectory exists.
+pub fn cmd_bench_diff(args: &ArgMap) -> Result<String, CliError> {
+    let kernel_path = PathBuf::from(args.str_or("kernel", "BENCH_kernel.json"));
+    let serve_path = PathBuf::from(args.str_or("serve", "BENCH_serve.json"));
+    let threshold_pct: f64 = args.get_or("threshold-pct", 10.0)?;
+    let smoke_ok: bool = args.get_or("smoke-ok", false)?;
+    let baseline_mode = args.str_or("baseline", "median");
+    if !matches!(baseline_mode.as_str(), "median" | "prev") {
+        return Err(CliError(format!(
+            "unknown --baseline '{baseline_mode}' (expected median or prev)"
+        )));
+    }
+    if !threshold_pct.is_finite() || threshold_pct <= 0.0 {
+        return Err(CliError(format!(
+            "--threshold-pct must be positive, got {threshold_pct}"
+        )));
+    }
+
+    let mut metrics: Vec<DiffMetric> = Vec::new();
+    let mut notes: Vec<String> = Vec::new();
+    let mut gated_files = 0usize;
+    for (path, label, pull) in [
+        (
+            &kernel_path,
+            "kernel",
+            kernel_metrics as fn(&serde_json::Value, &[serde_json::Value]) -> Vec<DiffMetric>,
+        ),
+        (&serve_path, "serve", serve_metrics),
+    ] {
+        match load_runs(path)? {
+            None => notes.push(format!("{label}: {} not found, skipped", path.display())),
+            Some(runs) => match candidate_and_priors(&runs, smoke_ok, label)? {
+                None => notes.push(format!("{label}: trajectory is empty, skipped")),
+                Some((cand, priors)) => {
+                    gated_files += 1;
+                    if priors.is_empty() {
+                        notes.push(format!("{label}: no comparable prior run, nothing gated"));
+                    }
+                    metrics.extend(pull(&cand, &priors));
+                }
+            },
+        }
+    }
+    if gated_files == 0 {
+        return Err(CliError(format!(
+            "neither {} nor {} holds a trajectory",
+            kernel_path.display(),
+            serve_path.display()
+        )));
+    }
+
+    let mut out = format!(
+        "bench-diff: newest run vs {baseline_mode}-of-prior baseline, threshold {threshold_pct}%\n"
+    );
+    writeln!(
+        out,
+        "{:<44} {:>12} {:>12} {:>9}  verdict",
+        "metric", "baseline", "candidate", "delta"
+    )
+    .unwrap();
+    let mut breaches = 0usize;
+    let mut compared = 0usize;
+    for m in &metrics {
+        let base = match baseline_mode.as_str() {
+            "prev" => m.baseline.last().copied(),
+            _ => median(&m.baseline),
+        };
+        let Some(base) = base else {
+            writeln!(
+                out,
+                "{:<44} {:>12} {:>12.2} {:>9}  no baseline",
+                m.name, "-", m.candidate, "-"
+            )
+            .unwrap();
+            continue;
+        };
+        if base <= 0.0 {
+            writeln!(
+                out,
+                "{:<44} {:>12.2} {:>12.2} {:>9}  zero baseline",
+                m.name, base, m.candidate, "-"
+            )
+            .unwrap();
+            continue;
+        }
+        compared += 1;
+        let delta_pct = (m.candidate - base) / base * 100.0;
+        let bad_pct = if m.down_bad { -delta_pct } else { delta_pct };
+        let verdict = if bad_pct > threshold_pct {
+            breaches += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        writeln!(
+            out,
+            "{:<44} {:>12.2} {:>12.2} {:>+8.1}%  {verdict}",
+            m.name, base, m.candidate, delta_pct
+        )
+        .unwrap();
+    }
+    for n in &notes {
+        writeln!(out, "note: {n}").unwrap();
+    }
+    writeln!(
+        out,
+        "{compared} metrics compared, {breaches} regression(s) past {threshold_pct}%"
+    )
+    .unwrap();
+    if breaches > 0 {
+        return Err(CliError(out));
+    }
+    Ok(out)
+}
+
 /// Top-level usage text.
 pub fn usage() -> String {
     "gsknn-cli <command> [--flag value ...]\n\
@@ -747,13 +1098,20 @@ pub fn usage() -> String {
      \x20                 --degrade-precision true --overload-threshold 0.75\n\
      \x20                 --overload-window-ms 250 --slow-query-ms 0\n\
      \x20                 --metrics-addr H:P --trace-ring 32]\n\
-     \x20 query-remote --addr H:P [--op query|ping|stats|metrics|traces|shutdown\n\
+     \x20 query-remote --addr H:P [--op query|ping|stats|metrics|traces|timeseries|shutdown\n\
      \x20                 --precision f64|f32\n\
      \x20                 --m 10 --d 16 --k 8 --deadline-ms 250 --queries F\n\
      \x20                 --expect-in F --min-recall 1.0 --connect-wait-ms 5000\n\
      \x20                 --timeout-ms 60000 --retries 0]\n\
      \x20 trace   --addr H:P [--out F --connect-wait-ms 5000]\n\
      \x20                 (slowest-request ring as Chrome trace-event JSON)\n\
+     \x20 top     --addr H:P [--interval-ms 1000 --iters N --rows 20\n\
+     \x20                 --timeseries-out F --connect-wait-ms 5000]\n\
+     \x20                 (live per-second load view; --timeseries-out dumps the JSON)\n\
+     \x20 bench-diff [--kernel BENCH_kernel.json --serve BENCH_serve.json\n\
+     \x20                 --threshold-pct 10 --baseline median|prev --smoke-ok true]\n\
+     \x20                 (gate the newest bench run against the trajectory; nonzero\n\
+     \x20                 exit when a metric regressed past the threshold)\n\
      flags:\n\
      \x20 --precision f64|f32   element type (f32 uses the 8-lane/16-lane\n\
      \x20                       single-precision micro-kernels)\n\
@@ -938,8 +1296,16 @@ mod tests {
         std::fs::remove_dir_all(dir).ok();
     }
 
+    /// The fault registry is process-global and the in-process servers
+    /// below answer deadline-bounded queries; run the tests that spin
+    /// one up serially so a concurrently configured fault plan (or plain
+    /// CPU contention from a neighboring server's client threads) cannot
+    /// leak into another test's latency and flush behavior.
+    static SERVE_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn serve_and_query_remote_round_trip() {
+        let _serial = SERVE_TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
         let dir = tmpdir();
         let f = dir.join("serve_refs.csv");
         // cmd_gen with --n 300 --d 8 --seed 1 writes exactly uniform(300, 8, 1),
@@ -974,6 +1340,235 @@ mod tests {
         let report = handle.join().unwrap();
         assert_eq!(report.queries, 24);
         std::fs::remove_file(f).ok();
+    }
+
+    /// One synthetic serve-trajectory run: fixed lane metrics, variable
+    /// coalescer outcome.
+    fn serve_run(batches: u64, queries: u64) -> serde_json::Value {
+        serde_json::json!({
+            "unix_time": 0,
+            "smoke": false,
+            "workload": {"n_refs": 500, "d": 8, "k": 4, "deadline_ms": 50,
+                         "clients": 4, "per_client": 10},
+            "lanes": [
+                {"precision": "f64", "queries": 40, "ok": 40,
+                 "p50_us": 1000.0, "p99_us": 2000.0, "qps": 100.0},
+            ],
+            "server": {
+                "queries": queries,
+                "batches": batches,
+                "batch_m_mean": queries as f64 / batches as f64,
+                "flushes": {"model": 0, "deadline": batches, "drain": 0},
+                "coalesce_ratio": 0.0,
+                "roofline": [],
+            },
+        })
+    }
+
+    fn write_trajectory(path: &std::path::Path, benchmark: &str, runs: Vec<serde_json::Value>) {
+        let doc = serde_json::json!({
+            "benchmark": benchmark, "metric": "test fixture",
+            "runs": (serde_json::Value::Array(runs)),
+        });
+        std::fs::write(path, doc.to_string()).unwrap();
+    }
+
+    #[test]
+    fn bench_diff_passes_identical_runs_and_trips_on_degradation() {
+        let dir = tmpdir().join("benchdiff");
+        std::fs::create_dir_all(&dir).unwrap();
+        let kernel = dir.join("BENCH_kernel.json");
+        let serve = dir.join("BENCH_serve.json");
+        let kernel_run = |gflops: f64| {
+            serde_json::json!({
+                "unix_time": 0, "smoke": false, "reps": 3,
+                "rows": [
+                    {"m": 256, "n": 256, "d": 16, "k": 8, "precision": "f64",
+                     "kernel": "fused", "seconds": 0.001, "gflops": gflops},
+                ],
+            })
+        };
+        // identical back-to-back runs: the gate must pass
+        write_trajectory(&kernel, "kernel", vec![kernel_run(10.0), kernel_run(10.0)]);
+        write_trajectory(&serve, "serve", vec![serve_run(10, 40), serve_run(10, 40)]);
+        let flags = format!(
+            "--kernel {} --serve {} --threshold-pct 25",
+            kernel.display(),
+            serve.display()
+        );
+        let out = cmd_bench_diff(&argmap(&flags)).unwrap();
+        assert!(out.contains("0 regression(s)"), "{out}");
+        assert!(
+            out.contains("kernel gflops m256 n256 d16 k8 f64 fused"),
+            "{out}"
+        );
+        assert!(out.contains("serve batch_m_mean"), "{out}");
+
+        // a collapsed coalescer (batch_m_mean 4.0 -> 1.0) must trip it
+        write_trajectory(
+            &serve,
+            "serve",
+            vec![serve_run(10, 40), serve_run(10, 40), serve_run(40, 40)],
+        );
+        let err = cmd_bench_diff(&argmap(&flags)).unwrap_err();
+        assert!(err.0.contains("REGRESSED"), "{}", err.0);
+        assert!(err.0.contains("serve batch_m_mean"), "{}", err.0);
+
+        // a kernel GFLOPS drop past the threshold trips it too
+        write_trajectory(&serve, "serve", vec![serve_run(10, 40), serve_run(10, 40)]);
+        write_trajectory(
+            &kernel,
+            "kernel",
+            vec![kernel_run(10.0), kernel_run(10.0), kernel_run(5.0)],
+        );
+        let err = cmd_bench_diff(&argmap(&flags)).unwrap_err();
+        assert!(err.0.contains("REGRESSED"), "{}", err.0);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn bench_diff_first_run_has_no_baseline_and_passes() {
+        let dir = tmpdir().join("benchdiff_first");
+        std::fs::create_dir_all(&dir).unwrap();
+        let serve = dir.join("BENCH_serve.json");
+        write_trajectory(&serve, "serve", vec![serve_run(10, 40)]);
+        let out = cmd_bench_diff(&argmap(&format!(
+            "--kernel {} --serve {}",
+            dir.join("missing.json").display(),
+            serve.display()
+        )))
+        .unwrap();
+        assert!(out.contains("no comparable prior run"), "{out}");
+        assert!(out.contains("no baseline"), "{out}");
+        assert!(out.contains("0 regression(s)"), "{out}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn bench_diff_refuses_smoke_candidate_without_opt_in() {
+        let dir = tmpdir().join("benchdiff_smoke");
+        std::fs::create_dir_all(&dir).unwrap();
+        let serve = dir.join("BENCH_serve.json");
+        let mut smoke_run = serve_run(10, 40);
+        if let serde_json::Value::Object(members) = &mut smoke_run {
+            for (k, v) in members.iter_mut() {
+                if k == "smoke" {
+                    *v = serde_json::Value::from(true);
+                }
+            }
+        }
+        write_trajectory(&serve, "serve", vec![smoke_run.clone(), smoke_run]);
+        let flags = format!(
+            "--kernel {} --serve {}",
+            dir.join("missing.json").display(),
+            serve.display()
+        );
+        let err = cmd_bench_diff(&argmap(&flags)).unwrap_err();
+        assert!(err.0.contains("--smoke-ok"), "{}", err.0);
+        let out = cmd_bench_diff(&argmap(&format!("{flags} --smoke-ok true"))).unwrap();
+        assert!(out.contains("0 regression(s)"), "{out}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn top_renders_timeseries_and_dumps_json() {
+        let _serial = SERVE_TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let dir = tmpdir();
+        let dump = dir.join("timeseries.json");
+        let index = gsknn_serve::ServeIndex::build(uniform(300, 8, 1), 1, 300, 7);
+        let server =
+            gsknn_serve::Server::bind(gsknn_serve::ServerConfig::default(), index).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run());
+        // put some load through so the sampler has a live second
+        cmd_query_remote(&argmap(&format!("--addr {addr} --m 6 --d 8 --k 3"))).unwrap();
+
+        let raw = cmd_query_remote(&argmap(&format!("--addr {addr} --op timeseries"))).unwrap();
+        assert!(raw.contains("\"timeseries\""), "{raw}");
+
+        let out = cmd_top(&argmap(&format!(
+            "--addr {addr} --iters 1 --timeseries-out {}",
+            dump.display()
+        )))
+        .unwrap();
+        assert!(out.contains("gsknn top"), "{out}");
+        assert!(out.contains("t(s)"), "{out}");
+        let text = std::fs::read_to_string(&dump).unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let (enabled, window_s, samples) = gsknn_obs::parse_timeseries(&doc).unwrap();
+        assert!(enabled);
+        assert_eq!(window_s, gsknn_serve::WINDOW_S);
+        let arrivals: u64 = samples.iter().map(|s| s.arrivals).sum();
+        assert!(arrivals >= 1, "sampler saw the queries: {samples:?}");
+
+        cmd_query_remote(&argmap(&format!("--addr {addr} --op shutdown"))).unwrap();
+        handle.join().unwrap();
+        std::fs::remove_file(dump).ok();
+    }
+
+    /// End-to-end trajectory gate against a *really* degraded coalescer:
+    /// two clean workload runs agree, then a third with the CoalesceFlush
+    /// fault forced on collapses the realized batch size and bench-diff
+    /// trips. Runs the same in-process workload three times, building
+    /// each trajectory point from the drained server's final report.
+    #[cfg(feature = "faults")]
+    #[test]
+    fn bench_diff_trips_on_fault_degraded_coalescer() {
+        let _serial = SERVE_TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        fn workload_run() -> serde_json::Value {
+            let index = gsknn_serve::ServeIndex::build(uniform(500, 8, 3), 2, 256, 7);
+            let server =
+                gsknn_serve::Server::bind(gsknn_serve::ServerConfig::default(), index).unwrap();
+            let addr = server.local_addr().unwrap();
+            let handle = std::thread::spawn(move || server.run());
+            let qs = uniform(64, 8, 9);
+            std::thread::scope(|s| {
+                for c in 0..4usize {
+                    let qs = &qs;
+                    s.spawn(move || {
+                        let mut client = gsknn_serve::Client::connect(addr).unwrap();
+                        for i in 0..10 {
+                            let q = qs.point((c * 10 + i) % qs.len());
+                            client.query::<f64>(q, 1, 4, 50).unwrap();
+                        }
+                    });
+                }
+            });
+            gsknn_serve::Client::connect(addr)
+                .and_then(|mut c| c.shutdown())
+                .unwrap();
+            let report = handle.join().unwrap();
+            serve_run(report.batches.max(1), report.queries)
+        }
+
+        let dir = tmpdir().join("benchdiff_faults");
+        std::fs::create_dir_all(&dir).unwrap();
+        let serve = dir.join("BENCH_serve.json");
+        let flags = format!(
+            "--kernel {} --serve {} --threshold-pct 25",
+            dir.join("missing.json").display(),
+            serve.display()
+        );
+
+        gsknn_faults::clear();
+        let clean_a = workload_run();
+        let clean_b = workload_run();
+        write_trajectory(&serve, "serve", vec![clean_a.clone(), clean_b.clone()]);
+        let out = cmd_bench_diff(&argmap(&flags)).unwrap();
+        assert!(out.contains("0 regression(s)"), "{out}");
+
+        // force every coalesce wait to flush immediately: batches of ~1
+        gsknn_faults::configure(gsknn_faults::FaultPlan::new(7).with(
+            gsknn_faults::FaultPoint::CoalesceFlush,
+            gsknn_faults::Mode::Always,
+        ));
+        let degraded = workload_run();
+        gsknn_faults::clear();
+        write_trajectory(&serve, "serve", vec![clean_a, clean_b, degraded]);
+        let err = cmd_bench_diff(&argmap(&flags)).unwrap_err();
+        assert!(err.0.contains("REGRESSED"), "{}", err.0);
+        assert!(err.0.contains("serve batch_m_mean"), "{}", err.0);
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]

@@ -25,6 +25,14 @@
 //! * **Request traces** — span timelines for individual served
 //!   requests, a keep-the-slowest ring, and Chrome trace-event JSON
 //!   export ([`trace`]).
+//! * **Roofline attribution** — per-batch classification against the
+//!   §2.6 machine asymptotes (compute- / bandwidth- / coalesce- /
+//!   queue-bound) with a headroom gauge ([`roofline`]), aggregated per
+//!   lane in [`ServeReport`].
+//! * **Load time-series** — per-second snapshots of serving activity
+//!   (arrival rate, queue depth, batch-size mean, flush reasons,
+//!   aggregate kernel-phase split) and the `gsknn-cli top` rendering
+//!   ([`timeseries`]).
 //!
 //! All reports render as text tables and export as JSON (the `gsknn
 //! profile` CLI subcommand writes them under `bench_out/`).
@@ -37,13 +45,17 @@
 pub mod hist;
 pub mod profile;
 pub mod report;
+pub mod roofline;
 pub mod serve;
+pub mod timeseries;
 pub mod trace;
 
 pub use hist::{HistSnapshot, LatencyHistogram};
 pub use profile::{profile_run, profile_synthetic};
 pub use report::{DriftRow, PhaseRow, ProfileReport, SchedulerReport, VariantTiming, WorkerRow};
+pub use roofline::{classify, BoundClass, RooflineInputs, RooflineRow, RooflineVerdict};
 pub use serve::{batch_bucket, FlushCounts, LatencyRow, ServeReport, BATCH_BUCKETS};
+pub use timeseries::{parse_timeseries, render_top, timeseries_json, LoadSample};
 pub use trace::{chrome_trace_json, Trace, TraceRing, TraceSpan};
 
 #[cfg(test)]

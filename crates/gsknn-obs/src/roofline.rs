@@ -1,0 +1,376 @@
+//! Roofline bottleneck attribution for executed batches.
+//!
+//! Every flushed batch is classified against the §2.6 machine asymptotes
+//! ([`gsknn_core::MachineParams`], rescaled per scalar width by
+//! `for_scalar`): did it run at the compute roof, at the bandwidth roof,
+//! or below both because the *serving policy* — not the kernel — starved
+//! it? Four classes:
+//!
+//! * **compute-bound** — the batch was full-sized and its measured phase
+//!   profile is dominated by the rank-dc/selection compute phases.
+//! * **bandwidth-bound** — full-sized, but packing/writeback traffic
+//!   dominates the measured phases (the `τb` roof is the binding one).
+//! * **coalesce-bound** — the coalescer's deadline (or a shutdown drain)
+//!   fired before the batch reached its model target `m*`: the kernel ran
+//!   in the inefficient small-`m` regime the coalescer exists to avoid.
+//! * **queue-bound** — the batch was full-sized yet at flush time at
+//!   least one more full batch of work was already waiting: requests pay
+//!   queueing delay, adding workers/shards (not batching) is the lever.
+//!
+//! The **headroom** gauge is the paper's asymptote ÷ achieved on the
+//! binding resource — "how many × faster this batch could have gone at
+//! the roof". Aggerates of both (per lane × class batch counts, mean
+//! headroom) ride in [`crate::ServeReport`].
+
+use serde_json::Value;
+
+/// Which roof (or policy limit) bound a batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BoundClass {
+    /// Compute phases dominate a full-sized batch.
+    Compute,
+    /// Memory-movement phases dominate a full-sized batch.
+    Bandwidth,
+    /// Flushed undersized by deadline/drain — starved by arrivals.
+    Coalesce,
+    /// Full-sized, but a further full batch was already backlogged.
+    Queue,
+}
+
+impl BoundClass {
+    /// All classes, in counter-index order.
+    pub const ALL: [BoundClass; 4] = [
+        BoundClass::Compute,
+        BoundClass::Bandwidth,
+        BoundClass::Coalesce,
+        BoundClass::Queue,
+    ];
+
+    /// Stable label used in JSON and the Prometheus `bound` label.
+    pub fn name(self) -> &'static str {
+        match self {
+            BoundClass::Compute => "compute",
+            BoundClass::Bandwidth => "bandwidth",
+            BoundClass::Coalesce => "coalesce",
+            BoundClass::Queue => "queue",
+        }
+    }
+
+    /// Index into per-class counter arrays (`ALL[idx] == self`).
+    pub fn index(self) -> usize {
+        match self {
+            BoundClass::Compute => 0,
+            BoundClass::Bandwidth => 1,
+            BoundClass::Coalesce => 2,
+            BoundClass::Queue => 3,
+        }
+    }
+}
+
+/// Everything the classifier needs about one executed batch. All rates
+/// are in the units of the *scaled* machine (after `for_scalar`), so f32
+/// and f64 lanes are each measured against their own roofs.
+#[derive(Clone, Copy, Debug)]
+pub struct RooflineInputs {
+    /// Useful flops of the batch (model count × kernel calls).
+    pub flops: f64,
+    /// Slow-memory bytes moved (packing + writeback, model count).
+    pub bytes: f64,
+    /// Measured wall seconds for the whole batch execution.
+    pub measured_s: f64,
+    /// Measured seconds in memory-movement phases (pack R/Q, writeback).
+    pub mem_phase_s: f64,
+    /// Measured seconds in compute phases (rank-dc, selection).
+    pub compute_phase_s: f64,
+    /// Machine peak flops/s (`τf`).
+    pub peak_flops_per_s: f64,
+    /// Machine peak bytes/s (element bytes ÷ `τb`).
+    pub peak_bytes_per_s: f64,
+    /// Query points in the batch.
+    pub batch_m: usize,
+    /// The lane's model-derived target `m*`.
+    pub target_m: usize,
+    /// Flush reason was deadline or drain (not model-target).
+    pub deadline_flush: bool,
+    /// Query points still waiting (in flight beyond this batch) at flush.
+    pub backlog: usize,
+}
+
+/// The classifier's output for one batch.
+#[derive(Clone, Copy, Debug)]
+pub struct RooflineVerdict {
+    /// The binding roof / policy limit.
+    pub class: BoundClass,
+    /// Asymptote ÷ achieved on the binding resource (≥ 1 when the model
+    /// is honest; < 1 means the machine beat the model's roof).
+    pub headroom: f64,
+}
+
+fn ratio(peak: f64, achieved: f64) -> f64 {
+    if achieved > 0.0 && peak > 0.0 {
+        peak / achieved
+    } else {
+        1.0
+    }
+}
+
+/// Classify one executed batch; see the module docs for the rules.
+pub fn classify(inp: &RooflineInputs) -> RooflineVerdict {
+    let achieved_flops = if inp.measured_s > 0.0 {
+        inp.flops / inp.measured_s
+    } else {
+        0.0
+    };
+    let achieved_bytes = if inp.measured_s > 0.0 {
+        inp.bytes / inp.measured_s
+    } else {
+        0.0
+    };
+    let flop_headroom = ratio(inp.peak_flops_per_s, achieved_flops);
+    let byte_headroom = ratio(inp.peak_bytes_per_s, achieved_bytes);
+
+    // Policy-bound classes first: an undersized deadline/drain flush ran
+    // the kernel below its efficient regime no matter what the phase
+    // profile says, and a full batch with a full batch still queued is
+    // wait-dominated from the request's point of view.
+    if inp.deadline_flush && inp.batch_m < inp.target_m {
+        return RooflineVerdict {
+            class: BoundClass::Coalesce,
+            headroom: flop_headroom,
+        };
+    }
+    if inp.backlog >= inp.target_m.max(1) {
+        return RooflineVerdict {
+            class: BoundClass::Queue,
+            headroom: flop_headroom,
+        };
+    }
+
+    // Full-sized batch: pick the roof by the measured phase split when
+    // phases were recorded, else by which utilization is closer to 1.
+    let phase_total = inp.mem_phase_s + inp.compute_phase_s;
+    let bandwidth_bound = if phase_total > 0.0 {
+        inp.mem_phase_s > inp.compute_phase_s
+    } else {
+        byte_headroom < flop_headroom
+    };
+    if bandwidth_bound {
+        RooflineVerdict {
+            class: BoundClass::Bandwidth,
+            headroom: byte_headroom,
+        }
+    } else {
+        RooflineVerdict {
+            class: BoundClass::Compute,
+            headroom: flop_headroom,
+        }
+    }
+}
+
+/// Per-lane roofline aggregate: batch counts per bound class plus the
+/// running headroom sum (gauge = `headroom_sum / total()`).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RooflineRow {
+    /// Lane label (`"f64"` / `"f32"`).
+    pub lane: String,
+    /// Batch counts indexed by [`BoundClass::index`].
+    pub counts: [u64; 4],
+    /// Sum of per-batch headroom values (mean = sum / total).
+    pub headroom_sum: f64,
+}
+
+impl RooflineRow {
+    /// A zeroed row for `lane`.
+    pub fn new(lane: &str) -> Self {
+        RooflineRow {
+            lane: lane.to_string(),
+            counts: [0; 4],
+            headroom_sum: 0.0,
+        }
+    }
+
+    /// Total classified batches (sums the per-class counts).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Mean headroom across the lane's batches, `None` when no batch ran.
+    pub fn headroom_mean(&self) -> Option<f64> {
+        let n = self.total();
+        if n == 0 {
+            None
+        } else {
+            Some(self.headroom_sum / n as f64)
+        }
+    }
+
+    /// Share of batches bound by the serving policy (coalesce + queue)
+    /// rather than a hardware roof. `None` when no batch ran.
+    pub fn policy_bound_share(&self) -> Option<f64> {
+        let n = self.total();
+        if n == 0 {
+            return None;
+        }
+        let policy =
+            self.counts[BoundClass::Coalesce.index()] + self.counts[BoundClass::Queue.index()];
+        Some(policy as f64 / n as f64)
+    }
+
+    /// JSON object: `{"lane", per-class counts, "batches", "headroom"}`.
+    pub fn to_json(&self) -> Value {
+        let mut pairs = vec![("lane".to_string(), Value::from(self.lane.clone()))];
+        for class in BoundClass::ALL {
+            pairs.push((
+                class.name().to_string(),
+                Value::from(self.counts[class.index()]),
+            ));
+        }
+        pairs.push(("batches".to_string(), Value::from(self.total())));
+        pairs.push((
+            "headroom".to_string(),
+            match self.headroom_mean() {
+                Some(h) => Value::from(h),
+                None => Value::Null,
+            },
+        ));
+        Value::Object(pairs)
+    }
+
+    /// Parse a row written by [`RooflineRow::to_json`].
+    pub fn from_json(v: &Value) -> Option<RooflineRow> {
+        let lane = v.get("lane")?.as_str()?.to_string();
+        let mut counts = [0u64; 4];
+        for class in BoundClass::ALL {
+            counts[class.index()] = v.get(class.name())?.as_u64()?;
+        }
+        let total: u64 = counts.iter().sum();
+        let headroom_sum = v
+            .get("headroom")
+            .and_then(|h| h.as_f64())
+            .map(|mean| mean * total as f64)
+            .unwrap_or(0.0);
+        Some(RooflineRow {
+            lane,
+            counts,
+            headroom_sum,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_batch_inputs() -> RooflineInputs {
+        RooflineInputs {
+            flops: 1.0e9,
+            bytes: 1.0e8,
+            measured_s: 0.1,
+            mem_phase_s: 0.02,
+            compute_phase_s: 0.07,
+            peak_flops_per_s: 28.32e9,
+            peak_bytes_per_s: 8.0 / 2.2e-9,
+            batch_m: 64,
+            target_m: 64,
+            deadline_flush: false,
+            backlog: 0,
+        }
+    }
+
+    #[test]
+    fn class_names_and_indices_round_trip() {
+        for (i, class) in BoundClass::ALL.into_iter().enumerate() {
+            assert_eq!(class.index(), i);
+            assert_eq!(BoundClass::ALL[class.index()], class);
+        }
+        let names: Vec<_> = BoundClass::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names, ["compute", "bandwidth", "coalesce", "queue"]);
+    }
+
+    #[test]
+    fn undersized_deadline_flush_is_coalesce_bound() {
+        let inp = RooflineInputs {
+            batch_m: 3,
+            target_m: 64,
+            deadline_flush: true,
+            ..full_batch_inputs()
+        };
+        let v = classify(&inp);
+        assert_eq!(v.class, BoundClass::Coalesce);
+        // 1e9 flops in 0.1 s = 10 GFLOPS vs 28.32 peak
+        assert!((v.headroom - 2.832).abs() < 1e-9, "{}", v.headroom);
+    }
+
+    #[test]
+    fn full_batch_with_backlog_is_queue_bound() {
+        let inp = RooflineInputs {
+            backlog: 128,
+            ..full_batch_inputs()
+        };
+        assert_eq!(classify(&inp).class, BoundClass::Queue);
+    }
+
+    #[test]
+    fn deadline_flush_at_target_is_not_coalesce_bound() {
+        // the deadline fired, but the batch had already reached m*: the
+        // kernel ran in its efficient regime
+        let inp = RooflineInputs {
+            deadline_flush: true,
+            ..full_batch_inputs()
+        };
+        assert_eq!(classify(&inp).class, BoundClass::Compute);
+    }
+
+    #[test]
+    fn phase_split_picks_the_roof() {
+        let compute = classify(&full_batch_inputs());
+        assert_eq!(compute.class, BoundClass::Compute);
+        let bw = classify(&RooflineInputs {
+            mem_phase_s: 0.08,
+            compute_phase_s: 0.01,
+            ..full_batch_inputs()
+        });
+        assert_eq!(bw.class, BoundClass::Bandwidth);
+        // bandwidth headroom is peak_bytes / (bytes / measured)
+        let achieved = 1.0e8 / 0.1;
+        let expect = (8.0 / 2.2e-9) / achieved;
+        assert!((bw.headroom - expect).abs() < 1e-6 * expect);
+    }
+
+    #[test]
+    fn degenerate_measurements_fall_back_to_unit_headroom() {
+        let v = classify(&RooflineInputs {
+            measured_s: 0.0,
+            ..full_batch_inputs()
+        });
+        assert_eq!(v.headroom, 1.0);
+    }
+
+    #[test]
+    fn row_aggregates_and_round_trips_json() {
+        let mut row = RooflineRow::new("f32");
+        for _ in 0..3 {
+            row.counts[BoundClass::Coalesce.index()] += 1;
+            row.headroom_sum += 4.0;
+        }
+        row.counts[BoundClass::Compute.index()] += 1;
+        row.headroom_sum += 2.0;
+        assert_eq!(row.total(), 4);
+        assert_eq!(row.headroom_mean(), Some(3.5));
+        assert_eq!(row.policy_bound_share(), Some(0.75));
+        let back = RooflineRow::from_json(&row.to_json()).expect("parses");
+        assert_eq!(back.lane, "f32");
+        assert_eq!(back.counts, row.counts);
+        assert!((back.headroom_sum - row.headroom_sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_row_serializes_null_headroom() {
+        let row = RooflineRow::new("f64");
+        assert_eq!(row.headroom_mean(), None);
+        assert_eq!(row.policy_bound_share(), None);
+        let j = row.to_json();
+        assert!(matches!(j.get("headroom"), Some(Value::Null)));
+        assert_eq!(RooflineRow::from_json(&j).unwrap(), row);
+    }
+}

@@ -10,7 +10,24 @@
 //! aggregated over every flush instead of one profiled problem.
 
 use crate::hist::HistSnapshot;
+use crate::roofline::{BoundClass, RooflineRow};
 use serde_json::Value;
+
+/// Escape a label value for the Prometheus text exposition (format
+/// 0.0.4): backslash, double-quote and newline must be escaped inside
+/// the quoted value.
+pub fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
 
 /// End-to-end latency histogram for one (lane, terminal status) pair.
 #[derive(Clone, Debug)]
@@ -91,6 +108,11 @@ pub struct ServeReport {
     pub overload_events: u64,
     /// Flush counts by trigger.
     pub flushes: FlushCounts,
+    /// Per-lane roofline attribution: executed-batch counts per bound
+    /// class ([`BoundClass`]) plus the headroom gauge. Empty when the
+    /// server compiled its `obs` feature out (the recorder is a
+    /// zero-sized no-op there).
+    pub roofline: Vec<RooflineRow>,
     /// Batch-size histogram over [`BATCH_BUCKETS`].
     pub batch_hist: Vec<u64>,
     /// Highest simultaneous pending-query count observed.
@@ -200,6 +222,10 @@ impl ServeReport {
                 "coalesce_ratio".into(),
                 Value::from(self.flushes.coalesce_ratio()),
             ),
+            (
+                "roofline".into(),
+                Value::Array(self.roofline.iter().map(RooflineRow::to_json).collect()),
+            ),
             ("batch_hist".into(), Value::Array(hist)),
             (
                 "queue_high_water".into(),
@@ -251,6 +277,30 @@ impl ServeReport {
             self.flushes.drain,
             self.flushes.coalesce_ratio()
         ));
+        for row in &self.roofline {
+            if row.total() == 0 {
+                continue;
+            }
+            let counts: Vec<String> = BoundClass::ALL
+                .iter()
+                .map(|c| format!("{} {}", row.counts[c.index()], c.name()))
+                .collect();
+            let headroom = row
+                .headroom_mean()
+                .map(|h| format!("x{h:.2}"))
+                .unwrap_or_else(|| "n/a".to_string());
+            let policy = row
+                .policy_bound_share()
+                .map(|s| format!("{:.0}%", s * 100.0))
+                .unwrap_or_else(|| "n/a".to_string());
+            out.push_str(&format!(
+                "roofline {}: {} | headroom {} | policy-bound {}\n",
+                row.lane,
+                counts.join(", "),
+                headroom,
+                policy
+            ));
+        }
         if self.worker_panics + self.worker_respawns + self.degraded_queries + self.overload_events
             > 0
         {
@@ -386,6 +436,21 @@ impl ServeReport {
         ] {
             out.push_str(&format!("gsknn_flushes_total{{reason=\"{reason}\"}} {v}\n"));
         }
+        if !self.roofline.is_empty() {
+            out.push_str(
+                "# HELP gsknn_roofline_batches_total Executed batches by binding roofline class.\n# TYPE gsknn_roofline_batches_total counter\n",
+            );
+            for row in &self.roofline {
+                let lane = escape_label(&row.lane);
+                for class in BoundClass::ALL {
+                    out.push_str(&format!(
+                        "gsknn_roofline_batches_total{{lane=\"{lane}\",bound=\"{}\"}} {}\n",
+                        class.name(),
+                        row.counts[class.index()]
+                    ));
+                }
+            }
+        }
         let mut gauge = |name: &str, help: &str, v: String| {
             out.push_str(&format!(
                 "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"
@@ -411,11 +476,27 @@ impl ServeReport {
             "Fraction of steady-state flushes triggered by the model.",
             format!("{:.6}", self.flushes.coalesce_ratio()),
         );
+        if self.roofline.iter().any(|r| r.total() > 0) {
+            out.push_str(
+                "# HELP gsknn_roofline_headroom Mean asymptote-over-achieved on the binding resource.\n# TYPE gsknn_roofline_headroom gauge\n",
+            );
+            for row in &self.roofline {
+                if let Some(h) = row.headroom_mean() {
+                    out.push_str(&format!(
+                        "gsknn_roofline_headroom{{lane=\"{}\"}} {h:.6}\n",
+                        escape_label(&row.lane)
+                    ));
+                }
+            }
+        }
         out.push_str(
             "# HELP gsknn_batch_target Model batch-size target m* per lane.\n# TYPE gsknn_batch_target gauge\n",
         );
         for (lane, m) in &self.batch_targets {
-            out.push_str(&format!("gsknn_batch_target{{lane=\"{lane}\"}} {m}\n"));
+            out.push_str(&format!(
+                "gsknn_batch_target{{lane=\"{}\"}} {m}\n",
+                escape_label(lane)
+            ));
         }
         out.push_str(
             "# HELP gsknn_batch_size Coalesced batch sizes.\n# TYPE gsknn_batch_size histogram\n",
@@ -439,7 +520,11 @@ impl ServeReport {
                 "# HELP gsknn_request_latency_seconds End-to-end request latency (receive to reply written).\n# TYPE gsknn_request_latency_seconds histogram\n",
             );
             for row in &self.latency {
-                let labels = format!("lane=\"{}\",status=\"{}\"", row.lane, row.status);
+                let labels = format!(
+                    "lane=\"{}\",status=\"{}\"",
+                    escape_label(&row.lane),
+                    escape_label(&row.status)
+                );
                 let mut cum = 0u64;
                 for (le_ns, count) in row.hist.nonzero_buckets() {
                     cum += count;
@@ -503,6 +588,18 @@ mod tests {
                 deadline: 1,
                 drain: 1,
             },
+            roofline: vec![
+                RooflineRow {
+                    lane: "f64".into(),
+                    counts: [1, 0, 3, 0],
+                    headroom_sum: 12.0,
+                },
+                RooflineRow {
+                    lane: "f32".into(),
+                    counts: [0, 1, 1, 0],
+                    headroom_sum: 5.0,
+                },
+            ],
             batch_hist: hist,
             queue_high_water: 17,
             in_flight: 4,
@@ -684,5 +781,478 @@ mod tests {
         assert_eq!(r.drift_ratio(), None);
         assert!(r.render_table().contains("no batches executed"));
         assert_eq!(r.to_json().get("drift_ratio"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn roofline_flows_through_json_table_and_prometheus() {
+        let r = sample();
+        let back: Value = serde_json::from_str(&r.to_json().to_string()).unwrap();
+        let rows = back.get("roofline").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("lane").and_then(|v| v.as_str()), Some("f64"));
+        assert_eq!(rows[0].get("coalesce").and_then(|v| v.as_u64()), Some(3));
+        assert_eq!(rows[0].get("batches").and_then(|v| v.as_u64()), Some(4));
+        assert!((rows[0].get("headroom").and_then(|v| v.as_f64()).unwrap() - 3.0).abs() < 1e-9);
+
+        let table = r.render_table();
+        assert!(table.contains("roofline f64: 1 compute, 0 bandwidth, 3 coalesce, 0 queue"));
+        assert!(table.contains("headroom x3.00"));
+        assert!(table.contains("policy-bound 75%"));
+
+        let prom = r.render_prometheus();
+        assert!(prom.contains("# TYPE gsknn_roofline_batches_total counter"));
+        assert!(prom.contains("gsknn_roofline_batches_total{lane=\"f64\",bound=\"coalesce\"} 3"));
+        assert!(prom.contains("gsknn_roofline_batches_total{lane=\"f32\",bound=\"bandwidth\"} 1"));
+        assert!(prom.contains("gsknn_roofline_headroom{lane=\"f64\"} 3.000000"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut r = sample();
+        r.batch_targets = vec![("f\"6\\4\nx".into(), 48)];
+        let prom = r.render_prometheus();
+        assert!(prom.contains("gsknn_batch_target{lane=\"f\\\"6\\\\4\\nx\"} 48"));
+        promparse::parse(&prom).expect("escaped exposition still parses strictly");
+    }
+
+    /// A strict text-format-0.0.4 parser: rejects malformed names,
+    /// unescaped label values, missing TYPE declarations, non-numeric
+    /// sample values, non-monotone histogram buckets, and `_count` rows
+    /// that disagree with the `+Inf` bucket.
+    mod promparse {
+        #[derive(Debug, Clone)]
+        pub struct Sample {
+            pub name: String,
+            pub labels: Vec<(String, String)>,
+            pub value: f64,
+        }
+
+        fn valid_metric_name(s: &str) -> bool {
+            let mut chars = s.chars();
+            match chars.next() {
+                Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+                _ => return false,
+            }
+            chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        }
+
+        fn valid_label_name(s: &str) -> bool {
+            let mut chars = s.chars();
+            match chars.next() {
+                Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+                _ => return false,
+            }
+            chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+        }
+
+        fn parse_labels(s: &str) -> Result<Vec<(String, String)>, String> {
+            let mut out = Vec::new();
+            let mut chars = s.chars().peekable();
+            loop {
+                let mut name = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        name.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if !valid_label_name(&name) {
+                    return Err(format!("bad label name {name:?} in {s:?}"));
+                }
+                if chars.next() != Some('=') || chars.next() != Some('"') {
+                    return Err(format!("expected =\" after label name in {s:?}"));
+                }
+                let mut val = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\\') => match chars.next() {
+                            Some('\\') => val.push('\\'),
+                            Some('"') => val.push('"'),
+                            Some('n') => val.push('\n'),
+                            other => return Err(format!("bad escape {other:?} in {s:?}")),
+                        },
+                        Some('"') => break,
+                        Some('\n') | None => return Err(format!("unterminated value in {s:?}")),
+                        Some(c) => val.push(c),
+                    }
+                }
+                out.push((name, val));
+                match chars.next() {
+                    Some(',') => continue,
+                    None => break,
+                    Some(c) => return Err(format!("unexpected {c:?} after label in {s:?}")),
+                }
+            }
+            Ok(out)
+        }
+
+        fn parse_sample(line: &str) -> Result<Sample, String> {
+            let (name, rest) = match line.find('{') {
+                Some(brace) => {
+                    // find the closing brace outside quotes, honoring escapes
+                    let tail = &line[brace + 1..];
+                    let mut in_quotes = false;
+                    let mut escaped = false;
+                    let mut close = None;
+                    for (i, c) in tail.char_indices() {
+                        if escaped {
+                            escaped = false;
+                        } else if c == '\\' {
+                            escaped = true;
+                        } else if c == '"' {
+                            in_quotes = !in_quotes;
+                        } else if c == '}' && !in_quotes {
+                            close = Some(i);
+                            break;
+                        }
+                    }
+                    let close = close.ok_or_else(|| format!("no closing brace in {line:?}"))?;
+                    let labels = parse_labels(&tail[..close])?;
+                    (&line[..brace], (labels, &tail[close + 1..]))
+                }
+                None => {
+                    let sp = line
+                        .find(' ')
+                        .ok_or_else(|| format!("no value in {line:?}"))?;
+                    (&line[..sp], (Vec::new(), &line[sp..]))
+                }
+            };
+            let (labels, value_part) = rest;
+            if !valid_metric_name(name) {
+                return Err(format!("bad metric name {name:?}"));
+            }
+            let value_part = value_part
+                .strip_prefix(' ')
+                .ok_or_else(|| format!("missing space before value in {line:?}"))?;
+            if value_part.contains(' ') {
+                return Err(format!("trailing tokens in {line:?}"));
+            }
+            let value = match value_part {
+                "+Inf" => f64::INFINITY,
+                "-Inf" => f64::NEG_INFINITY,
+                v => v
+                    .parse::<f64>()
+                    .map_err(|_| format!("unparseable value {v:?} in {line:?}"))?,
+            };
+            Ok(Sample {
+                name: name.to_string(),
+                labels,
+                value,
+            })
+        }
+
+        /// Parse and structurally validate a full exposition.
+        pub fn parse(text: &str) -> Result<Vec<Sample>, String> {
+            let mut types: Vec<(String, String)> = Vec::new();
+            let mut samples: Vec<Sample> = Vec::new();
+            for line in text.lines() {
+                if line.is_empty() {
+                    continue;
+                }
+                if let Some(comment) = line.strip_prefix("# ") {
+                    let mut parts = comment.splitn(3, ' ');
+                    let keyword = parts.next().unwrap_or("");
+                    let name = parts.next().unwrap_or("");
+                    let body = parts.next();
+                    if !valid_metric_name(name) {
+                        return Err(format!("bad name in comment {line:?}"));
+                    }
+                    match keyword {
+                        "HELP" => {
+                            if body.is_none() {
+                                return Err(format!("HELP without text: {line:?}"));
+                            }
+                        }
+                        "TYPE" => {
+                            let ty = body.ok_or_else(|| format!("TYPE without type: {line:?}"))?;
+                            if !["counter", "gauge", "histogram", "summary", "untyped"]
+                                .contains(&ty)
+                            {
+                                return Err(format!("unknown type {ty:?}"));
+                            }
+                            if types.iter().any(|(n, _)| n == name) {
+                                return Err(format!("duplicate TYPE for {name}"));
+                            }
+                            types.push((name.to_string(), ty.to_string()));
+                        }
+                        _ => return Err(format!("unknown comment keyword in {line:?}")),
+                    }
+                    continue;
+                }
+                samples.push(parse_sample(line)?);
+            }
+            // every sample belongs to a declared family
+            for s in &samples {
+                let family = types.iter().find(|(n, _)| {
+                    n == &s.name
+                        || ((s.name == format!("{n}_bucket")
+                            || s.name == format!("{n}_sum")
+                            || s.name == format!("{n}_count"))
+                            && types.iter().any(|(tn, tt)| tn == n && tt == "histogram"))
+                });
+                let (_, ty) =
+                    family.ok_or_else(|| format!("sample {} has no TYPE declaration", s.name))?;
+                if ty == "counter" && !(s.value >= 0.0 && s.value.is_finite()) {
+                    return Err(format!("counter {} has bad value {}", s.name, s.value));
+                }
+            }
+            // histogram structure: per label-set (minus le), buckets are
+            // emitted with increasing le and non-decreasing cumulative
+            // counts, ending in +Inf, which _count must equal
+            for (fam, ty) in &types {
+                if ty != "histogram" {
+                    continue;
+                }
+                let bucket_name = format!("{fam}_bucket");
+                let count_name = format!("{fam}_count");
+                // (label set minus `le`) -> [(le, cumulative count)]
+                type BucketSeries = Vec<(Vec<(String, String)>, Vec<(f64, f64)>)>;
+                let mut series: BucketSeries = Vec::new();
+                for s in samples.iter().filter(|s| s.name == bucket_name) {
+                    let le_raw = s
+                        .labels
+                        .iter()
+                        .find(|(k, _)| k == "le")
+                        .map(|(_, v)| v.clone())
+                        .ok_or_else(|| format!("bucket without le: {fam}"))?;
+                    let le = match le_raw.as_str() {
+                        "+Inf" => f64::INFINITY,
+                        v => v.parse::<f64>().map_err(|_| format!("bad le {v:?}"))?,
+                    };
+                    let mut key: Vec<(String, String)> = s
+                        .labels
+                        .iter()
+                        .filter(|(k, _)| k != "le")
+                        .cloned()
+                        .collect();
+                    key.sort();
+                    match series.iter_mut().find(|(k, _)| *k == key) {
+                        Some((_, buckets)) => buckets.push((le, s.value)),
+                        None => series.push((key, vec![(le, s.value)])),
+                    }
+                }
+                for (key, buckets) in &series {
+                    for pair in buckets.windows(2) {
+                        if pair[1].0 <= pair[0].0 {
+                            return Err(format!("le not increasing for {fam} {key:?}"));
+                        }
+                        if pair[1].1 < pair[0].1 {
+                            return Err(format!("cumulative count decreases for {fam} {key:?}"));
+                        }
+                    }
+                    let last = buckets.last().unwrap();
+                    if !last.0.is_infinite() {
+                        return Err(format!("{fam} {key:?} missing +Inf bucket"));
+                    }
+                    if let Some(count) = samples.iter().find(|s| {
+                        s.name == count_name && {
+                            let mut k: Vec<_> = s.labels.clone();
+                            k.sort();
+                            k == *key
+                        }
+                    }) {
+                        if (count.value - last.1).abs() > 1e-9 {
+                            return Err(format!("{fam} {key:?} _count != +Inf bucket"));
+                        }
+                    }
+                }
+            }
+            Ok(samples)
+        }
+    }
+
+    #[test]
+    fn strict_parser_accepts_the_sample_exposition() {
+        let samples = promparse::parse(&sample().render_prometheus()).expect("strictly parses");
+        assert!(samples.iter().any(|s| s.name == "gsknn_requests_total"));
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "gsknn_roofline_batches_total"));
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "gsknn_request_latency_seconds_bucket"));
+    }
+
+    #[test]
+    fn strict_parser_rejects_malformations() {
+        // unescaped quote in a label value
+        assert!(promparse::parse("# TYPE m counter\nm{l=\"a\"b\"} 1\n").is_err());
+        // missing TYPE
+        assert!(promparse::parse("orphan_metric 1\n").is_err());
+        // non-numeric value
+        assert!(promparse::parse("# TYPE m counter\nm nope\n").is_err());
+        // negative counter
+        assert!(promparse::parse("# TYPE m counter\nm -1\n").is_err());
+        // non-monotone histogram buckets
+        assert!(promparse::parse(
+            "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\n"
+        )
+        .is_err());
+        // _count disagreeing with the +Inf bucket
+        assert!(
+            promparse::parse("# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_count 4\n").is_err()
+        );
+    }
+
+    fn tricky_lanes() -> Vec<String> {
+        vec![
+            "f64".into(),
+            "f32".into(),
+            "lane \"quoted\"".into(),
+            "back\\slash".into(),
+            "new\nline".into(),
+            "sp ace}brace".into(),
+        ]
+    }
+
+    fn arbitrary_report(
+        lane_idx: usize,
+        counters: &[u64],
+        roofline_counts: [u64; 4],
+        ns_samples: &[u64],
+    ) -> ServeReport {
+        let lane = tricky_lanes()[lane_idx % tricky_lanes().len()].clone();
+        let c = |i: usize| counters.get(i).copied().unwrap_or(0);
+        let mut hist = vec![0u64; BATCH_BUCKETS.len()];
+        for (i, &v) in counters.iter().enumerate() {
+            hist[i % BATCH_BUCKETS.len()] += v % 97;
+        }
+        let mut latency_hist = HistSnapshot::new();
+        for &ns in ns_samples {
+            latency_hist.record_ns(ns);
+        }
+        let total: u64 = roofline_counts.iter().sum();
+        ServeReport {
+            precisions: vec!["f64".into(), "f32".into()],
+            requests: c(0),
+            queries: c(1),
+            busy: c(2),
+            timeouts: c(3),
+            errors: c(4),
+            batches: c(5),
+            worker_panics: c(6),
+            worker_respawns: c(7),
+            degraded_queries: c(8),
+            overload_events: c(9),
+            flushes: FlushCounts {
+                model: c(10),
+                deadline: c(11),
+                drain: c(12),
+            },
+            roofline: vec![RooflineRow {
+                lane: lane.clone(),
+                counts: roofline_counts,
+                headroom_sum: total as f64 * 1.5,
+            }],
+            batch_hist: hist,
+            queue_high_water: c(13),
+            in_flight: c(14),
+            overloaded: c(15) % 2 == 1,
+            latency: if ns_samples.is_empty() {
+                vec![]
+            } else {
+                vec![LatencyRow {
+                    lane: lane.clone(),
+                    status: "ok".into(),
+                    hist: latency_hist,
+                }]
+            },
+            batch_targets: vec![(lane, 1 + c(16) as usize % 512)],
+            predicted_s: c(17) as f64 * 1e-6,
+            measured_s: c(18) as f64 * 1e-6,
+            predicted_terms: vec![("compute (Tf + To)".into(), c(17) as f64 * 1e-6)],
+        }
+    }
+
+    use proptest::prelude::*;
+
+    proptest::proptest! {
+        /// Any report — including hostile label values — renders an
+        /// exposition the strict 0.0.4 parser accepts, with monotone
+        /// histogram buckets (checked inside the parser).
+        #[test]
+        fn exposition_is_strictly_parseable_for_arbitrary_reports(
+            inputs in (
+                0usize..6,
+                proptest::collection::vec(0u64..1_000_000, 19..20),
+                proptest::collection::vec(0u64..50, 4..5),
+                proptest::collection::vec(1u64..10_000_000_000, 0..12),
+            )
+        ) {
+            let (lane_idx, counters, rc, ns) = inputs;
+            let roofline_counts = [rc[0], rc[1], rc[2], rc[3]];
+            let report = arbitrary_report(lane_idx, &counters, roofline_counts, &ns);
+            let text = report.render_prometheus();
+            let parsed = promparse::parse(&text);
+            prop_assert!(parsed.is_ok(), "strict parse failed: {:?}", parsed.err());
+            let samples = parsed.unwrap();
+            // the roofline counter rows must sum to the recorded batches
+            let sum: f64 = samples
+                .iter()
+                .filter(|s| s.name == "gsknn_roofline_batches_total")
+                .map(|s| s.value)
+                .sum();
+            let expect: u64 = roofline_counts.iter().sum();
+            prop_assert!((sum - expect as f64).abs() < 1e-9);
+        }
+
+        /// Counters only grow between scrapes: rendering a report and a
+        /// strictly-larger successor yields per-series non-decreasing
+        /// counter samples.
+        #[test]
+        fn counters_are_monotone_across_scrapes(
+            inputs in (
+                proptest::collection::vec(0u64..1_000_000, 19..20),
+                proptest::collection::vec(0u64..1_000, 19..20),
+                proptest::collection::vec(0u64..50, 4..5),
+            )
+        ) {
+            let (base, deltas, rc) = inputs;
+            let counts_a = [rc[0], rc[1], rc[2], rc[3]];
+            let mut counts_b = counts_a;
+            for (i, c) in counts_b.iter_mut().enumerate() {
+                *c += deltas[i % deltas.len()] % 7;
+            }
+            let grown: Vec<u64> = base
+                .iter()
+                .zip(deltas.iter())
+                .map(|(b, d)| b + d)
+                .collect();
+            let a = arbitrary_report(0, &base, counts_a, &[1_000_000]);
+            let b = arbitrary_report(0, &grown, counts_b, &[1_000_000, 2_000_000]);
+            let counter_families: Vec<String> = {
+                let mut fams = Vec::new();
+                for line in a.render_prometheus().lines() {
+                    if let Some(rest) = line.strip_prefix("# TYPE ") {
+                        let mut parts = rest.split(' ');
+                        let name = parts.next().unwrap().to_string();
+                        if parts.next() == Some("counter") {
+                            fams.push(name);
+                        }
+                    }
+                }
+                fams
+            };
+            let sa = promparse::parse(&a.render_prometheus()).unwrap();
+            let sb = promparse::parse(&b.render_prometheus()).unwrap();
+            for s in &sa {
+                if !counter_families.contains(&s.name) {
+                    continue;
+                }
+                let successor = sb
+                    .iter()
+                    .find(|t| t.name == s.name && t.labels == s.labels);
+                prop_assert!(successor.is_some(), "series {} vanished", s.name);
+                prop_assert!(
+                    successor.unwrap().value >= s.value,
+                    "counter {} shrank: {} -> {}",
+                    s.name,
+                    s.value,
+                    successor.unwrap().value
+                );
+            }
+        }
     }
 }

@@ -349,6 +349,18 @@ impl Client {
         }
     }
 
+    /// Fetch the server's per-second load time-series as JSON (rendered
+    /// live by `gsknn-cli top`; `enabled: false` when the server was
+    /// built without its `obs` feature).
+    pub fn timeseries_json(&mut self) -> io::Result<String> {
+        let resp = self.round_trip(&Request::TimeSeries)?;
+        match resp.status {
+            Status::Ok => String::from_utf8(resp.body)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)),
+            other => Err(io::Error::other(format!("timeseries answered {other:?}"))),
+        }
+    }
+
     /// Ask the server to drain and exit.
     pub fn shutdown(&mut self) -> io::Result<()> {
         match self.round_trip(&Request::Shutdown)?.status {

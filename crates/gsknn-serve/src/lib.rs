@@ -15,10 +15,11 @@
 //! Pieces:
 //!
 //! * [`wire`] — length-prefixed binary protocol, version 2 (`Query`,
-//!   `BatchQuery`, `Stats`, `Ping`, `Shutdown`, `Metrics`, `Traces`;
-//!   per-request `f64`/`f32` precision; a `trace_id` on every query and
-//!   response); query responses are [`knn_select::NeighborTable`] v2
-//!   bytes. Version-1 frames still decode (`trace_id = 0`).
+//!   `BatchQuery`, `Stats`, `Ping`, `Shutdown`, `Metrics`, `Traces`,
+//!   `TimeSeries`; per-request `f64`/`f32` precision; a `trace_id` on
+//!   every query and response); query responses are
+//!   [`knn_select::NeighborTable`] v2 bytes. Version-1 frames still
+//!   decode (`trace_id = 0`).
 //! * [`coalesce`] — the flush policy: `m*` from the model, half-budget
 //!   deadline, drain.
 //! * [`server`] — `TcpListener` acceptor + per-precision lanes of kernel
@@ -47,6 +48,15 @@
 //!   retained and exported as Chrome trace-event JSON via the `Traces`
 //!   wire op (`gsknn-cli trace`). Without `obs` the recorder is
 //!   zero-sized and the hot path does no span work.
+//! * [`sampler`] — continuous performance accounting under the same
+//!   zero-sized-without-`obs` guarantee: a lock-free per-second load
+//!   sampler (arrival rate, queue depth, batch-size mean, flush
+//!   reasons, aggregate kernel-phase split) exported via the
+//!   `TimeSeries` wire op and rendered by `gsknn-cli top`, plus a
+//!   roofline recorder classifying every executed batch against the
+//!   §2.6 machine asymptotes (compute- / bandwidth- / coalesce- /
+//!   queue-bound with a headroom gauge, surfaced in the
+//!   [`gsknn_obs::ServeReport`]).
 //!
 //! Failure semantics: worker batches run under `catch_unwind`; a panic
 //! answers every in-flight request in the batch with
@@ -85,6 +95,7 @@ pub mod coalesce;
 pub mod degrade;
 pub mod metrics;
 pub mod retry;
+pub mod sampler;
 pub mod server;
 mod trace;
 pub mod wire;
@@ -95,5 +106,6 @@ pub use degrade::{degraded_target, OverloadDetector, Transition};
 pub use gsknn_obs::ServeReport;
 pub use metrics::Metrics;
 pub use retry::RetryPolicy;
+pub use sampler::{LoadSampler, RooflineRecorder, WINDOW_S};
 pub use server::{ServeIndex, Server, ServerConfig};
 pub use wire::{Precision, Request, Response, Status, WireError, WIRE_VERSION};

@@ -3,6 +3,7 @@
 //! Snapshots render as a [`gsknn_obs::ServeReport`].
 
 use crate::coalesce::FlushReason;
+use crate::sampler::RooflineRecorder;
 use crate::wire::Status;
 use gsknn_obs::hist::LatencyHistogram;
 use gsknn_obs::serve::{batch_bucket, FlushCounts, LatencyRow, ServeReport, BATCH_BUCKETS};
@@ -63,6 +64,9 @@ pub struct Metrics {
     in_flight: AtomicU64,
     queue_high_water: AtomicU64,
     cost: Mutex<CostSums>,
+    /// Per-batch roofline classification counters (lane × bound class
+    /// plus the headroom gauge); a zero-sized no-op without `obs`.
+    pub roofline: RooflineRecorder,
 }
 
 impl Metrics {
@@ -186,6 +190,7 @@ impl Metrics {
                 deadline: self.flush_deadline.load(Ordering::Relaxed),
                 drain: self.flush_drain.load(Ordering::Relaxed),
             },
+            roofline: self.roofline.rows(),
             batch_hist: self
                 .hist
                 .iter()
@@ -276,6 +281,48 @@ mod tests {
         assert!((r.measured_s - 0.004).abs() < 1e-15);
         assert_eq!(r.predicted_terms.len(), 1);
         assert!((r.predicted_terms[0].1 - 0.0015).abs() < 1e-15);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn roofline_rows_reach_the_report() {
+        use gsknn_core::{MachineParams, Model};
+        let m = Metrics::new();
+        let model = Model::new(MachineParams::ivy_bridge_1core());
+        m.roofline.record_batch(
+            0,
+            8,
+            &model,
+            4,
+            512,
+            2,
+            16,
+            8,
+            64,
+            FlushReason::Deadline,
+            0.004,
+            &gsknn_core::obs::PhaseSet::default(),
+            0,
+        );
+        let r = m.report(vec![("f64".into(), 64)], false);
+        assert_eq!(r.roofline.len(), 2);
+        assert_eq!(r.roofline[0].lane, "f64");
+        assert_eq!(r.roofline[0].total(), 1);
+        assert_eq!(
+            r.roofline[0].counts[gsknn_obs::BoundClass::Coalesce.index()],
+            1
+        );
+        assert_eq!(r.roofline[1].total(), 0, "f32 lane saw no batches");
+    }
+
+    #[cfg(not(feature = "obs"))]
+    #[test]
+    fn roofline_rows_are_empty_without_obs() {
+        let m = Metrics::new();
+        assert!(m
+            .report(vec![("f64".into(), 64)], false)
+            .roofline
+            .is_empty());
     }
 
     #[test]

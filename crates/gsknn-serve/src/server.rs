@@ -43,6 +43,7 @@
 use crate::coalesce::{batch_target, predict_batch_cost, FlushReason};
 use crate::degrade::{degraded_target, OverloadDetector, Transition};
 use crate::metrics::{Metrics, LANES, STATUS_LABELS};
+use crate::sampler::LoadSampler;
 use crate::trace::ReqTrace;
 use crate::wire::{
     deadline_duration, decode_request, encode_response, read_frame_poll, write_frame, Precision,
@@ -226,7 +227,11 @@ struct LaneCtx<'a, T: FusedScalar> {
     kind: DistanceKind,
     target: usize,
     model: Model,
+    /// Lane index into [`LANES`] (0 = f64, 1 = f32), for the roofline
+    /// recorder's per-lane counters.
+    lane: usize,
     metrics: &'a Metrics,
+    sampler: &'a LoadSampler,
     shutdown: &'a AtomicBool,
     /// Overload flag: while set, the lane coalesces toward
     /// [`degraded_target`] instead of the model target.
@@ -253,6 +258,9 @@ struct Shared {
     /// (starts at 1; 0 means "no id" on the wire).
     next_trace: AtomicU64,
     slow_query_ms: Option<u64>,
+    /// Per-second load time-series for the `TimeSeries` wire op
+    /// (zero-sized without the `obs` feature).
+    sampler: LoadSampler,
 }
 
 /// A bound, not-yet-running server. `bind` then `run`; the split lets
@@ -324,6 +332,7 @@ impl Server {
             traces: TraceRing::new(self.cfg.trace_ring),
             next_trace: AtomicU64::new(1),
             slow_query_ms: self.cfg.slow_query_ms,
+            sampler: LoadSampler::new(),
         };
         let cap = shared.queue_cap;
         let (tx64, rx64) = channel::bounded::<Job>(cap);
@@ -349,7 +358,9 @@ impl Server {
                     kind: cfg.kind,
                     target: targets[0].1,
                     model: model64,
+                    lane: 0,
                     metrics: &shared_ref.metrics,
+                    sampler: &shared_ref.sampler,
                     shutdown: &shared_ref.shutdown,
                     degraded: &shared_ref.degraded,
                 };
@@ -363,7 +374,9 @@ impl Server {
                     kind: cfg.kind,
                     target: targets[1].1,
                     model: model32,
+                    lane: 1,
                     metrics: &shared_ref.metrics,
+                    sampler: &shared_ref.sampler,
                     shutdown: &shared_ref.shutdown,
                     degraded: &shared_ref.degraded,
                 };
@@ -377,11 +390,10 @@ impl Server {
                     let mut detector = OverloadDetector::new(threshold, window);
                     let period = (window / 8).max(Duration::from_millis(2));
                     while !shared_ref.shutdown.load(Ordering::SeqCst) {
-                        let transition = detector.observe(
-                            shared_ref.metrics.in_flight(),
-                            shared_ref.queue_cap,
-                            Instant::now(),
-                        );
+                        let depth = shared_ref.metrics.in_flight();
+                        shared_ref.sampler.observe_depth(depth);
+                        let transition =
+                            detector.observe(depth, shared_ref.queue_cap, Instant::now());
                         match transition {
                             Transition::Enter => {
                                 shared_ref.degraded.store(true, Ordering::SeqCst);
@@ -547,6 +559,9 @@ fn handle_conn(mut stream: TcpStream, shared: &Shared, tx64: Sender<Job>, tx32: 
                 let traces = shared.traces.snapshot();
                 Response::ok_body(chrome_trace_json(&traces).to_string().into_bytes())
             }
+            Ok(Request::TimeSeries) => {
+                Response::ok_body(shared.sampler.to_json().to_string().into_bytes())
+            }
             Ok(Request::Shutdown) => {
                 drain_after_reply = true;
                 Response::empty(Status::Ok)
@@ -563,6 +578,8 @@ fn handle_conn(mut stream: TcpStream, shared: &Shared, tx64: Sender<Job>, tx32: 
                 } else {
                     shared.next_trace.fetch_add(1, Ordering::Relaxed)
                 };
+                shared.sampler.record_arrival(q.m);
+                shared.sampler.observe_depth(shared.metrics.in_flight());
                 let mut trace = ReqTrace::start(shared.epoch, t_recv);
                 trace.set_shape(q.m, q.k);
                 trace.add_span("decode", t_recv, t_dec);
@@ -861,6 +878,8 @@ fn execute_batch<T: FusedScalar>(
     }
     if live.is_empty() {
         ctx.metrics.record_flush(reason, 0, 0.0, 0.0, &[]);
+        ctx.sampler
+            .record_flush(reason, 0, &gsknn_core::obs::PhaseSet::default());
         return BatchFate::Completed;
     }
 
@@ -902,16 +921,30 @@ fn execute_batch<T: FusedScalar>(
     };
     let phases = exec.take_phase_accum();
     let measured = start.elapsed().as_secs_f64();
-    let (predicted, terms) = predict_batch_cost(
+    let leaf_n = ctx.leaf_size.min(ctx.refs.len());
+    let (predicted, terms) =
+        predict_batch_cost(&ctx.model, ctx.n_trees, leaf_n, m_live, dim, k_batch);
+    ctx.metrics
+        .record_flush(reason, m_live, predicted, measured, &terms);
+    // roofline attribution + time-series feed (no-ops without `obs`);
+    // backlog = query points still admitted beyond this batch
+    let backlog = ctx.metrics.in_flight().saturating_sub(m_live as u64) as usize;
+    ctx.metrics.roofline.record_batch(
+        ctx.lane,
+        T::BYTES,
         &ctx.model,
         ctx.n_trees,
-        ctx.leaf_size.min(ctx.refs.len()),
+        leaf_n,
         m_live,
         dim,
         k_batch,
+        ctx.target,
+        reason,
+        measured,
+        &phases,
+        backlog,
     );
-    ctx.metrics
-        .record_flush(reason, m_live, predicted, measured, &terms);
+    ctx.sampler.record_flush(reason, m_live, &phases);
 
     let mut row0 = 0usize;
     for job in live {

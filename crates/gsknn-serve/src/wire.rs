@@ -9,8 +9,8 @@
 //!           Query:      k u16, deadline_ms u32, trace_id u64, d u32, d coords
 //!           BatchQuery: k u16, deadline_ms u32, trace_id u64, d u32,
 //!                       m u32, m·d coords
-//!           Stats / Ping / Shutdown / Metrics / Traces: no body
-//!           (precision byte is 0)
+//!           Stats / Ping / Shutdown / Metrics / Traces / TimeSeries:
+//!           no body (precision byte is 0)
 //!
 //! response  magic "GSRP", version u16 = 2, status u8, trace_id u64, body
 //!           Ok(Query/BatchQuery): NeighborTable v2 bytes (knn-select)
@@ -19,6 +19,7 @@
 //!           Ok(Stats):            ServeReport JSON (UTF-8)
 //!           Ok(Metrics):          Prometheus text exposition (UTF-8)
 //!           Ok(Traces):           Chrome trace-event JSON (UTF-8)
+//!           Ok(TimeSeries):       load time-series JSON (UTF-8)
 //!           Ok(Ping/Shutdown):    empty
 //!           Busy/Timeout/ShuttingDown: empty
 //!           Error/BadRequest/InternalError: UTF-8 message
@@ -99,6 +100,7 @@ enum Op {
     Shutdown = 5,
     Metrics = 6,
     Traces = 7,
+    TimeSeries = 8,
 }
 
 /// Body of a `Query` / `BatchQuery` request.
@@ -140,6 +142,10 @@ pub enum Request {
     Metrics,
     /// Fetch the slowest-traces ring as Chrome trace-event JSON.
     Traces,
+    /// Fetch the windowed load time-series (per-second snapshots of
+    /// arrival rate, queue depth, batch sizes, flush reasons and the
+    /// aggregate kernel-phase split) as JSON.
+    TimeSeries,
 }
 
 /// Response status byte.
@@ -332,6 +338,10 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             buf.put_u8(Op::Traces as u8);
             buf.put_u8(0);
         }
+        Request::TimeSeries => {
+            buf.put_u8(Op::TimeSeries as u8);
+            buf.put_u8(0);
+        }
     }
     buf
 }
@@ -403,6 +413,7 @@ pub fn decode_request(mut buf: &[u8]) -> Result<Request, WireError> {
         op if op == Op::Shutdown as u8 => Ok(Request::Shutdown),
         op if op == Op::Metrics as u8 => Ok(Request::Metrics),
         op if op == Op::Traces as u8 => Ok(Request::Traces),
+        op if op == Op::TimeSeries as u8 => Ok(Request::TimeSeries),
         other => Err(WireError::BadOp(other)),
     }
 }
@@ -573,6 +584,7 @@ mod tests {
             Request::Shutdown,
             Request::Metrics,
             Request::Traces,
+            Request::TimeSeries,
         ] {
             let bytes = encode_request(&req);
             assert_eq!(decode_request(&bytes).unwrap(), req, "{req:?}");
