@@ -18,6 +18,18 @@
 //!   historical comparability)
 //! * `--duration-ms D` — run each client for a wall-clock duration
 //!   instead of a fixed query count (default 0 = count-based)
+//! * `--clients LIST` — saturation sweep: after the fixed headline
+//!   workload, re-run both lanes at each comma-separated client count
+//!   (e.g. `8,64,256,1024`) and record the points under the run's
+//!   `sweep` key. The headline `lanes`/`server` sections keep their
+//!   shape, so `bench-diff` gating is unaffected; the sweep is the
+//!   saturation curve EXPERIMENTS.md walks through.
+//!
+//! The server runs the sharded hot path with `shards: 0` (auto: one
+//! shard per available core) and adaptive coalescing — the
+//! configuration `gsknn-cli serve` deployments are expected to use.
+//! The resolved config is recorded in each run's `server_cfg` so the
+//! trajectory distinguishes coalescing policies.
 //!
 //! Besides the per-lane latency quantiles, each run records a `server`
 //! section from the drained server's final report: flush-reason counts
@@ -40,6 +52,7 @@ struct Args {
     out: PathBuf,
     warmup: usize,
     duration_ms: u64,
+    clients: Vec<usize>,
 }
 
 fn parse_args() -> Args {
@@ -48,6 +61,7 @@ fn parse_args() -> Args {
         out: default_out(),
         warmup: 0,
         duration_ms: 0,
+        clients: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -66,6 +80,16 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--clients" => {
+                let list = args.next().unwrap_or_else(|| usage());
+                out.clients = list
+                    .split(',')
+                    .map(|v| v.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if out.clients.is_empty() || out.clients.contains(&0) {
+                    usage();
+                }
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -77,7 +101,10 @@ fn parse_args() -> Args {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: bench_serve [--smoke] [--out F] [--warmup N] [--duration-ms D]");
+    eprintln!(
+        "usage: bench_serve [--smoke] [--out F] [--warmup N] [--duration-ms D] \
+         [--clients N,N,...]"
+    );
     std::process::exit(2);
 }
 
@@ -206,7 +233,14 @@ fn main() {
     let refs = dataset::uniform(n_refs, d, 2026);
     let queries = dataset::uniform(256, d, 777);
     let index = ServeIndex::build(refs, 4, 512, 7);
-    let server = Server::bind(ServerConfig::default(), index).expect("bind");
+    // the deployment-shaped config: one shard per core, adaptive flushes
+    let cfg = ServerConfig {
+        shards: 0,
+        adaptive_coalesce: true,
+        ..ServerConfig::default()
+    };
+    let n_shards = cfg.resolved_shards();
+    let server = Server::bind(cfg, index).expect("bind");
     let addr = server.local_addr().expect("addr");
     let handle = std::thread::spawn(move || server.run());
 
@@ -232,6 +266,33 @@ fn main() {
             args.duration_ms,
         ),
     ];
+
+    // the saturation sweep: same workload shape, varying only the number
+    // of closed-loop clients; total queries per point stay roughly fixed
+    // so high-client points don't dominate the wall clock
+    let sweep: Vec<Value> = args
+        .clients
+        .iter()
+        .map(|&c| {
+            let pc = (4096 / c).max(4);
+            let point = [
+                run_lane::<f64>(addr, &queries, c, pc, deadline_ms, k, 0, 0),
+                run_lane::<f32>(addr, &queries, c, pc, deadline_ms, k, 0, 0),
+            ];
+            for lane in &point {
+                println!(
+                    "sweep {c:>5} clients {}: {} queries ({} ok), p50 {:.0} us, \
+                     p99 {:.0} us, {:.0} qps",
+                    lane.precision, lane.queries, lane.ok, lane.p50_us, lane.p99_us, lane.qps
+                );
+            }
+            serde_json::json!({
+                "clients": c,
+                "per_client": pc,
+                "lanes": (Value::Array(point.iter().map(LaneResult::to_json).collect())),
+            })
+        })
+        .collect();
 
     Client::connect(addr)
         .and_then(|mut c| c.shutdown())
@@ -294,7 +355,12 @@ fn main() {
             "n_refs": n_refs, "d": d, "k": k, "deadline_ms": deadline_ms,
             "clients": clients, "per_client": per_client,
         },
+        "server_cfg": {
+            "shards": n_shards,
+            "adaptive_coalesce": true,
+        },
         "lanes": (Value::Array(lanes.iter().map(LaneResult::to_json).collect())),
+        "sweep": (Value::Array(sweep)),
         "server": {
             "queries": report.queries,
             "batches": report.batches,

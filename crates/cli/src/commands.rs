@@ -466,6 +466,9 @@ pub fn cmd_serve(args: &ArgMap) -> Result<String, CliError> {
     }
     let cfg = ServerConfig {
         addr: args.str_or("addr", "127.0.0.1:7979"),
+        shards: args.get_or("shards", 1usize)?,
+        pin_cores: args.get_or("pin-cores", false)?,
+        adaptive_coalesce: args.get_or("adaptive-coalesce", false)?,
         workers_per_lane: args.get_or("workers", 1)?,
         queue_cap: args.get_or("queue-cap", 1024)?,
         coalesce_frac: args.get_or("frac", 0.9)?,
@@ -909,7 +912,11 @@ fn kernel_metrics(cand: &serde_json::Value, priors: &[serde_json::Value]) -> Vec
 /// Pull the serve trajectory's gated metrics: per-lane latency quantiles
 /// (up bad) and throughput (down bad), plus the server's realized mean
 /// batch size (down bad — a collapsing coalescer shows up here even when
-/// closed-loop client latency improves).
+/// closed-loop client latency improves). The batch-size gate only
+/// baselines against runs with the same coalescing policy
+/// (`server_cfg.adaptive_coalesce`): the adaptive policy flushes small
+/// batches at low arrival rates *on purpose*, so its realized mean is
+/// not comparable with the fixed deadline-half policy's.
 fn serve_metrics(cand: &serde_json::Value, priors: &[serde_json::Value]) -> Vec<DiffMetric> {
     let mut out = Vec::new();
     let lane_val = |run: &serde_json::Value, precision: &str, field: &str| -> Option<f64> {
@@ -944,10 +951,20 @@ fn serve_metrics(cand: &serde_json::Value, priors: &[serde_json::Value]) -> Vec<
     let server_mean = |run: &serde_json::Value| -> Option<f64> {
         run.get("server")?.get("batch_m_mean")?.as_f64()
     };
+    let coalesce_mode = |run: &serde_json::Value| -> bool {
+        run.get("server_cfg")
+            .and_then(|c| c.get("adaptive_coalesce"))
+            .and_then(|v| v.as_bool())
+            .unwrap_or(false)
+    };
     if let Some(mean) = server_mean(cand) {
         out.push(DiffMetric {
             name: "serve batch_m_mean".to_string(),
-            baseline: priors.iter().filter_map(server_mean).collect(),
+            baseline: priors
+                .iter()
+                .filter(|r| coalesce_mode(r) == coalesce_mode(cand))
+                .filter_map(server_mean)
+                .collect(),
             candidate: mean,
             down_bad: true,
         });
@@ -1093,7 +1110,8 @@ pub fn usage() -> String {
      \x20 stream  --in F --batch F [--k 8 --leaf 1024 --iters 4]\n\
      \x20 tune    (show detected caches + derived blocking parameters)\n\
      \x20 serve   [--in F | --n 2000 --d 16 --dist ... --seed 42]\n\
-     \x20                 [--addr 127.0.0.1:7979 --trees 4 --leaf 512 --workers 1\n\
+     \x20                 [--addr 127.0.0.1:7979 --trees 4 --leaf 512\n\
+     \x20                 --shards 1 --pin-cores false --adaptive-coalesce false\n\
      \x20                 --queue-cap 1024 --frac 0.9 --max-batch 512 --k-max 128\n\
      \x20                 --degrade-precision true --overload-threshold 0.75\n\
      \x20                 --overload-window-ms 250 --slow-query-ms 0\n\

@@ -150,6 +150,54 @@ impl<T: GsknnScalar> PointSet<T> {
         start..self.n
     }
 
+    /// Drop all points but keep the dimension and the backing storage —
+    /// observably identical to `from_vec(d, 0, Vec::new())`, except that
+    /// a set cycled through a serving workspace stops allocating once it
+    /// has seen its largest batch.
+    pub fn clear(&mut self) {
+        self.n = 0;
+        self.data.clear();
+        self.sqnorms.clear();
+    }
+
+    /// Append `n_points` points whose coordinates arrive as a stream of
+    /// `f64` values (column-major, `n_points * d` of them), converting
+    /// each to `T` — the wire-decode path lands coordinates here straight
+    /// out of the request frame without an intermediate `Vec`. Returns
+    /// the id range the points received.
+    ///
+    /// # Panics
+    /// If the stream does not yield exactly `n_points * d` values, or any
+    /// converted coordinate is non-finite in `T` (callers validating at a
+    /// wider precision must also reject values that overflow `T`).
+    pub fn append_from_f64(
+        &mut self,
+        n_points: usize,
+        coords: impl Iterator<Item = f64>,
+    ) -> std::ops::Range<usize> {
+        assert!(self.d > 0, "cannot append to a 0-dimensional set");
+        let start = self.n;
+        let want = n_points * self.d;
+        self.data.reserve(want);
+        self.sqnorms.reserve(n_points);
+        let mut got = 0usize;
+        let mut acc = T::ZERO;
+        for wide in coords.take(want) {
+            let x = T::from_f64(wide);
+            assert!(x.is_finite(), "non-finite coordinate in appended points");
+            self.data.push(x);
+            acc += x * x;
+            got += 1;
+            if got.is_multiple_of(self.d) {
+                self.sqnorms.push(acc);
+                acc = T::ZERO;
+            }
+        }
+        assert_eq!(got, want, "coordinate stream is not n_points * d long");
+        self.n += n_points;
+        start..self.n
+    }
+
     /// Convert every coordinate to another scalar type, recomputing the
     /// `X2` table in the target precision (so f32 kernels prune against
     /// f32-accurate norms rather than rounded f64 ones).
@@ -214,6 +262,40 @@ mod tests {
         assert_eq!(ps.point(1), &[3.0, 4.0]);
         assert_eq!(ps.sqnorm(1), 25.0);
         assert_eq!(ps.sqnorm(2), 1.0);
+    }
+
+    #[test]
+    fn clear_then_append_from_f64_matches_from_vec() {
+        let mut ps = PointSet::from_vec(2, 2, vec![9.0, 9.0, 9.0, 9.0]);
+        ps.clear();
+        assert!(ps.is_empty());
+        assert_eq!(ps.dim(), 2);
+        let coords = [1.0f64, 2.0, 3.0, 4.0];
+        let range = ps.append_from_f64(2, coords.iter().copied());
+        assert_eq!(range, 0..2);
+        let fresh = PointSet::<f64>::from_vec(2, 2, coords.to_vec());
+        assert_eq!(ps.as_slice(), fresh.as_slice());
+        assert_eq!(ps.sqnorms(), fresh.sqnorms());
+        // and the f32 narrowing path
+        let mut ps32 = PointSet::<f32>::from_vec(2, 0, Vec::new());
+        ps32.append_from_f64(2, coords.iter().copied());
+        let fresh32: PointSet<f32> = fresh.cast();
+        assert_eq!(ps32.as_slice(), fresh32.as_slice());
+        assert_eq!(ps32.sqnorms(), fresh32.sqnorms());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn append_from_f64_rejects_f32_overflow() {
+        let mut ps = PointSet::<f32>::from_vec(1, 0, Vec::new());
+        ps.append_from_f64(1, std::iter::once(1e300));
+    }
+
+    #[test]
+    #[should_panic(expected = "not n_points * d long")]
+    fn append_from_f64_rejects_short_stream() {
+        let mut ps = PointSet::<f64>::from_vec(2, 0, Vec::new());
+        ps.append_from_f64(2, [1.0, 2.0, 3.0].into_iter());
     }
 
     #[test]

@@ -12,7 +12,28 @@ use crate::variants::{run_serial, DriverArgs, SelHeap};
 use dataset::{DistanceKind, PointSet};
 use gemm_kernel::GemmParams;
 use gsknn_scalar::GsknnScalar;
-use knn_select::NeighborTable;
+use knn_select::{Neighbor, NeighborTable};
+
+/// Reusable per-batch scratch for [`Gsknn::update_cross_reusing`]: the
+/// selection heaps (one per query row) and the writeback row that
+/// `update_cross` would otherwise allocate per call. A serving shard keeps
+/// one of these per lane; after warm-up on the largest batch shape the
+/// whole select-and-writeback path is allocation-free.
+#[derive(Default, Debug)]
+pub struct BatchScratch<T: FusedScalar = f64> {
+    heaps: Vec<SelHeap<T>>,
+    row: Vec<Neighbor<T>>,
+}
+
+impl<T: FusedScalar> BatchScratch<T> {
+    /// Empty scratch; grows on first use and never shrinks.
+    pub fn new() -> Self {
+        BatchScratch {
+            heaps: Vec::new(),
+            row: Vec::new(),
+        }
+    }
+}
 
 /// Kernel configuration.
 #[derive(Clone, Debug)]
@@ -212,6 +233,59 @@ impl<T: FusedScalar> Gsknn<T> {
         self.phase_accum.merge(&self.ws.phases);
     }
 
+    /// [`Gsknn::update_cross`] with the per-batch scratch (heaps and the
+    /// writeback row) drawn from `scratch` instead of freshly allocated —
+    /// bit-identical results, but a scratch cycled through a serving
+    /// workspace stops allocating once it has seen its largest batch
+    /// shape. Heap storage is reused via [`SelHeap::reset_from_row`],
+    /// which rebuilds exactly what `from_row` builds.
+    #[allow(clippy::too_many_arguments)]
+    pub fn update_cross_reusing(
+        &mut self,
+        xq: &PointSet<T>,
+        q_idx: &[usize],
+        xr: &PointSet<T>,
+        r_idx: &[usize],
+        kind: DistanceKind,
+        table: &mut NeighborTable<T>,
+        scratch: &mut BatchScratch<T>,
+    ) {
+        let k = table.k();
+        assert_eq!(table.len(), q_idx.len(), "one table row per query");
+        assert_eq!(xq.dim(), xr.dim(), "query/reference dimension mismatch");
+        validate_indices(xq, q_idx, &[]);
+        validate_indices(xr, &[], r_idx);
+        let variant = self.effective_variant(q_idx.len(), r_idx.len(), xq.dim(), k);
+        let four = variant == Variant::Var6;
+        let m = q_idx.len();
+        for i in 0..m {
+            match scratch.heaps.get_mut(i) {
+                Some(h) => h.reset_from_row(k, table.row(i), four),
+                None => scratch.heaps.push(SelHeap::from_row(k, table.row(i), four)),
+            }
+        }
+        let args = DriverArgs {
+            xq,
+            xr,
+            q_idx,
+            r_idx,
+            kind,
+            params: self.cfg.params,
+            variant,
+        };
+        self.ws.stats = crate::buffers::KernelStats::default();
+        self.ws.phases.reset();
+        run_serial(&args, &mut scratch.heaps[..m], &mut self.ws);
+        self.ws.phases.time(Phase::Writeback, || {
+            for (i, heap) in scratch.heaps[..m].iter().enumerate() {
+                scratch.row.clear();
+                heap.sorted_into(&mut scratch.row);
+                table.set_row(i, &scratch.row);
+            }
+        });
+        self.phase_accum.merge(&self.ws.phases);
+    }
+
     /// Observability counters from the most recent `run`/`update` call
     /// (see [`crate::buffers::KernelStats`]): how often the vectorized
     /// root filter achieved the heap's O(n) best case, how many
@@ -335,6 +409,40 @@ mod tests {
         };
         let exec: Gsknn = Gsknn::new(cfg);
         assert_eq!(exec.effective_variant(10, 10, 4, 2048), Variant::Var3);
+    }
+
+    #[test]
+    fn reusing_scratch_is_bit_identical_to_fresh() {
+        fn check<T: FusedScalar>(k: usize) {
+            let x64 = uniform(300, 10, 23);
+            let x: PointSet<T> = x64.cast();
+            let r: Vec<usize> = (0..300).collect();
+            let mut exec = Gsknn::<T>::new(GsknnConfig::for_scalar::<T>());
+            let mut scratch = BatchScratch::new();
+            // vary the batch shape across cycles so the scratch is
+            // exercised both growing and shrinking
+            for (cycle, m) in [40usize, 12, 64, 7, 64].iter().enumerate() {
+                let q: Vec<usize> = (0..*m).map(|i| (i * 3 + cycle) % 300).collect();
+                let mut fresh = NeighborTable::<T>::new(q.len(), k);
+                exec.update_cross(&x, &q, &x, &r, DistanceKind::SqL2, &mut fresh);
+                let mut reused = NeighborTable::<T>::new(q.len(), k);
+                exec.update_cross_reusing(
+                    &x,
+                    &q,
+                    &x,
+                    &r,
+                    DistanceKind::SqL2,
+                    &mut reused,
+                    &mut scratch,
+                );
+                for i in 0..q.len() {
+                    assert_eq!(fresh.row(i), reused.row(i), "cycle {cycle} row {i}");
+                }
+            }
+        }
+        check::<f64>(8); // Var#1 / binary heap
+        check::<f32>(8);
+        check::<f64>(600); // Var#6 / 4-heap (> 512 rule of thumb)
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod scheduler;
 pub mod variants;
 
 pub use buffers::{GsknnWorkspace, KernelStats};
-pub use kernel::{Gsknn, GsknnConfig};
+pub use kernel::{BatchScratch, Gsknn, GsknnConfig};
 pub use microkernel::{set_simd_level, simd_level, FusedScalar, SimdLevel};
 pub use model::{MachineParams, Model, ProblemSize};
 pub use obs::{Phase, PhaseSet};

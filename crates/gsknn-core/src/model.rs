@@ -237,18 +237,31 @@ impl Model {
     /// in seconds, for display/debugging (`bench`'s `table4` harness).
     /// The sum equals the corresponding `tm_*` total.
     pub fn tm_terms(&self, p: &ProblemSize, which: Approach) -> Vec<(&'static str, f64)> {
+        let mut terms = Vec::new();
+        self.tm_terms_into(p, which, &mut terms);
+        terms
+    }
+
+    /// [`Model::tm_terms`] into a caller-owned buffer (cleared first), so
+    /// a per-batch caller — the serving coalescer records these on every
+    /// flush — reuses one allocation instead of building a fresh `Vec`.
+    pub fn tm_terms_into(
+        &self,
+        p: &ProblemSize,
+        which: Approach,
+        terms: &mut Vec<(&'static str, f64)>,
+    ) {
+        terms.clear();
         let (m, n, d, k) = (p.m as f64, p.n as f64, p.d as f64, p.k);
         let mach = &self.machine;
         let jc_blocks = (p.n as f64 / self.blocks.nc as f64).ceil().max(1.0);
         let d_blocks = (p.d as f64 / self.blocks.dc as f64).ceil().max(1.0);
-        let mut terms = vec![
-            ("pack Rc + R2c", mach.tau_b * (n * d + 2.0 * n)),
-            (
-                "pack Qc + Qc2 (per jc block)",
-                mach.tau_b * (d * m + 2.0 * m) * jc_blocks,
-            ),
-            ("Cc rank-dc spill", mach.tau_b * (d_blocks - 1.0) * m * n),
-        ];
+        terms.push(("pack Rc + R2c", mach.tau_b * (n * d + 2.0 * n)));
+        terms.push((
+            "pack Qc + Qc2 (per jc block)",
+            mach.tau_b * (d * m + 2.0 * m) * jc_blocks,
+        ));
+        terms.push(("Cc rank-dc spill", mach.tau_b * (d_blocks - 1.0) * m * n));
         let adjustments = mach.epsilon * m * k as f64 * Self::logk(k);
         match which {
             Approach::Var1 => {
@@ -273,7 +286,6 @@ impl Model {
                 terms.push(("C write + re-read", mach.tau_b * 2.0 * m * n));
             }
         }
-        terms
     }
 
     /// §4's alternative metric: predicted **instructions per cycle**.

@@ -101,6 +101,43 @@ impl<T: GsknnScalar> SelHeap<T> {
             SelHeap::Four(h, _) => h.into_sorted_vec(),
         }
     }
+
+    /// Append the stored neighbors to `out` in ascending order without
+    /// consuming the heap — the reusable-workspace form of
+    /// [`SelHeap::into_sorted_vec`].
+    pub fn sorted_into(&self, out: &mut Vec<Neighbor<T>>) {
+        match self {
+            SelHeap::Bin(h, _) => h.sorted_into(out),
+            SelHeap::Four(h, _) => h.sorted_into(out),
+        }
+    }
+
+    /// Re-initialize in place to exactly what [`SelHeap::from_row`] would
+    /// build, reusing the backing storage when the heap layout matches.
+    ///
+    /// The rebuilt contents are identical to `from_row`'s: seeding a heap
+    /// of capacity `k` with a row of at most `k` entries never evicts, so
+    /// heapify-from-slice and push-one-at-a-time keep the same entry set.
+    pub fn reset_from_row(&mut self, k: usize, row: &[Neighbor<T>], four: bool) {
+        let seeded = row.iter().any(|n| n.dist.is_finite());
+        match (&mut *self, four) {
+            (SelHeap::Bin(h, dedup), false) => {
+                h.reset(k);
+                for nb in row.iter().filter(|n| n.dist.is_finite()) {
+                    h.push(*nb);
+                }
+                *dedup = seeded;
+            }
+            (SelHeap::Four(h, dedup), true) => {
+                h.reset(k);
+                for nb in row.iter().filter(|n| n.dist.is_finite()) {
+                    h.push(*nb);
+                }
+                *dedup = seeded;
+            }
+            _ => *self = SelHeap::from_row(k, row, four),
+        }
+    }
 }
 
 /// Immutable description of one kernel invocation.

@@ -29,6 +29,25 @@ pub fn escape_label(v: &str) -> String {
     out
 }
 
+/// Per-shard traffic and supervision counters: one row per shard thread
+/// in the sharded server, so a hot or flapping shard is visible without
+/// grepping logs.
+#[derive(Clone, Debug, Default)]
+pub struct ShardRow {
+    /// Shard index (also the pinned core when `--pin-cores` is on).
+    pub shard: usize,
+    /// Kernel batches this shard executed.
+    pub batches: u64,
+    /// Query points this shard answered.
+    pub queries: u64,
+    /// Batches that panicked in this shard.
+    pub worker_panics: u64,
+    /// Workspace rebuilds after a panic.
+    pub worker_respawns: u64,
+    /// Connections the acceptor handed to this shard over the run.
+    pub conns: u64,
+}
+
 /// End-to-end latency histogram for one (lane, terminal status) pair.
 #[derive(Clone, Debug)]
 pub struct LatencyRow {
@@ -113,6 +132,9 @@ pub struct ServeReport {
     /// server compiled its `obs` feature out (the recorder is a
     /// zero-sized no-op there).
     pub roofline: Vec<RooflineRow>,
+    /// Per-shard traffic and supervision rows; empty for reports
+    /// predating the sharded server.
+    pub shards: Vec<ShardRow>,
     /// Batch-size histogram over [`BATCH_BUCKETS`].
     pub batch_hist: Vec<u64>,
     /// Highest simultaneous pending-query count observed.
@@ -226,6 +248,24 @@ impl ServeReport {
                 "roofline".into(),
                 Value::Array(self.roofline.iter().map(RooflineRow::to_json).collect()),
             ),
+            (
+                "shards".into(),
+                Value::Array(
+                    self.shards
+                        .iter()
+                        .map(|s| {
+                            Value::Object(vec![
+                                ("shard".into(), Value::from(s.shard)),
+                                ("batches".into(), Value::from(s.batches)),
+                                ("queries".into(), Value::from(s.queries)),
+                                ("worker_panics".into(), Value::from(s.worker_panics)),
+                                ("worker_respawns".into(), Value::from(s.worker_respawns)),
+                                ("conns".into(), Value::from(s.conns)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
             ("batch_hist".into(), Value::Array(hist)),
             (
                 "queue_high_water".into(),
@@ -299,6 +339,23 @@ impl ServeReport {
                 counts.join(", "),
                 headroom,
                 policy
+            ));
+        }
+        for s in &self.shards {
+            out.push_str(&format!(
+                "shard {}: {} batches | {} queries | {} conns{}\n",
+                s.shard,
+                s.batches,
+                s.queries,
+                s.conns,
+                if s.worker_panics + s.worker_respawns > 0 {
+                    format!(
+                        " | {} panics, {} respawns",
+                        s.worker_panics, s.worker_respawns
+                    )
+                } else {
+                    String::new()
+                }
             ));
         }
         if self.worker_panics + self.worker_respawns + self.degraded_queries + self.overload_events
@@ -451,6 +508,39 @@ impl ServeReport {
                 }
             }
         }
+        if !self.shards.is_empty() {
+            let mut shard_counter = |name: &str, help: &str, get: &dyn Fn(&ShardRow) -> u64| {
+                out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+                for s in &self.shards {
+                    out.push_str(&format!("{name}{{shard=\"{}\"}} {}\n", s.shard, get(s)));
+                }
+            };
+            shard_counter(
+                "gsknn_shard_batches_total",
+                "Kernel batches executed, per shard.",
+                &|s| s.batches,
+            );
+            shard_counter(
+                "gsknn_shard_queries_total",
+                "Query points answered, per shard.",
+                &|s| s.queries,
+            );
+            shard_counter(
+                "gsknn_shard_worker_panics_total",
+                "Batches that panicked, per shard.",
+                &|s| s.worker_panics,
+            );
+            shard_counter(
+                "gsknn_shard_worker_respawns_total",
+                "Workspace rebuilds after a panic, per shard.",
+                &|s| s.worker_respawns,
+            );
+            shard_counter(
+                "gsknn_shard_connections_total",
+                "Connections adopted from the acceptor, per shard.",
+                &|s| s.conns,
+            );
+        }
         let mut gauge = |name: &str, help: &str, v: String| {
             out.push_str(&format!(
                 "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"
@@ -598,6 +688,24 @@ mod tests {
                     lane: "f32".into(),
                     counts: [0, 1, 1, 0],
                     headroom_sum: 5.0,
+                },
+            ],
+            shards: vec![
+                ShardRow {
+                    shard: 0,
+                    batches: 4,
+                    queries: 140,
+                    worker_panics: 0,
+                    worker_respawns: 0,
+                    conns: 5,
+                },
+                ShardRow {
+                    shard: 1,
+                    batches: 2,
+                    queries: 70,
+                    worker_panics: 1,
+                    worker_respawns: 1,
+                    conns: 4,
                 },
             ],
             batch_hist: hist,
@@ -804,6 +912,41 @@ mod tests {
         assert!(prom.contains("gsknn_roofline_batches_total{lane=\"f64\",bound=\"coalesce\"} 3"));
         assert!(prom.contains("gsknn_roofline_batches_total{lane=\"f32\",bound=\"bandwidth\"} 1"));
         assert!(prom.contains("gsknn_roofline_headroom{lane=\"f64\"} 3.000000"));
+    }
+
+    #[test]
+    fn shard_rows_flow_through_json_table_and_prometheus() {
+        let r = sample();
+        let back: Value = serde_json::from_str(&r.to_json().to_string()).unwrap();
+        let rows = back.get("shards").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("shard").and_then(|v| v.as_u64()), Some(0));
+        assert_eq!(rows[0].get("batches").and_then(|v| v.as_u64()), Some(4));
+        assert_eq!(
+            rows[1].get("worker_respawns").and_then(|v| v.as_u64()),
+            Some(1)
+        );
+
+        let table = r.render_table();
+        assert!(table.contains("shard 0: 4 batches | 140 queries | 5 conns"));
+        assert!(table.contains("shard 1: 2 batches | 70 queries | 4 conns | 1 panics, 1 respawns"));
+
+        let prom = r.render_prometheus();
+        assert!(prom.contains("# TYPE gsknn_shard_batches_total counter"));
+        assert!(prom.contains("gsknn_shard_batches_total{shard=\"0\"} 4"));
+        assert!(prom.contains("gsknn_shard_worker_respawns_total{shard=\"1\"} 1"));
+        assert!(prom.contains("gsknn_shard_connections_total{shard=\"1\"} 4"));
+        promparse::parse(&prom).expect("shard families parse strictly");
+    }
+
+    #[test]
+    fn shardless_report_omits_shard_families() {
+        let mut r = sample();
+        r.shards.clear();
+        let prom = r.render_prometheus();
+        assert!(!prom.contains("gsknn_shard_"));
+        assert!(!r.render_table().contains("shard 0:"));
+        promparse::parse(&prom).expect("still parses");
     }
 
     #[test]
@@ -1146,6 +1289,19 @@ mod tests {
                 counts: roofline_counts,
                 headroom_sum: total as f64 * 1.5,
             }],
+            // fixed shard count and raw (un-modulo'd) counters: the
+            // monotone-scrapes property needs every series to persist
+            // and grow with its inputs
+            shards: (0..2)
+                .map(|i| ShardRow {
+                    shard: i,
+                    batches: c(5),
+                    queries: c(1),
+                    worker_panics: c(6),
+                    worker_respawns: c(7),
+                    conns: c(0),
+                })
+                .collect(),
             batch_hist: hist,
             queue_high_water: c(13),
             in_flight: c(14),

@@ -96,6 +96,23 @@ pub fn predict_batch_cost(
     d: usize,
     k: usize,
 ) -> (f64, Vec<(&'static str, f64)>) {
+    let mut terms = Vec::new();
+    let total = predict_batch_cost_into(model, n_trees, leaf_size, m, d, k, &mut terms);
+    (total, terms)
+}
+
+/// [`predict_batch_cost`] into a caller-owned term buffer (cleared
+/// first). The shard flush path calls this once per batch with a
+/// retained buffer, keeping the steady-state query path allocation-free.
+pub fn predict_batch_cost_into(
+    model: &Model,
+    n_trees: usize,
+    leaf_size: usize,
+    m: usize,
+    d: usize,
+    k: usize,
+    terms: &mut Vec<(&'static str, f64)>,
+) -> f64 {
     let p = ProblemSize {
         m,
         n: leaf_size.max(1),
@@ -104,14 +121,127 @@ pub fn predict_batch_cost(
     };
     let approach = approach_for(model, &p);
     let scale = n_trees.max(1) as f64;
-    let mut terms: Vec<(&'static str, f64)> = model
-        .tm_terms(&p, approach)
-        .into_iter()
-        .map(|(name, s)| (name, s * scale))
-        .collect();
+    model.tm_terms_into(&p, approach, terms);
+    for term in terms.iter_mut() {
+        term.1 *= scale;
+    }
     terms.push(("compute (Tf + To)", model.t_compute(&p) * scale));
-    let total = model.predict(&p, approach) * scale;
-    (total, terms)
+    model.predict(&p, approach) * scale
+}
+
+/// The total of [`predict_batch_cost`] without the itemization — and
+/// without touching the heap, so the adaptive flush decision can run it
+/// on every poll tick.
+pub fn predict_batch_total(
+    model: &Model,
+    n_trees: usize,
+    leaf_size: usize,
+    m: usize,
+    d: usize,
+    k: usize,
+) -> f64 {
+    let p = ProblemSize {
+        m,
+        n: leaf_size.max(1),
+        d,
+        k,
+    };
+    let approach = approach_for(model, &p);
+    model.predict(&p, approach) * n_trees.max(1) as f64
+}
+
+/// Time constant of the arrival-rate EWMA: how much history the adaptive
+/// flush decision weighs. Short enough to track a load step within a few
+/// hundred milliseconds, long enough not to chase single-frame jitter.
+pub const ARRIVAL_TAU_S: f64 = 0.25;
+
+/// Exponentially-weighted moving average of the query arrival rate, fed
+/// by the shard as requests land. Plain struct, no atomics — each shard
+/// owns one per lane.
+#[derive(Clone, Copy, Debug)]
+pub struct ArrivalRate {
+    rate_qps: f64,
+    last_s: Option<f64>,
+}
+
+impl Default for ArrivalRate {
+    fn default() -> Self {
+        ArrivalRate::new()
+    }
+}
+
+impl ArrivalRate {
+    /// Start with no history (rate reads 0 until the second arrival).
+    pub fn new() -> Self {
+        ArrivalRate {
+            rate_qps: 0.0,
+            last_s: None,
+        }
+    }
+
+    /// Record `m` query points arriving at time `now_s` (seconds on any
+    /// monotonic clock).
+    pub fn observe(&mut self, m: usize, now_s: f64) {
+        match self.last_s {
+            None => self.last_s = Some(now_s),
+            Some(last) => {
+                let dt = (now_s - last).max(1e-6);
+                let inst = m as f64 / dt;
+                let alpha = 1.0 - (-dt / ARRIVAL_TAU_S).exp();
+                self.rate_qps += alpha * (inst - self.rate_qps);
+                self.last_s = Some(now_s);
+            }
+        }
+    }
+
+    /// Current smoothed arrival rate in query points per second.
+    pub fn qps(&self) -> f64 {
+        self.rate_qps
+    }
+}
+
+/// Adaptive flush decision (§2.6 model applied to the *waiting* tradeoff):
+/// given `m` query points already held, a smoothed arrival rate, and the
+/// oldest held request's remaining coalesce budget, decide whether
+/// waiting for more arrivals can still pay for the latency it adds.
+///
+/// Waiting until the batch would reach `m2 = min(target, m + rate ·
+/// remaining)` points costs every held query `(m2 - m) / rate` seconds of
+/// extra wait, and saves each of the `m2` queries the difference in
+/// model-predicted per-query time `cost(m)/m - cost(m2)/m2`. Flush now
+/// when the total saving cannot cover the total added wait (or nothing
+/// more is expected to arrive); keep holding otherwise.
+#[allow(clippy::too_many_arguments)]
+pub fn adaptive_should_flush(
+    model: &Model,
+    n_trees: usize,
+    leaf_size: usize,
+    d: usize,
+    k: usize,
+    m: usize,
+    target: usize,
+    rate_qps: f64,
+    remaining_s: f64,
+) -> bool {
+    debug_assert!(m >= 1);
+    if m >= target || remaining_s <= 0.0 {
+        return true;
+    }
+    // expected arrivals within the oldest request's remaining budget
+    let expect = (rate_qps * remaining_s).floor() as usize;
+    if expect == 0 {
+        return true;
+    }
+    let m2 = target.min(m + expect);
+    if m2 <= m {
+        return true;
+    }
+    let cost_now = predict_batch_total(model, n_trees, leaf_size, m, d, k);
+    let cost_then = predict_batch_total(model, n_trees, leaf_size, m2, d, k);
+    let saved_per_query = cost_now / m as f64 - cost_then / m2 as f64;
+    let wait_s = (m2 - m) as f64 / rate_qps;
+    // total predicted saving across the grown batch vs total added wait
+    saved_per_query * m2 as f64 <= wait_s
 }
 
 #[cfg(test)]
@@ -168,6 +298,68 @@ mod tests {
                 t - 1
             );
         }
+    }
+
+    #[test]
+    fn ewma_converges_to_a_steady_rate_and_tracks_steps() {
+        let mut r = ArrivalRate::new();
+        // 1000 qps steady: one point per millisecond
+        for i in 0..2000 {
+            r.observe(1, i as f64 * 1e-3);
+        }
+        assert!((r.qps() - 1000.0).abs() < 50.0, "steady rate: {}", r.qps());
+        // step down to 100 qps; within ~4 tau it should be close
+        for i in 0..100 {
+            r.observe(1, 2.0 + i as f64 * 1e-2);
+        }
+        assert!((r.qps() - 100.0).abs() < 30.0, "stepped rate: {}", r.qps());
+    }
+
+    #[test]
+    fn ewma_first_arrival_reads_zero() {
+        let mut r = ArrivalRate::new();
+        r.observe(5, 1.0);
+        assert_eq!(r.qps(), 0.0);
+    }
+
+    #[test]
+    fn adaptive_flushes_at_target_or_exhausted_budget() {
+        let m = model();
+        // at target: always flush
+        assert!(adaptive_should_flush(&m, 1, 512, 16, 8, 64, 64, 1e6, 0.02));
+        // budget spent: always flush
+        assert!(adaptive_should_flush(&m, 1, 512, 16, 8, 1, 64, 1e6, 0.0));
+        // dead lane (no arrivals expected): flush rather than strand
+        assert!(adaptive_should_flush(&m, 1, 512, 16, 8, 1, 64, 0.0, 0.02));
+    }
+
+    #[test]
+    fn adaptive_holds_under_fast_arrivals_and_flushes_under_slow() {
+        let mdl = model();
+        let (n_trees, leaf, d, k, target) = (1usize, 512usize, 16usize, 8usize, 256usize);
+        // tiny batch, arrivals fast enough to double it well within
+        // budget: the per-query amortization win dwarfs the microseconds
+        // of extra wait, so hold
+        assert!(!adaptive_should_flush(
+            &mdl, n_trees, leaf, d, k, 2, target, 1e6, 0.02
+        ));
+        // same batch, arrivals so slow the batch barely grows while every
+        // held query eats most of a second of wait: flush
+        assert!(adaptive_should_flush(
+            &mdl, n_trees, leaf, d, k, 2, target, 10.0, 0.5
+        ));
+    }
+
+    #[test]
+    fn cost_into_and_total_agree_with_the_allocating_form() {
+        let m = model();
+        let (total, terms) = predict_batch_cost(&m, 4, 512, 64, 16, 8);
+        assert_eq!(total, predict_batch_total(&m, 4, 512, 64, 16, 8));
+        // a reused (dirty) buffer is cleared and refilled identically
+        let mut buf = vec![("stale", 99.0)];
+        let total2 = predict_batch_cost_into(&m, 4, 512, 64, 16, 8, &mut buf);
+        assert_eq!(total, total2);
+        assert_eq!(terms, buf);
     }
 
     #[test]

@@ -20,12 +20,21 @@
 //!   every query and response); query responses are
 //!   [`knn_select::NeighborTable`] v2 bytes. Version-1 frames still
 //!   decode (`trace_id = 0`).
-//! * [`coalesce`] — the flush policy: `m*` from the model, half-budget
-//!   deadline, drain.
-//! * [`server`] — `TcpListener` acceptor + per-precision lanes of kernel
-//!   workers on crossbeam scoped threads; bounded-queue admission
-//!   control (`Busy`), per-request timeouts, graceful drain on the
-//!   `Shutdown` op or SIGTERM.
+//! * [`coalesce`] — the flush policy: `m*` from the model, the oldest
+//!   parked request's half-budget deadline, the adaptive EWMA
+//!   wait-vs-save rule ([`coalesce::adaptive_should_flush`]), drain.
+//! * [`server`] — `TcpListener` acceptor round-robining connections over
+//!   **thread-per-core shards**. Each shard owns its slice of
+//!   connections (readiness-polled via [`mux`], no thread per
+//!   connection), both precision lanes' parked batches, and a
+//!   core-pinnable reusable kernel workspace; queries decode zero-copy
+//!   from the receive buffer into the lane's pack layout and the kernel
+//!   runs inline on the shard thread — zero heap allocations per query
+//!   at steady state with `obs` off. Bounded-queue admission control
+//!   (`Busy`), per-request timeouts, graceful drain on the `Shutdown`
+//!   op or SIGTERM.
+//! * [`mux`] — the `poll(2)` readiness multiplexer backing the shard
+//!   event loop (raw `extern "C"` binding, no async runtime).
 //! * [`client`] — blocking client used by `gsknn-cli query-remote`;
 //!   bounded socket timeouts and [`Client::query_with_retry`] for
 //!   transient failures.
@@ -58,11 +67,12 @@
 //!   queue-bound with a headroom gauge, surfaced in the
 //!   [`gsknn_obs::ServeReport`]).
 //!
-//! Failure semantics: worker batches run under `catch_unwind`; a panic
+//! Failure semantics: shard batches run under `catch_unwind`; a panic
 //! answers every in-flight request in the batch with
 //! `Status::InternalError` (safe to retry — the batch produced nothing)
-//! and the worker respawns with a fresh executor, discarding any
-//! possibly-poisoned packing workspace. With the `faults` feature the
+//! and the shard rebuilds its workspace, discarding any
+//! possibly-poisoned packing state, while its other connections keep
+//! being served. With the `faults` feature the
 //! [`gsknn_faults`] injection points compiled into decode, flush and
 //! batch execution let `tests/chaos.rs` drive all of this
 //! deterministically; without it they compile to nothing.
@@ -94,14 +104,18 @@ pub mod client;
 pub mod coalesce;
 pub mod degrade;
 pub mod metrics;
+pub mod mux;
 pub mod retry;
 pub mod sampler;
 pub mod server;
+mod shard;
 mod trace;
 pub mod wire;
 
 pub use client::{Client, Outcome, QueryReply, DEFAULT_CONNECT_TIMEOUT, DEFAULT_IO_TIMEOUT};
-pub use coalesce::{batch_target, predict_batch_cost, FlushReason, ASYMPTOTE_M};
+pub use coalesce::{
+    adaptive_should_flush, batch_target, predict_batch_cost, ArrivalRate, FlushReason, ASYMPTOTE_M,
+};
 pub use degrade::{degraded_target, OverloadDetector, Transition};
 pub use gsknn_obs::ServeReport;
 pub use metrics::Metrics;
@@ -109,3 +123,51 @@ pub use retry::RetryPolicy;
 pub use sampler::{LoadSampler, RooflineRecorder, WINDOW_S};
 pub use server::{ServeIndex, Server, ServerConfig};
 pub use wire::{Precision, Request, Response, Status, WireError, WIRE_VERSION};
+
+/// Test-only counting global allocator: proves the shard hot path's
+/// zero-allocations-per-query claim structurally instead of by review
+/// (see `shard::tests::steady_state_query_cycle_performs_no_heap_allocation`).
+/// Counts `alloc` and `realloc` calls on the current thread.
+#[cfg(test)]
+pub(crate) mod test_alloc {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
+
+    thread_local! {
+        // const-initialized: the first count bump must not itself
+        // allocate through lazy TLS init re-entering the allocator
+        static COUNT: Cell<u64> = const { Cell::new(0) };
+    }
+
+    pub struct CountingAllocator;
+
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            // try_with: a count during TLS teardown is silently dropped
+            // rather than aborting the process
+            let _ = COUNT.try_with(|c| c.set(c.get() + 1));
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            let _ = COUNT.try_with(|c| c.set(c.get() + 1));
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    #[global_allocator]
+    static ALLOC: CountingAllocator = CountingAllocator;
+
+    /// Allocations (+ reallocations) observed on this thread so far.
+    /// Only read by the `not(feature = "obs")` zero-alloc guard test —
+    /// the allocator itself stays installed in every test build so the
+    /// counting path is always exercised.
+    #[allow(dead_code)]
+    pub fn alloc_count() -> u64 {
+        COUNT.with(|c| c.get())
+    }
+}

@@ -6,7 +6,9 @@ use crate::coalesce::FlushReason;
 use crate::sampler::RooflineRecorder;
 use crate::wire::Status;
 use gsknn_obs::hist::LatencyHistogram;
-use gsknn_obs::serve::{batch_bucket, FlushCounts, LatencyRow, ServeReport, BATCH_BUCKETS};
+use gsknn_obs::serve::{
+    batch_bucket, FlushCounts, LatencyRow, ServeReport, ShardRow, BATCH_BUCKETS,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -32,6 +34,27 @@ struct CostSums {
     measured_s: f64,
     /// Term name -> summed predicted seconds across batches.
     terms: Vec<(String, f64)>,
+}
+
+/// Per-shard counters. Each shard thread bumps only its own entry, so
+/// the cache line never bounces between cores; the report reader sums
+/// them lazily. The per-shard roofline recorder keys its rows by shard
+/// (`"s0/f64"`) so a single hot shard is visible in the merged report.
+#[derive(Default)]
+pub struct ShardStat {
+    /// Kernel batches this shard executed.
+    pub batches: AtomicU64,
+    /// Query points this shard answered.
+    pub queries: AtomicU64,
+    /// Batches that panicked in this shard's kernel.
+    pub worker_panics: AtomicU64,
+    /// Workspace rebuilds after a panic (the shard keeps serving).
+    pub worker_respawns: AtomicU64,
+    /// Connections the acceptor round-robined onto this shard (counter,
+    /// not a gauge: total adopted over the run).
+    pub conns: AtomicU64,
+    /// Per-batch roofline classification, keyed by shard in the report.
+    pub roofline: RooflineRecorder,
 }
 
 /// Counters shared by the acceptor, connection handlers and lane workers.
@@ -67,11 +90,21 @@ pub struct Metrics {
     /// Per-batch roofline classification counters (lane × bound class
     /// plus the headroom gauge); a zero-sized no-op without `obs`.
     pub roofline: RooflineRecorder,
+    /// One entry per shard; empty until [`Metrics::for_shards`].
+    pub shards: Vec<ShardStat>,
 }
 
 impl Metrics {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Counters for a server running `n` shards.
+    pub fn for_shards(n: usize) -> Self {
+        Metrics {
+            shards: (0..n).map(|_| ShardStat::default()).collect(),
+            ..Self::default()
+        }
     }
 
     /// Admit `m` queries against the bound, all-or-nothing: either the
@@ -173,6 +206,17 @@ impl Metrics {
     /// the server, not the counters).
     pub fn report(&self, batch_targets: Vec<(String, usize)>, overloaded: bool) -> ServeReport {
         let cost = self.cost.lock().unwrap();
+        // the global per-lane rows first, then per-shard rows keyed
+        // "s<idx>/<lane>" (skipping shards that ran nothing)
+        let mut roofline = self.roofline.rows();
+        for (i, s) in self.shards.iter().enumerate() {
+            roofline.extend(
+                s.roofline
+                    .rows_keyed(&format!("s{i}"))
+                    .into_iter()
+                    .filter(|r| r.total() > 0),
+            );
+        }
         ServeReport {
             precisions: batch_targets.iter().map(|(p, _)| p.clone()).collect(),
             requests: self.requests.load(Ordering::Relaxed),
@@ -190,7 +234,20 @@ impl Metrics {
                 deadline: self.flush_deadline.load(Ordering::Relaxed),
                 drain: self.flush_drain.load(Ordering::Relaxed),
             },
-            roofline: self.roofline.rows(),
+            roofline,
+            shards: self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, s)| ShardRow {
+                    shard: i,
+                    batches: s.batches.load(Ordering::Relaxed),
+                    queries: s.queries.load(Ordering::Relaxed),
+                    worker_panics: s.worker_panics.load(Ordering::Relaxed),
+                    worker_respawns: s.worker_respawns.load(Ordering::Relaxed),
+                    conns: s.conns.load(Ordering::Relaxed),
+                })
+                .collect(),
             batch_hist: self
                 .hist
                 .iter()
@@ -351,6 +408,58 @@ mod tests {
             (40_000_000..=70_000_000).contains(&p50),
             "p50 {p50} near 55 ms"
         );
+    }
+
+    #[test]
+    fn shard_stats_reach_the_report_keyed_by_shard() {
+        let m = Metrics::for_shards(2);
+        m.shards[0].batches.fetch_add(3, Ordering::Relaxed);
+        m.shards[0].queries.fetch_add(9, Ordering::Relaxed);
+        m.shards[1].worker_panics.fetch_add(1, Ordering::Relaxed);
+        m.shards[1].worker_respawns.fetch_add(1, Ordering::Relaxed);
+        m.shards[1].conns.fetch_add(4, Ordering::Relaxed);
+        let r = m.report(vec![("f64".into(), 32)], false);
+        assert_eq!(r.shards.len(), 2);
+        assert_eq!(
+            (r.shards[0].shard, r.shards[0].batches, r.shards[0].queries),
+            (0, 3, 9)
+        );
+        assert_eq!(
+            (
+                r.shards[1].worker_panics,
+                r.shards[1].worker_respawns,
+                r.shards[1].conns
+            ),
+            (1, 1, 4)
+        );
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn shard_roofline_rows_are_keyed_and_sparse() {
+        use gsknn_core::{MachineParams, Model};
+        let m = Metrics::for_shards(2);
+        let model = Model::new(MachineParams::ivy_bridge_1core());
+        m.shards[1].roofline.record_batch(
+            1,
+            4,
+            &model,
+            4,
+            512,
+            2,
+            16,
+            8,
+            64,
+            FlushReason::Deadline,
+            0.004,
+            &gsknn_core::obs::PhaseSet::default(),
+            0,
+        );
+        let r = m.report(vec![("f64".into(), 64)], false);
+        // 2 global lane rows + only shard 1's non-empty f32 row
+        assert_eq!(r.roofline.len(), 3);
+        assert_eq!(r.roofline[2].lane, "s1/f32");
+        assert_eq!(r.roofline[2].total(), 1);
     }
 
     #[test]

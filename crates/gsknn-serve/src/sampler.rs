@@ -398,6 +398,16 @@ impl RooflineRecorder {
             Vec::new()
         }
     }
+
+    /// [`Self::rows`] with lane labels prefixed (`"s0/f64"`): per-shard
+    /// recorders stay distinguishable when merged into one report.
+    pub fn rows_keyed(&self, prefix: &str) -> Vec<RooflineRow> {
+        let mut rows = self.rows();
+        for r in &mut rows {
+            r.lane = format!("{prefix}/{}", r.lane);
+        }
+        rows
+    }
 }
 
 #[cfg(test)]

@@ -1,38 +1,45 @@
-//! The query service: a `TcpListener` acceptor, one connection-handler
-//! thread per client, and per-precision lanes of kernel workers fed
-//! through bounded channels. No async runtime — crossbeam scoped threads
-//! and channels only (see DESIGN.md §9).
+//! The query service: a `TcpListener` acceptor round-robining
+//! connections over **thread-per-core shards** ([`crate::shard`]). No
+//! async runtime — crossbeam scoped threads and channels only (see
+//! DESIGN.md §9).
 //!
 //! Request lifecycle:
 //!
-//! 1. A connection handler decodes a frame, validates it against the
-//!    index (dimension, `k ≤ k_max`, finite coordinates), and admits it
-//!    against the bounded in-flight budget — all-or-nothing, so a batch
-//!    either fits whole or bounces as `Busy`.
-//! 2. Admitted jobs enter their precision lane's channel. A lane worker
-//!    coalesces jobs until the §2.6 model says the batch reached the
-//!    efficient regime (`m ≥ m*`, see [`crate::coalesce::batch_target`])
-//!    or the oldest job has spent half its latency budget waiting.
-//! 3. The flushed batch runs as one [`rkdt::Forest::query`] (cross-table
-//!    kernel calls per routed leaf) at the batch's largest `k`; each
-//!    job's rows are truncated to its own `k` and sent back as
-//!    NeighborTable v2 bytes. Jobs whose full budget elapsed before the
-//!    kernel started are answered `Timeout` without computing.
-//! 4. `Shutdown` (or SIGTERM) flips the drain flag: queued jobs flush as
-//!    `Drain` batches, new queries get `ShuttingDown`, and `run` returns
-//!    the final [`ServeReport`].
+//! 1. The acceptor hands each fresh `TcpStream` to a shard. From then on
+//!    the shard thread owns the connection outright: nonblocking reads,
+//!    frame parsing, validation (dimension, `k ≤ k_max`, finite
+//!    coordinates), and all-or-nothing admission against the bounded
+//!    in-flight budget (`Busy` on overflow).
+//! 2. Admitted queries park in the shard's per-precision lane: their
+//!    coordinates land zero-copy in the lane's pack buffer and a
+//!    [`crate::shard::PendingJob`] rides along. The lane coalesces until
+//!    the §2.6 model says the batch reached the efficient regime
+//!    (`m ≥ m*`, see [`crate::coalesce::batch_target`]), the **oldest**
+//!    parked job has spent half its latency budget, or — with
+//!    [`ServerConfig::adaptive_coalesce`] — the EWMA arrival-rate model
+//!    says waiting for more traffic can no longer pay for itself.
+//! 3. The flushed batch runs *inline on the shard thread* through its
+//!    reusable workspace at the batch's largest `k`; each job's rows are
+//!    truncated to its own `k` and sent back as NeighborTable v2 bytes.
+//!    Jobs whose full budget elapsed before the kernel started are
+//!    answered `Timeout` without computing.
+//! 4. `Shutdown` (or SIGTERM) flips the drain flag: parked batches flush
+//!    as `Drain`, new queries get `ShuttingDown`, shards push their
+//!    remaining replies and exit, and `run` returns the final
+//!    [`ServeReport`].
 //!
 //! Failure semantics (see DESIGN.md §10):
 //!
 //! * **Supervision** — the kernel call runs under `catch_unwind`. A
 //!   panicking batch answers every live job `InternalError` (nothing was
-//!   computed, so clients may retry), the worker's executor — and with
-//!   it any half-packed workspace the panic may have poisoned — is
-//!   discarded and rebuilt, and the worker keeps serving. Counted as
-//!   `worker_panics` / `worker_respawns`.
+//!   computed, so clients may retry), the shard's workspace — which the
+//!   panic may have left half-packed — is discarded and rebuilt, and the
+//!   shard keeps serving its other connections. Counted as
+//!   `worker_panics` / `worker_respawns`, globally and per shard.
 //! * **Degradation** — a monitor thread feeds queue pressure into an
 //!   [`OverloadDetector`]; while overloaded, lanes shrink their batch
-//!   target ([`degraded_target`]) to bound latency, and with
+//!   target ([`crate::degrade::degraded_target`]) to bound latency, and
+//!   with
 //!   [`ServerConfig::degrade_precision`] f64 queries are answered from
 //!   the f32 lane as `OkDegraded` (the v2 table encoding is
 //!   cross-precision, so clients decode transparently).
@@ -40,25 +47,19 @@
 //!   corrupt decoded frames, force premature flushes, and panic batch
 //!   execution on demand (`tests/chaos.rs`); off, they compile away.
 
-use crate::coalesce::{batch_target, predict_batch_cost, FlushReason};
-use crate::degrade::{degraded_target, OverloadDetector, Transition};
-use crate::metrics::{Metrics, LANES, STATUS_LABELS};
+use crate::coalesce::batch_target;
+use crate::degrade::{OverloadDetector, Transition};
+use crate::metrics::Metrics;
 use crate::sampler::LoadSampler;
-use crate::trace::ReqTrace;
-use crate::wire::{
-    deadline_duration, decode_request, encode_response, read_frame_poll, write_frame, Precision,
-    QueryBody, Request, Response, Status,
-};
-use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TrySendError};
+use crate::shard::{shard_main, ShardCtx};
+use crossbeam::channel;
 use dataset::{DistanceKind, PointSet};
-use gsknn_core::{FusedScalar, Gsknn, GsknnConfig, MachineParams, Model};
-use gsknn_obs::{chrome_trace_json, ServeReport, TraceRing};
-use knn_select::{Neighbor, NeighborTable};
+use gsknn_core::{MachineParams, Model};
+use gsknn_obs::{ServeReport, TraceRing};
 use rkdt::Forest;
 use std::io;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -88,7 +89,21 @@ fn install_sigterm() {
 pub struct ServerConfig {
     /// Bind address (`"127.0.0.1:0"` picks a free port).
     pub addr: String,
-    /// Kernel worker threads per precision lane.
+    /// Shard threads (each owns both precision lanes and its slice of
+    /// connections). `0` auto-detects: available parallelism, clamped to
+    /// `1..=8`.
+    pub shards: usize,
+    /// Pin shard `i` to core `i` (`sched_setaffinity`; linux only, a
+    /// no-op elsewhere). Keeps a shard's reusable workspace resident in
+    /// one core's cache.
+    pub pin_cores: bool,
+    /// Flush undersized batches early when the EWMA arrival rate says
+    /// waiting for the model target costs more latency than the larger
+    /// batch would save (see [`crate::coalesce::adaptive_should_flush`]).
+    /// Off, undersized batches wait out the fixed deadline-half bound.
+    pub adaptive_coalesce: bool,
+    /// Legacy knob from the thread-per-connection server; shards execute
+    /// kernels inline, so this is accepted and ignored.
     pub workers_per_lane: usize,
     /// Admission bound: maximum in-flight query points across both lanes.
     pub queue_cap: usize,
@@ -129,6 +144,9 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
+            shards: 1,
+            pin_cores: false,
+            adaptive_coalesce: false,
             workers_per_lane: 1,
             queue_cap: 1024,
             coalesce_frac: 0.9,
@@ -145,15 +163,30 @@ impl Default for ServerConfig {
     }
 }
 
+impl ServerConfig {
+    /// The shard count [`Server::run`] will use: `shards`, or the
+    /// machine's available parallelism clamped to `1..=8` when 0.
+    pub fn resolved_shards(&self) -> usize {
+        if self.shards > 0 {
+            self.shards
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .clamp(1, 8)
+        }
+    }
+}
+
 /// The loaded index: one reference table (kept in both precisions — the
 /// forest's split projections are precision-free, so a single forest
 /// routes either cast) plus its randomized-KD-tree forest.
 pub struct ServeIndex {
-    refs64: PointSet<f64>,
-    refs32: PointSet<f32>,
-    forest: Forest,
-    n_trees: usize,
-    leaf_size: usize,
+    pub(crate) refs64: PointSet<f64>,
+    pub(crate) refs32: PointSet<f32>,
+    pub(crate) forest: Forest,
+    pub(crate) n_trees: usize,
+    pub(crate) leaf_size: usize,
 }
 
 impl ServeIndex {
@@ -196,71 +229,64 @@ impl ServeIndex {
     }
 }
 
-/// One admitted query batch traveling from a connection handler to a
-/// lane worker.
-struct Job {
-    /// `m · dim` coordinates, widened; the lane narrows to its scalar.
-    coords: Vec<f64>,
-    m: usize,
-    k: usize,
-    /// Coalesce bound: flush a batch containing this job by here.
-    flush_by: Instant,
-    /// Full latency budget: a kernel start after this answers `Timeout`.
-    timeout_at: Instant,
-    /// An f64 request routed to the f32 lane under overload: answer with
-    /// `Status::OkDegraded` so the client knows the precision dropped.
-    degraded: bool,
-    /// Span recorder riding along with the job; the worker closes the
-    /// coalesce wait and attributes kernel phases, then ships it back
-    /// with the reply (zero-sized without the `obs` feature).
-    trace: ReqTrace,
-    reply: Sender<(Response, ReqTrace)>,
-}
-
-/// Everything a lane worker needs, borrowed for the scope's lifetime.
-struct LaneCtx<'a, T: FusedScalar> {
-    rx: Receiver<Job>,
-    refs: &'a PointSet<T>,
-    forest: &'a Forest,
-    n_trees: usize,
-    leaf_size: usize,
-    kind: DistanceKind,
-    target: usize,
-    model: Model,
-    /// Lane index into [`LANES`] (0 = f64, 1 = f32), for the roofline
-    /// recorder's per-lane counters.
-    lane: usize,
-    metrics: &'a Metrics,
-    sampler: &'a LoadSampler,
-    shutdown: &'a AtomicBool,
-    /// Overload flag: while set, the lane coalesces toward
-    /// [`degraded_target`] instead of the model target.
-    degraded: &'a AtomicBool,
-}
-
-/// Shared state for connection handlers.
-struct Shared {
-    metrics: Metrics,
-    shutdown: AtomicBool,
+/// State shared by the shards, the acceptor, the overload monitor and
+/// the metrics listener.
+pub(crate) struct Shared {
+    pub(crate) metrics: Metrics,
+    pub(crate) shutdown: AtomicBool,
     /// Overload state, owned by the monitor thread.
-    degraded: AtomicBool,
-    degrade_precision: bool,
-    dim: usize,
-    n_refs: usize,
-    queue_cap: usize,
-    k_max: usize,
-    targets: Vec<(String, usize)>,
+    pub(crate) degraded: AtomicBool,
+    pub(crate) degrade_precision: bool,
+    pub(crate) dim: usize,
+    pub(crate) n_refs: usize,
+    pub(crate) queue_cap: usize,
+    pub(crate) k_max: usize,
+    pub(crate) targets: Vec<(String, usize)>,
     /// Server start; trace timestamps are microseconds since this.
-    epoch: Instant,
+    pub(crate) epoch: Instant,
     /// The N slowest finished request traces, for the `Traces` wire op.
-    traces: TraceRing,
+    pub(crate) traces: TraceRing,
     /// Server-assigned trace ids for requests that sent `trace_id = 0`
     /// (starts at 1; 0 means "no id" on the wire).
-    next_trace: AtomicU64,
-    slow_query_ms: Option<u64>,
+    pub(crate) next_trace: AtomicU64,
+    pub(crate) slow_query_ms: Option<u64>,
     /// Per-second load time-series for the `TimeSeries` wire op
     /// (zero-sized without the `obs` feature).
-    sampler: LoadSampler,
+    pub(crate) sampler: LoadSampler,
+}
+
+impl Shared {
+    pub(crate) fn new(
+        cfg: &ServerConfig,
+        dim: usize,
+        n_refs: usize,
+        targets: Vec<(String, usize)>,
+        n_shards: usize,
+    ) -> Shared {
+        Shared {
+            metrics: Metrics::for_shards(n_shards),
+            shutdown: AtomicBool::new(false),
+            degraded: AtomicBool::new(false),
+            degrade_precision: cfg.degrade_precision,
+            dim,
+            n_refs,
+            queue_cap: cfg.queue_cap.max(1),
+            k_max: cfg.k_max.max(1),
+            targets,
+            epoch: Instant::now(),
+            traces: TraceRing::new(cfg.trace_ring),
+            next_trace: AtomicU64::new(1),
+            slow_query_ms: cfg.slow_query_ms,
+            sampler: LoadSampler::new(),
+        }
+    }
+
+    /// A live snapshot (the `Stats` / `Metrics` wire ops and the HTTP
+    /// exposition all render from this).
+    pub(crate) fn report(&self) -> ServeReport {
+        self.metrics
+            .report(self.targets.clone(), self.degraded.load(Ordering::SeqCst))
+    }
 }
 
 /// A bound, not-yet-running server. `bind` then `run`; the split lets
@@ -313,74 +339,46 @@ impl Server {
     }
 
     /// Serve until `Shutdown` / SIGTERM, then drain and return the final
-    /// report. Blocks the calling thread; workers and connection handlers
-    /// run on scoped threads underneath it.
+    /// report. Blocks the calling thread; shard threads, the overload
+    /// monitor and the metrics listener run on scoped threads underneath.
     pub fn run(self) -> ServeReport {
         install_sigterm();
         let targets = self.batch_targets();
-        let shared = Shared {
-            metrics: Metrics::new(),
-            shutdown: AtomicBool::new(false),
-            degraded: AtomicBool::new(false),
-            degrade_precision: self.cfg.degrade_precision,
-            dim: self.index.dim(),
-            n_refs: self.index.len(),
-            queue_cap: self.cfg.queue_cap.max(1),
-            k_max: self.cfg.k_max.max(1),
-            targets: targets.clone(),
-            epoch: Instant::now(),
-            traces: TraceRing::new(self.cfg.trace_ring),
-            next_trace: AtomicU64::new(1),
-            slow_query_ms: self.cfg.slow_query_ms,
-            sampler: LoadSampler::new(),
-        };
-        let cap = shared.queue_cap;
-        let (tx64, rx64) = channel::bounded::<Job>(cap);
-        let (tx32, rx32) = channel::bounded::<Job>(cap);
+        let n_shards = self.cfg.resolved_shards();
+        let shared = Shared::new(
+            &self.cfg,
+            self.index.dim(),
+            self.index.len(),
+            targets.clone(),
+            n_shards,
+        );
         self.listener
             .set_nonblocking(true)
             .expect("nonblocking accept");
-        let workers = self.cfg.workers_per_lane.max(1);
-        let model64 = Model::new(MachineParams::ivy_bridge_1core().for_scalar::<f64>());
-        let model32 = Model::new(MachineParams::ivy_bridge_1core().for_scalar::<f32>());
         let index = &self.index;
         let cfg = &self.cfg;
         let shared_ref = &shared;
+        // per-shard hand-off channels: unbounded, because a channel entry
+        // is just an accepted TcpStream the shard adopts on its next loop
+        // iteration — the OS accept backlog is the real bound
+        let (txs, rxs): (Vec<_>, Vec<_>) = (0..n_shards)
+            .map(|_| channel::unbounded::<TcpStream>())
+            .unzip();
 
         crossbeam::thread::scope(|s| {
-            for _ in 0..workers {
-                let ctx = LaneCtx {
-                    rx: rx64.clone(),
-                    refs: &index.refs64,
-                    forest: &index.forest,
-                    n_trees: index.n_trees,
-                    leaf_size: index.leaf_size,
+            for (id, rx) in rxs.into_iter().enumerate() {
+                let ctx = ShardCtx {
+                    id,
+                    shared: shared_ref,
+                    index,
                     kind: cfg.kind,
-                    target: targets[0].1,
-                    model: model64,
-                    lane: 0,
-                    metrics: &shared_ref.metrics,
-                    sampler: &shared_ref.sampler,
-                    shutdown: &shared_ref.shutdown,
-                    degraded: &shared_ref.degraded,
+                    target64: targets[0].1,
+                    target32: targets[1].1,
+                    adaptive: cfg.adaptive_coalesce,
+                    pin_core: cfg.pin_cores.then_some(id),
+                    conn_rx: rx,
                 };
-                s.spawn(move |_| lane_worker(ctx));
-                let ctx = LaneCtx {
-                    rx: rx32.clone(),
-                    refs: &index.refs32,
-                    forest: &index.forest,
-                    n_trees: index.n_trees,
-                    leaf_size: index.leaf_size,
-                    kind: cfg.kind,
-                    target: targets[1].1,
-                    model: model32,
-                    lane: 1,
-                    metrics: &shared_ref.metrics,
-                    sampler: &shared_ref.sampler,
-                    shutdown: &shared_ref.shutdown,
-                    degraded: &shared_ref.degraded,
-                };
-                s.spawn(move |_| lane_worker(ctx));
+                s.spawn(move |_| shard_main(ctx));
             }
             // overload monitor: queue pressure in, degraded flag out
             {
@@ -413,12 +411,9 @@ impl Server {
             if let Some(addr) = cfg.metrics_addr.clone() {
                 s.spawn(move |_| metrics_listener(&addr, shared_ref));
             }
-            // the worker-side clones above keep the lanes alive; drop the
-            // originals so worker recv() can observe disconnection once
-            // every connection handler is gone
-            drop(rx64);
-            drop(rx32);
 
+            // the acceptor: round-robin fresh connections over shards
+            let mut next = 0usize;
             loop {
                 if SIGTERM.load(Ordering::SeqCst) {
                     shared_ref.shutdown.store(true, Ordering::SeqCst);
@@ -428,9 +423,8 @@ impl Server {
                 }
                 match self.listener.accept() {
                     Ok((stream, _peer)) => {
-                        let tx64 = tx64.clone();
-                        let tx32 = tx32.clone();
-                        s.spawn(move |_| handle_conn(stream, shared_ref, tx64, tx32));
+                        let _ = txs[next % txs.len()].send(stream);
+                        next = next.wrapping_add(1);
                     }
                     Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(2));
@@ -438,15 +432,13 @@ impl Server {
                     Err(_) => std::thread::sleep(Duration::from_millis(2)),
                 }
             }
-            drop(tx64);
-            drop(tx32);
-            // scope join: connection handlers observe the shutdown flag,
-            // lane workers drain their channels and exit
+            drop(txs);
+            // scope join: shards drain their parked batches and buffered
+            // replies, then exit
         })
         .expect("server thread panicked");
 
-        let overloaded = shared.degraded.load(Ordering::SeqCst);
-        shared.metrics.report(targets, overloaded)
+        shared.report()
     }
 }
 
@@ -482,13 +474,7 @@ fn metrics_listener(addr: &str, shared: &Shared) {
                         Err(_) => break,
                     }
                 }
-                let body = shared
-                    .metrics
-                    .report(
-                        shared.targets.clone(),
-                        shared.degraded.load(Ordering::SeqCst),
-                    )
-                    .render_prometheus();
+                let body = shared.report().render_prometheus();
                 let resp = format!(
                     "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; \
                      charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
@@ -503,486 +489,4 @@ fn metrics_listener(addr: &str, shared: &Shared) {
             Err(_) => std::thread::sleep(Duration::from_millis(10)),
         }
     }
-}
-
-/// Per-connection loop: read frames until EOF, error, or drain.
-fn handle_conn(mut stream: TcpStream, shared: &Shared, tx64: Sender<Job>, tx32: Sender<Job>) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
-    let _ = stream.set_nodelay(true);
-    loop {
-        let stop = || shared.shutdown.load(Ordering::SeqCst);
-        let payload = match read_frame_poll(&mut stream, &stop) {
-            Ok(Some(p)) => p,
-            Ok(None) | Err(_) => return,
-        };
-        // Injected frame corruption: flip a byte of the received payload
-        // so the hardened decoder (not the network) is what's under test.
-        // The connection must answer a typed error and keep serving.
-        #[cfg(feature = "faults")]
-        let payload = {
-            let mut payload = payload;
-            if gsknn_faults::armed(gsknn_faults::FaultPoint::FrameDecode) && !payload.is_empty() {
-                let mid = payload.len() / 2;
-                payload[mid] ^= 0xff;
-            }
-            payload
-        };
-        let t_recv = Instant::now();
-        shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
-        let mut drain_after_reply = false;
-        let decoded = decode_request(&payload);
-        let t_dec = Instant::now();
-        // Queries carry their timeline through to the latency histograms
-        // and the trace ring; control ops answer and forget.
-        let mut done: Option<QueryDone> = None;
-        let resp = match decoded {
-            Err(e) => {
-                shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-                Response::error(e.to_string())
-            }
-            Ok(Request::Ping) => Response::empty(Status::Ok),
-            Ok(Request::Stats) => {
-                let report = shared.metrics.report(
-                    shared.targets.clone(),
-                    shared.degraded.load(Ordering::SeqCst),
-                );
-                Response::ok_body(report.to_json().to_string().into_bytes())
-            }
-            Ok(Request::Metrics) => {
-                let report = shared.metrics.report(
-                    shared.targets.clone(),
-                    shared.degraded.load(Ordering::SeqCst),
-                );
-                Response::ok_body(report.render_prometheus().into_bytes())
-            }
-            Ok(Request::Traces) => {
-                let traces = shared.traces.snapshot();
-                Response::ok_body(chrome_trace_json(&traces).to_string().into_bytes())
-            }
-            Ok(Request::TimeSeries) => {
-                Response::ok_body(shared.sampler.to_json().to_string().into_bytes())
-            }
-            Ok(Request::Shutdown) => {
-                drain_after_reply = true;
-                Response::empty(Status::Ok)
-            }
-            Ok(Request::Query(q)) => {
-                // histograms are labeled by the *requested* lane; degraded
-                // f64 routing shows up as status ok_degraded, not lane f32
-                let lane = match q.precision {
-                    Precision::F64 => 0,
-                    Precision::F32 => 1,
-                };
-                let trace_id = if q.trace_id != 0 {
-                    q.trace_id
-                } else {
-                    shared.next_trace.fetch_add(1, Ordering::Relaxed)
-                };
-                shared.sampler.record_arrival(q.m);
-                shared.sampler.observe_depth(shared.metrics.in_flight());
-                let mut trace = ReqTrace::start(shared.epoch, t_recv);
-                trace.set_shape(q.m, q.k);
-                trace.add_span("decode", t_recv, t_dec);
-                let (resp, trace) = handle_query(q, trace, shared, &tx64, &tx32);
-                done = Some(QueryDone {
-                    lane,
-                    trace_id,
-                    trace,
-                });
-                resp.with_trace(trace_id)
-            }
-        };
-        let t_reply = Instant::now();
-        if write_frame(&mut stream, &encode_response(&resp)).is_err() {
-            return;
-        }
-        if let Some(d) = done {
-            let t_done = Instant::now();
-            let total = t_done - t_recv;
-            shared.metrics.record_latency(d.lane, resp.status, total);
-            let mut trace = d.trace;
-            trace.add_span("reply write", t_reply, t_done);
-            let lane = LANES[d.lane];
-            let status = STATUS_LABELS[resp.status as usize];
-            let slow = shared
-                .slow_query_ms
-                .is_some_and(|ms| total >= Duration::from_millis(ms));
-            match trace.finish(d.trace_id, lane, status, total) {
-                Some(t) => {
-                    if slow {
-                        let spans: Vec<String> = t
-                            .spans
-                            .iter()
-                            .map(|s| format!("{} {:.1}us", s.name, s.dur_us))
-                            .collect();
-                        eprintln!(
-                            "gsknn-serve: slow query trace_id={:016x} lane={} status={} \
-                             m={} k={} total={:.1}us [{}]",
-                            t.trace_id,
-                            t.lane,
-                            t.status,
-                            t.m,
-                            t.k,
-                            t.total_us,
-                            spans.join(", ")
-                        );
-                    }
-                    shared.traces.offer(t);
-                }
-                None => {
-                    if slow {
-                        eprintln!(
-                            "gsknn-serve: slow query trace_id={:016x} lane={lane} \
-                             status={status} total={:.1}us (tracing compiled out)",
-                            d.trace_id,
-                            total.as_secs_f64() * 1e6
-                        );
-                    }
-                }
-            }
-        }
-        if drain_after_reply {
-            shared.shutdown.store(true, Ordering::SeqCst);
-            return;
-        }
-    }
-}
-
-/// What the connection loop keeps about an answered query to record its
-/// latency and finish its trace after the reply frame is on the wire.
-struct QueryDone {
-    lane: usize,
-    trace_id: u64,
-    trace: ReqTrace,
-}
-
-/// Validate, admit, enqueue, await the lane's reply. The trace recorder
-/// travels with the job through the lane and comes back with the reply,
-/// so the connection loop can finish it with the worker's spans.
-fn handle_query(
-    q: QueryBody,
-    mut trace: ReqTrace,
-    shared: &Shared,
-    tx64: &Sender<Job>,
-    tx32: &Sender<Job>,
-) -> (Response, ReqTrace) {
-    let t_val = Instant::now();
-    if shared.shutdown.load(Ordering::SeqCst) {
-        return (Response::empty(Status::ShuttingDown), trace);
-    }
-    if q.dim != shared.dim {
-        shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-        return (
-            Response::bad_request(format!(
-                "dimension mismatch: index is {}-d, request is {}-d",
-                shared.dim, q.dim
-            )),
-            trace,
-        );
-    }
-    if q.m == 0 || q.k == 0 || q.k > shared.k_max {
-        shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-        return (
-            Response::bad_request(format!(
-                "need m >= 1 and 1 <= k <= {} (got m = {}, k = {})",
-                shared.k_max, q.m, q.k
-            )),
-            trace,
-        );
-    }
-    if q.k > shared.n_refs {
-        shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-        return (
-            Response::bad_request(format!(
-                "k = {} exceeds the index's {} reference points",
-                q.k, shared.n_refs
-            )),
-            trace,
-        );
-    }
-    if q.coords.iter().any(|v| !v.is_finite()) {
-        shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-        return (
-            Response::bad_request("non-finite coordinate in query"),
-            trace,
-        );
-    }
-    // Under overload (and opt-in), answer f64 traffic from the f32 lane:
-    // same neighbor ids at reduced distance precision, flagged
-    // `OkDegraded` on the wire.
-    let degraded = shared.degrade_precision
-        && q.precision == Precision::F64
-        && shared.degraded.load(Ordering::SeqCst);
-    // Anything narrowed to f32 — native f32 requests or degraded f64
-    // routing — must stay finite at that width too, or the lane's
-    // `PointSet` constructor would panic on an overflow-to-inf value.
-    if (degraded || q.precision == Precision::F32)
-        && q.coords.iter().any(|&v| !(v as f32).is_finite())
-    {
-        shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-        return (
-            Response::bad_request("coordinate overflows f32 (the serving precision)"),
-            trace,
-        );
-    }
-    if !shared.metrics.admit(q.m, shared.queue_cap) {
-        shared.metrics.busy.fetch_add(1, Ordering::Relaxed);
-        return (Response::empty(Status::Busy), trace);
-    }
-    let now = Instant::now();
-    trace.add_span("admission", t_val, now);
-    trace.mark_enqueued();
-    let budget = deadline_duration(q.deadline_ms);
-    let (reply_tx, reply_rx) = channel::bounded::<(Response, ReqTrace)>(1);
-    let job = Job {
-        coords: q.coords,
-        m: q.m,
-        k: q.k,
-        flush_by: now + budget / 2,
-        timeout_at: now + budget,
-        degraded,
-        trace,
-        reply: reply_tx,
-    };
-    let lane = if degraded {
-        tx32
-    } else {
-        match q.precision {
-            Precision::F64 => tx64,
-            Precision::F32 => tx32,
-        }
-    };
-    if let Err(e) = lane.try_send(job) {
-        // the job (and its trace) comes back in the error
-        let job = match e {
-            TrySendError::Full(job) | TrySendError::Disconnected(job) => job,
-        };
-        shared.metrics.release(job.m);
-        shared.metrics.busy.fetch_add(1, Ordering::Relaxed);
-        return (Response::empty(Status::Busy), job.trace);
-    }
-    // workers always reply (Ok or Timeout); the grace covers kernel time
-    match reply_rx.recv_timeout(budget + Duration::from_secs(30)) {
-        Ok((resp, trace)) => (resp, trace),
-        Err(_) => {
-            shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-            (
-                Response::internal_error("lane worker did not reply"),
-                ReqTrace::off(),
-            )
-        }
-    }
-}
-
-/// One kernel worker: coalesce then flush, forever. The executor (and
-/// its packing workspace) persists across batches; after a panicking
-/// batch it is discarded and rebuilt — the respawned worker starts from
-/// a provably clean workspace.
-fn lane_worker<T: FusedScalar>(ctx: LaneCtx<'_, T>) {
-    let kernel_cfg = GsknnConfig::for_scalar::<T>();
-    let mut exec = Gsknn::<T>::new(kernel_cfg.clone());
-    loop {
-        // block for the batch's first job, watching for drain
-        let first = loop {
-            match ctx.rx.recv_timeout(Duration::from_millis(25)) {
-                Ok(job) => break job,
-                Err(RecvTimeoutError::Timeout) => {
-                    if ctx.shutdown.load(Ordering::SeqCst) && ctx.rx.is_empty() {
-                        return;
-                    }
-                }
-                Err(RecvTimeoutError::Disconnected) => return,
-            }
-        };
-        // overload shrinks the coalescing bar for the whole batch
-        let target = if ctx.degraded.load(Ordering::SeqCst) {
-            degraded_target(ctx.target)
-        } else {
-            ctx.target
-        };
-        let mut flush_by = first.flush_by;
-        let mut m = first.m;
-        let mut batch = vec![first];
-        let reason = loop {
-            if m >= target {
-                break FlushReason::Model;
-            }
-            if ctx.shutdown.load(Ordering::SeqCst) {
-                break FlushReason::Drain;
-            }
-            // Injected premature flush: the batch goes out undersized,
-            // exercising the deadline path without a slow clock.
-            #[cfg(feature = "faults")]
-            if gsknn_faults::armed(gsknn_faults::FaultPoint::CoalesceFlush) {
-                break FlushReason::Deadline;
-            }
-            let now = Instant::now();
-            if now >= flush_by {
-                break FlushReason::Deadline;
-            }
-            let wait = (flush_by - now).min(Duration::from_millis(5));
-            match ctx.rx.recv_timeout(wait) {
-                Ok(job) => {
-                    flush_by = flush_by.min(job.flush_by);
-                    m += job.m;
-                    batch.push(job);
-                }
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => break FlushReason::Drain,
-            }
-        };
-        if execute_batch(&ctx, &mut exec, batch, reason) == BatchFate::Panicked {
-            // Answering the batch's jobs is already done; recover the
-            // worker itself. The old executor may hold a workspace the
-            // panic left half-packed — never reuse it.
-            exec = Gsknn::<T>::new(kernel_cfg.clone());
-            ctx.metrics.worker_respawns.fetch_add(1, Ordering::Relaxed);
-        }
-    }
-}
-
-/// Whether a flushed batch ran to completion or died mid-kernel.
-#[derive(PartialEq, Eq)]
-enum BatchFate {
-    Completed,
-    Panicked,
-}
-
-/// Run one flushed batch through the forest and fan the rows back out.
-///
-/// The kernel call is supervised: a panic (injected or organic) is
-/// caught here, every live job is answered `InternalError` — the batch
-/// produced nothing, so retrying is safe — and the caller learns the
-/// executor must be discarded. Jobs are deliberately kept *outside* the
-/// unwind closure so they remain answerable after a panic.
-fn execute_batch<T: FusedScalar>(
-    ctx: &LaneCtx<'_, T>,
-    exec: &mut Gsknn<T>,
-    batch: Vec<Job>,
-    reason: FlushReason,
-) -> BatchFate {
-    let start = Instant::now();
-    let mut live = Vec::with_capacity(batch.len());
-    for job in batch {
-        if start > job.timeout_at {
-            ctx.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
-            ctx.metrics.release(job.m);
-            let Job {
-                mut trace, reply, ..
-            } = job;
-            trace.coalesce_end(start);
-            let _ = reply.try_send((Response::empty(Status::Timeout), trace));
-        } else {
-            live.push(job);
-        }
-    }
-    if live.is_empty() {
-        ctx.metrics.record_flush(reason, 0, 0.0, 0.0, &[]);
-        ctx.sampler
-            .record_flush(reason, 0, &gsknn_core::obs::PhaseSet::default());
-        return BatchFate::Completed;
-    }
-
-    let dim = ctx.refs.dim();
-    let m_live: usize = live.iter().map(|j| j.m).sum();
-    let k_batch = live.iter().map(|j| j.k).max().unwrap_or(1);
-    let mut coords: Vec<T> = Vec::with_capacity(m_live * dim);
-    for job in &live {
-        coords.extend(job.coords.iter().map(|&v| T::from_f64(v)));
-    }
-    let queries = PointSet::from_vec(dim, m_live, coords);
-    // drop phase times a previous (panicked) batch may have left behind,
-    // so this batch's jobs only see their own kernel
-    let _ = exec.take_phase_accum();
-    let k_start = Instant::now();
-    let table = catch_unwind(AssertUnwindSafe(|| {
-        gsknn_faults::fail_point!(gsknn_faults::FaultPoint::BatchExec);
-        ctx.forest
-            .query_with(exec, ctx.refs, &queries, k_batch, ctx.kind)
-    }));
-    let table = match table {
-        Ok(table) => table,
-        Err(_) => {
-            ctx.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
-            for job in live {
-                ctx.metrics.release(job.m);
-                ctx.metrics.errors.fetch_add(1, Ordering::Relaxed);
-                let Job {
-                    mut trace, reply, ..
-                } = job;
-                trace.coalesce_end(k_start);
-                let _ = reply.try_send((
-                    Response::internal_error("worker panicked executing the batch"),
-                    trace,
-                ));
-            }
-            return BatchFate::Panicked;
-        }
-    };
-    let phases = exec.take_phase_accum();
-    let measured = start.elapsed().as_secs_f64();
-    let leaf_n = ctx.leaf_size.min(ctx.refs.len());
-    let (predicted, terms) =
-        predict_batch_cost(&ctx.model, ctx.n_trees, leaf_n, m_live, dim, k_batch);
-    ctx.metrics
-        .record_flush(reason, m_live, predicted, measured, &terms);
-    // roofline attribution + time-series feed (no-ops without `obs`);
-    // backlog = query points still admitted beyond this batch
-    let backlog = ctx.metrics.in_flight().saturating_sub(m_live as u64) as usize;
-    ctx.metrics.roofline.record_batch(
-        ctx.lane,
-        T::BYTES,
-        &ctx.model,
-        ctx.n_trees,
-        leaf_n,
-        m_live,
-        dim,
-        k_batch,
-        ctx.target,
-        reason,
-        measured,
-        &phases,
-        backlog,
-    );
-    ctx.sampler.record_flush(reason, m_live, &phases);
-
-    let mut row0 = 0usize;
-    for job in live {
-        let mut out = NeighborTable::<T>::new(job.m, job.k);
-        for r in 0..job.m {
-            let real: Vec<Neighbor<T>> = table
-                .row(row0 + r)
-                .iter()
-                .filter(|nb| nb.idx != u32::MAX)
-                .take(job.k)
-                .copied()
-                .collect();
-            out.set_row(r, &real);
-        }
-        row0 += job.m;
-        ctx.metrics.release(job.m);
-        let status = if job.degraded {
-            ctx.metrics
-                .degraded
-                .fetch_add(job.m as u64, Ordering::Relaxed);
-            Status::OkDegraded
-        } else {
-            Status::Ok
-        };
-        let share = job.m as f64 / m_live as f64;
-        let Job {
-            mut trace, reply, ..
-        } = job;
-        trace.coalesce_end(k_start);
-        trace.add_phases(k_start, &phases, share);
-        let _ = reply.try_send((
-            Response {
-                status,
-                trace_id: 0,
-                body: out.to_bytes().to_vec(),
-            },
-            trace,
-        ));
-    }
-    BatchFate::Completed
 }

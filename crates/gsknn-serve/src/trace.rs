@@ -52,9 +52,10 @@ pub(crate) struct ReqTrace {
 }
 
 impl ReqTrace {
-    /// An inert recorder (non-query ops, or a trace lost to a worker
-    /// failure).
+    /// An inert recorder (jobs built outside a live request, e.g. in
+    /// the shard unit tests).
     #[inline]
+    #[allow(dead_code)]
     pub fn off() -> Self {
         Self::default()
     }

@@ -125,6 +125,92 @@ pub struct QueryBody {
     pub coords: Vec<f64>,
 }
 
+/// A query decoded without materializing its coordinates: the header
+/// fields plus a borrowed view of the coordinate bytes still in the
+/// receive buffer. The shard hot path iterates [`RawQuery::coords`]
+/// straight into its pack-buffer layout (`PointSet::append_from_f64`)
+/// instead of building an intermediate `Vec<f64>`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RawQuery<'a> {
+    /// Coordinate/response precision.
+    pub precision: Precision,
+    /// Neighbors requested per query point.
+    pub k: usize,
+    /// Latency budget in milliseconds.
+    pub deadline_ms: u32,
+    /// Client-stamped trace id (0 = assign one; v1 frames read as 0).
+    pub trace_id: u64,
+    /// Point dimension.
+    pub dim: usize,
+    /// Number of query points.
+    pub m: usize,
+    /// `m · dim` coordinates as little-endian bytes at `precision`,
+    /// borrowed from the frame payload (length already validated).
+    pub coord_bytes: &'a [u8],
+}
+
+impl<'a> RawQuery<'a> {
+    /// Iterate the coordinates widened to `f64`, in wire order.
+    pub fn coords(&self) -> impl Iterator<Item = f64> + 'a {
+        let width = self.precision.byte() as usize;
+        let precision = self.precision;
+        self.coord_bytes
+            .chunks_exact(width)
+            .map(move |c| match precision {
+                Precision::F64 => f64::from_le_bytes(c.try_into().unwrap()),
+                Precision::F32 => f32::from_le_bytes(c.try_into().unwrap()) as f64,
+            })
+    }
+
+    /// Materialize into the owning [`QueryBody`] form.
+    pub fn to_body(&self) -> QueryBody {
+        QueryBody {
+            precision: self.precision,
+            k: self.k,
+            deadline_ms: self.deadline_ms,
+            trace_id: self.trace_id,
+            dim: self.dim,
+            m: self.m,
+            coords: self.coords().collect(),
+        }
+    }
+}
+
+/// A request frame decoded zero-copy — identical to [`Request`] except
+/// the query arm borrows its coordinates from the payload.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RawRequest<'a> {
+    /// kNN for one point or a client-side batch (coordinates borrowed).
+    Query(RawQuery<'a>),
+    /// See [`Request::Stats`].
+    Stats,
+    /// See [`Request::Ping`].
+    Ping,
+    /// See [`Request::Shutdown`].
+    Shutdown,
+    /// See [`Request::Metrics`].
+    Metrics,
+    /// See [`Request::Traces`].
+    Traces,
+    /// See [`Request::TimeSeries`].
+    TimeSeries,
+}
+
+impl RawRequest<'_> {
+    /// Materialize into the owning [`Request`] form.
+    pub fn into_owned(self) -> Request {
+        match self {
+            RawRequest::Query(q) => Request::Query(q.to_body()),
+            RawRequest::Stats => Request::Stats,
+            RawRequest::Ping => Request::Ping,
+            RawRequest::Shutdown => Request::Shutdown,
+            RawRequest::Metrics => Request::Metrics,
+            RawRequest::Traces => Request::Traces,
+            RawRequest::TimeSeries => Request::TimeSeries,
+        }
+    }
+}
+
 /// A decoded request frame.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
@@ -346,8 +432,15 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
     buf
 }
 
-/// Decode a request payload.
-pub fn decode_request(mut buf: &[u8]) -> Result<Request, WireError> {
+/// Decode a request payload into the owning form.
+pub fn decode_request(buf: &[u8]) -> Result<Request, WireError> {
+    decode_request_raw(buf).map(RawRequest::into_owned)
+}
+
+/// Decode a request payload zero-copy: query coordinates stay as a
+/// borrowed byte slice into `buf` ([`RawQuery::coord_bytes`]), already
+/// length-validated against the declared `m · dim · width`.
+pub fn decode_request_raw(mut buf: &[u8]) -> Result<RawRequest<'_>, WireError> {
     if buf.remaining() < 4 + 2 + 1 + 1 {
         return Err(WireError::Truncated);
     }
@@ -391,29 +484,22 @@ pub fn decode_request(mut buf: &[u8]) -> Result<Request, WireError> {
             if buf.remaining() < want {
                 return Err(WireError::Truncated);
             }
-            let mut coords = Vec::with_capacity(m * dim);
-            for _ in 0..m * dim {
-                coords.push(match precision {
-                    Precision::F64 => buf.get_f64_le(),
-                    Precision::F32 => buf.get_f32_le() as f64,
-                });
-            }
-            Ok(Request::Query(QueryBody {
+            Ok(RawRequest::Query(RawQuery {
                 precision,
                 k,
                 deadline_ms,
                 trace_id,
                 dim,
                 m,
-                coords,
+                coord_bytes: &buf[..want],
             }))
         }
-        op if op == Op::Stats as u8 => Ok(Request::Stats),
-        op if op == Op::Ping as u8 => Ok(Request::Ping),
-        op if op == Op::Shutdown as u8 => Ok(Request::Shutdown),
-        op if op == Op::Metrics as u8 => Ok(Request::Metrics),
-        op if op == Op::Traces as u8 => Ok(Request::Traces),
-        op if op == Op::TimeSeries as u8 => Ok(Request::TimeSeries),
+        op if op == Op::Stats as u8 => Ok(RawRequest::Stats),
+        op if op == Op::Ping as u8 => Ok(RawRequest::Ping),
+        op if op == Op::Shutdown as u8 => Ok(RawRequest::Shutdown),
+        op if op == Op::Metrics as u8 => Ok(RawRequest::Metrics),
+        op if op == Op::Traces as u8 => Ok(RawRequest::Traces),
+        op if op == Op::TimeSeries as u8 => Ok(RawRequest::TimeSeries),
         other => Err(WireError::BadOp(other)),
     }
 }
@@ -465,6 +551,31 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(payload)?;
     w.flush()
+}
+
+/// Start a response *frame* (length prefix + response header) directly in
+/// an output buffer: appends a length placeholder plus the response
+/// header and returns the placeholder's offset for [`finish_frame`]. The
+/// caller appends the body (e.g. `NeighborTable::encode_into`) in
+/// between. Byte-identical to `write_frame(_, &encode_response(..))`, but
+/// the buffer is the caller's — the shard hot path reuses one per
+/// connection, so a steady-state reply performs no allocation.
+pub fn begin_response_frame(out: &mut Vec<u8>, status: Status, trace_id: u64) -> usize {
+    let mark = out.len();
+    out.extend_from_slice(&[0u8; 4]); // length, patched by finish_frame
+    out.extend_from_slice(RESP_MAGIC);
+    out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+    out.push(status as u8);
+    out.extend_from_slice(&trace_id.to_le_bytes());
+    mark
+}
+
+/// Patch the length prefix written by [`begin_response_frame`] once the
+/// body is in place.
+pub fn finish_frame(out: &mut [u8], mark: usize) {
+    let payload = out.len() - mark - 4;
+    assert!(payload <= MAX_FRAME, "frame exceeds MAX_FRAME");
+    out[mark..mark + 4].copy_from_slice(&(payload as u32).to_le_bytes());
 }
 
 /// Read one frame, blocking. `Ok(None)` on clean EOF before any byte of
@@ -741,6 +852,48 @@ mod tests {
         );
     }
 
+    #[test]
+    fn raw_decode_matches_owned_decode() {
+        for req in [
+            sample_query(Precision::F64, 1),
+            sample_query(Precision::F32, 5),
+            Request::Stats,
+            Request::Ping,
+        ] {
+            let bytes = encode_request(&req);
+            let raw = decode_request_raw(&bytes).unwrap();
+            assert_eq!(raw.into_owned(), req, "{req:?}");
+        }
+        // the borrowed view exposes exactly the coordinate bytes
+        let bytes = encode_request(&sample_query(Precision::F32, 3));
+        let RawRequest::Query(raw) = decode_request_raw(&bytes).unwrap() else {
+            panic!("not a query");
+        };
+        assert_eq!(raw.coord_bytes.len(), 3 * 3 * 4);
+        assert_eq!(
+            raw.coords().collect::<Vec<_>>(),
+            (0..9).map(|i| i as f64 * 0.25).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn begin_finish_frame_matches_write_frame_of_encode_response() {
+        let resp = Response {
+            status: Status::OkDegraded,
+            trace_id: 0x1122_3344_5566_7788,
+            body: b"neighbor table bytes".to_vec(),
+        };
+        let mut expect = Vec::new();
+        write_frame(&mut expect, &encode_response(&resp)).unwrap();
+
+        let mut out = vec![0xAAu8; 3]; // frames append after earlier content
+        let mark = begin_response_frame(&mut out, resp.status, resp.trace_id);
+        out.extend_from_slice(&resp.body);
+        finish_frame(&mut out, mark);
+        assert_eq!(&out[..3], &[0xAA; 3]);
+        assert_eq!(&out[3..], &expect[..]);
+    }
+
     proptest::proptest! {
         /// The decoders must be total: arbitrary bytes (including
         /// adversarial headers) produce a typed error, never a panic or
@@ -751,10 +904,12 @@ mod tests {
         ) {
             let bytes: Vec<u8> = raw.iter().map(|&b| b as u8).collect();
             let _ = decode_request(&bytes);
+            let _ = decode_request_raw(&bytes);
             let _ = decode_response(&bytes);
         }
 
-        /// Single-byte corruption of a valid frame: still total.
+        /// Single-byte corruption of a valid frame: still total, and the
+        /// raw and owned decoders agree on every outcome.
         #[test]
         fn decode_corrupted_valid_frame_never_panics(
             (m, pos, flip) in (1usize..6, 0usize..1000, 1usize..256)
@@ -762,7 +917,9 @@ mod tests {
             let mut bytes = encode_request(&sample_query(Precision::F32, m));
             let pos = pos % bytes.len();
             bytes[pos] ^= flip as u8;
-            let _ = decode_request(&bytes);
+            let owned = decode_request(&bytes);
+            let raw = decode_request_raw(&bytes).map(RawRequest::into_owned);
+            assert_eq!(owned, raw);
             let _ = decode_response(&bytes);
         }
     }

@@ -81,7 +81,7 @@ fn mixed_precision_traffic_matches_oracle_exactly() {
                         }
                         if t % 2 == 0 {
                             let out = client
-                                .query::<f64>(&coords, m, k, 40)
+                                .query::<f64>(&coords, m, k, 120)
                                 .expect("query")
                                 .outcome;
                             let Outcome::Neighbors(table) = out else {
@@ -98,7 +98,7 @@ fn mixed_precision_traffic_matches_oracle_exactly() {
                             }
                         } else {
                             let c32: Vec<f32> = coords.iter().map(|&v| v as f32).collect();
-                            let out = client.query::<f32>(&c32, m, k, 40).expect("query").outcome;
+                            let out = client.query::<f32>(&c32, m, k, 120).expect("query").outcome;
                             let Outcome::Neighbors(table) = out else {
                                 panic!("thread {t} req {r}: unexpected {out:?}");
                             };
@@ -475,6 +475,121 @@ fn degenerate_shapes_get_typed_errors() {
     assert!(matches!(out, Outcome::Neighbors(_)), "got {out:?}");
     client.shutdown().unwrap();
     handle.join().unwrap();
+}
+
+/// The sharded hot path (`shards: 2`, pinned cores, adaptive
+/// coalescing) against the same oracle: the acceptor round-robins
+/// clients over shards, every answer must still be brute force
+/// bit-for-bit (recall 1.0), per-shard rows must reach the stats with
+/// the traffic split across both shards, and the `Shutdown` drain must
+/// answer in-flight work before the sockets close. This is also the
+/// compat gate for removing the legacy thread-per-connection accept
+/// path: the clients here speak the unchanged wire protocol.
+#[test]
+fn sharded_server_matches_oracle_and_drains_cleanly() {
+    let (addr, handle) = start_server(ServerConfig {
+        shards: 2,
+        pin_cores: true,
+        adaptive_coalesce: true,
+        queue_cap: 256,
+        max_batch: 64,
+        k_max: 16,
+        ..ServerConfig::default()
+    });
+    let refs64 = dataset::uniform(N, D, 1);
+    let refs32 = refs64.cast::<f32>();
+
+    // 4 clients round-robined over the 2 shards, mixed precisions
+    let total: usize = thread::scope(|s| {
+        (0..4u64)
+            .map(|t| {
+                let refs64 = &refs64;
+                let refs32 = &refs32;
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    client
+                        .set_io_timeout(Some(Duration::from_secs(30)))
+                        .unwrap();
+                    let pool = dataset::uniform(64, D, 500 + t);
+                    let mut answered = 0usize;
+                    for r in 0..24usize {
+                        let m = 1 + r % 3;
+                        let k = 1 + r % 8;
+                        let mut coords = Vec::with_capacity(m * D);
+                        for p in 0..m {
+                            coords.extend_from_slice(pool.point((r + 7 * p) % 64));
+                        }
+                        if t % 2 == 0 {
+                            let out = client
+                                .query::<f64>(&coords, m, k, 500)
+                                .expect("query")
+                                .outcome;
+                            let Outcome::Neighbors(table) = out else {
+                                panic!("thread {t} req {r}: unexpected {out:?}");
+                            };
+                            for row in 0..m {
+                                let q = &coords[row * D..(row + 1) * D];
+                                let got: Vec<u32> =
+                                    table.row(row).iter().map(|nb| nb.idx).collect();
+                                assert_eq!(got, brute_indices(refs64, q, k), "t{t} r{r}");
+                            }
+                        } else {
+                            let q32: Vec<f32> = coords.iter().map(|&v| v as f32).collect();
+                            let out = client.query::<f32>(&q32, m, k, 500).expect("query").outcome;
+                            let Outcome::Neighbors(table) = out else {
+                                panic!("thread {t} req {r}: unexpected {out:?}");
+                            };
+                            for row in 0..m {
+                                let q = &q32[row * D..(row + 1) * D];
+                                let got: Vec<u32> =
+                                    table.row(row).iter().map(|nb| nb.idx).collect();
+                                assert_eq!(got, brute_indices(refs32, q, k), "t{t} r{r}");
+                            }
+                        }
+                        answered += m;
+                    }
+                    answered
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .sum()
+    });
+
+    // per-shard accounting reached the stats and both shards took load
+    let mut client = Client::connect(addr).unwrap();
+    let stats: Value = serde_json::from_str(&client.stats().unwrap()).unwrap();
+    let shards = stats
+        .get("shards")
+        .and_then(|v| v.as_array())
+        .unwrap_or_else(|| panic!("stats JSON missing shards array: {stats:?}"))
+        .clone();
+    assert_eq!(shards.len(), 2, "{stats:?}");
+    let shard_queries: u64 = shards.iter().map(|s| counter(s, "queries")).sum();
+    assert_eq!(shard_queries as usize, total, "{stats:?}");
+    for s in &shards {
+        assert!(counter(s, "conns") >= 2, "round-robin spread: {stats:?}");
+        assert!(counter(s, "queries") >= 1, "both shards served: {stats:?}");
+    }
+
+    // a query in flight when the drain starts must still be answered
+    let parked: Vec<f64> = refs64.point(0).to_vec();
+    let worker = thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.set_io_timeout(Some(Duration::from_secs(30))).unwrap();
+        c.query::<f64>(&parked, 1, 4, 10_000).unwrap().outcome
+    });
+    thread::sleep(Duration::from_millis(30));
+    client.shutdown().unwrap();
+    let out = worker.join().unwrap();
+    assert!(
+        matches!(out, Outcome::Neighbors(_)),
+        "in-flight work must be answered during drain, got {out:?}"
+    );
+    let report = handle.join().unwrap();
+    assert_eq!(report.queries as usize, total + 1);
+    assert_eq!(report.shards.len(), 2);
 }
 
 #[test]

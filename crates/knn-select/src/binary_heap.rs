@@ -150,6 +150,24 @@ impl<T: GsknnScalar> BinaryMaxHeap<T> {
         self.data
     }
 
+    /// Empty the heap and set a new capacity, keeping the backing
+    /// storage — observably identical to [`BinaryMaxHeap::new`] but
+    /// allocation-free once the heap has grown to its largest `k`.
+    pub fn reset(&mut self, k: usize) {
+        self.k = k;
+        self.data.clear();
+    }
+
+    /// Append the stored neighbors to `out` in ascending `(dist, idx)`
+    /// order without consuming the heap — the reusable-workspace form of
+    /// [`BinaryMaxHeap::into_sorted_vec`] (identical contents: both sort
+    /// the same entry set with the same comparator).
+    pub fn sorted_into(&self, out: &mut Vec<Neighbor<T>>) {
+        let start = out.len();
+        out.extend_from_slice(&self.data);
+        out[start..].sort_unstable_by(Neighbor::cmp_dist_idx);
+    }
+
     /// Borrowed view of the raw (heap-ordered) storage.
     pub fn as_slice(&self) -> &[Neighbor<T>] {
         &self.data
@@ -247,6 +265,34 @@ mod tests {
         let mut h = BinaryMaxHeap::new(0);
         assert!(!h.push(n(1.0, 0)));
         assert!(h.into_sorted_vec().is_empty());
+    }
+
+    #[test]
+    fn reset_behaves_like_new() {
+        let mut h = BinaryMaxHeap::new(3);
+        for (i, d) in [9.0, 2.0, 7.0, 1.0].iter().enumerate() {
+            h.push(n(*d, i as u32));
+        }
+        h.reset(2);
+        assert_eq!(h.threshold(), f64::INFINITY);
+        for (i, d) in [5.0, 3.0, 4.0].iter().enumerate() {
+            h.push(n(*d, 10 + i as u32));
+            assert!(h.check_invariant());
+        }
+        let got: Vec<f64> = h.into_sorted_vec().iter().map(|x| x.dist).collect();
+        assert_eq!(got, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn sorted_into_matches_into_sorted_vec_and_appends() {
+        let mut h = BinaryMaxHeap::new(4);
+        for (i, d) in [9.0, 2.0, 7.0, 1.0, 5.0].iter().enumerate() {
+            h.push(n(*d, i as u32));
+        }
+        let mut out = vec![n(-1.0, 99)];
+        h.sorted_into(&mut out);
+        assert_eq!(out[0], n(-1.0, 99), "existing entries untouched");
+        assert_eq!(out[1..].to_vec(), h.into_sorted_vec());
     }
 
     #[test]

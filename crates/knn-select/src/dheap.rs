@@ -194,6 +194,30 @@ impl<const D: usize, T: GsknnScalar> DHeap<D, T> {
         out
     }
 
+    /// Empty the heap and set a new capacity, keeping (and if needed
+    /// growing) the padded storage — observably identical to
+    /// [`DHeap::new`] but allocation-free once the heap has seen its
+    /// largest `k`.
+    pub fn reset(&mut self, k: usize) {
+        let cap = (Self::PAD + k).div_ceil(D) * D + D;
+        self.k = k;
+        self.len = 0;
+        self.dists.clear();
+        self.dists.resize(cap, T::NEG_INFINITY);
+        self.idxs.clear();
+        self.idxs.resize(cap, u32::MAX);
+    }
+
+    /// Append the stored neighbors to `out` in ascending `(dist, idx)`
+    /// order without consuming the heap — the reusable-workspace form of
+    /// [`DHeap::into_sorted_vec`] (identical contents: both sort the same
+    /// entry set with the same comparator).
+    pub fn sorted_into(&self, out: &mut Vec<Neighbor<T>>) {
+        let start = out.len();
+        out.extend((0..self.len).map(|j| self.get(j)));
+        out[start..].sort_unstable_by(Neighbor::cmp_dist_idx);
+    }
+
     #[inline]
     fn sift_up(&mut self, mut j: usize) {
         while j > 0 {
@@ -350,6 +374,34 @@ mod tests {
             assert!(h.check_invariant());
         }
         assert_eq!(popped, vec![5.0, 4.0, 3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn reset_behaves_like_new() {
+        let mut h = FourHeap::new(3);
+        for (i, d) in [9.0, 2.0, 7.0, 1.0].iter().enumerate() {
+            h.push(n(*d, i as u32));
+        }
+        h.reset(5);
+        assert_eq!(h.threshold(), f64::INFINITY);
+        for (i, d) in [5.0, 3.0, 4.0, 8.0, 6.0, 2.0].iter().enumerate() {
+            h.push(n(*d, 10 + i as u32));
+            assert!(h.check_invariant());
+        }
+        let got: Vec<f64> = h.into_sorted_vec().iter().map(|x| x.dist).collect();
+        assert_eq!(got, vec![2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn sorted_into_matches_into_sorted_vec_and_appends() {
+        let mut h = FourHeap::new(4);
+        for (i, d) in [9.0, 2.0, 7.0, 1.0, 5.0].iter().enumerate() {
+            h.push(n(*d, i as u32));
+        }
+        let mut out = vec![n(-1.0, 99)];
+        h.sorted_into(&mut out);
+        assert_eq!(out[0], n(-1.0, 99), "existing entries untouched");
+        assert_eq!(out[1..].to_vec(), h.into_sorted_vec());
     }
 
     #[test]

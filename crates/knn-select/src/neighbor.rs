@@ -135,6 +135,17 @@ impl<T: GsknnScalar> NeighborTable<T> {
         self.rows.resize(self.m * self.k, Neighbor::sentinel());
     }
 
+    /// Reshape to `m × k` and refill every slot with the sentinel —
+    /// observably identical to a fresh [`NeighborTable::new`], but the
+    /// row storage is reused, so a table cycled through a serving
+    /// workspace never reallocates once it has seen its largest batch.
+    pub fn reset(&mut self, m: usize, k: usize) {
+        self.m = m;
+        self.k = k;
+        self.rows.clear();
+        self.rows.resize(m * k, Neighbor::sentinel());
+    }
+
     /// Replace row `i` with `sorted` (must be ascending, length ≤ k);
     /// shorter rows are sentinel-padded.
     pub fn set_row(&mut self, i: usize, sorted: &[Neighbor<T>]) {
@@ -259,6 +270,23 @@ mod tests {
         t.set_row(0, &[Neighbor::new(0.5, 7)]);
         assert_eq!(t.row(0)[1], Neighbor::sentinel());
         assert_eq!(t.row(0)[2], Neighbor::sentinel());
+    }
+
+    #[test]
+    fn reset_is_observably_a_fresh_table() {
+        let mut t = NeighborTable::new(4, 3);
+        t.set_row(2, &[Neighbor::new(0.5, 7), Neighbor::new(1.0, 3)]);
+        t.reset(2, 5);
+        let fresh = NeighborTable::new(2, 5);
+        assert_eq!(t.len(), fresh.len());
+        assert_eq!(t.k(), fresh.k());
+        for i in 0..2 {
+            assert_eq!(t.row(i), fresh.row(i));
+        }
+        // growing past the original shape also works
+        t.reset(6, 4);
+        assert_eq!(t.len(), 6);
+        assert!(t.row(5).iter().all(|n| *n == Neighbor::sentinel()));
     }
 
     #[test]

@@ -63,7 +63,7 @@ impl std::error::Error for DecodeError {}
 /// Write one distance at the precision of `T` (f32 tables store 4-byte
 /// distances, everything else 8).
 #[inline]
-fn put_dist<T: GsknnScalar>(buf: &mut BytesMut, v: T) {
+fn put_dist<T: GsknnScalar, B: BufMut>(buf: &mut B, v: T) {
     if T::BYTES == 4 {
         buf.put_f32_le(v.to_f64() as f32);
     } else {
@@ -86,10 +86,23 @@ impl<T: GsknnScalar> NeighborTable<T> {
     /// Serialize to the binary format above (always writes v2, stamping
     /// the table's element precision in the header).
     pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Exact byte length [`NeighborTable::encode_into`] appends.
+    pub fn encoded_len(&self) -> usize {
+        4 + 2 + 1 + 16 + self.len() * self.k() * (T::BYTES + 4)
+    }
+
+    /// Append the v2 encoding to an existing buffer — byte-identical to
+    /// [`NeighborTable::to_bytes`], but reusing the caller's allocation
+    /// (the serving hot path encodes into a per-connection output buffer
+    /// that never reallocates at steady state).
+    pub fn encode_into<B: BufMut>(&self, buf: &mut B) {
         let m = self.len();
         let k = self.k();
-        let row_bytes = T::BYTES + 4;
-        let mut buf = BytesMut::with_capacity(4 + 2 + 1 + 16 + m * k * row_bytes);
         buf.put_slice(MAGIC);
         buf.put_u16_le(VERSION);
         buf.put_u8(T::BYTES as u8);
@@ -97,11 +110,10 @@ impl<T: GsknnScalar> NeighborTable<T> {
         buf.put_u64_le(k as u64);
         for i in 0..m {
             for nb in self.row(i) {
-                put_dist(&mut buf, nb.dist);
+                put_dist(buf, nb.dist);
                 buf.put_u32_le(nb.idx);
             }
         }
-        buf.freeze()
     }
 
     /// Decode a buffer produced by [`NeighborTable::to_bytes`] — v2 at
@@ -258,6 +270,23 @@ mod tests {
         let narrow = NeighborTable::<f32>::from_bytes(&v1).unwrap();
         assert_eq!(narrow.row(0)[0].dist, 0.25f32);
         assert_eq!(narrow.row(0)[0].idx, 7);
+    }
+
+    #[test]
+    fn encode_into_matches_to_bytes() {
+        let t = sample();
+        let mut out = Vec::with_capacity(t.encoded_len());
+        out.extend_from_slice(b"prefix"); // appends, never truncates
+        t.encode_into(&mut out);
+        assert_eq!(&out[..6], b"prefix");
+        assert_eq!(&out[6..], &t.to_bytes()[..]);
+        assert_eq!(out.len() - 6, t.encoded_len());
+
+        let t32 = sample_f32();
+        let mut out32 = Vec::new();
+        t32.encode_into(&mut out32);
+        assert_eq!(&out32[..], &t32.to_bytes()[..]);
+        assert_eq!(out32.len(), t32.encoded_len());
     }
 
     #[test]

@@ -263,4 +263,127 @@ fn chaos_faults_are_survived_and_recall_is_unchanged() {
     let report = handle.join().expect("server must outlive the chaos");
     assert!(report.worker_panics >= 3);
     assert_eq!(report.worker_panics, report.worker_respawns);
+
+    // -- phase 6: shard killed mid-query in a 2-shard server ----------
+    shard_kill_leaves_sibling_shards_serving();
+}
+
+/// A batch panic inside one shard of a 2-shard server must stay inside
+/// that shard: its in-flight query fails typed, the sibling shard keeps
+/// serving, the killed shard rebuilds its workspace, and the respawn is
+/// attributed to exactly one shard in both the stats JSON and the
+/// Prometheus exposition. Runs as a phase of the single chaos test
+/// because the fault registry is global.
+fn shard_kill_leaves_sibling_shards_serving() {
+    let refs = gsknn::data::uniform(N, D, 1);
+    let pool = gsknn::data::uniform(16, D, 77);
+    let index = ServeIndex::build(gsknn::data::uniform(N, D, 1), 1, N, 7);
+    let server = Server::bind(
+        ServerConfig {
+            shards: 2,
+            queue_cap: 256,
+            max_batch: 32,
+            k_max: 16,
+            ..ServerConfig::default()
+        },
+        index,
+    )
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = thread::spawn(move || server.run());
+
+    // connection order is the shard assignment: the acceptor
+    // round-robins, so the first connection lands on shard 0 and the
+    // second on shard 1
+    let mut on_s0 = Client::connect(addr).expect("connect shard 0");
+    let mut on_s1 = Client::connect(addr).expect("connect shard 1");
+
+    for (c, i) in [(&mut on_s0, 0usize), (&mut on_s1, 1)] {
+        let Outcome::Neighbors(t) = c.query::<f64>(pool.point(i), 1, K, 500).unwrap().outcome
+        else {
+            panic!("healthy query on shard {i} must succeed");
+        };
+        let got: Vec<u32> = t.row(0).iter().map(|nb| nb.idx).collect();
+        assert_eq!(got, brute_indices(&refs, pool.point(i), K));
+    }
+
+    // kill shard 0's next batch mid-query (phases are sequential, so
+    // the one-shot fault deterministically lands on shard 0's flush)
+    gsknn_faults::configure(FaultPlan::new(0x54A8D).with(FaultPoint::BatchExec, Mode::Nth(1)));
+    let out = on_s0
+        .query::<f64>(pool.point(2), 1, K, 500)
+        .unwrap()
+        .outcome;
+    let Outcome::Failed(msg) = out else {
+        panic!("query riding the killed shard's batch must fail terminally, got {out:?}");
+    };
+    assert!(msg.contains("panicked"), "unhelpful failure message: {msg}");
+    assert_eq!(gsknn_faults::fired(FaultPoint::BatchExec), 1);
+    gsknn_faults::clear();
+
+    // the sibling shard was never stalled by shard 0's death...
+    let Outcome::Neighbors(t) = on_s1
+        .query::<f64>(pool.point(3), 1, K, 500)
+        .unwrap()
+        .outcome
+    else {
+        panic!("sibling shard must keep serving through shard 0's kill");
+    };
+    let got: Vec<u32> = t.row(0).iter().map(|nb| nb.idx).collect();
+    assert_eq!(got, brute_indices(&refs, pool.point(3), K));
+    // ...and the killed shard rebuilt its workspace and serves again,
+    // answering the exact request that died
+    let Outcome::Neighbors(t) = on_s0
+        .query::<f64>(pool.point(2), 1, K, 500)
+        .unwrap()
+        .outcome
+    else {
+        panic!("killed shard must respawn its workspace and serve");
+    };
+    let got: Vec<u32> = t.row(0).iter().map(|nb| nb.idx).collect();
+    assert_eq!(got, brute_indices(&refs, pool.point(2), K));
+
+    // the respawn is attributed per shard: exactly one shard panicked
+    let stats: Value = serde_json::from_str(&on_s0.stats().unwrap()).unwrap();
+    let shards = stats
+        .get("shards")
+        .and_then(|v| v.as_array())
+        .unwrap_or_else(|| panic!("stats JSON missing shards array: {stats:?}"))
+        .clone();
+    assert_eq!(shards.len(), 2, "{stats:?}");
+    let respawns: Vec<u64> = shards
+        .iter()
+        .map(|s| counter(s, "worker_respawns"))
+        .collect();
+    let panics: Vec<u64> = shards.iter().map(|s| counter(s, "worker_panics")).collect();
+    assert_eq!(respawns.iter().sum::<u64>(), 1, "{stats:?}");
+    assert_eq!(panics, respawns, "{stats:?}");
+    for s in &shards {
+        assert_eq!(
+            counter(s, "conns"),
+            1,
+            "one connection per shard: {stats:?}"
+        );
+        assert!(
+            counter(s, "queries") >= 1,
+            "both shards answered: {stats:?}"
+        );
+    }
+
+    // and in the Prometheus exposition, keyed by shard label
+    let text = on_s0.metrics_text().unwrap();
+    let respawn_lines: Vec<&str> = text
+        .lines()
+        .filter(|l| l.starts_with("gsknn_shard_worker_respawns_total{"))
+        .collect();
+    assert_eq!(respawn_lines.len(), 2, "{text}");
+    assert!(
+        respawn_lines.iter().filter(|l| l.ends_with(" 1")).count() == 1,
+        "exactly one shard respawned: {respawn_lines:?}"
+    );
+
+    on_s0.shutdown().unwrap();
+    let report = handle.join().expect("server must outlive the shard kill");
+    assert_eq!(report.worker_panics, 1);
+    assert_eq!(report.worker_panics, report.worker_respawns);
 }
