@@ -24,6 +24,14 @@
 //!   `sweep` key. The headline `lanes`/`server` sections keep their
 //!   shape, so `bench-diff` gating is unaffected; the sweep is the
 //!   saturation curve EXPERIMENTS.md walks through.
+//! * `--router` — after the headline workload, re-run both lanes
+//!   through an in-process scatter-gather tier: the same reference set
+//!   partitioned across two `--partition`-mode backends with a
+//!   `gsknn-router` front. The point is recorded under the run's
+//!   `router` key — per-lane latency/qps, the fan-out+merge overhead
+//!   vs the single-node headline (`merge_overhead_pct`), and the
+//!   degraded fraction — so `bench-diff` gates the router tier against
+//!   its own trajectory without disturbing the single-node gates.
 //!
 //! The server runs the sharded hot path with `shards: 0` (auto: one
 //! shard per available core) and adaptive coalescing — the
@@ -53,6 +61,7 @@ struct Args {
     warmup: usize,
     duration_ms: u64,
     clients: Vec<usize>,
+    router: bool,
 }
 
 fn parse_args() -> Args {
@@ -62,6 +71,7 @@ fn parse_args() -> Args {
         warmup: 0,
         duration_ms: 0,
         clients: Vec::new(),
+        router: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -90,6 +100,7 @@ fn parse_args() -> Args {
                     usage();
                 }
             }
+            "--router" => out.router = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -103,7 +114,7 @@ fn parse_args() -> Args {
 fn usage() -> ! {
     eprintln!(
         "usage: bench_serve [--smoke] [--out F] [--warmup N] [--duration-ms D] \
-         [--clients N,N,...]"
+         [--clients N,N,...] [--router]"
     );
     std::process::exit(2);
 }
@@ -220,6 +231,95 @@ fn run_lane<T: gsknn_core::FusedScalar>(
     }
 }
 
+/// Partition the reference set two ways, front the halves with a
+/// scatter-gather router, and drive the same workload through it. The
+/// delta against the single-node headline lanes is the cost of the
+/// fan-out + merge tier.
+#[allow(clippy::too_many_arguments)]
+fn run_router(
+    n_refs: usize,
+    d: usize,
+    queries: &PointSet,
+    clients: usize,
+    per_client: usize,
+    deadline_ms: u32,
+    k: usize,
+    duration_ms: u64,
+) -> (Vec<LaneResult>, gsknn_router::RouterReport) {
+    use gsknn_serve::PartitionCfg;
+
+    const PARTS: u16 = 2;
+    // same deterministic reference set as the headline index
+    let refs = dataset::uniform(n_refs, d, 2026);
+    let mut backends = Vec::new();
+    let mut handles = Vec::new();
+    for id in 0..PARTS {
+        let lo = n_refs * id as usize / PARTS as usize;
+        let hi = n_refs * (id as usize + 1) / PARTS as usize;
+        let slice = PointSet::from_vec(d, hi - lo, refs.as_slice()[lo * d..hi * d].to_vec());
+        let cfg = ServerConfig {
+            shards: 0,
+            adaptive_coalesce: true,
+            partition: Some(PartitionCfg {
+                id,
+                total: PARTS,
+                offset: lo as u32,
+                epoch: 1,
+            }),
+            ..ServerConfig::default()
+        };
+        let index = ServeIndex::build(slice, 4, 512, 7);
+        let server = Server::bind(cfg, index).expect("bind backend");
+        backends.push(server.local_addr().expect("backend addr").to_string());
+        handles.push(std::thread::spawn(move || server.run()));
+    }
+    let router = gsknn_router::Router::bind(gsknn_router::RouterConfig {
+        backends: backends.clone(),
+        addr: "127.0.0.1:0".to_string(),
+        ..gsknn_router::RouterConfig::default()
+    })
+    .expect("bind router");
+    let addr = router.local_addr().expect("router addr");
+    let router_handle = std::thread::spawn(move || router.run());
+
+    let lanes = vec![
+        run_lane::<f64>(
+            addr,
+            queries,
+            clients,
+            per_client,
+            deadline_ms,
+            k,
+            0,
+            duration_ms,
+        ),
+        run_lane::<f32>(
+            addr,
+            queries,
+            clients,
+            per_client,
+            deadline_ms,
+            k,
+            0,
+            duration_ms,
+        ),
+    ];
+
+    Client::connect(addr)
+        .and_then(|mut c| c.shutdown())
+        .expect("router shutdown");
+    let report = router_handle.join().expect("router thread");
+    for b in &backends {
+        Client::connect(b.as_str())
+            .and_then(|mut c| c.shutdown())
+            .expect("backend shutdown");
+    }
+    for h in handles {
+        h.join().expect("backend thread");
+    }
+    (lanes, report)
+}
+
 fn main() {
     let args = parse_args();
     // Fixed workload: changing it would break comparability across PRs.
@@ -294,6 +394,70 @@ fn main() {
         })
         .collect();
 
+    // the scatter-gather tier, measured against the headline lanes
+    let router_section: Option<Value> = args.router.then(|| {
+        let (rlanes, rreport) = run_router(
+            n_refs,
+            d,
+            &queries,
+            clients,
+            per_client,
+            deadline_ms,
+            k,
+            args.duration_ms,
+        );
+        let overhead = |r: &LaneResult| -> Option<f64> {
+            lanes
+                .iter()
+                .find(|l| l.precision == r.precision)
+                .filter(|l| l.p50_us > 0.0)
+                .map(|l| (r.p50_us - l.p50_us) / l.p50_us * 100.0)
+        };
+        for lane in &rlanes {
+            println!(
+                "router {}: {} queries ({} ok), p50 {:.0} us, p99 {:.0} us, {:.0} qps{}",
+                lane.precision,
+                lane.queries,
+                lane.ok,
+                lane.p50_us,
+                lane.p99_us,
+                lane.qps,
+                match overhead(lane) {
+                    Some(o) => format!(", merge overhead {o:+.1}% vs single-node p50"),
+                    None => String::new(),
+                }
+            );
+            assert_eq!(
+                lane.queries, lane.ok,
+                "router {}: every query of the fixed workload must answer Ok",
+                lane.precision
+            );
+        }
+        let degraded_fraction = if rreport.queries > 0 {
+            rreport.degraded as f64 / rreport.queries as f64
+        } else {
+            0.0
+        };
+        serde_json::json!({
+            "backends": rreport.backends,
+            "lanes": (Value::Array(
+                rlanes
+                    .iter()
+                    .map(|l| {
+                        let mut v = l.to_json();
+                        if let (Some(o), Value::Object(m)) = (overhead(l), &mut v) {
+                            m.push(("merge_overhead_pct".to_string(), serde_json::json!(o)));
+                        }
+                        v
+                    })
+                    .collect(),
+            )),
+            "degraded_fraction": degraded_fraction,
+            "hedges": rreport.hedges,
+            "epoch_rejects": rreport.epoch_rejects,
+        })
+    });
+
     Client::connect(addr)
         .and_then(|mut c| c.shutdown())
         .expect("shutdown");
@@ -361,6 +525,7 @@ fn main() {
         },
         "lanes": (Value::Array(lanes.iter().map(LaneResult::to_json).collect())),
         "sweep": (Value::Array(sweep)),
+        "router": (router_section.unwrap_or(Value::Null)),
         "server": {
             "queries": report.queries,
             "batches": report.batches,

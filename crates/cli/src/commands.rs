@@ -440,9 +440,29 @@ pub fn cmd_tune(_args: &ArgMap) -> Result<String, CliError> {
 /// `serve`: load (or synthesize) an index and answer kNN queries over
 /// TCP until `query-remote --op shutdown` or SIGTERM. Blocks; prints the
 /// final [`gsknn_serve::ServeReport`] when it drains.
-pub fn cmd_serve(args: &ArgMap) -> Result<String, CliError> {
-    use gsknn_serve::{ServeIndex, Server, ServerConfig};
+/// Parse `--partition i/N` into `(id, total)`.
+fn parse_partition_spec(spec: &str) -> Result<(u16, u16), CliError> {
+    let bad = || CliError(format!("--partition expects i/N (e.g. 0/2), got '{spec}'"));
+    let (i, n) = spec.split_once('/').ok_or_else(bad)?;
+    let id: u16 = i.trim().parse().map_err(|_| bad())?;
+    let total: u16 = n.trim().parse().map_err(|_| bad())?;
+    if total == 0 || id >= total {
+        return Err(CliError(format!(
+            "--partition index must satisfy i < N >= 1, got '{spec}'"
+        )));
+    }
+    Ok((id, total))
+}
 
+pub fn cmd_serve(args: &ArgMap) -> Result<String, CliError> {
+    use gsknn_serve::{PartitionCfg, ServeIndex, Server, ServerConfig};
+
+    if args.opt::<usize>("workers")?.is_some() {
+        eprintln!(
+            "gsknn-serve: warning: --workers is deprecated and ignored \
+             (shards run kernels inline; use --shards to scale)"
+        );
+    }
     let x = if args.opt::<String>("in")?.is_some() {
         load(args)?
     } else {
@@ -454,6 +474,31 @@ pub fn cmd_serve(args: &ArgMap) -> Result<String, CliError> {
             "gaussian" => gaussian_embedded(n, d, args.get_or("clusters", 8)?, seed),
             other => return Err(CliError(format!("unknown --dist '{other}'"))),
         }
+    };
+    // `--partition i/N` keeps only this server's contiguous slice of the
+    // reference rows; the row offset recorded in PartitionCfg globalizes
+    // neighbor ids on the wire so the router merges without translation.
+    let (x, partition) = match args.opt::<String>("partition")? {
+        Some(spec) => {
+            let (id, total) = parse_partition_spec(&spec)?;
+            let (n, d) = (x.len(), x.dim());
+            let lo = n * id as usize / total as usize;
+            let hi = n * (id as usize + 1) / total as usize;
+            if lo == hi {
+                return Err(CliError(format!(
+                    "partition {id}/{total} of a {n}-row dataset is empty"
+                )));
+            }
+            let slice = PointSet::from_vec(d, hi - lo, x.as_slice()[lo * d..hi * d].to_vec());
+            let cfg = PartitionCfg {
+                id,
+                total,
+                offset: lo as u32,
+                epoch: args.get_or("partition-epoch", 1u64)?,
+            };
+            (slice, Some(cfg))
+        }
+        None => (x, None),
     };
     let trees: usize = args.get_or("trees", 4)?;
     let leaf: usize = args.get_or("leaf", 512)?;
@@ -486,6 +531,7 @@ pub fn cmd_serve(args: &ArgMap) -> Result<String, CliError> {
         },
         metrics_addr: args.opt::<String>("metrics-addr")?,
         trace_ring: args.get_or("trace-ring", 32)?,
+        partition,
     };
     let (n, d) = (x.len(), x.dim());
     let index = ServeIndex::build(x, trees, leaf, forest_seed);
@@ -498,11 +544,69 @@ pub fn cmd_serve(args: &ArgMap) -> Result<String, CliError> {
         .collect();
     // readiness banner on stderr — stdout stays reserved for the final
     // report (the command's return value)
+    let part_note = partition
+        .map(|p| {
+            format!(
+                " partition {}/{} offset {} epoch {}",
+                p.id, p.total, p.offset, p.epoch
+            )
+        })
+        .unwrap_or_default();
     eprintln!(
-        "gsknn-serve: {n} x {d} index ({trees} trees, leaf {leaf}) listening on {addr} [{}]",
+        "gsknn-serve: {n} x {d} index ({trees} trees, leaf {leaf}) listening on {addr} [{}]{part_note}",
         targets.join(", ")
     );
     let report = server.run();
+    Ok(report.render_table())
+}
+
+/// `route`: scatter-gather front over partitioned `serve --partition i/N`
+/// backends. Speaks the same wire protocol as a single server — clients
+/// point at the router unchanged — and merges per-partition partials
+/// into answers bit-identical to a single node holding the full
+/// reference set. Blocks until `query-remote --op shutdown` or SIGTERM;
+/// prints the final [`gsknn_router::RouterReport`] when it drains.
+pub fn cmd_route(args: &ArgMap) -> Result<String, CliError> {
+    use gsknn_router::{Router, RouterConfig};
+    use std::time::Duration;
+
+    let backends: Vec<String> = args
+        .str_req("backends")?
+        .split(',')
+        .map(|b| b.trim().to_string())
+        .filter(|b| !b.is_empty())
+        .collect();
+    if backends.is_empty() {
+        return Err(CliError(
+            "--backends expects a comma-separated list of host:port".to_string(),
+        ));
+    }
+    let cfg = RouterConfig {
+        addr: args.str_or("addr", "127.0.0.1:7980"),
+        backends,
+        // must match the backends' --partition-epoch (both default to 1)
+        epoch: args.get_or("epoch", 1u64)?,
+        backend_timeout: Duration::from_millis(args.get_or("backend-timeout-ms", 2000u64)?),
+        hedge: args.get_or("hedge", true)?,
+        connect_timeout: Duration::from_millis(args.get_or("connect-timeout-ms", 2000u64)?),
+        probe_interval: Duration::from_millis(args.get_or("probe-ms", 250u64)?),
+        metrics_addr: args.opt::<String>("metrics-addr")?,
+        slow_query_ms: match args.get_or("slow-query-ms", 0u64)? {
+            0 => None,
+            ms => Some(ms),
+        },
+        trace_ring: args.get_or("trace-ring", 32)?,
+    };
+    let n_backends = cfg.backends.len();
+    let backend_list = cfg.backends.join(", ");
+    let router = Router::bind(cfg).map_err(|e| CliError(format!("bind: {e}")))?;
+    let addr = router.local_addr().map_err(|e| CliError(e.to_string()))?;
+    // readiness banner on stderr — stdout stays reserved for the final
+    // report (the command's return value)
+    eprintln!(
+        "gsknn-route: listening on {addr}, fan-out over {n_backends} backends [{backend_list}]"
+    );
+    let report = router.run();
     Ok(report.render_table())
 }
 
@@ -652,6 +756,26 @@ fn query_remote_run<T: FusedScalar>(
                 degraded += 1;
                 check_recall(&table);
             }
+            Outcome::DegradedPartial {
+                table,
+                contributed,
+                total,
+            } => {
+                eprintln!("query {i}: degraded answer from {contributed}/{total} partitions");
+                degraded += 1;
+                check_recall(&table);
+            }
+            Outcome::Partial { header, table } => {
+                // a lone partition answered directly (bypassing the
+                // router): its ids are already global, so score it like
+                // a normal reply
+                eprintln!(
+                    "query {i}: raw partial from partition {} (epoch {})",
+                    header.partition_id, header.epoch
+                );
+                ok += 1;
+                check_recall(&table);
+            }
             Outcome::Busy => busy += 1,
             Outcome::TimedOut => timed_out += 1,
             Outcome::ShuttingDown => rejected += 1,
@@ -702,7 +826,9 @@ fn query_remote_run<T: FusedScalar>(
             )));
         }
     }
-    if ok == 0 {
+    // degraded answers (reduced precision, or a partial merge from a
+    // router with a partition down) are typed successes, not failures
+    if ok + degraded == 0 {
         return Err(CliError(format!("no query succeeded\n{out}")));
     }
     Ok(out)
@@ -948,6 +1074,44 @@ fn serve_metrics(cand: &serde_json::Value, priors: &[serde_json::Value]) -> Vec<
             }
         }
     }
+    // Router-tier lanes, gated only against priors that also ran
+    // `bench_serve --router`: the filter below yields an empty baseline
+    // (a "no baseline" note, not a failure) for runs without one, so
+    // turning the mode on doesn't trip the gate retroactively.
+    let router_lane_val = |run: &serde_json::Value, precision: &str, field: &str| -> Option<f64> {
+        run.get("router")?
+            .get("lanes")?
+            .as_array()?
+            .iter()
+            .find(|l| l.get("precision").and_then(|v| v.as_str()) == Some(precision))?
+            .get(field)?
+            .as_f64()
+    };
+    if let Some(lanes) = cand
+        .get("router")
+        .and_then(|r| r.get("lanes"))
+        .and_then(|v| v.as_array())
+    {
+        for lane in lanes {
+            let Some(precision) = lane.get("precision").and_then(|v| v.as_str()) else {
+                continue;
+            };
+            for (field, down_bad) in [("p50_us", false), ("p99_us", false), ("qps", true)] {
+                let Some(val) = lane.get(field).and_then(|v| v.as_f64()) else {
+                    continue;
+                };
+                out.push(DiffMetric {
+                    name: format!("router {precision} {field}"),
+                    baseline: priors
+                        .iter()
+                        .filter_map(|r| router_lane_val(r, precision, field))
+                        .collect(),
+                    candidate: val,
+                    down_bad,
+                });
+            }
+        }
+    }
     let server_mean = |run: &serde_json::Value| -> Option<f64> {
         run.get("server")?.get("batch_m_mean")?.as_f64()
     };
@@ -1115,7 +1279,14 @@ pub fn usage() -> String {
      \x20                 --queue-cap 1024 --frac 0.9 --max-batch 512 --k-max 128\n\
      \x20                 --degrade-precision true --overload-threshold 0.75\n\
      \x20                 --overload-window-ms 250 --slow-query-ms 0\n\
-     \x20                 --metrics-addr H:P --trace-ring 32]\n\
+     \x20                 --metrics-addr H:P --trace-ring 32\n\
+     \x20                 --partition i/N --partition-epoch 1]\n\
+     \x20 route   --backends H:P,H:P,... [--addr 127.0.0.1:7980 --epoch 1\n\
+     \x20                 --backend-timeout-ms 2000 --hedge true\n\
+     \x20                 --connect-timeout-ms 2000 --probe-ms 250\n\
+     \x20                 --slow-query-ms 0 --metrics-addr H:P --trace-ring 32]\n\
+     \x20                 (scatter-gather front over serve --partition backends;\n\
+     \x20                 same wire protocol, so query-remote/trace/top work as-is)\n\
      \x20 query-remote --addr H:P [--op query|ping|stats|metrics|traces|timeseries|shutdown\n\
      \x20                 --precision f64|f32\n\
      \x20                 --m 10 --d 16 --k 8 --deadline-ms 250 --queries F\n\

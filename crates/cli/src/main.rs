@@ -25,6 +25,7 @@ fn main() {
         "stream" => commands::cmd_stream(&args),
         "tune" => commands::cmd_tune(&args),
         "serve" => commands::cmd_serve(&args),
+        "route" => commands::cmd_route(&args),
         "query-remote" => commands::cmd_query_remote(&args),
         "trace" => commands::cmd_trace(&args),
         "top" => commands::cmd_top(&args),

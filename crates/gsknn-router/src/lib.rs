@@ -1,0 +1,45 @@
+//! # gsknn-router — scatter-gather over partitioned gsknn-serve backends
+//!
+//! A single `gsknn-serve` node holds the whole reference set. Past the
+//! memory (or latency) budget of one machine, the reference set is
+//! partitioned by row range across N backends, each running with
+//! [`gsknn_serve::PartitionCfg`] so its replies are `GSPK` partial
+//! envelopes with *globally numbered* neighbor ids. This crate is the
+//! tier in front of them:
+//!
+//! * **Exactness.** The global top-k of a union is contained in the
+//!   union of per-partition top-ks, and every implementation in this
+//!   workspace orders candidates by `(distance, index)`. So the router's
+//!   truncated merge ([`knn_select::merge_partial_tables`]) of all N
+//!   partials is **bit-identical** to what one node holding the full
+//!   reference set would answer — asserted against the brute-force
+//!   oracle in this crate's e2e tests and the chaos suite.
+//! * **Fan-out.** The router speaks the same wire protocol as a single
+//!   node — clients need no changes. Each handler thread owns one
+//!   persistent [`gsknn_serve::Client`] per backend; a query is written
+//!   to every healthy backend *before* the first reply is awaited, so
+//!   the wall-clock cost is the slowest partition, not the sum.
+//! * **Degradation.** A backend that misses its per-backend deadline (or
+//!   drops the connection) gets one hedged re-send on a fresh
+//!   connection; failing that, it is marked down
+//!   (`gsknn_router_backend_up 0`) and the surviving partials are merged
+//!   and shipped as `Status::OkDegraded` with a partial envelope
+//!   carrying `contributed`/`total` — a typed answer, not an error. A
+//!   background prober pings downed backends and folds them back into
+//!   the fan-out when they recover.
+//! * **Safety against splits.** Every partial carries the partition-map
+//!   epoch it was computed under; the router drops partials from any
+//!   other epoch (`gsknn_router_epoch_rejects_total`), so a stale
+//!   backend can never leak rows from an old partitioning into a merged
+//!   answer.
+//! * **Observability.** The same stack as the serve tier: per-backend
+//!   latency histograms and `gsknn_router_*` counter families (wire
+//!   `Metrics` op or `--metrics-addr` HTTP), fan-out / per-backend-wait
+//!   / merge spans in the slowest-traces ring (wire `Traces` op), and a
+//!   slow-query log line.
+
+mod metrics;
+mod router;
+
+pub use metrics::{BackendStat, RouterMetrics, RouterReport};
+pub use router::{Router, RouterConfig};

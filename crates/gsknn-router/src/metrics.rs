@@ -1,0 +1,271 @@
+//! Router-tier counters and per-backend latency histograms, rendered as
+//! a Prometheus-style text exposition (`gsknn_router_*` families) and as
+//! the final [`RouterReport`] the `route` command prints on drain.
+
+use gsknn_obs::LatencyHistogram;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Per-backend tallies: replies folded into merges, exchange failures,
+/// and the fan-out→reply latency distribution.
+pub struct BackendStat {
+    /// Partials from this backend folded into merged answers.
+    pub replies: AtomicU64,
+    /// Failed exchanges (connect/send/receive error, bad status, epoch
+    /// or shape mismatch) — each one marks the backend down until the
+    /// prober sees it answer a ping again.
+    pub errors: AtomicU64,
+    /// Send → validated-partial latency.
+    pub latency: LatencyHistogram,
+}
+
+/// Shared router counters. All lock-free; handler threads bump them
+/// directly.
+pub struct RouterMetrics {
+    /// Query/batch requests routed (any outcome).
+    pub queries: AtomicU64,
+    /// Merged answers that shipped with partitions missing
+    /// (`Status::OkDegraded` + partial envelope).
+    pub degraded: AtomicU64,
+    /// Hedged re-sends: a backend exchange failed and the router retried
+    /// it once on a fresh connection inside the deadline.
+    pub hedges: AtomicU64,
+    /// Partials rejected for carrying a different partition-map epoch
+    /// than the router's.
+    pub epoch_rejects: AtomicU64,
+    /// Downed backends that passed a liveness probe and rejoined the
+    /// fan-out.
+    pub rejoins: AtomicU64,
+    backends: Vec<BackendStat>,
+}
+
+impl RouterMetrics {
+    /// Zeroed metrics for `n` backends.
+    pub fn new(n: usize) -> Self {
+        RouterMetrics {
+            queries: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            hedges: AtomicU64::new(0),
+            epoch_rejects: AtomicU64::new(0),
+            rejoins: AtomicU64::new(0),
+            backends: (0..n)
+                .map(|_| BackendStat {
+                    replies: AtomicU64::new(0),
+                    errors: AtomicU64::new(0),
+                    latency: LatencyHistogram::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Stats for backend `i`.
+    pub fn backend(&self, i: usize) -> &BackendStat {
+        &self.backends[i]
+    }
+
+    /// Record one successful exchange with backend `i`.
+    pub fn record_reply(&self, i: usize, rtt: Duration) {
+        self.backends[i].replies.fetch_add(1, Ordering::Relaxed);
+        self.backends[i].latency.record(rtt);
+    }
+
+    /// The Prometheus-style text exposition. `up[i]` is the live health
+    /// gauge for backend `i`.
+    pub fn render_prometheus(&self, up: &[bool]) -> String {
+        let mut out = String::new();
+        let counter = |out: &mut String, name: &str, help: &str, v: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        };
+        counter(
+            &mut out,
+            "gsknn_router_queries_total",
+            "Query requests routed (any outcome).",
+            self.queries.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "gsknn_router_degraded_total",
+            "Merged answers shipped with partitions missing.",
+            self.degraded.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "gsknn_router_hedges_total",
+            "Hedged re-sends after a failed backend exchange.",
+            self.hedges.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "gsknn_router_epoch_rejects_total",
+            "Partials rejected for a mismatched partition-map epoch.",
+            self.epoch_rejects.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "gsknn_router_rejoins_total",
+            "Downed backends that rejoined after a successful probe.",
+            self.rejoins.load(Ordering::Relaxed),
+        );
+        let _ = writeln!(
+            out,
+            "# HELP gsknn_router_backend_up Backend health (1 = in the fan-out)."
+        );
+        let _ = writeln!(out, "# TYPE gsknn_router_backend_up gauge");
+        for (i, &u) in up.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "gsknn_router_backend_up{{backend=\"{i}\"}} {}",
+                u as u8
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP gsknn_router_backend_replies_total Partials folded into merged answers."
+        );
+        let _ = writeln!(out, "# TYPE gsknn_router_backend_replies_total counter");
+        for (i, b) in self.backends.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "gsknn_router_backend_replies_total{{backend=\"{i}\"}} {}",
+                b.replies.load(Ordering::Relaxed)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP gsknn_router_backend_errors_total Failed backend exchanges."
+        );
+        let _ = writeln!(out, "# TYPE gsknn_router_backend_errors_total counter");
+        for (i, b) in self.backends.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "gsknn_router_backend_errors_total{{backend=\"{i}\"}} {}",
+                b.errors.load(Ordering::Relaxed)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP gsknn_router_backend_latency_seconds Send-to-partial latency quantiles."
+        );
+        let _ = writeln!(out, "# TYPE gsknn_router_backend_latency_seconds summary");
+        for (i, b) in self.backends.iter().enumerate() {
+            let snap = b.latency.snapshot();
+            for (q, v) in [
+                (0.5, snap.p50_ns()),
+                (0.9, snap.p90_ns()),
+                (0.99, snap.p99_ns()),
+            ] {
+                if let Some(ns) = v {
+                    let _ = writeln!(
+                        out,
+                        "gsknn_router_backend_latency_seconds{{backend=\"{i}\",quantile=\"{q}\"}} {:.9}",
+                        ns as f64 / 1e9
+                    );
+                }
+            }
+            let _ = writeln!(
+                out,
+                "gsknn_router_backend_latency_seconds_count{{backend=\"{i}\"}} {}",
+                snap.count()
+            );
+        }
+        out
+    }
+
+    /// The drain-time summary.
+    pub fn report(&self, up: &[bool]) -> RouterReport {
+        RouterReport {
+            backends: self.backends.len(),
+            healthy: up.iter().filter(|&&u| u).count(),
+            queries: self.queries.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            hedges: self.hedges.load(Ordering::Relaxed),
+            epoch_rejects: self.epoch_rejects.load(Ordering::Relaxed),
+            rejoins: self.rejoins.load(Ordering::Relaxed),
+            backend_replies: self
+                .backends
+                .iter()
+                .map(|b| b.replies.load(Ordering::Relaxed))
+                .collect(),
+            backend_errors: self
+                .backends
+                .iter()
+                .map(|b| b.errors.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Final tallies printed when the router drains.
+#[derive(Clone, Debug)]
+pub struct RouterReport {
+    pub backends: usize,
+    pub healthy: usize,
+    pub queries: u64,
+    pub degraded: u64,
+    pub hedges: u64,
+    pub epoch_rejects: u64,
+    pub rejoins: u64,
+    pub backend_replies: Vec<u64>,
+    pub backend_errors: Vec<u64>,
+}
+
+impl RouterReport {
+    /// Plain-text rendering for the CLI.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "router: {} queries over {} backends ({} healthy at drain)",
+            self.queries, self.backends, self.healthy
+        );
+        let _ = writeln!(
+            out,
+            "  degraded {} | hedges {} | epoch rejects {} | rejoins {}",
+            self.degraded, self.hedges, self.epoch_rejects, self.rejoins
+        );
+        for i in 0..self.backends {
+            let _ = writeln!(
+                out,
+                "  backend {i}: {} replies, {} errors",
+                self.backend_replies[i], self.backend_errors[i]
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_carries_all_families_and_labels() {
+        let m = RouterMetrics::new(2);
+        m.queries.fetch_add(3, Ordering::Relaxed);
+        m.degraded.fetch_add(1, Ordering::Relaxed);
+        m.record_reply(0, Duration::from_millis(2));
+        m.backend(1).errors.fetch_add(1, Ordering::Relaxed);
+        let text = m.render_prometheus(&[true, false]);
+        assert!(text.contains("gsknn_router_queries_total 3"));
+        assert!(text.contains("gsknn_router_degraded_total 1"));
+        assert!(text.contains("gsknn_router_backend_up{backend=\"0\"} 1"));
+        assert!(text.contains("gsknn_router_backend_up{backend=\"1\"} 0"));
+        assert!(text.contains("gsknn_router_backend_replies_total{backend=\"0\"} 1"));
+        assert!(text.contains("gsknn_router_backend_errors_total{backend=\"1\"} 1"));
+        assert!(text.contains("gsknn_router_backend_latency_seconds_count{backend=\"0\"} 1"));
+    }
+
+    #[test]
+    fn report_rolls_up_per_backend_tallies() {
+        let m = RouterMetrics::new(3);
+        m.record_reply(2, Duration::from_micros(10));
+        let r = m.report(&[true, true, false]);
+        assert_eq!(r.backends, 3);
+        assert_eq!(r.healthy, 2);
+        assert_eq!(r.backend_replies, vec![0, 0, 1]);
+        assert!(r.render_table().contains("backend 2: 1 replies"));
+    }
+}

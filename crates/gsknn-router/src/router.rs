@@ -1,0 +1,797 @@
+//! The router proper: accept loop, per-connection handler with a
+//! persistent backend pool, the scatter-gather query path, the health
+//! prober and the metrics listener.
+
+use crate::metrics::{RouterMetrics, RouterReport};
+use gsknn_obs::{chrome_trace_json, Trace, TraceRing, TraceSpan};
+use gsknn_scalar::GsknnScalar;
+use gsknn_serve::wire::{
+    decode_partial, encode_response, read_frame_poll, write_frame, PartialHeader, Precision,
+    QueryBody, Request, Response, Status,
+};
+use gsknn_serve::{wire, Client};
+use knn_select::{merge_partial_tables, NeighborTable};
+use serde_json::Value;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Process-wide SIGTERM flag (the handler may not touch anything else).
+static SIGTERM: AtomicBool = AtomicBool::new(false);
+
+/// Register a minimal SIGTERM handler that flips [`SIGTERM`], so `kill`
+/// drains the router exactly like the wire `Shutdown` op. No-op off unix.
+fn install_sigterm() {
+    #[cfg(unix)]
+    {
+        extern "C" fn on_term(_signum: i32) {
+            SIGTERM.store(true, Ordering::SeqCst);
+        }
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGTERM_NUM: i32 = 15;
+        unsafe {
+            signal(SIGTERM_NUM, on_term as *const () as usize);
+        }
+    }
+}
+
+/// Router tuning knobs.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Bind address (`"127.0.0.1:0"` picks a free port).
+    pub addr: String,
+    /// Backend addresses, one per partition, **in partition order**:
+    /// `backends[i]` must be the server running `--partition i/N`.
+    pub backends: Vec<String>,
+    /// Partition-map epoch: partials stamped with any other epoch are
+    /// rejected. Must match the backends' `--partition-epoch`.
+    pub epoch: u64,
+    /// Per-backend wait for a partial (also the hedged re-send's
+    /// budget). The effective bound is the smaller of this and the
+    /// query's own deadline.
+    pub backend_timeout: Duration,
+    /// After a failed exchange, retry once on a fresh connection before
+    /// declaring the backend down. Off, the first failure degrades.
+    pub hedge: bool,
+    /// Bound on dialing a backend.
+    pub connect_timeout: Duration,
+    /// How often the prober pings downed backends.
+    pub probe_interval: Duration,
+    /// Serve the Prometheus exposition over plain HTTP on this address.
+    pub metrics_addr: Option<String>,
+    /// Log a stderr line for every routed query slower than this many
+    /// milliseconds end-to-end.
+    pub slow_query_ms: Option<u64>,
+    /// Capacity of the slowest-traces ring (wire `Traces` op).
+    pub trace_ring: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            backends: Vec::new(),
+            epoch: 1,
+            backend_timeout: Duration::from_secs(2),
+            hedge: true,
+            connect_timeout: Duration::from_secs(2),
+            probe_interval: Duration::from_millis(250),
+            metrics_addr: None,
+            slow_query_ms: None,
+            trace_ring: 32,
+        }
+    }
+}
+
+/// State shared by the acceptor, the handlers, the prober and the
+/// metrics listener.
+pub(crate) struct Shared {
+    cfg: RouterConfig,
+    pub(crate) metrics: RouterMetrics,
+    shutdown: AtomicBool,
+    /// Per-backend health: `true` = in the fan-out. Optimistic at start;
+    /// a failed exchange flips it off, a successful probe flips it back.
+    health: Vec<AtomicBool>,
+    traces: TraceRing,
+    /// Router start; trace timestamps are microseconds since this.
+    t0: Instant,
+    /// Ids for queries that arrived with `trace_id = 0`.
+    next_trace: AtomicU64,
+}
+
+impl Shared {
+    fn new(cfg: RouterConfig) -> Shared {
+        let n = cfg.backends.len();
+        let trace_ring = cfg.trace_ring;
+        Shared {
+            metrics: RouterMetrics::new(n),
+            shutdown: AtomicBool::new(false),
+            health: (0..n).map(|_| AtomicBool::new(true)).collect(),
+            traces: TraceRing::new(trace_ring),
+            t0: Instant::now(),
+            next_trace: AtomicU64::new(1),
+            cfg,
+        }
+    }
+
+    fn up(&self, i: usize) -> bool {
+        self.health[i].load(Ordering::SeqCst)
+    }
+
+    fn mark(&self, i: usize, up: bool) {
+        self.health[i].store(up, Ordering::SeqCst);
+    }
+
+    fn health_snapshot(&self) -> Vec<bool> {
+        self.health
+            .iter()
+            .map(|h| h.load(Ordering::SeqCst))
+            .collect()
+    }
+
+    fn stats_json(&self) -> String {
+        let r = self.metrics.report(&self.health_snapshot());
+        Value::Object(vec![
+            ("role".into(), Value::String("router".into())),
+            ("backends".into(), Value::from(r.backends as u64)),
+            ("healthy".into(), Value::from(r.healthy as u64)),
+            ("epoch".into(), Value::from(self.cfg.epoch)),
+            ("queries".into(), Value::from(r.queries)),
+            ("degraded".into(), Value::from(r.degraded)),
+            ("hedges".into(), Value::from(r.hedges)),
+            ("epoch_rejects".into(), Value::from(r.epoch_rejects)),
+            ("rejoins".into(), Value::from(r.rejoins)),
+            (
+                "backend_up".into(),
+                Value::Array(
+                    self.health_snapshot()
+                        .into_iter()
+                        .map(|u| Value::from(u as u64))
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_string()
+    }
+}
+
+/// One slot of a handler's persistent backend pool. The connection is
+/// dialed lazily and survives across queries; a failed exchange drops it
+/// so the next use (or the hedge) redials.
+struct BackendConn {
+    addr: String,
+    client: Option<Client>,
+}
+
+impl BackendConn {
+    fn ensure(&mut self, connect_timeout: Duration, io: Duration) -> io::Result<&mut Client> {
+        if self.client.is_none() {
+            let mut c = Client::connect_with_timeout(self.addr.as_str(), connect_timeout)?;
+            c.set_io_timeout(Some(io))?;
+            self.client = Some(c);
+        }
+        Ok(self.client.as_mut().unwrap())
+    }
+}
+
+/// A bound, not-yet-running router. `bind` then `run`; the split lets
+/// in-process callers learn the ephemeral port before blocking.
+pub struct Router {
+    listener: TcpListener,
+    cfg: RouterConfig,
+}
+
+impl Router {
+    /// Bind the client-facing listener. Backends are dialed lazily per
+    /// handler — a down backend at start is a degraded fan-out, not a
+    /// bind failure.
+    pub fn bind(cfg: RouterConfig) -> io::Result<Router> {
+        if cfg.backends.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "router needs at least one backend",
+            ));
+        }
+        if cfg.backends.len() > u16::MAX as usize {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "more backends than partition ids",
+            ));
+        }
+        let listener = TcpListener::bind(&cfg.addr)?;
+        Ok(Router { listener, cfg })
+    }
+
+    /// The bound client-facing address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Route until `Shutdown` / SIGTERM, then drain and return the final
+    /// tallies.
+    pub fn run(self) -> RouterReport {
+        install_sigterm();
+        let shared = Shared::new(self.cfg);
+        let shared = &shared;
+        self.listener
+            .set_nonblocking(true)
+            .expect("nonblocking accept");
+        std::thread::scope(|s| {
+            s.spawn(move || prober(shared));
+            if let Some(addr) = shared.cfg.metrics_addr.clone() {
+                s.spawn(move || metrics_listener(&addr, shared));
+            }
+            loop {
+                if SIGTERM.load(Ordering::SeqCst) {
+                    shared.shutdown.store(true, Ordering::SeqCst);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        s.spawn(move || handle_conn(stream, shared));
+                    }
+                    Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(2)),
+                }
+            }
+            // scope join: handlers notice the shutdown flag on their next
+            // read-timeout tick and exit
+        });
+        shared.metrics.report(&shared.health_snapshot())
+    }
+}
+
+/// One client connection: read frames, answer frames. Owns a persistent
+/// pool of backend connections for the scatter-gather path.
+fn handle_conn(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    // the read timeout is the shutdown poll tick, not a client deadline
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut pool: Vec<BackendConn> = shared
+        .cfg
+        .backends
+        .iter()
+        .map(|a| BackendConn {
+            addr: a.clone(),
+            client: None,
+        })
+        .collect();
+    let stop = || shared.shutdown.load(Ordering::SeqCst);
+    loop {
+        let payload = match read_frame_poll(&mut stream, &stop) {
+            Ok(Some(p)) => p,
+            Ok(None) | Err(_) => return,
+        };
+        let resp = match wire::decode_request(&payload) {
+            Err(e) => Response::error(format!("bad request: {e}")),
+            Ok(Request::Query(q)) => {
+                if stop() {
+                    Response::empty(Status::ShuttingDown).with_trace(q.trace_id)
+                } else {
+                    route_query(&mut pool, q, shared)
+                }
+            }
+            Ok(Request::Ping) => Response::empty(Status::Ok),
+            Ok(Request::Stats) => Response::ok_body(shared.stats_json().into_bytes()),
+            Ok(Request::Metrics) => Response::ok_body(
+                shared
+                    .metrics
+                    .render_prometheus(&shared.health_snapshot())
+                    .into_bytes(),
+            ),
+            Ok(Request::Traces) => Response::ok_body(
+                chrome_trace_json(&shared.traces.snapshot())
+                    .to_string()
+                    .into_bytes(),
+            ),
+            Ok(Request::TimeSeries) => {
+                // the router has no per-second load sampler (yet); answer
+                // the same shape a no-obs server does so `top` degrades
+                Response::ok_body(b"{\"enabled\": false, \"samples\": []}".to_vec())
+            }
+            Ok(Request::Shutdown) => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                let _ = write_frame(&mut stream, &encode_response(&Response::empty(Status::Ok)));
+                return;
+            }
+        };
+        if write_frame(&mut stream, &encode_response(&resp)).is_err() {
+            return;
+        }
+    }
+}
+
+/// Monomorphization split: the merge is typed by the request precision.
+fn route_query(pool: &mut [BackendConn], q: QueryBody, shared: &Shared) -> Response {
+    match q.precision {
+        Precision::F64 => route_query_t::<f64>(pool, q, shared),
+        Precision::F32 => route_query_t::<f32>(pool, q, shared),
+    }
+}
+
+/// Why a backend's reply did not contribute to the merge.
+#[derive(Debug)]
+enum Reject {
+    /// Transport/protocol failure — marks the backend down.
+    Error(String),
+    /// Stale partition map — marks the backend down.
+    EpochMismatch(u64),
+    /// Typed transient refusal (`Busy`): the backend is healthy, the
+    /// query just didn't get in.
+    Busy,
+    /// The backend's own deadline ran out (`Timeout`): healthy, late.
+    TimedOut,
+    /// The backend deterministically rejected the request
+    /// (`BadRequest`, e.g. a dimension mismatch): the backend is
+    /// healthy — the *request* is wrong, and the rejection is forwarded
+    /// to the client instead of counting against backend health.
+    Bad(String),
+}
+
+/// Check one backend response: must be a `PartialTopK` envelope from the
+/// expected epoch and partition universe, carrying a table of `m` rows.
+fn validate_partial<T: GsknnScalar>(
+    resp: &Response,
+    epoch: u64,
+    n_backends: u16,
+    m: usize,
+) -> Result<(PartialHeader, NeighborTable<T>), Reject> {
+    match resp.status {
+        Status::PartialTopK => {}
+        Status::Busy => return Err(Reject::Busy),
+        Status::Timeout => return Err(Reject::TimedOut),
+        Status::BadRequest => {
+            return Err(Reject::Bad(
+                String::from_utf8_lossy(&resp.body).into_owned(),
+            ))
+        }
+        other => {
+            return Err(Reject::Error(format!(
+                "backend answered {other:?} (not in partition mode?)"
+            )))
+        }
+    }
+    let (header, table_bytes) =
+        decode_partial(&resp.body).map_err(|e| Reject::Error(format!("bad partial: {e}")))?;
+    if header.epoch != epoch {
+        return Err(Reject::EpochMismatch(header.epoch));
+    }
+    if header.total != n_backends {
+        return Err(Reject::Error(format!(
+            "backend partitioned {} ways, router fans out {}",
+            header.total, n_backends
+        )));
+    }
+    let table = NeighborTable::<T>::from_bytes(table_bytes)
+        .map_err(|e| Reject::Error(format!("bad partial table: {e}")))?;
+    if table.len() != m {
+        return Err(Reject::Error(format!(
+            "partial has {} rows, query has {m}",
+            table.len()
+        )));
+    }
+    Ok((header, table))
+}
+
+/// The scatter-gather path: pipelined fan-out writes, deadline-bounded
+/// collection with one hedged re-send per failed backend, exact
+/// truncated merge, typed degraded reply when partitions are missing.
+fn route_query_t<T: GsknnScalar>(
+    pool: &mut [BackendConn],
+    mut q: QueryBody,
+    shared: &Shared,
+) -> Response {
+    let cfg = &shared.cfg;
+    let n = pool.len();
+    let total = n as u16;
+    shared.metrics.queries.fetch_add(1, Ordering::Relaxed);
+    if q.trace_id == 0 {
+        q.trace_id = shared.next_trace.fetch_add(1, Ordering::Relaxed);
+    }
+    let trace_id = q.trace_id;
+    let t_start = Instant::now();
+    let deadline = Duration::from_millis(u64::from(q.deadline_ms.max(1)));
+    let per_backend = cfg.backend_timeout.min(deadline);
+    let req = Request::Query(q.clone());
+    let mut spans: Vec<TraceSpan> = Vec::new();
+    let span_of = |name: &str, from: Instant, to: Instant| TraceSpan {
+        name: name.to_string(),
+        start_us: (from - t_start).as_secs_f64() * 1e6,
+        dur_us: (to - from).as_secs_f64() * 1e6,
+    };
+
+    // Phase 1 — fan-out: write the query to every healthy backend before
+    // blocking on any reply, so backends compute their partials in
+    // parallel. A failed write gets one immediate hedged retry on a
+    // fresh connection (the failure is usually a stale pooled socket).
+    let mut sent = vec![false; n];
+    for (i, b) in pool.iter_mut().enumerate() {
+        if !shared.up(i) {
+            continue;
+        }
+        let attempt = |b: &mut BackendConn| -> io::Result<()> {
+            b.ensure(cfg.connect_timeout, per_backend)?
+                .send_request(&req)
+        };
+        match attempt(b) {
+            Ok(()) => sent[i] = true,
+            Err(_) if cfg.hedge => {
+                b.client = None;
+                shared.metrics.hedges.fetch_add(1, Ordering::Relaxed);
+                match attempt(b) {
+                    Ok(()) => sent[i] = true,
+                    Err(e) => backend_down(shared, i, b, &e.to_string()),
+                }
+            }
+            Err(e) => backend_down(shared, i, b, &e.to_string()),
+        }
+    }
+    let t_sent = Instant::now();
+    spans.push(span_of("fanout write", t_start, t_sent));
+
+    // Phase 2 — collect: read each in-flight backend's partial, bounded
+    // by the per-backend budget measured from the fan-out start (the
+    // backends work concurrently, so budgets overlap rather than add). A
+    // failed read hedges once with a full round trip on a fresh
+    // connection inside the remaining budget.
+    let mut tables: Vec<NeighborTable<T>> = Vec::with_capacity(n);
+    let mut contributed: u16 = 0;
+    let mut any_lane_degraded = false;
+    let (mut busy, mut late) = (0usize, 0usize);
+    let mut bad: Option<String> = None;
+    for (i, b) in pool.iter_mut().enumerate() {
+        if !sent[i] {
+            continue;
+        }
+        let t_wait = Instant::now();
+        let budget = per_backend
+            .saturating_sub(t_wait - t_start)
+            .max(Duration::from_millis(5));
+        let resp = match b.client.as_mut() {
+            Some(c) => c
+                .set_io_timeout(Some(budget))
+                .and_then(|_| c.recv_response()),
+            None => Err(io::Error::from(io::ErrorKind::NotConnected)),
+        };
+        let resp = match resp {
+            Ok(r) => Ok(r),
+            Err(_) if cfg.hedge => {
+                // hedge: the pooled exchange died mid-flight — re-send
+                // the whole query on a fresh connection, same budget
+                b.client = None;
+                shared.metrics.hedges.fetch_add(1, Ordering::Relaxed);
+                b.ensure(cfg.connect_timeout, budget)
+                    .and_then(|c| c.request(&req))
+            }
+            Err(e) => Err(e),
+        };
+        let t_got = Instant::now();
+        spans.push(span_of(&format!("backend {i} wait"), t_wait, t_got));
+        match resp {
+            Ok(r) => match validate_partial::<T>(&r, cfg.epoch, total, q.m) {
+                Ok((header, table)) => {
+                    tables.push(table);
+                    contributed += 1;
+                    any_lane_degraded |= header.lane_degraded();
+                    shared.metrics.record_reply(i, t_got - t_sent);
+                    if !shared.up(i) {
+                        shared.mark(i, true);
+                    }
+                }
+                Err(Reject::Busy) => busy += 1,
+                Err(Reject::TimedOut) => late += 1,
+                Err(Reject::Bad(msg)) => bad = bad.or(Some(msg)),
+                Err(Reject::EpochMismatch(got)) => {
+                    shared.metrics.epoch_rejects.fetch_add(1, Ordering::Relaxed);
+                    backend_down(
+                        shared,
+                        i,
+                        b,
+                        &format!("partial from epoch {got}, router at {}", cfg.epoch),
+                    );
+                }
+                Err(Reject::Error(msg)) => backend_down(shared, i, b, &msg),
+            },
+            Err(e) => backend_down(shared, i, b, &e.to_string()),
+        }
+    }
+
+    // Phase 3 — merge the survivors and pick the reply shape.
+    let t_merge = Instant::now();
+    let resp = if contributed == 0 {
+        if let Some(msg) = bad {
+            // deterministic rejection — the request, not a backend, is
+            // at fault, so forward the backend's own message
+            Response::bad_request(msg)
+        } else if busy > 0 && busy == sent.iter().filter(|&&s| s).count() {
+            Response::empty(Status::Busy)
+        } else if late > 0 {
+            Response::empty(Status::Timeout)
+        } else {
+            Response::internal_error("no partition answered")
+        }
+        .with_trace(trace_id)
+    } else {
+        let refs: Vec<&NeighborTable<T>> = tables.iter().collect();
+        match merge_partial_tables(&refs, q.k) {
+            None => Response::internal_error("partition shape mismatch in merge"),
+            Some(merged) => {
+                let mut body = Vec::with_capacity(merged.encoded_len());
+                if contributed < total {
+                    shared.metrics.degraded.fetch_add(1, Ordering::Relaxed);
+                    PartialHeader {
+                        partition_id: u32::MAX,
+                        epoch: cfg.epoch,
+                        contributed,
+                        total,
+                        flags: any_lane_degraded as u8,
+                    }
+                    .encode_into(&mut body);
+                    merged.encode_into(&mut body);
+                    Response {
+                        status: Status::OkDegraded,
+                        trace_id,
+                        body,
+                    }
+                } else {
+                    // all partitions answered: the merged table is
+                    // bit-identical to a single node's — reply exactly
+                    // like one (degraded lane included)
+                    merged.encode_into(&mut body);
+                    let status = if any_lane_degraded {
+                        Status::OkDegraded
+                    } else {
+                        Status::Ok
+                    };
+                    Response {
+                        status,
+                        trace_id,
+                        body,
+                    }
+                }
+            }
+        }
+    };
+    let t_done = Instant::now();
+    spans.push(span_of("merge", t_merge, t_done));
+
+    let total_us = (t_done - t_start).as_secs_f64() * 1e6;
+    if let Some(ms) = cfg.slow_query_ms {
+        if t_done - t_start >= Duration::from_millis(ms) {
+            eprintln!(
+                "gsknn-router: slow query trace {trace_id:016x}: {:.1} ms, {} of {} partitions, status {:?}",
+                total_us / 1e3,
+                contributed,
+                total,
+                resp.status
+            );
+        }
+    }
+    shared.traces.offer(Trace {
+        trace_id,
+        lane: q.precision.name().to_string(),
+        status: status_label(resp.status).to_string(),
+        m: q.m,
+        k: q.k,
+        t0_us: (t_start - shared.t0).as_secs_f64() * 1e6,
+        total_us,
+        spans,
+    });
+    resp
+}
+
+/// Flip backend `i` out of the fan-out and drop its pooled connection.
+fn backend_down(shared: &Shared, i: usize, b: &mut BackendConn, why: &str) {
+    b.client = None;
+    shared
+        .metrics
+        .backend(i)
+        .errors
+        .fetch_add(1, Ordering::Relaxed);
+    if shared.up(i) {
+        shared.mark(i, false);
+        eprintln!("gsknn-router: backend {i} ({}) down: {why}", b.addr);
+    }
+}
+
+/// Trace/metrics label for a wire status.
+fn status_label(s: Status) -> &'static str {
+    match s {
+        Status::Ok => "ok",
+        Status::Busy => "busy",
+        Status::Timeout => "timeout",
+        Status::ShuttingDown => "shutting_down",
+        Status::Error => "error",
+        Status::BadRequest => "bad_request",
+        Status::InternalError => "internal_error",
+        Status::OkDegraded => "ok_degraded",
+        Status::PartialTopK => "partial_topk",
+    }
+}
+
+/// Ping downed backends; a reply folds them back into the fan-out. The
+/// epoch guard on the query path keeps a *wrongly configured* rejoiner
+/// from contributing — this probe only proves liveness.
+fn prober(shared: &Shared) {
+    let n = shared.cfg.backends.len();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        for i in 0..n {
+            if shared.up(i) {
+                continue;
+            }
+            let addr = shared.cfg.backends[i].as_str();
+            let alive = Client::connect_with_timeout(addr, shared.cfg.connect_timeout)
+                .and_then(|mut c| {
+                    c.set_io_timeout(Some(shared.cfg.backend_timeout))?;
+                    c.ping()
+                })
+                .is_ok();
+            if alive {
+                shared.mark(i, true);
+                shared.metrics.rejoins.fetch_add(1, Ordering::Relaxed);
+                eprintln!("gsknn-router: backend {i} ({addr}) rejoined");
+            }
+        }
+        // sleep in small ticks so drain isn't held up by a long interval
+        let mut left = shared.cfg.probe_interval;
+        while left > Duration::ZERO && !shared.shutdown.load(Ordering::SeqCst) {
+            let tick = left.min(Duration::from_millis(25));
+            std::thread::sleep(tick);
+            left = left.saturating_sub(tick);
+        }
+    }
+}
+
+/// Minimal HTTP/1.1 responder for the Prometheus exposition — same
+/// best-effort contract as the serve tier's listener.
+fn metrics_listener(addr: &str, shared: &Shared) {
+    let listener = match TcpListener::bind(addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("gsknn-router: metrics listener failed to bind {addr}: {e}");
+            return;
+        }
+    };
+    let _ = listener.set_nonblocking(true);
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((mut stream, _peer)) => {
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+                let mut head = Vec::new();
+                let mut buf = [0u8; 1024];
+                loop {
+                    match stream.read(&mut buf) {
+                        Ok(0) => break,
+                        Ok(n) => {
+                            head.extend_from_slice(&buf[..n]);
+                            if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
+                                break;
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                }
+                let body = shared.metrics.render_prometheus(&shared.health_snapshot());
+                let resp = format!(
+                    "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; \
+                     charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+                    body.len(),
+                    body
+                );
+                let _ = stream.write_all(resp.as_bytes());
+            }
+            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knn_select::Neighbor;
+
+    fn partial_resp(
+        partition_id: u32,
+        epoch: u64,
+        total: u16,
+        flags: u8,
+        table: &NeighborTable<f64>,
+    ) -> Response {
+        let mut body = Vec::new();
+        PartialHeader {
+            partition_id,
+            epoch,
+            contributed: 1,
+            total,
+            flags,
+        }
+        .encode_into(&mut body);
+        table.encode_into(&mut body);
+        Response {
+            status: Status::PartialTopK,
+            trace_id: 7,
+            body,
+        }
+    }
+
+    fn table_of(rows: &[&[(f64, u32)]], k: usize) -> NeighborTable<f64> {
+        let mut t = NeighborTable::new(rows.len(), k);
+        for (i, row) in rows.iter().enumerate() {
+            let nbs: Vec<Neighbor<f64>> = row.iter().map(|&(d, j)| Neighbor::new(d, j)).collect();
+            t.set_row(i, &nbs);
+        }
+        t
+    }
+
+    #[test]
+    fn validate_accepts_matching_partial() {
+        let t = table_of(&[&[(0.5, 3), (1.0, 9)]], 2);
+        let resp = partial_resp(0, 1, 2, 0, &t);
+        let (h, got) = validate_partial::<f64>(&resp, 1, 2, 1).expect("valid");
+        assert_eq!(h.partition_id, 0);
+        assert!(!h.lane_degraded());
+        assert_eq!(got.row(0), t.row(0));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_epoch_total_shape_and_status() {
+        let t = table_of(&[&[(0.5, 3)]], 1);
+        assert!(matches!(
+            validate_partial::<f64>(&partial_resp(0, 9, 2, 0, &t), 1, 2, 1),
+            Err(Reject::EpochMismatch(9))
+        ));
+        assert!(matches!(
+            validate_partial::<f64>(&partial_resp(0, 1, 3, 0, &t), 1, 2, 1),
+            Err(Reject::Error(_))
+        ));
+        assert!(matches!(
+            validate_partial::<f64>(&partial_resp(0, 1, 2, 0, &t), 1, 2, 5),
+            Err(Reject::Error(_))
+        ));
+        assert!(matches!(
+            validate_partial::<f64>(&Response::empty(Status::Busy), 1, 2, 1),
+            Err(Reject::Busy)
+        ));
+        assert!(matches!(
+            validate_partial::<f64>(&Response::empty(Status::Timeout), 1, 2, 1),
+            Err(Reject::TimedOut)
+        ));
+        assert!(matches!(
+            validate_partial::<f64>(&Response::empty(Status::Ok), 1, 2, 1),
+            Err(Reject::Error(_))
+        ));
+        // a deterministic rejection carries the backend's message and
+        // must NOT be classed as a backend failure
+        match validate_partial::<f64>(&Response::bad_request("dimension mismatch"), 1, 2, 1) {
+            Err(Reject::Bad(msg)) => assert!(msg.contains("dimension mismatch")),
+            other => panic!("expected Reject::Bad, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_surfaces_degraded_lane_flag() {
+        let t = table_of(&[&[(0.5, 3)]], 1);
+        let resp = partial_resp(1, 1, 2, 1, &t);
+        let (h, _) = validate_partial::<f64>(&resp, 1, 2, 1).expect("valid");
+        assert!(h.lane_degraded());
+    }
+
+    #[test]
+    fn bind_rejects_empty_backend_list() {
+        let err = match Router::bind(RouterConfig::default()) {
+            Err(e) => e,
+            Ok(_) => panic!("bind accepted an empty backend list"),
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+}

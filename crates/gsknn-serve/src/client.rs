@@ -13,8 +13,8 @@
 
 use crate::retry::RetryPolicy;
 use crate::wire::{
-    decode_response, encode_request, read_frame, write_frame, Precision, QueryBody, Request,
-    Response, Status,
+    decode_partial, decode_response, encode_request, is_partial_body, read_frame, write_frame,
+    PartialHeader, Precision, QueryBody, Request, Response, Status,
 };
 use gsknn_core::GsknnScalar;
 use knn_select::NeighborTable;
@@ -37,6 +37,29 @@ pub enum Outcome<T: GsknnScalar> {
     /// Neighbor rows computed at reduced precision (f32 lane) because the
     /// server was shedding load. Correct ids, lower-precision distances.
     Degraded(NeighborTable<T>),
+    /// A scatter-gather router answered with partitions missing: the
+    /// rows are the exact merge of the `contributed` (of `total`)
+    /// partitions that made the deadline. Neighbors owned by the dead
+    /// partitions are absent, so recall is best-effort until the router
+    /// reports the backend healthy again.
+    DegradedPartial {
+        /// Merged neighbor rows from the surviving partitions.
+        table: NeighborTable<T>,
+        /// Partitions whose answers are in the merge.
+        contributed: u16,
+        /// Partitions in the full fan-out.
+        total: u16,
+    },
+    /// One partition's top-k from a backend running in partition mode,
+    /// ids already global. Routers consume this; an end client talking
+    /// straight to a partitioned backend sees it too (the table covers
+    /// only that backend's slice of the reference set).
+    Partial {
+        /// Partition identity and epoch the payload was computed under.
+        header: PartialHeader,
+        /// The partition-local top-k rows (global ids).
+        table: NeighborTable<T>,
+    },
     /// Admission control bounced the request; retry with backoff.
     Busy,
     /// The latency budget expired before the kernel started.
@@ -153,6 +176,29 @@ impl Client {
 
     fn round_trip(&mut self, req: &Request) -> io::Result<Response> {
         write_frame(&mut self.stream, &encode_request(req))?;
+        self.recv_response()
+    }
+
+    /// Send one request frame and block for its response — the raw
+    /// exchange underneath every typed helper. The scatter-gather router
+    /// uses this to relay a decoded client request to a backend verbatim.
+    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
+        self.round_trip(req)
+    }
+
+    /// Write one request frame without waiting for the reply. Pair with
+    /// [`Client::recv_response`]; the protocol answers every frame with
+    /// exactly one frame in order, so a caller may pipeline sends to many
+    /// servers and then collect the replies — the router's fan-out writes
+    /// to every backend before blocking on the first read, making the
+    /// total wait the *slowest* backend rather than the sum.
+    pub fn send_request(&mut self, req: &Request) -> io::Result<()> {
+        write_frame(&mut self.stream, &encode_request(req))
+    }
+
+    /// Read and decode the next response frame (blocking, bounded by the
+    /// I/O timeout).
+    pub fn recv_response(&mut self) -> io::Result<Response> {
         let payload = read_frame(&mut self.stream)?
             .ok_or_else(|| io::Error::from(io::ErrorKind::UnexpectedEof))?;
         decode_response(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
@@ -196,9 +242,29 @@ impl Client {
             NeighborTable::<T>::from_bytes(body)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
         };
+        let partial = |body: &[u8]| {
+            let (header, table_bytes) =
+                decode_partial(body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            Ok::<_, io::Error>((header, table(table_bytes)?))
+        };
         Ok(match resp.status {
             Status::Ok => Outcome::Neighbors(table(&resp.body)?),
+            // A router stamps a partial envelope onto OkDegraded when
+            // partitions went missing; a single node's degraded-lane
+            // answer is a bare NeighborTable. The body magic says which.
+            Status::OkDegraded if is_partial_body(&resp.body) => {
+                let (header, table) = partial(&resp.body)?;
+                Outcome::DegradedPartial {
+                    table,
+                    contributed: header.contributed,
+                    total: header.total,
+                }
+            }
             Status::OkDegraded => Outcome::Degraded(table(&resp.body)?),
+            Status::PartialTopK => {
+                let (header, table) = partial(&resp.body)?;
+                Outcome::Partial { header, table }
+            }
             Status::Busy => Outcome::Busy,
             Status::Timeout => Outcome::TimedOut,
             Status::ShuttingDown => Outcome::ShuttingDown,

@@ -121,8 +121,11 @@ pub use gsknn_obs::ServeReport;
 pub use metrics::Metrics;
 pub use retry::RetryPolicy;
 pub use sampler::{LoadSampler, RooflineRecorder, WINDOW_S};
-pub use server::{ServeIndex, Server, ServerConfig};
-pub use wire::{Precision, Request, Response, Status, WireError, WIRE_VERSION};
+pub use server::{PartitionCfg, ServeIndex, Server, ServerConfig};
+pub use wire::{
+    decode_partial, is_partial_body, PartialHeader, Precision, Request, Response, Status,
+    WireError, PARTIAL_HEADER_LEN, WIRE_VERSION,
+};
 
 /// Test-only counting global allocator: proves the shard hot path's
 /// zero-allocations-per-query claim structurally instead of by review

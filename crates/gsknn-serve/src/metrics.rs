@@ -17,7 +17,7 @@ use std::time::Duration;
 pub const LANES: [&str; 2] = ["f64", "f32"];
 
 /// Terminal-status labels, indexed by the wire status discriminant.
-pub const STATUS_LABELS: [&str; 8] = [
+pub const STATUS_LABELS: [&str; 9] = [
     "ok",
     "busy",
     "timeout",
@@ -26,6 +26,7 @@ pub const STATUS_LABELS: [&str; 8] = [
     "bad_request",
     "internal_error",
     "ok_degraded",
+    "partial_topk",
 ];
 
 #[derive(Default)]

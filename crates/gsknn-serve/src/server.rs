@@ -84,6 +84,27 @@ fn install_sigterm() {
     }
 }
 
+/// Identity of this server inside a partitioned (scatter-gather)
+/// deployment. When set, every successful query reply is wrapped in the
+/// `GSPK` partial envelope ([`crate::wire::PartialHeader`]) under
+/// [`Status::PartialTopK`](crate::wire::Status), and neighbor ids are
+/// shifted by `offset` at encode time so they are global row ids — the
+/// router merges partials without any id translation table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PartitionCfg {
+    /// This backend's partition index, `0..total`.
+    pub id: u16,
+    /// Total partitions in the deployment.
+    pub total: u16,
+    /// Global row id of this partition's first reference point. Added to
+    /// every non-sentinel neighbor id on the wire.
+    pub offset: u32,
+    /// Deployment epoch: the router rejects partials from a different
+    /// epoch so a stale backend can never contribute rows from an old
+    /// partitioning.
+    pub epoch: u64,
+}
+
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
@@ -138,6 +159,10 @@ pub struct ServerConfig {
     /// op. `0` disables trace retention (spans are still recorded for
     /// the slow-query log).
     pub trace_ring: usize,
+    /// When serving one partition of a scatter-gather deployment, the
+    /// partition identity ([`PartitionCfg`]). `None` (the default) keeps
+    /// plain single-node replies.
+    pub partition: Option<PartitionCfg>,
 }
 
 impl Default for ServerConfig {
@@ -159,6 +184,7 @@ impl Default for ServerConfig {
             slow_query_ms: None,
             metrics_addr: None,
             trace_ring: 32,
+            partition: None,
         }
     }
 }
@@ -253,6 +279,9 @@ pub(crate) struct Shared {
     /// Per-second load time-series for the `TimeSeries` wire op
     /// (zero-sized without the `obs` feature).
     pub(crate) sampler: LoadSampler,
+    /// Partition identity for scatter-gather replies (`None` = plain
+    /// single-node server).
+    pub(crate) partition: Option<PartitionCfg>,
 }
 
 impl Shared {
@@ -278,6 +307,7 @@ impl Shared {
             next_trace: AtomicU64::new(1),
             slow_query_ms: cfg.slow_query_ms,
             sampler: LoadSampler::new(),
+            partition: cfg.partition,
         }
     }
 

@@ -47,8 +47,8 @@ use crate::mux::{poll_fds, raw_fd, PollFd, POLLIN, POLLOUT};
 use crate::server::{ServeIndex, Shared};
 use crate::trace::ReqTrace;
 use crate::wire::{
-    begin_response_frame, deadline_duration, decode_request_raw, finish_frame, Precision, RawQuery,
-    RawRequest, Status, MAX_FRAME,
+    begin_response_frame, deadline_duration, decode_request_raw, finish_frame, PartialHeader,
+    Precision, RawQuery, RawRequest, Status, MAX_FRAME,
 };
 use crossbeam::channel::Receiver;
 use dataset::{DistanceKind, PointSet};
@@ -804,10 +804,32 @@ fn deliver<T: FusedScalar>(
     };
     conn.pending = conn.pending.saturating_sub(1);
     let status = reply.status();
+    // In partition mode every table reply ships as a GSPK partial: the
+    // router needs the partition id/epoch to merge and the ids must be
+    // global. Encoding applies the row offset in-place — no extra pass,
+    // no allocation. A degraded lane answer keeps its signal in the
+    // envelope's flags bit so `OkDegraded` semantics survive the wrap.
+    let wire_status = match (&reply, shared.partition) {
+        (Reply::Table(..), Some(_)) => Status::PartialTopK,
+        _ => status,
+    };
     let t_reply = Instant::now();
-    let mark = begin_response_frame(&mut conn.outbuf, status, job.trace_id);
+    let mark = begin_response_frame(&mut conn.outbuf, wire_status, job.trace_id);
     match reply {
-        Reply::Table(t, _) => t.encode_into(&mut conn.outbuf),
+        Reply::Table(t, _) => match shared.partition {
+            Some(p) => {
+                PartialHeader {
+                    partition_id: p.id as u32,
+                    epoch: p.epoch,
+                    contributed: 1,
+                    total: p.total,
+                    flags: (status == Status::OkDegraded) as u8,
+                }
+                .encode_into(&mut conn.outbuf);
+                t.encode_into_with_offset(&mut conn.outbuf, p.offset);
+            }
+            None => t.encode_into(&mut conn.outbuf),
+        },
         Reply::Empty(_) => {}
         Reply::Message(_, msg) => conn.outbuf.extend_from_slice(msg.as_bytes()),
     }

@@ -15,7 +15,13 @@
 //! response  magic "GSRP", version u16 = 2, status u8, trace_id u64, body
 //!           Ok(Query/BatchQuery): NeighborTable v2 bytes (knn-select)
 //!           OkDegraded:           NeighborTable v2 bytes (degraded lane's
-//!                                 precision; the table is self-describing)
+//!                                 precision; the table is self-describing),
+//!                                 OR a PartialTopK envelope (below) when a
+//!                                 scatter-gather router answered with some
+//!                                 partitions missing — sniff the body magic
+//!           PartialTopK:          PartialTopK envelope: a per-partition
+//!                                 top-k heap payload from a backend running
+//!                                 in partition mode (ids already global)
 //!           Ok(Stats):            ServeReport JSON (UTF-8)
 //!           Ok(Metrics):          Prometheus text exposition (UTF-8)
 //!           Ok(Traces):           Chrome trace-event JSON (UTF-8)
@@ -23,6 +29,12 @@
 //!           Ok(Ping/Shutdown):    empty
 //!           Busy/Timeout/ShuttingDown: empty
 //!           Error/BadRequest/InternalError: UTF-8 message
+//!
+//! envelope  magic "GSPK", version u16 = 1, partition_id u32, epoch u64,
+//!           contributed u16, total u16, flags u8 (bit 0 = served from a
+//!           degraded lane), then NeighborTable v2 bytes to the end of the
+//!           body (the table is self-describing, so no inner length field
+//!           is needed and none can disagree)
 //! ```
 //!
 //! **Trace ids.** Version 2 threads a `u64` trace id through every
@@ -52,6 +64,8 @@ pub const MAX_FRAME: usize = 1 << 26;
 
 const REQ_MAGIC: &[u8; 4] = b"GSRQ";
 const RESP_MAGIC: &[u8; 4] = b"GSRP";
+const PARTIAL_MAGIC: &[u8; 4] = b"GSPK";
+const PARTIAL_VERSION: u16 = 1;
 
 /// Element precision negotiated per request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -259,8 +273,15 @@ pub enum Status {
     InternalError = 6,
     /// Request served from a degraded lane (overload shed an f64 query
     /// to the f32 lane); body is NeighborTable bytes like `Ok`, at the
-    /// degraded precision.
+    /// degraded precision. A scatter-gather router reuses this status
+    /// when partitions went missing, with a [`PartialTopK`] body (sniff
+    /// via [`is_partial_body`]) carrying the contributed/total counts.
     OkDegraded = 7,
+    /// A per-partition top-k reply from a backend running in partition
+    /// mode: the body is a [`PartialTopK`] envelope whose neighbor ids
+    /// are already offset to the *global* reference numbering, ready for
+    /// the router's truncated merge.
+    PartialTopK = 8,
 }
 
 impl Status {
@@ -274,6 +295,7 @@ impl Status {
             5 => Status::BadRequest,
             6 => Status::InternalError,
             7 => Status::OkDegraded,
+            8 => Status::PartialTopK,
             other => return Err(WireError::BadStatus(other)),
         })
     }
@@ -343,6 +365,98 @@ impl Response {
         self.trace_id = trace_id;
         self
     }
+}
+
+/// The partial-top-k envelope header (the `"GSPK"` body layout in the
+/// module docs). Travels in two directions:
+///
+/// * **backend → router** under [`Status::PartialTopK`]: one partition's
+///   top-k heap payload, `partition_id`/`epoch` identifying which slice
+///   of the reference set answered (`contributed = total = 1`);
+/// * **router → client** under [`Status::OkDegraded`]: the merged answer
+///   when only `contributed` of `total` partitions made the deadline.
+///
+/// The table bytes follow the header to the end of the response body.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PartialHeader {
+    /// Which partition of the reference set produced the payload
+    /// (`u32::MAX` for a router-merged answer spanning partitions).
+    pub partition_id: u32,
+    /// Partition-map epoch: the router rejects partials from a backend
+    /// configured against a different partitioning than its own.
+    pub epoch: u64,
+    /// Partitions whose answers are folded into the payload.
+    pub contributed: u16,
+    /// Partitions in the full fan-out.
+    pub total: u16,
+    /// Bit 0: the payload was computed on a degraded (f32) lane.
+    pub flags: u8,
+}
+
+/// Encoded size of a [`PartialHeader`] (magic + version + fields).
+pub const PARTIAL_HEADER_LEN: usize = 4 + 2 + 4 + 8 + 2 + 2 + 1;
+
+impl PartialHeader {
+    /// Bit 0 of `flags`: the answer came off a degraded-precision lane.
+    pub fn lane_degraded(&self) -> bool {
+        self.flags & 1 != 0
+    }
+
+    /// Append the envelope header to `out` (the caller appends the
+    /// NeighborTable bytes after it — e.g. via `encode_into_with_offset`
+    /// on the shard hot path, which keeps the reply allocation-free).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(PARTIAL_MAGIC);
+        out.extend_from_slice(&PARTIAL_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.partition_id.to_le_bytes());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.contributed.to_le_bytes());
+        out.extend_from_slice(&self.total.to_le_bytes());
+        out.push(self.flags);
+    }
+}
+
+/// `true` when a response body starts with the partial-top-k envelope
+/// magic — how a client distinguishes a router's partition-annotated
+/// `OkDegraded` body from a plain degraded-lane NeighborTable.
+pub fn is_partial_body(body: &[u8]) -> bool {
+    body.len() >= 4 && &body[..4] == PARTIAL_MAGIC
+}
+
+/// Decode a partial-top-k body into its header and the borrowed
+/// NeighborTable bytes that follow it. Total like every decoder here:
+/// arbitrary bytes produce a typed error, never a panic — the table
+/// bytes themselves are validated by `NeighborTable::from_bytes`, which
+/// carries its own decode caps.
+pub fn decode_partial(body: &[u8]) -> Result<(PartialHeader, &[u8]), WireError> {
+    let mut buf = body;
+    if buf.remaining() < PARTIAL_HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != PARTIAL_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = buf.get_u16_le();
+    if version != PARTIAL_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let partition_id = buf.get_u32_le();
+    let epoch = buf.get_u64_le();
+    let contributed = buf.get_u16_le();
+    let total = buf.get_u16_le();
+    let flags = buf.get_u8();
+    Ok((
+        PartialHeader {
+            partition_id,
+            epoch,
+            contributed,
+            total,
+            flags,
+        },
+        buf,
+    ))
 }
 
 /// Why a payload failed to decode.
@@ -729,6 +843,11 @@ mod tests {
                 trace_id: u64::MAX,
                 body: vec![4, 5],
             },
+            Response {
+                status: Status::PartialTopK,
+                trace_id: 11,
+                body: vec![6, 7, 8],
+            },
             Response::empty(Status::Busy),
             Response::empty(Status::Timeout),
             Response::empty(Status::ShuttingDown),
@@ -894,6 +1013,59 @@ mod tests {
         assert_eq!(&out[3..], &expect[..]);
     }
 
+    fn sample_partial() -> (PartialHeader, Vec<u8>) {
+        let header = PartialHeader {
+            partition_id: 2,
+            epoch: 0xdead_0042,
+            contributed: 1,
+            total: 3,
+            flags: 1,
+        };
+        let mut body = Vec::new();
+        header.encode_into(&mut body);
+        body.extend_from_slice(b"table bytes follow to the end");
+        (header, body)
+    }
+
+    #[test]
+    fn partial_envelope_round_trips() {
+        let (header, body) = sample_partial();
+        assert!(is_partial_body(&body));
+        assert!(header.lane_degraded());
+        let (back, table) = decode_partial(&body).unwrap();
+        assert_eq!(back, header);
+        assert_eq!(table, b"table bytes follow to the end");
+        // an empty table payload is structurally fine at this layer
+        let mut just_header = Vec::new();
+        header.encode_into(&mut just_header);
+        assert_eq!(decode_partial(&just_header).unwrap().1, b"");
+    }
+
+    #[test]
+    fn partial_envelope_rejects_malformed_headers() {
+        let (_, body) = sample_partial();
+        for cut in [0, 3, PARTIAL_HEADER_LEN - 1] {
+            assert_eq!(
+                decode_partial(&body[..cut]).unwrap_err(),
+                WireError::Truncated,
+                "cut at {cut}"
+            );
+        }
+        let mut bad_magic = body.clone();
+        bad_magic[0] = b'X';
+        assert!(!is_partial_body(&bad_magic));
+        assert_eq!(decode_partial(&bad_magic).unwrap_err(), WireError::BadMagic);
+        let mut bad_version = body.clone();
+        bad_version[4] = 9;
+        assert_eq!(
+            decode_partial(&bad_version).unwrap_err(),
+            WireError::BadVersion(9)
+        );
+        // a plain NeighborTable body is not sniffed as a partial
+        assert!(!is_partial_body(b"GSNT..."));
+        assert!(!is_partial_body(b""));
+    }
+
     proptest::proptest! {
         /// The decoders must be total: arbitrary bytes (including
         /// adversarial headers) produce a typed error, never a panic or
@@ -906,6 +1078,23 @@ mod tests {
             let _ = decode_request(&bytes);
             let _ = decode_request_raw(&bytes);
             let _ = decode_response(&bytes);
+            let _ = is_partial_body(&bytes);
+            let _ = decode_partial(&bytes);
+        }
+
+        /// Single-byte corruption of a valid partial envelope: still
+        /// total, and a corrupted header never silently yields the
+        /// original header bit-for-bit unchanged fields plus the magic
+        /// intact — decode either errors or returns *some* header.
+        #[test]
+        fn decode_corrupted_partial_never_panics(
+            (pos, flip) in (0usize..1000, 1usize..256)
+        ) {
+            let (_, mut body) = sample_partial();
+            let pos = pos % body.len();
+            body[pos] ^= flip as u8;
+            let _ = decode_partial(&body);
+            let _ = is_partial_body(&body);
         }
 
         /// Single-byte corruption of a valid frame: still total, and the

@@ -31,7 +31,7 @@ mod serialize;
 
 pub use binary_heap::BinaryMaxHeap;
 pub use dheap::{DHeap, FourHeap};
-pub use mergesel::{merge_select, merge_update};
+pub use mergesel::{merge_partial_rows, merge_partial_tables, merge_select, merge_update};
 pub use neighbor::{Neighbor, NeighborTable};
 pub use quickselect::{quickselect_k_smallest, quickselect_update};
 pub use serialize::DecodeError;

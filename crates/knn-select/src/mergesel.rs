@@ -3,8 +3,15 @@
 //! sorted chunk into the running top-k with a truncated two-way merge that
 //! keeps only the first k elements. Total O(n log k) in both the best and
 //! worst case, with fully contiguous memory access.
+//!
+//! The same truncated-merge fold is the scatter-gather substrate: a router
+//! holding per-partition top-k rows collapses them into the global top-k
+//! with [`merge_partial_rows`] / [`merge_partial_tables`]. Because the
+//! global top-k is a subset of the union of per-partition top-ks and the
+//! `(dist, idx)` order is total, the merged answer is bit-identical to
+//! what a single node holding all partitions would have computed.
 
-use crate::Neighbor;
+use crate::{Neighbor, NeighborTable};
 use gsknn_scalar::GsknnScalar;
 
 /// Select the k smallest of `cands` (ascending `(dist, idx)` order).
@@ -42,6 +49,84 @@ pub fn merge_update<T: GsknnScalar>(
     let mut out = Vec::with_capacity(k);
     merge_truncated(&clean, &fresh, k, &mut out);
     out
+}
+
+/// Collapse per-partition top-k rows into the global top-k.
+///
+/// Each slice in `parts` must be sorted ascending by `(dist, idx)` —
+/// exactly the shape of a [`NeighborTable`] row. Sentinel / non-finite
+/// entries are skipped, and a reference id appearing in more than one
+/// partition (overlapping partitions, or a replica answering twice) is
+/// kept once at its best distance. The fold is exact: an element dropped
+/// from the running top-k can never re-enter it, because later partials
+/// only *add* candidates and deduplication only removes the worse copy
+/// of an id whose better copy is already resident.
+pub fn merge_partial_rows<T: GsknnScalar>(parts: &[&[Neighbor<T>]], k: usize) -> Vec<Neighbor<T>> {
+    let mut acc: Vec<Neighbor<T>> = Vec::with_capacity(k);
+    let mut merged: Vec<Neighbor<T>> = Vec::with_capacity(k);
+    for part in parts {
+        merge_truncated_dedup(&acc, part, k, &mut merged);
+        std::mem::swap(&mut acc, &mut merged);
+    }
+    acc
+}
+
+/// [`merge_partial_rows`] lifted to whole tables: merge `parts` (one
+/// per-partition table, all with the same row count `m`) row-by-row into
+/// one `m × k` table. Returns `None` when `parts` is empty or the row
+/// counts disagree — a malformed partial from a confused backend must
+/// not panic the merging tier.
+pub fn merge_partial_tables<T: GsknnScalar>(
+    parts: &[&NeighborTable<T>],
+    k: usize,
+) -> Option<NeighborTable<T>> {
+    let first = parts.first()?;
+    let m = first.len();
+    if parts.iter().any(|t| t.len() != m) {
+        return None;
+    }
+    let mut out = NeighborTable::new(m, k);
+    let mut rows: Vec<&[Neighbor<T>]> = Vec::with_capacity(parts.len());
+    for i in 0..m {
+        rows.clear();
+        rows.extend(parts.iter().map(|t| t.row(i)));
+        let merged = merge_partial_rows(&rows, k);
+        out.set_row(i, &merged);
+    }
+    Some(out)
+}
+
+/// Merge two ascending-sorted slices into at most `k` elements with
+/// unique ids: non-finite (sentinel) distances are skipped and an id
+/// already in `out` is not pushed again (the ascending order guarantees
+/// the resident copy is the better one).
+fn merge_truncated_dedup<T: GsknnScalar>(
+    a: &[Neighbor<T>],
+    b: &[Neighbor<T>],
+    k: usize,
+    out: &mut Vec<Neighbor<T>>,
+) {
+    out.clear();
+    let (mut i, mut j) = (0, 0);
+    while out.len() < k {
+        let take_b = match (a.get(i), b.get(j)) {
+            (Some(x), Some(y)) => y.beats(x),
+            (Some(_), None) => false,
+            (None, Some(_)) => true,
+            (None, None) => break,
+        };
+        let cand = if take_b {
+            j += 1;
+            b[j - 1]
+        } else {
+            i += 1;
+            a[i - 1]
+        };
+        if !cand.dist.is_finite() || out.iter().any(|n| n.idx == cand.idx) {
+            continue;
+        }
+        out.push(cand);
+    }
 }
 
 /// Merge two ascending-sorted slices, writing at most `k` smallest elements
@@ -125,6 +210,133 @@ mod tests {
         merge_truncated(&a, &b, 3, &mut out);
         let d: Vec<f64> = out.iter().map(|x| x.dist).collect();
         assert_eq!(d, vec![1.0, 2.0, 3.0]);
+    }
+
+    /// Oracle for partial merging: concatenate every finite candidate,
+    /// sort by the total `(dist, idx)` order, keep the first (= best)
+    /// copy of each id, truncate to k.
+    fn oracle_merge(parts: &[&[Neighbor]], k: usize) -> Vec<Neighbor> {
+        let mut all: Vec<Neighbor> = parts
+            .iter()
+            .flat_map(|p| p.iter().copied())
+            .filter(|n| n.dist.is_finite())
+            .collect();
+        all.sort_unstable_by(Neighbor::cmp_dist_idx);
+        let mut out: Vec<Neighbor> = Vec::new();
+        for c in all {
+            if out.len() == k {
+                break;
+            }
+            if !out.iter().any(|n| n.idx == c.idx) {
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn partials_merge_ragged_rows() {
+        // partitions answered different numbers of real neighbors
+        // (sentinel-padded tails, exactly as NeighborTable rows travel)
+        let s = Neighbor::sentinel();
+        let a = vec![n(0.5, 10), n(2.0, 11), s];
+        let b = vec![n(1.0, 20), s, s];
+        let c: Vec<Neighbor> = vec![s, s, s]; // empty partition
+        let got = merge_partial_rows(&[&a, &b, &c], 3);
+        assert_eq!(got, vec![n(0.5, 10), n(1.0, 20), n(2.0, 11)]);
+        assert_eq!(got, oracle_merge(&[&a, &b, &c], 3));
+    }
+
+    #[test]
+    fn partials_dedup_ids_across_partitions_keeping_best() {
+        // id 7 shows up in two partitions at different distances
+        // (overlapping partitions); only the closer copy survives
+        let a = vec![n(1.0, 7), n(3.0, 1)];
+        let b = vec![n(2.0, 7), n(2.5, 2)];
+        let got = merge_partial_rows(&[&a, &b], 3);
+        assert_eq!(got, vec![n(1.0, 7), n(2.5, 2), n(3.0, 1)]);
+        assert_eq!(got, oracle_merge(&[&a, &b], 3));
+        // ...and order of partitions must not matter
+        assert_eq!(merge_partial_rows(&[&b, &a], 3), got);
+    }
+
+    #[test]
+    fn partials_k_exceeds_total_candidates() {
+        // k larger than the union of all partitions: return everything,
+        // sorted, without inventing entries
+        let a = vec![n(4.0, 1)];
+        let b = vec![n(1.0, 2)];
+        let got = merge_partial_rows(&[&a, &b], 16);
+        assert_eq!(got, vec![n(1.0, 2), n(4.0, 1)]);
+        assert!(merge_partial_rows::<f64>(&[], 4).is_empty());
+        assert!(merge_partial_rows(&[&a, &b], 0).is_empty());
+    }
+
+    #[test]
+    fn partials_mixed_precision_widens_then_merges() {
+        // one partition answered from the f32 lane: cast to f64 (exact)
+        // and merge against the native-f64 partial
+        let f32_part: Vec<Neighbor<f32>> = vec![n32(0.25, 5), n32(0.75, 6)];
+        let widened: Vec<Neighbor> = f32_part.iter().map(Neighbor::cast).collect();
+        let f64_part = vec![n(0.5, 1), n(1.0, 2)];
+        let got = merge_partial_rows(&[&widened, &f64_part], 3);
+        assert_eq!(got, vec![n(0.25, 5), n(0.5, 1), n(0.75, 6)]);
+        assert_eq!(got, oracle_merge(&[&widened, &f64_part], 3));
+    }
+
+    fn n32(d: f32, i: u32) -> Neighbor<f32> {
+        Neighbor::new(d, i)
+    }
+
+    #[test]
+    fn partial_tables_merge_row_wise() {
+        let mut a = NeighborTable::new(2, 2);
+        a.set_row(0, &[n(1.0, 0), n(4.0, 1)]);
+        a.set_row(1, &[n(2.0, 1)]);
+        let mut b = NeighborTable::new(2, 2);
+        b.set_row(0, &[n(0.5, 10)]);
+        b.set_row(1, &[n(1.0, 10), n(3.0, 11)]);
+        let t = merge_partial_tables(&[&a, &b], 2).expect("same m merges");
+        assert_eq!(t.row(0), &[n(0.5, 10), n(1.0, 0)]);
+        assert_eq!(t.row(1), &[n(1.0, 10), n(2.0, 1)]);
+        // k can exceed every partial's k: tail is sentinel-padded
+        let wide = merge_partial_tables(&[&a, &b], 5).unwrap();
+        assert_eq!(wide.k(), 5);
+        assert_eq!(wide.row(1)[3], Neighbor::sentinel());
+    }
+
+    #[test]
+    fn partial_tables_reject_shape_mismatch_and_empty() {
+        let a = NeighborTable::<f64>::new(2, 2);
+        let b = NeighborTable::<f64>::new(3, 2);
+        assert!(merge_partial_tables(&[&a, &b], 2).is_none());
+        assert!(merge_partial_tables::<f64>(&[], 2).is_none());
+    }
+
+    proptest! {
+        /// Partial merging must agree with the sorted-vector oracle on
+        /// arbitrary ragged partials with cross-partition duplicate ids.
+        #[test]
+        fn partials_match_oracle(
+            parts in prop::collection::vec(
+                prop::collection::vec((0.0f64..50.0, 0u32..40), 0..24),
+                0..6,
+            ),
+            k in 0usize..24,
+        ) {
+            let sorted: Vec<Vec<Neighbor>> = parts
+                .iter()
+                .map(|p| {
+                    let mut v: Vec<Neighbor> =
+                        p.iter().map(|&(d, i)| n(d, i)).collect();
+                    v.sort_unstable_by(Neighbor::cmp_dist_idx);
+                    v
+                })
+                .collect();
+            let refs: Vec<&[Neighbor]> = sorted.iter().map(|v| v.as_slice()).collect();
+            let got = merge_partial_rows(&refs, k);
+            prop_assert_eq!(got, oracle_merge(&refs, k));
+        }
     }
 
     proptest! {

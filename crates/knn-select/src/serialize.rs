@@ -116,6 +116,35 @@ impl<T: GsknnScalar> NeighborTable<T> {
         }
     }
 
+    /// [`NeighborTable::encode_into`] with every real neighbor id shifted
+    /// by `idx_offset` — how a partitioned backend stamps *global*
+    /// reference ids into its reply without touching the table itself
+    /// (the table holds partition-local ids; the partition's row offset
+    /// is applied during the wire write, so the hot path still performs
+    /// no allocation). Sentinel slots (`idx == u32::MAX`) are preserved
+    /// untouched, and real ids saturate rather than wrap into the
+    /// sentinel range on a (nonsensical) overflowing offset.
+    pub fn encode_into_with_offset<B: BufMut>(&self, buf: &mut B, idx_offset: u32) {
+        let m = self.len();
+        let k = self.k();
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(VERSION);
+        buf.put_u8(T::BYTES as u8);
+        buf.put_u64_le(m as u64);
+        buf.put_u64_le(k as u64);
+        for i in 0..m {
+            for nb in self.row(i) {
+                put_dist(buf, nb.dist);
+                let idx = if nb.idx == u32::MAX {
+                    u32::MAX
+                } else {
+                    nb.idx.saturating_add(idx_offset).min(u32::MAX - 1)
+                };
+                buf.put_u32_le(idx);
+            }
+        }
+    }
+
     /// Decode a buffer produced by [`NeighborTable::to_bytes`] — v2 at
     /// either stored precision (distances are converted to `T`), or the
     /// legacy v1 f64-only layout.
@@ -287,6 +316,28 @@ mod tests {
         t32.encode_into(&mut out32);
         assert_eq!(&out32[..], &t32.to_bytes()[..]);
         assert_eq!(out32.len(), t32.encoded_len());
+    }
+
+    #[test]
+    fn offset_encoding_shifts_real_ids_and_preserves_sentinels() {
+        let t = sample(); // row 1 has one real entry + one sentinel
+        let mut out = Vec::new();
+        t.encode_into_with_offset(&mut out, 1000);
+        let back = NeighborTable::<f64>::from_bytes(&out).unwrap();
+        assert_eq!(back.row(0)[0].idx, 1007);
+        assert_eq!(back.row(0)[1].idx, 1003);
+        assert_eq!(back.row(1)[0].idx, 1009);
+        assert_eq!(back.row(1)[1], Neighbor::sentinel(), "sentinel untouched");
+        // distances are byte-identical to the unshifted encoding
+        for i in 0..t.len() {
+            for (a, b) in back.row(i).iter().zip(t.row(i)) {
+                assert_eq!(a.dist.to_bits(), b.dist.to_bits());
+            }
+        }
+        // offset 0 is byte-identical to the plain encoder
+        let mut zero = Vec::new();
+        t.encode_into_with_offset(&mut zero, 0);
+        assert_eq!(&zero[..], &t.to_bytes()[..]);
     }
 
     #[test]

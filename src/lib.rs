@@ -14,7 +14,9 @@
 //!   plus the brute-force oracle;
 //! * [`tree`](rkdt) / [`hashing`](lsh) — the approximate all-NN outer
 //!   solvers the kernel plugs into;
-//! * [`data`](dataset) — point sets, synthetic generators, metrics.
+//! * [`data`](dataset) — point sets, synthetic generators, metrics;
+//! * [`serve`](gsknn_serve) / [`router`](gsknn_router) — the TCP serving
+//!   tier and the scatter-gather front over partitioned indices.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for
 //! the paper-to-code map.
@@ -23,6 +25,7 @@ pub use cluster as clustering;
 pub use dataset as data;
 pub use gemm_kernel as gemm;
 pub use gsknn_core as core;
+pub use gsknn_router as router;
 pub use gsknn_serve as serve;
 pub use knn_graph as graph;
 pub use knn_ref as reference;

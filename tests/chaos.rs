@@ -13,10 +13,15 @@
 //!    executors, corrupted frames answer typed errors,
 //! 3. once the faults clear, answers are bit-identical to brute force
 //!    (the index is exact: one tree, leaf ≥ N), i.e. recall is
-//!    unchanged by any amount of prior fault traffic.
+//!    unchanged by any amount of prior fault traffic,
+//! 4. in the scatter-gather tier, killing a backend mid-stream yields a
+//!    *typed* `DegradedPartial` (never an error) that is the exact merge
+//!    of the surviving partitions, and a restarted backend rejoins and
+//!    restores answers bit-identical to a single node.
 #![cfg(feature = "faults")]
 
-use gsknn::serve::{Client, Outcome, RetryPolicy, ServeIndex, Server, ServerConfig};
+use gsknn::router::{Router, RouterConfig};
+use gsknn::serve::{Client, Outcome, PartitionCfg, RetryPolicy, ServeIndex, Server, ServerConfig};
 use gsknn::{DistanceKind, Gsknn, GsknnConfig, Neighbor, PointSet};
 use gsknn_faults::{FaultPlan, FaultPoint, Mode};
 use serde_json::Value;
@@ -266,6 +271,9 @@ fn chaos_faults_are_survived_and_recall_is_unchanged() {
 
     // -- phase 6: shard killed mid-query in a 2-shard server ----------
     shard_kill_leaves_sibling_shards_serving();
+
+    // -- phase 7: backend killed under the scatter-gather router ------
+    router_backend_kill_degrades_typed_then_recovers();
 }
 
 /// A batch panic inside one shard of a 2-shard server must stay inside
@@ -386,4 +394,194 @@ fn shard_kill_leaves_sibling_shards_serving() {
     let report = handle.join().expect("server must outlive the shard kill");
     assert_eq!(report.worker_panics, 1);
     assert_eq!(report.worker_panics, report.worker_respawns);
+}
+
+/// Spawn an exact partitioned backend holding rows `lo..hi` of the full
+/// set, on `addr` (pass `"127.0.0.1:0"` for an ephemeral port, or a
+/// previous bound address to restart in place).
+fn spawn_partition(
+    full: &PointSet<f64>,
+    lo: usize,
+    hi: usize,
+    id: u16,
+    addr: &str,
+) -> (String, thread::JoinHandle<gsknn::serve::ServeReport>) {
+    let slice = PointSet::from_vec(D, hi - lo, full.as_slice()[lo * D..hi * D].to_vec());
+    let index = ServeIndex::build(slice, 1, hi - lo, 7);
+    let server = Server::bind(
+        ServerConfig {
+            addr: addr.to_string(),
+            k_max: 16,
+            partition: Some(PartitionCfg {
+                id,
+                total: 2,
+                offset: lo as u32,
+                epoch: 1,
+            }),
+            ..ServerConfig::default()
+        },
+        index,
+    )
+    .expect("bind partition");
+    let bound = server.local_addr().expect("addr").to_string();
+    (bound, thread::spawn(move || server.run()))
+}
+
+/// The scatter-gather acceptance contract, under a real backend kill:
+/// healthy answers through the router are bit-identical to a single node
+/// holding the full set (both precisions); killing one backend produces
+/// a typed `DegradedPartial` carrying the contributing-partition count
+/// whose merge equals the surviving partition exactly; the health gauge
+/// flips; a restarted backend rejoins via the prober and bit-identical
+/// answers return. No fault registry involved — the "fault" is a real
+/// process-level drain — but it lives in the chaos suite because it is
+/// the serving tier's kill-a-backend story.
+fn router_backend_kill_degrades_typed_then_recovers() {
+    let full = gsknn::data::uniform(N, D, 1);
+    let pool = gsknn::data::uniform(16, D, 55);
+    let half = N / 2;
+    let (b0, h0) = spawn_partition(&full, 0, half, 0, "127.0.0.1:0");
+    let (b1, h1) = spawn_partition(&full, half, N, 1, "127.0.0.1:0");
+
+    // single-node reference: same exact index over the full set
+    let single = Server::bind(
+        ServerConfig {
+            k_max: 16,
+            ..ServerConfig::default()
+        },
+        ServeIndex::build(full.clone(), 1, N, 7),
+    )
+    .expect("bind single");
+    let single_addr = single.local_addr().expect("addr");
+    let hs = thread::spawn(move || single.run());
+
+    let router = Router::bind(RouterConfig {
+        backends: vec![b0.clone(), b1.clone()],
+        probe_interval: Duration::from_millis(50),
+        ..RouterConfig::default()
+    })
+    .expect("bind router");
+    let raddr = router.local_addr().expect("router addr").to_string();
+    let hr = thread::spawn(move || router.run());
+
+    let mut via_router = Client::connect(&raddr).expect("connect router");
+    let mut via_single = Client::connect(single_addr).expect("connect single");
+
+    // healthy: bit-identical to the single node, both precisions
+    let pool32 = pool.cast::<f32>();
+    for i in 0..6 {
+        let q = pool.point(i);
+        let (r, s) = (
+            via_router.query::<f64>(q, 1, K, 2000).unwrap().outcome,
+            via_single.query::<f64>(q, 1, K, 2000).unwrap().outcome,
+        );
+        let (Outcome::Neighbors(rt), Outcome::Neighbors(st)) = (r, s) else {
+            panic!("healthy routed query {i} must answer Ok on both paths");
+        };
+        assert_eq!(rt.row(0), st.row(0), "routed f64 query {i} vs single node");
+        let q32 = pool32.point(i);
+        let (r, s) = (
+            via_router.query::<f32>(q32, 1, K, 2000).unwrap().outcome,
+            via_single.query::<f32>(q32, 1, K, 2000).unwrap().outcome,
+        );
+        let (Outcome::Neighbors(rt), Outcome::Neighbors(st)) = (r, s) else {
+            panic!("healthy routed f32 query {i} must answer Ok on both paths");
+        };
+        assert_eq!(rt.row(0), st.row(0), "routed f32 query {i} vs single node");
+    }
+
+    // kill backend 1: the router must degrade to a typed partial whose
+    // merge is exactly partition 0's answer
+    Client::connect(&b1).unwrap().shutdown().unwrap();
+    h1.join().expect("backend 1 drain");
+    let q = pool.point(8);
+    let mut degraded_seen = false;
+    for _ in 0..20 {
+        match via_router.query::<f64>(q, 1, K, 2000).unwrap().outcome {
+            Outcome::DegradedPartial {
+                table,
+                contributed,
+                total,
+            } => {
+                assert_eq!(
+                    (contributed, total),
+                    (1, 2),
+                    "degraded answer must carry the contributing-partition count"
+                );
+                let want: Vec<u32> = {
+                    let mut cands: Vec<Neighbor<f64>> = (0..half)
+                        .map(|j| Neighbor::new(DistanceKind::SqL2.eval(q, full.point(j)), j as u32))
+                        .collect();
+                    cands.sort_unstable_by(Neighbor::cmp_dist_idx);
+                    cands[..K].iter().map(|nb| nb.idx).collect()
+                };
+                let got: Vec<u32> = table.row(0).iter().map(|nb| nb.idx).collect();
+                assert_eq!(got, want, "degraded merge vs partition-0 brute force");
+                degraded_seen = true;
+                break;
+            }
+            // the kill may race the next query's pooled connection —
+            // retry while the router notices
+            Outcome::Neighbors(_) | Outcome::Failed(_) => thread::sleep(Duration::from_millis(50)),
+            other => panic!("killing a backend must stay typed, got {other:?}"),
+        }
+    }
+    assert!(degraded_seen, "router never produced a DegradedPartial");
+    let metrics = via_router.metrics_text().unwrap();
+    assert!(
+        metrics.contains("gsknn_router_backend_up{backend=\"1\"} 0"),
+        "dead backend's gauge must read 0:\n{metrics}"
+    );
+    assert!(
+        metrics.contains("gsknn_router_backend_up{backend=\"0\"} 1"),
+        "survivor's gauge must stay 1:\n{metrics}"
+    );
+    assert!(
+        metrics.contains("gsknn_router_degraded_total"),
+        "degraded counter family must be exposed:\n{metrics}"
+    );
+
+    // restart backend 1 in place: the prober folds it back in and
+    // bit-identical answers return
+    let (_, h1b) = spawn_partition(&full, half, N, 1, &b1);
+    let deadline = std::time::Instant::now() + Duration::from_secs(15);
+    while !via_router
+        .metrics_text()
+        .unwrap()
+        .contains("gsknn_router_backend_up{backend=\"1\"} 1")
+    {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "backend 1 never rejoined"
+        );
+        thread::sleep(Duration::from_millis(50));
+    }
+    let mut exact_again = false;
+    for _ in 0..20 {
+        match via_router.query::<f64>(q, 1, K, 2000).unwrap().outcome {
+            Outcome::Neighbors(rt) => {
+                let Outcome::Neighbors(st) =
+                    via_single.query::<f64>(q, 1, K, 2000).unwrap().outcome
+                else {
+                    panic!("single node must answer");
+                };
+                assert_eq!(rt.row(0), st.row(0), "post-rejoin router vs single node");
+                exact_again = true;
+                break;
+            }
+            Outcome::DegradedPartial { .. } => thread::sleep(Duration::from_millis(50)),
+            other => panic!("unexpected outcome after rejoin: {other:?}"),
+        }
+    }
+    assert!(exact_again, "router never returned to exact answers");
+
+    // drain the tier
+    via_router.shutdown().unwrap();
+    hr.join().expect("router drain");
+    Client::connect(&b0).unwrap().shutdown().unwrap();
+    Client::connect(&b1).unwrap().shutdown().unwrap();
+    h0.join().expect("backend 0 drain");
+    h1b.join().expect("backend 1 drain (restart)");
+    Client::connect(single_addr).unwrap().shutdown().unwrap();
+    hs.join().expect("single drain");
 }
