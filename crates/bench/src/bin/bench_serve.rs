@@ -32,6 +32,12 @@
 //!   vs the single-node headline (`merge_overhead_pct`), and the
 //!   degraded fraction — so `bench-diff` gates the router tier against
 //!   its own trajectory without disturbing the single-node gates.
+//!   The same flag also measures **failover transparency**: a
+//!   2-partition x 2-replica tier runs the f64 lane twice — healthy,
+//!   and with one replica shut down a third of the way into the run —
+//!   and records both under `router.replicated` (`ok_fraction` 1.0
+//!   means the loss was invisible to clients; the killed run's
+//!   p99/qps against the healthy run's is the cost of the failover).
 //!
 //! The server runs the sharded hot path with `shards: 0` (auto: one
 //! shard per available core) and adaptive coalescing — the
@@ -231,10 +237,87 @@ fn run_lane<T: gsknn_core::FusedScalar>(
     }
 }
 
-/// Partition the reference set two ways, front the halves with a
-/// scatter-gather router, and drive the same workload through it. The
-/// delta against the single-node headline lanes is the cost of the
-/// fan-out + merge tier.
+/// Partition the reference set two ways, `replicas` servers per slice,
+/// front them with a scatter-gather router, and drive the same workload
+/// through it. The delta against the single-node headline lanes is the
+/// cost of the fan-out + merge tier.
+struct RouterTier {
+    addr: std::net::SocketAddr,
+    backends: Vec<String>,
+    handles: Vec<std::thread::JoinHandle<gsknn_serve::ServeReport>>,
+    router_handle: std::thread::JoinHandle<gsknn_router::RouterReport>,
+}
+
+fn spawn_router_tier(n_refs: usize, d: usize, replicas: u16) -> RouterTier {
+    use gsknn_serve::PartitionCfg;
+
+    const PARTS: u16 = 2;
+    // same deterministic reference set as the headline index
+    let refs = dataset::uniform(n_refs, d, 2026);
+    let mut backends = Vec::new();
+    let mut handles = Vec::new();
+    // partition-major: p0r0, p0r1, ..., p1r0, ...
+    for id in 0..PARTS {
+        let lo = n_refs * id as usize / PARTS as usize;
+        let hi = n_refs * (id as usize + 1) / PARTS as usize;
+        for r in 0..replicas {
+            let slice = PointSet::from_vec(d, hi - lo, refs.as_slice()[lo * d..hi * d].to_vec());
+            let cfg = ServerConfig {
+                shards: 0,
+                adaptive_coalesce: true,
+                partition: Some(PartitionCfg {
+                    id,
+                    total: PARTS,
+                    offset: lo as u32,
+                    epoch: 1,
+                    replica: r,
+                    replicas,
+                }),
+                ..ServerConfig::default()
+            };
+            let index = ServeIndex::build(slice, 4, 512, 7);
+            let server = Server::bind(cfg, index).expect("bind backend");
+            backends.push(server.local_addr().expect("backend addr").to_string());
+            handles.push(std::thread::spawn(move || server.run()));
+        }
+    }
+    let router = gsknn_router::Router::bind(gsknn_router::RouterConfig {
+        backends: backends.clone(),
+        replicas: replicas as usize,
+        addr: "127.0.0.1:0".to_string(),
+        ..gsknn_router::RouterConfig::default()
+    })
+    .expect("bind router");
+    let addr = router.local_addr().expect("router addr");
+    let router_handle = std::thread::spawn(move || router.run());
+    RouterTier {
+        addr,
+        backends,
+        handles,
+        router_handle,
+    }
+}
+
+impl RouterTier {
+    /// Shut the router and every still-live backend down; dead replicas
+    /// (killed mid-run) are skipped.
+    fn drain(self) -> gsknn_router::RouterReport {
+        Client::connect(self.addr)
+            .and_then(|mut c| c.shutdown())
+            .expect("router shutdown");
+        let report = self.router_handle.join().expect("router thread");
+        for b in &self.backends {
+            if let Ok(mut c) = Client::connect(b.as_str()) {
+                let _ = c.shutdown();
+            }
+        }
+        for h in self.handles {
+            h.join().expect("backend thread");
+        }
+        report
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_router(
     n_refs: usize,
@@ -246,45 +329,10 @@ fn run_router(
     k: usize,
     duration_ms: u64,
 ) -> (Vec<LaneResult>, gsknn_router::RouterReport) {
-    use gsknn_serve::PartitionCfg;
-
-    const PARTS: u16 = 2;
-    // same deterministic reference set as the headline index
-    let refs = dataset::uniform(n_refs, d, 2026);
-    let mut backends = Vec::new();
-    let mut handles = Vec::new();
-    for id in 0..PARTS {
-        let lo = n_refs * id as usize / PARTS as usize;
-        let hi = n_refs * (id as usize + 1) / PARTS as usize;
-        let slice = PointSet::from_vec(d, hi - lo, refs.as_slice()[lo * d..hi * d].to_vec());
-        let cfg = ServerConfig {
-            shards: 0,
-            adaptive_coalesce: true,
-            partition: Some(PartitionCfg {
-                id,
-                total: PARTS,
-                offset: lo as u32,
-                epoch: 1,
-            }),
-            ..ServerConfig::default()
-        };
-        let index = ServeIndex::build(slice, 4, 512, 7);
-        let server = Server::bind(cfg, index).expect("bind backend");
-        backends.push(server.local_addr().expect("backend addr").to_string());
-        handles.push(std::thread::spawn(move || server.run()));
-    }
-    let router = gsknn_router::Router::bind(gsknn_router::RouterConfig {
-        backends: backends.clone(),
-        addr: "127.0.0.1:0".to_string(),
-        ..gsknn_router::RouterConfig::default()
-    })
-    .expect("bind router");
-    let addr = router.local_addr().expect("router addr");
-    let router_handle = std::thread::spawn(move || router.run());
-
+    let tier = spawn_router_tier(n_refs, d, 1);
     let lanes = vec![
         run_lane::<f64>(
-            addr,
+            tier.addr,
             queries,
             clients,
             per_client,
@@ -294,7 +342,7 @@ fn run_router(
             duration_ms,
         ),
         run_lane::<f32>(
-            addr,
+            tier.addr,
             queries,
             clients,
             per_client,
@@ -304,20 +352,123 @@ fn run_router(
             duration_ms,
         ),
     ];
+    (lanes, tier.drain())
+}
 
-    Client::connect(addr)
-        .and_then(|mut c| c.shutdown())
-        .expect("router shutdown");
-    let report = router_handle.join().expect("router thread");
-    for b in &backends {
-        Client::connect(b.as_str())
-            .and_then(|mut c| c.shutdown())
-            .expect("backend shutdown");
-    }
-    for h in handles {
-        h.join().expect("backend thread");
-    }
-    (lanes, report)
+/// The failover-transparency measurement: the same workload through a
+/// 2-partition x 2-replica tier, once healthy and once with a replica
+/// shut down a third of the way into the run. Both lanes are
+/// duration-based so the kill lands mid-stream; the interesting numbers
+/// are the killed run's p99/qps against the healthy run's, and its
+/// ok-fraction (1.0 = the loss was invisible to clients).
+fn run_router_replicated(
+    n_refs: usize,
+    d: usize,
+    queries: &PointSet,
+    clients: usize,
+    deadline_ms: u32,
+    k: usize,
+    duration_ms: u64,
+) -> serde_json::Value {
+    let healthy_tier = spawn_router_tier(n_refs, d, 2);
+    let healthy = run_lane::<f64>(
+        healthy_tier.addr,
+        queries,
+        clients,
+        0,
+        deadline_ms,
+        k,
+        0,
+        duration_ms,
+    );
+    let healthy_report = healthy_tier.drain();
+    assert_eq!(
+        healthy.queries, healthy.ok,
+        "replicated router (healthy): every query must answer Ok"
+    );
+
+    let killed_tier = spawn_router_tier(n_refs, d, 2);
+    // Kill a replica of partition 1 (backends partition-major, indices
+    // 2 and 3) a third of the way into the run — specifically whichever
+    // one the router is actually routing to, so the failover machinery
+    // is exercised rather than a cold standby quietly disappearing.
+    let router_addr = killed_tier.addr;
+    let candidates = [
+        killed_tier.backends[2].clone(),
+        killed_tier.backends[3].clone(),
+    ];
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(duration_ms / 3));
+        let txt = Client::connect(router_addr)
+            .and_then(|mut c| c.metrics_text())
+            .unwrap_or_default();
+        let replies = |b: usize| {
+            txt.lines()
+                .find_map(|l| {
+                    l.strip_prefix(&format!(
+                        "gsknn_router_backend_replies_total{{backend=\"{b}\"}} "
+                    ))
+                })
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .unwrap_or(0)
+        };
+        let victim = if replies(2) >= replies(3) { 0 } else { 1 };
+        if let Ok(mut c) = Client::connect(candidates[victim].as_str()) {
+            let _ = c.shutdown();
+        }
+        victim
+    });
+    let killed = run_lane::<f64>(
+        killed_tier.addr,
+        queries,
+        clients,
+        0,
+        deadline_ms,
+        k,
+        0,
+        duration_ms,
+    );
+    let victim_replica = killer.join().expect("killer thread");
+    let killed_report = killed_tier.drain();
+
+    let ok_fraction = if killed.queries > 0 {
+        killed.ok as f64 / killed.queries as f64
+    } else {
+        0.0
+    };
+    println!(
+        "router replicated healthy: {} queries, p50 {:.0} us, p99 {:.0} us, {:.0} qps",
+        healthy.queries, healthy.p50_us, healthy.p99_us, healthy.qps
+    );
+    println!(
+        "router replicated killed:  {} queries ({} ok, {:.4} ok-fraction), p50 {:.0} us, \
+         p99 {:.0} us, {:.0} qps, {} failovers, {} hedges won, {} lost, {} degraded",
+        killed.queries,
+        killed.ok,
+        ok_fraction,
+        killed.p50_us,
+        killed.p99_us,
+        killed.qps,
+        killed_report.replica_failovers,
+        killed_report.replica_hedges_won,
+        killed_report.replica_hedges_lost,
+        killed_report.degraded,
+    );
+    serde_json::json!({
+        "replicas": 2,
+        "duration_ms": duration_ms,
+        "healthy": healthy.to_json(),
+        "killed": {
+            "lane": killed.to_json(),
+            "victim": format!("partition 1 replica {victim_replica}"),
+            "ok_fraction": ok_fraction,
+            "replica_failovers": killed_report.replica_failovers,
+            "replica_hedges_won": killed_report.replica_hedges_won,
+            "replica_hedges_lost": killed_report.replica_hedges_lost,
+            "degraded": killed_report.degraded,
+        },
+        "healthy_degraded": healthy_report.degraded,
+    })
 }
 
 fn main() {
@@ -438,8 +589,20 @@ fn main() {
         } else {
             0.0
         };
+        // the replicated tier runs duration-based so the mid-run kill
+        // lands inside the measuring window whatever the host's speed
+        let rep_duration = if args.duration_ms > 0 {
+            args.duration_ms
+        } else if args.smoke {
+            600
+        } else {
+            1500
+        };
+        let replicated =
+            run_router_replicated(n_refs, d, &queries, clients, deadline_ms, k, rep_duration);
         serde_json::json!({
             "backends": rreport.backends,
+            "replicated": replicated,
             "lanes": (Value::Array(
                 rlanes
                     .iter()

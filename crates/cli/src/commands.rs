@@ -440,15 +440,18 @@ pub fn cmd_tune(_args: &ArgMap) -> Result<String, CliError> {
 /// `serve`: load (or synthesize) an index and answer kNN queries over
 /// TCP until `query-remote --op shutdown` or SIGTERM. Blocks; prints the
 /// final [`gsknn_serve::ServeReport`] when it drains.
-/// Parse `--partition i/N` into `(id, total)`.
-fn parse_partition_spec(spec: &str) -> Result<(u16, u16), CliError> {
-    let bad = || CliError(format!("--partition expects i/N (e.g. 0/2), got '{spec}'"));
+/// Parse an `i/N` slot spec (`--partition 0/2`, `--replica 1/2`) into
+/// `(id, total)`, rejecting `N == 0` and `i >= N` with a typed error
+/// naming the flag — a misconfigured index must fail the command, not
+/// build a server that poisons merges.
+fn parse_slot_spec(flag: &str, spec: &str) -> Result<(u16, u16), CliError> {
+    let bad = || CliError(format!("--{flag} expects i/N (e.g. 0/2), got '{spec}'"));
     let (i, n) = spec.split_once('/').ok_or_else(bad)?;
     let id: u16 = i.trim().parse().map_err(|_| bad())?;
     let total: u16 = n.trim().parse().map_err(|_| bad())?;
     if total == 0 || id >= total {
         return Err(CliError(format!(
-            "--partition index must satisfy i < N >= 1, got '{spec}'"
+            "--{flag} index must satisfy i < N >= 1, got '{spec}'"
         )));
     }
     Ok((id, total))
@@ -480,7 +483,21 @@ pub fn cmd_serve(args: &ArgMap) -> Result<String, CliError> {
     // neighbor ids on the wire so the router merges without translation.
     let (x, partition) = match args.opt::<String>("partition")? {
         Some(spec) => {
-            let (id, total) = parse_partition_spec(&spec)?;
+            let (id, total) = parse_slot_spec("partition", &spec)?;
+            // `--replica r/R` identifies this copy of the partition; the
+            // slice served is identical across replicas
+            let (replica, replicas) = match args.opt::<String>("replica")? {
+                Some(rspec) => parse_slot_spec("replica", &rspec)?,
+                None => (0, 1),
+            };
+            let epoch = args.get_or("partition-epoch", 1u64)?;
+            if epoch == 0 {
+                return Err(CliError(
+                    "--partition-epoch 0 is reserved (the router would reject every \
+                     partial); epochs start at 1"
+                        .to_string(),
+                ));
+            }
             let (n, d) = (x.len(), x.dim());
             let lo = n * id as usize / total as usize;
             let hi = n * (id as usize + 1) / total as usize;
@@ -494,11 +511,22 @@ pub fn cmd_serve(args: &ArgMap) -> Result<String, CliError> {
                 id,
                 total,
                 offset: lo as u32,
-                epoch: args.get_or("partition-epoch", 1u64)?,
+                epoch,
+                replica,
+                replicas,
             };
             (slice, Some(cfg))
         }
-        None => (x, None),
+        None => {
+            if args.opt::<String>("replica")?.is_some() {
+                return Err(CliError(
+                    "--replica only makes sense with --partition (a replica is a copy \
+                     of a partition slice)"
+                        .to_string(),
+                ));
+            }
+            (x, None)
+        }
     };
     let trees: usize = args.get_or("trees", 4)?;
     let leaf: usize = args.get_or("leaf", 512)?;
@@ -547,8 +575,8 @@ pub fn cmd_serve(args: &ArgMap) -> Result<String, CliError> {
     let part_note = partition
         .map(|p| {
             format!(
-                " partition {}/{} offset {} epoch {}",
-                p.id, p.total, p.offset, p.epoch
+                " partition {}/{} replica {}/{} offset {} epoch {}",
+                p.id, p.total, p.replica, p.replicas, p.offset, p.epoch
             )
         })
         .unwrap_or_default();
@@ -581,9 +609,23 @@ pub fn cmd_route(args: &ArgMap) -> Result<String, CliError> {
             "--backends expects a comma-separated list of host:port".to_string(),
         ));
     }
+    let replicas: usize = args.get_or("replicas", 1usize)?;
+    if replicas == 0 {
+        return Err(CliError(
+            "--replicas must be at least 1 (1 = unreplicated partitions)".to_string(),
+        ));
+    }
+    if !backends.len().is_multiple_of(replicas) {
+        return Err(CliError(format!(
+            "{} backends do not divide into replica sets of {replicas} \
+             (list backends partition-major: p0r0,p0r1,p1r0,p1r1,...)",
+            backends.len()
+        )));
+    }
     let cfg = RouterConfig {
         addr: args.str_or("addr", "127.0.0.1:7980"),
         backends,
+        replicas,
         // must match the backends' --partition-epoch (both default to 1)
         epoch: args.get_or("epoch", 1u64)?,
         backend_timeout: Duration::from_millis(args.get_or("backend-timeout-ms", 2000u64)?),
@@ -599,12 +641,18 @@ pub fn cmd_route(args: &ArgMap) -> Result<String, CliError> {
     };
     let n_backends = cfg.backends.len();
     let backend_list = cfg.backends.join(", ");
+    let n_partitions = n_backends / cfg.replicas;
+    let replica_note = if cfg.replicas > 1 {
+        format!(" ({n_partitions} partitions x {replicas} replicas)")
+    } else {
+        String::new()
+    };
     let router = Router::bind(cfg).map_err(|e| CliError(format!("bind: {e}")))?;
     let addr = router.local_addr().map_err(|e| CliError(e.to_string()))?;
     // readiness banner on stderr — stdout stays reserved for the final
     // report (the command's return value)
     eprintln!(
-        "gsknn-route: listening on {addr}, fan-out over {n_backends} backends [{backend_list}]"
+        "gsknn-route: listening on {addr}, fan-out over {n_backends} backends{replica_note} [{backend_list}]"
     );
     let report = router.run();
     Ok(report.render_table())
@@ -1280,13 +1328,15 @@ pub fn usage() -> String {
      \x20                 --degrade-precision true --overload-threshold 0.75\n\
      \x20                 --overload-window-ms 250 --slow-query-ms 0\n\
      \x20                 --metrics-addr H:P --trace-ring 32\n\
-     \x20                 --partition i/N --partition-epoch 1]\n\
+     \x20                 --partition i/N --replica r/R --partition-epoch 1]\n\
      \x20 route   --backends H:P,H:P,... [--addr 127.0.0.1:7980 --epoch 1\n\
-     \x20                 --backend-timeout-ms 2000 --hedge true\n\
+     \x20                 --replicas 1 --backend-timeout-ms 2000 --hedge true\n\
      \x20                 --connect-timeout-ms 2000 --probe-ms 250\n\
      \x20                 --slow-query-ms 0 --metrics-addr H:P --trace-ring 32]\n\
      \x20                 (scatter-gather front over serve --partition backends;\n\
-     \x20                 same wire protocol, so query-remote/trace/top work as-is)\n\
+     \x20                 same wire protocol, so query-remote/trace/top work as-is;\n\
+     \x20                 --replicas R reads the backend list partition-major,\n\
+     \x20                 R consecutive addresses per partition)\n\
      \x20 query-remote --addr H:P [--op query|ping|stats|metrics|traces|timeseries|shutdown\n\
      \x20                 --precision f64|f32\n\
      \x20                 --m 10 --d 16 --k 8 --deadline-ms 250 --queries F\n\
@@ -1776,6 +1826,51 @@ mod tests {
         let e = cmd_knn(&argmap(&format!("--in {} --precision f16", f.display()))).unwrap_err();
         assert!(e.0.contains("f16"), "{}", e.0);
         std::fs::remove_file(f).ok();
+    }
+
+    #[test]
+    fn serve_rejects_misconfigured_partition_args() {
+        // every misconfiguration must be a typed CLI error *before* an
+        // index is built, not a server that poisons merges
+        assert!(parse_slot_spec("partition", "2/2")
+            .unwrap_err()
+            .0
+            .contains("i < N"));
+        assert!(parse_slot_spec("partition", "0/0")
+            .unwrap_err()
+            .0
+            .contains("i < N"));
+        assert!(parse_slot_spec("partition", "x/2")
+            .unwrap_err()
+            .0
+            .contains("expects i/N"));
+        assert!(parse_slot_spec("replica", "3/2")
+            .unwrap_err()
+            .0
+            .contains("--replica"));
+        // epoch 0 is reserved — the router would reject every partial
+        let e = cmd_serve(&argmap(
+            "--n 64 --d 4 --partition 0/2 --partition-epoch 0 --addr 127.0.0.1:0",
+        ))
+        .unwrap_err();
+        assert!(e.0.contains("epoch"), "{}", e.0);
+        // --replica without --partition is a shape error, typed
+        let e = cmd_serve(&argmap("--n 64 --d 4 --replica 0/2 --addr 127.0.0.1:0")).unwrap_err();
+        assert!(e.0.contains("--partition"), "{}", e.0);
+    }
+
+    #[test]
+    fn route_rejects_ragged_replica_sets() {
+        let e = cmd_route(&argmap(
+            "--backends 127.0.0.1:1,127.0.0.1:2,127.0.0.1:3 --replicas 2 --addr 127.0.0.1:0",
+        ))
+        .unwrap_err();
+        assert!(e.0.contains("replica sets"), "{}", e.0);
+        let e = cmd_route(&argmap(
+            "--backends 127.0.0.1:1 --replicas 0 --addr 127.0.0.1:0",
+        ))
+        .unwrap_err();
+        assert!(e.0.contains("--replicas"), "{}", e.0);
     }
 
     #[test]

@@ -19,19 +19,34 @@
 //!   persistent [`gsknn_serve::Client`] per backend; a query is written
 //!   to every healthy backend *before* the first reply is awaited, so
 //!   the wall-clock cost is the slowest partition, not the sum.
+//! * **Replication.** Each partition may be served by R replicas
+//!   ([`RouterConfig::replicas`], backends listed partition-major). The
+//!   router sends each query to the partition's *preferred* replica —
+//!   the live one with the lowest EWMA reply latency (untried replicas
+//!   sort first, which spreads initial load) — and a query succeeds
+//!   **undegraded** as long as one replica per partition answers within
+//!   budget. A failed fan-out write fails over to a sibling replica
+//!   (`gsknn_router_replica_failovers_total`); a primary that stays
+//!   quiet past a model-derived hedge delay (~3 EWMA reply latencies)
+//!   is raced against a sibling (`gsknn_router_replica_hedges_won_total`
+//!   / `_lost_total`), and if both end up answering, the merge
+//!   deduplicates the duplicate global ids, keeping answers bit-exact.
 //! * **Degradation.** A backend that misses its per-backend deadline (or
 //!   drops the connection) gets one hedged re-send on a fresh
-//!   connection; failing that, it is marked down
-//!   (`gsknn_router_backend_up 0`) and the surviving partials are merged
-//!   and shipped as `Status::OkDegraded` with a partial envelope
-//!   carrying `contributed`/`total` — a typed answer, not an error. A
-//!   background prober pings downed backends and folds them back into
-//!   the fan-out when they recover.
+//!   connection (unreplicated) or a sibling-replica race (replicated);
+//!   failing all of that, it is marked down
+//!   (`gsknn_router_backend_up 0`, `gsknn_router_replica_up 0`) and the
+//!   surviving partials are merged and shipped as `Status::OkDegraded`
+//!   with a partial envelope carrying `contributed`/`total` — a typed
+//!   answer, not an error, and with replication only reachable when an
+//!   *entire* replica set is down. A background prober pings downed
+//!   backends and folds them back into the fan-out when they recover.
 //! * **Safety against splits.** Every partial carries the partition-map
-//!   epoch it was computed under; the router drops partials from any
-//!   other epoch (`gsknn_router_epoch_rejects_total`), so a stale
-//!   backend can never leak rows from an old partitioning into a merged
-//!   answer.
+//!   epoch it was computed under and is validated *per replica*; the
+//!   router drops partials from any other epoch
+//!   (`gsknn_router_epoch_rejects_total`) or the wrong partition slice,
+//!   so a stale or miswired replica can never leak rows from an old
+//!   partitioning into a merged answer.
 //! * **Observability.** The same stack as the serve tier: per-backend
 //!   latency histograms and `gsknn_router_*` counter families (wire
 //!   `Metrics` op or `--metrics-addr` HTTP), fan-out / per-backend-wait

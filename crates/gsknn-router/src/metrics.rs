@@ -18,6 +18,10 @@ pub struct BackendStat {
     pub errors: AtomicU64,
     /// Send → validated-partial latency.
     pub latency: LatencyHistogram,
+    /// EWMA (α = 1/4) of the reply latency in nanoseconds, 0 until the
+    /// first sample. The router's replica selection prefers the lowest
+    /// live EWMA and its hedge-delay model is derived from it.
+    pub ewma_ns: AtomicU64,
 }
 
 /// Shared router counters. All lock-free; handler threads bump them
@@ -37,23 +41,43 @@ pub struct RouterMetrics {
     /// Downed backends that passed a liveness probe and rejoined the
     /// fan-out.
     pub rejoins: AtomicU64,
+    /// Send-time failovers: the preferred replica of a partition
+    /// refused the fan-out write and a sibling replica took the query
+    /// instead.
+    pub replica_failovers: AtomicU64,
+    /// Hedges that turned out necessary: the sibling's reply was folded
+    /// into the merge while the primary never produced a valid one.
+    pub replica_hedges_won: AtomicU64,
+    /// Hedges that turned out wasted: the primary answered after the
+    /// hedge to a sibling had already fired.
+    pub replica_hedges_lost: AtomicU64,
+    /// Replicas per partition (1 = unreplicated); backends are
+    /// partition-major, so backend `i` is replica `i % replicas` of
+    /// partition `i / replicas`.
+    replicas: usize,
     backends: Vec<BackendStat>,
 }
 
 impl RouterMetrics {
-    /// Zeroed metrics for `n` backends.
-    pub fn new(n: usize) -> Self {
+    /// Zeroed metrics for `n` backends serving `n / replicas`
+    /// partitions.
+    pub fn new(n: usize, replicas: usize) -> Self {
         RouterMetrics {
             queries: AtomicU64::new(0),
             degraded: AtomicU64::new(0),
             hedges: AtomicU64::new(0),
             epoch_rejects: AtomicU64::new(0),
             rejoins: AtomicU64::new(0),
+            replica_failovers: AtomicU64::new(0),
+            replica_hedges_won: AtomicU64::new(0),
+            replica_hedges_lost: AtomicU64::new(0),
+            replicas: replicas.max(1),
             backends: (0..n)
                 .map(|_| BackendStat {
                     replies: AtomicU64::new(0),
                     errors: AtomicU64::new(0),
                     latency: LatencyHistogram::new(),
+                    ewma_ns: AtomicU64::new(0),
                 })
                 .collect(),
         }
@@ -64,10 +88,23 @@ impl RouterMetrics {
         &self.backends[i]
     }
 
+    /// Backend `i`'s EWMA reply latency in nanoseconds (0 = no samples
+    /// yet).
+    pub fn ewma_ns(&self, i: usize) -> u64 {
+        self.backends[i].ewma_ns.load(Ordering::Relaxed)
+    }
+
     /// Record one successful exchange with backend `i`.
     pub fn record_reply(&self, i: usize, rtt: Duration) {
         self.backends[i].replies.fetch_add(1, Ordering::Relaxed);
         self.backends[i].latency.record(rtt);
+        let ns = rtt.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let _ =
+            self.backends[i]
+                .ewma_ns
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |old| {
+                    Some(if old == 0 { ns } else { old - old / 4 + ns / 4 })
+                });
     }
 
     /// The Prometheus-style text exposition. `up[i]` is the live health
@@ -109,6 +146,24 @@ impl RouterMetrics {
             "Downed backends that rejoined after a successful probe.",
             self.rejoins.load(Ordering::Relaxed),
         );
+        counter(
+            &mut out,
+            "gsknn_router_replica_failovers_total",
+            "Fan-out writes failed over to a sibling replica.",
+            self.replica_failovers.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "gsknn_router_replica_hedges_won_total",
+            "Hedged sibling replies folded in while the primary never answered.",
+            self.replica_hedges_won.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "gsknn_router_replica_hedges_lost_total",
+            "Hedges wasted because the primary replica answered after all.",
+            self.replica_hedges_lost.load(Ordering::Relaxed),
+        );
         let _ = writeln!(
             out,
             "# HELP gsknn_router_backend_up Backend health (1 = in the fan-out)."
@@ -118,6 +173,20 @@ impl RouterMetrics {
             let _ = writeln!(
                 out,
                 "gsknn_router_backend_up{{backend=\"{i}\"}} {}",
+                u as u8
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP gsknn_router_replica_up Replica health by partition (1 = in the fan-out)."
+        );
+        let _ = writeln!(out, "# TYPE gsknn_router_replica_up gauge");
+        for (i, &u) in up.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "gsknn_router_replica_up{{partition=\"{}\",replica=\"{}\"}} {}",
+                i / self.replicas,
+                i % self.replicas,
                 u as u8
             );
         }
@@ -178,12 +247,16 @@ impl RouterMetrics {
     pub fn report(&self, up: &[bool]) -> RouterReport {
         RouterReport {
             backends: self.backends.len(),
+            replicas: self.replicas,
             healthy: up.iter().filter(|&&u| u).count(),
             queries: self.queries.load(Ordering::Relaxed),
             degraded: self.degraded.load(Ordering::Relaxed),
             hedges: self.hedges.load(Ordering::Relaxed),
             epoch_rejects: self.epoch_rejects.load(Ordering::Relaxed),
             rejoins: self.rejoins.load(Ordering::Relaxed),
+            replica_failovers: self.replica_failovers.load(Ordering::Relaxed),
+            replica_hedges_won: self.replica_hedges_won.load(Ordering::Relaxed),
+            replica_hedges_lost: self.replica_hedges_lost.load(Ordering::Relaxed),
             backend_replies: self
                 .backends
                 .iter()
@@ -202,12 +275,17 @@ impl RouterMetrics {
 #[derive(Clone, Debug)]
 pub struct RouterReport {
     pub backends: usize,
+    /// Replicas per partition (backends are partition-major).
+    pub replicas: usize,
     pub healthy: usize,
     pub queries: u64,
     pub degraded: u64,
     pub hedges: u64,
     pub epoch_rejects: u64,
     pub rejoins: u64,
+    pub replica_failovers: u64,
+    pub replica_hedges_won: u64,
+    pub replica_hedges_lost: u64,
     pub backend_replies: Vec<u64>,
     pub backend_errors: Vec<u64>,
 }
@@ -218,19 +296,31 @@ impl RouterReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "router: {} queries over {} backends ({} healthy at drain)",
-            self.queries, self.backends, self.healthy
+            "router: {} queries over {} backends ({} partitions x {} replicas, {} healthy at drain)",
+            self.queries,
+            self.backends,
+            self.backends / self.replicas.max(1),
+            self.replicas,
+            self.healthy
         );
         let _ = writeln!(
             out,
             "  degraded {} | hedges {} | epoch rejects {} | rejoins {}",
             self.degraded, self.hedges, self.epoch_rejects, self.rejoins
         );
+        let _ = writeln!(
+            out,
+            "  replica failovers {} | hedges won {} | hedges lost {}",
+            self.replica_failovers, self.replica_hedges_won, self.replica_hedges_lost
+        );
         for i in 0..self.backends {
             let _ = writeln!(
                 out,
-                "  backend {i}: {} replies, {} errors",
-                self.backend_replies[i], self.backend_errors[i]
+                "  backend {i} (partition {} replica {}): {} replies, {} errors",
+                i / self.replicas.max(1),
+                i % self.replicas.max(1),
+                self.backend_replies[i],
+                self.backend_errors[i]
             );
         }
         out
@@ -243,7 +333,7 @@ mod tests {
 
     #[test]
     fn exposition_carries_all_families_and_labels() {
-        let m = RouterMetrics::new(2);
+        let m = RouterMetrics::new(2, 1);
         m.queries.fetch_add(3, Ordering::Relaxed);
         m.degraded.fetch_add(1, Ordering::Relaxed);
         m.record_reply(0, Duration::from_millis(2));
@@ -251,21 +341,51 @@ mod tests {
         let text = m.render_prometheus(&[true, false]);
         assert!(text.contains("gsknn_router_queries_total 3"));
         assert!(text.contains("gsknn_router_degraded_total 1"));
+        assert!(text.contains("gsknn_router_replica_failovers_total 0"));
+        assert!(text.contains("gsknn_router_replica_hedges_won_total 0"));
+        assert!(text.contains("gsknn_router_replica_hedges_lost_total 0"));
         assert!(text.contains("gsknn_router_backend_up{backend=\"0\"} 1"));
         assert!(text.contains("gsknn_router_backend_up{backend=\"1\"} 0"));
+        assert!(text.contains("gsknn_router_replica_up{partition=\"0\",replica=\"0\"} 1"));
+        assert!(text.contains("gsknn_router_replica_up{partition=\"1\",replica=\"0\"} 0"));
         assert!(text.contains("gsknn_router_backend_replies_total{backend=\"0\"} 1"));
         assert!(text.contains("gsknn_router_backend_errors_total{backend=\"1\"} 1"));
         assert!(text.contains("gsknn_router_backend_latency_seconds_count{backend=\"0\"} 1"));
     }
 
     #[test]
+    fn replica_gauge_labels_are_partition_major() {
+        let m = RouterMetrics::new(4, 2);
+        m.replica_failovers.fetch_add(2, Ordering::Relaxed);
+        let text = m.render_prometheus(&[true, false, true, true]);
+        // backend 1 is partition 0's replica 1; backend 2 is partition
+        // 1's replica 0
+        assert!(text.contains("gsknn_router_replica_up{partition=\"0\",replica=\"1\"} 0"));
+        assert!(text.contains("gsknn_router_replica_up{partition=\"1\",replica=\"0\"} 1"));
+        assert!(text.contains("gsknn_router_replica_failovers_total 2"));
+    }
+
+    #[test]
+    fn ewma_seeds_then_smooths() {
+        let m = RouterMetrics::new(1, 1);
+        assert_eq!(m.ewma_ns(0), 0);
+        m.record_reply(0, Duration::from_nanos(1000));
+        assert_eq!(m.ewma_ns(0), 1000, "first sample seeds the EWMA");
+        m.record_reply(0, Duration::from_nanos(2000));
+        // 1000 - 1000/4 + 2000/4 = 1250
+        assert_eq!(m.ewma_ns(0), 1250);
+    }
+
+    #[test]
     fn report_rolls_up_per_backend_tallies() {
-        let m = RouterMetrics::new(3);
+        let m = RouterMetrics::new(3, 1);
         m.record_reply(2, Duration::from_micros(10));
         let r = m.report(&[true, true, false]);
         assert_eq!(r.backends, 3);
         assert_eq!(r.healthy, 2);
         assert_eq!(r.backend_replies, vec![0, 0, 1]);
-        assert!(r.render_table().contains("backend 2: 1 replies"));
+        assert!(r
+            .render_table()
+            .contains("backend 2 (partition 2 replica 0): 1 replies"));
     }
 }

@@ -43,9 +43,16 @@ fn install_sigterm() {
 pub struct RouterConfig {
     /// Bind address (`"127.0.0.1:0"` picks a free port).
     pub addr: String,
-    /// Backend addresses, one per partition, **in partition order**:
-    /// `backends[i]` must be the server running `--partition i/N`.
+    /// Backend addresses, **partition-major**:
+    /// `backends[p * replicas + r]` must be the server running
+    /// `--partition p/N --replica r/R`. With `replicas == 1` this is
+    /// the plain one-backend-per-partition list of the
+    /// pre-replication router.
     pub backends: Vec<String>,
+    /// Replicas per partition. Each partition's replica set is a slice
+    /// of `replicas` consecutive backends; a query needs one live
+    /// replica per partition to answer undegraded.
+    pub replicas: usize,
     /// Partition-map epoch: partials stamped with any other epoch are
     /// rejected. Must match the backends' `--partition-epoch`.
     pub epoch: u64,
@@ -53,8 +60,11 @@ pub struct RouterConfig {
     /// budget). The effective bound is the smaller of this and the
     /// query's own deadline.
     pub backend_timeout: Duration,
-    /// After a failed exchange, retry once on a fresh connection before
-    /// declaring the backend down. Off, the first failure degrades.
+    /// After a failed write, retry once on a fresh connection before
+    /// failing over; and while a primary replica stays quiet past the
+    /// model-derived hedge delay, race a sibling replica against it
+    /// (`replicas > 1`). Off, the first failure degrades and no hedges
+    /// fire.
     pub hedge: bool,
     /// Bound on dialing a backend.
     pub connect_timeout: Duration,
@@ -74,6 +84,7 @@ impl Default for RouterConfig {
         RouterConfig {
             addr: "127.0.0.1:0".to_string(),
             backends: Vec::new(),
+            replicas: 1,
             epoch: 1,
             backend_timeout: Duration::from_secs(2),
             hedge: true,
@@ -107,7 +118,7 @@ impl Shared {
         let n = cfg.backends.len();
         let trace_ring = cfg.trace_ring;
         Shared {
-            metrics: RouterMetrics::new(n),
+            metrics: RouterMetrics::new(n, cfg.replicas.max(1)),
             shutdown: AtomicBool::new(false),
             health: (0..n).map(|_| AtomicBool::new(true)).collect(),
             traces: TraceRing::new(trace_ring),
@@ -132,11 +143,34 @@ impl Shared {
             .collect()
     }
 
+    /// Replicas per partition (≥ 1).
+    fn replicas(&self) -> usize {
+        self.cfg.replicas.max(1)
+    }
+
+    /// Partitions in the fan-out.
+    fn partitions(&self) -> usize {
+        self.cfg.backends.len() / self.replicas()
+    }
+
+    /// The live replicas of partition `p`, in preference order:
+    /// ascending EWMA reply latency, so the router sends to the replica
+    /// that has been answering fastest (replicas with no history yet
+    /// sort first and get tried, which spreads initial load).
+    fn replica_order(&self, p: usize) -> Vec<usize> {
+        let r = self.replicas();
+        let mut order: Vec<usize> = (p * r..(p + 1) * r).filter(|&i| self.up(i)).collect();
+        order.sort_by_key(|&i| self.metrics.ewma_ns(i));
+        order
+    }
+
     fn stats_json(&self) -> String {
         let r = self.metrics.report(&self.health_snapshot());
         Value::Object(vec![
             ("role".into(), Value::String("router".into())),
             ("backends".into(), Value::from(r.backends as u64)),
+            ("partitions".into(), Value::from(self.partitions() as u64)),
+            ("replicas".into(), Value::from(self.replicas() as u64)),
             ("healthy".into(), Value::from(r.healthy as u64)),
             ("epoch".into(), Value::from(self.cfg.epoch)),
             ("queries".into(), Value::from(r.queries)),
@@ -144,6 +178,15 @@ impl Shared {
             ("hedges".into(), Value::from(r.hedges)),
             ("epoch_rejects".into(), Value::from(r.epoch_rejects)),
             ("rejoins".into(), Value::from(r.rejoins)),
+            ("replica_failovers".into(), Value::from(r.replica_failovers)),
+            (
+                "replica_hedges_won".into(),
+                Value::from(r.replica_hedges_won),
+            ),
+            (
+                "replica_hedges_lost".into(),
+                Value::from(r.replica_hedges_lost),
+            ),
             (
                 "backend_up".into(),
                 Value::Array(
@@ -195,10 +238,26 @@ impl Router {
                 "router needs at least one backend",
             ));
         }
-        if cfg.backends.len() > u16::MAX as usize {
+        if cfg.replicas == 0 {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
-                "more backends than partition ids",
+                "router needs at least one replica per partition",
+            ));
+        }
+        if !cfg.backends.len().is_multiple_of(cfg.replicas) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "{} backends do not divide into replica sets of {}",
+                    cfg.backends.len(),
+                    cfg.replicas
+                ),
+            ));
+        }
+        if cfg.backends.len() / cfg.replicas > u16::MAX as usize {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "more partitions than partition ids",
             ));
         }
         let listener = TcpListener::bind(&cfg.addr)?;
@@ -336,12 +395,16 @@ enum Reject {
 }
 
 /// Check one backend response: must be a `PartialTopK` envelope from the
-/// expected epoch and partition universe, carrying a table of `m` rows.
+/// expected epoch, partition universe and *partition slice*, carrying a
+/// table of `m` rows. The slice check means a replica wired into the
+/// wrong set (serving partition 1 where the router expects partition 0)
+/// can never contribute the wrong rows to a merge.
 fn validate_partial<T: GsknnScalar>(
     resp: &Response,
     epoch: u64,
-    n_backends: u16,
+    n_parts: u16,
     m: usize,
+    expect_part: u32,
 ) -> Result<(PartialHeader, NeighborTable<T>), Reject> {
     match resp.status {
         Status::PartialTopK => {}
@@ -363,10 +426,16 @@ fn validate_partial<T: GsknnScalar>(
     if header.epoch != epoch {
         return Err(Reject::EpochMismatch(header.epoch));
     }
-    if header.total != n_backends {
+    if header.total != n_parts {
         return Err(Reject::Error(format!(
             "backend partitioned {} ways, router fans out {}",
-            header.total, n_backends
+            header.total, n_parts
+        )));
+    }
+    if header.partition_id != expect_part {
+        return Err(Reject::Error(format!(
+            "partial from partition {}, expected partition {expect_part}",
+            header.partition_id
         )));
     }
     let table = NeighborTable::<T>::from_bytes(table_bytes)
@@ -380,17 +449,108 @@ fn validate_partial<T: GsknnScalar>(
     Ok((header, table))
 }
 
-/// The scatter-gather path: pipelined fan-out writes, deadline-bounded
-/// collection with one hedged re-send per failed backend, exact
-/// truncated merge, typed degraded reply when partitions are missing.
+/// Model-derived hedge delay: wait about three EWMA reply latencies for
+/// the selected replica before racing a sibling — shorter re-sends on
+/// every healthy tail, longer forfeits the transparency window a replica
+/// exists to provide. Before any latency history, a quarter of the
+/// partition budget; always at least 1 ms and at most half the budget so
+/// the sibling keeps a real share of it.
+fn hedge_delay(ewma_ns: u64, budget: Duration) -> Duration {
+    let model = if ewma_ns == 0 {
+        budget / 4
+    } else {
+        Duration::from_nanos(ewma_ns.saturating_mul(3))
+    };
+    model.clamp(
+        Duration::from_millis(1),
+        (budget / 2).max(Duration::from_millis(1)),
+    )
+}
+
+/// What consuming one backend's pending reply produced.
+enum Pulled<T: GsknnScalar> {
+    /// A validated partial for the expected partition slice.
+    Good(PartialHeader, NeighborTable<T>),
+    /// Typed transient refusal — the backend is healthy.
+    Busy,
+    /// The backend's own deadline ran out — healthy, late.
+    Late,
+    /// Deterministic request rejection, forwarded to the client.
+    Bad(String),
+    /// Transport/protocol/epoch failure; the backend was marked down.
+    Dead,
+}
+
+/// Read and validate the reply a backend owes for partition `p`. The
+/// caller has established (via [`Client::poll_readable`] or by accepting
+/// a block) that reading now is intended; health bookkeeping happens
+/// here so every exit leaves the pool consistent.
+fn pull_reply<T: GsknnScalar>(
+    shared: &Shared,
+    i: usize,
+    b: &mut BackendConn,
+    p: usize,
+    n_parts: u16,
+    m: usize,
+    budget: Duration,
+) -> Pulled<T> {
+    let resp = match b.client.as_mut() {
+        Some(c) => c
+            .set_io_timeout(Some(budget.max(Duration::from_millis(1))))
+            .and_then(|_| c.recv_response()),
+        None => Err(io::Error::from(io::ErrorKind::NotConnected)),
+    };
+    match resp {
+        Ok(r) => match validate_partial::<T>(&r, shared.cfg.epoch, n_parts, m, p as u32) {
+            Ok((header, table)) => Pulled::Good(header, table),
+            Err(Reject::Busy) => Pulled::Busy,
+            Err(Reject::TimedOut) => Pulled::Late,
+            Err(Reject::Bad(msg)) => Pulled::Bad(msg),
+            Err(Reject::EpochMismatch(got)) => {
+                shared.metrics.epoch_rejects.fetch_add(1, Ordering::Relaxed);
+                backend_down(
+                    shared,
+                    i,
+                    b,
+                    &format!("partial from epoch {got}, router at {}", shared.cfg.epoch),
+                );
+                Pulled::Dead
+            }
+            Err(Reject::Error(msg)) => {
+                backend_down(shared, i, b, &msg);
+                Pulled::Dead
+            }
+        },
+        Err(e) => {
+            backend_down(shared, i, b, &e.to_string());
+            Pulled::Dead
+        }
+    }
+}
+
+/// One partition's in-flight state after the fan-out writes.
+struct Flight {
+    /// Backend currently owed a reply (the selected replica), if any
+    /// accepted the write.
+    primary: Option<usize>,
+    /// Live replicas at send time, preference order (primary first).
+    order: Vec<usize>,
+}
+
+/// The scatter-gather path: pipelined fan-out writes to each partition's
+/// preferred replica (lowest EWMA reply latency), send-time failover to
+/// sibling replicas, deadline-bounded collection that hedges a quiet
+/// primary against a sibling replica after a model-derived delay, exact
+/// deduplicating truncated merge, and a typed degraded reply only when
+/// an *entire* replica set is missing.
 fn route_query_t<T: GsknnScalar>(
     pool: &mut [BackendConn],
     mut q: QueryBody,
     shared: &Shared,
 ) -> Response {
     let cfg = &shared.cfg;
-    let n = pool.len();
-    let total = n as u16;
+    let parts = shared.partitions();
+    let total = parts as u16;
     shared.metrics.queries.fetch_add(1, Ordering::Relaxed);
     if q.trace_id == 0 {
         q.trace_id = shared.next_trace.fetch_add(1, Ordering::Relaxed);
@@ -407,99 +567,318 @@ fn route_query_t<T: GsknnScalar>(
         dur_us: (to - from).as_secs_f64() * 1e6,
     };
 
-    // Phase 1 — fan-out: write the query to every healthy backend before
-    // blocking on any reply, so backends compute their partials in
-    // parallel. A failed write gets one immediate hedged retry on a
-    // fresh connection (the failure is usually a stale pooled socket).
-    let mut sent = vec![false; n];
-    for (i, b) in pool.iter_mut().enumerate() {
-        if !shared.up(i) {
-            continue;
-        }
-        let attempt = |b: &mut BackendConn| -> io::Result<()> {
-            b.ensure(cfg.connect_timeout, per_backend)?
-                .send_request(&req)
-        };
-        match attempt(b) {
-            Ok(()) => sent[i] = true,
-            Err(_) if cfg.hedge => {
-                b.client = None;
-                shared.metrics.hedges.fetch_add(1, Ordering::Relaxed);
-                match attempt(b) {
-                    Ok(()) => sent[i] = true,
-                    Err(e) => backend_down(shared, i, b, &e.to_string()),
+    // Phase 1 — fan-out: write the query to every partition's preferred
+    // replica before blocking on any reply, so partitions compute their
+    // partials in parallel. A failed write gets one immediate retry on a
+    // fresh connection (the failure is usually a stale pooled socket),
+    // then fails over to the next sibling replica in preference order.
+    let mut flights: Vec<Flight> = Vec::with_capacity(parts);
+    for p in 0..parts {
+        let order = shared.replica_order(p);
+        let mut primary = None;
+        for (tried, &i) in order.iter().enumerate() {
+            let attempt = |b: &mut BackendConn| -> io::Result<()> {
+                b.ensure(cfg.connect_timeout, per_backend)?
+                    .send_request(&req)
+            };
+            let b = &mut pool[i];
+            let sent = match attempt(b) {
+                Ok(()) => true,
+                Err(_) if cfg.hedge => {
+                    b.client = None;
+                    shared.metrics.hedges.fetch_add(1, Ordering::Relaxed);
+                    match attempt(b) {
+                        Ok(()) => true,
+                        Err(e) => {
+                            backend_down(shared, i, b, &e.to_string());
+                            false
+                        }
+                    }
                 }
+                Err(e) => {
+                    backend_down(shared, i, b, &e.to_string());
+                    false
+                }
+            };
+            if sent {
+                if tried > 0 {
+                    shared
+                        .metrics
+                        .replica_failovers
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                primary = Some(i);
+                break;
             }
-            Err(e) => backend_down(shared, i, b, &e.to_string()),
+            if !cfg.hedge {
+                // hedging off: the first failure degrades, no failover
+                break;
+            }
         }
+        flights.push(Flight { primary, order });
     }
     let t_sent = Instant::now();
     spans.push(span_of("fanout write", t_start, t_sent));
 
-    // Phase 2 — collect: read each in-flight backend's partial, bounded
-    // by the per-backend budget measured from the fan-out start (the
-    // backends work concurrently, so budgets overlap rather than add). A
-    // failed read hedges once with a full round trip on a fresh
-    // connection inside the remaining budget.
-    let mut tables: Vec<NeighborTable<T>> = Vec::with_capacity(n);
+    // Phase 2 — collect: read each partition's partial, bounded by the
+    // per-backend budget measured from the fan-out start (partitions
+    // work concurrently, so budgets overlap rather than add). While the
+    // selected replica stays quiet past the model-derived hedge delay
+    // and a live sibling exists, the same query is raced against the
+    // sibling; the first valid partial wins and duplicate global ids
+    // from a double answer are deduplicated by the merge.
+    let mut tables: Vec<NeighborTable<T>> = Vec::with_capacity(parts);
     let mut contributed: u16 = 0;
     let mut any_lane_degraded = false;
     let (mut busy, mut late) = (0usize, 0usize);
     let mut bad: Option<String> = None;
-    for (i, b) in pool.iter_mut().enumerate() {
-        if !sent[i] {
-            continue;
-        }
+    for (p, fl) in flights.iter().enumerate() {
+        let Some(prim) = fl.primary else { continue };
         let t_wait = Instant::now();
         let budget = per_backend
             .saturating_sub(t_wait - t_start)
             .max(Duration::from_millis(5));
-        let resp = match b.client.as_mut() {
-            Some(c) => c
-                .set_io_timeout(Some(budget))
-                .and_then(|_| c.recv_response()),
-            None => Err(io::Error::from(io::ErrorKind::NotConnected)),
+        let p_deadline = t_wait + budget;
+        // the sibling a hedge would race (live, not the primary)
+        let sibling = if cfg.hedge {
+            fl.order
+                .iter()
+                .copied()
+                .find(|&i| i != prim && shared.up(i))
+        } else {
+            None
         };
-        let resp = match resp {
-            Ok(r) => Ok(r),
-            Err(_) if cfg.hedge => {
-                // hedge: the pooled exchange died mid-flight — re-send
-                // the whole query on a fresh connection, same budget
-                b.client = None;
-                shared.metrics.hedges.fetch_add(1, Ordering::Relaxed);
-                b.ensure(cfg.connect_timeout, budget)
-                    .and_then(|c| c.request(&req))
+        let mut partition_ok = false;
+        let mut fold = |shared: &Shared, i: usize, pulled: Pulled<T>, ok: &mut bool| match pulled {
+            Pulled::Good(header, table) => {
+                tables.push(table);
+                any_lane_degraded |= header.lane_degraded();
+                shared.metrics.record_reply(i, Instant::now() - t_sent);
+                if !shared.up(i) {
+                    shared.mark(i, true);
+                }
+                *ok = true;
             }
-            Err(e) => Err(e),
+            Pulled::Busy => busy += 1,
+            Pulled::Late => late += 1,
+            Pulled::Bad(msg) => {
+                bad.get_or_insert(msg);
+            }
+            Pulled::Dead => {}
         };
-        let t_got = Instant::now();
-        spans.push(span_of(&format!("backend {i} wait"), t_wait, t_got));
-        match resp {
-            Ok(r) => match validate_partial::<T>(&r, cfg.epoch, total, q.m) {
-                Ok((header, table)) => {
-                    tables.push(table);
-                    contributed += 1;
-                    any_lane_degraded |= header.lane_degraded();
-                    shared.metrics.record_reply(i, t_got - t_sent);
-                    if !shared.up(i) {
-                        shared.mark(i, true);
+        match sibling {
+            None => {
+                // unreplicated partition (or no live sibling): block on
+                // the primary; a dead exchange hedges once with a full
+                // round trip on a fresh connection, same backend — the
+                // pre-replication contract.
+                let b = &mut pool[prim];
+                let resp = match b.client.as_mut() {
+                    Some(c) => c
+                        .set_io_timeout(Some(budget))
+                        .and_then(|_| c.recv_response()),
+                    None => Err(io::Error::from(io::ErrorKind::NotConnected)),
+                };
+                let resp = match resp {
+                    Ok(r) => Ok(r),
+                    Err(_) if cfg.hedge => {
+                        b.client = None;
+                        shared.metrics.hedges.fetch_add(1, Ordering::Relaxed);
+                        b.ensure(cfg.connect_timeout, budget)
+                            .and_then(|c| c.request(&req))
+                    }
+                    Err(e) => Err(e),
+                };
+                let pulled = match resp {
+                    Ok(r) => match validate_partial::<T>(&r, cfg.epoch, total, q.m, p as u32) {
+                        Ok((h, t)) => Pulled::Good(h, t),
+                        Err(Reject::Busy) => Pulled::Busy,
+                        Err(Reject::TimedOut) => Pulled::Late,
+                        Err(Reject::Bad(msg)) => Pulled::Bad(msg),
+                        Err(Reject::EpochMismatch(got)) => {
+                            shared.metrics.epoch_rejects.fetch_add(1, Ordering::Relaxed);
+                            backend_down(
+                                shared,
+                                prim,
+                                b,
+                                &format!("partial from epoch {got}, router at {}", cfg.epoch),
+                            );
+                            Pulled::Dead
+                        }
+                        Err(Reject::Error(msg)) => {
+                            backend_down(shared, prim, b, &msg);
+                            Pulled::Dead
+                        }
+                    },
+                    Err(e) => {
+                        backend_down(shared, prim, b, &e.to_string());
+                        Pulled::Dead
+                    }
+                };
+                fold(shared, prim, pulled, &mut partition_ok);
+            }
+            Some(sib) => {
+                // replicated partition: give the primary its hedge
+                // window, then race the sibling against it.
+                let window = hedge_delay(shared.metrics.ewma_ns(prim), budget);
+                let primary_ready = match pool[prim].client.as_mut() {
+                    Some(c) => c.poll_readable(window).unwrap_or(false),
+                    None => false,
+                };
+                if primary_ready {
+                    let left = p_deadline.saturating_duration_since(Instant::now());
+                    let pulled =
+                        pull_reply::<T>(shared, prim, &mut pool[prim], p, total, q.m, left);
+                    fold(shared, prim, pulled, &mut partition_ok);
+                }
+                if !partition_ok {
+                    // hedge: send the query to the sibling replica (a
+                    // failed write burns the hedge — the merge will
+                    // degrade only if the primary also stays quiet)
+                    shared.metrics.hedges.fetch_add(1, Ordering::Relaxed);
+                    let sib_sent = pool[sib]
+                        .ensure(cfg.connect_timeout, budget)
+                        .and_then(|c| c.send_request(&req))
+                        .inspect_err(|e| {
+                            backend_down(shared, sib, &mut pool[sib], &e.to_string());
+                        })
+                        .is_ok();
+                    let mut primary_pending = !primary_ready && pool[prim].client.is_some();
+                    let mut sibling_pending = sib_sent;
+                    let mut primary_good = false;
+                    let mut sibling_good = false;
+                    while !partition_ok
+                        && (primary_pending || sibling_pending)
+                        && Instant::now() < p_deadline
+                    {
+                        let slice = Duration::from_millis(2)
+                            .min(p_deadline.saturating_duration_since(Instant::now()));
+                        if primary_pending {
+                            match pool[prim].client.as_mut().map(|c| c.poll_readable(slice)) {
+                                Some(Ok(true)) => {
+                                    primary_pending = false;
+                                    let left = p_deadline.saturating_duration_since(Instant::now());
+                                    let pulled = pull_reply::<T>(
+                                        shared,
+                                        prim,
+                                        &mut pool[prim],
+                                        p,
+                                        total,
+                                        q.m,
+                                        left,
+                                    );
+                                    primary_good = matches!(pulled, Pulled::Good(..));
+                                    fold(shared, prim, pulled, &mut partition_ok);
+                                }
+                                Some(Ok(false)) => {}
+                                Some(Err(e)) => {
+                                    primary_pending = false;
+                                    backend_down(shared, prim, &mut pool[prim], &e.to_string());
+                                }
+                                None => primary_pending = false,
+                            }
+                        }
+                        if partition_ok {
+                            break;
+                        }
+                        if sibling_pending {
+                            match pool[sib].client.as_mut().map(|c| c.poll_readable(slice)) {
+                                Some(Ok(true)) => {
+                                    sibling_pending = false;
+                                    let left = p_deadline.saturating_duration_since(Instant::now());
+                                    let pulled = pull_reply::<T>(
+                                        shared,
+                                        sib,
+                                        &mut pool[sib],
+                                        p,
+                                        total,
+                                        q.m,
+                                        left,
+                                    );
+                                    sibling_good = matches!(pulled, Pulled::Good(..));
+                                    fold(shared, sib, pulled, &mut partition_ok);
+                                }
+                                Some(Ok(false)) => {}
+                                Some(Err(e)) => {
+                                    sibling_pending = false;
+                                    backend_down(shared, sib, &mut pool[sib], &e.to_string());
+                                }
+                                None => sibling_pending = false,
+                            }
+                        }
+                    }
+                    // an unread in-flight reply would poison the next
+                    // query on that socket: fold it if it is already
+                    // here (the merge dedups the duplicate global ids a
+                    // double answer carries); a silent replica at a
+                    // missed budget is marked down so the prober owns
+                    // its recovery; a merely-slow loser's connection is
+                    // dropped so the next query redials.
+                    for (idx, pending) in [(prim, primary_pending), (sib, sibling_pending)] {
+                        if !pending {
+                            continue;
+                        }
+                        let ready = pool[idx]
+                            .client
+                            .as_mut()
+                            .map(|c| c.poll_readable(Duration::from_millis(1)).unwrap_or(false))
+                            .unwrap_or(false);
+                        if ready {
+                            let pulled = pull_reply::<T>(
+                                shared,
+                                idx,
+                                &mut pool[idx],
+                                p,
+                                total,
+                                q.m,
+                                Duration::from_millis(5),
+                            );
+                            if matches!(pulled, Pulled::Good(..)) {
+                                if idx == prim {
+                                    primary_good = true;
+                                } else {
+                                    sibling_good = true;
+                                }
+                            }
+                            fold(shared, idx, pulled, &mut partition_ok);
+                        } else if !partition_ok {
+                            backend_down(
+                                shared,
+                                idx,
+                                &mut pool[idx],
+                                "no partial within the partition budget",
+                            );
+                        } else {
+                            pool[idx].client = None;
+                        }
+                    }
+                    // settle the race's books: a hedge is *lost* when
+                    // the primary produced a valid partial after all,
+                    // *won* when only the sibling saved the partition —
+                    // which is also a failover (the selected replica
+                    // failed mid-query and a sibling's answer was used).
+                    if primary_good {
+                        shared
+                            .metrics
+                            .replica_hedges_lost
+                            .fetch_add(1, Ordering::Relaxed);
+                    } else if sibling_good {
+                        shared
+                            .metrics
+                            .replica_hedges_won
+                            .fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .metrics
+                            .replica_failovers
+                            .fetch_add(1, Ordering::Relaxed);
                     }
                 }
-                Err(Reject::Busy) => busy += 1,
-                Err(Reject::TimedOut) => late += 1,
-                Err(Reject::Bad(msg)) => bad = bad.or(Some(msg)),
-                Err(Reject::EpochMismatch(got)) => {
-                    shared.metrics.epoch_rejects.fetch_add(1, Ordering::Relaxed);
-                    backend_down(
-                        shared,
-                        i,
-                        b,
-                        &format!("partial from epoch {got}, router at {}", cfg.epoch),
-                    );
-                }
-                Err(Reject::Error(msg)) => backend_down(shared, i, b, &msg),
-            },
-            Err(e) => backend_down(shared, i, b, &e.to_string()),
+            }
+        }
+        let t_got = Instant::now();
+        spans.push(span_of(&format!("partition {p} wait"), t_wait, t_got));
+        if partition_ok {
+            contributed += 1;
         }
     }
 
@@ -510,7 +889,7 @@ fn route_query_t<T: GsknnScalar>(
             // deterministic rejection — the request, not a backend, is
             // at fault, so forward the backend's own message
             Response::bad_request(msg)
-        } else if busy > 0 && busy == sent.iter().filter(|&&s| s).count() {
+        } else if busy > 0 && busy == flights.iter().filter(|f| f.primary.is_some()).count() {
             Response::empty(Status::Busy)
         } else if late > 0 {
             Response::empty(Status::Timeout)
@@ -532,6 +911,9 @@ fn route_query_t<T: GsknnScalar>(
                         contributed,
                         total,
                         flags: any_lane_degraded as u8,
+                        // a router-merged answer is not a replica
+                        replica_id: 0,
+                        replicas: 1,
                     }
                     .encode_into(&mut body);
                     merged.encode_into(&mut body);
@@ -714,6 +1096,8 @@ mod tests {
             contributed: 1,
             total,
             flags,
+            replica_id: 0,
+            replicas: 2,
         }
         .encode_into(&mut body);
         table.encode_into(&mut body);
@@ -737,42 +1121,48 @@ mod tests {
     fn validate_accepts_matching_partial() {
         let t = table_of(&[&[(0.5, 3), (1.0, 9)]], 2);
         let resp = partial_resp(0, 1, 2, 0, &t);
-        let (h, got) = validate_partial::<f64>(&resp, 1, 2, 1).expect("valid");
+        let (h, got) = validate_partial::<f64>(&resp, 1, 2, 1, 0).expect("valid");
         assert_eq!(h.partition_id, 0);
         assert!(!h.lane_degraded());
         assert_eq!(got.row(0), t.row(0));
     }
 
     #[test]
-    fn validate_rejects_wrong_epoch_total_shape_and_status() {
+    fn validate_rejects_wrong_epoch_total_shape_slice_and_status() {
         let t = table_of(&[&[(0.5, 3)]], 1);
         assert!(matches!(
-            validate_partial::<f64>(&partial_resp(0, 9, 2, 0, &t), 1, 2, 1),
+            validate_partial::<f64>(&partial_resp(0, 9, 2, 0, &t), 1, 2, 1, 0),
             Err(Reject::EpochMismatch(9))
         ));
         assert!(matches!(
-            validate_partial::<f64>(&partial_resp(0, 1, 3, 0, &t), 1, 2, 1),
+            validate_partial::<f64>(&partial_resp(0, 1, 3, 0, &t), 1, 2, 1, 0),
             Err(Reject::Error(_))
         ));
         assert!(matches!(
-            validate_partial::<f64>(&partial_resp(0, 1, 2, 0, &t), 1, 2, 5),
+            validate_partial::<f64>(&partial_resp(0, 1, 2, 0, &t), 1, 2, 5, 0),
+            Err(Reject::Error(_))
+        ));
+        // a replica wired into the wrong set answers for the wrong
+        // partition slice — it must never contribute to the merge
+        assert!(matches!(
+            validate_partial::<f64>(&partial_resp(1, 1, 2, 0, &t), 1, 2, 1, 0),
             Err(Reject::Error(_))
         ));
         assert!(matches!(
-            validate_partial::<f64>(&Response::empty(Status::Busy), 1, 2, 1),
+            validate_partial::<f64>(&Response::empty(Status::Busy), 1, 2, 1, 0),
             Err(Reject::Busy)
         ));
         assert!(matches!(
-            validate_partial::<f64>(&Response::empty(Status::Timeout), 1, 2, 1),
+            validate_partial::<f64>(&Response::empty(Status::Timeout), 1, 2, 1, 0),
             Err(Reject::TimedOut)
         ));
         assert!(matches!(
-            validate_partial::<f64>(&Response::empty(Status::Ok), 1, 2, 1),
+            validate_partial::<f64>(&Response::empty(Status::Ok), 1, 2, 1, 0),
             Err(Reject::Error(_))
         ));
         // a deterministic rejection carries the backend's message and
         // must NOT be classed as a backend failure
-        match validate_partial::<f64>(&Response::bad_request("dimension mismatch"), 1, 2, 1) {
+        match validate_partial::<f64>(&Response::bad_request("dimension mismatch"), 1, 2, 1, 0) {
             Err(Reject::Bad(msg)) => assert!(msg.contains("dimension mismatch")),
             other => panic!("expected Reject::Bad, got {other:?}"),
         }
@@ -782,7 +1172,7 @@ mod tests {
     fn validate_surfaces_degraded_lane_flag() {
         let t = table_of(&[&[(0.5, 3)]], 1);
         let resp = partial_resp(1, 1, 2, 1, &t);
-        let (h, _) = validate_partial::<f64>(&resp, 1, 2, 1).expect("valid");
+        let (h, _) = validate_partial::<f64>(&resp, 1, 2, 1, 1).expect("valid");
         assert!(h.lane_degraded());
     }
 
@@ -793,5 +1183,45 @@ mod tests {
             Ok(_) => panic!("bind accepted an empty backend list"),
         };
         assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn bind_rejects_bad_replica_shapes() {
+        let cfg = |backends: usize, replicas: usize| RouterConfig {
+            backends: (0..backends)
+                .map(|i| format!("127.0.0.1:{}", 6000 + i))
+                .collect(),
+            replicas,
+            ..RouterConfig::default()
+        };
+        // zero replicas per partition is meaningless
+        assert_eq!(
+            Router::bind(cfg(2, 0)).map(|_| ()).unwrap_err().kind(),
+            io::ErrorKind::InvalidInput
+        );
+        // 3 backends cannot form replica sets of 2
+        assert_eq!(
+            Router::bind(cfg(3, 2)).map(|_| ()).unwrap_err().kind(),
+            io::ErrorKind::InvalidInput
+        );
+    }
+
+    #[test]
+    fn hedge_delay_follows_the_ewma_model() {
+        let budget = Duration::from_millis(100);
+        // no history: a quarter of the budget
+        assert_eq!(hedge_delay(0, budget), Duration::from_millis(25));
+        // 3x the EWMA when that fits under half the budget
+        assert_eq!(
+            hedge_delay(Duration::from_millis(4).as_nanos() as u64, budget),
+            Duration::from_millis(12)
+        );
+        // capped at half the budget so the sibling keeps a real share
+        assert_eq!(
+            hedge_delay(Duration::from_millis(40).as_nanos() as u64, budget),
+            Duration::from_millis(50)
+        );
+        // floored at 1 ms even for a microsecond-fast replica
+        assert_eq!(hedge_delay(10_000, budget), Duration::from_millis(1));
     }
 }

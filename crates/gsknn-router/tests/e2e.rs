@@ -123,22 +123,12 @@ fn router_is_bit_identical_then_degrades_then_recovers() {
     let (b0, h0) = spawn_server(
         "127.0.0.1:0",
         slice_rows(&full, 0, half),
-        Some(PartitionCfg {
-            id: 0,
-            total: 2,
-            offset: 0,
-            epoch: EPOCH,
-        }),
+        Some(PartitionCfg::solo(0, 2, 0, EPOCH)),
     );
     let (b1, h1) = spawn_server(
         "127.0.0.1:0",
         slice_rows(&full, half, N),
-        Some(PartitionCfg {
-            id: 1,
-            total: 2,
-            offset: half as u32,
-            epoch: EPOCH,
-        }),
+        Some(PartitionCfg::solo(1, 2, half as u32, EPOCH)),
     );
     let (single, hs) = spawn_server("127.0.0.1:0", full.clone(), None);
 
@@ -247,12 +237,7 @@ fn router_is_bit_identical_then_degrades_then_recovers() {
     let (_b1_again, h1b) = spawn_server(
         &b1,
         slice_rows(&full, half, N),
-        Some(PartitionCfg {
-            id: 1,
-            total: 2,
-            offset: half as u32,
-            epoch: EPOCH,
-        }),
+        Some(PartitionCfg::solo(1, 2, half as u32, EPOCH)),
     );
     wait_for(
         || router_metrics(&raddr).contains("gsknn_router_backend_up{backend=\"1\"} 1"),
@@ -298,12 +283,7 @@ fn router_rejects_stale_epoch_partials() {
     let (b0, h0) = spawn_server(
         "127.0.0.1:0",
         full.clone(),
-        Some(PartitionCfg {
-            id: 0,
-            total: 1,
-            offset: 0,
-            epoch: 99, // stale relative to the router's map
-        }),
+        Some(PartitionCfg::solo(0, 1, 0, 99)), // epoch stale relative to the router's map
     );
     let router = Router::bind(RouterConfig {
         backends: vec![b0.clone()],
@@ -334,6 +314,168 @@ fn router_rejects_stale_epoch_partials() {
     h0.join().expect("backend drain");
 }
 
+/// Spawn one replica of a partition slice: same rows, same global
+/// numbering, distinct replica identity in the GSPK envelope.
+fn spawn_replica(
+    full: &PointSet,
+    lo: usize,
+    hi: usize,
+    part: u16,
+    replica: u16,
+    replicas: u16,
+) -> (String, JoinHandle<()>) {
+    spawn_server(
+        "127.0.0.1:0",
+        slice_rows(full, lo, hi),
+        Some(PartitionCfg {
+            id: part,
+            total: 2,
+            offset: lo as u32,
+            epoch: EPOCH,
+            replica,
+            replicas,
+        }),
+    )
+}
+
+fn metric_value(metrics: &str, name: &str) -> u64 {
+    metrics
+        .lines()
+        .find(|l| l.starts_with(name) && !l.starts_with('#'))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("metric {name} missing:\n{metrics}"))
+}
+
+#[test]
+fn replicated_router_survives_replica_loss_without_degrading() {
+    let full = uniform(N, D, 2);
+    let half = N / 2;
+    let queries = uniform(M, D, 42);
+    let coords: Vec<f64> = (0..M).flat_map(|i| queries.point(i).to_vec()).collect();
+
+    // 2 partitions x 2 replicas, backends listed partition-major
+    let (p0r0, h00) = spawn_replica(&full, 0, half, 0, 0, 2);
+    let (p0r1, h01) = spawn_replica(&full, 0, half, 0, 1, 2);
+    let (p1r0, h10) = spawn_replica(&full, half, N, 1, 0, 2);
+    let (p1r1, h11) = spawn_replica(&full, half, N, 1, 1, 2);
+
+    let router = Router::bind(RouterConfig {
+        backends: vec![p0r0.clone(), p0r1.clone(), p1r0.clone(), p1r1.clone()],
+        replicas: 2,
+        epoch: EPOCH,
+        backend_timeout: Duration::from_secs(1),
+        probe_interval: Duration::from_millis(50),
+        ..RouterConfig::default()
+    })
+    .expect("bind router");
+    let raddr = router.local_addr().expect("router addr").to_string();
+    let hr = std::thread::spawn(move || router.run());
+    let mut client = Client::connect(&raddr).expect("connect router");
+
+    // Phase 1 — healthy: exact answers, matching the oracle.
+    let want: Vec<_> = (0..M)
+        .map(|i| oracle_row::<f64>(&full, 0..N, queries.point(i), K))
+        .collect();
+    let healthy = match client
+        .query::<f64>(&coords, M, K, 2000)
+        .expect("healthy query")
+        .outcome
+    {
+        Outcome::Neighbors(t) => t,
+        other => panic!("healthy replicated router answered {other:?}"),
+    };
+    assert_rows_match_oracle(&healthy, &want, "replicated router vs oracle");
+
+    // Phase 2 — kill one replica of partition 1. Every subsequent query
+    // must stay *undegraded* and bitwise-identical to the healthy run:
+    // the sibling replica covers the slice.
+    shutdown(&p1r0);
+    h10.join().expect("p1r0 drain");
+    for round in 0..10 {
+        match client
+            .query::<f64>(&coords, M, K, 2000)
+            .expect("query after replica loss")
+            .outcome
+        {
+            Outcome::Neighbors(t) => {
+                for i in 0..M {
+                    assert_eq!(
+                        t.row(i),
+                        healthy.row(i),
+                        "round {round}: row {i} differs from the healthy run"
+                    );
+                }
+            }
+            other => panic!("round {round}: replica loss degraded the answer: {other:?}"),
+        }
+    }
+    let metrics = router_metrics(&raddr);
+    assert_eq!(
+        metric_value(&metrics, "gsknn_router_degraded_total"),
+        0,
+        "no degraded answers with a live sibling:\n{metrics}"
+    );
+    assert!(
+        metric_value(&metrics, "gsknn_router_replica_failovers_total") >= 1,
+        "the dead replica must have been failed over:\n{metrics}"
+    );
+    wait_for(
+        || {
+            router_metrics(&raddr)
+                .contains("gsknn_router_replica_up{partition=\"1\",replica=\"0\"} 0")
+        },
+        "replica gauge to flip down",
+    );
+
+    // Phase 3 — kill the second replica of partition 1: the whole
+    // replica set is down, so the router must now produce the *typed*
+    // degraded answer, exactly the surviving partition's oracle.
+    shutdown(&p1r1);
+    h11.join().expect("p1r1 drain");
+    let want_part0: Vec<_> = (0..M)
+        .map(|i| oracle_row::<f64>(&full, 0..half, queries.point(i), K))
+        .collect();
+    let mut degraded_seen = false;
+    for _ in 0..20 {
+        match client
+            .query::<f64>(&coords, M, K, 2000)
+            .expect("query with a dead replica set")
+            .outcome
+        {
+            Outcome::DegradedPartial {
+                table,
+                contributed,
+                total,
+            } => {
+                assert_eq!((contributed, total), (1, 2), "partition counts");
+                assert_rows_match_oracle(
+                    &table,
+                    &want_part0,
+                    "degraded merge vs partition-0 oracle",
+                );
+                degraded_seen = true;
+                break;
+            }
+            Outcome::Neighbors(_) | Outcome::Failed(_) => {
+                std::thread::sleep(Duration::from_millis(50))
+            }
+            other => panic!("unexpected outcome with the replica set down: {other:?}"),
+        }
+    }
+    assert!(
+        degraded_seen,
+        "dead replica set never produced DegradedPartial"
+    );
+
+    Client::connect(&raddr).unwrap().shutdown().unwrap();
+    hr.join().expect("router drain");
+    shutdown(&p0r0);
+    shutdown(&p0r1);
+    h00.join().expect("p0r0 drain");
+    h01.join().expect("p0r1 drain");
+}
+
 #[test]
 fn partitioned_backend_answers_with_global_ids() {
     // a lone partitioned backend queried directly: Outcome::Partial with
@@ -343,12 +485,7 @@ fn partitioned_backend_answers_with_global_ids() {
     let (b, h) = spawn_server(
         "127.0.0.1:0",
         slice_rows(&full, lo, 200),
-        Some(PartitionCfg {
-            id: 1,
-            total: 2,
-            offset: lo as u32,
-            epoch: EPOCH,
-        }),
+        Some(PartitionCfg::solo(1, 2, lo as u32, EPOCH)),
     );
     let mut client = Client::connect(&b).expect("connect backend");
     let queries = uniform(1, D, 17);

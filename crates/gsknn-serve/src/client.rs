@@ -13,7 +13,7 @@
 
 use crate::retry::RetryPolicy;
 use crate::wire::{
-    decode_partial, decode_response, encode_request, is_partial_body, read_frame, write_frame,
+    decode_partial, decode_response, encode_request, is_partial_body, read_frame_poll, write_frame,
     PartialHeader, Precision, QueryBody, Request, Response, Status,
 };
 use gsknn_core::GsknnScalar;
@@ -166,6 +166,13 @@ impl Client {
         self.set_io_timeout(timeout)
     }
 
+    /// The configured per-call socket bound ([`Client::set_io_timeout`]).
+    /// Helpers that shrink the bound temporarily (the retry episode's
+    /// deadline clamp, [`Client::poll_readable`]) restore this value.
+    pub fn io_timeout(&self) -> Option<Duration> {
+        self.io_timeout
+    }
+
     /// Bound the time any single call may block on the socket (covers
     /// coalescing delay plus kernel time; `None` = wait forever).
     pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
@@ -196,12 +203,53 @@ impl Client {
         write_frame(&mut self.stream, &encode_request(req))
     }
 
+    /// Wait up to `timeout` for response bytes to arrive, **without
+    /// consuming them** (`MSG_PEEK`). `Ok(true)` means the next
+    /// [`Client::recv_response`] will not block on an empty socket;
+    /// `Ok(false)` means the wire stayed quiet and the stream is still
+    /// clean — unlike a timed-out `recv_response`, which may abandon a
+    /// half-read frame. The router's hedge race polls a slow primary
+    /// and a hedged sibling replica this way and then reads only from
+    /// whoever answered.
+    pub fn poll_readable(&mut self, timeout: Duration) -> io::Result<bool> {
+        self.stream
+            .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))?;
+        let mut probe = [0u8; 1];
+        let ready = match self.stream.peek(&mut probe) {
+            Ok(0) => Err(io::Error::from(io::ErrorKind::UnexpectedEof)),
+            Ok(_) => Ok(true),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                Ok(false)
+            }
+            Err(e) => Err(e),
+        };
+        // restore the configured timeout for the next blocking call
+        let configured = self.io_timeout;
+        self.stream.set_read_timeout(configured)?;
+        ready
+    }
+
     /// Read and decode the next response frame (blocking, bounded by the
     /// I/O timeout).
     pub fn recv_response(&mut self) -> io::Result<Response> {
-        let payload = read_frame(&mut self.stream)?
-            .ok_or_else(|| io::Error::from(io::ErrorKind::UnexpectedEof))?;
-        decode_response(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        // `read_frame_poll` re-arms after every socket-level timeout, so
+        // the configured I/O bound has to be enforced here: a server
+        // that stays mute past `io_timeout` is a timed-out exchange, not
+        // an invitation to wait another round. (The server relies on
+        // that looping behavior for coalescing delays; the client must
+        // not, or retry deadlines and the router's per-backend budget
+        // would never fire against a wedged-but-alive peer.)
+        let deadline = self.io_timeout.map(|t| Instant::now() + t);
+        let timed_out = move || deadline.is_some_and(|d| Instant::now() >= d);
+        match read_frame_poll(&mut self.stream, &timed_out)? {
+            Some(payload) => {
+                decode_response(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+            }
+            None if timed_out() => Err(io::Error::from(io::ErrorKind::TimedOut)),
+            None => Err(io::Error::from(io::ErrorKind::UnexpectedEof)),
+        }
     }
 
     /// Liveness probe.
@@ -320,6 +368,13 @@ impl Client {
     /// the connection itself failed (in which case it reconnects first).
     /// Returns the last outcome when attempts or the deadline run out;
     /// I/O errors only surface if the final attempt dies on the wire.
+    ///
+    /// The policy's wall-clock deadline is a hard bound on the whole
+    /// episode: each attempt's socket I/O is clamped to the remaining
+    /// budget, so a wedged server cannot hold one attempt open past the
+    /// deadline the policy promised (the server is already enforcing
+    /// the request's own `deadline_ms`; the client must not keep the
+    /// episode alive long after both have expired).
     pub fn query_with_retry<T: GsknnScalar>(
         &mut self,
         coords: &[T],
@@ -327,6 +382,23 @@ impl Client {
         k: usize,
         deadline_ms: u32,
         policy: &RetryPolicy,
+    ) -> io::Result<QueryReply<T>> {
+        // attempts shrink the socket timeout to the remaining episode
+        // budget; put the configured bound back whatever happened
+        let configured = self.io_timeout;
+        let result = self.query_with_retry_inner(coords, m, k, deadline_ms, policy, configured);
+        let _ = self.set_io_timeout(configured);
+        result
+    }
+
+    fn query_with_retry_inner<T: GsknnScalar>(
+        &mut self,
+        coords: &[T],
+        m: usize,
+        k: usize,
+        deadline_ms: u32,
+        policy: &RetryPolicy,
+        configured: Option<Duration>,
     ) -> io::Result<QueryReply<T>> {
         // one trace id for the whole retry episode: every attempt of
         // this request shows up under the same id server-side
@@ -338,6 +410,15 @@ impl Client {
             if broken {
                 // Best effort: a failed redial counts as a failed attempt.
                 broken = self.reconnect().is_err();
+            }
+            // clamp this attempt's socket ops to the remaining episode
+            // budget (floored so set_read_timeout never sees zero)
+            let remaining = policy.deadline.saturating_sub(started.elapsed());
+            let bound = configured
+                .map_or(remaining, |t| t.min(remaining))
+                .max(Duration::from_millis(1));
+            if !broken {
+                broken = self.set_io_timeout(Some(bound)).is_err();
             }
             let attempt = Instant::now();
             let result = if broken {

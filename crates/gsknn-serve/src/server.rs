@@ -103,6 +103,28 @@ pub struct PartitionCfg {
     /// epoch so a stale backend can never contribute rows from an old
     /// partitioning.
     pub epoch: u64,
+    /// Which replica of the partition this server is, `0..replicas`.
+    /// Replicas hold identical slices; the id only identifies the copy
+    /// in envelopes, metrics and the router's failover accounting.
+    pub replica: u16,
+    /// How many replicas serve this partition (1 = unreplicated).
+    pub replicas: u16,
+}
+
+impl PartitionCfg {
+    /// An unreplicated partition (replica 0 of 1) — the pre-replication
+    /// shape, and the default for `serve --partition` without
+    /// `--replica`.
+    pub fn solo(id: u16, total: u16, offset: u32, epoch: u64) -> Self {
+        PartitionCfg {
+            id,
+            total,
+            offset,
+            epoch,
+            replica: 0,
+            replicas: 1,
+        }
+    }
 }
 
 /// Server tuning knobs.
@@ -331,6 +353,28 @@ impl Server {
     /// Bind the listener. The index must match the traffic: its dimension
     /// is the only one served.
     pub fn bind(cfg: ServerConfig, index: ServeIndex) -> io::Result<Server> {
+        // a misconfigured partition identity must fail the bind, not
+        // stand up a server whose envelopes poison every router merge
+        if let Some(p) = &cfg.partition {
+            if p.total == 0 || p.id >= p.total {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("partition id {} outside 0..{}", p.id, p.total),
+                ));
+            }
+            if p.replicas == 0 || p.replica >= p.replicas {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("replica id {} outside 0..{}", p.replica, p.replicas),
+                ));
+            }
+            if p.epoch == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "partition epoch 0 is reserved; epochs start at 1",
+                ));
+            }
+        }
         let listener = TcpListener::bind(&cfg.addr)?;
         Ok(Server {
             listener,

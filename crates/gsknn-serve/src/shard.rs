@@ -824,6 +824,8 @@ fn deliver<T: FusedScalar>(
                     contributed: 1,
                     total: p.total,
                     flags: (status == Status::OkDegraded) as u8,
+                    replica_id: p.replica,
+                    replicas: p.replicas,
                 }
                 .encode_into(&mut conn.outbuf);
                 t.encode_into_with_offset(&mut conn.outbuf, p.offset);

@@ -30,11 +30,13 @@
 //!           Busy/Timeout/ShuttingDown: empty
 //!           Error/BadRequest/InternalError: UTF-8 message
 //!
-//! envelope  magic "GSPK", version u16 = 1, partition_id u32, epoch u64,
+//! envelope  magic "GSPK", version u16 = 2, partition_id u32, epoch u64,
 //!           contributed u16, total u16, flags u8 (bit 0 = served from a
-//!           degraded lane), then NeighborTable v2 bytes to the end of the
-//!           body (the table is self-describing, so no inner length field
-//!           is needed and none can disagree)
+//!           degraded lane), replica_id u16, replicas u16, then
+//!           NeighborTable v2 bytes to the end of the body (the table is
+//!           self-describing, so no inner length field is needed and none
+//!           can disagree). Version 1 envelopes (no replica fields) still
+//!           decode — they read as replica 0 of 1.
 //! ```
 //!
 //! **Trace ids.** Version 2 threads a `u64` trace id through every
@@ -65,7 +67,10 @@ pub const MAX_FRAME: usize = 1 << 26;
 const REQ_MAGIC: &[u8; 4] = b"GSRQ";
 const RESP_MAGIC: &[u8; 4] = b"GSRP";
 const PARTIAL_MAGIC: &[u8; 4] = b"GSPK";
-const PARTIAL_VERSION: u16 = 1;
+const PARTIAL_VERSION: u16 = 2;
+/// Pre-replication envelope version, still accepted on decode (reads as
+/// replica 0 of 1).
+const PARTIAL_VERSION_V1: u16 = 1;
 
 /// Element precision negotiated per request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -391,10 +396,18 @@ pub struct PartialHeader {
     pub total: u16,
     /// Bit 0: the payload was computed on a degraded (f32) lane.
     pub flags: u8,
+    /// Which replica of the partition produced the payload,
+    /// `0..replicas` (0 for a router-merged answer and for v1 envelopes
+    /// from pre-replication backends).
+    pub replica_id: u16,
+    /// Replicas serving this partition (1 for v1 envelopes).
+    pub replicas: u16,
 }
 
 /// Encoded size of a [`PartialHeader`] (magic + version + fields).
-pub const PARTIAL_HEADER_LEN: usize = 4 + 2 + 4 + 8 + 2 + 2 + 1;
+pub const PARTIAL_HEADER_LEN: usize = 4 + 2 + 4 + 8 + 2 + 2 + 1 + 2 + 2;
+/// Encoded size of a v1 (pre-replication) envelope header.
+pub const PARTIAL_HEADER_V1_LEN: usize = 4 + 2 + 4 + 8 + 2 + 2 + 1;
 
 impl PartialHeader {
     /// Bit 0 of `flags`: the answer came off a degraded-precision lane.
@@ -413,6 +426,8 @@ impl PartialHeader {
         out.extend_from_slice(&self.contributed.to_le_bytes());
         out.extend_from_slice(&self.total.to_le_bytes());
         out.push(self.flags);
+        out.extend_from_slice(&self.replica_id.to_le_bytes());
+        out.extend_from_slice(&self.replicas.to_le_bytes());
     }
 }
 
@@ -430,7 +445,7 @@ pub fn is_partial_body(body: &[u8]) -> bool {
 /// carries its own decode caps.
 pub fn decode_partial(body: &[u8]) -> Result<(PartialHeader, &[u8]), WireError> {
     let mut buf = body;
-    if buf.remaining() < PARTIAL_HEADER_LEN {
+    if buf.remaining() < PARTIAL_HEADER_V1_LEN {
         return Err(WireError::Truncated);
     }
     let mut magic = [0u8; 4];
@@ -439,7 +454,7 @@ pub fn decode_partial(body: &[u8]) -> Result<(PartialHeader, &[u8]), WireError> 
         return Err(WireError::BadMagic);
     }
     let version = buf.get_u16_le();
-    if version != PARTIAL_VERSION {
+    if version != PARTIAL_VERSION && version != PARTIAL_VERSION_V1 {
         return Err(WireError::BadVersion(version));
     }
     let partition_id = buf.get_u32_le();
@@ -447,6 +462,15 @@ pub fn decode_partial(body: &[u8]) -> Result<(PartialHeader, &[u8]), WireError> 
     let contributed = buf.get_u16_le();
     let total = buf.get_u16_le();
     let flags = buf.get_u8();
+    // v1 envelopes predate replication: a lone copy of the partition
+    let (replica_id, replicas) = if version == PARTIAL_VERSION_V1 {
+        (0, 1)
+    } else {
+        if buf.remaining() < PARTIAL_HEADER_LEN - PARTIAL_HEADER_V1_LEN {
+            return Err(WireError::Truncated);
+        }
+        (buf.get_u16_le(), buf.get_u16_le())
+    };
     Ok((
         PartialHeader {
             partition_id,
@@ -454,6 +478,8 @@ pub fn decode_partial(body: &[u8]) -> Result<(PartialHeader, &[u8]), WireError> 
             contributed,
             total,
             flags,
+            replica_id,
+            replicas,
         },
         buf,
     ))
@@ -1020,11 +1046,39 @@ mod tests {
             contributed: 1,
             total: 3,
             flags: 1,
+            replica_id: 1,
+            replicas: 2,
         };
         let mut body = Vec::new();
         header.encode_into(&mut body);
         body.extend_from_slice(b"table bytes follow to the end");
         (header, body)
+    }
+
+    #[test]
+    fn partial_envelope_v1_decodes_as_lone_replica() {
+        // hand-rolled v1 envelope (pre-replication backend): decodes
+        // with replica identity 0 of 1 so old fleets keep merging
+        let mut body = Vec::new();
+        body.extend_from_slice(PARTIAL_MAGIC);
+        body.extend_from_slice(&PARTIAL_VERSION_V1.to_le_bytes());
+        body.extend_from_slice(&7u32.to_le_bytes()); // partition_id
+        body.extend_from_slice(&42u64.to_le_bytes()); // epoch
+        body.extend_from_slice(&1u16.to_le_bytes()); // contributed
+        body.extend_from_slice(&8u16.to_le_bytes()); // total
+        body.push(0); // flags
+        body.extend_from_slice(b"tail");
+        let (h, tail) = decode_partial(&body).unwrap();
+        assert_eq!((h.partition_id, h.epoch), (7, 42));
+        assert_eq!((h.replica_id, h.replicas), (0, 1));
+        assert_eq!(tail, b"tail");
+        // a v2 header truncated inside the replica fields is typed, not
+        // misread as a v1 envelope
+        let (_, v2) = sample_partial();
+        assert_eq!(
+            decode_partial(&v2[..PARTIAL_HEADER_LEN - 1]).unwrap_err(),
+            WireError::Truncated
+        );
     }
 
     #[test]

@@ -354,6 +354,62 @@ fn retry_converges_against_a_saturated_queue() {
 }
 
 #[test]
+fn retry_episode_respects_the_wall_clock_deadline() {
+    use std::io::Read;
+    use std::time::Instant;
+
+    // A black-hole backend: accepts connections, reads forever, never
+    // answers. Without the episode deadline, a generous socket timeout
+    // would let each attempt block for its full configured bound and the
+    // retry loop overrun the budget the caller promised upstream.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind black hole");
+    let addr = listener.local_addr().unwrap();
+    let hole = thread::spawn(move || {
+        let mut conns = Vec::new();
+        listener.set_nonblocking(true).unwrap();
+        let until = Instant::now() + Duration::from_secs(4);
+        while Instant::now() < until {
+            if let Ok((s, _)) = listener.accept() {
+                s.set_nonblocking(true).ok();
+                conns.push(s);
+            }
+            let mut buf = [0u8; 4096];
+            for c in &mut conns {
+                let _ = c.read(&mut buf); // drain, never reply
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+    });
+
+    let mut client = Client::connect(addr).expect("connect");
+    // configured socket timeout far beyond the episode budget: the
+    // deadline clamp, not this bound, must cut each attempt short
+    client
+        .set_io_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let policy = RetryPolicy {
+        max_attempts: 50,
+        base: Duration::from_millis(10),
+        cap: Duration::from_millis(40),
+        deadline: Duration::from_millis(400),
+        seed: 3,
+    };
+    let started = Instant::now();
+    let q = vec![0.0f64; D];
+    let result = client.query_with_retry::<f64>(&q, 1, 4, 500, &policy);
+    let elapsed = started.elapsed();
+    assert!(result.is_err(), "a mute backend cannot produce an outcome");
+    assert!(
+        elapsed < Duration::from_secs(3),
+        "episode ran {elapsed:?}, far past the 400ms deadline"
+    );
+    // the clamp must not poison later requests: the configured socket
+    // timeout is restored after the episode
+    assert_eq!(client.io_timeout(), Some(Duration::from_secs(30)));
+    hole.join().unwrap();
+}
+
+#[test]
 fn overload_degrades_precision_and_recovers() {
     let (addr, handle) = start_server(ServerConfig {
         workers_per_lane: 1,

@@ -313,6 +313,77 @@ mod tests {
         assert!(merge_partial_tables::<f64>(&[], 2).is_none());
     }
 
+    #[test]
+    fn partial_tables_absorb_duplicate_replica_answers() {
+        // The hedge race in the router can deliver the *same* partition
+        // twice (primary and sibling replica both answered). Merging the
+        // duplicate must be a no-op: identical tables fold to themselves.
+        let mut a = NeighborTable::new(2, 3);
+        a.set_row(0, &[n(0.5, 3), n(1.5, 7)]);
+        a.set_row(1, &[n(0.25, 9)]);
+        let solo = merge_partial_tables(&[&a], 3).expect("single partial");
+        let raced = merge_partial_tables(&[&a, &a], 3).expect("duplicate partial");
+        for i in 0..2 {
+            assert_eq!(raced.row(i), solo.row(i));
+        }
+        // ...and folding the duplicate into a full merge with another
+        // partition changes nothing either.
+        let mut b = NeighborTable::new(2, 3);
+        b.set_row(0, &[n(1.0, 20)]);
+        b.set_row(1, &[n(0.75, 21), n(2.0, 22)]);
+        let clean = merge_partial_tables(&[&a, &b], 3).unwrap();
+        let dup = merge_partial_tables(&[&a, &b, &a], 3).unwrap();
+        for i in 0..2 {
+            assert_eq!(dup.row(i), clean.row(i));
+        }
+    }
+
+    proptest! {
+        /// Table-level merging must agree with the row oracle on
+        /// arbitrary tables whose rows carry cross-table duplicate ids
+        /// and ragged sentinel-padded tails — the exact shape the
+        /// router's hedge race produces when two replicas of one
+        /// partition both answer.
+        #[test]
+        fn partial_tables_match_oracle(
+            tables in prop::collection::vec(
+                prop::collection::vec(
+                    prop::collection::vec((0.0f64..50.0, 0u32..32), 0..10),
+                    3..4, // m: every table must agree on the row count
+                ),
+                1..5,
+            ),
+            k in 1usize..12,
+            dup in 0usize..5,
+        ) {
+            let built: Vec<NeighborTable> = tables
+                .iter()
+                .map(|rows| {
+                    let mut t = NeighborTable::new(rows.len(), k);
+                    for (i, row) in rows.iter().enumerate() {
+                        let mut v: Vec<Neighbor> =
+                            row.iter().map(|&(d, idx)| n(d, idx)).collect();
+                        v.sort_unstable_by(Neighbor::cmp_dist_idx);
+                        v.truncate(k);
+                        t.set_row(i, &v);
+                    }
+                    t
+                })
+                .collect();
+            let mut refs: Vec<&NeighborTable> = built.iter().collect();
+            // a hedged replica re-delivers one table verbatim
+            refs.push(&built[dup % built.len()]);
+            let got = merge_partial_tables(&refs, k).expect("same m");
+            for i in 0..3 {
+                let rows: Vec<&[Neighbor]> = refs.iter().map(|t| t.row(i)).collect();
+                let want = oracle_merge(&rows, k);
+                let (filled, pad) = got.row(i).split_at(want.len());
+                prop_assert_eq!(filled, want.as_slice());
+                prop_assert!(pad.iter().all(|x| *x == Neighbor::sentinel()));
+            }
+        }
+    }
+
     proptest! {
         /// Partial merging must agree with the sorted-vector oracle on
         /// arbitrary ragged partials with cross-partition duplicate ids.

@@ -274,6 +274,9 @@ fn chaos_faults_are_survived_and_recall_is_unchanged() {
 
     // -- phase 7: backend killed under the scatter-gather router ------
     router_backend_kill_degrades_typed_then_recovers();
+
+    // -- phase 8: replica killed under the replicated router ----------
+    replica_kill_is_transparent_until_the_whole_set_dies();
 }
 
 /// A batch panic inside one shard of a 2-shard server must stay inside
@@ -396,6 +399,160 @@ fn shard_kill_leaves_sibling_shards_serving() {
     assert_eq!(report.worker_panics, report.worker_respawns);
 }
 
+/// The replication acceptance contract (ISSUE 9): with R=2, killing any
+/// single replica mid-stream must be *invisible* — every answer stays
+/// `Outcome::Neighbors`, bitwise-identical to the healthy run, and the
+/// degraded counter stays at zero, because the sibling replica covers
+/// the slice via send-time failover or the hedge race. Only killing
+/// *both* replicas of one partition may produce `DegradedPartial`, and
+/// that answer must be the surviving partition's brute force exactly.
+fn replica_kill_is_transparent_until_the_whole_set_dies() {
+    let full = gsknn::data::uniform(N, D, 1);
+    let pool = gsknn::data::uniform(16, D, 31);
+    let half = N / 2;
+    // 2 partitions x 2 replicas, partition-major
+    let (p0r0, h00) = spawn_replicated_partition(&full, 0, half, 0, 0);
+    let (p0r1, h01) = spawn_replicated_partition(&full, 0, half, 0, 1);
+    let (p1r0, h10) = spawn_replicated_partition(&full, half, N, 1, 0);
+    let (p1r1, h11) = spawn_replicated_partition(&full, half, N, 1, 1);
+
+    let router = Router::bind(RouterConfig {
+        backends: vec![p0r0.clone(), p0r1.clone(), p1r0.clone(), p1r1.clone()],
+        replicas: 2,
+        backend_timeout: Duration::from_secs(1),
+        probe_interval: Duration::from_millis(50),
+        ..RouterConfig::default()
+    })
+    .expect("bind replicated router");
+    let raddr = router.local_addr().expect("router addr").to_string();
+    let hr = thread::spawn(move || router.run());
+    let mut client = Client::connect(&raddr).expect("connect router");
+
+    // healthy run: record the exact answers (already oracle-checked by
+    // phase 7's topology; here the contract is bitwise *stability*)
+    let healthy: Vec<_> = (0..8)
+        .map(|i| {
+            let out = client
+                .query::<f64>(pool.point(i), 1, K, 2000)
+                .unwrap()
+                .outcome;
+            let Outcome::Neighbors(t) = out else {
+                panic!("healthy replicated query {i} must succeed, got {out:?}");
+            };
+            assert_eq!(
+                t.row(0).iter().map(|nb| nb.idx).collect::<Vec<u32>>(),
+                brute_indices(&full, pool.point(i), K),
+                "healthy replicated query {i} vs brute force"
+            );
+            t
+        })
+        .collect();
+
+    // kill one replica of partition 1 mid-stream: every answer must stay
+    // undegraded and bitwise-identical to the healthy run
+    Client::connect(&p1r0).unwrap().shutdown().unwrap();
+    h10.join().expect("p1r0 drain");
+    for round in 0..3 {
+        for (i, want) in healthy.iter().enumerate() {
+            let out = client
+                .query::<f64>(pool.point(i), 1, K, 2000)
+                .unwrap()
+                .outcome;
+            let Outcome::Neighbors(t) = out else {
+                panic!("round {round} query {i}: replica kill must be invisible, got {out:?}");
+            };
+            assert_eq!(
+                t.row(0),
+                want.row(0),
+                "round {round} query {i}: answer drifted after the replica kill"
+            );
+        }
+    }
+    let metrics = client.metrics_text().unwrap();
+    assert!(
+        metrics.contains("gsknn_router_degraded_total 0"),
+        "a live sibling must keep answers undegraded:\n{metrics}"
+    );
+    assert!(
+        !metrics.contains("gsknn_router_replica_failovers_total 0"),
+        "the kill must register as a replica failover:\n{metrics}"
+    );
+
+    // kill the sibling too: the whole replica set for partition 1 is
+    // gone, so the typed degraded answer appears and must equal the
+    // surviving partition's brute force
+    Client::connect(&p1r1).unwrap().shutdown().unwrap();
+    h11.join().expect("p1r1 drain");
+    let q = pool.point(11);
+    let mut degraded_seen = false;
+    for _ in 0..20 {
+        match client.query::<f64>(q, 1, K, 2000).unwrap().outcome {
+            Outcome::DegradedPartial {
+                table,
+                contributed,
+                total,
+            } => {
+                assert_eq!((contributed, total), (1, 2), "partition counts");
+                let want: Vec<u32> = {
+                    let mut cands: Vec<Neighbor<f64>> = (0..half)
+                        .map(|j| Neighbor::new(DistanceKind::SqL2.eval(q, full.point(j)), j as u32))
+                        .collect();
+                    cands.sort_unstable_by(Neighbor::cmp_dist_idx);
+                    cands[..K].iter().map(|nb| nb.idx).collect()
+                };
+                let got: Vec<u32> = table.row(0).iter().map(|nb| nb.idx).collect();
+                assert_eq!(got, want, "degraded merge vs partition-0 brute force");
+                degraded_seen = true;
+                break;
+            }
+            Outcome::Neighbors(_) | Outcome::Failed(_) => thread::sleep(Duration::from_millis(50)),
+            other => panic!("dead replica set must degrade typed, got {other:?}"),
+        }
+    }
+    assert!(
+        degraded_seen,
+        "dead replica set never produced DegradedPartial"
+    );
+
+    client.shutdown().unwrap();
+    hr.join().expect("router drain");
+    Client::connect(&p0r0).unwrap().shutdown().unwrap();
+    Client::connect(&p0r1).unwrap().shutdown().unwrap();
+    h00.join().expect("p0r0 drain");
+    h01.join().expect("p0r1 drain");
+}
+
+/// Spawn one replica of an exact partitioned backend holding rows
+/// `lo..hi`, with its replica identity stamped into the GSPK envelope.
+fn spawn_replicated_partition(
+    full: &PointSet<f64>,
+    lo: usize,
+    hi: usize,
+    id: u16,
+    replica: u16,
+) -> (String, thread::JoinHandle<gsknn::serve::ServeReport>) {
+    let slice = PointSet::from_vec(D, hi - lo, full.as_slice()[lo * D..hi * D].to_vec());
+    let index = ServeIndex::build(slice, 1, hi - lo, 7);
+    let server = Server::bind(
+        ServerConfig {
+            k_max: 16,
+            partition: Some(PartitionCfg {
+                id,
+                total: 2,
+                offset: lo as u32,
+                epoch: 1,
+                replica,
+                replicas: 2,
+            }),
+            ..ServerConfig::default()
+        },
+        index,
+    )
+    .expect("bind replica");
+    let bound = server.local_addr().expect("addr").to_string();
+    (bound, thread::spawn(move || server.run()))
+}
+
 /// Spawn an exact partitioned backend holding rows `lo..hi` of the full
 /// set, on `addr` (pass `"127.0.0.1:0"` for an ephemeral port, or a
 /// previous bound address to restart in place).
@@ -412,12 +569,7 @@ fn spawn_partition(
         ServerConfig {
             addr: addr.to_string(),
             k_max: 16,
-            partition: Some(PartitionCfg {
-                id,
-                total: 2,
-                offset: lo as u32,
-                epoch: 1,
-            }),
+            partition: Some(PartitionCfg::solo(id, 2, lo as u32, 1)),
             ..ServerConfig::default()
         },
         index,
