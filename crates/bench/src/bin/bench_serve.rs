@@ -589,6 +589,11 @@ fn main() {
         } else {
             0.0
         };
+        // per-stage time attribution over the whole run (zeroes unless
+        // the backends were built with `obs` and returned span annexes)
+        if rreport.stages.total_ns() > 0 {
+            println!("router stages: {}", rreport.stages.render_line());
+        }
         // the replicated tier runs duration-based so the mid-run kill
         // lands inside the measuring window whatever the host's speed
         let rep_duration = if args.duration_ms > 0 {
@@ -618,6 +623,7 @@ fn main() {
             "degraded_fraction": degraded_fraction,
             "hedges": rreport.hedges,
             "epoch_rejects": rreport.epoch_rejects,
+            "attribution": rreport.stages.to_json(),
         })
     });
 

@@ -801,6 +801,7 @@ fn query_remote_run<T: FusedScalar>(
                 check_recall(&table);
             }
             Outcome::Degraded(table) => {
+                eprintln!("query {i}: degraded answer (trace {:016x})", reply.trace_id);
                 degraded += 1;
                 check_recall(&table);
             }
@@ -809,7 +810,11 @@ fn query_remote_run<T: FusedScalar>(
                 contributed,
                 total,
             } => {
-                eprintln!("query {i}: degraded answer from {contributed}/{total} partitions");
+                eprintln!(
+                    "query {i}: degraded answer from {contributed}/{total} partitions \
+                     (trace {:016x})",
+                    reply.trace_id
+                );
                 degraded += 1;
                 check_recall(&table);
             }
@@ -828,7 +833,10 @@ fn query_remote_run<T: FusedScalar>(
             Outcome::TimedOut => timed_out += 1,
             Outcome::ShuttingDown => rejected += 1,
             Outcome::Failed(msg) => {
-                eprintln!("query {i} failed after retries: {msg}");
+                eprintln!(
+                    "query {i} failed after retries (trace {:016x}): {msg}",
+                    reply.trace_id
+                );
                 failed += 1;
             }
             Outcome::Rejected(msg) => {
@@ -883,14 +891,39 @@ fn query_remote_run<T: FusedScalar>(
 }
 
 /// `trace`: pull the slowest-request ring from a running `serve`
-/// instance as Chrome trace-event JSON (open in `chrome://tracing` or
-/// <https://ui.perfetto.dev>). Validates the export parses before
-/// writing it; with `--out F` the JSON lands in the file and a summary
-/// goes to stdout, otherwise the JSON itself is the output.
+/// instance (or a router) as Chrome trace-event JSON (open in
+/// `chrome://tracing` or <https://ui.perfetto.dev>). Validates the
+/// export parses before writing it; with `--out F` the JSON lands in
+/// the file and a summary goes to stdout, otherwise the JSON itself is
+/// the output.
+///
+/// `--distributed true` treats the target as a router whose ring holds
+/// stitched cross-tier traces: the summary then breaks each trace down
+/// by lane (router timeline + one lane per backend attempt, hedged
+/// siblings included). `--trace-id <hex>` fetches one specific stitched
+/// trace by id via the `TraceFetch` wire op instead of the whole ring.
 pub fn cmd_trace(args: &ArgMap) -> Result<String, CliError> {
     let addr = args.str_req("addr")?;
     let mut client = connect_retry(&addr, args.get_or("connect-wait-ms", 5000)?)?;
-    let json = client.traces_json().map_err(|e| CliError(e.to_string()))?;
+    let distributed: bool = args.get_or("distributed", false)?;
+    let json = match args.opt::<String>("trace-id")? {
+        Some(raw) => {
+            let hex = raw.trim_start_matches("0x");
+            let id = u64::from_str_radix(hex, 16)
+                .map_err(|_| CliError(format!("--trace-id: cannot parse '{raw}' as hex")))?;
+            let body = client
+                .trace_fetch(id)
+                .map_err(|e| CliError(e.to_string()))?;
+            String::from_utf8(body).map_err(|_| {
+                CliError(
+                    "trace-fetch reply is not JSON — point --addr at a router \
+                     (backends answer TraceFetch with a raw span annex)"
+                        .into(),
+                )
+            })?
+        }
+        None => client.traces_json().map_err(|e| CliError(e.to_string()))?,
+    };
     let doc: serde_json::Value = serde_json::from_str(&json)
         .map_err(|e| CliError(format!("server sent unparseable trace JSON: {e}")))?;
     let events = doc
@@ -901,20 +934,100 @@ pub fn cmd_trace(args: &ArgMap) -> Result<String, CliError> {
         .iter()
         .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
         .count();
-    let traces = events.len() - spans; // one "M" metadata event per trace
+    // one "M" metadata event per lane; the router lane (track 0) has
+    // tid ≡ 1 (mod 256), so counting those counts traces
+    let traces = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(|p| p.as_str()) == Some("M")
+                && e.get("tid").and_then(|t| t.as_u64()).map(|t| t % 256) == Some(1)
+        })
+        .count();
+    let summary = if distributed {
+        distributed_trace_summary(events)
+    } else {
+        String::new()
+    };
     match args.opt::<String>("out")? {
         Some(path) => {
             let path = PathBuf::from(path);
             std::fs::write(&path, &json)
                 .map_err(|e| CliError(format!("{}: {e}", path.display())))?;
             Ok(format!(
-                "wrote {} traces ({spans} spans) to {}\n",
+                "{summary}wrote {} traces ({spans} spans) to {}\n",
                 traces,
                 path.display()
             ))
         }
+        None if distributed => Ok(format!("{summary}{json}\n")),
         None => Ok(json + "\n"),
     }
+}
+
+/// Per-trace lane breakdown for stitched router traces: span count,
+/// lane count, which backends contributed, and the wall-clock extent.
+fn distributed_trace_summary(events: &[serde_json::Value]) -> String {
+    use std::collections::{BTreeMap, BTreeSet};
+    #[derive(Default)]
+    struct TraceSum {
+        spans: usize,
+        lanes: BTreeSet<u64>,
+        backends: BTreeSet<String>,
+        lo_us: f64,
+        hi_us: f64,
+    }
+    let mut by_id: BTreeMap<String, TraceSum> = BTreeMap::new();
+    for e in events {
+        if e.get("ph").and_then(|p| p.as_str()) != Some("X") {
+            continue;
+        }
+        let Some(id) = e
+            .get("args")
+            .and_then(|a| a.get("trace_id"))
+            .and_then(|v| v.as_str())
+        else {
+            continue;
+        };
+        let tid = e.get("tid").and_then(|t| t.as_u64()).unwrap_or(0);
+        let ts = e.get("ts").and_then(|t| t.as_f64()).unwrap_or(0.0);
+        let dur = e.get("dur").and_then(|d| d.as_f64()).unwrap_or(0.0);
+        let s = by_id.entry(id.to_string()).or_insert_with(|| TraceSum {
+            lo_us: f64::INFINITY,
+            ..Default::default()
+        });
+        s.spans += 1;
+        s.lanes.insert(tid % 256);
+        if tid % 256 != 1 {
+            // backend-lane spans are named "b<backend>: <span>"
+            if let Some(name) = e.get("name").and_then(|n| n.as_str()) {
+                if let Some((prefix, _)) = name.split_once(": ") {
+                    if prefix.starts_with('b') && prefix[1..].chars().all(|c| c.is_ascii_digit()) {
+                        s.backends.insert(prefix.to_string());
+                    }
+                }
+            }
+        }
+        s.lo_us = s.lo_us.min(ts);
+        s.hi_us = s.hi_us.max(ts + dur);
+    }
+    let mut out = String::new();
+    for (id, s) in &by_id {
+        let backends: Vec<&str> = s.backends.iter().map(|b| b.as_str()).collect();
+        writeln!(
+            out,
+            "trace {id}: {} spans across {} lanes (backends: {}), extent {:.2} ms",
+            s.spans,
+            s.lanes.len(),
+            if backends.is_empty() {
+                "none".to_string()
+            } else {
+                backends.join(", ")
+            },
+            (s.hi_us - s.lo_us) / 1e3
+        )
+        .unwrap();
+    }
+    out
 }
 
 /// `top`: live terminal view of a running server's per-second load
@@ -1160,6 +1273,32 @@ fn serve_metrics(cand: &serde_json::Value, priors: &[serde_json::Value]) -> Vec<
             }
         }
     }
+    // Stage-attribution drift: the kernel's share of routed query time
+    // shrinking is a regression even when p99 holds — it means the
+    // overhead stages (network residual, backend queue/coalesce wait,
+    // router merge) grew. The kernel share is gated rather than the
+    // three overhead shares because it is the dominant term: relative
+    // drift on a 1%-share stage is all noise, while the complement
+    // moves only when attribution really shifted. Only present (and
+    // only baselined) when the run's backends were built with `obs`.
+    let stage_val = |run: &serde_json::Value| -> Option<f64> {
+        run.get("router")?
+            .get("attribution")?
+            .get("kernel_pct")?
+            .as_f64()
+    };
+    if let Some(val) = stage_val(cand).filter(|&v| v > 0.0) {
+        out.push(DiffMetric {
+            name: "router kernel_pct".to_string(),
+            baseline: priors
+                .iter()
+                .filter_map(|r| stage_val(r))
+                .filter(|&v| v > 0.0)
+                .collect(),
+            candidate: val,
+            down_bad: true,
+        });
+    }
     let server_mean = |run: &serde_json::Value| -> Option<f64> {
         run.get("server")?.get("batch_m_mean")?.as_f64()
     };
@@ -1342,8 +1481,11 @@ pub fn usage() -> String {
      \x20                 --m 10 --d 16 --k 8 --deadline-ms 250 --queries F\n\
      \x20                 --expect-in F --min-recall 1.0 --connect-wait-ms 5000\n\
      \x20                 --timeout-ms 60000 --retries 0]\n\
-     \x20 trace   --addr H:P [--out F --connect-wait-ms 5000]\n\
-     \x20                 (slowest-request ring as Chrome trace-event JSON)\n\
+     \x20 trace   --addr H:P [--out F --distributed false --trace-id HEX\n\
+     \x20                 --connect-wait-ms 5000]\n\
+     \x20                 (slowest-request ring as Chrome trace-event JSON;\n\
+     \x20                 --distributed true summarizes stitched router traces\n\
+     \x20                 per backend lane, --trace-id fetches one by id)\n\
      \x20 top     --addr H:P [--interval-ms 1000 --iters N --rows 20\n\
      \x20                 --timeseries-out F --connect-wait-ms 5000]\n\
      \x20                 (live per-second load view; --timeseries-out dumps the JSON)\n\

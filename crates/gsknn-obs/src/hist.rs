@@ -249,6 +249,90 @@ impl HistSnapshot {
     }
 }
 
+/// One histogram bucket's exemplar: the slowest sample that landed in
+/// the bucket and the trace id that produced it — how a latency spike in
+/// the exposition links straight to its distributed trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BucketExemplar {
+    /// The bucket's upper bound in nanoseconds ([`bucket_bounds`]`.1`;
+    /// the open top bucket reports `u64::MAX`), matching the `le` label
+    /// of the corresponding `_bucket` exposition series.
+    pub le_ns: u64,
+    /// The slowest recorded sample in the bucket, nanoseconds.
+    pub ns: u64,
+    /// Trace id of that sample.
+    pub trace_id: u64,
+}
+
+/// Lock-free per-bucket exemplar store, shadowing a
+/// [`LatencyHistogram`]: [`Exemplars::record`] keeps the slowest sample
+/// (and its trace id) per bucket with relaxed atomics, so the recording
+/// cost on the reply hot path is one load plus, rarely, one CAS — the
+/// max for a bucket settles quickly at steady state.
+///
+/// Under a race two recorders may interleave so the stored trace id
+/// belongs to a marginally faster sample than the stored maximum; both
+/// remain *real* samples from the bucket, which is all an exemplar
+/// promises.
+pub struct Exemplars {
+    /// Per-bucket `(max_ns + 1, trace_id)`; 0 in the first slot means
+    /// the bucket has no exemplar yet (a 0 ns sample encodes as 1).
+    slots: Box<[(AtomicU64, AtomicU64)]>,
+}
+
+impl Default for Exemplars {
+    fn default() -> Self {
+        Exemplars {
+            slots: (0..NUM_BUCKETS)
+                .map(|_| (AtomicU64::new(0), AtomicU64::new(0)))
+                .collect(),
+        }
+    }
+}
+
+impl Exemplars {
+    /// Empty store (one allocation, done once at server start).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offer one sample; kept iff it is the slowest seen for its bucket.
+    #[inline]
+    pub fn record(&self, ns: u64, trace_id: u64) {
+        let slot = &self.slots[bucket_index(ns)];
+        let key = ns.saturating_add(1);
+        let mut cur = slot.0.load(Ordering::Relaxed);
+        while key > cur {
+            match slot
+                .0
+                .compare_exchange_weak(cur, key, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => {
+                    slot.1.store(trace_id, Ordering::Relaxed);
+                    break;
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Non-empty buckets' exemplars, in bucket order.
+    pub fn snapshot(&self) -> Vec<BucketExemplar> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, (max, id))| {
+                let key = max.load(Ordering::Relaxed);
+                (key > 0).then(|| BucketExemplar {
+                    le_ns: bucket_bounds(i).1,
+                    ns: key - 1,
+                    trace_id: id.load(Ordering::Relaxed),
+                })
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -335,6 +419,44 @@ mod tests {
             .map(|b| b.get("count").and_then(|v| v.as_u64()).unwrap())
             .sum();
         assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn exemplars_keep_the_slowest_per_bucket() {
+        let e = Exemplars::new();
+        assert!(e.snapshot().is_empty());
+        // two samples in one bucket ([917504, 1048576)): slower wins
+        assert_eq!(bucket_index(950_000), bucket_index(1_000_000));
+        e.record(950_000, 0xAAAA);
+        e.record(1_000_000, 0xBBBB);
+        e.record(0, 0xCCCC); // 0 ns still records (bucket 0)
+        e.record(5_000_000_000, 0xDDDD);
+        let snap = e.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(
+            snap[0],
+            BucketExemplar {
+                le_ns: 1,
+                ns: 0,
+                trace_id: 0xCCCC
+            }
+        );
+        let mid = snap
+            .iter()
+            .find(|x| x.ns == 1_000_000)
+            .expect("slower sample kept");
+        assert_eq!(mid.trace_id, 0xBBBB);
+        assert_eq!(mid.le_ns, bucket_bounds(bucket_index(1_000_000)).1);
+        // a faster later sample does not displace the resident
+        e.record(960_000, 0xEEEE);
+        assert_eq!(
+            e.snapshot()
+                .iter()
+                .find(|x| x.ns == 1_000_000)
+                .unwrap()
+                .trace_id,
+            0xBBBB
+        );
     }
 
     proptest! {

@@ -50,13 +50,15 @@ pub mod serve;
 pub mod timeseries;
 pub mod trace;
 
-pub use hist::{HistSnapshot, LatencyHistogram};
+pub use hist::{BucketExemplar, Exemplars, HistSnapshot, LatencyHistogram};
 pub use profile::{profile_run, profile_synthetic};
-pub use report::{DriftRow, PhaseRow, ProfileReport, SchedulerReport, VariantTiming, WorkerRow};
+pub use report::{
+    DriftRow, PhaseRow, ProfileReport, SchedulerReport, StageBreakdown, VariantTiming, WorkerRow,
+};
 pub use roofline::{classify, BoundClass, RooflineInputs, RooflineRow, RooflineVerdict};
 pub use serve::{batch_bucket, FlushCounts, LatencyRow, ServeReport, BATCH_BUCKETS};
 pub use timeseries::{parse_timeseries, render_top, timeseries_json, LoadSample};
-pub use trace::{chrome_trace_json, Trace, TraceRing, TraceSpan};
+pub use trace::{align_spans, chrome_trace_json, Trace, TraceRing, TraceSpan};
 
 #[cfg(test)]
 mod sched_tests {

@@ -37,6 +37,91 @@ pub fn phase_rows(phases: &PhaseSet) -> Vec<PhaseRow> {
         .collect()
 }
 
+/// Per-stage time attribution of the distributed serving path: where a
+/// routed query's wall clock went, split into the four cross-tier
+/// stages the stitched traces expose. Totals are cumulative nanoseconds
+/// (counter semantics — they only grow), so the same breakdown backs
+/// the `gsknn_router_stage_ns_total{stage}` Prometheus family, the
+/// RouterReport table and the bench attribution percentages.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageBreakdown {
+    /// Wire + router fan-out/collect time not attributable to any other
+    /// stage (the non-negative residual of the routed total).
+    pub network_ns: u64,
+    /// Backend-side non-kernel time: decode, admission, coalesce wait,
+    /// reply write — queueing in the broad sense.
+    pub backend_wait_ns: u64,
+    /// Backend kernel phases (the `kernel: *` spans).
+    pub kernel_ns: u64,
+    /// Router-side merge of the per-partition heaps.
+    pub merge_ns: u64,
+}
+
+impl StageBreakdown {
+    /// Stage labels, in display/exposition order.
+    pub const STAGES: [&'static str; 4] = ["network", "backend_wait", "kernel", "merge"];
+
+    /// Totals in [`StageBreakdown::STAGES`] order.
+    pub fn totals(&self) -> [u64; 4] {
+        [
+            self.network_ns,
+            self.backend_wait_ns,
+            self.kernel_ns,
+            self.merge_ns,
+        ]
+    }
+
+    /// Sum over all stages, ns.
+    pub fn total_ns(&self) -> u64 {
+        self.totals().iter().sum()
+    }
+
+    /// Per-stage share of the summed total as percentages, in
+    /// [`StageBreakdown::STAGES`] order (all zero when nothing recorded).
+    pub fn percentages(&self) -> [f64; 4] {
+        let total = self.total_ns();
+        if total == 0 {
+            return [0.0; 4];
+        }
+        self.totals().map(|ns| ns as f64 * 100.0 / total as f64)
+    }
+
+    /// Accumulate another breakdown (e.g. one routed query's attribution
+    /// into the server-lifetime counters).
+    pub fn add(&mut self, other: &StageBreakdown) {
+        self.network_ns += other.network_ns;
+        self.backend_wait_ns += other.backend_wait_ns;
+        self.kernel_ns += other.kernel_ns;
+        self.merge_ns += other.merge_ns;
+    }
+
+    /// One table line: `network 42.1% · backend wait 30.0% · …` with the
+    /// absolute milliseconds in parentheses.
+    pub fn render_line(&self) -> String {
+        let pct = self.percentages();
+        let ms = self.totals().map(|ns| ns as f64 / 1e6);
+        format!(
+            "network {:.1}% ({:.1} ms) · backend wait {:.1}% ({:.1} ms) · kernel {:.1}% ({:.1} ms) · merge {:.1}% ({:.1} ms)",
+            pct[0], ms[0], pct[1], ms[1], pct[2], ms[2], pct[3], ms[3]
+        )
+    }
+
+    /// JSON object: per-stage ns totals plus the percentage split.
+    pub fn to_json(&self) -> Value {
+        let pct = self.percentages();
+        Value::Object(vec![
+            ("network_ns".into(), Value::from(self.network_ns)),
+            ("backend_wait_ns".into(), Value::from(self.backend_wait_ns)),
+            ("kernel_ns".into(), Value::from(self.kernel_ns)),
+            ("merge_ns".into(), Value::from(self.merge_ns)),
+            ("network_pct".into(), Value::from(pct[0])),
+            ("backend_wait_pct".into(), Value::from(pct[1])),
+            ("kernel_pct".into(), Value::from(pct[2])),
+            ("merge_pct".into(), Value::from(pct[3])),
+        ])
+    }
+}
+
 /// One model-vs-measured component of the drift join. `terms` lists the
 /// [`gsknn_core::Model::tm_terms`] names (plus `"compute (Tf + To)"`)
 /// whose predictions were summed into `predicted`, so the report is an
@@ -427,5 +512,45 @@ impl SchedulerReport {
             self.load_imbalance
         ));
         out
+    }
+}
+
+#[cfg(test)]
+mod stage_tests {
+    use super::*;
+
+    #[test]
+    fn stage_breakdown_percentages_and_json() {
+        let mut b = StageBreakdown {
+            network_ns: 10_000_000,
+            backend_wait_ns: 30_000_000,
+            kernel_ns: 50_000_000,
+            merge_ns: 10_000_000,
+        };
+        assert_eq!(b.total_ns(), 100_000_000);
+        let pct = b.percentages();
+        assert_eq!(pct, [10.0, 30.0, 50.0, 10.0]);
+        b.add(&StageBreakdown {
+            network_ns: 1,
+            backend_wait_ns: 2,
+            kernel_ns: 3,
+            merge_ns: 4,
+        });
+        assert_eq!(b.kernel_ns, 50_000_003);
+
+        let back: Value =
+            serde_json::from_str(&b.to_json().to_string()).expect("stage JSON parses");
+        assert_eq!(
+            back.get("backend_wait_ns").and_then(|v| v.as_u64()),
+            Some(30_000_002)
+        );
+        assert!(back.get("kernel_pct").and_then(|v| v.as_f64()).unwrap() > 49.0);
+        let line = b.render_line();
+        assert!(line.contains("network"), "{line}");
+        assert!(line.contains("merge"), "{line}");
+
+        // an empty breakdown divides by nothing
+        assert_eq!(StageBreakdown::default().percentages(), [0.0; 4]);
+        assert_eq!(StageBreakdown::STAGES[2], "kernel");
     }
 }

@@ -57,6 +57,11 @@ pub struct LatencyRow {
     pub status: String,
     /// Log-bucketed receive-to-reply latency distribution.
     pub hist: HistSnapshot,
+    /// Slowest trace id per bucket ([`crate::hist::Exemplars`]
+    /// snapshot), rendered as OpenMetrics-style exemplar suffixes on
+    /// the matching `_bucket` exposition lines. Empty when tracing is
+    /// compiled out.
+    pub exemplars: Vec<crate::hist::BucketExemplar>,
 }
 
 /// Batch-size histogram bucket upper bounds (inclusive); the last bucket
@@ -285,6 +290,29 @@ impl ServeReport {
                             ];
                             if let Value::Object(fields) = row.hist.to_json() {
                                 obj.extend(fields);
+                            }
+                            if !row.exemplars.is_empty() {
+                                obj.push((
+                                    "exemplars".into(),
+                                    Value::Array(
+                                        row.exemplars
+                                            .iter()
+                                            .map(|x| {
+                                                Value::Object(vec![
+                                                    ("le_ns".into(), Value::from(x.le_ns)),
+                                                    ("ns".into(), Value::from(x.ns)),
+                                                    (
+                                                        "trace_id".into(),
+                                                        Value::String(format!(
+                                                            "{:016x}",
+                                                            x.trace_id
+                                                        )),
+                                                    ),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ));
                             }
                             Value::Object(obj)
                         })
@@ -623,8 +651,22 @@ impl ServeReport {
                     } else {
                         format!("{:.9}", le_ns as f64 / 1e9)
                     };
+                    // OpenMetrics-style exemplar: link the bucket to
+                    // the slowest trace that landed in it
+                    let exemplar = row
+                        .exemplars
+                        .iter()
+                        .find(|x| x.le_ns == le_ns)
+                        .map(|x| {
+                            format!(
+                                " # {{trace_id=\"{:016x}\"}} {:.9}",
+                                x.trace_id,
+                                x.ns as f64 / 1e9
+                            )
+                        })
+                        .unwrap_or_default();
                     out.push_str(&format!(
-                        "gsknn_request_latency_seconds_bucket{{{labels},le=\"{le}\"}} {cum}\n"
+                        "gsknn_request_latency_seconds_bucket{{{labels},le=\"{le}\"}} {cum}{exemplar}\n"
                     ));
                 }
                 out.push_str(&format!(
@@ -723,6 +765,7 @@ mod tests {
                         }
                         h
                     },
+                    exemplars: Vec::new(),
                 },
                 LatencyRow {
                     lane: "f32".into(),
@@ -732,6 +775,7 @@ mod tests {
                         h.record_ns(55_000_000);
                         h
                     },
+                    exemplars: Vec::new(),
                 },
             ],
             batch_targets: vec![("f64".into(), 48), ("f32".into(), 96)],
@@ -871,6 +915,46 @@ mod tests {
     }
 
     #[test]
+    fn exemplar_suffixes_render_and_parse() {
+        let mut r = sample();
+        // attach exemplars to the f64/ok row, built from its samples
+        let store = crate::hist::Exemplars::new();
+        for (ns, id) in [
+            (900_000u64, 0xAAu64),
+            (1_100_000, 0xBB),
+            (2_000_000, 0xCC),
+            (40_000_000, 0xDD),
+        ] {
+            store.record(ns, id);
+        }
+        r.latency[0].exemplars = store.snapshot();
+        let prom = r.render_prometheus();
+        // the slowest bucket's line carries its trace id and seconds
+        assert!(
+            prom.contains("# {trace_id=\"00000000000000dd\"} 0.040000000"),
+            "{prom}"
+        );
+        // the strict parser accepts the exemplar syntax and surfaces it
+        let samples = promparse::parse(&prom).expect("exemplar exposition parses");
+        let with_ex: Vec<_> = samples.iter().filter(|s| s.exemplar.is_some()).collect();
+        assert_eq!(with_ex.len(), 4, "one exemplar per non-empty bucket");
+        for s in &with_ex {
+            assert_eq!(s.name, "gsknn_request_latency_seconds_bucket");
+            let (labels, value) = s.exemplar.as_ref().unwrap();
+            assert_eq!(labels.len(), 1);
+            assert_eq!(labels[0].0, "trace_id");
+            assert!(*value > 0.0);
+        }
+        // rows without exemplars render exactly as before
+        let plain = sample().render_prometheus();
+        assert!(!plain.contains(" # "));
+        // malformed exemplar suffixes are rejected
+        assert!(promparse::parse("# TYPE m counter\nm 1 # notbraces 2\n").is_err());
+        assert!(promparse::parse("# TYPE m counter\nm 1 # {a=\"b\"} x\n").is_err());
+        assert!(promparse::parse("# TYPE m counter\nm 1 # {a=\"b\"} 2 3\n").is_err());
+    }
+
+    #[test]
     fn fault_line_is_omitted_when_clean() {
         let mut r = sample();
         r.worker_panics = 0;
@@ -968,6 +1052,9 @@ mod tests {
             pub name: String,
             pub labels: Vec<(String, String)>,
             pub value: f64,
+            /// OpenMetrics-style exemplar (` # {labels} value` suffix),
+            /// if the line carried one.
+            pub exemplar: Option<(Vec<(String, String)>, f64)>,
         }
 
         fn valid_metric_name(s: &str) -> bool {
@@ -1069,6 +1156,30 @@ mod tests {
             let value_part = value_part
                 .strip_prefix(' ')
                 .ok_or_else(|| format!("missing space before value in {line:?}"))?;
+            // an OpenMetrics exemplar may trail the value:
+            // `value # {labels} exemplar_value`
+            let (value_part, exemplar) = match value_part.split_once(" # ") {
+                Some((v, ex)) => {
+                    let ex = ex
+                        .strip_prefix('{')
+                        .ok_or_else(|| format!("exemplar without labels in {line:?}"))?;
+                    let (ex_labels, ex_rest) = ex
+                        .split_once('}')
+                        .ok_or_else(|| format!("unclosed exemplar labels in {line:?}"))?;
+                    let ex_labels = parse_labels(ex_labels)?;
+                    let ex_value = ex_rest
+                        .strip_prefix(' ')
+                        .ok_or_else(|| format!("exemplar without value in {line:?}"))?;
+                    if ex_value.contains(' ') {
+                        return Err(format!("trailing tokens after exemplar in {line:?}"));
+                    }
+                    let ex_value = ex_value
+                        .parse::<f64>()
+                        .map_err(|_| format!("unparseable exemplar value in {line:?}"))?;
+                    (v, Some((ex_labels, ex_value)))
+                }
+                None => (value_part, None),
+            };
             if value_part.contains(' ') {
                 return Err(format!("trailing tokens in {line:?}"));
             }
@@ -1083,6 +1194,7 @@ mod tests {
                 name: name.to_string(),
                 labels,
                 value,
+                exemplar,
             })
         }
 
@@ -1309,10 +1421,18 @@ mod tests {
             latency: if ns_samples.is_empty() {
                 vec![]
             } else {
+                // exemplars built from the same samples, so every
+                // exemplar-bearing bucket line is exercised by the
+                // strict-parse property
+                let store = crate::hist::Exemplars::new();
+                for (i, &ns) in ns_samples.iter().enumerate() {
+                    store.record(ns, 0x1000 + i as u64);
+                }
                 vec![LatencyRow {
                     lane: lane.clone(),
                     status: "ok".into(),
                     hist: latency_hist,
+                    exemplars: store.snapshot(),
                 }]
             },
             batch_targets: vec![(lane, 1 + c(16) as usize % 512)],

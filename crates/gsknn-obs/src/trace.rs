@@ -21,6 +21,29 @@ pub struct TraceSpan {
     pub start_us: f64,
     /// Duration in microseconds.
     pub dur_us: f64,
+    /// Rendering lane within the trace: 0 is the local (router/server)
+    /// timeline; a distributed trace places each backend attempt's
+    /// stitched spans on its own non-zero track so hedge/failover
+    /// siblings show as parallel lanes in the Chrome export.
+    pub track: u32,
+}
+
+impl TraceSpan {
+    /// A span on the main (track 0) timeline.
+    pub fn new(name: impl Into<String>, start_us: f64, dur_us: f64) -> Self {
+        TraceSpan {
+            name: name.into(),
+            start_us,
+            dur_us,
+            track: 0,
+        }
+    }
+
+    /// Move the span onto a different rendering track.
+    pub fn on_track(mut self, track: u32) -> Self {
+        self.track = track;
+        self
+    }
 }
 
 /// One request's completed timeline.
@@ -61,6 +84,7 @@ impl Trace {
                     ("name".into(), Value::String(s.name.clone())),
                     ("start_us".into(), Value::from(s.start_us)),
                     ("dur_us".into(), Value::from(s.dur_us)),
+                    ("track".into(), Value::from(s.track)),
                 ])
             })
             .collect();
@@ -149,40 +173,50 @@ impl TraceRing {
 }
 
 /// Render traces as Chrome trace-event JSON: one complete (`"ph": "X"`)
-/// event per span, one virtual thread per trace (named with the trace
-/// id, lane and status), timestamps in absolute microseconds since the
-/// server epoch. Loadable in `chrome://tracing` and Perfetto.
+/// event per span, one virtual thread per (trace, track) pair —
+/// distributed traces render each backend attempt's track as its own
+/// parallel lane under the trace — timestamps in absolute microseconds
+/// since the server epoch. Loadable in `chrome://tracing` and Perfetto.
 pub fn chrome_trace_json(traces: &[Trace]) -> Value {
     let mut events: Vec<Value> = Vec::new();
     for (i, t) in traces.iter().enumerate() {
-        let tid = i as u64 + 1;
-        events.push(Value::Object(vec![
-            ("name".into(), Value::String("thread_name".into())),
-            ("ph".into(), Value::String("M".into())),
-            ("pid".into(), Value::from(1u64)),
-            ("tid".into(), Value::from(tid)),
-            (
-                "args".into(),
-                Value::Object(vec![(
-                    "name".into(),
-                    Value::String(format!(
-                        "trace {:016x} [{} {} m={} k={}] {:.2} ms",
-                        t.trace_id,
-                        t.lane,
-                        t.status,
-                        t.m,
-                        t.k,
-                        t.total_us / 1e3
-                    )),
-                )]),
-            ),
-        ]));
+        // 256 tids per trace leaves room for 255 backend-attempt lanes
+        let tid_of = |track: u32| i as u64 * 256 + track as u64 + 1;
+        let mut tracks: Vec<u32> = t.spans.iter().map(|s| s.track).collect();
+        tracks.push(0);
+        tracks.sort_unstable();
+        tracks.dedup();
+        for &track in &tracks {
+            let lane_name = if track == 0 {
+                format!(
+                    "trace {:016x} [{} {} m={} k={}] {:.2} ms",
+                    t.trace_id,
+                    t.lane,
+                    t.status,
+                    t.m,
+                    t.k,
+                    t.total_us / 1e3
+                )
+            } else {
+                format!("trace {:016x} · backend lane {}", t.trace_id, track)
+            };
+            events.push(Value::Object(vec![
+                ("name".into(), Value::String("thread_name".into())),
+                ("ph".into(), Value::String("M".into())),
+                ("pid".into(), Value::from(1u64)),
+                ("tid".into(), Value::from(tid_of(track))),
+                (
+                    "args".into(),
+                    Value::Object(vec![("name".into(), Value::String(lane_name))]),
+                ),
+            ]));
+        }
         for s in &t.spans {
             events.push(Value::Object(vec![
                 ("name".into(), Value::String(s.name.clone())),
                 ("ph".into(), Value::String("X".into())),
                 ("pid".into(), Value::from(1u64)),
-                ("tid".into(), Value::from(tid)),
+                ("tid".into(), Value::from(tid_of(s.track))),
                 ("ts".into(), Value::from(t.t0_us + s.start_us)),
                 ("dur".into(), Value::from(s.dur_us)),
                 (
@@ -205,6 +239,56 @@ pub fn chrome_trace_json(traces: &[Trace]) -> Value {
     ])
 }
 
+/// Map a backend's span fragment into the router timeline via
+/// RTT-bracketing clock alignment.
+///
+/// `spans` are in the backend's own monotonic timeline (µs, relative to
+/// whatever zero the backend chose); `bracket_start_us..bracket_end_us`
+/// is the router-side send→receive window that provably contains all of
+/// them (the backend did its work between the router writing the
+/// request and reading the reply). The spans' extent is centered on the
+/// bracket midpoint — the classic RTT-halving clock estimate — and then
+/// every span is clamped into the bracket, so the output always nests
+/// inside `[bracket_start_us, bracket_end_us]` even when the backend's
+/// span extent exceeds the bracket (possible only through measurement
+/// jitter; clamping may shorten a span, never grow or reorder it).
+pub fn align_spans(
+    spans: &[TraceSpan],
+    bracket_start_us: f64,
+    bracket_end_us: f64,
+) -> Vec<TraceSpan> {
+    if spans.is_empty() {
+        return Vec::new();
+    }
+    let (start, end) = if bracket_end_us >= bracket_start_us {
+        (bracket_start_us, bracket_end_us)
+    } else {
+        (bracket_end_us, bracket_start_us)
+    };
+    let lo = spans
+        .iter()
+        .map(|s| s.start_us)
+        .fold(f64::INFINITY, f64::min);
+    let hi = spans
+        .iter()
+        .map(|s| s.start_us + s.dur_us.max(0.0))
+        .fold(f64::NEG_INFINITY, f64::max);
+    let offset = (start + end) / 2.0 - (lo + hi) / 2.0;
+    spans
+        .iter()
+        .map(|s| {
+            let s_start = (s.start_us + offset).clamp(start, end);
+            let s_end = (s.start_us + s.dur_us.max(0.0) + offset).clamp(s_start, end);
+            TraceSpan {
+                name: s.name.clone(),
+                start_us: s_start,
+                dur_us: s_end - s_start,
+                track: s.track,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,21 +303,9 @@ mod tests {
             t0_us: 100.0 * id as f64,
             total_us,
             spans: vec![
-                TraceSpan {
-                    name: "decode".into(),
-                    start_us: 0.0,
-                    dur_us: 2.0,
-                },
-                TraceSpan {
-                    name: "coalesce wait".into(),
-                    start_us: 2.0,
-                    dur_us: total_us - 4.0,
-                },
-                TraceSpan {
-                    name: "kernel: rank-dc kernel".into(),
-                    start_us: total_us - 2.0,
-                    dur_us: 2.0,
-                },
+                TraceSpan::new("decode", 0.0, 2.0),
+                TraceSpan::new("coalesce wait", 2.0, total_us - 4.0),
+                TraceSpan::new("kernel: rank-dc kernel", total_us - 2.0, 2.0),
             ],
         }
     }
@@ -282,6 +354,90 @@ mod tests {
         for e in events {
             assert!(e.get("pid").is_some());
             assert!(e.get("tid").is_some());
+        }
+    }
+
+    #[test]
+    fn multi_track_traces_get_one_lane_per_track() {
+        let mut t = trace(9, 40.0);
+        t.spans
+            .push(TraceSpan::new("backend decode", 5.0, 1.0).on_track(1));
+        t.spans
+            .push(TraceSpan::new("backend decode", 6.0, 1.0).on_track(2));
+        let back: Value = serde_json::from_str(&chrome_trace_json(&[t]).to_string()).unwrap();
+        let events = back.get("traceEvents").and_then(|v| v.as_array()).unwrap();
+        // three thread_name metadata events (tracks 0, 1, 2) + 5 spans
+        let meta: Vec<u64> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some("M"))
+            .map(|e| e.get("tid").and_then(|v| v.as_u64()).unwrap())
+            .collect();
+        assert_eq!(meta, vec![1, 2, 3]);
+        let span_tids: Vec<u64> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some("X"))
+            .map(|e| e.get("tid").and_then(|v| v.as_u64()).unwrap())
+            .collect();
+        assert_eq!(span_tids, vec![1, 1, 1, 2, 3]);
+    }
+
+    #[test]
+    fn align_spans_centers_on_the_bracket_midpoint() {
+        // backend saw 10 µs of work starting at its own zero; the
+        // router bracket is [100, 140] → extent centered at 120
+        let spans = vec![
+            TraceSpan::new("decode", 0.0, 2.0),
+            TraceSpan::new("kernel", 2.0, 8.0),
+        ];
+        let aligned = align_spans(&spans, 100.0, 140.0);
+        assert_eq!(aligned.len(), 2);
+        assert!((aligned[0].start_us - 115.0).abs() < 1e-9);
+        assert!((aligned[1].start_us - 117.0).abs() < 1e-9);
+        assert!((aligned[1].dur_us - 8.0).abs() < 1e-9);
+        // empty input, degenerate and inverted brackets are all total
+        assert!(align_spans(&[], 0.0, 10.0).is_empty());
+        let degen = align_spans(&spans, 50.0, 50.0);
+        assert!(degen.iter().all(|s| s.start_us == 50.0 && s.dur_us == 0.0));
+        let flipped = align_spans(&spans, 140.0, 100.0);
+        assert_eq!(flipped, aligned);
+    }
+
+    proptest::proptest! {
+        /// Stitcher invariant: aligned child spans always nest within
+        /// their router-side bracket, whatever the backend timestamps
+        /// and bracket are, and relative order is preserved.
+        #[test]
+        fn aligned_spans_always_nest_within_the_bracket(
+            raw in proptest::collection::vec(
+                (0i64..2_000_000, 0u64..1_000_000), 1..16),
+            b0 in 0u64..5_000_000,
+            width in 0u64..2_000_000,
+        ) {
+            let spans: Vec<TraceSpan> = raw
+                .iter()
+                .map(|&(start, dur)| {
+                    TraceSpan::new("s", start as f64 / 10.0, dur as f64 / 10.0)
+                })
+                .collect();
+            let start = b0 as f64 / 10.0;
+            let end = start + width as f64 / 10.0;
+            let aligned = align_spans(&spans, start, end);
+            assert_eq!(aligned.len(), spans.len());
+            for (orig, a) in spans.iter().zip(&aligned) {
+                assert!(a.start_us >= start - 1e-6, "span starts before bracket");
+                assert!(
+                    a.start_us + a.dur_us <= end + 1e-6,
+                    "span ends after bracket"
+                );
+                assert!(a.dur_us >= 0.0);
+                assert!(a.dur_us <= orig.dur_us + 1e-6, "clamp never grows a span");
+            }
+            // the shift-then-clamp map is monotone in the start time
+            for (i, w) in aligned.windows(2).enumerate() {
+                if spans[i].start_us <= spans[i + 1].start_us {
+                    assert!(w[0].start_us <= w[1].start_us + 1e-6, "order preserved");
+                }
+            }
         }
     }
 

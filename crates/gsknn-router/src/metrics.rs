@@ -2,7 +2,7 @@
 //! a Prometheus-style text exposition (`gsknn_router_*` families) and as
 //! the final [`RouterReport`] the `route` command prints on drain.
 
-use gsknn_obs::LatencyHistogram;
+use gsknn_obs::{LatencyHistogram, StageBreakdown};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -51,6 +51,12 @@ pub struct RouterMetrics {
     /// Hedges that turned out wasted: the primary answered after the
     /// hedge to a sibling had already fired.
     pub replica_hedges_lost: AtomicU64,
+    /// Cumulative per-stage time attribution across routed queries, in
+    /// nanoseconds ([`StageBreakdown::STAGES`] order: network,
+    /// backend_wait, kernel, merge). Fed by the stitched-trace
+    /// attribution on every routed query; exposed as the
+    /// `gsknn_router_stage_ns_total{stage}` family.
+    stage_ns: [AtomicU64; 4],
     /// Replicas per partition (1 = unreplicated); backends are
     /// partition-major, so backend `i` is replica `i % replicas` of
     /// partition `i / replicas`.
@@ -71,6 +77,7 @@ impl RouterMetrics {
             replica_failovers: AtomicU64::new(0),
             replica_hedges_won: AtomicU64::new(0),
             replica_hedges_lost: AtomicU64::new(0),
+            stage_ns: Default::default(),
             replicas: replicas.max(1),
             backends: (0..n)
                 .map(|_| BackendStat {
@@ -105,6 +112,29 @@ impl RouterMetrics {
                 .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |old| {
                     Some(if old == 0 { ns } else { old - old / 4 + ns / 4 })
                 });
+    }
+
+    /// Fold one routed query's per-stage attribution into the lifetime
+    /// counters.
+    pub fn record_stages(&self, s: &StageBreakdown) {
+        for (counter, ns) in self.stage_ns.iter().zip(s.totals()) {
+            counter.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot of the cumulative stage attribution.
+    pub fn stages(&self) -> StageBreakdown {
+        let t: Vec<u64> = self
+            .stage_ns
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        StageBreakdown {
+            network_ns: t[0],
+            backend_wait_ns: t[1],
+            kernel_ns: t[2],
+            merge_ns: t[3],
+        }
     }
 
     /// The Prometheus-style text exposition. `up[i]` is the live health
@@ -164,6 +194,18 @@ impl RouterMetrics {
             "Hedges wasted because the primary replica answered after all.",
             self.replica_hedges_lost.load(Ordering::Relaxed),
         );
+        let _ = writeln!(
+            out,
+            "# HELP gsknn_router_stage_ns_total Routed-query time attributed per cross-tier stage, nanoseconds."
+        );
+        let _ = writeln!(out, "# TYPE gsknn_router_stage_ns_total counter");
+        for (stage, counter) in StageBreakdown::STAGES.iter().zip(&self.stage_ns) {
+            let _ = writeln!(
+                out,
+                "gsknn_router_stage_ns_total{{stage=\"{stage}\"}} {}",
+                counter.load(Ordering::Relaxed)
+            );
+        }
         let _ = writeln!(
             out,
             "# HELP gsknn_router_backend_up Backend health (1 = in the fan-out)."
@@ -257,6 +299,7 @@ impl RouterMetrics {
             replica_failovers: self.replica_failovers.load(Ordering::Relaxed),
             replica_hedges_won: self.replica_hedges_won.load(Ordering::Relaxed),
             replica_hedges_lost: self.replica_hedges_lost.load(Ordering::Relaxed),
+            stages: self.stages(),
             backend_replies: self
                 .backends
                 .iter()
@@ -286,6 +329,8 @@ pub struct RouterReport {
     pub replica_failovers: u64,
     pub replica_hedges_won: u64,
     pub replica_hedges_lost: u64,
+    /// Cumulative per-stage time attribution across routed queries.
+    pub stages: StageBreakdown,
     pub backend_replies: Vec<u64>,
     pub backend_errors: Vec<u64>,
 }
@@ -313,6 +358,9 @@ impl RouterReport {
             "  replica failovers {} | hedges won {} | hedges lost {}",
             self.replica_failovers, self.replica_hedges_won, self.replica_hedges_lost
         );
+        if self.stages.total_ns() > 0 {
+            let _ = writeln!(out, "  stages: {}", self.stages.render_line());
+        }
         for i in 0..self.backends {
             let _ = writeln!(
                 out,
@@ -351,6 +399,37 @@ mod tests {
         assert!(text.contains("gsknn_router_backend_replies_total{backend=\"0\"} 1"));
         assert!(text.contains("gsknn_router_backend_errors_total{backend=\"1\"} 1"));
         assert!(text.contains("gsknn_router_backend_latency_seconds_count{backend=\"0\"} 1"));
+        assert!(text.contains("gsknn_router_stage_ns_total{stage=\"network\"} 0"));
+        assert!(text.contains("gsknn_router_stage_ns_total{stage=\"merge\"} 0"));
+    }
+
+    #[test]
+    fn stage_attribution_accumulates_and_reaches_the_report() {
+        let m = RouterMetrics::new(1, 1);
+        m.record_stages(&StageBreakdown {
+            network_ns: 100,
+            backend_wait_ns: 300,
+            kernel_ns: 500,
+            merge_ns: 100,
+        });
+        m.record_stages(&StageBreakdown {
+            network_ns: 100,
+            backend_wait_ns: 0,
+            kernel_ns: 0,
+            merge_ns: 0,
+        });
+        let s = m.stages();
+        assert_eq!(s.totals(), [200, 300, 500, 100]);
+        let text = m.render_prometheus(&[true]);
+        assert!(text.contains("gsknn_router_stage_ns_total{stage=\"network\"} 200"));
+        assert!(text.contains("gsknn_router_stage_ns_total{stage=\"backend_wait\"} 300"));
+        assert!(text.contains("gsknn_router_stage_ns_total{stage=\"kernel\"} 500"));
+        assert!(text.contains("gsknn_router_stage_ns_total{stage=\"merge\"} 100"));
+        let r = m.report(&[true]);
+        assert_eq!(r.stages.kernel_ns, 500);
+        let table = r.render_table();
+        assert!(table.contains("stages: network"));
+        assert!(table.contains("merge"));
     }
 
     #[test]

@@ -3,14 +3,14 @@
 //! prober and the metrics listener.
 
 use crate::metrics::{RouterMetrics, RouterReport};
-use gsknn_obs::{chrome_trace_json, Trace, TraceRing, TraceSpan};
+use gsknn_obs::{align_spans, chrome_trace_json, StageBreakdown, Trace, TraceRing, TraceSpan};
 use gsknn_scalar::GsknnScalar;
 use gsknn_serve::wire::{
     decode_partial, encode_response, read_frame_poll, write_frame, PartialHeader, Precision,
     QueryBody, Request, Response, Status,
 };
 use gsknn_serve::{wire, Client};
-use knn_select::{merge_partial_tables, NeighborTable};
+use knn_select::{encoded_len_of, merge_partial_tables, NeighborTable};
 use serde_json::Value;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -179,6 +179,7 @@ impl Shared {
             ("epoch_rejects".into(), Value::from(r.epoch_rejects)),
             ("rejoins".into(), Value::from(r.rejoins)),
             ("replica_failovers".into(), Value::from(r.replica_failovers)),
+            ("stages".into(), r.stages.to_json()),
             (
                 "replica_hedges_won".into(),
                 Value::from(r.replica_hedges_won),
@@ -350,6 +351,18 @@ fn handle_conn(mut stream: TcpStream, shared: &Shared) {
                     .to_string()
                     .into_bytes(),
             ),
+            Ok(Request::TraceFetch(id)) => {
+                // one stitched cross-tier trace by id, as Chrome
+                // trace-event JSON (empty event list when the id has
+                // aged out of the slowest-traces ring)
+                let hits: Vec<Trace> = shared
+                    .traces
+                    .snapshot()
+                    .into_iter()
+                    .filter(|t| t.trace_id == id)
+                    .collect();
+                Response::ok_body(chrome_trace_json(&hits).to_string().into_bytes())
+            }
             Ok(Request::TimeSeries) => {
                 // the router has no per-second load sampler (yet); answer
                 // the same shape a no-obs server does so `top` degrades
@@ -405,7 +418,7 @@ fn validate_partial<T: GsknnScalar>(
     n_parts: u16,
     m: usize,
     expect_part: u32,
-) -> Result<(PartialHeader, NeighborTable<T>), Reject> {
+) -> Result<(PartialHeader, NeighborTable<T>, Vec<wire::AnnexSpan>), Reject> {
     match resp.status {
         Status::PartialTopK => {}
         Status::Busy => return Err(Reject::Busy),
@@ -446,7 +459,18 @@ fn validate_partial<T: GsknnScalar>(
             table.len()
         )));
     }
-    Ok((header, table))
+    // The optional span annex rides after the table bytes. It is pure
+    // observability: a missing or malformed annex never rejects an
+    // otherwise valid partial.
+    let annex = if header.has_span_annex() {
+        encoded_len_of(table_bytes)
+            .and_then(|n| table_bytes.get(n..))
+            .map(|b| wire::decode_span_annex(b).unwrap_or_default())
+            .unwrap_or_default()
+    } else {
+        Vec::new()
+    };
+    Ok((header, table, annex))
 }
 
 /// Model-derived hedge delay: wait about three EWMA reply latencies for
@@ -469,8 +493,10 @@ fn hedge_delay(ewma_ns: u64, budget: Duration) -> Duration {
 
 /// What consuming one backend's pending reply produced.
 enum Pulled<T: GsknnScalar> {
-    /// A validated partial for the expected partition slice.
-    Good(PartialHeader, NeighborTable<T>),
+    /// A validated partial for the expected partition slice, with the
+    /// span fragments the backend shipped inline (empty when the
+    /// backend traces nothing).
+    Good(PartialHeader, NeighborTable<T>, Vec<wire::AnnexSpan>),
     /// Typed transient refusal — the backend is healthy.
     Busy,
     /// The backend's own deadline ran out — healthy, late.
@@ -502,7 +528,7 @@ fn pull_reply<T: GsknnScalar>(
     };
     match resp {
         Ok(r) => match validate_partial::<T>(&r, shared.cfg.epoch, n_parts, m, p as u32) {
-            Ok((header, table)) => Pulled::Good(header, table),
+            Ok((header, table, annex)) => Pulled::Good(header, table, annex),
             Err(Reject::Busy) => Pulled::Busy,
             Err(Reject::TimedOut) => Pulled::Late,
             Err(Reject::Bad(msg)) => Pulled::Bad(msg),
@@ -535,6 +561,21 @@ struct Flight {
     primary: Option<usize>,
     /// Live replicas at send time, preference order (primary first).
     order: Vec<usize>,
+    /// When the fan-out write to the primary completed — the start of
+    /// the RTT bracket its span fragments align into.
+    sent_at: Instant,
+}
+
+/// One backend attempt that contributed a validated partial: its
+/// send→recv bracket on the router's clock plus the span fragments it
+/// shipped inline. Each becomes a parallel lane of the stitched trace,
+/// so hedge/failover siblings render side by side.
+struct LaneRec {
+    backend: usize,
+    part: usize,
+    sent_at: Instant,
+    recv_at: Instant,
+    spans: Vec<wire::AnnexSpan>,
 }
 
 /// The scatter-gather path: pipelined fan-out writes to each partition's
@@ -561,10 +602,12 @@ fn route_query_t<T: GsknnScalar>(
     let per_backend = cfg.backend_timeout.min(deadline);
     let req = Request::Query(q.clone());
     let mut spans: Vec<TraceSpan> = Vec::new();
-    let span_of = |name: &str, from: Instant, to: Instant| TraceSpan {
-        name: name.to_string(),
-        start_us: (from - t_start).as_secs_f64() * 1e6,
-        dur_us: (to - from).as_secs_f64() * 1e6,
+    let span_of = |name: &str, from: Instant, to: Instant| {
+        TraceSpan::new(
+            name,
+            (from - t_start).as_secs_f64() * 1e6,
+            (to - from).as_secs_f64() * 1e6,
+        )
     };
 
     // Phase 1 — fan-out: write the query to every partition's preferred
@@ -576,6 +619,7 @@ fn route_query_t<T: GsknnScalar>(
     for p in 0..parts {
         let order = shared.replica_order(p);
         let mut primary = None;
+        let mut sent_at = t_start;
         for (tried, &i) in order.iter().enumerate() {
             let attempt = |b: &mut BackendConn| -> io::Result<()> {
                 b.ensure(cfg.connect_timeout, per_backend)?
@@ -608,6 +652,7 @@ fn route_query_t<T: GsknnScalar>(
                         .fetch_add(1, Ordering::Relaxed);
                 }
                 primary = Some(i);
+                sent_at = Instant::now();
                 break;
             }
             if !cfg.hedge {
@@ -615,7 +660,11 @@ fn route_query_t<T: GsknnScalar>(
                 break;
             }
         }
-        flights.push(Flight { primary, order });
+        flights.push(Flight {
+            primary,
+            order,
+            sent_at,
+        });
     }
     let t_sent = Instant::now();
     spans.push(span_of("fanout write", t_start, t_sent));
@@ -628,6 +677,7 @@ fn route_query_t<T: GsknnScalar>(
     // sibling; the first valid partial wins and duplicate global ids
     // from a double answer are deduplicated by the merge.
     let mut tables: Vec<NeighborTable<T>> = Vec::with_capacity(parts);
+    let mut lanes: Vec<LaneRec> = Vec::new();
     let mut contributed: u16 = 0;
     let mut any_lane_degraded = false;
     let (mut busy, mut late) = (0usize, 0usize);
@@ -649,23 +699,34 @@ fn route_query_t<T: GsknnScalar>(
             None
         };
         let mut partition_ok = false;
-        let mut fold = |shared: &Shared, i: usize, pulled: Pulled<T>, ok: &mut bool| match pulled {
-            Pulled::Good(header, table) => {
-                tables.push(table);
-                any_lane_degraded |= header.lane_degraded();
-                shared.metrics.record_reply(i, Instant::now() - t_sent);
-                if !shared.up(i) {
-                    shared.mark(i, true);
+        let mut hedge_attempt: Option<(usize, Instant)> = None;
+        let mut fold =
+            |shared: &Shared, i: usize, sent_at: Instant, pulled: Pulled<T>, ok: &mut bool| {
+                match pulled {
+                    Pulled::Good(header, table, annex) => {
+                        tables.push(table);
+                        lanes.push(LaneRec {
+                            backend: i,
+                            part: p,
+                            sent_at,
+                            recv_at: Instant::now(),
+                            spans: annex,
+                        });
+                        any_lane_degraded |= header.lane_degraded();
+                        shared.metrics.record_reply(i, Instant::now() - t_sent);
+                        if !shared.up(i) {
+                            shared.mark(i, true);
+                        }
+                        *ok = true;
+                    }
+                    Pulled::Busy => busy += 1,
+                    Pulled::Late => late += 1,
+                    Pulled::Bad(msg) => {
+                        bad.get_or_insert(msg);
+                    }
+                    Pulled::Dead => {}
                 }
-                *ok = true;
-            }
-            Pulled::Busy => busy += 1,
-            Pulled::Late => late += 1,
-            Pulled::Bad(msg) => {
-                bad.get_or_insert(msg);
-            }
-            Pulled::Dead => {}
-        };
+            };
         match sibling {
             None => {
                 // unreplicated partition (or no live sibling): block on
@@ -679,11 +740,13 @@ fn route_query_t<T: GsknnScalar>(
                         .and_then(|_| c.recv_response()),
                     None => Err(io::Error::from(io::ErrorKind::NotConnected)),
                 };
+                let mut attempt_sent = fl.sent_at;
                 let resp = match resp {
                     Ok(r) => Ok(r),
                     Err(_) if cfg.hedge => {
                         b.client = None;
                         shared.metrics.hedges.fetch_add(1, Ordering::Relaxed);
+                        attempt_sent = Instant::now();
                         b.ensure(cfg.connect_timeout, budget)
                             .and_then(|c| c.request(&req))
                     }
@@ -691,7 +754,7 @@ fn route_query_t<T: GsknnScalar>(
                 };
                 let pulled = match resp {
                     Ok(r) => match validate_partial::<T>(&r, cfg.epoch, total, q.m, p as u32) {
-                        Ok((h, t)) => Pulled::Good(h, t),
+                        Ok((h, t, annex)) => Pulled::Good(h, t, annex),
                         Err(Reject::Busy) => Pulled::Busy,
                         Err(Reject::TimedOut) => Pulled::Late,
                         Err(Reject::Bad(msg)) => Pulled::Bad(msg),
@@ -715,7 +778,7 @@ fn route_query_t<T: GsknnScalar>(
                         Pulled::Dead
                     }
                 };
-                fold(shared, prim, pulled, &mut partition_ok);
+                fold(shared, prim, attempt_sent, pulled, &mut partition_ok);
             }
             Some(sib) => {
                 // replicated partition: give the primary its hedge
@@ -729,13 +792,14 @@ fn route_query_t<T: GsknnScalar>(
                     let left = p_deadline.saturating_duration_since(Instant::now());
                     let pulled =
                         pull_reply::<T>(shared, prim, &mut pool[prim], p, total, q.m, left);
-                    fold(shared, prim, pulled, &mut partition_ok);
+                    fold(shared, prim, fl.sent_at, pulled, &mut partition_ok);
                 }
                 if !partition_ok {
                     // hedge: send the query to the sibling replica (a
                     // failed write burns the hedge — the merge will
                     // degrade only if the primary also stays quiet)
                     shared.metrics.hedges.fetch_add(1, Ordering::Relaxed);
+                    let t_hedge = Instant::now();
                     let sib_sent = pool[sib]
                         .ensure(cfg.connect_timeout, budget)
                         .and_then(|c| c.send_request(&req))
@@ -743,6 +807,9 @@ fn route_query_t<T: GsknnScalar>(
                             backend_down(shared, sib, &mut pool[sib], &e.to_string());
                         })
                         .is_ok();
+                    if sib_sent {
+                        hedge_attempt = Some((sib, t_hedge));
+                    }
                     let mut primary_pending = !primary_ready && pool[prim].client.is_some();
                     let mut sibling_pending = sib_sent;
                     let mut primary_good = false;
@@ -768,7 +835,7 @@ fn route_query_t<T: GsknnScalar>(
                                         left,
                                     );
                                     primary_good = matches!(pulled, Pulled::Good(..));
-                                    fold(shared, prim, pulled, &mut partition_ok);
+                                    fold(shared, prim, fl.sent_at, pulled, &mut partition_ok);
                                 }
                                 Some(Ok(false)) => {}
                                 Some(Err(e)) => {
@@ -796,7 +863,7 @@ fn route_query_t<T: GsknnScalar>(
                                         left,
                                     );
                                     sibling_good = matches!(pulled, Pulled::Good(..));
-                                    fold(shared, sib, pulled, &mut partition_ok);
+                                    fold(shared, sib, t_hedge, pulled, &mut partition_ok);
                                 }
                                 Some(Ok(false)) => {}
                                 Some(Err(e)) => {
@@ -840,7 +907,8 @@ fn route_query_t<T: GsknnScalar>(
                                     sibling_good = true;
                                 }
                             }
-                            fold(shared, idx, pulled, &mut partition_ok);
+                            let sent = if idx == prim { fl.sent_at } else { t_hedge };
+                            fold(shared, idx, sent, pulled, &mut partition_ok);
                         } else if !partition_ok {
                             backend_down(
                                 shared,
@@ -876,7 +944,21 @@ fn route_query_t<T: GsknnScalar>(
             }
         }
         let t_got = Instant::now();
-        spans.push(span_of(&format!("partition {p} wait"), t_wait, t_got));
+        // One wait span per replica attempt, named distinctly so hedge
+        // races read as parallel attempts in the stitched trace.
+        let r = shared.replicas();
+        spans.push(span_of(
+            &format!("partition {p} replica {} wait", prim % r),
+            t_wait,
+            t_got,
+        ));
+        if let Some((sib, t_hedge)) = hedge_attempt {
+            spans.push(span_of(
+                &format!("partition {p} replica {} wait", sib % r),
+                t_hedge,
+                t_got,
+            ));
+        }
         if partition_ok {
             contributed += 1;
         }
@@ -944,15 +1026,86 @@ fn route_query_t<T: GsknnScalar>(
     let t_done = Instant::now();
     spans.push(span_of("merge", t_merge, t_done));
 
+    // Per-stage attribution. The fan-out reaches every partition up
+    // front, so the per-partition rtt brackets overlap in wall clock —
+    // summing raw backend span durations would attribute more time than
+    // the route took. Instead, sweep the winning lanes' brackets in
+    // collection order and charge each lane only its not-yet-accounted
+    // segment, split between kernel and queue/coalesce wait in the
+    // proportion the backend itself reported. merge is measured
+    // directly; network is the non-negative residual, so the four
+    // stages add up to (about) the client-observed rtt.
+    let mut stages = StageBreakdown::default();
+    let mut seen = vec![false; parts];
+    let mut cursor = t_start;
+    for l in &lanes {
+        if std::mem::replace(&mut seen[l.part], true) {
+            continue; // a hedge double answer: only the first lane counts
+        }
+        let (mut wait_ns, mut kernel_ns) = (0u64, 0u64);
+        for s in &l.spans {
+            if s.name.starts_with("kernel: ") {
+                kernel_ns += s.dur_ns;
+            } else {
+                wait_ns += s.dur_ns;
+            }
+        }
+        let lo = if l.sent_at > cursor {
+            l.sent_at
+        } else {
+            cursor
+        };
+        let seg_ns = l.recv_at.saturating_duration_since(lo).as_nanos() as u64;
+        if l.recv_at > cursor {
+            cursor = l.recv_at;
+        }
+        let reported_ns = wait_ns + kernel_ns;
+        if reported_ns > 0 && seg_ns > 0 {
+            stages.kernel_ns += (kernel_ns as u128 * seg_ns as u128 / reported_ns as u128) as u64;
+            stages.backend_wait_ns +=
+                (wait_ns as u128 * seg_ns as u128 / reported_ns as u128) as u64;
+        }
+    }
+    stages.merge_ns = (t_done - t_merge).as_nanos() as u64;
+    let route_ns = (t_done - t_start).as_nanos() as u64;
+    stages.network_ns =
+        route_ns.saturating_sub(stages.backend_wait_ns + stages.kernel_ns + stages.merge_ns);
+    shared.metrics.record_stages(&stages);
+
+    // Stitch: every contributing backend attempt becomes one parallel
+    // lane of the trace. Backend spans are on the backend's clock (ns
+    // since it received the request); align them into the router-side
+    // send→recv bracket by centering on its midpoint, clamped so they
+    // nest inside it even when the clocks disagree.
+    for (lane_no, l) in lanes.iter().enumerate() {
+        let frag: Vec<TraceSpan> = l
+            .spans
+            .iter()
+            .map(|s| {
+                TraceSpan::new(
+                    format!("b{}: {}", l.backend, s.name),
+                    s.start_ns as f64 / 1e3,
+                    s.dur_ns as f64 / 1e3,
+                )
+            })
+            .collect();
+        let bracket_lo = (l.sent_at - t_start).as_secs_f64() * 1e6;
+        let bracket_hi = (l.recv_at - t_start).as_secs_f64() * 1e6;
+        for sp in align_spans(&frag, bracket_lo, bracket_hi) {
+            spans.push(sp.on_track(lane_no as u32 + 1));
+        }
+    }
+
     let total_us = (t_done - t_start).as_secs_f64() * 1e6;
     if let Some(ms) = cfg.slow_query_ms {
         if t_done - t_start >= Duration::from_millis(ms) {
             eprintln!(
-                "gsknn-router: slow query trace {trace_id:016x}: {:.1} ms, {} of {} partitions, status {:?}",
+                "gsknn-router: slow query trace {trace_id:016x}: {:.1} ms, {} of {} partitions, status {:?} [{}]",
                 total_us / 1e3,
                 contributed,
                 total,
-                resp.status
+                resp.status,
+                stages.render_line()
             );
         }
     }
@@ -1121,10 +1274,66 @@ mod tests {
     fn validate_accepts_matching_partial() {
         let t = table_of(&[&[(0.5, 3), (1.0, 9)]], 2);
         let resp = partial_resp(0, 1, 2, 0, &t);
-        let (h, got) = validate_partial::<f64>(&resp, 1, 2, 1, 0).expect("valid");
+        let (h, got, annex) = validate_partial::<f64>(&resp, 1, 2, 1, 0).expect("valid");
         assert_eq!(h.partition_id, 0);
         assert!(!h.lane_degraded());
         assert_eq!(got.row(0), t.row(0));
+        assert!(annex.is_empty(), "no annex flag, no spans");
+    }
+
+    #[test]
+    fn validate_extracts_the_span_annex_when_flagged() {
+        use gsknn_serve::wire::{encode_span_annex, AnnexSpan, PARTIAL_FLAG_SPAN_ANNEX};
+        let t = table_of(&[&[(0.5, 3), (1.0, 9)]], 2);
+        let mut body = Vec::new();
+        PartialHeader {
+            partition_id: 0,
+            epoch: 1,
+            contributed: 1,
+            total: 2,
+            flags: PARTIAL_FLAG_SPAN_ANNEX,
+            replica_id: 0,
+            replicas: 2,
+        }
+        .encode_into(&mut body);
+        t.encode_into(&mut body);
+        encode_span_annex(
+            &[
+                AnnexSpan {
+                    name: "coalesce wait".into(),
+                    start_ns: 1_000,
+                    dur_ns: 90_000,
+                },
+                AnnexSpan {
+                    name: "kernel: distances".into(),
+                    start_ns: 91_000,
+                    dur_ns: 400_000,
+                },
+            ],
+            &mut body,
+        );
+        let resp = Response {
+            status: Status::PartialTopK,
+            trace_id: 7,
+            body,
+        };
+        let (h, got, annex) = validate_partial::<f64>(&resp, 1, 2, 1, 0).expect("valid");
+        assert!(h.has_span_annex());
+        assert_eq!(got.row(0), t.row(0));
+        assert_eq!(annex.len(), 2);
+        assert_eq!(annex[0].name, "coalesce wait");
+        assert_eq!(annex[1].name, "kernel: distances");
+        assert_eq!(annex[1].dur_ns, 400_000);
+
+        // a truncated annex degrades to "no spans", never to a reject
+        let mut short = Response {
+            status: Status::PartialTopK,
+            trace_id: 7,
+            body: resp.body.clone(),
+        };
+        short.body.truncate(resp.body.len() - 3);
+        let (_, _, annex) = validate_partial::<f64>(&short, 1, 2, 1, 0).expect("still valid");
+        assert!(annex.is_empty());
     }
 
     #[test]
@@ -1172,7 +1381,7 @@ mod tests {
     fn validate_surfaces_degraded_lane_flag() {
         let t = table_of(&[&[(0.5, 3)]], 1);
         let resp = partial_resp(1, 1, 2, 1, &t);
-        let (h, _) = validate_partial::<f64>(&resp, 1, 2, 1, 1).expect("valid");
+        let (h, _, _) = validate_partial::<f64>(&resp, 1, 2, 1, 1).expect("valid");
         assert!(h.lane_degraded());
     }
 

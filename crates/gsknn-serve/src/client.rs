@@ -496,6 +496,19 @@ impl Client {
         }
     }
 
+    /// Fetch the raw GSTA span-annex bytes the server retained for
+    /// `trace_id` (empty when the id has aged out of the fragment ring
+    /// or the server was built without its `obs` feature). Against a
+    /// router, the body is the stitched distributed trace as Chrome
+    /// trace-event JSON instead.
+    pub fn trace_fetch(&mut self, trace_id: u64) -> io::Result<Vec<u8>> {
+        let resp = self.round_trip(&Request::TraceFetch(trace_id))?;
+        match resp.status {
+            Status::Ok => Ok(resp.body),
+            other => Err(io::Error::other(format!("trace_fetch answered {other:?}"))),
+        }
+    }
+
     /// Fetch the server's per-second load time-series as JSON (rendered
     /// live by `gsknn-cli top`; `enabled: false` when the server was
     /// built without its `obs` feature).

@@ -16,8 +16,8 @@
 //!
 //! * [`wire`] — length-prefixed binary protocol, version 2 (`Query`,
 //!   `BatchQuery`, `Stats`, `Ping`, `Shutdown`, `Metrics`, `Traces`,
-//!   `TimeSeries`; per-request `f64`/`f32` precision; a `trace_id` on
-//!   every query and response); query responses are
+//!   `TimeSeries`, `TraceFetch`; per-request `f64`/`f32` precision; a
+//!   `trace_id` on every query and response); query responses are
 //!   [`knn_select::NeighborTable`] v2 bytes. Version-1 frames still
 //!   decode (`trace_id = 0`).
 //! * [`coalesce`] — the flush policy: `m*` from the model, the oldest
@@ -55,8 +55,11 @@
 //!   feature, a span timeline (decode, admission, coalesce wait,
 //!   amortized kernel phases, reply write). The N slowest traces are
 //!   retained and exported as Chrome trace-event JSON via the `Traces`
-//!   wire op (`gsknn-cli trace`). Without `obs` the recorder is
-//!   zero-sized and the hot path does no span work.
+//!   wire op (`gsknn-cli trace`). In partition mode the spans also ride
+//!   each `PartialTopK` reply as a compact span annex (and stay
+//!   fetchable by id via `TraceFetch`) so a router can stitch one
+//!   end-to-end distributed trace. Without `obs` the recorder and the
+//!   fragment ring are zero-sized and the hot path does no span work.
 //! * [`sampler`] — continuous performance accounting under the same
 //!   zero-sized-without-`obs` guarantee: a lock-free per-second load
 //!   sampler (arrival rate, queue depth, batch-size mean, flush

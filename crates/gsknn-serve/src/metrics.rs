@@ -5,6 +5,8 @@
 use crate::coalesce::FlushReason;
 use crate::sampler::RooflineRecorder;
 use crate::wire::Status;
+#[cfg(feature = "obs")]
+use gsknn_obs::hist::Exemplars;
 use gsknn_obs::hist::LatencyHistogram;
 use gsknn_obs::serve::{
     batch_bucket, FlushCounts, LatencyRow, ServeReport, ShardRow, BATCH_BUCKETS,
@@ -85,6 +87,12 @@ pub struct Metrics {
     /// log-bucketed, one histogram per lane × terminal status. Lock-free
     /// on the record path; rows with zero samples are skipped in reports.
     latency: [[LatencyHistogram; STATUS_LABELS.len()]; LANES.len()],
+    /// Slowest trace id seen per latency bucket, per lane × status —
+    /// surfaced as OpenMetrics exemplars so a histogram tail links
+    /// straight to a fetchable distributed trace. Compiled out (and the
+    /// record path a no-op) without `obs`.
+    #[cfg(feature = "obs")]
+    exemplars: [[Exemplars; STATUS_LABELS.len()]; LANES.len()],
     in_flight: AtomicU64,
     queue_high_water: AtomicU64,
     cost: Mutex<CostSums>,
@@ -191,9 +199,14 @@ impl Metrics {
     }
 
     /// Record one finished request's round-trip latency under its lane
-    /// and terminal status.
-    pub fn record_latency(&self, lane: usize, status: Status, rtt: Duration) {
+    /// and terminal status. `trace_id` feeds the bucket's exemplar: the
+    /// slowest request per bucket keeps its id visible in the exposition.
+    pub fn record_latency(&self, lane: usize, status: Status, rtt: Duration, trace_id: u64) {
         self.latency[lane][status as usize].record(rtt);
+        #[cfg(feature = "obs")]
+        self.exemplars[lane][status as usize].record(rtt.as_nanos() as u64, trace_id);
+        #[cfg(not(feature = "obs"))]
+        let _ = trace_id;
     }
 
     /// Snapshot of one lane × status latency histogram (tests, slow-query
@@ -276,6 +289,10 @@ impl Metrics {
                         lane: lane.to_string(),
                         status: status.to_string(),
                         hist,
+                        #[cfg(feature = "obs")]
+                        exemplars: self.exemplars[li][si].snapshot(),
+                        #[cfg(not(feature = "obs"))]
+                        exemplars: Vec::new(),
                     });
                 }
             }
@@ -386,9 +403,9 @@ mod tests {
     #[test]
     fn latency_rows_cover_only_populated_cells() {
         let m = Metrics::new();
-        m.record_latency(0, Status::Ok, Duration::from_micros(900));
-        m.record_latency(0, Status::Ok, Duration::from_micros(1_100));
-        m.record_latency(1, Status::Timeout, Duration::from_millis(55));
+        m.record_latency(0, Status::Ok, Duration::from_micros(900), 0xA1);
+        m.record_latency(0, Status::Ok, Duration::from_micros(1_100), 0xA2);
+        m.record_latency(1, Status::Timeout, Duration::from_millis(55), 0xA3);
         assert_eq!(m.latency_count(0, Status::Ok), 2);
         assert_eq!(m.latency_count(1, Status::Ok), 0);
 
@@ -409,6 +426,32 @@ mod tests {
             (40_000_000..=70_000_000).contains(&p50),
             "p50 {p50} near 55 ms"
         );
+    }
+
+    /// Exemplars ride the latency rows: each populated bucket keeps the
+    /// slowest request's trace id so the exposition can link to it.
+    #[cfg(feature = "obs")]
+    #[test]
+    fn latency_rows_carry_bucket_exemplars() {
+        let m = Metrics::new();
+        m.record_latency(0, Status::Ok, Duration::from_micros(900), 0xBEEF);
+        m.record_latency(1, Status::Timeout, Duration::from_millis(55), 0xCAFE);
+        let rows = m.latency_rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].exemplars.len(), 1);
+        assert_eq!(rows[0].exemplars[0].trace_id, 0xBEEF);
+        assert_eq!(rows[0].exemplars[0].ns, 900_000);
+        assert_eq!(rows[1].exemplars[0].trace_id, 0xCAFE);
+    }
+
+    #[cfg(not(feature = "obs"))]
+    #[test]
+    fn latency_rows_have_no_exemplars_without_obs() {
+        let m = Metrics::new();
+        m.record_latency(0, Status::Ok, Duration::from_micros(900), 0xBEEF);
+        let rows = m.latency_rows();
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].exemplars.is_empty());
     }
 
     #[test]

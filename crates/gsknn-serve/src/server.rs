@@ -52,6 +52,7 @@ use crate::degrade::{OverloadDetector, Transition};
 use crate::metrics::Metrics;
 use crate::sampler::LoadSampler;
 use crate::shard::{shard_main, ShardCtx};
+use crate::trace::FragmentRing;
 use crossbeam::channel;
 use dataset::{DistanceKind, PointSet};
 use gsknn_core::{MachineParams, Model};
@@ -294,6 +295,11 @@ pub(crate) struct Shared {
     pub(crate) epoch: Instant,
     /// The N slowest finished request traces, for the `Traces` wire op.
     pub(crate) traces: TraceRing,
+    /// Span-annex fragments for recently finished requests, keyed by
+    /// trace id — served raw by the `TraceFetch` wire op so a router can
+    /// stitch this backend's side of a distributed trace after the fact.
+    /// Zero-sized and inert without the `obs` feature.
+    pub(crate) frags: FragmentRing,
     /// Server-assigned trace ids for requests that sent `trace_id = 0`
     /// (starts at 1; 0 means "no id" on the wire).
     pub(crate) next_trace: AtomicU64,
@@ -326,6 +332,7 @@ impl Shared {
             targets,
             epoch: Instant::now(),
             traces: TraceRing::new(cfg.trace_ring),
+            frags: FragmentRing::new(cfg.trace_ring.max(32)),
             next_trace: AtomicU64::new(1),
             slow_query_ms: cfg.slow_query_ms,
             sampler: LoadSampler::new(),

@@ -48,7 +48,7 @@ use crate::server::{ServeIndex, Shared};
 use crate::trace::ReqTrace;
 use crate::wire::{
     begin_response_frame, deadline_duration, decode_request_raw, finish_frame, PartialHeader,
-    Precision, RawQuery, RawRequest, Status, MAX_FRAME,
+    Precision, RawQuery, RawRequest, Status, MAX_FRAME, PARTIAL_FLAG_SPAN_ANNEX,
 };
 use crossbeam::channel::Receiver;
 use dataset::{DistanceKind, PointSet};
@@ -818,17 +818,28 @@ fn deliver<T: FusedScalar>(
     match reply {
         Reply::Table(t, _) => match shared.partition {
             Some(p) => {
+                // Ship the backend's span fragments inline when tracing
+                // is live: the router stitches them into its own span
+                // tree without a second round trip. The annex carries
+                // everything up to this point (decode, coalesce wait,
+                // kernel phases); the reply write itself falls inside
+                // the router's bracket.
+                let annex = job.trace.is_active();
                 PartialHeader {
                     partition_id: p.id as u32,
                     epoch: p.epoch,
                     contributed: 1,
                     total: p.total,
-                    flags: (status == Status::OkDegraded) as u8,
+                    flags: (status == Status::OkDegraded) as u8
+                        | if annex { PARTIAL_FLAG_SPAN_ANNEX } else { 0 },
                     replica_id: p.replica,
                     replicas: p.replicas,
                 }
                 .encode_into(&mut conn.outbuf);
                 t.encode_into_with_offset(&mut conn.outbuf, p.offset);
+                if annex {
+                    job.trace.encode_annex(&mut conn.outbuf);
+                }
             }
             None => t.encode_into(&mut conn.outbuf),
         },
@@ -838,7 +849,9 @@ fn deliver<T: FusedScalar>(
     finish_frame(&mut conn.outbuf, mark);
     let t_done = Instant::now();
     let total = t_done - job.t_recv;
-    shared.metrics.record_latency(job.lane, status, total);
+    shared
+        .metrics
+        .record_latency(job.lane, status, total, job.trace_id);
     let mut trace = std::mem::take(&mut job.trace);
     trace.add_span("reply write", t_reply, t_done);
     finish_query_trace(shared, trace, job.trace_id, job.lane, status, total);
@@ -955,6 +968,13 @@ fn handle_frame(
         Ok(RawRequest::TimeSeries) => {
             let body = shared.sampler.to_json().to_string();
             reply_frame(outbuf, Status::Ok, 0, body.as_bytes());
+        }
+        Ok(RawRequest::TraceFetch(id)) => {
+            // Raw GSTA annex bytes for a recently finished request, or an
+            // empty body when the id has aged out of the fragment ring
+            // (or tracing is compiled out).
+            let body = shared.frags.get(id).unwrap_or_default();
+            reply_frame(outbuf, Status::Ok, id, &body);
         }
         Ok(RawRequest::Shutdown) => {
             reply_frame(outbuf, Status::Ok, 0, &[]);
@@ -1157,7 +1177,9 @@ fn reply_query_now(
     reply_frame(outbuf, status, trace_id, msg.as_bytes());
     let t_done = Instant::now();
     let total = t_done - t_recv;
-    shared.metrics.record_latency(lane_idx, status, total);
+    shared
+        .metrics
+        .record_latency(lane_idx, status, total, trace_id);
     trace.add_span("reply write", t_reply, t_done);
     finish_query_trace(shared, trace, trace_id, lane_idx, status, total);
 }
@@ -1179,6 +1201,13 @@ fn finish_query_trace(
         .is_some_and(|ms| total >= Duration::from_millis(ms));
     match trace.finish(trace_id, lane, status_label, total) {
         Some(t) => {
+            // Deposit the complete fragment (including "reply write") in
+            // the ring so a router's later `TraceFetch` can still pull
+            // this backend's side of the timeline.
+            #[cfg(feature = "obs")]
+            shared
+                .frags
+                .put(trace_id, crate::trace::annex_from_trace(&t));
             if slow {
                 let spans: Vec<String> = t
                     .spans

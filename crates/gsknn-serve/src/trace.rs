@@ -103,11 +103,11 @@ impl ReqTrace {
     pub fn add_span(&mut self, name: &'static str, start: Instant, end: Instant) {
         #[cfg(feature = "obs")]
         if let Some(inner) = &mut self.inner {
-            inner.spans.push(TraceSpan {
-                name: name.to_string(),
-                start_us: start.duration_since(inner.t0).as_secs_f64() * 1e6,
-                dur_us: end.duration_since(start).as_secs_f64() * 1e6,
-            });
+            inner.spans.push(TraceSpan::new(
+                name,
+                start.duration_since(inner.t0).as_secs_f64() * 1e6,
+                end.duration_since(start).as_secs_f64() * 1e6,
+            ));
         }
         #[cfg(not(feature = "obs"))]
         {
@@ -132,11 +132,11 @@ impl ReqTrace {
         #[cfg(feature = "obs")]
         if let Some(inner) = &mut self.inner {
             if let Some(enq) = inner.enqueued.take() {
-                inner.spans.push(TraceSpan {
-                    name: "coalesce wait".to_string(),
-                    start_us: enq.duration_since(inner.t0).as_secs_f64() * 1e6,
-                    dur_us: kernel_start.duration_since(enq).as_secs_f64() * 1e6,
-                });
+                inner.spans.push(TraceSpan::new(
+                    "coalesce wait",
+                    enq.duration_since(inner.t0).as_secs_f64() * 1e6,
+                    kernel_start.duration_since(enq).as_secs_f64() * 1e6,
+                ));
             }
         }
         #[cfg(not(feature = "obs"))]
@@ -158,11 +158,11 @@ impl ReqTrace {
                     continue;
                 }
                 let dur_us = seconds * share * 1e6;
-                inner.spans.push(TraceSpan {
-                    name: format!("kernel: {}", phase.name()),
-                    start_us: at,
+                inner.spans.push(TraceSpan::new(
+                    format!("kernel: {}", phase.name()),
+                    at,
                     dur_us,
-                });
+                ));
                 at += dur_us;
             }
         }
@@ -202,6 +202,153 @@ impl ReqTrace {
             None
         }
     }
+
+    /// Whether this recorder is live (an `obs` build tracing a real
+    /// request). Drives the span-annex flag on partition-mode replies.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        #[cfg(feature = "obs")]
+        {
+            self.inner.is_some()
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            false
+        }
+    }
+
+    /// Append this request's spans-so-far as a GSTA span annex to `out`.
+    /// Returns `false` (writing nothing) when tracing is compiled out or
+    /// the recorder is inert. Called from `deliver()` before the reply
+    /// write, so the annex carries everything up to — but not — the
+    /// "reply write" span; the router's own bracket covers that tail.
+    #[inline]
+    pub fn encode_annex(&self, out: &mut Vec<u8>) -> bool {
+        #[cfg(feature = "obs")]
+        {
+            let Some(inner) = &self.inner else {
+                return false;
+            };
+            let spans: Vec<crate::wire::AnnexSpan> = inner
+                .spans
+                .iter()
+                .map(|s| crate::wire::AnnexSpan {
+                    name: s.name.clone(),
+                    start_ns: (s.start_us * 1e3) as i64,
+                    dur_ns: (s.dur_us * 1e3) as u64,
+                })
+                .collect();
+            crate::wire::encode_span_annex(&spans, out);
+            true
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = out;
+            false
+        }
+    }
+}
+
+/// Encode a finished [`Trace`]'s spans as GSTA annex bytes — the form
+/// deposited in the [`FragmentRing`] so a later `TraceFetch` sees the
+/// complete timeline (including the "reply write" span the inline annex
+/// on the reply itself cannot carry).
+#[cfg(feature = "obs")]
+pub(crate) fn annex_from_trace(trace: &Trace) -> Vec<u8> {
+    let spans: Vec<crate::wire::AnnexSpan> = trace
+        .spans
+        .iter()
+        .map(|s| crate::wire::AnnexSpan {
+            name: s.name.clone(),
+            start_ns: (s.start_us * 1e3) as i64,
+            dur_ns: (s.dur_us * 1e3) as u64,
+        })
+        .collect();
+    let mut out = Vec::with_capacity(8 + spans.len() * 32);
+    crate::wire::encode_span_annex(&spans, &mut out);
+    out
+}
+
+/// A bounded ring of recent span-annex fragments keyed by trace id, so
+/// a router (or `gsknn-cli trace --distributed`) can pull a backend's
+/// side of a slow query after the fact via the `TraceFetch` wire op.
+///
+/// Same zero-cost discipline as [`ReqTrace`]: without the `obs` feature
+/// the struct is zero-sized and `put`/`get` are inlined no-ops.
+#[derive(Default)]
+pub(crate) struct FragmentRing {
+    #[cfg(feature = "obs")]
+    inner: Option<std::sync::Mutex<RingInner>>,
+}
+
+#[cfg(feature = "obs")]
+#[derive(Default)]
+struct RingInner {
+    cap: usize,
+    frags: std::collections::VecDeque<(u64, Vec<u8>)>,
+}
+
+impl FragmentRing {
+    /// A ring keeping the `cap` most recent fragments (`cap == 0`
+    /// disables retention entirely).
+    #[inline]
+    pub fn new(cap: usize) -> Self {
+        #[cfg(feature = "obs")]
+        {
+            if cap == 0 {
+                return Self { inner: None };
+            }
+            Self {
+                inner: Some(std::sync::Mutex::new(RingInner {
+                    cap,
+                    frags: std::collections::VecDeque::with_capacity(cap),
+                })),
+            }
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = cap;
+            Self::default()
+        }
+    }
+
+    /// Deposit `bytes` under `trace_id`, evicting the oldest entry past
+    /// capacity. A re-deposit under the same id replaces the old bytes.
+    #[inline]
+    pub fn put(&self, trace_id: u64, bytes: Vec<u8>) {
+        #[cfg(feature = "obs")]
+        if let Some(m) = &self.inner {
+            let mut ring = m.lock().unwrap_or_else(|e| e.into_inner());
+            ring.frags.retain(|(id, _)| *id != trace_id);
+            if ring.frags.len() + 1 > ring.cap {
+                ring.frags.pop_front();
+            }
+            ring.frags.push_back((trace_id, bytes));
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = (trace_id, bytes);
+        }
+    }
+
+    /// Fetch the annex bytes for `trace_id`, if still retained.
+    #[inline]
+    pub fn get(&self, trace_id: u64) -> Option<Vec<u8>> {
+        #[cfg(feature = "obs")]
+        {
+            let m = self.inner.as_ref()?;
+            let ring = m.lock().unwrap_or_else(|e| e.into_inner());
+            ring.frags
+                .iter()
+                .find(|(id, _)| *id == trace_id)
+                .map(|(_, b)| b.clone())
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = trace_id;
+            None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -218,7 +365,69 @@ mod tests {
         let mut t = ReqTrace::start(Instant::now(), Instant::now());
         t.set_shape(3, 8);
         t.add_span("decode", Instant::now(), Instant::now());
+        assert!(!t.is_active());
+        let mut out = Vec::new();
+        assert!(!t.encode_annex(&mut out));
+        assert!(out.is_empty());
         assert!(t.finish(1, "f64", "ok", Duration::from_millis(1)).is_none());
+    }
+
+    /// The annex/TraceFetch retention path must also compile out
+    /// entirely: zero-sized ring, no deposits, no lookups.
+    #[cfg(not(feature = "obs"))]
+    #[test]
+    fn fragment_ring_is_zero_sized_without_obs() {
+        assert_eq!(std::mem::size_of::<FragmentRing>(), 0);
+        let ring = FragmentRing::new(32);
+        ring.put(7, vec![1, 2, 3]);
+        assert!(ring.get(7).is_none());
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn fragment_ring_retains_recent_and_evicts_oldest() {
+        let ring = FragmentRing::new(2);
+        ring.put(1, vec![0xa]);
+        ring.put(2, vec![0xb]);
+        assert_eq!(ring.get(1), Some(vec![0xa]));
+        ring.put(3, vec![0xc]);
+        assert!(ring.get(1).is_none(), "oldest evicted past cap");
+        assert_eq!(ring.get(2), Some(vec![0xb]));
+        assert_eq!(ring.get(3), Some(vec![0xc]));
+        // re-deposit replaces in place rather than duplicating
+        ring.put(2, vec![0xd, 0xe]);
+        assert_eq!(ring.get(2), Some(vec![0xd, 0xe]));
+        assert_eq!(ring.get(3), Some(vec![0xc]));
+        // cap 0 disables retention
+        let off = FragmentRing::new(0);
+        off.put(9, vec![1]);
+        assert!(off.get(9).is_none());
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn encode_annex_round_trips_through_the_wire_codec() {
+        let epoch = Instant::now();
+        let t0 = Instant::now();
+        let mut t = ReqTrace::start(epoch, t0);
+        assert!(t.is_active());
+        std::thread::sleep(Duration::from_millis(1));
+        t.add_span("decode", t0, Instant::now());
+        let mut out = vec![0xFF]; // annex appends after existing bytes
+        assert!(t.encode_annex(&mut out));
+        let spans = crate::wire::decode_span_annex(&out[1..]).expect("annex decodes");
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "decode");
+        assert!(spans[0].dur_ns >= 500_000, "slept ~1 ms before closing");
+
+        // the finished-trace form carries the same spans
+        let trace = t
+            .finish(5, "f64", "ok", Duration::from_millis(2))
+            .expect("obs build yields a trace");
+        let bytes = annex_from_trace(&trace);
+        let spans2 = crate::wire::decode_span_annex(&bytes).expect("trace annex decodes");
+        assert_eq!(spans2.len(), spans.len());
+        assert_eq!(spans2[0].name, "decode");
     }
 
     #[cfg(feature = "obs")]

@@ -11,6 +11,8 @@
 //!                       m u32, m·d coords
 //!           Stats / Ping / Shutdown / Metrics / Traces / TimeSeries:
 //!           no body (precision byte is 0)
+//!           TraceFetch: trace_id u64 (precision byte is 0) — fetch the
+//!           span fragment a backend retained for that routed query
 //!
 //! response  magic "GSRP", version u16 = 2, status u8, trace_id u64, body
 //!           Ok(Query/BatchQuery): NeighborTable v2 bytes (knn-select)
@@ -26,17 +28,26 @@
 //!           Ok(Metrics):          Prometheus text exposition (UTF-8)
 //!           Ok(Traces):           Chrome trace-event JSON (UTF-8)
 //!           Ok(TimeSeries):       load time-series JSON (UTF-8)
+//!           Ok(TraceFetch):       span-annex bytes (below), empty if the
+//!                                 trace id fell out of the fragment ring
 //!           Ok(Ping/Shutdown):    empty
 //!           Busy/Timeout/ShuttingDown: empty
 //!           Error/BadRequest/InternalError: UTF-8 message
 //!
 //! envelope  magic "GSPK", version u16 = 2, partition_id u32, epoch u64,
 //!           contributed u16, total u16, flags u8 (bit 0 = served from a
-//!           degraded lane), replica_id u16, replicas u16, then
-//!           NeighborTable v2 bytes to the end of the body (the table is
-//!           self-describing, so no inner length field is needed and none
-//!           can disagree). Version 1 envelopes (no replica fields) still
-//!           decode — they read as replica 0 of 1.
+//!           degraded lane, bit 1 = a span annex trails the table),
+//!           replica_id u16, replicas u16, then NeighborTable v2 bytes
+//!           (the table is self-describing, so no inner length field is
+//!           needed and none can disagree), then — iff flag bit 1 — a
+//!           span annex to the end of the body. Version 1 envelopes (no
+//!           replica fields) still decode — they read as replica 0 of 1.
+//!
+//! annex     magic "GSTA", version u16 = 1, span_count u16, then per
+//!           span: name_len u8, name bytes (UTF-8, ≤ 64), start_ns i64
+//!           (relative to the backend's request-receive instant), dur_ns
+//!           u64. At most 64 spans; oversized annexes are rejected on
+//!           decode, never allocated.
 //! ```
 //!
 //! **Trace ids.** Version 2 threads a `u64` trace id through every
@@ -120,6 +131,7 @@ enum Op {
     Metrics = 6,
     Traces = 7,
     TimeSeries = 8,
+    TraceFetch = 9,
 }
 
 /// Body of a `Query` / `BatchQuery` request.
@@ -213,6 +225,8 @@ pub enum RawRequest<'a> {
     Traces,
     /// See [`Request::TimeSeries`].
     TimeSeries,
+    /// See [`Request::TraceFetch`].
+    TraceFetch(u64),
 }
 
 impl RawRequest<'_> {
@@ -226,6 +240,7 @@ impl RawRequest<'_> {
             RawRequest::Metrics => Request::Metrics,
             RawRequest::Traces => Request::Traces,
             RawRequest::TimeSeries => Request::TimeSeries,
+            RawRequest::TraceFetch(id) => Request::TraceFetch(id),
         }
     }
 }
@@ -251,6 +266,11 @@ pub enum Request {
     /// arrival rate, queue depth, batch sizes, flush reasons and the
     /// aggregate kernel-phase split) as JSON.
     TimeSeries,
+    /// Fetch the span-annex bytes a server retained for this trace id
+    /// (empty body if the id has fallen out of the fragment ring). On a
+    /// backend this returns the raw annex; on the router it returns the
+    /// *stitched* trace as Chrome trace-event JSON.
+    TraceFetch(u64),
 }
 
 /// Response status byte.
@@ -409,10 +429,21 @@ pub const PARTIAL_HEADER_LEN: usize = 4 + 2 + 4 + 8 + 2 + 2 + 1 + 2 + 2;
 /// Encoded size of a v1 (pre-replication) envelope header.
 pub const PARTIAL_HEADER_V1_LEN: usize = 4 + 2 + 4 + 8 + 2 + 2 + 1;
 
+/// Flag bit 1 of a [`PartialHeader`]: a span annex trails the table
+/// bytes in the body. V2-compatible — routers that predate the annex
+/// hand the whole tail to `NeighborTable::from_bytes`, which tolerates
+/// trailing bytes.
+pub const PARTIAL_FLAG_SPAN_ANNEX: u8 = 2;
+
 impl PartialHeader {
     /// Bit 0 of `flags`: the answer came off a degraded-precision lane.
     pub fn lane_degraded(&self) -> bool {
         self.flags & 1 != 0
+    }
+
+    /// Bit 1 of `flags`: a span annex trails the table bytes.
+    pub fn has_span_annex(&self) -> bool {
+        self.flags & PARTIAL_FLAG_SPAN_ANNEX != 0
     }
 
     /// Append the envelope header to `out` (the caller appends the
@@ -483,6 +514,103 @@ pub fn decode_partial(body: &[u8]) -> Result<(PartialHeader, &[u8]), WireError> 
         },
         buf,
     ))
+}
+
+const ANNEX_MAGIC: &[u8; 4] = b"GSTA";
+const ANNEX_VERSION: u16 = 1;
+/// Hard cap on spans in one annex — the backend trace for a single
+/// query is a handful of phases, so 64 is generous; anything larger is
+/// rejected on decode before allocation.
+pub const MAX_ANNEX_SPANS: usize = 64;
+/// Hard cap on a span name in an annex (longer names are truncated at a
+/// UTF-8 boundary on encode, rejected on decode).
+pub const MAX_ANNEX_NAME: usize = 64;
+
+/// One backend-side span carried in a span annex. Timestamps are in the
+/// *backend's* monotonic timeline, nanoseconds relative to the instant
+/// the backend received the request — the router maps them into its own
+/// timeline via RTT-bracketing clock alignment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AnnexSpan {
+    /// Phase label (e.g. `"coalesce wait"`, `"kernel: distances"`).
+    pub name: String,
+    /// Start offset from the backend's request-receive instant, ns.
+    /// Signed: decode spans (stamped before the receive mark settles)
+    /// may start marginally negative.
+    pub start_ns: i64,
+    /// Span duration, ns.
+    pub dur_ns: u64,
+}
+
+/// Append a span annex (`"GSTA"` layout in the module docs) to `out`.
+/// Spans beyond [`MAX_ANNEX_SPANS`] are dropped and names are truncated
+/// to [`MAX_ANNEX_NAME`] bytes (at a UTF-8 boundary), so the encoded
+/// form always round-trips through [`decode_span_annex`].
+pub fn encode_span_annex(spans: &[AnnexSpan], out: &mut Vec<u8>) {
+    let count = spans.len().min(MAX_ANNEX_SPANS);
+    out.extend_from_slice(ANNEX_MAGIC);
+    out.extend_from_slice(&ANNEX_VERSION.to_le_bytes());
+    out.extend_from_slice(&(count as u16).to_le_bytes());
+    for span in &spans[..count] {
+        let mut name = span.name.as_bytes();
+        if name.len() > MAX_ANNEX_NAME {
+            let mut cut = MAX_ANNEX_NAME;
+            while !span.name.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            name = &name[..cut];
+        }
+        out.push(name.len() as u8);
+        out.extend_from_slice(name);
+        out.extend_from_slice(&span.start_ns.to_le_bytes());
+        out.extend_from_slice(&span.dur_ns.to_le_bytes());
+    }
+}
+
+/// Decode a span annex. Total: arbitrary bytes produce a typed error,
+/// never a panic or unbounded allocation — the span count is capped
+/// before any allocation and non-UTF-8 name bytes decode lossily.
+pub fn decode_span_annex(body: &[u8]) -> Result<Vec<AnnexSpan>, WireError> {
+    let mut buf = body;
+    if buf.remaining() < 4 + 2 + 2 {
+        return Err(WireError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != ANNEX_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = buf.get_u16_le();
+    if version != ANNEX_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let count = buf.get_u16_le() as usize;
+    if count > MAX_ANNEX_SPANS {
+        return Err(WireError::Oversized(count));
+    }
+    let mut spans = Vec::with_capacity(count);
+    for _ in 0..count {
+        if buf.remaining() < 1 {
+            return Err(WireError::Truncated);
+        }
+        let name_len = buf.get_u8() as usize;
+        if name_len > MAX_ANNEX_NAME {
+            return Err(WireError::Oversized(name_len));
+        }
+        if buf.remaining() < name_len + 8 + 8 {
+            return Err(WireError::Truncated);
+        }
+        let name = String::from_utf8_lossy(&buf[..name_len]).into_owned();
+        buf.advance(name_len);
+        let start_ns = buf.get_i64_le();
+        let dur_ns = buf.get_u64_le();
+        spans.push(AnnexSpan {
+            name,
+            start_ns,
+            dur_ns,
+        });
+    }
+    Ok(spans)
 }
 
 /// Why a payload failed to decode.
@@ -568,6 +696,11 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             buf.put_u8(Op::TimeSeries as u8);
             buf.put_u8(0);
         }
+        Request::TraceFetch(id) => {
+            buf.put_u8(Op::TraceFetch as u8);
+            buf.put_u8(0);
+            buf.put_u64_le(*id);
+        }
     }
     buf
 }
@@ -640,6 +773,12 @@ pub fn decode_request_raw(mut buf: &[u8]) -> Result<RawRequest<'_>, WireError> {
         op if op == Op::Metrics as u8 => Ok(RawRequest::Metrics),
         op if op == Op::Traces as u8 => Ok(RawRequest::Traces),
         op if op == Op::TimeSeries as u8 => Ok(RawRequest::TimeSeries),
+        op if op == Op::TraceFetch as u8 => {
+            if buf.remaining() < 8 {
+                return Err(WireError::Truncated);
+            }
+            Ok(RawRequest::TraceFetch(buf.get_u64_le()))
+        }
         other => Err(WireError::BadOp(other)),
     }
 }
@@ -836,6 +975,7 @@ mod tests {
             Request::Metrics,
             Request::Traces,
             Request::TimeSeries,
+            Request::TraceFetch(0xdead_beef_0042_1337),
         ] {
             let bytes = encode_request(&req);
             assert_eq!(decode_request(&bytes).unwrap(), req, "{req:?}");
@@ -1120,6 +1260,100 @@ mod tests {
         assert!(!is_partial_body(b""));
     }
 
+    fn sample_annex() -> (Vec<AnnexSpan>, Vec<u8>) {
+        let spans = vec![
+            AnnexSpan {
+                name: "decode".to_string(),
+                start_ns: -1_200,
+                dur_ns: 3_400,
+            },
+            AnnexSpan {
+                name: "coalesce wait".to_string(),
+                start_ns: 5_000,
+                dur_ns: 250_000,
+            },
+            AnnexSpan {
+                name: "kernel: distances".to_string(),
+                start_ns: 260_000,
+                dur_ns: 900_000,
+            },
+        ];
+        let mut bytes = Vec::new();
+        encode_span_annex(&spans, &mut bytes);
+        (spans, bytes)
+    }
+
+    #[test]
+    fn span_annex_round_trips() {
+        let (spans, bytes) = sample_annex();
+        assert_eq!(decode_span_annex(&bytes).unwrap(), spans);
+        // empty annex is valid
+        let mut empty = Vec::new();
+        encode_span_annex(&[], &mut empty);
+        assert_eq!(decode_span_annex(&empty).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn span_annex_caps_are_enforced_on_both_ends() {
+        // encode truncates long names (at a UTF-8 boundary) and drops
+        // spans past the cap, so its output always decodes
+        let many: Vec<AnnexSpan> = (0..MAX_ANNEX_SPANS + 10)
+            .map(|i| AnnexSpan {
+                name: format!("span-{i}-{}", "é".repeat(40)),
+                start_ns: i as i64,
+                dur_ns: 1,
+            })
+            .collect();
+        let mut bytes = Vec::new();
+        encode_span_annex(&many, &mut bytes);
+        let back = decode_span_annex(&bytes).unwrap();
+        assert_eq!(back.len(), MAX_ANNEX_SPANS);
+        for span in &back {
+            assert!(span.name.len() <= MAX_ANNEX_NAME);
+        }
+        // a hand-built annex declaring too many spans is rejected
+        // before allocation
+        let mut oversized = Vec::new();
+        oversized.extend_from_slice(b"GSTA");
+        oversized.extend_from_slice(&1u16.to_le_bytes());
+        oversized.extend_from_slice(&u16::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_span_annex(&oversized).unwrap_err(),
+            WireError::Oversized(_)
+        ));
+    }
+
+    #[test]
+    fn span_annex_rejects_malformed_bytes() {
+        let (_, bytes) = sample_annex();
+        for cut in [0, 3, 7, bytes.len() - 1] {
+            assert_eq!(
+                decode_span_annex(&bytes[..cut]).unwrap_err(),
+                WireError::Truncated,
+                "cut at {cut}"
+            );
+        }
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(
+            decode_span_annex(&bad_magic).unwrap_err(),
+            WireError::BadMagic
+        );
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 9;
+        assert_eq!(
+            decode_span_annex(&bad_version).unwrap_err(),
+            WireError::BadVersion(9)
+        );
+        // non-UTF-8 name bytes decode lossily rather than erroring:
+        // the name starts at offset 9 (magic 4 + version 2 + count 2 +
+        // name_len 1)
+        let mut bad_utf8 = bytes.clone();
+        bad_utf8[9] = 0xFF;
+        let spans = decode_span_annex(&bad_utf8).unwrap();
+        assert!(spans[0].name.contains('\u{FFFD}'));
+    }
+
     proptest::proptest! {
         /// The decoders must be total: arbitrary bytes (including
         /// adversarial headers) produce a typed error, never a panic or
@@ -1134,6 +1368,22 @@ mod tests {
             let _ = decode_response(&bytes);
             let _ = is_partial_body(&bytes);
             let _ = decode_partial(&bytes);
+            let _ = decode_span_annex(&bytes);
+        }
+
+        /// Single-byte corruption of a valid span annex: still total —
+        /// the decoder either errors or returns some capped span list,
+        /// never panics (same harness as the GSPK envelope fuzz).
+        #[test]
+        fn decode_corrupted_annex_never_panics(
+            (pos, flip) in (0usize..1000, 1usize..256)
+        ) {
+            let (_, mut bytes) = sample_annex();
+            let pos = pos % bytes.len();
+            bytes[pos] ^= flip as u8;
+            if let Ok(spans) = decode_span_annex(&bytes) {
+                assert!(spans.len() <= MAX_ANNEX_SPANS);
+            }
         }
 
         /// Single-byte corruption of a valid partial envelope: still

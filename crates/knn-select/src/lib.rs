@@ -34,7 +34,7 @@ pub use dheap::{DHeap, FourHeap};
 pub use mergesel::{merge_partial_rows, merge_partial_tables, merge_select, merge_update};
 pub use neighbor::{Neighbor, NeighborTable};
 pub use quickselect::{quickselect_k_smallest, quickselect_update};
-pub use serialize::DecodeError;
+pub use serialize::{encoded_len_of, DecodeError};
 
 /// A uniform interface over the selection algorithms so they can be
 /// cross-checked against each other (and benchmarked side by side in the

@@ -209,6 +209,46 @@ impl<T: GsknnScalar> NeighborTable<T> {
     }
 }
 
+/// Byte length of the encoded table at the head of `buf` without
+/// decoding it — header sniffing for protocols that append trailing
+/// data after the table (e.g. the serving layer's span annex). `None`
+/// if the head is not a structurally plausible v1/v2 table (bad magic,
+/// truncated header, overflowing `m × k`, or fewer bytes than the
+/// declared rows). All arithmetic is checked; arbitrary bytes never
+/// panic.
+pub fn encoded_len_of(buf: &[u8]) -> Option<usize> {
+    if buf.len() < 4 + 2 || &buf[..4] != MAGIC {
+        return None;
+    }
+    let version = u16::from_le_bytes([buf[4], buf[5]]);
+    let (stored_bytes, header_len) = match version {
+        1 => (8usize, 4 + 2 + 16),
+        2 => {
+            if buf.len() < 7 {
+                return None;
+            }
+            let b = buf[6] as usize;
+            if b != 4 && b != 8 {
+                return None;
+            }
+            (b, 4 + 2 + 1 + 16)
+        }
+        _ => return None,
+    };
+    if buf.len() < header_len {
+        return None;
+    }
+    let dims = &buf[header_len - 16..header_len];
+    let m = u64::from_le_bytes(dims[..8].try_into().unwrap()) as usize;
+    let k = u64::from_le_bytes(dims[8..].try_into().unwrap()) as usize;
+    let rows = m.checked_mul(k)?.checked_mul(stored_bytes + 4)?;
+    let total = header_len.checked_add(rows)?;
+    if buf.len() < total {
+        return None;
+    }
+    Some(total)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -400,6 +440,34 @@ mod tests {
             NeighborTable::<f64>::from_bytes(&bytes).unwrap_err(),
             DecodeError::CorruptDistance
         );
+    }
+
+    #[test]
+    fn encoded_len_of_splits_table_from_trailing_bytes() {
+        for bytes in [sample().to_bytes().to_vec(), encode_v1(&sample())] {
+            assert_eq!(encoded_len_of(&bytes), Some(bytes.len()));
+            let mut with_tail = bytes.clone();
+            with_tail.extend_from_slice(b"span annex trails here");
+            assert_eq!(encoded_len_of(&with_tail), Some(bytes.len()));
+        }
+        // f32 tables too
+        let f32_bytes = sample_f32().to_bytes().to_vec();
+        assert_eq!(encoded_len_of(&f32_bytes), Some(f32_bytes.len()));
+        // structurally bad heads yield None, never a panic
+        assert_eq!(encoded_len_of(b""), None);
+        assert_eq!(encoded_len_of(b"XXXXXX"), None);
+        let bytes = sample().to_bytes();
+        assert_eq!(encoded_len_of(&bytes[..bytes.len() - 1]), None);
+        let mut bad_prec = bytes.to_vec();
+        bad_prec[6] = 2;
+        assert_eq!(encoded_len_of(&bad_prec), None);
+        let mut huge = Vec::new();
+        huge.extend_from_slice(b"GSNT");
+        huge.extend_from_slice(&2u16.to_le_bytes());
+        huge.push(8);
+        huge.extend_from_slice(&u64::MAX.to_le_bytes());
+        huge.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(encoded_len_of(&huge), None);
     }
 
     #[test]

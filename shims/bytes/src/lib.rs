@@ -122,6 +122,8 @@ impl BufMut for Vec<u8> {
 pub trait Buf {
     fn remaining(&self) -> usize;
     fn copy_to_slice(&mut self, dst: &mut [u8]);
+    /// Skip `cnt` bytes without copying them anywhere.
+    fn advance(&mut self, cnt: usize);
 
     fn get_u8(&mut self) -> u8 {
         let mut b = [0u8; 1];
@@ -142,6 +144,11 @@ pub trait Buf {
         let mut b = [0u8; 8];
         self.copy_to_slice(&mut b);
         u64::from_le_bytes(b)
+    }
+    fn get_i64_le(&mut self) -> i64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        i64::from_le_bytes(b)
     }
     fn get_f32_le(&mut self) -> f32 {
         let mut b = [0u8; 4];
@@ -165,6 +172,11 @@ impl Buf for &[u8] {
         let (head, tail) = self.split_at(dst.len());
         dst.copy_from_slice(head);
         *self = tail;
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "buffer underrun");
+        *self = &self[cnt..];
     }
 }
 
